@@ -1,0 +1,242 @@
+//! Per-pixel evaluation backends.
+//!
+//! A [`PixelBackend`] evaluates one Bernstein polynomial on one input —
+//! the primitive an image pipeline applies per pixel. Three
+//! implementations cover the comparison the paper's Section V.C makes:
+//!
+//! - [`ExactBackend`] — double-precision reference;
+//! - [`ElectronicBackend`] — the CMOS ReSC unit of \[9\] (100 MHz in the
+//!   paper's comparison);
+//! - [`OpticalBackend`] — the paper's optical circuit (1 GHz), including
+//!   receiver noise.
+
+use crate::AppError;
+use osc_core::params::CircuitParams;
+use osc_core::system::OpticalScSystem;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::resc::ReScUnit;
+use osc_stochastic::sng::XoshiroSng;
+use osc_units::GigahertzRate;
+
+/// A backend that evaluates the programmed polynomial at one input.
+pub trait PixelBackend {
+    /// Evaluates the polynomial at `x ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific failures (invalid input, circuit errors).
+    fn evaluate(&mut self, x: f64) -> Result<f64, AppError>;
+
+    /// Bits consumed per evaluation (1 for exact backends).
+    fn bits_per_evaluation(&self) -> usize;
+
+    /// Clock rate the backend models.
+    fn clock(&self) -> GigahertzRate;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Double-precision reference backend.
+#[derive(Debug, Clone)]
+pub struct ExactBackend {
+    poly: BernsteinPoly,
+}
+
+impl ExactBackend {
+    /// Creates the backend.
+    pub fn new(poly: BernsteinPoly) -> Self {
+        ExactBackend { poly }
+    }
+}
+
+impl PixelBackend for ExactBackend {
+    fn evaluate(&mut self, x: f64) -> Result<f64, AppError> {
+        if !(0.0..=1.0).contains(&x) {
+            return Err(AppError::Invalid(format!("x = {x} outside [0, 1]")));
+        }
+        Ok(self.poly.eval(x))
+    }
+
+    fn bits_per_evaluation(&self) -> usize {
+        1
+    }
+
+    fn clock(&self) -> GigahertzRate {
+        GigahertzRate::new(1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// The electronic ReSC unit at the paper's 100 MHz CMOS clock.
+#[derive(Debug, Clone)]
+pub struct ElectronicBackend {
+    unit: ReScUnit,
+    stream_length: usize,
+    sng: XoshiroSng,
+}
+
+impl ElectronicBackend {
+    /// Creates the backend with a stream length and RNG seed.
+    pub fn new(poly: BernsteinPoly, stream_length: usize, seed: u64) -> Self {
+        ElectronicBackend {
+            unit: ReScUnit::new(poly),
+            stream_length,
+            sng: XoshiroSng::new(seed),
+        }
+    }
+}
+
+impl PixelBackend for ElectronicBackend {
+    fn evaluate(&mut self, x: f64) -> Result<f64, AppError> {
+        Ok(self
+            .unit
+            .evaluate(x.clamp(0.0, 1.0), self.stream_length, &mut self.sng)
+            .estimate)
+    }
+
+    fn bits_per_evaluation(&self) -> usize {
+        self.stream_length
+    }
+
+    fn clock(&self) -> GigahertzRate {
+        GigahertzRate::new(0.1) // 100 MHz, after [9]
+    }
+
+    fn name(&self) -> &'static str {
+        "electronic-resc"
+    }
+}
+
+/// The optical SC circuit at 1 GHz with noisy detection.
+pub struct OpticalBackend {
+    system: OpticalScSystem,
+    stream_length: usize,
+    sng: XoshiroSng,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl std::fmt::Debug for OpticalBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpticalBackend")
+            .field("stream_length", &self.stream_length)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OpticalBackend {
+    /// Creates the backend on a circuit matching the polynomial's degree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit construction failures (degree mismatch etc.).
+    pub fn new(
+        params: CircuitParams,
+        poly: BernsteinPoly,
+        stream_length: usize,
+        seed: u64,
+    ) -> Result<Self, AppError> {
+        Ok(OpticalBackend {
+            system: OpticalScSystem::new(params, poly)?,
+            stream_length,
+            sng: XoshiroSng::new(seed),
+            rng: Xoshiro256PlusPlus::new(seed ^ 0x5EED),
+        })
+    }
+
+    /// The underlying optical system.
+    pub fn system(&self) -> &OpticalScSystem {
+        &self.system
+    }
+}
+
+impl PixelBackend for OpticalBackend {
+    fn evaluate(&mut self, x: f64) -> Result<f64, AppError> {
+        Ok(self
+            .system
+            .evaluate(
+                x.clamp(0.0, 1.0),
+                self.stream_length,
+                &mut self.sng,
+                &mut self.rng,
+            )?
+            .estimate)
+    }
+
+    fn bits_per_evaluation(&self) -> usize {
+        self.stream_length
+    }
+
+    fn clock(&self) -> GigahertzRate {
+        GigahertzRate::new(1.0) // the paper's optical modulation rate
+    }
+
+    fn name(&self) -> &'static str {
+        "optical-sc"
+    }
+}
+
+/// Evaluations per second a backend sustains: `clock / bits_per_eval`.
+pub fn throughput_evals_per_second<B: PixelBackend>(backend: &B) -> f64 {
+    backend.clock().as_bps() / backend.bits_per_evaluation() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly() -> BernsteinPoly {
+        BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap()
+    }
+
+    #[test]
+    fn exact_backend_is_exact() {
+        let mut b = ExactBackend::new(poly());
+        assert_eq!(b.evaluate(0.0).unwrap(), 0.25);
+        assert!(b.evaluate(1.5).is_err());
+        assert_eq!(b.bits_per_evaluation(), 1);
+    }
+
+    #[test]
+    fn electronic_backend_approximates() {
+        let mut b = ElectronicBackend::new(poly(), 16384, 7);
+        let got = b.evaluate(0.5).unwrap();
+        let want = poly().eval(0.5);
+        assert!((got - want).abs() < 0.02, "got {got} want {want}");
+    }
+
+    #[test]
+    fn optical_backend_approximates() {
+        let mut b =
+            OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 8192, 11).unwrap();
+        let got = b.evaluate(0.5).unwrap();
+        let want = poly().eval(0.5);
+        assert!((got - want).abs() < 0.03, "got {got} want {want}");
+    }
+
+    #[test]
+    fn optical_clamps_out_of_range_pixels() {
+        let mut b =
+            OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 1024, 3).unwrap();
+        assert!(b.evaluate(1.0 + 1e-9).is_ok());
+    }
+
+    #[test]
+    fn paper_speedup_10x() {
+        // 1 GHz optical vs 100 MHz electronic at the same stream length.
+        let e = ElectronicBackend::new(poly(), 1024, 1);
+        let o = OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 1024, 1).unwrap();
+        let speedup = throughput_evals_per_second(&o) / throughput_evals_per_second(&e);
+        assert!((speedup - 10.0).abs() < 1e-9, "speedup {speedup}");
+    }
+
+    #[test]
+    fn degree_mismatch_rejected() {
+        let bad = BernsteinPoly::new(vec![0.5, 0.5]).unwrap();
+        assert!(OpticalBackend::new(CircuitParams::paper_fig5(), bad, 64, 1).is_err());
+    }
+}

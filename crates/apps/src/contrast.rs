@@ -1,0 +1,80 @@
+//! Smoothstep contrast enhancement — a second error-tolerant workload.
+//!
+//! The cubic smoothstep `f(x) = 3x² − 2x³` is the canonical contrast
+//! stretch and has the *exactly representable* Bernstein form
+//! `b = (0, 0, 1, 1)` at degree 3 (every coefficient is a trivial
+//! probability), making it an ideal stress-free workload for the optical
+//! circuit: any residual error is attributable to the transmission path,
+//! not to coefficient quantization.
+
+use crate::backend::PixelBackend;
+use crate::image::Image;
+use crate::AppError;
+use osc_stochastic::bernstein::BernsteinPoly;
+
+/// Exact smoothstep.
+pub fn smoothstep(x: f64) -> f64 {
+    let x = x.clamp(0.0, 1.0);
+    3.0 * x * x - 2.0 * x * x * x
+}
+
+/// The degree-3 Bernstein representation of smoothstep: `(0, 0, 1, 1)`.
+pub fn smoothstep_poly() -> BernsteinPoly {
+    BernsteinPoly::new(vec![0.0, 0.0, 1.0, 1.0]).expect("exact coefficients")
+}
+
+/// Applies contrast enhancement through a backend and reports the mean
+/// absolute error against the exact map.
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn run_contrast<B: PixelBackend>(image: &Image, backend: &mut B) -> Result<(Image, f64), AppError> {
+    let reference = image.map(smoothstep);
+    let produced = crate::gamma_app::apply_backend(image, backend)?;
+    let mae = produced.mae(&reference)?;
+    Ok((produced, mae))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ElectronicBackend, ExactBackend};
+
+    #[test]
+    fn bernstein_form_is_exact() {
+        let p = smoothstep_poly();
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            assert!(
+                (p.eval(x) - smoothstep(x)).abs() < 1e-12,
+                "mismatch at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn contrast_steepens_midtones() {
+        assert!(smoothstep(0.25) < 0.25);
+        assert!(smoothstep(0.75) > 0.75);
+        assert_eq!(smoothstep(0.5), 0.5);
+        assert_eq!(smoothstep(0.0), 0.0);
+        assert_eq!(smoothstep(1.0), 1.0);
+    }
+
+    #[test]
+    fn exact_backend_zero_error() {
+        let img = Image::gradient(16, 4);
+        let mut b = ExactBackend::new(smoothstep_poly());
+        let (_, mae) = run_contrast(&img, &mut b).unwrap();
+        assert!(mae < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_backend_small_error() {
+        let img = Image::blobs(12, 12);
+        let mut b = ElectronicBackend::new(smoothstep_poly(), 8192, 5);
+        let (_, mae) = run_contrast(&img, &mut b).unwrap();
+        assert!(mae < 0.02, "mae {mae}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Gamma correction on stochastic backends (paper Section V.C).
+//!
+//! "Gamma correction application, which is a non-linear function used in
+//! image processing, involves a 6th order degree. Compared to the 100MHz
+//! frequency considered in \[9\], the use of integrated optics will lead to
+//! a 10x speedup."
+
+use crate::backend::{throughput_evals_per_second, PixelBackend};
+use crate::image::Image;
+use crate::AppError;
+use osc_stochastic::gamma::{fit_gamma_bernstein, gamma_exact, DISPLAY_GAMMA, PAPER_GAMMA_DEGREE};
+use serde::{Deserialize, Serialize};
+
+/// Result of running gamma correction on one backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaRunReport {
+    /// Backend name.
+    pub backend: String,
+    /// PSNR against the exact gamma map, dB.
+    pub psnr_db: f64,
+    /// Mean absolute error against the exact gamma map.
+    pub mae: f64,
+    /// Modeled throughput in pixel evaluations per second.
+    pub evals_per_second: f64,
+}
+
+/// Applies a backend's polynomial to every pixel.
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn apply_backend<B: PixelBackend>(image: &Image, backend: &mut B) -> Result<Image, AppError> {
+    let mut out = Vec::with_capacity(image.pixels().len());
+    for &p in image.pixels() {
+        out.push(backend.evaluate(p)?.clamp(0.0, 1.0));
+    }
+    Image::new(image.width(), image.height(), out)
+}
+
+/// Runs gamma correction on a backend and reports quality + throughput
+/// against the exact per-pixel map.
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn run_gamma<B: PixelBackend>(image: &Image, backend: &mut B) -> Result<GammaRunReport, AppError> {
+    let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
+    let produced = apply_backend(image, backend)?;
+    Ok(GammaRunReport {
+        backend: backend.name().to_string(),
+        psnr_db: produced.psnr_db(&reference)?,
+        mae: produced.mae(&reference)?,
+        evals_per_second: throughput_evals_per_second(backend),
+    })
+}
+
+/// The paper's degree-6 gamma polynomial, ready for backends.
+///
+/// # Errors
+///
+/// Propagates fit failures (none for standard parameters).
+pub fn paper_gamma_polynomial() -> Result<osc_stochastic::bernstein::BernsteinPoly, AppError> {
+    Ok(fit_gamma_bernstein(DISPLAY_GAMMA, PAPER_GAMMA_DEGREE)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ElectronicBackend, ExactBackend};
+
+    #[test]
+    fn exact_backend_matches_polynomial_not_map() {
+        // The exact backend evaluates the degree-6 *fit*, so its PSNR
+        // against the true gamma map is finite but high.
+        let img = Image::gradient(32, 8);
+        let mut b = ExactBackend::new(paper_gamma_polynomial().unwrap());
+        let report = run_gamma(&img, &mut b).unwrap();
+        assert!(report.psnr_db > 25.0, "psnr {}", report.psnr_db);
+        assert!(report.mae < 0.03, "mae {}", report.mae);
+    }
+
+    #[test]
+    fn electronic_backend_close_to_exact_fit() {
+        let img = Image::blobs(16, 16);
+        let mut exact = ExactBackend::new(paper_gamma_polynomial().unwrap());
+        let mut sc = ElectronicBackend::new(paper_gamma_polynomial().unwrap(), 4096, 3);
+        let exact_img = apply_backend(&img, &mut exact).unwrap();
+        let sc_img = apply_backend(&img, &mut sc).unwrap();
+        let mae = sc_img.mae(&exact_img).unwrap();
+        assert!(mae < 0.02, "stochastic-vs-fit mae {mae}");
+    }
+
+    #[test]
+    fn gamma_brightens_dark_pixels() {
+        let img = Image::gradient(32, 2);
+        let mut b = ExactBackend::new(paper_gamma_polynomial().unwrap());
+        let out = apply_backend(&img, &mut b).unwrap();
+        // Mid-gray should brighten (gamma < 1), comparing mid-image.
+        assert!(out.get(16, 0) > img.get(16, 0));
+    }
+
+    #[test]
+    fn report_carries_throughput() {
+        let img = Image::gradient(4, 4);
+        let mut e = ElectronicBackend::new(paper_gamma_polynomial().unwrap(), 1024, 1);
+        let report = run_gamma(&img, &mut e).unwrap();
+        // 100 MHz / 1024 bits.
+        assert!((report.evals_per_second - 0.1e9 / 1024.0).abs() < 1.0);
+        assert_eq!(report.backend, "electronic-resc");
+    }
+}

@@ -1,0 +1,179 @@
+//! A stochastic computing neuron — the "neural computation applications"
+//! use case the paper lists for the ReSC architecture (Section II.A).
+//!
+//! The classic SC neuron (Brown & Card) computes
+//! `y = tanh(K/2 · mean_i(w_i ⊙ x_i))` in bipolar encoding with nothing
+//! but XNOR multipliers, a MUX-tree average and a saturating-counter
+//! activation — exactly the element mix this workspace provides
+//! (`osc_stochastic::{ops, fsm}` and the MUX tree of [`crate::signal`]).
+
+use crate::signal::mux_tree_average;
+use crate::AppError;
+use osc_stochastic::bitstream::BitStream;
+use osc_stochastic::fsm::StanhFsm;
+use osc_stochastic::ops::{bipolar_multiply, from_bipolar, to_bipolar};
+use osc_stochastic::sng::StochasticNumberGenerator;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-weight stochastic neuron with a tanh activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StochasticNeuron {
+    /// Bipolar weights in `[−1, 1]`, one per input (count must be a power
+    /// of two for the MUX tree).
+    weights: Vec<f64>,
+    /// Activation FSM state count `K`.
+    activation_states: u32,
+}
+
+impl StochasticNeuron {
+    /// Creates a neuron.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Invalid`] if the weight count is not a power of two,
+    /// any weight leaves `[−1, 1]`, or the state count is below 2.
+    pub fn new(weights: Vec<f64>, activation_states: u32) -> Result<Self, AppError> {
+        if weights.is_empty() || !weights.len().is_power_of_two() {
+            return Err(AppError::Invalid(format!(
+                "weight count must be a power of two, got {}",
+                weights.len()
+            )));
+        }
+        if weights.iter().any(|w| !(-1.0..=1.0).contains(w)) {
+            return Err(AppError::Invalid("weights must lie in [-1, 1]".into()));
+        }
+        if activation_states < 2 {
+            return Err(AppError::Invalid("activation needs >= 2 states".into()));
+        }
+        Ok(StochasticNeuron {
+            weights,
+            activation_states,
+        })
+    }
+
+    /// The bipolar weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of inputs.
+    pub fn fan_in(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Evaluates the neuron on bipolar inputs in `[−1, 1]` using
+    /// `stream_length`-bit streams. Returns the bipolar output.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Invalid`] for arity mismatch or out-of-range inputs;
+    /// propagates stream errors.
+    pub fn evaluate<S: StochasticNumberGenerator>(
+        &self,
+        inputs: &[f64],
+        stream_length: usize,
+        sng: &mut S,
+    ) -> Result<f64, AppError> {
+        if inputs.len() != self.weights.len() {
+            return Err(AppError::Invalid(format!(
+                "expected {} inputs, got {}",
+                self.weights.len(),
+                inputs.len()
+            )));
+        }
+        if inputs.iter().any(|x| !(-1.0..=1.0).contains(x)) {
+            return Err(AppError::Invalid("inputs must lie in [-1, 1]".into()));
+        }
+        // XNOR products in bipolar encoding.
+        let mut products: Vec<BitStream> = Vec::with_capacity(inputs.len());
+        for (&w, &x) in self.weights.iter().zip(inputs) {
+            let ws = sng.generate(from_bipolar(w), stream_length)?;
+            let xs = sng.generate(from_bipolar(x), stream_length)?;
+            products.push(bipolar_multiply(&ws, &xs)?);
+        }
+        // MUX-tree scaled sum: value = mean of products (bipolar mean).
+        let summed = mux_tree_average(products, sng)?;
+        // Saturating-counter tanh activation.
+        let fsm = StanhFsm::new(self.activation_states)
+            .map_err(|e| AppError::Stochastic(e.to_string()))?;
+        let activated = fsm.run(&summed);
+        Ok(to_bipolar(activated.value()))
+    }
+
+    /// The analytic reference: `tanh(K/2 · mean(w_i · x_i))`.
+    pub fn reference(&self, inputs: &[f64]) -> f64 {
+        let mean: f64 = self
+            .weights
+            .iter()
+            .zip(inputs)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            / self.weights.len() as f64;
+        (self.activation_states as f64 / 2.0 * mean).tanh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_stochastic::sng::XoshiroSng;
+
+    fn neuron() -> StochasticNeuron {
+        StochasticNeuron::new(vec![0.8, -0.5, 0.3, 0.9], 8).unwrap()
+    }
+
+    #[test]
+    fn tracks_analytic_reference() {
+        let n = neuron();
+        let mut sng = XoshiroSng::new(17);
+        for inputs in [
+            [0.5, 0.5, 0.5, 0.5],
+            [0.9, -0.7, 0.2, -0.1],
+            [-0.8, -0.8, 0.8, 0.8],
+        ] {
+            let got = n.evaluate(&inputs, 1 << 17, &mut sng).unwrap();
+            let want = n.reference(&inputs);
+            assert!(
+                (got - want).abs() < 0.12,
+                "inputs {inputs:?}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_positive_drive_saturates_high() {
+        let n = StochasticNeuron::new(vec![1.0, 1.0, 1.0, 1.0], 8).unwrap();
+        let mut sng = XoshiroSng::new(18);
+        let y = n.evaluate(&[0.9, 0.9, 0.9, 0.9], 1 << 15, &mut sng).unwrap();
+        assert!(y > 0.9, "got {y}");
+    }
+
+    #[test]
+    fn strong_negative_drive_saturates_low() {
+        let n = StochasticNeuron::new(vec![1.0, 1.0, 1.0, 1.0], 8).unwrap();
+        let mut sng = XoshiroSng::new(19);
+        let y = n
+            .evaluate(&[-0.9, -0.9, -0.9, -0.9], 1 << 15, &mut sng)
+            .unwrap();
+        assert!(y < -0.9, "got {y}");
+    }
+
+    #[test]
+    fn zero_input_is_near_zero() {
+        let n = neuron();
+        let mut sng = XoshiroSng::new(20);
+        let y = n.evaluate(&[0.0; 4], 1 << 16, &mut sng).unwrap();
+        assert!(y.abs() < 0.15, "got {y}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StochasticNeuron::new(vec![0.5; 3], 8).is_err());
+        assert!(StochasticNeuron::new(vec![1.5, 0.0], 8).is_err());
+        assert!(StochasticNeuron::new(vec![0.5, 0.5], 1).is_err());
+        let n = neuron();
+        let mut sng = XoshiroSng::new(21);
+        assert!(n.evaluate(&[0.0; 3], 64, &mut sng).is_err());
+        assert!(n.evaluate(&[2.0, 0.0, 0.0, 0.0], 64, &mut sng).is_err());
+    }
+}

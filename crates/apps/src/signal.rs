@@ -1,0 +1,229 @@
+//! Stochastic signal processing: moving-average (FIR) filtering of a
+//! noisy waveform with a MUX tree — the "signal processing" half of the
+//! paper's error-tolerant application motivation.
+//!
+//! A `2^k`-tap moving average is a balanced tree of stochastic scaled
+//! adders: each MUX with a fair select computes `(a + b)/2`, so `k`
+//! levels average `2^k` sample streams with no multipliers at all.
+
+use crate::AppError;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bitstream::BitStream;
+use osc_stochastic::sng::StochasticNumberGenerator;
+use serde::{Deserialize, Serialize};
+
+/// A sampled waveform with values in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampledSignal {
+    samples: Vec<f64>,
+}
+
+impl SampledSignal {
+    /// Creates a signal, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Invalid`] if any sample leaves `[0, 1]`.
+    pub fn new(samples: Vec<f64>) -> Result<Self, AppError> {
+        if samples.iter().any(|s| !(0.0..=1.0).contains(s)) {
+            return Err(AppError::Invalid("samples must lie in [0, 1]".into()));
+        }
+        Ok(SampledSignal { samples })
+    }
+
+    /// A noisy sine test vector: `0.5 + 0.3·sin(2πf·i) + noise`, clamped.
+    pub fn noisy_sine(len: usize, cycles: f64, noise_rms: f64, seed: u64) -> SampledSignal {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        SampledSignal {
+            samples: (0..len)
+                .map(|i| {
+                    let phase = 2.0 * std::f64::consts::PI * cycles * i as f64 / len as f64;
+                    (0.5 + 0.3 * phase.sin() + rng.gaussian_with(0.0, noise_rms))
+                        .clamp(0.0, 1.0)
+                })
+                .collect(),
+        }
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the signal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact moving average with a centred window of `taps` samples
+    /// (edges use the available neighbourhood).
+    pub fn moving_average_exact(&self, taps: usize) -> SampledSignal {
+        let n = self.samples.len();
+        let half = taps / 2;
+        SampledSignal {
+            samples: (0..n)
+                .map(|i| {
+                    let lo = i.saturating_sub(half);
+                    let hi = (i + half).min(n - 1);
+                    let window = &self.samples[lo..=hi];
+                    window.iter().sum::<f64>() / window.len() as f64
+                })
+                .collect(),
+        }
+    }
+
+    /// Mean squared error against another signal.
+    ///
+    /// # Errors
+    ///
+    /// [`AppError::Invalid`] on length mismatch.
+    pub fn mse(&self, other: &SampledSignal) -> Result<f64, AppError> {
+        if self.len() != other.len() {
+            return Err(AppError::Invalid("signal length mismatch".into()));
+        }
+        Ok(osc_math::stats::mse(&self.samples, &other.samples))
+    }
+}
+
+/// Averages `2^k` bit-streams with a balanced MUX tree; the result's
+/// value is the mean of the input values (scaled addition chain).
+///
+/// # Errors
+///
+/// [`AppError::Stochastic`] on stream length mismatches;
+/// [`AppError::Invalid`] if the input count is not a power of two.
+pub fn mux_tree_average<S: StochasticNumberGenerator>(
+    streams: Vec<BitStream>,
+    sng: &mut S,
+) -> Result<BitStream, AppError> {
+    if streams.is_empty() || !streams.len().is_power_of_two() {
+        return Err(AppError::Invalid(format!(
+            "MUX tree needs a power-of-two input count, got {}",
+            streams.len()
+        )));
+    }
+    let len = streams[0].len();
+    let mut level = streams;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let select = sng.generate(0.5, len)?;
+            next.push(pair[0].mux(&pair[1], &select)?);
+        }
+        level = next;
+    }
+    Ok(level.pop().expect("tree reduces to one stream"))
+}
+
+/// Runs a `taps`-tap (power of two) stochastic moving average over a
+/// signal: each output sample averages the `taps` preceding input
+/// samples' streams through the MUX tree.
+///
+/// # Errors
+///
+/// [`AppError::Invalid`] for a non-power-of-two tap count.
+pub fn stochastic_moving_average<S: StochasticNumberGenerator>(
+    signal: &SampledSignal,
+    taps: usize,
+    stream_length: usize,
+    sng: &mut S,
+) -> Result<SampledSignal, AppError> {
+    if !taps.is_power_of_two() {
+        return Err(AppError::Invalid(format!(
+            "tap count must be a power of two, got {taps}"
+        )));
+    }
+    let n = signal.len();
+    let half = taps / 2;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Centred window, clamped at the edges and padded by repetition
+        // to keep the tree balanced.
+        let mut window = Vec::with_capacity(taps);
+        for k in 0..taps {
+            let idx = (i + k).saturating_sub(half).min(n - 1);
+            window.push(signal.samples()[idx]);
+        }
+        let streams = window
+            .iter()
+            .map(|&p| sng.generate(p, stream_length))
+            .collect::<Result<Vec<_>, _>>()?;
+        out.push(mux_tree_average(streams, sng)?.value());
+    }
+    SampledSignal::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_stochastic::sng::XoshiroSng;
+
+    #[test]
+    fn noisy_sine_in_range() {
+        let s = SampledSignal::noisy_sine(128, 2.0, 0.1, 3);
+        assert_eq!(s.len(), 128);
+        assert!(s.samples().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mux_tree_averages_values() {
+        let mut sng = XoshiroSng::new(8);
+        let values = [0.1, 0.3, 0.7, 0.9];
+        let streams: Vec<BitStream> = values
+            .iter()
+            .map(|&p| sng.generate(p, 32_768).unwrap())
+            .collect();
+        let out = mux_tree_average(streams, &mut sng).unwrap();
+        assert!((out.value() - 0.5).abs() < 0.02, "got {}", out.value());
+    }
+
+    #[test]
+    fn mux_tree_rejects_non_power_of_two() {
+        let mut sng = XoshiroSng::new(9);
+        let streams = vec![BitStream::zeros(8); 3];
+        assert!(mux_tree_average(streams, &mut sng).is_err());
+        assert!(mux_tree_average(vec![], &mut sng).is_err());
+    }
+
+    #[test]
+    fn stochastic_filter_denoises() {
+        // Filtering a noisy sine must reduce MSE against the clean sine.
+        let clean = SampledSignal::noisy_sine(64, 2.0, 0.0, 1);
+        let noisy = SampledSignal::noisy_sine(64, 2.0, 0.08, 1);
+        let mut sng = XoshiroSng::new(10);
+        let filtered = stochastic_moving_average(&noisy, 4, 4096, &mut sng).unwrap();
+        let before = noisy.mse(&clean).unwrap();
+        let after = filtered.mse(&clean).unwrap();
+        assert!(
+            after < before,
+            "filtering should denoise: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn stochastic_filter_tracks_exact_filter() {
+        let signal = SampledSignal::noisy_sine(48, 3.0, 0.05, 2);
+        let mut sng = XoshiroSng::new(11);
+        let sc = stochastic_moving_average(&signal, 4, 8192, &mut sng).unwrap();
+        let exact = signal.moving_average_exact(4);
+        // The SC filter approximates a (slightly differently-windowed)
+        // exact average; require close tracking.
+        let mse = sc.mse(&exact).unwrap();
+        assert!(mse < 0.003, "mse {mse}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SampledSignal::new(vec![0.5, 1.2]).is_err());
+        let s = SampledSignal::noisy_sine(16, 1.0, 0.0, 1);
+        let mut sng = XoshiroSng::new(12);
+        assert!(stochastic_moving_average(&s, 3, 64, &mut sng).is_err());
+        let t = SampledSignal::noisy_sine(8, 1.0, 0.0, 1);
+        assert!(s.mse(&t).is_err());
+    }
+}

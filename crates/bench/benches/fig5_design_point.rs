@@ -1,0 +1,60 @@
+//! Criterion benches for the Fig. 5 / Section V.A design point: the
+//! MRR-first design method, the exhaustive power table and the raw
+//! transmission model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osc_core::architecture::OpticalScCircuit;
+use osc_core::design::mrr_first::{MrrFirstDesign, MrrFirstInputs};
+use osc_core::params::CircuitParams;
+use osc_core::transmission::TransmissionModel;
+use osc_units::Milliwatts;
+use std::hint::black_box;
+
+fn bench_mrr_first(c: &mut Criterion) {
+    let inputs = MrrFirstInputs::paper_section_va();
+    c.bench_function("fig5/mrr_first_solve", |b| {
+        b.iter(|| MrrFirstDesign::solve(black_box(&inputs)).unwrap())
+    });
+}
+
+fn bench_power_table(c: &mut Criterion) {
+    let circuit = OpticalScCircuit::new(CircuitParams::paper_fig5()).unwrap();
+    c.bench_function("fig5/power_level_table_32", |b| {
+        b.iter(|| circuit.power_level_table().unwrap())
+    });
+}
+
+fn bench_received_power(c: &mut Criterion) {
+    let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
+    c.bench_function("fig5/received_power_single", |b| {
+        b.iter(|| {
+            model
+                .received_power(
+                    black_box(&[false, true, false]),
+                    black_box(&[true, true]),
+                    Milliwatts::new(1.0),
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_spectra(c: &mut Criterion) {
+    let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
+    c.bench_function("fig5/spectra_121pts", |b| {
+        b.iter(|| {
+            model
+                .spectra(&[false, true, false], &[true, true], black_box(121))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mrr_first,
+    bench_power_table,
+    bench_received_power,
+    bench_spectra
+);
+criterion_main!(benches);

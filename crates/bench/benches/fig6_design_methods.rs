@@ -1,0 +1,45 @@
+//! Criterion benches for the Fig. 6 studies: the MZI-first design method,
+//! the (IL, ER) grid sweep and the BER sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osc_core::design::mzi_first::{MziFirstDesign, MziFirstInputs};
+use osc_core::design::space::{fig6a_grid, fig6b_ber_sweep};
+use osc_units::DbRatio;
+use std::hint::black_box;
+
+fn bench_mzi_first(c: &mut Criterion) {
+    let inputs = MziFirstInputs::paper_fig6(DbRatio::from_db(6.5), DbRatio::from_db(7.5));
+    c.bench_function("fig6/mzi_first_solve_xiao", |b| {
+        b.iter(|| MziFirstDesign::solve(black_box(&inputs)).unwrap())
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let il = osc_math::linspace(3.0, 7.4, 4);
+    let er = osc_math::linspace(4.0, 7.6, 4);
+    let mut group = c.benchmark_group("fig6/grid_4x4");
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| fig6a_grid(&il, &er, 1e-6, threads)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ber_sweep(c: &mut Criterion) {
+    c.bench_function("fig6/ber_sweep_3pts", |b| {
+        b.iter(|| {
+            fig6b_ber_sweep(
+                DbRatio::from_db(6.5),
+                DbRatio::from_db(7.5),
+                black_box(&[1e-2, 1e-4, 1e-6]),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_mzi_first, bench_grid, bench_ber_sweep);
+criterion_main!(benches);

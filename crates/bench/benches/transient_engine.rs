@@ -1,0 +1,59 @@
+//! Criterion benches for the transient simulator: full datapath runs and
+//! the eye scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osc_core::params::CircuitParams;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bitstream::BitStream;
+use osc_stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
+use osc_transient::engine::{TimingConfig, TransientSimulator};
+use osc_transient::eye::{scan_offsets, ThresholdMode};
+use osc_units::Milliwatts;
+
+fn make_streams(len: usize) -> (Vec<BitStream>, Vec<BitStream>) {
+    let mut sng = XoshiroSng::new(5);
+    let data = (0..2).map(|_| sng.generate(0.5, len).unwrap()).collect();
+    let coeffs = (0..3).map(|_| sng.generate(0.5, len).unwrap()).collect();
+    (data, coeffs)
+}
+
+fn bench_transient_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient/run_32bits");
+    for pulsed in [true, false] {
+        let timing = TimingConfig {
+            pump_pulse_fwhm: pulsed.then_some(26e-12),
+            samples_per_bit: 32,
+            ..TimingConfig::default()
+        };
+        let sim = TransientSimulator::new(CircuitParams::paper_fig5(), timing).unwrap();
+        let (data, coeffs) = make_streams(32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if pulsed { "pulsed" } else { "cw" }),
+            &pulsed,
+            |b, _| b.iter(|| sim.run(&data, &coeffs).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_eye_scan(c: &mut Criterion) {
+    let sim =
+        TransientSimulator::new(CircuitParams::paper_fig5(), TimingConfig::default()).unwrap();
+    let (data, coeffs) = make_streams(32);
+    let trace = sim.run(&data, &coeffs).unwrap();
+    c.bench_function("transient/eye_scan_32offsets", |b| {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        b.iter(|| {
+            scan_offsets(
+                &trace,
+                ThresholdMode::Trained,
+                Milliwatts::ZERO,
+                32,
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_transient_run, bench_eye_scan);
+criterion_main!(benches);

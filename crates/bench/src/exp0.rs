@@ -1,0 +1,95 @@
+//! EXP-0: the Section V.A in-text design point.
+//!
+//! Paper quantities: total transmissions 0.091 / 0.004 / 0.0002 (case A),
+//! 0.476 (case B), received powers 0.0952 / 0.482 mW at 1 mW probes,
+//! minimum pump power 591.8 mW, required extinction ratio 13.22 dB.
+
+use osc_core::calibration::{predict, Fig5Targets};
+use osc_core::design::mrr_first::{MrrFirstDesign, MrrFirstInputs};
+use osc_core::params::CircuitParams;
+use serde::{Deserialize, Serialize};
+
+/// Paper-vs-measured record for the Section V.A design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exp0Report {
+    /// Model predictions at the two Fig. 5 operating cases.
+    pub predictions: Fig5Targets,
+    /// The paper's quoted values.
+    pub paper: Fig5Targets,
+    /// Minimum pump power from the MRR-first method, mW.
+    pub min_pump_mw: f64,
+    /// Required extinction ratio, dB.
+    pub required_er_db: f64,
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics only if the shipped calibrated parameters fail to build a
+/// circuit (library invariant).
+pub fn run() -> Exp0Report {
+    let predictions = predict(&CircuitParams::paper_fig5()).expect("calibrated params build");
+    let design =
+        MrrFirstDesign::solve(&MrrFirstInputs::paper_section_va()).expect("paper design point");
+    Exp0Report {
+        predictions,
+        paper: Fig5Targets::paper(),
+        min_pump_mw: design.min_pump_power.as_mw(),
+        required_er_db: design.required_er.as_db(),
+    }
+}
+
+/// Prints the paper-vs-measured comparison.
+pub fn print(report: &Exp0Report) {
+    println!("EXP-0  Section V.A design point (2nd-order, MRR-first)");
+    let p = &report.predictions;
+    let t = &report.paper;
+    println!(
+        "{}",
+        crate::compare_line("T(λ2) case A (z=010, x=11)", t.t_lambda2_case_a, p.t_lambda2_case_a, "")
+    );
+    println!(
+        "{}",
+        crate::compare_line("T(λ1) case A", t.t_lambda1_case_a, p.t_lambda1_case_a, "")
+    );
+    println!(
+        "{}",
+        crate::compare_line("T(λ0) case A", t.t_lambda0_case_a, p.t_lambda0_case_a, "")
+    );
+    println!(
+        "{}",
+        crate::compare_line("T(λ0) case B (z=110, x=00)", t.t_lambda0_case_b, p.t_lambda0_case_b, "")
+    );
+    println!(
+        "{}",
+        crate::compare_line("received case A", t.received_case_a_mw, p.received_case_a_mw, "mW")
+    );
+    println!(
+        "{}",
+        crate::compare_line("received case B", t.received_case_b_mw, p.received_case_b_mw, "mW")
+    );
+    println!(
+        "{}",
+        crate::compare_line("minimum pump power", 591.8, report.min_pump_mw, "mW")
+    );
+    println!(
+        "{}",
+        crate::compare_line("required extinction ratio", 13.22, report.required_er_db, "dB")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_matches_paper_within_tolerance() {
+        let r = run();
+        assert!((r.min_pump_mw - 591.8).abs() < 0.2);
+        assert!((r.required_er_db - 13.22).abs() < 0.01);
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(rel(r.predictions.t_lambda2_case_a, r.paper.t_lambda2_case_a) < 0.1);
+        assert!(rel(r.predictions.received_case_b_mw, r.paper.received_case_b_mw) < 0.05);
+    }
+}

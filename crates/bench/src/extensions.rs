@@ -1,0 +1,163 @@
+//! EXP-X: quantitative studies of the paper's future-work items, beyond
+//! the published figures (recorded in EXPERIMENTS.md §Beyond the paper).
+
+use osc_core::controller::{CalibrationController, ThermalDrift};
+use osc_core::params::CircuitParams;
+use osc_core::snr::SnrModel;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_photonics::apd::ApdDetector;
+use osc_stochastic::bitstream::BitStream;
+use osc_stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
+use osc_transient::engine::{TimingConfig, TransientSimulator};
+use osc_transient::eye::{sampling_window, scan_offsets, window_width_seconds, ThresholdMode};
+use osc_transient::tradeoff::{rate_sweep, RatePoint};
+use osc_units::{Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+/// EXP-X report: all extension studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtensionsReport {
+    /// PIN minimum probe power at BER 1e-6, mW.
+    pub pin_probe_mw: f64,
+    /// APD minimum probe power at BER 1e-6, mW.
+    pub apd_probe_mw: f64,
+    /// APD SNR improvement factor.
+    pub apd_improvement: f64,
+    /// Peak thermal drift applied, nm.
+    pub drift_peak_nm: f64,
+    /// Worst residual after lock acquisition, nm.
+    pub locked_residual_nm: f64,
+    /// Usable sampling window with the pulsed pump, ps.
+    pub pulsed_window_ps: f64,
+    /// Usable sampling window with a CW pump, ps.
+    pub cw_window_ps: f64,
+    /// Decision error rate vs modulation rate.
+    pub rate_points: Vec<RatePoint>,
+}
+
+fn window_ps(pulsed: bool) -> f64 {
+    let timing = TimingConfig {
+        pump_pulse_fwhm: pulsed.then_some(26e-12),
+        samples_per_bit: 128,
+        ..TimingConfig::default()
+    };
+    let sim = TransientSimulator::new(CircuitParams::paper_fig5(), timing)
+        .expect("paper params build");
+    let mut sng = XoshiroSng::new(3);
+    let len = 96;
+    let data: Vec<BitStream> = (0..2)
+        .map(|_| sng.generate(0.5, len).expect("valid p"))
+        .collect();
+    let coeffs: Vec<BitStream> = (0..3)
+        .map(|_| sng.generate(0.5, len).expect("valid p"))
+        .collect();
+    let trace = sim.run(&data, &coeffs).expect("streams consistent");
+    let mut rng = Xoshiro256PlusPlus::new(5);
+    let pts = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 128, &mut rng);
+    sampling_window(&pts, 0.02)
+        .map(|w| window_width_seconds(w, trace.bit_period) * 1e12)
+        .unwrap_or(0.0)
+}
+
+/// Runs every extension study.
+///
+/// # Panics
+///
+/// Panics only if the shipped configurations fail to build (library
+/// invariant).
+pub fn run() -> ExtensionsReport {
+    let params = CircuitParams::paper_fig5();
+
+    // APD receiver.
+    let apd = ApdDetector::steindl_2014(params.detector().expect("detector"))
+        .expect("APD constants valid");
+    let pin_probe = SnrModel::new(&params)
+        .expect("snr model")
+        .min_probe_power_for_ber(1e-6)
+        .expect("feasible");
+    let apd_probe = SnrModel::new(&params)
+        .expect("snr model")
+        .with_detector(apd.effective_detector().expect("valid APD"))
+        .min_probe_power_for_ber(1e-6)
+        .expect("feasible");
+
+    // Thermal lock.
+    let mut controller =
+        CalibrationController::new(params, Nanometers::new(0.02)).expect("params valid");
+    let drift = ThermalDrift::silicon(1.0, 120.0);
+    let record = controller.track(&drift, 120).expect("tracking runs");
+    let drift_peak_nm = record.iter().map(|r| r.drift_nm.abs()).fold(0.0, f64::max);
+    let locked_residual_nm = record[20..]
+        .iter()
+        .map(|r| r.residual_nm.abs())
+        .fold(0.0, f64::max);
+
+    // Sampling windows.
+    let pulsed_window_ps = window_ps(true);
+    let cw_window_ps = window_ps(false);
+
+    // Rate sweep.
+    let mut sng = XoshiroSng::new(21);
+    let rate_points = rate_sweep(&params, &[1.0, 4.0, 10.0, 20.0], 48, &mut sng, 9)
+        .expect("rates feasible");
+
+    ExtensionsReport {
+        pin_probe_mw: pin_probe.as_mw(),
+        apd_probe_mw: apd_probe.as_mw(),
+        apd_improvement: apd.snr_improvement(),
+        drift_peak_nm,
+        locked_residual_nm,
+        pulsed_window_ps,
+        cw_window_ps,
+        rate_points,
+    }
+}
+
+/// Prints EXP-X.
+pub fn print(report: &ExtensionsReport) {
+    println!("EXP-X  future-work extension studies");
+    println!(
+        "  APD receiver: probe power {:.4} mW -> {:.6} mW ({:.1}x SNR improvement)",
+        report.pin_probe_mw, report.apd_probe_mw, report.apd_improvement
+    );
+    println!(
+        "  thermal lock: peak drift {:.3} nm, locked residual {:.3} nm",
+        report.drift_peak_nm, report.locked_residual_nm
+    );
+    println!(
+        "  sampling window @<2% error: pulsed pump {:.0} ps vs CW {:.0} ps (1 ns slot)",
+        report.pulsed_window_ps, report.cw_window_ps
+    );
+    let rows: Vec<Vec<String>> = report
+        .rate_points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.rate_gbps),
+                format!("{:.4}", p.decision_error_rate),
+                format!("{:.4}", p.estimate_error),
+            ]
+        })
+        .collect();
+    crate::print_table(&["Gb/s", "decision error", "estimate error"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_studies_hold() {
+        let r = run();
+        // APD cuts probe power by its SNR improvement.
+        assert!(r.apd_probe_mw < r.pin_probe_mw / 10.0);
+        // Lock residual is far below the applied drift.
+        assert!(r.locked_residual_nm < r.drift_peak_nm / 2.0);
+        // Pulsed window is much narrower than CW.
+        assert!(r.pulsed_window_ps < r.cw_window_ps / 2.0);
+        // Error grows with rate.
+        let first = r.rate_points.first().unwrap();
+        let last = r.rate_points.last().unwrap();
+        assert!(last.decision_error_rate >= first.decision_error_rate);
+    }
+}

@@ -1,0 +1,82 @@
+//! EXP-F1: the Fig. 1(b) ReSC background example.
+//!
+//! `f1(x) = 1/4 + 9x/8 − 15x²/8 + 5x³/4` with Bernstein coefficients
+//! `(2/8, 5/8, 3/8, 6/8)` evaluated at `x = 0.5`; the paper's 8-bit toy
+//! streams produce 4/8 = 0.5.
+
+use osc_stochastic::polynomial::Polynomial;
+use osc_stochastic::resc::ReScUnit;
+use osc_stochastic::sng::XoshiroSng;
+use serde::{Deserialize, Serialize};
+
+/// Record of the Fig. 1(b) example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1bReport {
+    /// Bernstein coefficients derived from the power form.
+    pub bernstein_coeffs: Vec<f64>,
+    /// Exact value at x = 0.5.
+    pub exact: f64,
+    /// Stochastic estimates at increasing stream lengths.
+    pub estimates: Vec<(usize, f64)>,
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics only on internal invariant violations (coefficients of the
+/// paper's polynomial are valid probabilities).
+pub fn run() -> Fig1bReport {
+    let poly = Polynomial::paper_f1();
+    let bernstein = poly.to_bernstein().expect("paper coefficients are valid");
+    let unit = ReScUnit::new(bernstein.clone());
+    let mut sng = XoshiroSng::new(2019);
+    let estimates = [8usize, 64, 1024, 16384]
+        .iter()
+        .map(|&len| (len, unit.evaluate(0.5, len, &mut sng).estimate))
+        .collect();
+    Fig1bReport {
+        bernstein_coeffs: bernstein.coeffs().to_vec(),
+        exact: poly.eval(0.5),
+        estimates,
+    }
+}
+
+/// Prints the report.
+pub fn print(report: &Fig1bReport) {
+    println!("EXP-F1  Fig. 1(b) ReSC example: f1(x) at x = 0.5");
+    println!(
+        "  Bernstein coefficients: {:?}  (paper: [0.25, 0.625, 0.375, 0.75])",
+        report.bernstein_coeffs
+    );
+    println!("  exact f1(0.5) = {} (paper: 4/8)", report.exact);
+    let rows: Vec<Vec<String>> = report
+        .estimates
+        .iter()
+        .map(|(len, est)| {
+            vec![
+                len.to_string(),
+                format!("{est:.4}"),
+                format!("{:.4}", (est - report.exact).abs()),
+            ]
+        })
+        .collect();
+    crate::print_table(&["stream bits", "estimate", "|error|"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_example() {
+        let r = run();
+        assert_eq!(r.bernstein_coeffs.len(), 4);
+        assert!((r.bernstein_coeffs[0] - 0.25).abs() < 1e-12);
+        assert!((r.bernstein_coeffs[3] - 0.75).abs() < 1e-12);
+        assert!((r.exact - 0.5).abs() < 1e-12);
+        // Long stream converges.
+        let (_, last) = r.estimates[r.estimates.len() - 1];
+        assert!((last - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,180 @@
+//! EXP-5A/5B/5C: Fig. 5 — transmission spectra and the exhaustive
+//! received-power table validating optical de-randomization.
+
+use osc_core::architecture::{OpticalScCircuit, PowerBands};
+use osc_core::params::CircuitParams;
+use osc_core::transmission::TransmissionModel;
+use serde::{Deserialize, Serialize};
+
+/// Spectra for one Fig. 5 case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectraReport {
+    /// Input description.
+    pub label: String,
+    /// Sampled wavelengths, nm.
+    pub wavelengths: Vec<f64>,
+    /// Through-transmission curve per modulator.
+    pub modulator_curves: Vec<Vec<f64>>,
+    /// Filter drop curve under the case's control power.
+    pub filter_curve: Vec<f64>,
+    /// Per-channel total transmission.
+    pub channel_transmissions: Vec<f64>,
+    /// Total received power at 1 mW probes, mW.
+    pub received_mw: f64,
+}
+
+fn spectra_case(label: &str, z: [bool; 3], x: [bool; 2], points: usize) -> SpectraReport {
+    let model =
+        TransmissionModel::new(&CircuitParams::paper_fig5()).expect("calibrated params build");
+    let (wavelengths, modulator_curves, filter_curve) =
+        model.spectra(&z, &x, points).expect("valid arities");
+    let channel_transmissions = model.all_transmissions(&z, &x).expect("valid arities");
+    let received_mw = channel_transmissions.iter().sum();
+    SpectraReport {
+        label: label.to_string(),
+        wavelengths,
+        modulator_curves,
+        filter_curve,
+        channel_transmissions,
+        received_mw,
+    }
+}
+
+/// EXP-5A: z = (0,1,0), x1 = x2 = 1 (filter on λ2).
+pub fn run_fig5a() -> SpectraReport {
+    spectra_case("z=(0,1,0), x=(1,1)", [false, true, false], [true, true], 121)
+}
+
+/// EXP-5B: z = (1,1,0), x1 = x2 = 0 (filter on λ0).
+pub fn run_fig5b() -> SpectraReport {
+    spectra_case("z=(1,1,0), x=(0,0)", [true, true, false], [false, false], 121)
+}
+
+/// EXP-5C: the exhaustive received-power table and its 0/1 bands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5cReport {
+    /// One row per (x, z) combination.
+    pub rows: Vec<Fig5cRow>,
+    /// Received-power bands.
+    pub zero_band_mw: (f64, f64),
+    /// Received-power bands.
+    pub one_band_mw: (f64, f64),
+}
+
+/// One input combination of the Fig. 5(c) sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5cRow {
+    /// Data word rendered as `x2x1`.
+    pub x_label: String,
+    /// Coefficient word rendered as `z2z1z0`.
+    pub z_label: String,
+    /// Transmitted logical bit.
+    pub bit: bool,
+    /// Received power, mW.
+    pub received_mw: f64,
+}
+
+/// Runs EXP-5C.
+///
+/// # Panics
+///
+/// Panics only if the calibrated parameters fail to build (library
+/// invariant).
+pub fn run_fig5c() -> Fig5cReport {
+    let circuit = OpticalScCircuit::new(CircuitParams::paper_fig5()).expect("params build");
+    let table = circuit.power_level_table().expect("order 2 table");
+    let bands: PowerBands = circuit.power_bands().expect("bands");
+    let rows = table
+        .iter()
+        .map(|r| Fig5cRow {
+            x_label: format!(
+                "{}{}",
+                u8::from(r.x_bits[1]),
+                u8::from(r.x_bits[0])
+            ),
+            z_label: format!(
+                "{}{}{}",
+                u8::from(r.z_bits[2]),
+                u8::from(r.z_bits[1]),
+                u8::from(r.z_bits[0])
+            ),
+            bit: r.transmitted_bit,
+            received_mw: r.received.as_mw(),
+        })
+        .collect();
+    Fig5cReport {
+        rows,
+        zero_band_mw: (bands.zero_min.as_mw(), bands.zero_max.as_mw()),
+        one_band_mw: (bands.one_min.as_mw(), bands.one_max.as_mw()),
+    }
+}
+
+/// Prints a spectra report (EXP-5A/5B).
+pub fn print_spectra(tag: &str, report: &SpectraReport) {
+    println!("{tag}  MRR/filter spectra, {}", report.label);
+    let rows: Vec<Vec<String>> = report
+        .channel_transmissions
+        .iter()
+        .enumerate()
+        .map(|(i, t)| vec![format!("λ{i}"), format!("{t:.4}")])
+        .collect();
+    crate::print_table(&["channel", "total transmission"], &rows);
+    println!("  received @1 mW probes: {:.4} mW", report.received_mw);
+}
+
+/// Prints EXP-5C.
+pub fn print_fig5c(report: &Fig5cReport) {
+    println!("EXP-5C  received power for all input combinations (1 mW probes)");
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.x_label.clone(),
+                r.z_label.clone(),
+                u8::from(r.bit).to_string(),
+                format!("{:.4}", r.received_mw),
+            ]
+        })
+        .collect();
+    crate::print_table(&["x2x1", "z2z1z0", "bit", "received mW"], &rows);
+    println!(
+        "  '0' band: {:.4}–{:.4} mW (paper: 0.092–0.099)",
+        report.zero_band_mw.0, report.zero_band_mw.1
+    );
+    println!(
+        "  '1' band: {:.4}–{:.4} mW (paper: 0.477–0.482)",
+        report.one_band_mw.0, report.one_band_mw.1
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_channel2_dominates() {
+        let r = run_fig5a();
+        assert!(r.channel_transmissions[2] > 10.0 * r.channel_transmissions[1]);
+        assert!((r.received_mw - 0.0952).abs() < 0.01);
+        assert_eq!(r.modulator_curves.len(), 3);
+        assert_eq!(r.wavelengths.len(), 121);
+    }
+
+    #[test]
+    fn fig5b_strong_one() {
+        let r = run_fig5b();
+        assert!((r.channel_transmissions[0] - 0.476).abs() < 0.02);
+        assert!((r.received_mw - 0.482).abs() < 0.02);
+    }
+
+    #[test]
+    fn fig5c_bands_separated() {
+        let r = run_fig5c();
+        assert_eq!(r.rows.len(), 32);
+        assert!(r.one_band_mw.0 > r.zero_band_mw.1);
+        // Bands near the paper's ranges.
+        assert!((r.zero_band_mw.0 - 0.092).abs() < 0.02, "{:?}", r.zero_band_mw);
+        assert!((r.one_band_mw.1 - 0.482).abs() < 0.03, "{:?}", r.one_band_mw);
+    }
+}

@@ -1,0 +1,188 @@
+//! EXP-6A/6B/6C: Fig. 6 — minimum probe laser power studies
+//! (MZI-first method, 0.6 W pump, 2nd-order circuit).
+
+use osc_core::design::space::{
+    fig6a_grid, fig6b_ber_sweep, fig6c_devices, BerSweepPoint, DevicePoint, GridCell,
+};
+use osc_photonics::devices;
+use osc_units::DbRatio;
+use serde::{Deserialize, Serialize};
+
+/// EXP-6A report: the (IL, ER) grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6aReport {
+    /// Grid cells, row-major (IL outer).
+    pub cells: Vec<GridCell>,
+    /// The Xiao et al. design point (IL 6.5 dB, ER 7.5 dB), mW.
+    pub xiao_probe_mw: f64,
+}
+
+/// Runs EXP-6A over the paper's plotted ranges.
+pub fn run_fig6a() -> Fig6aReport {
+    let il = osc_math::linspace(3.0, 7.4, 12);
+    let er = osc_math::linspace(4.0, 7.6, 10);
+    let cells = fig6a_grid(&il, &er, 1e-6, 8);
+    let xiao = osc_core::design::mzi_first::MziFirstDesign::solve(
+        &osc_core::design::mzi_first::MziFirstInputs::paper_fig6(
+            DbRatio::from_db(6.5),
+            DbRatio::from_db(7.5),
+        ),
+    )
+    .expect("Xiao point feasible");
+    Fig6aReport {
+        cells,
+        xiao_probe_mw: xiao.min_probe_power.as_mw(),
+    }
+}
+
+/// EXP-6B report: probe power vs BER target (Xiao MZI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6bReport {
+    /// Sweep points.
+    pub points: Vec<BerSweepPoint>,
+    /// Power ratio BER 1e-2 / BER 1e-6 (paper: ≈ 50%).
+    pub relaxation_ratio: f64,
+}
+
+/// Runs EXP-6B.
+///
+/// # Panics
+///
+/// Panics if the Xiao design point is infeasible (library invariant).
+pub fn run_fig6b() -> Fig6bReport {
+    let points = fig6b_ber_sweep(
+        DbRatio::from_db(6.5),
+        DbRatio::from_db(7.5),
+        &[1e-2, 1e-3, 1e-4, 1e-5, 1e-6],
+    )
+    .expect("Xiao sweep feasible");
+    let relaxation_ratio =
+        points[0].min_probe_power.as_mw() / points[points.len() - 1].min_probe_power.as_mw();
+    Fig6bReport {
+        points,
+        relaxation_ratio,
+    }
+}
+
+/// EXP-6C report: the literature device comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6cReport {
+    /// One entry per device bar of Fig. 6(c).
+    pub points: Vec<DevicePoint>,
+}
+
+/// Runs EXP-6C.
+pub fn run_fig6c() -> Fig6cReport {
+    Fig6cReport {
+        points: fig6c_devices(&devices::fig6_devices(), 1e-6),
+    }
+}
+
+/// Prints EXP-6A.
+pub fn print_fig6a(report: &Fig6aReport) {
+    println!("EXP-6A  min probe power vs MZI IL/ER (pump 0.6 W, BER 1e-6)");
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.2}", c.il_db),
+                format!("{:.2}", c.er_db),
+                c.min_probe_power
+                    .map(|p| format!("{:.4}", p.as_mw()))
+                    .unwrap_or_else(|| "infeasible".into()),
+                c.wl_spacing
+                    .map(|s| format!("{:.3}", s.as_nm()))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    crate::print_table(&["IL dB", "ER dB", "probe mW", "spacing nm"], &rows);
+    println!(
+        "{}",
+        crate::compare_line("Xiao et al. point (IL 6.5, ER 7.5)", 0.26, report.xiao_probe_mw, "mW")
+    );
+}
+
+/// Prints EXP-6B.
+pub fn print_fig6b(report: &Fig6bReport) {
+    println!("EXP-6B  min probe power vs target BER (Xiao MZI)");
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0e}", p.target_ber),
+                format!("{:.4}", p.min_probe_power.as_mw()),
+            ]
+        })
+        .collect();
+    crate::print_table(&["target BER", "probe mW"], &rows);
+    println!(
+        "{}",
+        crate::compare_line("power ratio 1e-2 vs 1e-6", 0.50, report.relaxation_ratio, "")
+    );
+}
+
+/// Prints EXP-6C.
+pub fn print_fig6c(report: &Fig6cReport) {
+    println!("EXP-6C  min probe power per literature MZI (BER 1e-6)");
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.0}", p.speed_gbps),
+                format!("{:.2}", p.phase_shifter_length_mm),
+                p.min_probe_power
+                    .map(|v| format!("{:.4}", v.as_mw()))
+                    .unwrap_or_else(|| "infeasible".into()),
+            ]
+        })
+        .collect();
+    crate::print_table(&["device", "Gb/s", "PSL mm", "probe mW"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6a_xiao_matches_paper() {
+        let r = run_fig6a();
+        assert!((r.xiao_probe_mw - 0.26).abs() < 0.01, "{}", r.xiao_probe_mw);
+        assert_eq!(r.cells.len(), 120);
+        assert!(r.cells.iter().all(|c| c.min_probe_power.is_some()));
+    }
+
+    #[test]
+    fn fig6a_probe_powers_in_paper_range() {
+        // The paper's Fig. 6(a) axis spans ~0.24–0.36 mW.
+        let r = run_fig6a();
+        for c in &r.cells {
+            let p = c.min_probe_power.unwrap().as_mw();
+            assert!(p > 0.15 && p < 0.55, "IL {} ER {}: {p}", c.il_db, c.er_db);
+        }
+    }
+
+    #[test]
+    fn fig6b_fifty_percent_reduction() {
+        let r = run_fig6b();
+        assert!((r.relaxation_ratio - 0.489).abs() < 0.02, "{}", r.relaxation_ratio);
+        // Monotone increase with tighter BER.
+        for w in r.points.windows(2) {
+            assert!(w[1].min_probe_power > w[0].min_probe_power);
+        }
+    }
+
+    #[test]
+    fn fig6c_all_devices_feasible() {
+        let r = run_fig6c();
+        assert_eq!(r.points.len(), 4);
+        for p in &r.points {
+            let v = p.min_probe_power.expect("feasible").as_mw();
+            assert!(v > 0.05 && v < 0.6, "{}: {v}", p.label);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! EXP-7A/7B: Fig. 7 — laser energy per computed bit.
+//!
+//! Paper claims reproduced here: an interior optimal wavelength spacing
+//! (≈0.165 nm) whose position is (nearly) independent of the polynomial
+//! degree; ≈20.1 pJ/bit for the 2nd-order circuit at the optimum;
+//! ≈76.6% saving vs. the 1 nm plan; ≈600 pJ/bit at order 16 with 1 nm.
+
+use osc_core::energy::{scaling_study, EnergyAssumptions, EnergyBreakdown, EnergyModel, ScalingPoint};
+use serde::{Deserialize, Serialize};
+
+/// EXP-7A report: energy vs wavelength spacing per order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7aReport {
+    /// Orders swept (2, 4, 6 in the paper).
+    pub orders: Vec<usize>,
+    /// Per-order sweep curves.
+    pub curves: Vec<Vec<EnergyBreakdown>>,
+    /// Per-order optimal points.
+    pub optima: Vec<EnergyBreakdown>,
+}
+
+/// Runs EXP-7A over the paper's 0.1–0.3 nm range (extended slightly right
+/// so the optimum is interior for every order).
+///
+/// # Panics
+///
+/// Panics if no feasible optimum exists (library invariant for the
+/// shipped profiles).
+pub fn run_fig7a() -> Fig7aReport {
+    let orders = vec![2usize, 4, 6];
+    let spacings = osc_math::linspace(0.10, 0.32, 23);
+    let assumptions = EnergyAssumptions::default();
+    let mut curves = Vec::new();
+    let mut optima = Vec::new();
+    for &n in &orders {
+        let model = EnergyModel::new(n, assumptions);
+        curves.push(model.sweep(&spacings));
+        optima.push(model.optimal_spacing(0.1, 0.6).expect("feasible optimum"));
+    }
+    Fig7aReport {
+        orders,
+        curves,
+        optima,
+    }
+}
+
+/// EXP-7B report: energy vs order at 1 nm and optimal spacing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7bReport {
+    /// One point per order (2, 4, 8, 12, 16 in the paper).
+    pub points: Vec<ScalingPoint>,
+    /// Mean energy saving across orders.
+    pub mean_saving: f64,
+}
+
+/// Runs EXP-7B.
+///
+/// # Panics
+///
+/// Panics if a design point is infeasible (library invariant).
+pub fn run_fig7b() -> Fig7bReport {
+    let points = scaling_study(
+        &[2, 4, 8, 12, 16],
+        EnergyAssumptions::default(),
+        0.1,
+        0.6,
+    )
+    .expect("all orders feasible");
+    let mean_saving =
+        points.iter().map(ScalingPoint::saving_fraction).sum::<f64>() / points.len() as f64;
+    Fig7bReport {
+        points,
+        mean_saving,
+    }
+}
+
+/// Prints EXP-7A.
+pub fn print_fig7a(report: &Fig7aReport) {
+    println!("EXP-7A  laser energy per bit vs wavelength spacing (1 Gb/s, 26 ps pump pulses, η = 20%)");
+    for (n, curve) in report.orders.iter().zip(&report.curves) {
+        println!("  order n = {n}:");
+        let rows: Vec<Vec<String>> = curve
+            .iter()
+            .map(|b| {
+                vec![
+                    format!("{:.3}", b.wl_spacing.as_nm()),
+                    format!("{:.2}", b.pump_energy.as_pj()),
+                    format!("{:.2}", b.probe_energy.as_pj()),
+                    format!("{:.2}", b.total().as_pj()),
+                ]
+            })
+            .collect();
+        crate::print_table(&["spacing nm", "pump pJ", "probe pJ", "total pJ"], &rows);
+    }
+    for (n, opt) in report.orders.iter().zip(&report.optima) {
+        println!(
+            "  n={n}: optimal spacing {:.3} nm, total {:.2} pJ/bit",
+            opt.wl_spacing.as_nm(),
+            opt.total().as_pj()
+        );
+    }
+    println!(
+        "{}",
+        crate::compare_line(
+            "optimal spacing (n=2)",
+            0.165,
+            report.optima[0].wl_spacing.as_nm(),
+            "nm"
+        )
+    );
+    println!(
+        "{}",
+        crate::compare_line(
+            "total energy at optimum (n=2)",
+            20.1,
+            report.optima[0].total().as_pj(),
+            "pJ"
+        )
+    );
+}
+
+/// Prints EXP-7B.
+pub fn print_fig7b(report: &Fig7bReport) {
+    println!("EXP-7B  total laser energy vs polynomial order");
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.order.to_string(),
+                format!("{:.1}", p.energy_at_1nm.as_pj()),
+                format!("{:.1}", p.energy_at_optimal.as_pj()),
+                format!("{:.3}", p.optimal_spacing.as_nm()),
+                format!("{:.1}%", p.saving_fraction() * 100.0),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        &["order", "1 nm pJ", "optimal pJ", "opt spacing nm", "saving"],
+        &rows,
+    );
+    println!(
+        "{}",
+        crate::compare_line("mean energy saving", 0.766, report.mean_saving, "")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_optimum_near_paper_value() {
+        let r = run_fig7a();
+        let opt2 = r.optima[0].wl_spacing.as_nm();
+        assert!((opt2 - 0.165).abs() < 0.03, "n=2 optimum {opt2}");
+        let total2 = r.optima[0].total().as_pj();
+        assert!((total2 - 20.1).abs() < 4.0, "n=2 total {total2}");
+    }
+
+    #[test]
+    fn fig7a_optimum_order_independent() {
+        let r = run_fig7a();
+        let spread = r
+            .optima
+            .iter()
+            .map(|o| o.wl_spacing.as_nm())
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+                (lo.min(s), hi.max(s))
+            });
+        assert!(
+            spread.1 - spread.0 < 0.05,
+            "optima spread {:?}",
+            spread
+        );
+    }
+
+    #[test]
+    fn fig7a_pump_and_probe_trends() {
+        let r = run_fig7a();
+        let curve = &r.curves[0];
+        assert!(curve.len() > 10);
+        // Pump monotone up, probe monotone down along the sweep.
+        for w in curve.windows(2) {
+            assert!(w[1].pump_energy >= w[0].pump_energy);
+            assert!(w[1].probe_energy <= w[0].probe_energy * 1.001);
+        }
+    }
+
+    #[test]
+    fn fig7b_matches_paper_shape() {
+        let r = run_fig7b();
+        assert_eq!(r.points.len(), 5);
+        // ~600 pJ at order 16 with 1 nm spacing (paper's axis).
+        let p16 = r.points.last().unwrap();
+        assert!(
+            (p16.energy_at_1nm.as_pj() - 600.0).abs() < 60.0,
+            "n=16 at 1nm: {}",
+            p16.energy_at_1nm
+        );
+        // Savings near the paper's 76.6%.
+        assert!(
+            (r.mean_saving - 0.766).abs() < 0.08,
+            "mean saving {}",
+            r.mean_saving
+        );
+        // Energy grows monotonically with order at both spacings.
+        for w in r.points.windows(2) {
+            assert!(w[1].energy_at_1nm > w[0].energy_at_1nm);
+            assert!(w[1].energy_at_optimal > w[0].energy_at_optimal);
+        }
+    }
+}

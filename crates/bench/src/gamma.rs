@@ -1,0 +1,95 @@
+//! EXP-G: the Section V.C gamma-correction workload and the 10× speedup
+//! claim (1 GHz optical circuit vs. the 100 MHz CMOS ReSC of \[9\]).
+
+use osc_apps::backend::{
+    throughput_evals_per_second, ElectronicBackend, ExactBackend, OpticalBackend,
+};
+use osc_apps::gamma_app::{paper_gamma_polynomial, run_gamma, GammaRunReport};
+use osc_apps::image::Image;
+use osc_core::params::CircuitParams;
+use osc_units::Nanometers;
+use serde::{Deserialize, Serialize};
+
+/// EXP-G report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaReport {
+    /// Per-backend quality/throughput reports.
+    pub runs: Vec<GammaRunReport>,
+    /// Optical-over-electronic speedup at equal stream length.
+    pub speedup: f64,
+}
+
+/// Runs gamma correction on a small synthetic image with the exact,
+/// electronic and optical backends.
+///
+/// The optical backend uses a 6th-order circuit at the energy-optimal
+/// wavelength spacing.
+///
+/// # Panics
+///
+/// Panics if any backend fails on the shipped configuration (library
+/// invariant).
+pub fn run() -> GammaReport {
+    let poly = paper_gamma_polynomial().expect("gamma fit");
+    let image = Image::blobs(24, 24);
+    let stream = 2048usize;
+
+    let mut exact = ExactBackend::new(poly.clone());
+    let mut electronic = ElectronicBackend::new(poly.clone(), stream, 11);
+    let params = CircuitParams::paper_fig7(6, Nanometers::new(0.165));
+    let mut optical =
+        OpticalBackend::new(params, poly, stream, 13).expect("6th-order circuit builds");
+
+    let runs = vec![
+        run_gamma(&image, &mut exact).expect("exact run"),
+        run_gamma(&image, &mut electronic).expect("electronic run"),
+        run_gamma(&image, &mut optical).expect("optical run"),
+    ];
+    let speedup =
+        throughput_evals_per_second(&optical) / throughput_evals_per_second(&electronic);
+    GammaReport { runs, speedup }
+}
+
+/// Prints EXP-G.
+pub fn print(report: &GammaReport) {
+    println!("EXP-G  gamma correction (6th-order Bernstein, γ = 0.45)");
+    let rows: Vec<Vec<String>> = report
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                format!("{:.1}", r.psnr_db),
+                format!("{:.4}", r.mae),
+                format!("{:.3e}", r.evals_per_second),
+            ]
+        })
+        .collect();
+    crate::print_table(&["backend", "PSNR dB", "MAE", "pixels/s"], &rows);
+    println!(
+        "{}",
+        crate::compare_line("optical vs CMOS speedup", 10.0, report.speedup, "x")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_ten() {
+        let r = run();
+        assert!((r.speedup - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_backends_track_exact() {
+        let r = run();
+        assert_eq!(r.runs.len(), 3);
+        // Exact fit quality bound: PSNR > 25 dB against the true map.
+        assert!(r.runs[0].psnr_db > 25.0);
+        // Stochastic backends land within a few dB of the exact fit.
+        assert!(r.runs[1].psnr_db > 20.0, "electronic {}", r.runs[1].psnr_db);
+        assert!(r.runs[2].psnr_db > 18.0, "optical {}", r.runs[2].psnr_db);
+    }
+}

@@ -1,0 +1,197 @@
+//! The optical stochastic adder: pump splitter + MZI bank + combiner
+//! (paper Fig. 4(a) left, Eq. 7.b).
+//!
+//! Each data bit `x_i` drives one MZI. The pump power splits `1/n` ways,
+//! each branch is attenuated by `IL%` (constructive, `x=0`) or `IL%·ER%`
+//! (destructive, `x=1`), and the branches recombine into the control
+//! signal:
+//!
+//! `OP_control = OP_pump · (1/n) · Σ_i T_MZI(x_i)`
+//!
+//! Because all MZIs are identical, the control power depends only on the
+//! *count* of ones — exactly the quantity the ReSC multiplexer needs.
+
+use crate::{params::CircuitParams, CircuitError};
+use osc_photonics::coupler::{Combiner, Splitter};
+use osc_photonics::mzi::MziModulator;
+use osc_units::Milliwatts;
+
+/// The MZI-bank stochastic adder.
+#[derive(Debug, Clone)]
+pub struct OpticalAdder {
+    mzis: Vec<MziModulator>,
+    splitter: Splitter,
+    combiner: Combiner,
+    pump: Milliwatts,
+}
+
+impl OpticalAdder {
+    /// Builds the adder from circuit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural validation failures.
+    pub fn new(params: &CircuitParams) -> Result<Self, CircuitError> {
+        params.validate()?;
+        let n = params.order;
+        Ok(OpticalAdder {
+            mzis: vec![params.mzi(); n],
+            splitter: Splitter::ideal(n)?,
+            combiner: Combiner::ideal(n)?,
+            pump: params.pump_power,
+        })
+    }
+
+    /// Number of MZIs (= polynomial order `n`).
+    pub fn order(&self) -> usize {
+        self.mzis.len()
+    }
+
+    /// Pump power feeding the splitter.
+    pub fn pump_power(&self) -> Milliwatts {
+        self.pump
+    }
+
+    /// Total pump-to-control transmission for a data word
+    /// (`(1/n)·Σ T_MZI(x_i)`, Eq. 7.a's power factor).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ArityMismatch`] if `bits.len() != n`.
+    pub fn transmission(&self, bits: &[bool]) -> Result<f64, CircuitError> {
+        if bits.len() != self.mzis.len() {
+            return Err(CircuitError::ArityMismatch {
+                what: "data bits",
+                expected: self.mzis.len(),
+                got: bits.len(),
+            });
+        }
+        let total: f64 = self
+            .mzis
+            .iter()
+            .zip(bits)
+            .map(|(mzi, &b)| mzi.transmission_for_bit(b))
+            .sum();
+        Ok(total / self.mzis.len() as f64)
+    }
+
+    /// Control power for a data word.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ArityMismatch`] if `bits.len() != n`.
+    pub fn control_power(&self, bits: &[bool]) -> Result<Milliwatts, CircuitError> {
+        Ok(self.pump * self.transmission(bits)?)
+    }
+
+    /// Control power when exactly `ones` of the `n` data bits are 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ones > n`.
+    pub fn control_power_for_count(&self, ones: usize) -> Milliwatts {
+        let n = self.mzis.len();
+        assert!(ones <= n, "count {ones} exceeds order {n}");
+        let mzi = &self.mzis[0];
+        let t = ((n - ones) as f64 * mzi.transmission_for_bit(false)
+            + ones as f64 * mzi.transmission_for_bit(true))
+            / n as f64;
+        self.pump * t
+    }
+
+    /// The `n+1` control power levels for counts `0..=n`, descending in
+    /// power (count 0 = all constructive = maximum).
+    pub fn levels(&self) -> Vec<Milliwatts> {
+        (0..=self.mzis.len())
+            .map(|k| self.control_power_for_count(k))
+            .collect()
+    }
+
+    /// The splitter feeding the bank (exposed for loss budgeting).
+    pub fn splitter(&self) -> &Splitter {
+        &self.splitter
+    }
+
+    /// The combiner collecting the branches.
+    pub fn combiner(&self) -> &Combiner {
+        &self.combiner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CircuitParams;
+
+    fn adder() -> OpticalAdder {
+        OpticalAdder::new(&CircuitParams::paper_fig5()).unwrap()
+    }
+
+    #[test]
+    fn control_depends_only_on_count() {
+        let a = adder();
+        let p01 = a.control_power(&[false, true]).unwrap();
+        let p10 = a.control_power(&[true, false]).unwrap();
+        assert!((p01.as_mw() - p10.as_mw()).abs() < 1e-12);
+        assert!(
+            (p01.as_mw() - a.control_power_for_count(1).as_mw()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn levels_are_monotone_decreasing_in_count() {
+        let a = adder();
+        let levels = a.levels();
+        assert_eq!(levels.len(), 3);
+        assert!(levels[0] > levels[1]);
+        assert!(levels[1] > levels[2]);
+    }
+
+    #[test]
+    fn paper_detuning_energies() {
+        // With the Fig. 5 parameters the three levels must map (via
+        // OTE = 0.01 nm/mW) to detunings 2.1, 1.1 and 0.1 nm.
+        let a = adder();
+        let levels = a.levels();
+        let ote = 0.01;
+        let detunings: Vec<f64> = levels.iter().map(|p| p.as_mw() * ote).collect();
+        assert!((detunings[0] - 2.1).abs() < 1e-6, "{detunings:?}");
+        assert!((detunings[1] - 1.1).abs() < 1e-6);
+        assert!((detunings[2] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_constructive_transmission_is_il() {
+        let a = adder();
+        let t = a.transmission(&[false, false]).unwrap();
+        assert!((t - 10f64.powf(-0.45)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let a = adder();
+        assert!(matches!(
+            a.control_power(&[true]),
+            Err(CircuitError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds order")]
+    fn count_bounds_checked() {
+        let _ = adder().control_power_for_count(3);
+    }
+
+    #[test]
+    fn higher_order_adder_levels() {
+        let p = CircuitParams::paper_fig7(6, osc_units::Nanometers::new(0.2));
+        let a = OpticalAdder::new(&p).unwrap();
+        let levels = a.levels();
+        assert_eq!(levels.len(), 7);
+        // Levels equally spaced in power (linear in count).
+        let step = levels[0].as_mw() - levels[1].as_mw();
+        for w in levels.windows(2) {
+            assert!(((w[0].as_mw() - w[1].as_mw()) - step).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The assembled generic optical SC circuit (paper Fig. 4(a)).
+
+use crate::snr::SnrModel;
+use crate::transmission::TransmissionModel;
+use crate::{params::CircuitParams, CircuitError};
+use osc_photonics::detector::Photodetector;
+use osc_units::Milliwatts;
+use serde::{Deserialize, Serialize};
+
+/// One row of the exhaustive received-power table (paper Fig. 5(c)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerLevelRow {
+    /// Data word `x_1 … x_n`.
+    pub x_bits: Vec<bool>,
+    /// Coefficient word `z_0 … z_n`.
+    pub z_bits: Vec<bool>,
+    /// The coefficient index the multiplexer selects (count of ones in x).
+    pub selected: usize,
+    /// The logical bit being transmitted (`z[selected]`).
+    pub transmitted_bit: bool,
+    /// Optical power at the photodetector.
+    pub received: Milliwatts,
+}
+
+/// Min/max received power for each logical level (the separation that
+/// makes optical de-randomizing possible).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBands {
+    /// Lowest received power while transmitting a 0.
+    pub zero_min: Milliwatts,
+    /// Highest received power while transmitting a 0.
+    pub zero_max: Milliwatts,
+    /// Lowest received power while transmitting a 1.
+    pub one_min: Milliwatts,
+    /// Highest received power while transmitting a 1.
+    pub one_max: Milliwatts,
+}
+
+impl PowerBands {
+    /// Whether the bands are disjoint (1-band entirely above 0-band).
+    pub fn separated(&self) -> bool {
+        self.one_min > self.zero_max
+    }
+
+    /// Gap between the bands (negative when they overlap).
+    pub fn gap(&self) -> Milliwatts {
+        self.one_min - self.zero_max
+    }
+
+    /// The mid-gap decision threshold.
+    pub fn midpoint_threshold(&self) -> Milliwatts {
+        (self.zero_max + self.one_min) * 0.5
+    }
+}
+
+/// The generic `n`-th order optical stochastic computing circuit.
+#[derive(Debug, Clone)]
+pub struct OpticalScCircuit {
+    params: CircuitParams,
+    model: TransmissionModel,
+    detector: Photodetector,
+}
+
+impl OpticalScCircuit {
+    /// Assembles the circuit from parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and device construction failures.
+    pub fn new(params: CircuitParams) -> Result<Self, CircuitError> {
+        let model = TransmissionModel::new(&params)?;
+        let detector = params.detector()?;
+        Ok(OpticalScCircuit {
+            params,
+            model,
+            detector,
+        })
+    }
+
+    /// The circuit parameters.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// The underlying transmission model.
+    pub fn model(&self) -> &TransmissionModel {
+        &self.model
+    }
+
+    /// The receiver front end.
+    pub fn detector(&self) -> &Photodetector {
+        &self.detector
+    }
+
+    /// Polynomial order `n`.
+    pub fn order(&self) -> usize {
+        self.params.order
+    }
+
+    /// Power at the photodetector for one input combination, at the
+    /// configured probe power.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ArityMismatch`] on wrong word lengths.
+    pub fn received_power(
+        &self,
+        x_bits: &[bool],
+        z_bits: &[bool],
+    ) -> Result<Milliwatts, CircuitError> {
+        self.model
+            .received_power(z_bits, x_bits, self.params.probe_power)
+    }
+
+    /// The SNR analysis for this circuit.
+    pub fn snr_model(&self) -> SnrModel {
+        SnrModel::from_model(self.model.clone(), self.detector, self.params.probe_power)
+    }
+
+    /// The exhaustive received-power table over all `2^n · 2^(n+1)` input
+    /// combinations (Fig. 5(c)). Rows are ordered by data word then
+    /// coefficient word, both LSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arity errors (not reachable — words are generated
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order exceeds 16 (the table would have > 2^33 rows).
+    pub fn power_level_table(&self) -> Result<Vec<PowerLevelRow>, CircuitError> {
+        let n = self.order();
+        assert!(n <= 16, "power table infeasible for order {n}");
+        let mut rows = Vec::with_capacity(1 << (2 * n + 1));
+        for xw in 0..(1u32 << n) {
+            let x_bits: Vec<bool> = (0..n).map(|b| xw >> b & 1 == 1).collect();
+            let selected = x_bits.iter().filter(|&&b| b).count();
+            for zw in 0..(1u32 << (n + 1)) {
+                let z_bits: Vec<bool> = (0..=n).map(|b| zw >> b & 1 == 1).collect();
+                let received = self.received_power(&x_bits, &z_bits)?;
+                let transmitted_bit = z_bits[selected];
+                rows.push(PowerLevelRow {
+                    x_bits: x_bits.clone(),
+                    z_bits,
+                    selected,
+                    transmitted_bit,
+                    received,
+                });
+            }
+        }
+        Ok(rows)
+    }
+
+    /// The received-power bands for logical 0 and 1 across all input
+    /// combinations — the paper's validation criterion ("data '0' and '1'
+    /// lead to received optical power in the ranges 0.092–0.099 mW and
+    /// 0.477–0.482 mW").
+    ///
+    /// # Errors
+    ///
+    /// Propagates arity errors (not reachable through the public API).
+    pub fn power_bands(&self) -> Result<PowerBands, CircuitError> {
+        let rows = self.power_level_table()?;
+        let mut bands = PowerBands {
+            zero_min: Milliwatts::new(f64::INFINITY),
+            zero_max: Milliwatts::new(f64::NEG_INFINITY),
+            one_min: Milliwatts::new(f64::INFINITY),
+            one_max: Milliwatts::new(f64::NEG_INFINITY),
+        };
+        for row in rows {
+            if row.transmitted_bit {
+                bands.one_min = bands.one_min.min(row.received);
+                bands.one_max = bands.one_max.max(row.received);
+            } else {
+                bands.zero_min = bands.zero_min.min(row.received);
+                bands.zero_max = bands.zero_max.max(row.received);
+            }
+        }
+        Ok(bands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CircuitParams;
+
+    fn circuit() -> OpticalScCircuit {
+        OpticalScCircuit::new(CircuitParams::paper_fig5()).unwrap()
+    }
+
+    #[test]
+    fn table_has_all_combinations() {
+        let rows = circuit().power_level_table().unwrap();
+        assert_eq!(rows.len(), 4 * 8);
+        // Every row's selected index equals its data-word popcount.
+        for r in &rows {
+            assert_eq!(r.selected, r.x_bits.iter().filter(|&&b| b).count());
+            assert_eq!(r.transmitted_bit, r.z_bits[r.selected]);
+        }
+    }
+
+    #[test]
+    fn bands_are_separated_like_fig5c() {
+        let bands = circuit().power_bands().unwrap();
+        assert!(
+            bands.separated(),
+            "0-band up to {} overlaps 1-band from {}",
+            bands.zero_max,
+            bands.one_min
+        );
+        // The paper's separation is roughly 5x between band centers.
+        let zero_mid = (bands.zero_min + bands.zero_max) * 0.5;
+        let one_mid = (bands.one_min + bands.one_max) * 0.5;
+        let ratio = one_mid / zero_mid;
+        assert!(ratio > 3.0, "band ratio {ratio}");
+    }
+
+    #[test]
+    fn bands_width_is_small() {
+        // Within each band the spread comes only from crosstalk, so it is
+        // a small fraction of the band level (paper: 0.092–0.099 and
+        // 0.477–0.482).
+        let bands = circuit().power_bands().unwrap();
+        let zero_spread = (bands.zero_max - bands.zero_min) / bands.zero_max;
+        let one_spread = (bands.one_max - bands.one_min) / bands.one_max;
+        assert!(zero_spread < 0.2, "zero spread {zero_spread}");
+        assert!(one_spread < 0.05, "one spread {one_spread}");
+    }
+
+    #[test]
+    fn midpoint_threshold_lies_between_bands() {
+        let bands = circuit().power_bands().unwrap();
+        let t = bands.midpoint_threshold();
+        assert!(t > bands.zero_max && t < bands.one_min);
+        assert!(bands.gap().as_mw() > 0.0);
+    }
+
+    #[test]
+    fn received_power_uses_configured_probe() {
+        let c = circuit();
+        let base = c
+            .received_power(&[true, true], &[false, true, false])
+            .unwrap();
+        let double = OpticalScCircuit::new(
+            CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(2.0)),
+        )
+        .unwrap()
+        .received_power(&[true, true], &[false, true, false])
+        .unwrap();
+        assert!((double.as_mw() - 2.0 * base.as_mw()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_model_shares_configuration() {
+        let c = circuit();
+        let snr = c.snr_model();
+        assert_eq!(snr.probe_power(), c.params().probe_power);
+        assert!(snr.worst_case_snr().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn higher_order_circuit_builds() {
+        let p = CircuitParams::paper_fig7(6, osc_units::Nanometers::new(0.3));
+        let c = OpticalScCircuit::new(p).unwrap();
+        assert_eq!(c.order(), 6);
+        let x = vec![true, false, true, false, true, false];
+        let z = vec![true; 7];
+        assert!(c.received_power(&x, &z).unwrap().as_mw() > 0.0);
+    }
+}

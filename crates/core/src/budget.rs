@@ -1,0 +1,243 @@
+//! Optical loss budget of the full Fig. 4(a) signal path.
+//!
+//! The analytical model (Eq. 6) accounts for device transfer functions
+//! but not for routing or the BPF (the paper explicitly neglects the
+//! latter). A physical implementation must close the budget: this module
+//! itemizes every loss on the probe path and the pump path, so a designer
+//! can see where the 10.4 dB between "1 mW launched" and "0.48 mW
+//! received" (best case) actually goes — and what routing adds on top.
+
+use crate::params::CircuitParams;
+use crate::transmission::TransmissionModel;
+use crate::CircuitError;
+use osc_photonics::bpf::BandPassFilter;
+use osc_photonics::waveguide::Waveguide;
+use osc_units::DbRatio;
+use serde::{Deserialize, Serialize};
+
+/// One itemized entry of a loss budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetItem {
+    /// What the loss is attributed to.
+    pub stage: String,
+    /// Loss contribution in dB (positive = loss).
+    pub loss_db: f64,
+}
+
+/// A complete loss budget for one signal path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossBudget {
+    /// Itemized stages, in propagation order.
+    pub items: Vec<BudgetItem>,
+}
+
+impl LossBudget {
+    /// Total loss across all stages.
+    pub fn total(&self) -> DbRatio {
+        DbRatio::from_db(self.items.iter().map(|i| i.loss_db).sum())
+    }
+
+    /// The dominant (largest) single contribution.
+    pub fn dominant(&self) -> Option<&BudgetItem> {
+        self.items
+            .iter()
+            .max_by(|a, b| a.loss_db.partial_cmp(&b.loss_db).unwrap())
+    }
+}
+
+/// Routing assumptions for the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingAssumptions {
+    /// Waveguide length between consecutive devices, mm.
+    pub inter_device_mm: f64,
+    /// Distributed waveguide loss, dB/cm.
+    pub loss_db_per_cm: f64,
+    /// Whether to include the output BPF in the probe budget.
+    pub include_bpf: bool,
+}
+
+impl Default for RoutingAssumptions {
+    fn default() -> Self {
+        RoutingAssumptions {
+            inter_device_mm: 0.5,
+            loss_db_per_cm: 2.0,
+            include_bpf: true,
+        }
+    }
+}
+
+/// Builds the best-case probe-path budget: the selected channel carrying
+/// a 1 with the filter centred on it, plus routing and the BPF.
+///
+/// # Errors
+///
+/// Propagates circuit/device construction failures.
+pub fn probe_path_budget(
+    params: &CircuitParams,
+    routing: RoutingAssumptions,
+) -> Result<LossBudget, CircuitError> {
+    let model = TransmissionModel::new(params)?;
+    let n = params.order;
+    let mut items = Vec::new();
+
+    // Best case: all-zeros data word selects channel 0 carrying a 1.
+    let x = vec![false; n];
+    let mut z = vec![false; n + 1];
+    z[0] = true;
+    let signal = model.channels()[0];
+
+    let hop = Waveguide::new(routing.inter_device_mm, routing.loss_db_per_cm)
+        .map_err(CircuitError::Device)?;
+
+    for (w, modulator) in model.modulators().iter().enumerate() {
+        let t = modulator.through(signal, z[w]);
+        items.push(BudgetItem {
+            stage: format!(
+                "MRR modulator {w} ({})",
+                if z[w] { "own channel, ON" } else { "crosstalk, OFF" }
+            ),
+            loss_db: -10.0 * t.log10(),
+        });
+        items.push(BudgetItem {
+            stage: format!("routing after modulator {w}"),
+            loss_db: hop.total_loss().as_db(),
+        });
+    }
+
+    let control = model.adder().control_power(&x)?;
+    let drop = model.mux().filter().drop(signal, control);
+    items.push(BudgetItem {
+        stage: "add-drop filter (drop port, centred)".to_string(),
+        loss_db: -10.0 * drop.log10(),
+    });
+
+    if routing.include_bpf {
+        let bpf = BandPassFilter::paper_probe_band().map_err(CircuitError::Device)?;
+        items.push(BudgetItem {
+            stage: "band-pass filter (pump absorber)".to_string(),
+            loss_db: -10.0 * bpf.transmission(signal).log10(),
+        });
+    }
+    Ok(LossBudget { items })
+}
+
+/// Builds the pump-path budget for the all-constructive (maximum
+/// detuning) case: splitter, MZI insertion loss, combiner and routing.
+///
+/// # Errors
+///
+/// Propagates circuit/device construction failures.
+pub fn pump_path_budget(
+    params: &CircuitParams,
+    routing: RoutingAssumptions,
+) -> Result<LossBudget, CircuitError> {
+    let n = params.order as f64;
+    let hop = Waveguide::new(routing.inter_device_mm, routing.loss_db_per_cm)
+        .map_err(CircuitError::Device)?;
+    let items = vec![
+        BudgetItem {
+            stage: format!("1:{} splitter", params.order),
+            loss_db: 10.0 * n.log10(),
+        },
+        BudgetItem {
+            stage: "MZI (constructive state)".to_string(),
+            loss_db: params.mzi_il.as_db(),
+        },
+        BudgetItem {
+            stage: format!("{}:1 combiner (recombination)", params.order),
+            loss_db: -10.0 * n.log10(), // the n branches re-add coherently in power
+        },
+        BudgetItem {
+            stage: "routing (splitter→MZI→combiner→filter)".to_string(),
+            loss_db: 3.0 * hop.total_loss().as_db(),
+        },
+    ];
+    Ok(LossBudget { items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_budget_matches_transmission_model_without_routing() {
+        // With zero routing and no BPF, the budget must reproduce the
+        // Eq. 6 best-case transmission exactly.
+        let params = CircuitParams::paper_fig5();
+        let routing = RoutingAssumptions {
+            inter_device_mm: 0.0,
+            loss_db_per_cm: 2.0,
+            include_bpf: false,
+        };
+        let budget = probe_path_budget(&params, routing).unwrap();
+        let model = TransmissionModel::new(&params).unwrap();
+        let t = model
+            .channel_transmission(0, &[true, false, false], &[false, false])
+            .unwrap();
+        let expect_db = -10.0 * t.log10();
+        assert!(
+            (budget.total().as_db() - expect_db).abs() < 1e-9,
+            "budget {} vs model {expect_db}",
+            budget.total().as_db()
+        );
+    }
+
+    #[test]
+    fn routing_adds_loss() {
+        let params = CircuitParams::paper_fig5();
+        let no_route = probe_path_budget(
+            &params,
+            RoutingAssumptions {
+                inter_device_mm: 0.0,
+                include_bpf: false,
+                ..RoutingAssumptions::default()
+            },
+        )
+        .unwrap();
+        let routed = probe_path_budget(&params, RoutingAssumptions::default()).unwrap();
+        assert!(routed.total().as_db() > no_route.total().as_db());
+    }
+
+    #[test]
+    fn dominant_loss_is_the_filter_or_own_modulator() {
+        let params = CircuitParams::paper_fig5();
+        let budget = probe_path_budget(&params, RoutingAssumptions::default()).unwrap();
+        let top = budget.dominant().unwrap();
+        assert!(
+            top.stage.contains("filter") || top.stage.contains("modulator 0"),
+            "dominant: {}",
+            top.stage
+        );
+    }
+
+    #[test]
+    fn pump_budget_net_effect_is_il_plus_routing() {
+        // Splitter and combiner cancel in the count-0 case, leaving the
+        // MZI IL plus routing — the 1/n·Σ T structure of Eq. 7.
+        let params = CircuitParams::paper_fig5();
+        let budget = pump_path_budget(
+            &params,
+            RoutingAssumptions {
+                inter_device_mm: 0.0,
+                ..RoutingAssumptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (budget.total().as_db() - params.mzi_il.as_db()).abs() < 1e-9,
+            "total {}",
+            budget.total().as_db()
+        );
+    }
+
+    #[test]
+    fn budget_items_are_itemized() {
+        let params = CircuitParams::paper_fig5();
+        let budget = probe_path_budget(&params, RoutingAssumptions::default()).unwrap();
+        // 3 modulators + 3 routing hops + filter + BPF = 8 stages.
+        assert_eq!(budget.items.len(), 8);
+        for item in &budget.items {
+            assert!(item.loss_db >= 0.0, "{}: {}", item.stage, item.loss_db);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Design methods (paper Section IV.B).
+//!
+//! The architecture couples heterogeneous devices, so its optimization is
+//! a genuine design-space exploration. The paper proposes two orderings of
+//! the decisions:
+//!
+//! - [`mrr_first`] — fix the WDM plan (wavelength spacing) from the MRR
+//!   side, then derive the pump power and the required MZI extinction
+//!   ratio;
+//! - [`mzi_first`] — fix the pump power and the MZI characteristics, then
+//!   derive the wavelength plan and the minimum probe power.
+//!
+//! [`space`] sweeps either method across parameter grids (the machinery
+//! behind Fig. 6) and extracts Pareto fronts.
+
+pub mod mrr_first;
+pub mod mzi_first;
+pub mod space;

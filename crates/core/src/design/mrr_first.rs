@@ -1,0 +1,198 @@
+//! The MRR-first design method (paper Section IV.B, applied in V.A).
+//!
+//! Inputs: the WDM plan (`WLspacing`, `λ_n`, `λ_ref`), the MRR templates,
+//! the target BER (or probe power), and the MZI insertion loss.
+//! Outputs, in order:
+//!
+//! 1. the probe wavelengths `λ_i` from the spacing (Eq. 5);
+//! 2. the minimum probe laser power for the SNR/BER target (Eq. 8);
+//! 3. the minimum pump power that parks the filter on `λ_0` when all MZIs
+//!    are constructive: `OP_pump = (λ_ref − λ_0) / (OTE · IL%)`;
+//! 4. the MZI extinction ratio that parks it on `λ_n` when all are
+//!    destructive: `ER% = (λ_ref − λ_n) / (λ_ref − λ_0)`.
+
+use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
+use crate::snr::SnrModel;
+use crate::CircuitError;
+use osc_units::{DbRatio, Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+/// Inputs of the MRR-first method.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MrrFirstInputs {
+    /// Polynomial order `n`.
+    pub order: usize,
+    /// Wavelength spacing between probes.
+    pub wl_spacing: Nanometers,
+    /// Last probe wavelength `λ_n`.
+    pub lambda_last: Nanometers,
+    /// Filter rest resonance `λ_ref`.
+    pub lambda_ref: Nanometers,
+    /// MZI insertion loss.
+    pub mzi_il: DbRatio,
+    /// Target bit error rate for probe sizing.
+    pub target_ber: f64,
+    /// Modulator template.
+    pub modulator: ModulatorTemplate,
+    /// Filter template.
+    pub filter: FilterTemplate,
+}
+
+impl MrrFirstInputs {
+    /// The paper's Section V.A inputs.
+    pub fn paper_section_va() -> Self {
+        MrrFirstInputs {
+            order: 2,
+            wl_spacing: Nanometers::new(1.0),
+            lambda_last: Nanometers::new(1550.0),
+            lambda_ref: Nanometers::new(1550.1),
+            mzi_il: DbRatio::from_db(4.5),
+            target_ber: 1e-6,
+            modulator: ModulatorTemplate::calibrated(),
+            filter: FilterTemplate::calibrated(),
+        }
+    }
+}
+
+/// Outputs of the MRR-first method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MrrFirstDesign {
+    /// The derived probe wavelengths `λ_0 … λ_n`.
+    pub channels: Vec<Nanometers>,
+    /// Minimum probe power per laser for the BER target.
+    pub min_probe_power: Milliwatts,
+    /// Minimum pump power (all-constructive case reaches `λ_0`).
+    pub min_pump_power: Milliwatts,
+    /// Required MZI extinction ratio (all-destructive case reaches `λ_n`).
+    pub required_er: DbRatio,
+    /// The complete parameter set realizing the design.
+    pub params: CircuitParams,
+}
+
+impl MrrFirstDesign {
+    /// Runs the MRR-first method.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidStructure`] for inconsistent wavelength
+    /// plans; [`CircuitError::Infeasible`] when no probe power meets the
+    /// BER target at this spacing.
+    pub fn solve(inputs: &MrrFirstInputs) -> Result<Self, CircuitError> {
+        // Step 3 first (pump), because the ER needed for step 4 and the
+        // derived params are interlinked.
+        let full_shift = inputs.lambda_ref
+            - (inputs.lambda_last - inputs.wl_spacing * inputs.order as f64);
+        let ref_offset = inputs.lambda_ref - inputs.lambda_last;
+        if ref_offset.as_nm() <= 0.0 {
+            return Err(CircuitError::InvalidStructure(
+                "λ_ref must exceed λ_n".into(),
+            ));
+        }
+        let min_pump_power = Milliwatts::new(
+            full_shift.as_nm() / (inputs.filter.ote_nm_per_mw * inputs.mzi_il.as_linear()),
+        );
+        // Step 4: ER% = (λ_ref − λ_n)/(λ_ref − λ_0).
+        let required_er = DbRatio::from_linear(ref_offset.as_nm() / full_shift.as_nm());
+
+        let params = CircuitParams {
+            order: inputs.order,
+            wl_spacing: inputs.wl_spacing,
+            lambda_last: inputs.lambda_last,
+            lambda_ref: inputs.lambda_ref,
+            mzi_il: inputs.mzi_il,
+            mzi_er: required_er,
+            modulator: inputs.modulator,
+            filter: inputs.filter,
+            pump_power: min_pump_power,
+            probe_power: Milliwatts::new(1.0), // provisional; replaced below
+            responsivity_a_per_w: crate::params::receiver_defaults::RESPONSIVITY_A_PER_W,
+            noise_current_a: crate::params::receiver_defaults::NOISE_CURRENT_A,
+        };
+        params.validate()?;
+
+        // Step 2: minimum probe power via the Eq. 8 margin.
+        let snr = SnrModel::new(&params)?;
+        let min_probe_power = snr.min_probe_power_for_ber(inputs.target_ber)?;
+        let params = params.with_probe_power(min_probe_power);
+
+        Ok(MrrFirstDesign {
+            channels: params.channels(),
+            min_probe_power,
+            min_pump_power,
+            required_er,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_section_va() {
+        let d = MrrFirstDesign::solve(&MrrFirstInputs::paper_section_va()).unwrap();
+        // Paper: 591.8 mW minimum pump, 13.22 dB extinction ratio.
+        assert!(
+            (d.min_pump_power.as_mw() - 591.86).abs() < 0.1,
+            "pump = {}",
+            d.min_pump_power
+        );
+        assert!(
+            (d.required_er.as_db() - 13.222).abs() < 0.01,
+            "er = {}",
+            d.required_er
+        );
+        let ch: Vec<f64> = d.channels.iter().map(|c| c.as_nm()).collect();
+        assert_eq!(ch, vec![1548.0, 1549.0, 1550.0]);
+    }
+
+    #[test]
+    fn probe_power_meets_ber_target() {
+        let d = MrrFirstDesign::solve(&MrrFirstInputs::paper_section_va()).unwrap();
+        let snr = SnrModel::new(&d.params).unwrap();
+        let achieved = snr.ber().unwrap();
+        assert!(
+            achieved <= 1.05e-6,
+            "achieved BER {achieved:.2e} misses the 1e-6 target"
+        );
+    }
+
+    #[test]
+    fn wider_spacing_needs_more_pump() {
+        let mut inputs = MrrFirstInputs::paper_section_va();
+        let narrow = MrrFirstDesign::solve(&inputs).unwrap();
+        inputs.wl_spacing = Nanometers::new(1.5);
+        // λ_0 moves further from λ_ref -> larger shift -> more pump.
+        let wide = MrrFirstDesign::solve(&inputs).unwrap();
+        assert!(wide.min_pump_power > narrow.min_pump_power);
+        // And the ER requirement becomes *stricter* (smaller linear).
+        assert!(wide.required_er.as_db() > narrow.required_er.as_db());
+    }
+
+    #[test]
+    fn lossier_mzi_needs_more_pump() {
+        let mut inputs = MrrFirstInputs::paper_section_va();
+        inputs.mzi_il = DbRatio::from_db(6.5);
+        let lossy = MrrFirstDesign::solve(&inputs).unwrap();
+        let base = MrrFirstDesign::solve(&MrrFirstInputs::paper_section_va()).unwrap();
+        assert!(lossy.min_pump_power > base.min_pump_power);
+    }
+
+    #[test]
+    fn relaxed_ber_halves_probe_power() {
+        let mut inputs = MrrFirstInputs::paper_section_va();
+        let tight = MrrFirstDesign::solve(&inputs).unwrap();
+        inputs.target_ber = 1e-2;
+        let loose = MrrFirstDesign::solve(&inputs).unwrap();
+        let ratio = loose.min_probe_power / tight.min_probe_power;
+        assert!((ratio - 0.489).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn invalid_reference_rejected() {
+        let mut inputs = MrrFirstInputs::paper_section_va();
+        inputs.lambda_ref = Nanometers::new(1549.9);
+        assert!(MrrFirstDesign::solve(&inputs).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! The MZI-first design method (paper Section IV.B, applied in V.B).
+//!
+//! Inputs: the pump power and the MZI characteristics (IL, ER). The
+//! control power levels then *determine* the wavelength plan:
+//!
+//! `λ_k = λ_ref − OP_pump · OTE · (1/n)·[(n−k)·IL% + k·IL%·ER%]`
+//!
+//! after which the minimum probe power for a BER target follows from the
+//! Eq. 8 margin. This is the method behind Fig. 6: weaker MZIs (higher
+//! IL, lower ER) compress the wavelength plan, raise the crosstalk, and
+//! push the probe power up.
+
+use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
+use crate::snr::SnrModel;
+use crate::CircuitError;
+use osc_units::{DbRatio, Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+/// Inputs of the MZI-first method.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MziFirstInputs {
+    /// Polynomial order `n`.
+    pub order: usize,
+    /// Pump laser power (0.6 W in Fig. 6).
+    pub pump_power: Milliwatts,
+    /// MZI insertion loss.
+    pub mzi_il: DbRatio,
+    /// MZI extinction ratio.
+    pub mzi_er: DbRatio,
+    /// Filter rest resonance `λ_ref`.
+    pub lambda_ref: Nanometers,
+    /// Target bit error rate (1e-6 in Fig. 6(a)).
+    pub target_ber: f64,
+    /// Modulator template.
+    pub modulator: ModulatorTemplate,
+    /// Filter template.
+    pub filter: FilterTemplate,
+}
+
+impl MziFirstInputs {
+    /// The Fig. 6 baseline: 2nd order, 0.6 W pump, BER 1e-6; IL/ER are
+    /// supplied per device.
+    pub fn paper_fig6(il: DbRatio, er: DbRatio) -> Self {
+        MziFirstInputs {
+            order: 2,
+            pump_power: Milliwatts::new(600.0),
+            mzi_il: il,
+            mzi_er: er,
+            lambda_ref: Nanometers::new(1550.1),
+            target_ber: 1e-6,
+            modulator: ModulatorTemplate::calibrated(),
+            filter: FilterTemplate::calibrated(),
+        }
+    }
+}
+
+/// Outputs of the MZI-first method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MziFirstDesign {
+    /// The derived probe wavelengths `λ_0 … λ_n`.
+    pub channels: Vec<Nanometers>,
+    /// The derived wavelength spacing.
+    pub wl_spacing: Nanometers,
+    /// Minimum probe power per laser for the BER target.
+    pub min_probe_power: Milliwatts,
+    /// The complete parameter set realizing the design.
+    pub params: CircuitParams,
+}
+
+impl MziFirstDesign {
+    /// Runs the MZI-first method.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::Infeasible`] when the derived plan cannot meet the
+    /// BER target at any probe power; [`CircuitError::InvalidStructure`]
+    /// for degenerate inputs.
+    pub fn solve(inputs: &MziFirstInputs) -> Result<Self, CircuitError> {
+        let n = inputs.order;
+        if n == 0 {
+            return Err(CircuitError::InvalidStructure(
+                "polynomial order must be at least 1".into(),
+            ));
+        }
+        let ote = inputs.filter.ote_nm_per_mw;
+        let il = inputs.mzi_il.as_linear();
+        let er = inputs.mzi_er.as_linear();
+        // Detuning for count k of destructive MZIs.
+        let detuning = |k: usize| -> f64 {
+            let t = ((n - k) as f64 * il + k as f64 * il * er) / n as f64;
+            inputs.pump_power.as_mw() * ote * t
+        };
+        let d0 = detuning(0);
+        let dn = detuning(n);
+        let spacing = Nanometers::new((d0 - dn) / n as f64);
+        if spacing.as_nm() <= 0.0 {
+            return Err(CircuitError::InvalidStructure(
+                "MZI extinction ratio must attenuate (ER > 0 dB)".into(),
+            ));
+        }
+        let lambda_last = inputs.lambda_ref - Nanometers::new(dn);
+
+        let params = CircuitParams {
+            order: n,
+            wl_spacing: spacing,
+            lambda_last,
+            lambda_ref: inputs.lambda_ref,
+            mzi_il: inputs.mzi_il,
+            mzi_er: inputs.mzi_er,
+            modulator: inputs.modulator,
+            filter: inputs.filter,
+            pump_power: inputs.pump_power,
+            probe_power: Milliwatts::new(1.0), // provisional
+            responsivity_a_per_w: crate::params::receiver_defaults::RESPONSIVITY_A_PER_W,
+            noise_current_a: crate::params::receiver_defaults::NOISE_CURRENT_A,
+        };
+        params.validate()?;
+        let snr = SnrModel::new(&params)?;
+        let min_probe_power = snr.min_probe_power_for_ber(inputs.target_ber)?;
+        let params = params.with_probe_power(min_probe_power);
+        Ok(MziFirstDesign {
+            channels: params.channels(),
+            wl_spacing: spacing,
+            min_probe_power,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xiao() -> MziFirstInputs {
+        MziFirstInputs::paper_fig6(DbRatio::from_db(6.5), DbRatio::from_db(7.5))
+    }
+
+    #[test]
+    fn channels_land_on_control_levels() {
+        let d = MziFirstDesign::solve(&xiao()).unwrap();
+        assert_eq!(d.channels.len(), 3);
+        // Derived spacing ≈ 0.552 nm for the Xiao MZI at 0.6 W.
+        assert!(
+            (d.wl_spacing.as_nm() - 0.552).abs() < 0.005,
+            "spacing {}",
+            d.wl_spacing
+        );
+        // The filter detuned by the count-k control power must land on λ_k.
+        let model = crate::transmission::TransmissionModel::new(&d.params).unwrap();
+        for k in 0..=2 {
+            let x: Vec<bool> = (0..2).map(|i| i < k).collect();
+            let control = model.adder().control_power(&x).unwrap();
+            let res = model.mux().effective_resonance(control);
+            assert!(
+                (res - d.channels[k]).abs().as_nm() < 1e-9,
+                "count {k}: {res} vs {}",
+                d.channels[k]
+            );
+        }
+    }
+
+    #[test]
+    fn xiao_design_point_probe_power() {
+        // Paper: "assuming the MZI device in [19] (IL 6.5 dB, ER 7.5 dB),
+        // the required laser probe power would be 0.26 mW".
+        let d = MziFirstDesign::solve(&xiao()).unwrap();
+        let p = d.min_probe_power.as_mw();
+        assert!(
+            (p - 0.26).abs() < 0.03,
+            "probe power {p} mW (paper: 0.26 mW)"
+        );
+    }
+
+    #[test]
+    fn worse_mzi_needs_more_probe_power() {
+        let good = MziFirstDesign::solve(&MziFirstInputs::paper_fig6(
+            DbRatio::from_db(3.0),
+            DbRatio::from_db(7.6),
+        ))
+        .unwrap();
+        let bad = MziFirstDesign::solve(&MziFirstInputs::paper_fig6(
+            DbRatio::from_db(7.4),
+            DbRatio::from_db(4.0),
+        ))
+        .unwrap();
+        assert!(
+            bad.min_probe_power > good.min_probe_power,
+            "bad {} vs good {}",
+            bad.min_probe_power,
+            good.min_probe_power
+        );
+        // The mechanism: the bad MZI compresses the wavelength plan.
+        assert!(bad.wl_spacing < good.wl_spacing);
+    }
+
+    #[test]
+    fn ber_target_scaling() {
+        let mut inputs = xiao();
+        let tight = MziFirstDesign::solve(&inputs).unwrap();
+        inputs.target_ber = 1e-2;
+        let loose = MziFirstDesign::solve(&inputs).unwrap();
+        // Fig. 6(b): ~50% power saving from 1e-6 to 1e-2.
+        let ratio = loose.min_probe_power / tight.min_probe_power;
+        assert!((ratio - 0.489).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_er_rejected() {
+        let inputs = MziFirstInputs::paper_fig6(DbRatio::from_db(4.5), DbRatio::from_db(0.0));
+        assert!(MziFirstDesign::solve(&inputs).is_err());
+    }
+
+    #[test]
+    fn zero_order_rejected() {
+        let mut inputs = xiao();
+        inputs.order = 0;
+        assert!(matches!(
+            MziFirstDesign::solve(&inputs),
+            Err(CircuitError::InvalidStructure(_))
+        ));
+    }
+
+    #[test]
+    fn probe_power_meets_target() {
+        let d = MziFirstDesign::solve(&xiao()).unwrap();
+        let achieved = SnrModel::new(&d.params).unwrap().ber().unwrap();
+        assert!(achieved <= 1.05e-6, "achieved {achieved:.2e}");
+    }
+}

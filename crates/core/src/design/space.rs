@@ -1,0 +1,261 @@
+//! Design-space sweeps (the machinery behind Fig. 6).
+//!
+//! Grid sweeps over MZI characteristics, BER targets and device lists,
+//! parallelized with scoped threads — a full Fig. 6(a) grid evaluates
+//! hundreds of MZI-first designs.
+
+use crate::design::mzi_first::{MziFirstDesign, MziFirstInputs};
+use crate::CircuitError;
+use osc_photonics::devices::MziDevice;
+use osc_units::{DbRatio, Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+/// One cell of the Fig. 6(a) grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// MZI insertion loss, dB.
+    pub il_db: f64,
+    /// MZI extinction ratio, dB.
+    pub er_db: f64,
+    /// Minimum probe power, if the design is feasible.
+    pub min_probe_power: Option<Milliwatts>,
+    /// The derived wavelength spacing, if feasible.
+    pub wl_spacing: Option<Nanometers>,
+}
+
+/// Sweeps the (IL, ER) grid of Fig. 6(a) and returns cells in row-major
+/// order (IL outer, ER inner).
+///
+/// Infeasible corners (crosstalk exceeding signal) are reported as `None`
+/// rather than failing the sweep.
+pub fn fig6a_grid(
+    il_db: &[f64],
+    er_db: &[f64],
+    target_ber: f64,
+    threads: usize,
+) -> Vec<GridCell> {
+    let cells: Vec<(f64, f64)> = il_db
+        .iter()
+        .flat_map(|&il| er_db.iter().map(move |&er| (il, er)))
+        .collect();
+    let chunk = cells.len().div_ceil(threads.max(1));
+    let mut out: Vec<GridCell> = Vec::with_capacity(cells.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .chunks(chunk.max(1))
+            .map(|chunk_cells| {
+                scope.spawn(move || {
+                    chunk_cells
+                        .iter()
+                        .map(|&(il, er)| {
+                            let inputs = MziFirstInputs::paper_fig6(
+                                DbRatio::from_db(il),
+                                DbRatio::from_db(er),
+                            );
+                            let inputs = MziFirstInputs {
+                                target_ber,
+                                ..inputs
+                            };
+                            match MziFirstDesign::solve(&inputs) {
+                                Ok(d) => GridCell {
+                                    il_db: il,
+                                    er_db: er,
+                                    min_probe_power: Some(d.min_probe_power),
+                                    wl_spacing: Some(d.wl_spacing),
+                                },
+                                Err(_) => GridCell {
+                                    il_db: il,
+                                    er_db: er,
+                                    min_probe_power: None,
+                                    wl_spacing: None,
+                                },
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    out
+}
+
+/// One row of the Fig. 6(b) BER sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BerSweepPoint {
+    /// Target bit error rate.
+    pub target_ber: f64,
+    /// Minimum probe power for that target.
+    pub min_probe_power: Milliwatts,
+}
+
+/// Sweeps the BER target (Fig. 6(b)) for a fixed MZI.
+///
+/// # Errors
+///
+/// Propagates the first infeasible design.
+pub fn fig6b_ber_sweep(
+    il: DbRatio,
+    er: DbRatio,
+    targets: &[f64],
+) -> Result<Vec<BerSweepPoint>, CircuitError> {
+    targets
+        .iter()
+        .map(|&ber| {
+            let inputs = MziFirstInputs {
+                target_ber: ber,
+                ..MziFirstInputs::paper_fig6(il, er)
+            };
+            Ok(BerSweepPoint {
+                target_ber: ber,
+                min_probe_power: MziFirstDesign::solve(&inputs)?.min_probe_power,
+            })
+        })
+        .collect()
+}
+
+/// One bar of the Fig. 6(c) device comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DevicePoint {
+    /// Device citation label.
+    pub label: String,
+    /// Demonstrated speed, Gb/s.
+    pub speed_gbps: f64,
+    /// Phase shifter length, mm.
+    pub phase_shifter_length_mm: f64,
+    /// Minimum probe power, if feasible.
+    pub min_probe_power: Option<Milliwatts>,
+}
+
+/// Evaluates the literature devices of Fig. 6(c).
+pub fn fig6c_devices(devices: &[MziDevice], target_ber: f64) -> Vec<DevicePoint> {
+    devices
+        .iter()
+        .map(|d| {
+            let inputs = MziFirstInputs {
+                target_ber,
+                ..MziFirstInputs::paper_fig6(
+                    DbRatio::from_db(d.il_db),
+                    DbRatio::from_db(d.er_db),
+                )
+            };
+            DevicePoint {
+                label: d.label.to_string(),
+                speed_gbps: d.speed_gbps,
+                phase_shifter_length_mm: d.phase_shifter_length_mm,
+                min_probe_power: MziFirstDesign::solve(&inputs)
+                    .ok()
+                    .map(|s| s.min_probe_power),
+            }
+        })
+        .collect()
+}
+
+/// A (pump power, probe power) Pareto point over the spacing sweep —
+/// the pump/probe tradeoff the paper discusses at the end of Section V.B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Wavelength spacing realizing this tradeoff.
+    pub wl_spacing: Nanometers,
+    /// Pump power required to span the plan.
+    pub pump_power: Milliwatts,
+    /// Probe power required for the BER target.
+    pub probe_power: Milliwatts,
+}
+
+/// Sweeps the wavelength spacing and reports the pump/probe tradeoff
+/// curve (larger spacing: more pump, less probe).
+pub fn pump_probe_tradeoff(
+    order: usize,
+    spacings_nm: &[f64],
+    target_ber: f64,
+) -> Vec<ParetoPoint> {
+    spacings_nm
+        .iter()
+        .filter_map(|&s| {
+            let params = crate::params::CircuitParams::paper_fig7(order, Nanometers::new(s));
+            let snr = crate::snr::SnrModel::new(&params).ok()?;
+            let probe = snr.min_probe_power_for_ber(target_ber).ok()?;
+            Some(ParetoPoint {
+                wl_spacing: Nanometers::new(s),
+                pump_power: params.pump_power,
+                probe_power: probe,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_photonics::devices;
+
+    #[test]
+    fn grid_covers_fig6a_ranges() {
+        let il = osc_math::linspace(3.0, 7.4, 5);
+        let er = osc_math::linspace(4.0, 7.6, 5);
+        let grid = fig6a_grid(&il, &er, 1e-6, 4);
+        assert_eq!(grid.len(), 25);
+        let feasible = grid.iter().filter(|c| c.min_probe_power.is_some()).count();
+        assert_eq!(feasible, 25, "all Fig. 6(a) cells should be feasible");
+        // Probe powers fall in the paper's plotted range (0.24–0.36 mW),
+        // with calibration tolerance.
+        for c in &grid {
+            let p = c.min_probe_power.unwrap().as_mw();
+            assert!(p > 0.1 && p < 0.6, "IL {} ER {}: {p} mW", c.il_db, c.er_db);
+        }
+    }
+
+    #[test]
+    fn grid_monotone_in_il_at_fixed_er() {
+        let il = vec![3.0, 5.0, 7.4];
+        let er = vec![6.0];
+        let grid = fig6a_grid(&il, &er, 1e-6, 2);
+        let p: Vec<f64> = grid
+            .iter()
+            .map(|c| c.min_probe_power.unwrap().as_mw())
+            .collect();
+        assert!(p[0] < p[1] && p[1] < p[2], "probe powers {p:?}");
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let il = vec![4.0, 6.0];
+        let er = vec![5.0, 7.0];
+        let a = fig6a_grid(&il, &er, 1e-6, 1);
+        let b = fig6a_grid(&il, &er, 1e-6, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ber_sweep_monotone() {
+        let pts = fig6b_ber_sweep(
+            DbRatio::from_db(6.5),
+            DbRatio::from_db(7.5),
+            &[1e-2, 1e-4, 1e-6],
+        )
+        .unwrap();
+        assert!(pts[0].min_probe_power < pts[1].min_probe_power);
+        assert!(pts[1].min_probe_power < pts[2].min_probe_power);
+    }
+
+    #[test]
+    fn devices_all_feasible() {
+        let pts = fig6c_devices(&devices::fig6_devices(), 1e-6);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.min_probe_power.is_some(), "{} infeasible", p.label);
+        }
+    }
+
+    #[test]
+    fn tradeoff_directions() {
+        let pts = pump_probe_tradeoff(2, &[0.3, 0.6, 1.0], 1e-6);
+        assert_eq!(pts.len(), 3);
+        // Pump rises with spacing; probe falls.
+        assert!(pts[0].pump_power < pts[2].pump_power);
+        assert!(pts[0].probe_power > pts[2].probe_power);
+    }
+}

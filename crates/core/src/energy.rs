@@ -1,0 +1,298 @@
+//! Laser energy per computed bit (paper Section V.C, Fig. 7).
+//!
+//! With a pulse-based pump laser (26 ps pulses, Van et al. \[15\]) and CW
+//! probe lasers at 1 Gb/s, the per-bit wall-plug energy splits into
+//!
+//! - pump: `E_pump = OP_pump(s) · τ_pulse / η` — grows with the wavelength
+//!   spacing `s`, because the filter must be dragged across `n·s + δ_ref`
+//!   nanometres: `OP_pump = (n·s + δ_ref)/(OTE · IL%)`;
+//! - probes: `E_probe = (n+1) · OP_probe(s) · T_bit / η` — shrinks with
+//!   `s`, because tighter channels mean more crosstalk and hence more
+//!   probe power for the same BER.
+//!
+//! The two opposing trends produce the optimal spacing of Fig. 7(a), and
+//! the optimum's independence of the polynomial degree is the paper's key
+//! scaling observation.
+
+use crate::params::CircuitParams;
+use crate::snr::SnrModel;
+use crate::CircuitError;
+use osc_units::{Milliwatts, Nanometers, Picojoules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Operating assumptions of the Fig. 7 energy study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAssumptions {
+    /// Modulation rate (1 Gb/s in the paper).
+    pub bit_period: Seconds,
+    /// Pump pulse duration (26 ps, \[15\]).
+    pub pump_pulse: Seconds,
+    /// Lasing (wall-plug) efficiency (20%).
+    pub lasing_efficiency: f64,
+    /// Transmission BER target used to size the probes.
+    pub target_ber: f64,
+}
+
+impl Default for EnergyAssumptions {
+    fn default() -> Self {
+        EnergyAssumptions {
+            bit_period: Seconds::from_nanos(1.0),
+            pump_pulse: Seconds::from_picos(26.0),
+            lasing_efficiency: 0.2,
+            target_ber: 1e-6,
+        }
+    }
+}
+
+/// Per-bit energy breakdown at one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Wavelength spacing of the design point.
+    pub wl_spacing: Nanometers,
+    /// Pump laser optical power.
+    pub pump_power: Milliwatts,
+    /// Per-probe laser optical power.
+    pub probe_power: Milliwatts,
+    /// Pump laser wall-plug energy per bit.
+    pub pump_energy: Picojoules,
+    /// Total probe-laser wall-plug energy per bit (`n+1` lasers).
+    pub probe_energy: Picojoules,
+}
+
+impl EnergyBreakdown {
+    /// Total laser energy per computed bit.
+    pub fn total(&self) -> Picojoules {
+        self.pump_energy + self.probe_energy
+    }
+}
+
+/// The Fig. 7 energy model for a circuit of order `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    order: usize,
+    assumptions: EnergyAssumptions,
+}
+
+impl EnergyModel {
+    /// Creates the model for polynomial order `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn new(order: usize, assumptions: EnergyAssumptions) -> Self {
+        assert!(order > 0, "order must be at least 1");
+        EnergyModel { order, assumptions }
+    }
+
+    /// Polynomial order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The operating assumptions.
+    pub fn assumptions(&self) -> &EnergyAssumptions {
+        &self.assumptions
+    }
+
+    /// Energy breakdown at a given wavelength spacing.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::Infeasible`] when the spacing is too small for the
+    /// BER target (crosstalk swamps the signal).
+    pub fn breakdown(&self, spacing: Nanometers) -> Result<EnergyBreakdown, CircuitError> {
+        let params = CircuitParams::paper_fig7(self.order, spacing);
+        let snr = SnrModel::new(&params)?;
+        let probe_power = snr.min_probe_power_for_ber(self.assumptions.target_ber)?;
+        let eta = self.assumptions.lasing_efficiency;
+        let pump_energy = params.pump_power.over(self.assumptions.pump_pulse) / eta;
+        let probe_energy =
+            (probe_power * (self.order + 1) as f64).over(self.assumptions.bit_period) / eta;
+        Ok(EnergyBreakdown {
+            wl_spacing: spacing,
+            pump_power: params.pump_power,
+            probe_power,
+            pump_energy,
+            probe_energy,
+        })
+    }
+
+    /// Sweeps the wavelength spacing (Fig. 7(a)); infeasible points are
+    /// skipped.
+    pub fn sweep(&self, spacings_nm: &[f64]) -> Vec<EnergyBreakdown> {
+        spacings_nm
+            .iter()
+            .filter_map(|&s| self.breakdown(Nanometers::new(s)).ok())
+            .collect()
+    }
+
+    /// Finds the energy-optimal wavelength spacing within `[lo, hi]` nm by
+    /// a coarse grid followed by golden-section refinement.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::Infeasible`] when no point in the interval is
+    /// feasible.
+    pub fn optimal_spacing(&self, lo_nm: f64, hi_nm: f64) -> Result<EnergyBreakdown, CircuitError> {
+        let objective = |s: f64| -> f64 {
+            self.breakdown(Nanometers::new(s))
+                .map(|b| b.total().as_pj())
+                .unwrap_or(f64::INFINITY)
+        };
+        let best = osc_math::optimize::grid_then_golden(objective, lo_nm, hi_nm, 41, 1e-6);
+        if !best.value.is_finite() {
+            return Err(CircuitError::Infeasible(format!(
+                "no feasible spacing in [{lo_nm}, {hi_nm}] nm for order {}",
+                self.order
+            )));
+        }
+        self.breakdown(Nanometers::new(best.x))
+    }
+}
+
+/// One row of the Fig. 7(b) scalability study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Polynomial order.
+    pub order: usize,
+    /// Total energy at 1 nm spacing.
+    pub energy_at_1nm: Picojoules,
+    /// Total energy at the per-order optimal spacing.
+    pub energy_at_optimal: Picojoules,
+    /// The optimal spacing found.
+    pub optimal_spacing: Nanometers,
+}
+
+impl ScalingPoint {
+    /// Energy saving of the optimal spacing vs. 1 nm.
+    pub fn saving_fraction(&self) -> f64 {
+        1.0 - self.energy_at_optimal.as_pj() / self.energy_at_1nm.as_pj()
+    }
+}
+
+/// Reproduces Fig. 7(b): total energy vs. polynomial order at 1 nm and at
+/// the optimal spacing.
+///
+/// # Errors
+///
+/// Propagates infeasible design points.
+pub fn scaling_study(
+    orders: &[usize],
+    assumptions: EnergyAssumptions,
+    search_lo_nm: f64,
+    search_hi_nm: f64,
+) -> Result<Vec<ScalingPoint>, CircuitError> {
+    orders
+        .iter()
+        .map(|&n| {
+            let model = EnergyModel::new(n, assumptions);
+            let at_1nm = model.breakdown(Nanometers::new(1.0))?;
+            let opt = model.optimal_spacing(search_lo_nm, search_hi_nm)?;
+            Ok(ScalingPoint {
+                order: n,
+                energy_at_1nm: at_1nm.total(),
+                energy_at_optimal: opt.total(),
+                optimal_spacing: opt.wl_spacing,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: usize) -> EnergyModel {
+        EnergyModel::new(n, EnergyAssumptions::default())
+    }
+
+    #[test]
+    fn pump_energy_grows_with_spacing() {
+        let m = model(2);
+        let a = m.breakdown(Nanometers::new(0.15)).unwrap();
+        let b = m.breakdown(Nanometers::new(0.30)).unwrap();
+        assert!(b.pump_energy > a.pump_energy);
+        assert!(b.pump_power > a.pump_power);
+    }
+
+    #[test]
+    fn probe_energy_shrinks_with_spacing() {
+        let m = model(2);
+        let a = m.breakdown(Nanometers::new(0.15)).unwrap();
+        let b = m.breakdown(Nanometers::new(0.45)).unwrap();
+        assert!(a.probe_energy > b.probe_energy);
+    }
+
+    #[test]
+    fn fig5_pump_energy_scale() {
+        // At 1 nm spacing the pump is the Fig. 5 591.86 mW laser:
+        // 591.86 mW × 26 ps / 0.2 ≈ 76.9 pJ.
+        let m = model(2);
+        let b = m.breakdown(Nanometers::new(1.0)).unwrap();
+        assert!(
+            (b.pump_energy.as_pj() - 76.94).abs() < 0.1,
+            "pump energy {}",
+            b.pump_energy
+        );
+    }
+
+    #[test]
+    fn optimum_exists_and_beats_edges() {
+        let m = model(2);
+        let opt = m.optimal_spacing(0.1, 1.0).unwrap();
+        let left = m.breakdown(Nanometers::new(0.1));
+        let right = m.breakdown(Nanometers::new(1.0)).unwrap();
+        assert!(opt.total() <= right.total());
+        if let Ok(left) = left {
+            assert!(opt.total() <= left.total());
+        }
+        assert!(
+            opt.wl_spacing.as_nm() > 0.1 && opt.wl_spacing.as_nm() < 1.0,
+            "optimal spacing {}",
+            opt.wl_spacing
+        );
+    }
+
+    #[test]
+    fn optimal_spacing_roughly_order_independent() {
+        // The paper's key result: the optimum barely moves with n.
+        let o2 = model(2).optimal_spacing(0.1, 1.0).unwrap().wl_spacing;
+        let o4 = model(4).optimal_spacing(0.1, 1.0).unwrap().wl_spacing;
+        let o6 = model(6).optimal_spacing(0.1, 1.0).unwrap().wl_spacing;
+        let spread = (o2.as_nm() - o6.as_nm()).abs().max((o2.as_nm() - o4.as_nm()).abs());
+        assert!(
+            spread < 0.35 * o2.as_nm(),
+            "optima: n=2 {o2}, n=4 {o4}, n=6 {o6}"
+        );
+    }
+
+    #[test]
+    fn scaling_study_shape() {
+        let pts = scaling_study(&[2, 4, 8], EnergyAssumptions::default(), 0.1, 1.0).unwrap();
+        assert_eq!(pts.len(), 3);
+        // Energy grows with order at both spacings.
+        assert!(pts[1].energy_at_1nm > pts[0].energy_at_1nm);
+        assert!(pts[2].energy_at_1nm > pts[1].energy_at_1nm);
+        // Optimal spacing saves a large fraction (paper: 76.6%).
+        for p in &pts {
+            assert!(
+                p.saving_fraction() > 0.4,
+                "order {}: saving {}",
+                p.order,
+                p.saving_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_spacing_reported() {
+        let m = model(2);
+        assert!(m.breakdown(Nanometers::new(0.01)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 1")]
+    fn zero_order_panics() {
+        let _ = EnergyModel::new(0, EnergyAssumptions::default());
+    }
+}

@@ -1,0 +1,177 @@
+//! The all-optical multiplexer: TPA-tuned add-drop filter
+//! (paper Fig. 4(a) right, Eq. 7.a).
+//!
+//! The filter's rest resonance is `λ_ref`; the adder's control power
+//! blue-shifts it by `ΔFilter = OP_control × OTE` onto one of the probe
+//! channels, dropping that channel to the photodetector. The wavelength
+//! plan is built so that a count of `k` ones parks the filter exactly on
+//! `λ_k` — the optical equivalent of the ReSC multiplexer selecting
+//! coefficient `z_k`.
+
+use crate::{params::CircuitParams, CircuitError};
+use osc_photonics::add_drop_filter::AddDropFilter;
+use osc_units::{Milliwatts, Nanometers};
+
+/// The all-optical multiplexer stage.
+#[derive(Debug, Clone)]
+pub struct OpticalMux {
+    filter: AddDropFilter,
+    channels: Vec<Nanometers>,
+}
+
+impl OpticalMux {
+    /// Builds the multiplexer from circuit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and device construction failures.
+    pub fn new(params: &CircuitParams) -> Result<Self, CircuitError> {
+        params.validate()?;
+        Ok(OpticalMux {
+            filter: params.filter.at_reference(params.lambda_ref)?,
+            channels: params.channels(),
+        })
+    }
+
+    /// The underlying tuned filter.
+    pub fn filter(&self) -> &AddDropFilter {
+        &self.filter
+    }
+
+    /// The probe channel plan `λ_0 … λ_n`.
+    pub fn channels(&self) -> &[Nanometers] {
+        &self.channels
+    }
+
+    /// Filter detuning produced by a control power (Eq. 7.a).
+    pub fn detuning(&self, control: Milliwatts) -> Nanometers {
+        self.filter.detuning_for(control)
+    }
+
+    /// Effective filter resonance under a control power.
+    pub fn effective_resonance(&self, control: Milliwatts) -> Nanometers {
+        self.filter.effective_resonance(control)
+    }
+
+    /// Drop transmission of channel `i` under a control power — the
+    /// `φ_d` factor of Eq. (6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (internal indexing error).
+    pub fn drop_channel(&self, i: usize, control: Milliwatts) -> f64 {
+        self.filter.drop(self.channels[i], control)
+    }
+
+    /// The channel index whose wavelength is closest to the effective
+    /// resonance — which coefficient the multiplexer currently selects.
+    pub fn selected_channel(&self, control: Milliwatts) -> usize {
+        let res = self.effective_resonance(control);
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &ch) in self.channels.iter().enumerate() {
+            let d = (ch - res).abs().as_nm();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Selectivity under a control power: ratio of the selected channel's
+    /// drop transmission to the sum over all channels (1.0 = ideal mux).
+    pub fn selectivity(&self, control: Milliwatts) -> f64 {
+        let sel = self.selected_channel(control);
+        let total: f64 = (0..self.channels.len())
+            .map(|i| self.drop_channel(i, control))
+            .sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.drop_channel(sel, control) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::OpticalAdder;
+    use crate::params::CircuitParams;
+
+    fn mux() -> OpticalMux {
+        OpticalMux::new(&CircuitParams::paper_fig5()).unwrap()
+    }
+
+    #[test]
+    fn count_k_selects_channel_k() {
+        // The core claim of the architecture: data count k drops λ_k.
+        let params = CircuitParams::paper_fig5();
+        let adder = OpticalAdder::new(&params).unwrap();
+        let mux = mux();
+        for k in 0..=2 {
+            let control = adder.control_power_for_count(k);
+            assert_eq!(
+                mux.selected_channel(control),
+                k,
+                "count {k} selected wrong channel"
+            );
+        }
+    }
+
+    #[test]
+    fn resonance_lands_on_channels() {
+        let params = CircuitParams::paper_fig5();
+        let adder = OpticalAdder::new(&params).unwrap();
+        let mux = mux();
+        for k in 0..=2 {
+            let res = mux.effective_resonance(adder.control_power_for_count(k));
+            let target = mux.channels()[k];
+            assert!(
+                (res - target).abs().as_nm() < 1e-6,
+                "count {k}: resonance {res} vs channel {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn selected_channel_dominates_drop() {
+        let params = CircuitParams::paper_fig5();
+        let adder = OpticalAdder::new(&params).unwrap();
+        let mux = mux();
+        for k in 0..=2 {
+            let control = adder.control_power_for_count(k);
+            let sel = mux.drop_channel(k, control);
+            for other in 0..=2 {
+                if other != k {
+                    assert!(
+                        sel > 10.0 * mux.drop_channel(other, control),
+                        "count {k}: channel {other} not suppressed"
+                    );
+                }
+            }
+            assert!(mux.selectivity(control) > 0.9);
+        }
+    }
+
+    #[test]
+    fn zero_control_rests_at_lambda_ref() {
+        let mux = mux();
+        assert_eq!(
+            mux.effective_resonance(Milliwatts::ZERO),
+            Nanometers::new(1550.1)
+        );
+        // At rest, no channel is selected strongly: even the best channel
+        // (λ2, 0.1 nm away) only sees partial drop.
+        let d2 = mux.drop_channel(2, Milliwatts::ZERO);
+        assert!(d2 < 0.8, "rest-state drop of λ2 = {d2}");
+    }
+
+    #[test]
+    fn detuning_is_linear_in_power() {
+        let mux = mux();
+        let d1 = mux.detuning(Milliwatts::new(100.0)).as_nm();
+        let d2 = mux.detuning(Milliwatts::new(200.0)).as_nm();
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Parallel (multi-lane) implementation (paper Section V.C: "power
+//! density limitation could be leveraged using a parallel implementation
+//! of the architecture").
+//!
+//! `L` independent circuit lanes split one stochastic stream into `L`
+//! segments evaluated concurrently, dividing latency by `L` at the cost
+//! of `L×` laser power. Because the lanes are spatially separate, the
+//! *power density* per lane stays at the single-circuit level — the
+//! paper's argument for why parallelism is the natural scale-out axis.
+
+use crate::system::{OpticalRun, OpticalScSystem};
+use crate::{params::CircuitParams, CircuitError};
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::sng::StochasticNumberGenerator;
+use osc_units::{Milliwatts, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A bank of identical optical SC lanes evaluating one polynomial.
+#[derive(Debug, Clone)]
+pub struct ParallelOpticalSc {
+    lanes: Vec<OpticalScSystem>,
+}
+
+/// Aggregate result of a parallel evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelRun {
+    /// Combined estimate over all lane segments.
+    pub estimate: f64,
+    /// Exact polynomial value.
+    pub exact: f64,
+    /// Total bits processed across lanes.
+    pub total_bits: usize,
+    /// Wall-clock bit slots consumed (bits per lane).
+    pub slots: usize,
+}
+
+impl ParallelRun {
+    /// Absolute estimation error.
+    pub fn abs_error(&self) -> f64 {
+        (self.estimate - self.exact).abs()
+    }
+}
+
+impl ParallelOpticalSc {
+    /// Builds `lanes` identical circuits.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidStructure`] for zero lanes; otherwise
+    /// propagates circuit construction failures.
+    pub fn new(
+        params: CircuitParams,
+        poly: BernsteinPoly,
+        lanes: usize,
+    ) -> Result<Self, CircuitError> {
+        if lanes == 0 {
+            return Err(CircuitError::InvalidStructure(
+                "need at least one lane".into(),
+            ));
+        }
+        let lanes = (0..lanes)
+            .map(|_| OpticalScSystem::new(params, poly.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParallelOpticalSc { lanes })
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The per-lane system.
+    pub fn lane(&self, i: usize) -> Option<&OpticalScSystem> {
+        self.lanes.get(i)
+    }
+
+    /// Evaluates `x` over `total_bits` split evenly across the lanes
+    /// (each lane gets an independent SNG seed derived from `seed`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lane evaluation failures.
+    pub fn evaluate<S, F>(
+        &self,
+        x: f64,
+        total_bits: usize,
+        sng_factory: F,
+        seed: u64,
+    ) -> Result<ParallelRun, CircuitError>
+    where
+        S: StochasticNumberGenerator,
+        F: Fn(u64) -> S,
+    {
+        let per_lane = total_bits.div_ceil(self.lanes.len());
+        let mut ones_weighted = 0.0;
+        let mut exact = 0.0;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let mut sng = sng_factory(seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+            let mut rng = Xoshiro256PlusPlus::new(seed ^ (i as u64) << 32);
+            let run: OpticalRun = lane.evaluate(x, per_lane, &mut sng, &mut rng)?;
+            ones_weighted += run.estimate * per_lane as f64;
+            exact = run.exact;
+        }
+        let total = per_lane * self.lanes.len();
+        Ok(ParallelRun {
+            estimate: ones_weighted / total as f64,
+            exact,
+            total_bits: total,
+            slots: per_lane,
+        })
+    }
+
+    /// Total optical laser power across lanes (pump + probes).
+    pub fn total_laser_power(&self) -> Milliwatts {
+        self.lanes
+            .iter()
+            .map(|l| {
+                let p = l.circuit().params();
+                p.pump_power + p.probe_power * (p.order + 1) as f64
+            })
+            .sum()
+    }
+
+    /// Per-lane laser power — the power density figure that stays
+    /// constant as lanes are added.
+    pub fn per_lane_power(&self) -> Milliwatts {
+        self.total_laser_power() / self.lanes.len() as f64
+    }
+
+    /// Latency to evaluate `total_bits` at a bit period, exploiting lane
+    /// parallelism.
+    pub fn latency(&self, total_bits: usize, bit_period: Seconds) -> Seconds {
+        bit_period * total_bits.div_ceil(self.lanes.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_stochastic::sng::XoshiroSng;
+
+    fn bank(lanes: usize) -> ParallelOpticalSc {
+        ParallelOpticalSc::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+            lanes,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accuracy_preserved_across_lanes() {
+        let single = bank(1);
+        let quad = bank(4);
+        let r1 = single.evaluate(0.5, 16_384, XoshiroSng::new, 7).unwrap();
+        let r4 = quad.evaluate(0.5, 16_384, XoshiroSng::new, 7).unwrap();
+        assert!(r1.abs_error() < 0.02, "single {}", r1.abs_error());
+        assert!(r4.abs_error() < 0.02, "quad {}", r4.abs_error());
+        assert_eq!(r4.total_bits, 16_384);
+    }
+
+    #[test]
+    fn latency_divides_by_lanes() {
+        let quad = bank(4);
+        let lat = quad.latency(16_384, Seconds::from_nanos(1.0));
+        assert!((lat.as_nanos() - 4096.0).abs() < 1e-9);
+        assert_eq!(quad.evaluate(0.5, 16_384, XoshiroSng::new, 1).unwrap().slots, 4096);
+    }
+
+    #[test]
+    fn power_scales_but_density_constant() {
+        let single = bank(1);
+        let quad = bank(4);
+        assert!(
+            (quad.total_laser_power().as_mw() - 4.0 * single.total_laser_power().as_mw()).abs()
+                < 1e-9
+        );
+        assert!(
+            (quad.per_lane_power().as_mw() - single.per_lane_power().as_mw()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn zero_lanes_rejected() {
+        assert!(ParallelOpticalSc::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(vec![0.5, 0.5, 0.5]).unwrap(),
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lane_accessor() {
+        let b = bank(2);
+        assert_eq!(b.lanes(), 2);
+        assert!(b.lane(0).is_some());
+        assert!(b.lane(2).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! The optical de-randomizer: threshold decision + ones counter.
+//!
+//! The paper's receiver must "associate power levels to the transmitted
+//! data value" (Section V.A): every observed power above a threshold is a
+//! logical 1, and the ones count over the stream recovers the Bernstein
+//! value. This module provides the threshold decision, its optimization
+//! against the circuit's power bands, and the analytic error rate of a
+//! given threshold placement.
+
+use crate::architecture::PowerBands;
+use osc_math::special::gaussian_q;
+use osc_stochastic::bitstream::BitStream;
+use osc_units::Milliwatts;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-threshold optical bit decision + counter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Derandomizer {
+    threshold: Milliwatts,
+}
+
+impl Derandomizer {
+    /// Creates a de-randomizer with an explicit threshold.
+    pub fn new(threshold: Milliwatts) -> Self {
+        Derandomizer { threshold }
+    }
+
+    /// Places the threshold mid-gap between the circuit's 0 and 1 bands —
+    /// the optimal placement for equal Gaussian noise on both levels.
+    pub fn from_bands(bands: &PowerBands) -> Self {
+        Derandomizer {
+            threshold: bands.midpoint_threshold(),
+        }
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> Milliwatts {
+        self.threshold
+    }
+
+    /// Decides one observation.
+    pub fn decide(&self, observed: Milliwatts) -> bool {
+        observed > self.threshold
+    }
+
+    /// Decides a whole trace of observations into a bit-stream.
+    pub fn decode_trace(&self, observations: &[Milliwatts]) -> BitStream {
+        observations.iter().map(|&p| self.decide(p)).collect()
+    }
+
+    /// Decodes a trace and de-randomizes it into the estimated value
+    /// (fraction of ones).
+    pub fn estimate(&self, observations: &[Milliwatts]) -> f64 {
+        self.decode_trace(observations).value()
+    }
+
+    /// Worst-case decision error probability for Gaussian receiver noise
+    /// of RMS `sigma`, given the band edges: the larger of
+    /// `Q((threshold − zero_max)/σ)` and `Q((one_min − threshold)/σ)`.
+    pub fn worst_case_error(&self, bands: &PowerBands, sigma: Milliwatts) -> f64 {
+        if sigma.as_mw() <= 0.0 {
+            return if self.threshold > bands.zero_max && self.threshold < bands.one_min {
+                0.0
+            } else {
+                0.5
+            };
+        }
+        let miss_zero = gaussian_q((self.threshold - bands.zero_max).as_mw() / sigma.as_mw());
+        let miss_one = gaussian_q((bands.one_min - self.threshold).as_mw() / sigma.as_mw());
+        miss_zero.max(miss_one)
+    }
+}
+
+/// Scans thresholds between the band edges and returns the one minimizing
+/// the worst-case decision error under Gaussian noise of RMS `sigma`.
+///
+/// For symmetric noise this lands on the mid-gap point; the scan is kept
+/// general so skewed bands (heavy crosstalk) are handled correctly.
+pub fn optimize_threshold(bands: &PowerBands, sigma: Milliwatts) -> Derandomizer {
+    let lo = bands.zero_max.as_mw();
+    let hi = bands.one_min.as_mw();
+    if hi <= lo {
+        // Overlapping bands: fall back to the midpoint of band centers.
+        let mid = 0.25 * (bands.zero_min + bands.zero_max + bands.one_min + bands.one_max).as_mw();
+        return Derandomizer::new(Milliwatts::new(mid));
+    }
+    let best = osc_math::optimize::golden_section_min(
+        |t| Derandomizer::new(Milliwatts::new(t)).worst_case_error(bands, sigma),
+        lo,
+        hi,
+        1e-12,
+        200,
+    );
+    Derandomizer::new(Milliwatts::new(best.x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bands() -> PowerBands {
+        PowerBands {
+            zero_min: Milliwatts::new(0.092),
+            zero_max: Milliwatts::new(0.099),
+            one_min: Milliwatts::new(0.477),
+            one_max: Milliwatts::new(0.482),
+        }
+    }
+
+    #[test]
+    fn midpoint_placement() {
+        let d = Derandomizer::from_bands(&bands());
+        assert!((d.threshold().as_mw() - 0.288).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decisions() {
+        let d = Derandomizer::from_bands(&bands());
+        assert!(!d.decide(Milliwatts::new(0.095)));
+        assert!(d.decide(Milliwatts::new(0.48)));
+    }
+
+    #[test]
+    fn decode_trace_counts_ones() {
+        let d = Derandomizer::from_bands(&bands());
+        let trace = vec![
+            Milliwatts::new(0.095),
+            Milliwatts::new(0.48),
+            Milliwatts::new(0.478),
+            Milliwatts::new(0.093),
+        ];
+        let s = d.decode_trace(&trace);
+        assert_eq!(s.count_ones(), 2);
+        assert!((d.estimate(&trace) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_error_zero_noise() {
+        let d = Derandomizer::from_bands(&bands());
+        assert_eq!(d.worst_case_error(&bands(), Milliwatts::ZERO), 0.0);
+        let bad = Derandomizer::new(Milliwatts::new(0.05));
+        assert_eq!(bad.worst_case_error(&bands(), Milliwatts::ZERO), 0.5);
+    }
+
+    #[test]
+    fn optimized_threshold_is_midgap_for_symmetric_noise() {
+        let d = optimize_threshold(&bands(), Milliwatts::new(0.02));
+        assert!(
+            (d.threshold().as_mw() - 0.288).abs() < 1e-4,
+            "threshold {}",
+            d.threshold()
+        );
+    }
+
+    #[test]
+    fn optimized_beats_bad_placement() {
+        let sigma = Milliwatts::new(0.05);
+        let opt = optimize_threshold(&bands(), sigma);
+        let bad = Derandomizer::new(Milliwatts::new(0.12));
+        assert!(
+            opt.worst_case_error(&bands(), sigma) < bad.worst_case_error(&bands(), sigma)
+        );
+    }
+
+    #[test]
+    fn overlapping_bands_fallback() {
+        let overlapping = PowerBands {
+            zero_min: Milliwatts::new(0.1),
+            zero_max: Milliwatts::new(0.3),
+            one_min: Milliwatts::new(0.25),
+            one_max: Milliwatts::new(0.5),
+        };
+        let d = optimize_threshold(&overlapping, Milliwatts::new(0.01));
+        // Falls back to a sane midpoint inside the overall range.
+        assert!(d.threshold().as_mw() > 0.1 && d.threshold().as_mw() < 0.5);
+    }
+
+    #[test]
+    fn error_decreases_with_noise() {
+        let d = Derandomizer::from_bands(&bands());
+        let high = d.worst_case_error(&bands(), Milliwatts::new(0.1));
+        let low = d.worst_case_error(&bands(), Milliwatts::new(0.02));
+        assert!(low < high);
+    }
+}

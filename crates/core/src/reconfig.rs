@@ -1,0 +1,186 @@
+//! The reconfigurable multi-order circuit (paper Section VI).
+//!
+//! The paper's closing observation — the energy-optimal wavelength
+//! spacing is independent of the polynomial degree — enables a circuit
+//! that serves several polynomial orders with one filter and one probe
+//! comb: to run order `m < n_max`, only probes `λ_0 … λ_m` are lit and
+//! only `m` MZIs are driven, while the shared spacing stays optimal.
+//!
+//! [`ReconfigurableCircuit`] models that: it is built once for a maximum
+//! order and can instantiate any supported order on the shared wavelength
+//! plan, re-deriving the per-order pump power and extinction ratio.
+
+use crate::architecture::OpticalScCircuit;
+use crate::energy::{EnergyAssumptions, EnergyModel};
+use crate::params::CircuitParams;
+use crate::CircuitError;
+use osc_units::{Milliwatts, Nanometers, Picojoules};
+use serde::{Deserialize, Serialize};
+
+/// A circuit provisioned for all orders `1 ..= max_order` on a shared
+/// wavelength plan.
+#[derive(Debug, Clone)]
+pub struct ReconfigurableCircuit {
+    max_order: usize,
+    shared_spacing: Nanometers,
+    assumptions: EnergyAssumptions,
+}
+
+/// Energy report for one order on the shared plan vs. a per-order
+/// re-optimized plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigPoint {
+    /// The order being executed.
+    pub order: usize,
+    /// Per-bit energy on the shared (reconfigurable) spacing.
+    pub shared_energy: Picojoules,
+    /// Per-bit energy on the per-order optimal spacing.
+    pub dedicated_energy: Picojoules,
+    /// Pump power for the shared configuration.
+    pub shared_pump: Milliwatts,
+}
+
+impl ReconfigPoint {
+    /// Relative energy penalty of sharing the plan (0 = free sharing).
+    pub fn sharing_penalty(&self) -> f64 {
+        self.shared_energy.as_pj() / self.dedicated_energy.as_pj() - 1.0
+    }
+}
+
+impl ReconfigurableCircuit {
+    /// Provisions a reconfigurable circuit for orders up to `max_order`,
+    /// choosing the shared spacing as the energy optimum of the *largest*
+    /// order (any order's optimum would do — that is the point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasible design points.
+    pub fn provision(
+        max_order: usize,
+        assumptions: EnergyAssumptions,
+    ) -> Result<Self, CircuitError> {
+        if max_order == 0 {
+            return Err(CircuitError::InvalidStructure(
+                "maximum order must be at least 1".into(),
+            ));
+        }
+        let opt = EnergyModel::new(max_order, assumptions).optimal_spacing(0.1, 1.0)?;
+        Ok(ReconfigurableCircuit {
+            max_order,
+            shared_spacing: opt.wl_spacing,
+            assumptions,
+        })
+    }
+
+    /// The provisioned maximum order.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// The shared wavelength spacing.
+    pub fn shared_spacing(&self) -> Nanometers {
+        self.shared_spacing
+    }
+
+    /// Parameters for executing a given order on the shared plan.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidStructure`] for orders outside
+    /// `1..=max_order`.
+    pub fn params_for_order(&self, order: usize) -> Result<CircuitParams, CircuitError> {
+        if order == 0 || order > self.max_order {
+            return Err(CircuitError::InvalidStructure(format!(
+                "order {order} outside provisioned range 1..={}",
+                self.max_order
+            )));
+        }
+        Ok(CircuitParams::paper_fig7(order, self.shared_spacing))
+    }
+
+    /// Builds the circuit instance for a given order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter and device errors.
+    pub fn circuit_for_order(&self, order: usize) -> Result<OpticalScCircuit, CircuitError> {
+        OpticalScCircuit::new(self.params_for_order(order)?)
+    }
+
+    /// Compares shared-plan energy against per-order re-optimization for
+    /// every provisioned order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasible design points.
+    pub fn sharing_report(&self) -> Result<Vec<ReconfigPoint>, CircuitError> {
+        (1..=self.max_order)
+            .map(|order| {
+                let model = EnergyModel::new(order, self.assumptions);
+                let shared = model.breakdown(self.shared_spacing)?;
+                let dedicated = model.optimal_spacing(0.1, 1.0)?;
+                Ok(ReconfigPoint {
+                    order,
+                    shared_energy: shared.total(),
+                    dedicated_energy: dedicated.total(),
+                    shared_pump: shared.pump_power,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioning_and_order_range() {
+        let rc = ReconfigurableCircuit::provision(4, EnergyAssumptions::default()).unwrap();
+        assert_eq!(rc.max_order(), 4);
+        assert!(rc.params_for_order(0).is_err());
+        assert!(rc.params_for_order(5).is_err());
+        for n in 1..=4 {
+            let c = rc.circuit_for_order(n).unwrap();
+            assert_eq!(c.order(), n);
+        }
+    }
+
+    #[test]
+    fn sharing_is_cheap() {
+        // The paper's claim: because the optimum is order-independent,
+        // sharing one spacing across orders costs little energy.
+        let rc = ReconfigurableCircuit::provision(4, EnergyAssumptions::default()).unwrap();
+        for p in rc.sharing_report().unwrap() {
+            assert!(
+                p.sharing_penalty() < 0.25,
+                "order {}: sharing penalty {:.1}%",
+                p.order,
+                p.sharing_penalty() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn shared_spacing_is_the_max_order_optimum() {
+        let rc = ReconfigurableCircuit::provision(3, EnergyAssumptions::default()).unwrap();
+        let opt = EnergyModel::new(3, EnergyAssumptions::default())
+            .optimal_spacing(0.1, 1.0)
+            .unwrap();
+        assert!((rc.shared_spacing() - opt.wl_spacing).abs().as_nm() < 1e-9);
+    }
+
+    #[test]
+    fn zero_max_order_rejected() {
+        assert!(ReconfigurableCircuit::provision(0, EnergyAssumptions::default()).is_err());
+    }
+
+    #[test]
+    fn pump_scales_with_executed_order() {
+        let rc = ReconfigurableCircuit::provision(4, EnergyAssumptions::default()).unwrap();
+        let report = rc.sharing_report().unwrap();
+        for w in report.windows(2) {
+            assert!(w[1].shared_pump > w[0].shared_pump);
+        }
+    }
+}

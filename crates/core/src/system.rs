@@ -1,0 +1,300 @@
+//! End-to-end stochastic execution on the optical circuit.
+//!
+//! [`OpticalScSystem`] runs the complete paper pipeline for a Bernstein
+//! polynomial evaluation: SNGs generate the data and coefficient streams,
+//! every clock cycle the transmission model produces the power reaching
+//! the photodetector, Gaussian receiver noise is sampled, the
+//! de-randomizer thresholds and counts — and the result is compared
+//! against the exact polynomial value and against the ideal (noise-free)
+//! electronic ReSC output.
+
+use crate::architecture::OpticalScCircuit;
+use crate::receiver::Derandomizer;
+use crate::{params::CircuitParams, CircuitError};
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::resc::ReScUnit;
+use osc_stochastic::sng::StochasticNumberGenerator;
+use osc_units::Milliwatts;
+use serde::{Deserialize, Serialize};
+
+/// Result of one end-to-end optical evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalRun {
+    /// Optical estimate after noisy detection and counting.
+    pub estimate: f64,
+    /// The ideal stochastic estimate (same streams, no optical noise) —
+    /// what the electronic ReSC unit would have produced.
+    pub ideal_estimate: f64,
+    /// Exact polynomial value.
+    pub exact: f64,
+    /// Fraction of clock cycles whose decision differed from the ideal
+    /// multiplexer output (the observed transmission BER).
+    pub observed_ber: f64,
+    /// Stream length used.
+    pub stream_length: usize,
+}
+
+impl OpticalRun {
+    /// Absolute error against the exact value.
+    pub fn abs_error(&self) -> f64 {
+        (self.estimate - self.exact).abs()
+    }
+
+    /// Error attributable to the optical transmission alone (optical
+    /// estimate vs. ideal stochastic estimate).
+    pub fn optical_error(&self) -> f64 {
+        (self.estimate - self.ideal_estimate).abs()
+    }
+}
+
+/// The complete optical SC computer: circuit + programmed polynomial.
+#[derive(Debug, Clone)]
+pub struct OpticalScSystem {
+    circuit: OpticalScCircuit,
+    poly: BernsteinPoly,
+    resc: ReScUnit,
+    derandomizer: Derandomizer,
+    /// Received power for every (count-of-ones, coefficient-word) pair,
+    /// indexed `[count][z_word]`.
+    power_table: Vec<Vec<Milliwatts>>,
+}
+
+impl OpticalScSystem {
+    /// Maximum order supported by the exhaustive power table.
+    pub const MAX_SIM_ORDER: usize = 12;
+
+    /// Builds a system executing `poly` on a circuit with `params`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidStructure`] when the polynomial degree does
+    /// not match `params.order` or the order exceeds
+    /// [`OpticalScSystem::MAX_SIM_ORDER`]; otherwise propagates circuit
+    /// construction failures.
+    pub fn new(params: CircuitParams, poly: BernsteinPoly) -> Result<Self, CircuitError> {
+        if poly.degree() != params.order {
+            return Err(CircuitError::InvalidStructure(format!(
+                "polynomial degree {} does not match circuit order {}",
+                poly.degree(),
+                params.order
+            )));
+        }
+        if params.order > Self::MAX_SIM_ORDER {
+            return Err(CircuitError::InvalidStructure(format!(
+                "end-to-end simulation supports order <= {}, got {} (use the analytical model)",
+                Self::MAX_SIM_ORDER,
+                params.order
+            )));
+        }
+        let circuit = OpticalScCircuit::new(params)?;
+        let bands = circuit.power_bands()?;
+        let derandomizer = Derandomizer::from_bands(&bands);
+        let n = params.order;
+        // Precompute power for each (count, z-word): the adder only sees
+        // the count, so 2^n data words collapse to n+1 rows.
+        let mut power_table = Vec::with_capacity(n + 1);
+        for count in 0..=n {
+            let x_bits: Vec<bool> = (0..n).map(|i| i < count).collect();
+            let mut row = Vec::with_capacity(1 << (n + 1));
+            for zw in 0..(1u32 << (n + 1)) {
+                let z_bits: Vec<bool> = (0..=n).map(|b| zw >> b & 1 == 1).collect();
+                row.push(circuit.received_power(&x_bits, &z_bits)?);
+            }
+            power_table.push(row);
+        }
+        Ok(OpticalScSystem {
+            circuit,
+            resc: ReScUnit::new(poly.clone()),
+            poly,
+            derandomizer,
+            power_table,
+        })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &OpticalScCircuit {
+        &self.circuit
+    }
+
+    /// The programmed polynomial.
+    pub fn polynomial(&self) -> &BernsteinPoly {
+        &self.poly
+    }
+
+    /// The receiver decision stage.
+    pub fn derandomizer(&self) -> &Derandomizer {
+        &self.derandomizer
+    }
+
+    /// Runs one end-to-end evaluation of the polynomial at `x`.
+    ///
+    /// `sng` drives the stochastic streams; `rng` drives the receiver
+    /// noise. The receiver samples once per clock cycle with the
+    /// detector's input-referred power noise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors for invalid `x`.
+    pub fn evaluate<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<OpticalRun, CircuitError> {
+        let (data, coeffs) = self
+            .resc
+            .generate_streams(x, stream_length, sng)
+            .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
+        let n = self.circuit.order();
+        let sigma = self.circuit.detector().power_noise();
+        let mut ones = 0usize;
+        let mut ideal_ones = 0usize;
+        let mut decision_flips = 0usize;
+        for t in 0..stream_length {
+            let count: usize = data.iter().filter(|s| s.get(t)).count();
+            let mut zw = 0u32;
+            for (j, s) in coeffs.iter().enumerate() {
+                if s.get(t) {
+                    zw |= 1 << j;
+                }
+            }
+            let power = self.power_table[count][zw as usize];
+            let observed = Milliwatts::new(rng.gaussian_with(power.as_mw(), sigma.as_mw()));
+            let decided = self.derandomizer.decide(observed);
+            let ideal = coeffs[count.min(n)].get(t);
+            if decided {
+                ones += 1;
+            }
+            if ideal {
+                ideal_ones += 1;
+            }
+            if decided != ideal {
+                decision_flips += 1;
+            }
+        }
+        Ok(OpticalRun {
+            estimate: ones as f64 / stream_length as f64,
+            ideal_estimate: ideal_ones as f64 / stream_length as f64,
+            exact: self.poly.eval(x),
+            observed_ber: decision_flips as f64 / stream_length as f64,
+            stream_length,
+        })
+    }
+
+    /// Sweeps the polynomial over `[0, 1]` and returns
+    /// `(x, estimate, exact)` triples — the workhorse of the examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn transfer_curve<S: StochasticNumberGenerator>(
+        &self,
+        points: usize,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<Vec<(f64, f64, f64)>, CircuitError> {
+        (0..points)
+            .map(|i| {
+                let x = i as f64 / (points - 1).max(1) as f64;
+                let run = self.evaluate(x, stream_length, sng, rng)?;
+                Ok((x, run.estimate, run.exact))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_stochastic::sng::XoshiroSng;
+
+    fn system() -> OpticalScSystem {
+        // Fig. 5 circuit programmed with a 2nd-order polynomial:
+        // f(x) = 0.25·B0 + 0.625·B1 + 0.75·B2.
+        OpticalScSystem::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_accuracy() {
+        let s = system();
+        let mut sng = XoshiroSng::new(42);
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let run = s.evaluate(0.5, 16384, &mut sng, &mut rng).unwrap();
+        assert!(run.abs_error() < 0.03, "error {}", run.abs_error());
+        // With 1 mW probes the bands are far apart: transmission BER ~ 0.
+        assert!(run.observed_ber < 1e-3, "ber {}", run.observed_ber);
+    }
+
+    #[test]
+    fn optical_matches_ideal_at_high_power() {
+        let s = system();
+        let mut sng = XoshiroSng::new(7);
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let run = s.evaluate(0.3, 8192, &mut sng, &mut rng).unwrap();
+        assert!(run.optical_error() < 0.01, "optical error {}", run.optical_error());
+    }
+
+    #[test]
+    fn low_probe_power_degrades_gracefully() {
+        // Starve the probes: decisions get noisy, BER rises, but the
+        // estimate still lands in the right region (error resilience).
+        let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
+        let s = OpticalScSystem::new(
+            params,
+            BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+        )
+        .unwrap();
+        let mut sng = XoshiroSng::new(11);
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let run = s.evaluate(0.5, 16384, &mut sng, &mut rng).unwrap();
+        assert!(run.observed_ber > 1e-3, "expected visible BER");
+        assert!(run.abs_error() < 0.2, "still roughly correct");
+    }
+
+    #[test]
+    fn degree_mismatch_rejected() {
+        let err = OpticalScSystem::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(vec![0.5, 0.5]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::InvalidStructure(_)));
+    }
+
+    #[test]
+    fn order_cap_enforced() {
+        let params = CircuitParams::paper_fig7(13, osc_units::Nanometers::new(0.2));
+        let poly = BernsteinPoly::new(vec![0.5; 14]).unwrap();
+        assert!(matches!(
+            OpticalScSystem::new(params, poly),
+            Err(CircuitError::InvalidStructure(_))
+        ));
+    }
+
+    #[test]
+    fn transfer_curve_tracks_polynomial() {
+        let s = system();
+        let mut sng = XoshiroSng::new(5);
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        let curve = s.transfer_curve(6, 8192, &mut sng, &mut rng).unwrap();
+        assert_eq!(curve.len(), 6);
+        for (x, est, exact) in curve {
+            assert!((est - exact).abs() < 0.05, "x={x}: est {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn invalid_x_rejected() {
+        let s = system();
+        let mut sng = XoshiroSng::new(1);
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        assert!(s.evaluate(1.5, 64, &mut sng, &mut rng).is_err());
+    }
+}

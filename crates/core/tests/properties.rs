@@ -1,0 +1,120 @@
+//! Property-based tests for the optical SC architecture.
+
+use osc_core::adder::OpticalAdder;
+use osc_core::design::mzi_first::{MziFirstDesign, MziFirstInputs};
+use osc_core::params::CircuitParams;
+use osc_core::snr::SnrModel;
+use osc_core::transmission::TransmissionModel;
+use osc_units::{DbRatio, Milliwatts, Nanometers};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The adder's control power depends only on the popcount, for any
+    /// word and order up to 6.
+    #[test]
+    fn adder_popcount_invariance(bits in proptest::collection::vec(any::<bool>(), 2..7)) {
+        let n = bits.len();
+        let params = CircuitParams::paper_fig7(n, Nanometers::new(0.3));
+        let adder = OpticalAdder::new(&params).unwrap();
+        let count = bits.iter().filter(|&&b| b).count();
+        let from_word = adder.control_power(&bits).unwrap();
+        let from_count = adder.control_power_for_count(count);
+        prop_assert!((from_word.as_mw() - from_count.as_mw()).abs() < 1e-9);
+    }
+
+    /// Adder control levels are strictly decreasing in the ones count.
+    #[test]
+    fn adder_levels_strictly_decreasing(order in 1usize..8) {
+        let params = CircuitParams::paper_fig7(order, Nanometers::new(0.3));
+        let adder = OpticalAdder::new(&params).unwrap();
+        let levels = adder.levels();
+        for pair in levels.windows(2) {
+            prop_assert!(pair[0] > pair[1]);
+        }
+    }
+
+    /// The MZI-first wavelength plan obeys the closed-form spacing
+    /// `pump·OTE·IL%·(1−ER%)/n`.
+    #[test]
+    fn mzi_first_spacing_closed_form(il in 3.0f64..7.4, er in 2.0f64..10.0) {
+        let inputs = MziFirstInputs::paper_fig6(DbRatio::from_db(il), DbRatio::from_db(er));
+        if let Ok(d) = MziFirstDesign::solve(&inputs) {
+            let il_lin = 10f64.powf(-il / 10.0);
+            let er_lin = 10f64.powf(-er / 10.0);
+            let expect = 600.0 * 0.01 * il_lin * (1.0 - er_lin) / 2.0;
+            prop_assert!(
+                (d.wl_spacing.as_nm() - expect).abs() < 1e-9,
+                "spacing {} vs closed form {expect}", d.wl_spacing.as_nm()
+            );
+        }
+    }
+
+    /// Minimum probe power scales exactly linearly with the noise
+    /// current (Eq. 8 structure).
+    #[test]
+    fn min_probe_linear_in_noise(scale in 0.2f64..5.0) {
+        let mut base = CircuitParams::paper_fig5();
+        let p1 = SnrModel::new(&base).unwrap().min_probe_power_for_ber(1e-6).unwrap();
+        base.noise_current_a *= scale;
+        let p2 = SnrModel::new(&base).unwrap().min_probe_power_for_ber(1e-6).unwrap();
+        prop_assert!((p2.as_mw() - scale * p1.as_mw()).abs() / p1.as_mw() < 1e-9);
+    }
+
+    /// Received power is monotone in each coefficient bit: flipping any
+    /// z-bit from 0 to 1 never decreases the detector power.
+    #[test]
+    fn received_power_monotone_in_z(
+        x0 in any::<bool>(), x1 in any::<bool>(),
+        z0 in any::<bool>(), z1 in any::<bool>(), z2 in any::<bool>(),
+        flip in 0usize..3,
+    ) {
+        let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
+        let mut z = [z0, z1, z2];
+        prop_assume!(!z[flip]);
+        let before = model
+            .received_power(&z, &[x0, x1], Milliwatts::new(1.0))
+            .unwrap();
+        z[flip] = true;
+        let after = model
+            .received_power(&z, &[x0, x1], Milliwatts::new(1.0))
+            .unwrap();
+        prop_assert!(
+            after.as_mw() >= before.as_mw() - 1e-9,
+            "flipping z{flip} reduced power: {before} -> {after}"
+        );
+    }
+
+    /// Filter detuning interpolates linearly between the all-zeros and
+    /// all-ones extremes as the popcount grows.
+    #[test]
+    fn delta_filter_linear_in_count(order in 2usize..7) {
+        let params = CircuitParams::paper_fig7(order, Nanometers::new(0.25));
+        let model = TransmissionModel::new(&params).unwrap();
+        let word = |count: usize| -> Vec<bool> {
+            (0..order).map(|i| i < count).collect()
+        };
+        let d0 = model.delta_filter(&word(0)).unwrap().as_nm();
+        let dn = model.delta_filter(&word(order)).unwrap().as_nm();
+        for k in 1..order {
+            let dk = model.delta_filter(&word(k)).unwrap().as_nm();
+            let expect = d0 + (dn - d0) * k as f64 / order as f64;
+            prop_assert!((dk - expect).abs() < 1e-9, "count {k}");
+        }
+    }
+
+    /// The paper_fig7 constructor always yields a valid, feasible design
+    /// for sensible orders and spacings.
+    #[test]
+    fn fig7_params_valid(order in 1usize..17, spacing in 0.1f64..1.0) {
+        let params = CircuitParams::paper_fig7(order, Nanometers::new(spacing));
+        prop_assert!(params.validate().is_ok());
+        // Channels strictly increasing and below λ_ref.
+        let ch = params.channels();
+        for pair in ch.windows(2) {
+            prop_assert!(pair[1] > pair[0]);
+        }
+        prop_assert!(*ch.last().unwrap() < params.lambda_ref);
+    }
+}

@@ -1,0 +1,224 @@
+//! Interpolation over tabulated curves.
+//!
+//! Measured device curves (e.g. literature modulator loss vs. speed) and
+//! precomputed sweeps are stored as sorted `(x, y)` tables and queried
+//! through [`LinearInterpolator`].
+
+use std::fmt;
+
+/// Error constructing an interpolator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Fewer than two samples were supplied.
+    TooFewPoints,
+    /// The abscissae are not strictly increasing.
+    NotStrictlyIncreasing {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::TooFewPoints => write!(f, "need at least two samples"),
+            InterpError::NotStrictlyIncreasing { index } => {
+                write!(f, "abscissae not strictly increasing at index {index}")
+            }
+            InterpError::NonFinite => write!(f, "non-finite sample coordinate"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Piecewise-linear interpolator over a strictly increasing grid.
+///
+/// Queries outside the grid are clamped to the end values (flat
+/// extrapolation), which is the conservative choice for device curves.
+///
+/// ```
+/// use osc_math::interp::LinearInterpolator;
+/// let f = LinearInterpolator::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0]).unwrap();
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(-3.0), 0.0); // clamped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterpolator {
+    /// Builds an interpolator from parallel coordinate vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] if fewer than two points are given, the
+    /// abscissae are not strictly increasing, or any coordinate is
+    /// non-finite.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, InterpError> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(InterpError::TooFewPoints);
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(InterpError::NonFinite);
+        }
+        for i in 1..xs.len() {
+            if xs[i] <= xs[i - 1] {
+                return Err(InterpError::NotStrictlyIncreasing { index: i });
+            }
+        }
+        Ok(LinearInterpolator { xs, ys })
+    }
+
+    /// Builds an interpolator from `(x, y)` pairs, sorting them first and
+    /// rejecting duplicate abscissae.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearInterpolator::new`].
+    pub fn from_pairs(mut pairs: Vec<(f64, f64)>) -> Result<Self, InterpError> {
+        if pairs.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(InterpError::NonFinite);
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let (xs, ys) = pairs.into_iter().unzip();
+        Self::new(xs, ys)
+    }
+
+    /// Number of samples in the table.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Domain covered by the table.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().unwrap())
+    }
+
+    /// Evaluates the interpolant at `x` with flat extrapolation.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the enclosing segment.
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
+        self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
+    }
+
+    /// Samples the interpolant on `n` uniform points across its domain.
+    pub fn resample(&self, n: usize) -> Vec<(f64, f64)> {
+        let (lo, hi) = self.domain();
+        crate::linspace(lo, hi, n)
+            .into_iter()
+            .map(|x| (x, self.eval(x)))
+            .collect()
+    }
+
+    /// Finds the abscissa of the minimum tabulated value (not interpolated).
+    pub fn argmin(&self) -> f64 {
+        let mut best = 0usize;
+        for i in 1..self.ys.len() {
+            if self.ys[i] < self.ys[best] {
+                best = i;
+            }
+        }
+        self.xs[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> LinearInterpolator {
+        LinearInterpolator::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, -2.0]).unwrap()
+    }
+
+    #[test]
+    fn interpolates_within_segments() {
+        let f = ramp();
+        assert_eq!(f.eval(0.5), 1.0);
+        assert_eq!(f.eval(2.0), 0.0);
+    }
+
+    #[test]
+    fn hits_knots_exactly() {
+        let f = ramp();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(1.0), 2.0);
+        assert_eq!(f.eval(3.0), -2.0);
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let f = ramp();
+        assert_eq!(f.eval(-5.0), 0.0);
+        assert_eq!(f.eval(99.0), -2.0);
+    }
+
+    #[test]
+    fn from_pairs_sorts() {
+        let f = LinearInterpolator::from_pairs(vec![(2.0, 4.0), (0.0, 0.0), (1.0, 1.0)]).unwrap();
+        assert_eq!(f.eval(1.5), 2.5);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = LinearInterpolator::new(vec![0.0, 0.0, 1.0], vec![1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(err, InterpError::NotStrictlyIncreasing { index: 1 });
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert_eq!(
+            LinearInterpolator::new(vec![0.0, f64::NAN], vec![0.0, 1.0]).unwrap_err(),
+            InterpError::NonFinite
+        );
+    }
+
+    #[test]
+    fn rejects_single_point() {
+        assert_eq!(
+            LinearInterpolator::new(vec![0.0], vec![0.0]).unwrap_err(),
+            InterpError::TooFewPoints
+        );
+    }
+
+    #[test]
+    fn resample_covers_domain() {
+        let pts = ramp().resample(5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[4].0, 3.0);
+    }
+
+    #[test]
+    fn argmin_of_v_shape() {
+        let f =
+            LinearInterpolator::new(vec![0.0, 1.0, 2.0, 3.0], vec![5.0, 1.0, 0.5, 4.0]).unwrap();
+        assert_eq!(f.argmin(), 2.0);
+    }
+}

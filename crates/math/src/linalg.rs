@@ -1,0 +1,286 @@
+//! Dense linear algebra for small systems.
+//!
+//! The workspace needs exactly two operations: solving the (tiny) normal
+//! equations of least-squares Bernstein fits, and multiplying the basis
+//! conversion matrices between power and Bernstein polynomial forms. A
+//! row-major [`Matrix`] with Gaussian elimination covers both; sizes never
+//! exceed ~20×20, so no pivoting exotica is needed beyond partial pivoting.
+
+use std::fmt;
+
+/// Error from linear solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinAlgError {
+    /// Dimensions of the operands do not match.
+    DimensionMismatch,
+    /// The matrix is singular to working precision.
+    Singular,
+}
+
+impl fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinAlgError::DimensionMismatch => write!(f, "dimension mismatch"),
+            LinAlgError::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl std::error::Error for LinAlgError {}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// [`LinAlgError::DimensionMismatch`] if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        if v.len() != self.cols {
+            return Err(LinAlgError::DimensionMismatch);
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Errors
+    ///
+    /// [`LinAlgError::DimensionMismatch`] on inner-dimension mismatch.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, LinAlgError> {
+        if self.cols != other.rows {
+            return Err(LinAlgError::DimensionMismatch);
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`LinAlgError::DimensionMismatch`] for non-square `A` or wrong `b`
+    /// length; [`LinAlgError::Singular`] when a pivot underflows.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        if self.rows != self.cols || b.len() != self.rows {
+            return Err(LinAlgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            for row in col + 1..n {
+                if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                    pivot = row;
+                }
+            }
+            if a[pivot * n + col].abs() < 1e-300 {
+                return Err(LinAlgError::Singular);
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for row in col + 1..n {
+                let factor = a[row * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in col + 1..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Least-squares solution of the overdetermined system `A x ≈ b` via
+    /// the normal equations `AᵀA x = Aᵀb` (adequate for the small,
+    /// well-conditioned fits in this workspace).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::solve`].
+    pub fn least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        if b.len() != self.rows {
+            return Err(LinAlgError::DimensionMismatch);
+        }
+        let at = self.transpose();
+        let ata = at.mul(self)?;
+        let atb = at.mul_vec(b)?;
+        ata.solve(&atb)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_2x2() {
+        let a = Matrix::from_fn(2, 2, |i, j| [[2.0, 1.0], [1.0, 3.0]][i][j]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_fn(2, 2, |i, j| [[0.0, 1.0], [1.0, 0.0]][i][j]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_fn(2, 2, |i, j| [[1.0, 2.0], [2.0, 4.0]][i][j]);
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), LinAlgError::Singular);
+    }
+
+    #[test]
+    fn solve_random_5x5_round_trip() {
+        let mut rng = crate::rng::Xoshiro256PlusPlus::new(3);
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            rng.next_f64() + if i == j { 5.0 } else { 0.0 }
+        });
+        let x_true: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let i = Matrix::identity(3);
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(i.mul_vec(&v).unwrap(), v);
+        let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(i.mul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // Fit y = 2x + 1 through noisy-free samples: exact recovery.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { xs[i] });
+        let b: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let coef = a.least_squares(&b).unwrap();
+        assert!((coef[0] - 1.0).abs() < 1e-10);
+        assert!((coef[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dimension_mismatches() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(a.mul_vec(&[1.0]).unwrap_err(), LinAlgError::DimensionMismatch);
+        assert_eq!(
+            a.solve(&[1.0, 2.0]).unwrap_err(),
+            LinAlgError::DimensionMismatch
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Scalar and low-dimensional minimizers used by the design-space
+//! exploration and device calibration code.
+//!
+//! Three tools cover every optimization in the workspace:
+//!
+//! - [`golden_section_min`] for smooth 1-D problems (the optimal wavelength
+//!   spacing of Fig. 7(a));
+//! - [`grid_min`] / [`grid_then_golden`] for robust global scans of noisy or
+//!   multi-modal objectives;
+//! - [`NelderMead`] for the 3–6 parameter device calibration fits.
+
+/// Result of a scalar minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// Argument of the minimum.
+    pub x: f64,
+    /// Objective value at the minimum.
+    pub value: f64,
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[lo, hi]`.
+///
+/// Converges to an interval of width `tol * (1 + |x|)`; the returned
+/// [`Minimum`] carries the midpoint of the final interval.
+///
+/// ```
+/// let m = osc_math::optimize::golden_section_min(|x| (x - 2.5) * (x - 2.5), 0.0, 5.0, 1e-10, 200);
+/// assert!((m.x - 2.5).abs() < 1e-8);
+/// ```
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Minimum {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    if lo > hi {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..max_iter {
+        if (hi - lo).abs() < tol * (1.0 + lo.abs().max(hi.abs())) {
+            break;
+        }
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    Minimum { x, value: f(x) }
+}
+
+/// Evaluates `f` on an `n`-point uniform grid over `[lo, hi]` and returns
+/// the best sample. Non-finite objective values are skipped.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn grid_min<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, n: usize) -> Minimum {
+    assert!(n >= 2, "grid_min needs at least two samples");
+    let mut best = Minimum {
+        x: lo,
+        value: f64::INFINITY,
+    };
+    for i in 0..n {
+        let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+        let v = f(x);
+        if v.is_finite() && v < best.value {
+            best = Minimum { x, value: v };
+        }
+    }
+    best
+}
+
+/// Coarse grid scan followed by golden-section refinement around the best
+/// cell — the standard pattern for objectives with one dominant basin plus
+/// possible plateaus (e.g. total laser energy vs wavelength spacing).
+pub fn grid_then_golden<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    grid_points: usize,
+    tol: f64,
+) -> Minimum {
+    let coarse = grid_min(&mut f, lo, hi, grid_points);
+    let cell = (hi - lo) / (grid_points - 1) as f64;
+    let refine_lo = (coarse.x - cell).max(lo);
+    let refine_hi = (coarse.x + cell).min(hi);
+    let fine = golden_section_min(&mut f, refine_lo, refine_hi, tol, 200);
+    if fine.value <= coarse.value {
+        fine
+    } else {
+        coarse
+    }
+}
+
+/// Configuration for the Nelder–Mead simplex minimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMead {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence threshold on the simplex function-value spread.
+    pub f_tol: f64,
+    /// Convergence threshold on the simplex diameter.
+    pub x_tol: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            max_evals: 4000,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+        }
+    }
+}
+
+/// Result of a multi-dimensional minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiMinimum {
+    /// Argument of the minimum.
+    pub x: Vec<f64>,
+    /// Objective value at the minimum.
+    pub value: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+impl NelderMead {
+    /// Creates a minimizer with the default budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Minimizes `f` starting from `x0` with initial simplex scale `scale`
+    /// per coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or `scale.len() != x0.len()`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        mut f: F,
+        x0: &[f64],
+        scale: &[f64],
+    ) -> MultiMinimum {
+        assert!(!x0.is_empty(), "need at least one dimension");
+        assert_eq!(x0.len(), scale.len(), "scale must match dimension");
+        let n = x0.len();
+        let mut evals = 0usize;
+        let mut eval = |p: &[f64], evals: &mut usize| -> f64 {
+            *evals += 1;
+            let v = f(p);
+            if v.is_finite() {
+                v
+            } else {
+                f64::MAX
+            }
+        };
+
+        // Build initial simplex: x0 plus one vertex per coordinate offset.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += if scale[i] != 0.0 { scale[i] } else { 1e-3 };
+            simplex.push(v);
+        }
+        let mut fv: Vec<f64> = simplex.iter().map(|p| eval(p, &mut evals)).collect();
+
+        while evals < self.max_evals {
+            // Order vertices by objective value.
+            let mut idx: Vec<usize> = (0..=n).collect();
+            idx.sort_by(|&a, &b| fv[a].partial_cmp(&fv[b]).unwrap());
+            let best = idx[0];
+            let worst = idx[n];
+            let second_worst = idx[n - 1];
+
+            let spread = (fv[worst] - fv[best]).abs();
+            let diameter = simplex
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .zip(&simplex[best])
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0_f64, f64::max)
+                })
+                .fold(0.0_f64, f64::max);
+            if spread < self.f_tol && diameter < self.x_tol {
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for (k, p) in simplex.iter().enumerate() {
+                if k == worst {
+                    continue;
+                }
+                for (c, &x) in centroid.iter_mut().zip(p) {
+                    *c += x / n as f64;
+                }
+            }
+
+            let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+                a.iter().zip(b).map(|(&x, &y)| x + t * (y - x)).collect()
+            };
+
+            // Reflection.
+            let reflected = lerp(&centroid, &simplex[worst], -1.0);
+            let f_ref = eval(&reflected, &mut evals);
+            if f_ref < fv[best] {
+                // Expansion.
+                let expanded = lerp(&centroid, &simplex[worst], -2.0);
+                let f_exp = eval(&expanded, &mut evals);
+                if f_exp < f_ref {
+                    simplex[worst] = expanded;
+                    fv[worst] = f_exp;
+                } else {
+                    simplex[worst] = reflected;
+                    fv[worst] = f_ref;
+                }
+            } else if f_ref < fv[second_worst] {
+                simplex[worst] = reflected;
+                fv[worst] = f_ref;
+            } else {
+                // Contraction.
+                let contracted = lerp(&centroid, &simplex[worst], 0.5);
+                let f_con = eval(&contracted, &mut evals);
+                if f_con < fv[worst] {
+                    simplex[worst] = contracted;
+                    fv[worst] = f_con;
+                } else {
+                    // Shrink toward the best vertex.
+                    let best_point = simplex[best].clone();
+                    for k in 0..=n {
+                        if k == best {
+                            continue;
+                        }
+                        simplex[k] = lerp(&best_point, &simplex[k], 0.5);
+                        fv[k] = eval(&simplex[k], &mut evals);
+                    }
+                }
+            }
+        }
+
+        let (arg_best, &value) = fv
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("simplex is non-empty");
+        MultiMinimum {
+            x: simplex[arg_best].clone(),
+            value,
+            evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_quadratic() {
+        let m = golden_section_min(|x| (x - 1.75) * (x - 1.75) + 3.0, -10.0, 10.0, 1e-12, 300);
+        assert!((m.x - 1.75).abs() < 1e-7);
+        assert!((m.value - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_swapped_bounds() {
+        let m = golden_section_min(|x| x * x, 4.0, -4.0, 1e-10, 200);
+        assert!(m.x.abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_min_finds_best_sample() {
+        let m = grid_min(|x| (x - 0.3).abs(), 0.0, 1.0, 11);
+        assert!((m.x - 0.3).abs() <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn grid_min_skips_nan_cells() {
+        let m = grid_min(
+            |x| if x < 0.5 { f64::NAN } else { (x - 0.8) * (x - 0.8) },
+            0.0,
+            1.0,
+            21,
+        );
+        assert!((m.x - 0.8).abs() < 0.051);
+    }
+
+    #[test]
+    fn grid_then_golden_refines() {
+        let m = grid_then_golden(|x| (x - 0.1653).powi(2), 0.0, 1.0, 11, 1e-12);
+        assert!((m.x - 0.1653).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let nm = NelderMead {
+            max_evals: 20_000,
+            ..NelderMead::default()
+        };
+        let res = nm.minimize(
+            |p| {
+                let (x, y) = (p[0], p[1]);
+                (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+            },
+            &[-1.2, 1.0],
+            &[0.5, 0.5],
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-4, "x={:?}", res.x);
+        assert!((res.x[1] - 1.0).abs() < 1e-4);
+        assert!(res.value < 1e-7);
+    }
+
+    #[test]
+    fn nelder_mead_sphere_3d() {
+        let res = NelderMead::new().minimize(
+            |p| p.iter().map(|v| v * v).sum(),
+            &[1.0, -2.0, 0.5],
+            &[0.3, 0.3, 0.3],
+        );
+        for v in &res.x {
+            assert!(v.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nelder_mead_handles_nan_regions() {
+        // Objective undefined (NaN) for x<0; minimum at x=0.25.
+        let res = NelderMead::new().minimize(
+            |p| {
+                if p[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (p[0] - 0.25).powi(2)
+                }
+            },
+            &[1.0],
+            &[0.2],
+        );
+        assert!((res.x[0] - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must match dimension")]
+    fn nelder_mead_dimension_mismatch() {
+        let _ = NelderMead::new().minimize(|p| p[0], &[0.0, 0.0], &[1.0]);
+    }
+}

@@ -1,0 +1,397 @@
+//! Scalar root finding: bisection, Newton–Raphson and Brent's method.
+//!
+//! The design methods of the paper repeatedly invert monotone physical maps
+//! (e.g. "which pump power parks the filter on λ0?", "which probe power hits
+//! the BER target?"); these solvers are the machinery behind those
+//! inversions.
+
+use std::fmt;
+
+/// Error produced by the root finders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FindRootError {
+    /// The supplied interval does not bracket a sign change.
+    NotBracketed {
+        /// f evaluated at the left end.
+        f_lo: f64,
+        /// f evaluated at the right end.
+        f_hi: f64,
+    },
+    /// The iteration budget was exhausted before convergence.
+    NoConvergence {
+        /// Best estimate when the budget ran out.
+        best: f64,
+        /// Residual |f(best)|.
+        residual: f64,
+    },
+    /// A non-finite value was encountered.
+    NonFinite,
+}
+
+impl fmt::Display for FindRootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FindRootError::NotBracketed { f_lo, f_hi } => write!(
+                f,
+                "interval does not bracket a root (f(lo)={f_lo}, f(hi)={f_hi})"
+            ),
+            FindRootError::NoConvergence { best, residual } => write!(
+                f,
+                "root finder failed to converge (best={best}, residual={residual})"
+            ),
+            FindRootError::NonFinite => write!(f, "non-finite value during root finding"),
+        }
+    }
+}
+
+impl std::error::Error for FindRootError {}
+
+/// Default tolerance used by the convenience wrappers.
+pub const DEFAULT_TOL: f64 = 1e-12;
+/// Default iteration budget.
+pub const DEFAULT_MAX_ITER: usize = 200;
+
+/// Bisection on `[lo, hi]`; requires `f(lo)` and `f(hi)` to have opposite
+/// signs.
+///
+/// Robust and guaranteed to converge linearly; used when monotonicity is
+/// known but smoothness is not (e.g. piecewise device look-ups).
+///
+/// # Errors
+///
+/// [`FindRootError::NotBracketed`] if there is no sign change,
+/// [`FindRootError::NonFinite`] on NaN/inf evaluations.
+///
+/// ```
+/// let r = osc_math::roots::bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+/// assert!((r - 2.0_f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, FindRootError> {
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if !f_lo.is_finite() || !f_hi.is_finite() {
+        return Err(FindRootError::NonFinite);
+    }
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(FindRootError::NotBracketed { f_lo, f_hi });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if !f_mid.is_finite() {
+            return Err(FindRootError::NonFinite);
+        }
+        if f_mid == 0.0 || (hi - lo).abs() < tol * (1.0 + mid.abs()) {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let best = 0.5 * (lo + hi);
+    Err(FindRootError::NoConvergence {
+        best,
+        residual: f(best).abs(),
+    })
+}
+
+/// Newton–Raphson with analytic derivative; falls back on halving the step
+/// when an iterate leaves `[lo, hi]`.
+///
+/// # Errors
+///
+/// [`FindRootError::NoConvergence`] when the budget is exhausted,
+/// [`FindRootError::NonFinite`] on NaN/inf evaluations.
+///
+/// ```
+/// let r = osc_math::roots::newton(
+///     |x| (x * x - 2.0, 2.0 * x),
+///     1.0,
+///     0.0,
+///     2.0,
+///     1e-14,
+///     100,
+/// )
+/// .unwrap();
+/// assert!((r - 2.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn newton<F: FnMut(f64) -> (f64, f64)>(
+    mut f_df: F,
+    x0: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, FindRootError> {
+    let mut x = x0;
+    for _ in 0..max_iter {
+        let (fx, dfx) = f_df(x);
+        if !fx.is_finite() || !dfx.is_finite() {
+            return Err(FindRootError::NonFinite);
+        }
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        let mut step = if dfx.abs() > f64::MIN_POSITIVE {
+            fx / dfx
+        } else {
+            // Degenerate derivative: nudge by the interval scale.
+            (hi - lo) * 0.01 * fx.signum()
+        };
+        let mut next = x - step;
+        // Keep the iterate inside the trust interval by damping.
+        let mut damping = 0;
+        while (next < lo || next > hi) && damping < 60 {
+            step *= 0.5;
+            next = x - step;
+            damping += 1;
+        }
+        if (next - x).abs() < tol * (1.0 + x.abs()) {
+            return Ok(next);
+        }
+        x = next;
+    }
+    let residual = f_df(x).0.abs();
+    Err(FindRootError::NoConvergence { best: x, residual })
+}
+
+/// Brent's method: inverse-quadratic interpolation guarded by bisection.
+///
+/// The workhorse solver — superlinear on smooth transmission curves yet as
+/// robust as bisection. Requires a bracketing interval.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// ```
+/// let r = osc_math::roots::brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100).unwrap();
+/// assert!((r - 0.7390851332151607).abs() < 1e-12);
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, FindRootError> {
+    let mut a = a0;
+    let mut b = b0;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(FindRootError::NonFinite);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(FindRootError::NotBracketed { f_lo: fa, f_hi: fb });
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+    for _ in 0..max_iter {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best estimate.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let q0 = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * q0 * (q0 - r) - (b - a) * (r - 1.0));
+                q = (q0 - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        if d.abs() > tol1 {
+            b += d;
+        } else {
+            b += tol1.copysign(xm);
+        }
+        fb = f(b);
+        if !fb.is_finite() {
+            return Err(FindRootError::NonFinite);
+        }
+        if fb.signum() == fc.signum() {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(FindRootError::NoConvergence {
+        best: b,
+        residual: fb.abs(),
+    })
+}
+
+/// Expands an interval geometrically around `[lo, hi]` until it brackets a
+/// sign change of `f`, up to `max_expansions` doublings.
+///
+/// Returns the bracketing interval, or `None` if expansion failed.
+pub fn expand_bracket<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    max_expansions: usize,
+) -> Option<(f64, f64)> {
+    let mut f_lo = f(lo);
+    let mut f_hi = f(hi);
+    for _ in 0..max_expansions {
+        if f_lo.is_finite() && f_hi.is_finite() && f_lo.signum() != f_hi.signum() {
+            return Some((lo, hi));
+        }
+        let width = hi - lo;
+        if f_lo.abs() < f_hi.abs() {
+            lo -= width;
+            f_lo = f(lo);
+        } else {
+            hi += width;
+            f_hi = f(hi);
+        }
+    }
+    if f_lo.is_finite() && f_hi.is_finite() && f_lo.signum() != f_hi.signum() {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 300).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_detects_missing_bracket() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err();
+        assert!(matches!(err, FindRootError::NotBracketed { .. }));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn newton_converges_quadratically() {
+        let r = newton(|x| (x.exp() - 3.0, x.exp()), 1.0, 0.0, 3.0, 1e-14, 50).unwrap();
+        assert!((r - 3.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_respects_bounds() {
+        // Start far away; the damping keeps iterates inside [0, 10].
+        let r = newton(
+            |x| (x * x * x - 8.0, 3.0 * x * x),
+            9.5,
+            0.0,
+            10.0,
+            1e-13,
+            100,
+        )
+        .unwrap();
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_on_transcendental() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-15, 100).unwrap();
+        assert!((r - 0.7390851332151607).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_polynomial() {
+        let f = |x: f64| x.powi(3) - 2.0 * x - 5.0; // classic Wallis cubic
+        let rb = brent(f, 2.0, 3.0, 1e-14, 100).unwrap();
+        let ri = bisect(f, 2.0, 3.0, 1e-13, 300).unwrap();
+        assert!((rb - ri).abs() < 1e-9);
+        assert!((rb - 2.0945514815423265).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_not_bracketed() {
+        assert!(matches!(
+            brent(|x| x * x + 0.5, -1.0, 1.0, 1e-12, 100),
+            Err(FindRootError::NotBracketed { .. })
+        ));
+    }
+
+    #[test]
+    fn expand_bracket_grows_interval() {
+        let (lo, hi) = expand_bracket(|x| x - 10.0, 0.0, 1.0, 20).unwrap();
+        assert!(lo <= 10.0 && hi >= 10.0);
+        let r = brent(|x| x - 10.0, lo, hi, 1e-13, 100).unwrap();
+        assert!((r - 10.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expand_bracket_gives_up() {
+        assert!(expand_bracket(|x| x * x + 1.0, -1.0, 1.0, 8).is_none());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FindRootError::NotBracketed { f_lo: 1.0, f_hi: 2.0 };
+        assert!(e.to_string().contains("does not bracket"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Avalanche photodiode receiver (paper future work: "the benefits of
+//! using high responsivity avalanche photodiode \[21\] will be evaluated").
+//!
+//! An APD multiplies the primary photocurrent by an avalanche gain `M`,
+//! but the stochastic multiplication also amplifies noise by the excess
+//! noise factor `F(M) ≈ M^x` (McIntyre's approximation with excess-noise
+//! exponent `x`; `x ≈ 0.3` for good Si APDs, `x → 1` for InGaAs).
+//! Relative to the paper's Eq. (8) receiver, the decision SNR improves by
+//! `M / √F(M) = M^(1 − x/2)` as long as the front end stays limited by
+//! its input-referred (thermal) noise — which is the regime the paper's
+//! `i_n` abstraction models.
+
+use crate::detector::Photodetector;
+use crate::{check_range, DeviceError};
+use osc_units::Amperes;
+use serde::{Deserialize, Serialize};
+
+/// An avalanche photodiode front end wrapping the paper's PIN model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApdDetector {
+    base: Photodetector,
+    gain: f64,
+    excess_noise_exponent: f64,
+}
+
+impl ApdDetector {
+    /// Creates an APD from a base (unity-gain) detector, an avalanche
+    /// gain `M ≥ 1` and an excess-noise exponent `x ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] for out-of-range gain or exponent.
+    pub fn new(
+        base: Photodetector,
+        gain: f64,
+        excess_noise_exponent: f64,
+    ) -> Result<Self, DeviceError> {
+        check_range("gain", gain, 1.0, 1e4, "1 <= M <= 1e4")?;
+        check_range(
+            "excess_noise_exponent",
+            excess_noise_exponent,
+            0.0,
+            1.0,
+            "0 <= x <= 1",
+        )?;
+        Ok(ApdDetector {
+            base,
+            gain,
+            excess_noise_exponent,
+        })
+    }
+
+    /// The Steindl et al. \[21\] linear-mode Si APD: high responsivity with
+    /// low excess noise, modeled as M = 100, x = 0.3 on the calibrated
+    /// base detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (none for these constants).
+    pub fn steindl_2014(base: Photodetector) -> Result<Self, DeviceError> {
+        Self::new(base, 100.0, 0.3)
+    }
+
+    /// The unity-gain base detector.
+    pub fn base(&self) -> &Photodetector {
+        &self.base
+    }
+
+    /// Avalanche gain `M`.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Excess noise factor `F(M) = M^x`.
+    pub fn excess_noise_factor(&self) -> f64 {
+        self.gain.powf(self.excess_noise_exponent)
+    }
+
+    /// SNR improvement over the base detector: `M / √F(M)`.
+    pub fn snr_improvement(&self) -> f64 {
+        self.gain / self.excess_noise_factor().sqrt()
+    }
+
+    /// The equivalent Eq.-(8)-style detector: responsivity multiplied by
+    /// `M`, input-referred noise current multiplied by `√F(M)` (the
+    /// avalanche-amplified noise referred back through the gain).
+    ///
+    /// Plugging this into [`crate::detector::Photodetector`]-consuming
+    /// analyses (e.g. minimum probe power) directly yields the APD
+    /// benefit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector construction errors (not reachable for valid
+    /// APDs).
+    pub fn effective_detector(&self) -> Result<Photodetector, DeviceError> {
+        Photodetector::new(
+            self.base.responsivity() * self.gain,
+            Amperes::new(
+                self.base.noise_current().as_amps() * self.gain
+                    / self.snr_improvement(),
+            ),
+        )
+    }
+}
+
+/// Probe-power reduction factor offered by an APD for a fixed BER target:
+/// since required power scales with `i_n / R`, the factor is exactly
+/// `1 / snr_improvement()`.
+pub fn probe_power_reduction(apd: &ApdDetector) -> f64 {
+    1.0 / apd.snr_improvement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Photodetector {
+        Photodetector::new(1.1, Amperes::from_microamps(13.41)).unwrap()
+    }
+
+    #[test]
+    fn unity_gain_is_transparent() {
+        let apd = ApdDetector::new(base(), 1.0, 0.3).unwrap();
+        assert_eq!(apd.excess_noise_factor(), 1.0);
+        assert_eq!(apd.snr_improvement(), 1.0);
+        let eff = apd.effective_detector().unwrap();
+        assert!((eff.responsivity() - 1.1).abs() < 1e-12);
+        assert!(
+            (eff.noise_current().as_amps() - base().noise_current().as_amps()).abs() < 1e-18
+        );
+    }
+
+    #[test]
+    fn steindl_apd_improves_snr() {
+        let apd = ApdDetector::steindl_2014(base()).unwrap();
+        // M / sqrt(M^0.3) = M^0.85 = 100^0.85 ≈ 50.1
+        assert!((apd.snr_improvement() - 100f64.powf(0.85)).abs() < 1e-9);
+        assert!(apd.snr_improvement() > 50.0);
+    }
+
+    #[test]
+    fn effective_detector_snr_matches_improvement() {
+        use osc_units::Milliwatts;
+        let apd = ApdDetector::steindl_2014(base()).unwrap();
+        let eff = apd.effective_detector().unwrap();
+        let p1 = Milliwatts::new(0.4);
+        let p0 = Milliwatts::new(0.1);
+        let ratio = eff.snr(p1, p0) / base().snr(p1, p0);
+        assert!(
+            (ratio - apd.snr_improvement()).abs() / apd.snr_improvement() < 1e-9,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn probe_power_reduction_matches() {
+        let apd = ApdDetector::new(base(), 25.0, 0.4).unwrap();
+        let red = probe_power_reduction(&apd);
+        assert!((red - 1.0 / apd.snr_improvement()).abs() < 1e-12);
+        assert!(red < 0.1, "25x gain should cut probe power >10x");
+    }
+
+    #[test]
+    fn worst_case_excess_noise_still_helps() {
+        // x = 1 (InGaAs-like): improvement = sqrt(M), still > 1.
+        let apd = ApdDetector::new(base(), 16.0, 1.0).unwrap();
+        assert!((apd.snr_improvement() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ApdDetector::new(base(), 0.5, 0.3).is_err());
+        assert!(ApdDetector::new(base(), 10.0, 1.5).is_err());
+    }
+}

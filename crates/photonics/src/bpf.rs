@@ -1,0 +1,142 @@
+//! Band-pass filter for pump absorption (paper Fig. 3(a)/4(a): "The
+//! output signal is transmitted to a Band Pass Filter (BPF) for pump
+//! signal absorption").
+//!
+//! The paper neglects the BPF's effect on the probe band in Eq. (6); the
+//! model here keeps that behaviour available (a small in-band insertion
+//! loss) while adding the pump rejection the device exists for — needed
+//! whenever the detector path is analyzed with the pump present (e.g.
+//! the transient waveform view).
+
+use crate::{check_range, DeviceError};
+use osc_units::{DbRatio, Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+/// A band-pass filter passing the probe band and rejecting the pump.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandPassFilter {
+    center: Nanometers,
+    bandwidth: Nanometers,
+    in_band_loss: DbRatio,
+    rejection: DbRatio,
+}
+
+impl BandPassFilter {
+    /// Creates a BPF centred on the probe band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] for non-positive bandwidth or negative
+    /// losses.
+    pub fn new(
+        center: Nanometers,
+        bandwidth: Nanometers,
+        in_band_loss: DbRatio,
+        rejection: DbRatio,
+    ) -> Result<Self, DeviceError> {
+        check_range("bandwidth", bandwidth.as_nm(), 1e-9, f64::MAX, "BW > 0")?;
+        check_range("in_band_loss_db", in_band_loss.as_db(), 0.0, f64::MAX, "loss >= 0")?;
+        check_range("rejection_db", rejection.as_db(), 0.0, f64::MAX, "rejection >= 0")?;
+        Ok(BandPassFilter {
+            center,
+            bandwidth,
+            in_band_loss,
+            rejection,
+        })
+    }
+
+    /// A BPF sized for the paper's Fig. 5 plan: passes 1547.5–1550.6 nm
+    /// (the probe comb plus the filter excursion) with 0.5 dB loss and
+    /// rejects out-of-band light (the pump) by 40 dB.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (none for these constants).
+    pub fn paper_probe_band() -> Result<Self, DeviceError> {
+        Self::new(
+            Nanometers::new(1549.05),
+            Nanometers::new(3.1),
+            DbRatio::from_db(0.5),
+            DbRatio::from_db(40.0),
+        )
+    }
+
+    /// Pass-band centre.
+    pub fn center(&self) -> Nanometers {
+        self.center
+    }
+
+    /// Pass-band full width.
+    pub fn bandwidth(&self) -> Nanometers {
+        self.bandwidth
+    }
+
+    /// Whether a wavelength falls inside the pass band.
+    pub fn passes(&self, wavelength: Nanometers) -> bool {
+        (wavelength - self.center).abs().as_nm() <= self.bandwidth.as_nm() / 2.0
+    }
+
+    /// Power transmission at a wavelength (in-band loss or rejection).
+    pub fn transmission(&self, wavelength: Nanometers) -> f64 {
+        if self.passes(wavelength) {
+            self.in_band_loss.as_linear()
+        } else {
+            self.in_band_loss.as_linear() * self.rejection.as_linear()
+        }
+    }
+
+    /// Filters one spectral component.
+    pub fn apply(&self, wavelength: Nanometers, power: Milliwatts) -> Milliwatts {
+        power * self.transmission(wavelength)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_band_passes_probes_rejects_pump() {
+        let bpf = BandPassFilter::paper_probe_band().unwrap();
+        for probe in [1548.0, 1549.0, 1550.0] {
+            assert!(bpf.passes(Nanometers::new(probe)), "λ={probe}");
+        }
+        // The pump sits one FSR below the filter reference (~1540 nm).
+        assert!(!bpf.passes(Nanometers::new(1540.0)));
+        let pump_through = bpf.transmission(Nanometers::new(1540.0));
+        let probe_through = bpf.transmission(Nanometers::new(1549.0));
+        assert!(probe_through / pump_through > 9000.0);
+    }
+
+    #[test]
+    fn in_band_loss_applied() {
+        let bpf = BandPassFilter::paper_probe_band().unwrap();
+        let out = bpf.apply(Nanometers::new(1549.0), Milliwatts::new(1.0));
+        assert!((out.as_mw() - 10f64.powf(-0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_edges_inclusive() {
+        let bpf = BandPassFilter::new(
+            Nanometers::new(1550.0),
+            Nanometers::new(2.0),
+            DbRatio::UNITY,
+            DbRatio::from_db(30.0),
+        )
+        .unwrap();
+        assert!(bpf.passes(Nanometers::new(1549.0)));
+        assert!(bpf.passes(Nanometers::new(1551.0)));
+        assert!(!bpf.passes(Nanometers::new(1551.01)));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BandPassFilter::new(
+            Nanometers::new(1550.0),
+            Nanometers::new(0.0),
+            DbRatio::UNITY,
+            DbRatio::UNITY
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Power splitters and combiners for the MZI adder (paper Fig. 4(a)).
+//!
+//! The pump laser feeds an `n`-way splitter whose outputs drive the MZIs;
+//! the MZI outputs merge in an `n`-way combiner. The paper's Eq. (7.a)
+//! models both as ideal `1/n` dividers; real devices add a small excess
+//! loss, which this model exposes as an optional dB penalty per stage.
+
+use crate::{check_range, DeviceError};
+use osc_units::{DbRatio, Milliwatts};
+use serde::{Deserialize, Serialize};
+
+/// An `n`-way optical power splitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Splitter {
+    ways: usize,
+    excess_loss: DbRatio,
+}
+
+impl Splitter {
+    /// Creates an ideal (lossless) `n`-way splitter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if `ways == 0`.
+    pub fn ideal(ways: usize) -> Result<Self, DeviceError> {
+        Self::with_excess_loss(ways, DbRatio::UNITY)
+    }
+
+    /// Creates a splitter with a per-traversal excess loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if `ways == 0` or the loss is negative.
+    pub fn with_excess_loss(ways: usize, excess_loss: DbRatio) -> Result<Self, DeviceError> {
+        if ways == 0 {
+            return Err(DeviceError::OutOfRange {
+                name: "ways",
+                value: 0.0,
+                constraint: "ways >= 1",
+            });
+        }
+        check_range("excess_loss_db", excess_loss.as_db(), 0.0, f64::MAX, "loss >= 0 dB")?;
+        Ok(Splitter { ways, excess_loss })
+    }
+
+    /// Number of output ports.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Excess loss per traversal.
+    pub fn excess_loss(&self) -> DbRatio {
+        self.excess_loss
+    }
+
+    /// Power fraction delivered to each output port.
+    pub fn per_port_fraction(&self) -> f64 {
+        self.excess_loss.as_linear() / self.ways as f64
+    }
+
+    /// Power at each output for a given input.
+    pub fn split(&self, input: Milliwatts) -> Milliwatts {
+        input * self.per_port_fraction()
+    }
+}
+
+/// An `n`-way combiner that sums port powers (incoherent power addition,
+/// matching the paper's `1/n · Σ T_MZI` model) with optional excess loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Combiner {
+    ways: usize,
+    excess_loss: DbRatio,
+}
+
+impl Combiner {
+    /// Creates an ideal (lossless) combiner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if `ways == 0`.
+    pub fn ideal(ways: usize) -> Result<Self, DeviceError> {
+        Self::with_excess_loss(ways, DbRatio::UNITY)
+    }
+
+    /// Creates a combiner with excess loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if `ways == 0` or the loss is negative.
+    pub fn with_excess_loss(ways: usize, excess_loss: DbRatio) -> Result<Self, DeviceError> {
+        if ways == 0 {
+            return Err(DeviceError::OutOfRange {
+                name: "ways",
+                value: 0.0,
+                constraint: "ways >= 1",
+            });
+        }
+        check_range("excess_loss_db", excess_loss.as_db(), 0.0, f64::MAX, "loss >= 0 dB")?;
+        Ok(Combiner { ways, excess_loss })
+    }
+
+    /// Number of input ports.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Excess loss per traversal.
+    pub fn excess_loss(&self) -> DbRatio {
+        self.excess_loss
+    }
+
+    /// Combines port powers into the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of supplied port powers differs from `ways`.
+    pub fn combine(&self, ports: &[Milliwatts]) -> Milliwatts {
+        assert_eq!(
+            ports.len(),
+            self.ways,
+            "combiner expects {} port powers",
+            self.ways
+        );
+        let sum: Milliwatts = ports.iter().copied().sum();
+        sum * self.excess_loss.as_linear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_split_is_1_over_n() {
+        let s = Splitter::ideal(2).unwrap();
+        assert_eq!(s.per_port_fraction(), 0.5);
+        assert_eq!(s.split(Milliwatts::new(600.0)).as_mw(), 300.0);
+    }
+
+    #[test]
+    fn lossy_split() {
+        let s = Splitter::with_excess_loss(4, DbRatio::from_db(0.5)).unwrap();
+        let f = s.per_port_fraction();
+        assert!((f - 0.25 * 10f64.powf(-0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combiner_sums_ports() {
+        let c = Combiner::ideal(3).unwrap();
+        let out = c.combine(&[
+            Milliwatts::new(0.1),
+            Milliwatts::new(0.2),
+            Milliwatts::new(0.3),
+        ]);
+        assert!((out.as_mw() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_then_combine_round_trip_ideal() {
+        // An ideal splitter + combiner with identity arms returns the input.
+        let n = 5;
+        let s = Splitter::ideal(n).unwrap();
+        let c = Combiner::ideal(n).unwrap();
+        let input = Milliwatts::new(1.0);
+        let ports: Vec<Milliwatts> = (0..n).map(|_| s.split(input)).collect();
+        let out = c.combine(&ports);
+        assert!((out.as_mw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 3 port powers")]
+    fn combiner_arity_checked() {
+        let c = Combiner::ideal(3).unwrap();
+        let _ = c.combine(&[Milliwatts::new(0.1)]);
+    }
+
+    #[test]
+    fn zero_ways_rejected() {
+        assert!(Splitter::ideal(0).is_err());
+        assert!(Combiner::ideal(0).is_err());
+    }
+
+    #[test]
+    fn negative_loss_rejected() {
+        assert!(Splitter::with_excess_loss(2, DbRatio::from_db(-1.0)).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Photodetector / receiver front end (paper Eq. 8 parameters `R`, `i_n`).
+//!
+//! The paper models the receiver with two parameters: responsivity `R`
+//! (A/W) and an internal noise current `i_n` (A). The SNR of an on/off
+//! keyed decision between received powers `P1` and `P0` is
+//!
+//! `SNR = R · (P1 − P0) / i_n`
+//!
+//! and the bit error rate under Gaussian noise and a mid-point threshold is
+//! `BER = 0.5 · erfc(SNR / (2√2))` (paper Eq. 9). For end-to-end stochastic
+//! simulation the detector can also *sample* a noisy observation with the
+//! equivalent input-referred power noise `σ_P = i_n / R`.
+
+use crate::{check_range, DeviceError};
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_math::special::erfc;
+use osc_units::{Amperes, Milliwatts};
+use serde::{Deserialize, Serialize};
+
+/// A photodetector with responsivity and input-referred noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Photodetector {
+    responsivity_a_per_w: f64,
+    noise_current: Amperes,
+}
+
+impl Photodetector {
+    /// Creates a detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] for non-positive responsivity or noise
+    /// current (a noiseless detector would make every SNR infinite and is
+    /// rejected to keep the design methods well-posed).
+    pub fn new(responsivity_a_per_w: f64, noise_current: Amperes) -> Result<Self, DeviceError> {
+        check_range(
+            "responsivity",
+            responsivity_a_per_w,
+            1e-12,
+            f64::MAX,
+            "R > 0",
+        )?;
+        check_range(
+            "noise_current",
+            noise_current.as_amps(),
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            "i_n > 0",
+        )?;
+        Ok(Photodetector {
+            responsivity_a_per_w,
+            noise_current,
+        })
+    }
+
+    /// Responsivity in A/W.
+    pub fn responsivity(&self) -> f64 {
+        self.responsivity_a_per_w
+    }
+
+    /// Internal noise current.
+    pub fn noise_current(&self) -> Amperes {
+        self.noise_current
+    }
+
+    /// Photocurrent for a received optical power.
+    pub fn photocurrent(&self, power: Milliwatts) -> Amperes {
+        Amperes::from_power(power, self.responsivity_a_per_w)
+    }
+
+    /// Input-referred RMS power noise `σ_P = i_n / R`.
+    pub fn power_noise(&self) -> Milliwatts {
+        Milliwatts::from_watts(self.noise_current.as_amps() / self.responsivity_a_per_w)
+    }
+
+    /// SNR of discriminating `p1` from `p0` (paper Eq. 8 numerator for a
+    /// single decision): `R · (P1 − P0) / i_n`.
+    pub fn snr(&self, p1: Milliwatts, p0: Milliwatts) -> f64 {
+        (self.photocurrent(p1).as_amps() - self.photocurrent(p0).as_amps())
+            / self.noise_current.as_amps()
+    }
+
+    /// OOK bit error rate for the separation `p1`/`p0` under a mid-point
+    /// threshold (paper Eq. 9).
+    pub fn ber(&self, p1: Milliwatts, p0: Milliwatts) -> f64 {
+        let snr = self.snr(p1, p0);
+        ber_from_snr(snr)
+    }
+
+    /// Draws one noisy power observation: true power plus Gaussian noise of
+    /// magnitude [`Photodetector::power_noise`]. (Negative observations are
+    /// possible — the receiver thresholds raw electrical samples.)
+    pub fn sample(&self, power: Milliwatts, rng: &mut Xoshiro256PlusPlus) -> Milliwatts {
+        Milliwatts::new(rng.gaussian_with(power.as_mw(), self.power_noise().as_mw()))
+    }
+
+    /// Hard decision against an explicit threshold.
+    pub fn decide(&self, observed: Milliwatts, threshold: Milliwatts) -> bool {
+        observed > threshold
+    }
+}
+
+/// Paper Eq. 9: `BER = 0.5 · erfc(SNR / (2·√2))`.
+///
+/// Non-positive SNR saturates at 0.5 (indistinguishable levels).
+pub fn ber_from_snr(snr: f64) -> f64 {
+    if snr <= 0.0 {
+        return 0.5;
+    }
+    0.5 * erfc(snr / (2.0 * std::f64::consts::SQRT_2))
+}
+
+/// Inverse of [`ber_from_snr`]: the SNR needed to reach a target BER.
+///
+/// # Panics
+///
+/// Panics if `ber` is outside `(0, 0.5)`.
+pub fn snr_for_ber(ber: f64) -> f64 {
+    assert!(
+        ber > 0.0 && ber < 0.5,
+        "target BER must lie in (0, 0.5), got {ber}"
+    );
+    2.0 * std::f64::consts::SQRT_2 * osc_math::special::inv_erfc(2.0 * ber)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> Photodetector {
+        Photodetector::new(1.1, Amperes::from_microamps(50.0)).unwrap()
+    }
+
+    #[test]
+    fn photocurrent_scale() {
+        let d = detector();
+        let i = d.photocurrent(Milliwatts::new(0.476));
+        assert!((i.as_microamps() - 523.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn power_noise_is_in_over_r() {
+        let d = detector();
+        assert!((d.power_noise().as_mw() - 50.0e-6 / 1.1 * 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_matches_hand_computation() {
+        let d = detector();
+        let snr = d.snr(Milliwatts::new(0.476), Milliwatts::new(0.095));
+        let expect = 1.1 * (0.476e-3 - 0.095e-3) / 50e-6;
+        assert!((snr - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ber_decreases_with_separation() {
+        let d = detector();
+        let b_small = d.ber(Milliwatts::new(0.2), Milliwatts::new(0.1));
+        let b_large = d.ber(Milliwatts::new(0.5), Milliwatts::new(0.1));
+        assert!(b_large < b_small);
+    }
+
+    #[test]
+    fn ber_saturates_at_half() {
+        assert_eq!(ber_from_snr(0.0), 0.5);
+        assert_eq!(ber_from_snr(-3.0), 0.5);
+        let d = detector();
+        assert_eq!(d.ber(Milliwatts::new(0.1), Milliwatts::new(0.1)), 0.5);
+    }
+
+    #[test]
+    fn snr_for_ber_round_trip() {
+        for ber in [1e-2, 1e-4, 1e-6, 1e-9] {
+            let snr = snr_for_ber(ber);
+            let back = ber_from_snr(snr);
+            assert!((back - ber).abs() / ber < 1e-8, "ber={ber}");
+        }
+    }
+
+    #[test]
+    fn paper_fig6b_power_halving() {
+        // Fig. 6(b): relaxing 1e-6 to 1e-2 halves the required probe power
+        // because required power is proportional to required SNR.
+        let ratio = snr_for_ber(1e-2) / snr_for_ber(1e-6);
+        assert!((ratio - 0.489).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn sampling_statistics() {
+        let d = detector();
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        let mut stats = osc_math::stats::RunningStats::new();
+        for _ in 0..50_000 {
+            stats.push(d.sample(Milliwatts::new(0.3), &mut rng).as_mw());
+        }
+        assert!((stats.mean() - 0.3).abs() < 1e-3);
+        assert!((stats.std_dev() - d.power_noise().as_mw()).abs() < 2e-3);
+    }
+
+    #[test]
+    fn decision_threshold() {
+        let d = detector();
+        assert!(d.decide(Milliwatts::new(0.3), Milliwatts::new(0.28)));
+        assert!(!d.decide(Milliwatts::new(0.27), Milliwatts::new(0.28)));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Photodetector::new(0.0, Amperes::from_microamps(1.0)).is_err());
+        assert!(Photodetector::new(1.0, Amperes::new(0.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 0.5)")]
+    fn snr_for_ber_rejects_out_of_range() {
+        let _ = snr_for_ber(0.7);
+    }
+}

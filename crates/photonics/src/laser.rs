@@ -1,0 +1,339 @@
+//! Laser sources: continuous-wave probes, the pulsed pump, and WDM combs.
+//!
+//! The paper's energy study (Section V.C) distinguishes two consumption
+//! modes:
+//!
+//! - the `n+1` **probe lasers** run continuously (their OOK data occupies
+//!   the whole 1 ns bit slot), so each bit costs `P_probe × T_bit / η`;
+//! - the **pump laser** can be pulsed (26 ps pulses from Van et al. \[15\]),
+//!   so each bit costs only `P_pump × T_pulse / η` — the key lever behind
+//!   the 20.1 pJ/bit headline number.
+//!
+//! `η` is the lasing (wall-plug) efficiency, 20% in the paper.
+
+use crate::{check_range, DeviceError};
+use osc_units::{Milliwatts, Nanometers, Picojoules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A continuous-wave laser at a fixed wavelength.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CwLaser {
+    wavelength: Nanometers,
+    power: Milliwatts,
+    efficiency: f64,
+}
+
+impl CwLaser {
+    /// Creates a CW laser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] for non-positive power/wavelength or an
+    /// efficiency outside `(0, 1]`.
+    pub fn new(
+        wavelength: Nanometers,
+        power: Milliwatts,
+        efficiency: f64,
+    ) -> Result<Self, DeviceError> {
+        check_range("wavelength", wavelength.as_nm(), 1e-6, f64::MAX, "λ > 0")?;
+        check_range("power", power.as_mw(), 0.0, f64::MAX, "P >= 0")?;
+        check_range("efficiency", efficiency, 1e-9, 1.0, "0 < η <= 1")?;
+        Ok(CwLaser {
+            wavelength,
+            power,
+            efficiency,
+        })
+    }
+
+    /// Emission wavelength.
+    pub fn wavelength(&self) -> Nanometers {
+        self.wavelength
+    }
+
+    /// Optical output power.
+    pub fn power(&self) -> Milliwatts {
+        self.power
+    }
+
+    /// Wall-plug (lasing) efficiency `η`.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Returns a copy emitting at a different power (for sweeps).
+    pub fn with_power(mut self, power: Milliwatts) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Electrical (wall-plug) energy consumed over one bit slot.
+    pub fn energy_per_bit(&self, bit_slot: Seconds) -> Picojoules {
+        self.power.over(bit_slot) / self.efficiency
+    }
+}
+
+/// A pulsed laser emitting one pulse per bit slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PulsedLaser {
+    wavelength: Nanometers,
+    peak_power: Milliwatts,
+    pulse_width: Seconds,
+    efficiency: f64,
+}
+
+impl PulsedLaser {
+    /// Creates a pulsed laser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] under the same conditions as
+    /// [`CwLaser::new`], plus a non-positive pulse width.
+    pub fn new(
+        wavelength: Nanometers,
+        peak_power: Milliwatts,
+        pulse_width: Seconds,
+        efficiency: f64,
+    ) -> Result<Self, DeviceError> {
+        check_range("wavelength", wavelength.as_nm(), 1e-6, f64::MAX, "λ > 0")?;
+        check_range("peak_power", peak_power.as_mw(), 0.0, f64::MAX, "P >= 0")?;
+        check_range(
+            "pulse_width",
+            pulse_width.as_secs(),
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            "τ > 0",
+        )?;
+        check_range("efficiency", efficiency, 1e-9, 1.0, "0 < η <= 1")?;
+        Ok(PulsedLaser {
+            wavelength,
+            peak_power,
+            pulse_width,
+            efficiency,
+        })
+    }
+
+    /// Emission wavelength.
+    pub fn wavelength(&self) -> Nanometers {
+        self.wavelength
+    }
+
+    /// Peak optical power during the pulse.
+    pub fn peak_power(&self) -> Milliwatts {
+        self.peak_power
+    }
+
+    /// Pulse duration (26 ps in the paper, from Van et al. \[15\]).
+    pub fn pulse_width(&self) -> Seconds {
+        self.pulse_width
+    }
+
+    /// Wall-plug (lasing) efficiency `η`.
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Returns a copy with a different peak power (for sweeps).
+    pub fn with_peak_power(mut self, power: Milliwatts) -> Self {
+        self.peak_power = power;
+        self
+    }
+
+    /// Electrical energy consumed per emitted pulse (= per computed bit
+    /// when one pulse is fired per bit slot).
+    pub fn energy_per_bit(&self) -> Picojoules {
+        self.peak_power.over(self.pulse_width) / self.efficiency
+    }
+
+    /// Energy advantage over running the same power CW across a bit slot.
+    pub fn duty_advantage(&self, bit_slot: Seconds) -> f64 {
+        bit_slot.as_secs() / self.pulse_width.as_secs()
+    }
+}
+
+/// A WDM comb of equally spaced probe lasers (paper Fig. 4(a): `n+1`
+/// probes at `λ_0 … λ_n`, spacing `WLspacing`, Eq. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WdmComb {
+    lasers: Vec<CwLaser>,
+}
+
+impl WdmComb {
+    /// Builds a comb of `count` probes ending at `last_channel` (= `λ_n`)
+    /// with the given spacing, all at the same power/efficiency:
+    /// `λ_i = λ_n − (n − i)·WLspacing`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceError`] from laser construction; rejects
+    /// `count == 0` or non-positive spacing.
+    pub fn equally_spaced(
+        count: usize,
+        last_channel: Nanometers,
+        spacing: Nanometers,
+        power: Milliwatts,
+        efficiency: f64,
+    ) -> Result<Self, DeviceError> {
+        if count == 0 {
+            return Err(DeviceError::OutOfRange {
+                name: "count",
+                value: 0.0,
+                constraint: "count >= 1",
+            });
+        }
+        check_range("spacing", spacing.as_nm(), 1e-9, f64::MAX, "spacing > 0")?;
+        let mut lasers = Vec::with_capacity(count);
+        for i in 0..count {
+            let wl = last_channel - spacing * (count - 1 - i) as f64;
+            lasers.push(CwLaser::new(wl, power, efficiency)?);
+        }
+        Ok(WdmComb { lasers })
+    }
+
+    /// The individual probe lasers, ordered `λ_0 … λ_n` ascending.
+    pub fn lasers(&self) -> &[CwLaser] {
+        &self.lasers
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.lasers.len()
+    }
+
+    /// Whether the comb has no channels (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.lasers.is_empty()
+    }
+
+    /// Channel wavelengths.
+    pub fn wavelengths(&self) -> Vec<Nanometers> {
+        self.lasers.iter().map(|l| l.wavelength()).collect()
+    }
+
+    /// Wavelength spacing between consecutive channels (Eq. 5); `None` for
+    /// a single-channel comb.
+    pub fn spacing(&self) -> Option<Nanometers> {
+        if self.lasers.len() < 2 {
+            return None;
+        }
+        Some(self.lasers[1].wavelength() - self.lasers[0].wavelength())
+    }
+
+    /// Total optical power emitted by the comb.
+    pub fn total_power(&self) -> Milliwatts {
+        self.lasers.iter().map(|l| l.power()).sum()
+    }
+
+    /// Total wall-plug energy per bit slot across the comb.
+    pub fn energy_per_bit(&self, bit_slot: Seconds) -> Picojoules {
+        self.lasers.iter().map(|l| l.energy_per_bit(bit_slot)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cw_energy_per_bit() {
+        // 0.26 mW probe over 1 ns at 20% efficiency = 1.3 pJ.
+        let l = CwLaser::new(Nanometers::new(1550.0), Milliwatts::new(0.26), 0.2).unwrap();
+        let e = l.energy_per_bit(Seconds::from_nanos(1.0));
+        assert!((e.as_pj() - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pulsed_energy_and_duty_advantage() {
+        // The paper's pump: 591.8 mW, 26 ps pulse, 20% efficiency.
+        let pump = PulsedLaser::new(
+            Nanometers::new(1540.0),
+            Milliwatts::new(591.8),
+            Seconds::from_picos(26.0),
+            0.2,
+        )
+        .unwrap();
+        let e = pump.energy_per_bit();
+        assert!((e.as_pj() - 76.93).abs() < 0.02, "e = {e}");
+        // CW over 1 ns would cost ~38.5x more.
+        let adv = pump.duty_advantage(Seconds::from_nanos(1.0));
+        assert!((adv - 1000.0 / 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        assert!(CwLaser::new(Nanometers::new(1550.0), Milliwatts::new(1.0), 0.0).is_err());
+        assert!(CwLaser::new(Nanometers::new(1550.0), Milliwatts::new(1.0), 1.5).is_err());
+        assert!(PulsedLaser::new(
+            Nanometers::new(1550.0),
+            Milliwatts::new(1.0),
+            Seconds::from_picos(0.0),
+            0.2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn comb_layout_matches_paper_fig5() {
+        // n = 2: three probes at 1548, 1549, 1550 (spacing 1 nm, λ2 = 1550).
+        let comb = WdmComb::equally_spaced(
+            3,
+            Nanometers::new(1550.0),
+            Nanometers::new(1.0),
+            Milliwatts::new(1.0),
+            0.2,
+        )
+        .unwrap();
+        let wls: Vec<f64> = comb.wavelengths().iter().map(|w| w.as_nm()).collect();
+        assert_eq!(wls, vec![1548.0, 1549.0, 1550.0]);
+        assert_eq!(comb.spacing().unwrap().as_nm(), 1.0);
+        assert_eq!(comb.total_power().as_mw(), 3.0);
+    }
+
+    #[test]
+    fn comb_energy_sums_channels() {
+        let comb = WdmComb::equally_spaced(
+            5,
+            Nanometers::new(1550.0),
+            Nanometers::new(0.5),
+            Milliwatts::new(0.3),
+            0.2,
+        )
+        .unwrap();
+        let e = comb.energy_per_bit(Seconds::from_nanos(1.0));
+        // 5 × 0.3 mW × 1 ns / 0.2 = 7.5 pJ
+        assert!((e.as_pj() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comb_rejects_degenerate_inputs() {
+        assert!(WdmComb::equally_spaced(
+            0,
+            Nanometers::new(1550.0),
+            Nanometers::new(1.0),
+            Milliwatts::new(1.0),
+            0.2
+        )
+        .is_err());
+        assert!(WdmComb::equally_spaced(
+            3,
+            Nanometers::new(1550.0),
+            Nanometers::new(0.0),
+            Milliwatts::new(1.0),
+            0.2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_channel_comb_has_no_spacing() {
+        let comb = WdmComb::equally_spaced(
+            1,
+            Nanometers::new(1550.0),
+            Nanometers::new(1.0),
+            Milliwatts::new(1.0),
+            0.2,
+        )
+        .unwrap();
+        assert!(comb.spacing().is_none());
+        assert_eq!(comb.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! MRR used as an OOK modulator (paper Fig. 2(b)).
+//!
+//! Each Bernstein coefficient bit-stream `z_j` drives one micro-ring
+//! modulator sitting on the probe waveguide at wavelength `λ_j`:
+//!
+//! - OFF state (`z = 0`, no voltage): the ring resonates exactly at `λ_j`,
+//!   coupling most of the probe power out of the bus — a weak "0" level is
+//!   transmitted;
+//! - ON state (`z = 1`, voltage applied): carrier injection blue-shifts the
+//!   resonance by `Δλ`, letting most of the probe power through.
+//!
+//! The through transmission for an arbitrary signal wavelength is the ring
+//! through-port response (paper Eq. 2) evaluated at the shifted resonance
+//! `λ_j − Δλ·z`, which is exactly the factor appearing in paper Eq. (6).
+
+use crate::ring::RingResonator;
+use crate::{check_range, DeviceError};
+use osc_units::Nanometers;
+use serde::{Deserialize, Serialize};
+
+/// An MRR modulator: a ring resonator plus the ON-state resonance shift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MrrModulator {
+    ring: RingResonator,
+    on_shift: Nanometers,
+}
+
+impl MrrModulator {
+    /// Creates a modulator from a ring and the electro-optic shift `Δλ`
+    /// applied in the ON state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if the shift is not strictly positive (an
+    /// OOK modulator with no shift cannot modulate).
+    pub fn new(ring: RingResonator, on_shift: Nanometers) -> Result<Self, DeviceError> {
+        check_range("on_shift", on_shift.as_nm(), 1e-9, f64::MAX, "Δλ > 0")?;
+        Ok(MrrModulator { ring, on_shift })
+    }
+
+    /// The underlying ring resonator.
+    pub fn ring(&self) -> &RingResonator {
+        &self.ring
+    }
+
+    /// Channel wavelength this modulator serves (the ring's OFF resonance).
+    pub fn channel(&self) -> Nanometers {
+        self.ring.resonance()
+    }
+
+    /// ON-state resonance shift `Δλ`.
+    pub fn on_shift(&self) -> Nanometers {
+        self.on_shift
+    }
+
+    /// Effective resonance for a modulation bit: `λ_j − Δλ·z` (the blue
+    /// shift convention of paper Eq. 6).
+    pub fn effective_resonance(&self, bit: bool) -> Nanometers {
+        if bit {
+            self.ring.resonance() - self.on_shift
+        } else {
+            self.ring.resonance()
+        }
+    }
+
+    /// Through transmission seen by a signal at `signal` when this
+    /// modulator carries bit `bit` — the `φ_t(λ_i, λ_w − Δλ·z_w)` factor of
+    /// paper Eq. (6). The signal may belong to *another* channel, in which
+    /// case this factor models the inter-channel attenuation the paper's
+    /// crosstalk analysis accounts for.
+    pub fn through(&self, signal: Nanometers, bit: bool) -> f64 {
+        self.ring
+            .through_transmission(signal, self.effective_resonance(bit))
+    }
+
+    /// Transmission of this modulator's own channel in the ON state — the
+    /// optical "1" level before the filter.
+    pub fn on_level(&self) -> f64 {
+        self.through(self.channel(), true)
+    }
+
+    /// Transmission of this modulator's own channel in the OFF state — the
+    /// optical "0" level before the filter (extinction floor).
+    pub fn off_level(&self) -> f64 {
+        self.through(self.channel(), false)
+    }
+
+    /// Modulation depth `on_level / off_level`, the optical extinction the
+    /// receiver must discriminate.
+    pub fn modulation_depth(&self) -> f64 {
+        self.on_level() / self.off_level()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modulator() -> MrrModulator {
+        let ring = RingResonator::builder()
+            .resonance(Nanometers::new(1549.0))
+            .fsr(Nanometers::new(8.0))
+            .self_coupling(0.93, 0.96)
+            .amplitude_transmission(0.995)
+            .build()
+            .unwrap();
+        MrrModulator::new(ring, Nanometers::new(0.1)).unwrap()
+    }
+
+    #[test]
+    fn on_passes_more_than_off() {
+        let m = modulator();
+        assert!(
+            m.on_level() > 3.0 * m.off_level(),
+            "on {} vs off {}",
+            m.on_level(),
+            m.off_level()
+        );
+        assert!(m.modulation_depth() > 3.0);
+    }
+
+    #[test]
+    fn off_state_resonates_at_channel() {
+        let m = modulator();
+        assert_eq!(m.effective_resonance(false), m.channel());
+        assert_eq!(
+            m.effective_resonance(true),
+            m.channel() - Nanometers::new(0.1)
+        );
+    }
+
+    #[test]
+    fn far_channel_unaffected() {
+        let m = modulator();
+        // A signal 2 nm away barely notices this modulator in either state.
+        let far = Nanometers::new(1551.0);
+        assert!(m.through(far, false) > 0.95);
+        assert!(m.through(far, true) > 0.95);
+    }
+
+    #[test]
+    fn near_channel_sees_crosstalk_attenuation() {
+        let m = modulator();
+        // A signal 0.15 nm away is measurably attenuated in the OFF state.
+        let near = Nanometers::new(1549.15);
+        let t = m.through(near, false);
+        assert!(t < 0.9, "near-channel through = {t}");
+    }
+
+    #[test]
+    fn zero_shift_rejected() {
+        let ring = *modulator().ring();
+        assert!(MrrModulator::new(ring, Nanometers::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn transmissions_bounded() {
+        let m = modulator();
+        for d in [-0.5, -0.1, 0.0, 0.05, 0.1, 0.5, 1.0] {
+            for bit in [false, true] {
+                let t = m.through(Nanometers::new(1549.0 + d), bit);
+                assert!((0.0..=1.0 + 1e-9).contains(&t), "t={t} at d={d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! WDM channel bookkeeping: a set of `(wavelength, power)` samples
+//! representing the light travelling on one waveguide.
+//!
+//! The transmission model repeatedly applies per-channel attenuation
+//! factors (modulator rings, the add-drop filter) to a probe comb and sums
+//! what reaches the detector — [`Spectrum`] is that running record.
+
+use osc_units::{Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+/// One WDM channel: a wavelength carrying some optical power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Carrier wavelength.
+    pub wavelength: Nanometers,
+    /// Optical power carried.
+    pub power: Milliwatts,
+}
+
+/// A set of WDM channels on one waveguide.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Spectrum {
+    channels: Vec<Channel>,
+}
+
+impl Spectrum {
+    /// Creates an empty spectrum.
+    pub fn new() -> Self {
+        Spectrum::default()
+    }
+
+    /// Creates a spectrum from channels.
+    pub fn from_channels(channels: Vec<Channel>) -> Self {
+        Spectrum { channels }
+    }
+
+    /// Adds a channel.
+    pub fn push(&mut self, wavelength: Nanometers, power: Milliwatts) {
+        self.channels.push(Channel { wavelength, power });
+    }
+
+    /// The channels in insertion order.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether the spectrum carries no channels.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Total power across all channels (what a broadband detector sees).
+    pub fn total_power(&self) -> Milliwatts {
+        self.channels.iter().map(|c| c.power).sum()
+    }
+
+    /// Applies a per-channel transmission factor computed from the channel
+    /// wavelength, returning the attenuated spectrum.
+    pub fn attenuate<F: Fn(Nanometers) -> f64>(&self, transmission: F) -> Spectrum {
+        Spectrum {
+            channels: self
+                .channels
+                .iter()
+                .map(|c| Channel {
+                    wavelength: c.wavelength,
+                    power: c.power * transmission(c.wavelength).clamp(0.0, 1.0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Power carried by the channel nearest to `wavelength`, or zero when
+    /// the spectrum is empty.
+    pub fn power_near(&self, wavelength: Nanometers) -> Milliwatts {
+        self.channels
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.wavelength - wavelength).abs().as_nm();
+                let db = (b.wavelength - wavelength).abs().as_nm();
+                da.partial_cmp(&db).unwrap()
+            })
+            .map(|c| c.power)
+            .unwrap_or(Milliwatts::ZERO)
+    }
+
+    /// Fraction of total power carried by the channel nearest `wavelength`
+    /// — a crosstalk purity metric (1.0 = perfectly selective filter).
+    pub fn selectivity(&self, wavelength: Nanometers) -> f64 {
+        let total = self.total_power().as_mw();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.power_near(wavelength).as_mw() / total
+    }
+}
+
+impl FromIterator<Channel> for Spectrum {
+    fn from_iter<I: IntoIterator<Item = Channel>>(iter: I) -> Self {
+        Spectrum {
+            channels: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Channel> for Spectrum {
+    fn extend<I: IntoIterator<Item = Channel>>(&mut self, iter: I) {
+        self.channels.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comb() -> Spectrum {
+        let mut s = Spectrum::new();
+        s.push(Nanometers::new(1548.0), Milliwatts::new(1.0));
+        s.push(Nanometers::new(1549.0), Milliwatts::new(1.0));
+        s.push(Nanometers::new(1550.0), Milliwatts::new(1.0));
+        s
+    }
+
+    #[test]
+    fn total_power_sums() {
+        assert_eq!(comb().total_power().as_mw(), 3.0);
+        assert_eq!(Spectrum::new().total_power().as_mw(), 0.0);
+    }
+
+    #[test]
+    fn attenuate_applies_per_channel() {
+        let s = comb().attenuate(|wl| if wl.as_nm() < 1549.5 { 0.5 } else { 1.0 });
+        assert_eq!(s.channels()[0].power.as_mw(), 0.5);
+        assert_eq!(s.channels()[2].power.as_mw(), 1.0);
+    }
+
+    #[test]
+    fn attenuate_clamps_unphysical_factors() {
+        let s = comb().attenuate(|_| 1.7);
+        assert_eq!(s.total_power().as_mw(), 3.0);
+        let z = comb().attenuate(|_| -0.3);
+        assert_eq!(z.total_power().as_mw(), 0.0);
+    }
+
+    #[test]
+    fn power_near_picks_closest() {
+        let s = comb().attenuate(|wl| if wl.as_nm() == 1549.0 { 0.25 } else { 1.0 });
+        assert_eq!(s.power_near(Nanometers::new(1549.2)).as_mw(), 0.25);
+        assert_eq!(Spectrum::new().power_near(Nanometers::new(1.0)).as_mw(), 0.0);
+    }
+
+    #[test]
+    fn selectivity_metric() {
+        // Filter passing only 1550 with tiny leakage elsewhere.
+        let s = comb().attenuate(|wl| if wl.as_nm() == 1550.0 { 0.9 } else { 0.005 });
+        let sel = s.selectivity(Nanometers::new(1550.0));
+        assert!(sel > 0.98, "selectivity = {sel}");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let chans = vec![
+            Channel {
+                wavelength: Nanometers::new(1550.0),
+                power: Milliwatts::new(0.5),
+            },
+            Channel {
+                wavelength: Nanometers::new(1551.0),
+                power: Milliwatts::new(0.5),
+            },
+        ];
+        let mut s: Spectrum = chans.clone().into_iter().collect();
+        assert_eq!(s.len(), 2);
+        s.extend(chans);
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Waveguide propagation (routing loss between devices).
+//!
+//! The paper's Eq. (6) abstracts routing away, but a physical layout of
+//! the Fig. 4(a) architecture strings devices along centimetres of
+//! silicon waveguide at 1.5–3 dB/cm. This model supplies the routing
+//! terms for the loss-budget tool in `osc-core::budget`.
+
+use crate::{check_range, DeviceError};
+use osc_units::{DbRatio, Milliwatts};
+use serde::{Deserialize, Serialize};
+
+/// A waveguide segment with distributed propagation loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waveguide {
+    length_mm: f64,
+    loss_db_per_cm: f64,
+}
+
+impl Waveguide {
+    /// Creates a segment of `length_mm` with the given loss per cm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] for negative length or loss.
+    pub fn new(length_mm: f64, loss_db_per_cm: f64) -> Result<Self, DeviceError> {
+        check_range("length_mm", length_mm, 0.0, f64::MAX, "length >= 0")?;
+        check_range(
+            "loss_db_per_cm",
+            loss_db_per_cm,
+            0.0,
+            f64::MAX,
+            "loss >= 0",
+        )?;
+        Ok(Waveguide {
+            length_mm,
+            loss_db_per_cm,
+        })
+    }
+
+    /// Standard single-mode silicon strip waveguide: 2 dB/cm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (none for valid lengths).
+    pub fn silicon_strip(length_mm: f64) -> Result<Self, DeviceError> {
+        Self::new(length_mm, 2.0)
+    }
+
+    /// Segment length in millimetres.
+    pub fn length_mm(&self) -> f64 {
+        self.length_mm
+    }
+
+    /// Distributed loss in dB/cm.
+    pub fn loss_db_per_cm(&self) -> f64 {
+        self.loss_db_per_cm
+    }
+
+    /// Total propagation loss of the segment.
+    pub fn total_loss(&self) -> DbRatio {
+        DbRatio::from_db(self.loss_db_per_cm * self.length_mm / 10.0)
+    }
+
+    /// Power remaining after the segment.
+    pub fn propagate(&self, input: Milliwatts) -> Milliwatts {
+        input * self.total_loss().as_linear()
+    }
+
+    /// Concatenates two segments of the same material (losses add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distributed losses differ (different materials must
+    /// stay separate segments).
+    pub fn join(&self, other: &Waveguide) -> Waveguide {
+        assert!(
+            (self.loss_db_per_cm - other.loss_db_per_cm).abs() < 1e-12,
+            "cannot join segments with different loss coefficients"
+        );
+        Waveguide {
+            length_mm: self.length_mm + other.length_mm,
+            loss_db_per_cm: self.loss_db_per_cm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_scales_with_length() {
+        let wg = Waveguide::silicon_strip(5.0).unwrap(); // 0.5 cm
+        assert!((wg.total_loss().as_db() - 1.0).abs() < 1e-12);
+        let long = Waveguide::silicon_strip(10.0).unwrap();
+        assert!((long.total_loss().as_db() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_attenuates() {
+        let wg = Waveguide::new(10.0, 3.0).unwrap(); // 3 dB over 1 cm
+        let out = wg.propagate(Milliwatts::new(1.0));
+        assert!((out.as_mw() - 0.501).abs() < 0.001);
+    }
+
+    #[test]
+    fn zero_length_is_lossless() {
+        let wg = Waveguide::silicon_strip(0.0).unwrap();
+        assert_eq!(wg.total_loss().as_db(), 0.0);
+        assert_eq!(wg.propagate(Milliwatts::new(2.0)).as_mw(), 2.0);
+    }
+
+    #[test]
+    fn join_adds_lengths() {
+        let a = Waveguide::silicon_strip(3.0).unwrap();
+        let b = Waveguide::silicon_strip(4.0).unwrap();
+        assert_eq!(a.join(&b).length_mm(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different loss coefficients")]
+    fn join_rejects_mixed_materials() {
+        let a = Waveguide::new(1.0, 2.0).unwrap();
+        let b = Waveguide::new(1.0, 3.0).unwrap();
+        let _ = a.join(&b);
+    }
+
+    #[test]
+    fn negative_parameters_rejected() {
+        assert!(Waveguide::new(-1.0, 2.0).is_err());
+        assert!(Waveguide::new(1.0, -2.0).is_err());
+    }
+}

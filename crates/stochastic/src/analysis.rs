@@ -1,0 +1,243 @@
+//! Accuracy, convergence and fault-resilience analysis.
+//!
+//! These studies back two claims the paper leans on:
+//!
+//! 1. SC accuracy improves with stream length (binomial variance
+//!    `p(1−p)/N`), so optical transmission errors can be traded against
+//!    longer streams — the throughput-accuracy tradeoff of Section V.B;
+//! 2. SC degrades gracefully under bit flips (the error-resilience
+//!    motivation of Section I).
+
+use crate::bernstein::BernsteinPoly;
+use crate::resc::ReScUnit;
+use crate::sng::StochasticNumberGenerator;
+use crate::ScError;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_math::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// One row of a stream-length convergence study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Stream length `N`.
+    pub stream_length: usize,
+    /// Root-mean-square error across the sampled inputs and trials.
+    pub rmse: f64,
+    /// Worst absolute error observed.
+    pub max_error: f64,
+    /// Binomial standard-deviation bound `max_x sqrt(B(x)(1−B(x))/N)`.
+    pub theoretical_std: f64,
+}
+
+/// Sweeps stream length and measures estimation error of a ReSC unit.
+///
+/// For each length, evaluates the polynomial at `inputs` with `trials`
+/// independent repetitions.
+///
+/// # Errors
+///
+/// Propagates [`ScError`] from stream generation (invalid inputs).
+pub fn convergence_study<S: StochasticNumberGenerator>(
+    poly: &BernsteinPoly,
+    inputs: &[f64],
+    lengths: &[usize],
+    trials: usize,
+    sng_factory: impl Fn(u64) -> S,
+) -> Result<Vec<ConvergencePoint>, ScError> {
+    let unit = ReScUnit::new(poly.clone());
+    let mut out = Vec::with_capacity(lengths.len());
+    let mut seed = 1u64;
+    for &len in lengths {
+        let mut stats = RunningStats::new();
+        let mut max_error = 0.0f64;
+        let mut theo = 0.0f64;
+        for &x in inputs {
+            let y = poly.eval(x);
+            theo = theo.max((y * (1.0 - y) / len as f64).sqrt());
+            for _ in 0..trials {
+                seed += 1;
+                let mut sng = sng_factory(seed);
+                let r = unit.evaluate(x, len, &mut sng);
+                stats.push(r.abs_error() * r.abs_error());
+                max_error = max_error.max(r.abs_error());
+            }
+        }
+        out.push(ConvergencePoint {
+            stream_length: len,
+            rmse: stats.mean().sqrt(),
+            max_error,
+            theoretical_std: theo,
+        });
+    }
+    Ok(out)
+}
+
+/// One row of a fault-injection study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPoint {
+    /// Injected bit-flip probability.
+    pub flip_prob: f64,
+    /// Mean absolute output error across inputs/trials.
+    pub mean_error: f64,
+    /// Analytic expectation of the error magnitude `|1 − 2y|·p` averaged
+    /// over the inputs.
+    pub analytic_error: f64,
+}
+
+/// Measures output error as a function of injected bit-flip probability.
+///
+/// # Errors
+///
+/// Propagates [`ScError`] from stream generation.
+pub fn fault_injection_study<S: StochasticNumberGenerator>(
+    poly: &BernsteinPoly,
+    inputs: &[f64],
+    flip_probs: &[f64],
+    stream_length: usize,
+    trials: usize,
+    sng_factory: impl Fn(u64) -> S,
+) -> Result<Vec<FaultPoint>, ScError> {
+    let unit = ReScUnit::new(poly.clone());
+    let mut rng = Xoshiro256PlusPlus::new(0xFA17);
+    let mut out = Vec::with_capacity(flip_probs.len());
+    let mut seed = 10_000u64;
+    for &p in flip_probs {
+        let mut stats = RunningStats::new();
+        let mut analytic = 0.0;
+        for &x in inputs {
+            let y = poly.eval(x);
+            analytic += (1.0 - 2.0 * y).abs() * p / inputs.len() as f64;
+            for _ in 0..trials {
+                seed += 1;
+                let mut sng = sng_factory(seed);
+                let r = unit.evaluate_with_faults(x, stream_length, &mut sng, p, &mut rng)?;
+                stats.push(r.abs_error());
+            }
+        }
+        out.push(FaultPoint {
+            flip_prob: p,
+            mean_error: stats.mean(),
+            analytic_error: analytic,
+        });
+    }
+    Ok(out)
+}
+
+/// Stream length required so the *stochastic* quantization error stays
+/// below `target_std` in the worst case (`B(x) = 1/2`):
+/// `N ≥ 1/(4·target_std²)`.
+pub fn stream_length_for_precision(target_std: f64) -> usize {
+    assert!(target_std > 0.0, "target precision must be positive");
+    (1.0 / (4.0 * target_std * target_std)).ceil() as usize
+}
+
+/// Effective output standard deviation when each transmitted bit also
+/// flips with BER `ber` (transmission noise adds variance
+/// `ber(1−ber)/N` and a deterministic pull toward 1/2):
+/// combined per-bit variance for value `y` is
+/// `y'(1−y')/N` with `y' = y(1−ber) + (1−y)ber`.
+pub fn noisy_output_std(y: f64, ber: f64, stream_length: usize) -> f64 {
+    let y_eff = y * (1.0 - ber) + (1.0 - y) * ber;
+    (y_eff * (1.0 - y_eff) / stream_length as f64).sqrt()
+}
+
+/// The throughput–accuracy tradeoff of Section V.B: at a fixed modulation
+/// rate, longer streams cost time but absorb transmission errors. Returns
+/// the stream length needed to keep the *total* (quantization + BER bias)
+/// error below `target_error` for the worst-case value `y = 1/2`, or
+/// `None` when the BER bias alone exceeds the target (no stream length can
+/// compensate a systematic bias).
+pub fn stream_length_for_noisy_target(ber: f64, target_error: f64) -> Option<usize> {
+    let bias = ber; // at y=1/2 the pull toward 1/2 vanishes; worst bias is at y∈{0,1}: |1-2y|·ber = ber
+    if bias >= target_error {
+        return None;
+    }
+    let budget = target_error - bias;
+    Some(stream_length_for_precision(budget))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sng::XoshiroSng;
+
+    #[test]
+    fn convergence_follows_sqrt_n() {
+        let pts = convergence_study(
+            &BernsteinPoly::paper_f1(),
+            &[0.3, 0.5, 0.7],
+            &[256, 4096, 65536],
+            4,
+            XoshiroSng::new,
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 3);
+        // RMSE should shrink roughly 4x per 16x length increase.
+        assert!(pts[1].rmse < pts[0].rmse);
+        assert!(pts[2].rmse < pts[1].rmse);
+        let ratio = pts[0].rmse / pts[2].rmse;
+        assert!(ratio > 4.0, "ratio {ratio} (expect ~16)");
+        // Measured RMSE within ~3x of the binomial bound.
+        for p in &pts {
+            assert!(p.rmse < 3.0 * p.theoretical_std + 1e-4);
+        }
+    }
+
+    #[test]
+    fn fault_error_grows_linearly() {
+        let pts = fault_injection_study(
+            &BernsteinPoly::paper_f1(),
+            &[0.1, 0.9],
+            &[0.0, 0.05, 0.1],
+            16384,
+            3,
+            XoshiroSng::new,
+        )
+        .unwrap();
+        assert!(pts[0].mean_error < 0.02);
+        assert!(pts[1].mean_error < pts[2].mean_error);
+        // Measured error tracks the analytic linear model.
+        assert!((pts[2].mean_error - pts[2].analytic_error).abs() < 0.03);
+    }
+
+    #[test]
+    fn precision_sizing() {
+        assert_eq!(stream_length_for_precision(0.5), 1);
+        assert_eq!(stream_length_for_precision(0.01), 2500);
+        // 8-bit-equivalent precision needs ~2^14 bits.
+        let n = stream_length_for_precision(1.0 / 256.0);
+        assert!((16000..=17000).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn precision_sizing_rejects_zero() {
+        let _ = stream_length_for_precision(0.0);
+    }
+
+    #[test]
+    fn noisy_std_reduces_with_length() {
+        let a = noisy_output_std(0.5, 1e-3, 1000);
+        let b = noisy_output_std(0.5, 1e-3, 100_000);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn tradeoff_sizing_accounts_for_bias() {
+        // Low BER: achievable.
+        let n = stream_length_for_noisy_target(1e-4, 0.01).unwrap();
+        assert!(n > 0);
+        // BER bias exceeding the target: impossible regardless of length.
+        assert!(stream_length_for_noisy_target(0.02, 0.01).is_none());
+    }
+
+    #[test]
+    fn relaxed_ber_is_compensated_by_longer_streams() {
+        // The paper's claim: a worse optical BER can be absorbed by a
+        // longer stream. Going from BER 1e-6 to 1e-2 at a 0.05 error
+        // target increases the needed length but keeps it finite.
+        let tight = stream_length_for_noisy_target(1e-6, 0.05).unwrap();
+        let loose = stream_length_for_noisy_target(1e-2, 0.05).unwrap();
+        assert!(loose > tight);
+    }
+}

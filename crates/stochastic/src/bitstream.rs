@@ -1,0 +1,429 @@
+//! Packed stochastic bit-streams.
+//!
+//! A [`BitStream`] stores bits in `u64` words; its *value* is the fraction
+//! of ones, the number the stream encodes. Operations preserve the packed
+//! layout so million-bit experiments stay cheap.
+
+use crate::ScError;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length stochastic bit-stream.
+///
+/// ```
+/// use osc_stochastic::bitstream::BitStream;
+/// let s = BitStream::from_bits([true, false, true, true]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.count_ones(), 3);
+/// assert_eq!(s.value(), 0.75);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitStream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitStream {
+    /// Creates an all-zeros stream of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitStream {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-ones stream of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut s = BitStream {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    /// Creates a stream from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut s = BitStream::zeros(0);
+        for b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Creates a stream of `len` bits from a per-index closure.
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
+        let mut s = BitStream::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let idx = self.len;
+        self.len += 1;
+        if self.words.len() * 64 < self.len {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[idx / 64] |= 1 << (idx % 64);
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        if bit {
+            self.words[index / 64] |= 1 << (index % 64);
+        } else {
+            self.words[index / 64] &= !(1 << (index % 64));
+        }
+    }
+
+    /// Number of ones (the de-randomizing counter of the ReSC receiver).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The encoded value: fraction of ones (0 for an empty stream).
+    pub fn value(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Bitwise AND — stochastic multiplication of uncorrelated streams.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn and(&self, other: &BitStream) -> Result<BitStream, ScError> {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn or(&self, other: &BitStream) -> Result<BitStream, ScError> {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn xor(&self, other: &BitStream) -> Result<BitStream, ScError> {
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT — the stochastic complement `1 − p`.
+    pub fn not(&self) -> BitStream {
+        let mut out = BitStream {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Per-bit 2:1 multiplexer: picks `self` where `select` is 0 and
+    /// `other` where `select` is 1 — the stochastic scaled adder.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if any operand length differs.
+    pub fn mux(&self, other: &BitStream, select: &BitStream) -> Result<BitStream, ScError> {
+        if self.len != other.len {
+            return Err(ScError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        if self.len != select.len {
+            return Err(ScError::LengthMismatch {
+                left: self.len,
+                right: select.len,
+            });
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .zip(&select.words)
+            .map(|((&a, &b), &s)| (a & !s) | (b & s))
+            .collect();
+        let mut out = BitStream {
+            words,
+            len: self.len,
+        };
+        out.mask_tail();
+        Ok(out)
+    }
+
+    /// Number of positions where the streams differ (Hamming distance) —
+    /// used to measure injected transmission errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn hamming_distance(&self, other: &BitStream) -> Result<usize, ScError> {
+        Ok(self.xor(other)?.count_ones())
+    }
+
+    /// Stochastic computing correlation (SCC) between two streams; 0 for
+    /// independent streams, +1 for maximally overlapping, −1 for maximally
+    /// anti-overlapping.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn scc(&self, other: &BitStream) -> Result<f64, ScError> {
+        let n = self.len as f64;
+        if self.len != other.len {
+            return Err(ScError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        if self.len == 0 {
+            return Ok(0.0);
+        }
+        let p1 = self.value();
+        let p2 = other.value();
+        let p12 = self.and(other)?.value();
+        let delta = p12 - p1 * p2;
+        let denom = if delta > 0.0 {
+            p1.min(p2) - p1 * p2
+        } else {
+            p1 * p2 - (p1 + p2 - 1.0).max(0.0)
+        };
+        if denom.abs() < 1.0 / (n * n) {
+            Ok(0.0)
+        } else {
+            Ok(delta / denom)
+        }
+    }
+
+    fn zip_words<F: Fn(u64, u64) -> u64>(
+        &self,
+        other: &BitStream,
+        f: F,
+    ) -> Result<BitStream, ScError> {
+        if self.len != other.len {
+            return Err(ScError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        let mut out = BitStream {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        Ok(out)
+    }
+
+    fn mask_tail(&mut self) {
+        let used = self.len % 64;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for BitStream {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitStream::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_value() {
+        let s = BitStream::from_bits([true, true, false, false, true, false, false, false]);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.count_ones(), 3);
+        assert!((s.value() - 0.375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zeros_ones_values() {
+        assert_eq!(BitStream::zeros(100).value(), 0.0);
+        assert_eq!(BitStream::ones(100).value(), 1.0);
+        assert_eq!(BitStream::ones(100).count_ones(), 100);
+    }
+
+    #[test]
+    fn tail_masking_across_word_boundary() {
+        // 70 bits: spills into a second word; NOT must not create phantom ones.
+        let s = BitStream::zeros(70);
+        let n = s.not();
+        assert_eq!(n.count_ones(), 70);
+        assert_eq!(n.len(), 70);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut s = BitStream::zeros(130);
+        s.set(0, true);
+        s.set(64, true);
+        s.set(129, true);
+        assert!(s.get(0) && s.get(64) && s.get(129));
+        assert!(!s.get(1) && !s.get(65));
+        s.set(64, false);
+        assert!(!s.get(64));
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = BitStream::zeros(8).get(8);
+    }
+
+    #[test]
+    fn and_multiplies_probabilities() {
+        // Deterministic patterns with coprime periods are exactly
+        // independent over a full common period (lcm = 6):
+        // p(a&b) = p(a)*p(b) = 1/2 * 2/3 = 1/3.
+        let n = 1200; // multiple of 6
+        let a = BitStream::from_fn(n, |i| i % 2 == 0); // p = 1/2
+        let b = BitStream::from_fn(n, |i| i % 3 < 2); // p = 2/3
+        let prod = a.and(&b).unwrap();
+        assert!((prod.value() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_complements() {
+        let a = BitStream::from_fn(999, |i| i % 3 == 0);
+        let v = a.value();
+        assert!((a.not().value() - (1.0 - v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mux_scaled_addition() {
+        // select has p=1/2 independent of inputs: out = (pa + pb)/2.
+        let n = 4096;
+        let a = BitStream::from_fn(n, |i| i % 4 == 0); // 1/4
+        let b = BitStream::from_fn(n, |i| i % 4 < 3); // 3/4
+        let s = BitStream::from_fn(n, |i| (i / 2) % 2 == 0); // 1/2, independent
+        let out = a.mux(&b, &s).unwrap();
+        assert!((out.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mux_selects_correct_bits() {
+        let a = BitStream::from_bits([true, true, true, true]);
+        let b = BitStream::from_bits([false, false, false, false]);
+        let sel = BitStream::from_bits([false, true, false, true]);
+        let out = a.mux(&b, &sel).unwrap();
+        // select=0 -> a (1), select=1 -> b (0)
+        assert_eq!(
+            out.iter().collect::<Vec<_>>(),
+            vec![true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let a = BitStream::zeros(8);
+        let b = BitStream::zeros(9);
+        assert!(matches!(a.and(&b), Err(ScError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.mux(&a.clone(), &b),
+            Err(ScError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hamming_distance_counts_flips() {
+        let a = BitStream::from_bits([true, false, true, false]);
+        let b = BitStream::from_bits([true, true, false, false]);
+        assert_eq!(a.hamming_distance(&b).unwrap(), 2);
+    }
+
+    #[test]
+    fn scc_identical_streams_is_one() {
+        let a = BitStream::from_fn(512, |i| i % 2 == 0);
+        let scc = a.scc(&a).unwrap();
+        assert!((scc - 1.0).abs() < 1e-9, "scc = {scc}");
+    }
+
+    #[test]
+    fn scc_complement_is_minus_one() {
+        let a = BitStream::from_fn(512, |i| i % 2 == 0);
+        let scc = a.scc(&a.not()).unwrap();
+        assert!((scc + 1.0).abs() < 1e-9, "scc = {scc}");
+    }
+
+    #[test]
+    fn scc_independent_near_zero() {
+        let a = BitStream::from_fn(4096, |i| i % 2 == 0);
+        let b = BitStream::from_fn(4096, |i| (i / 2) % 2 == 0);
+        let scc = a.scc(&b).unwrap();
+        assert!(scc.abs() < 0.05, "scc = {scc}");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: BitStream = (0..10).map(|i| i < 3).collect();
+        assert_eq!(s.count_ones(), 3);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn de_morgan_property() {
+        let a = BitStream::from_fn(200, |i| i % 3 == 0);
+        let b = BitStream::from_fn(200, |i| i % 5 == 0);
+        let left = a.and(&b).unwrap().not();
+        let right = a.not().or(&b.not()).unwrap();
+        assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,250 @@
+//! Maximal-length linear feedback shift registers.
+//!
+//! LFSRs are the conventional pseudo-random source in stochastic computing
+//! hardware (cheap in CMOS, and the paper's future-work randomizer would
+//! replace them with chaotic lasers). A Fibonacci LFSR of width `w` with a
+//! maximal-length feedback polynomial cycles through all `2^w − 1` non-zero
+//! states, giving well-distributed comparator inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximal-length feedback taps (1-indexed bit positions, MSB-first
+/// convention) for widths 3..=32, from the standard XAPP052 table.
+const MAX_LEN_TAPS: [&[u32]; 30] = [
+    &[3, 2],          // 3
+    &[4, 3],          // 4
+    &[5, 3],          // 5
+    &[6, 5],          // 6
+    &[7, 6],          // 7
+    &[8, 6, 5, 4],    // 8
+    &[9, 5],          // 9
+    &[10, 7],         // 10
+    &[11, 9],         // 11
+    &[12, 6, 4, 1],   // 12
+    &[13, 4, 3, 1],   // 13
+    &[14, 5, 3, 1],   // 14
+    &[15, 14],        // 15
+    &[16, 15, 13, 4], // 16
+    &[17, 14],        // 17
+    &[18, 11],        // 18
+    &[19, 6, 2, 1],   // 19
+    &[20, 17],        // 20
+    &[21, 19],        // 21
+    &[22, 21],        // 22
+    &[23, 18],        // 23
+    &[24, 23, 22, 17],// 24
+    &[25, 22],        // 25
+    &[26, 6, 2, 1],   // 26
+    &[27, 5, 2, 1],   // 27
+    &[28, 25],        // 28
+    &[29, 27],        // 29
+    &[30, 6, 4, 1],   // 30
+    &[31, 28],        // 31
+    &[32, 22, 2, 1],  // 32
+];
+
+/// Supported register widths.
+pub const MIN_WIDTH: u32 = 3;
+/// Supported register widths.
+pub const MAX_WIDTH: u32 = 32;
+
+/// A Fibonacci LFSR with maximal-length taps.
+///
+/// ```
+/// use osc_stochastic::lfsr::Lfsr;
+/// let mut l = Lfsr::new(8, 0x5A).unwrap();
+/// // A maximal 8-bit LFSR revisits its seed after exactly 255 steps.
+/// let seed_state = l.state();
+/// for _ in 0..255 {
+///     l.step();
+/// }
+/// assert_eq!(l.state(), seed_state);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lfsr {
+    width: u32,
+    state: u32,
+    tap_mask: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of `width` bits seeded with `seed`.
+    ///
+    /// The seed is masked to the register width; a zero seed (the one
+    /// forbidden state) is replaced by all-ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the width is outside `3..=32`.
+    pub fn new(width: u32, seed: u32) -> Result<Self, String> {
+        if !(MIN_WIDTH..=MAX_WIDTH).contains(&width) {
+            return Err(format!(
+                "LFSR width must be in {MIN_WIDTH}..={MAX_WIDTH}, got {width}"
+            ));
+        }
+        let taps = MAX_LEN_TAPS[(width - MIN_WIDTH) as usize];
+        // Right-shift Fibonacci form: tap `t` (1-indexed, `t = width` being
+        // the register output) reads bit `width − t` of the state word.
+        let mut tap_mask = 0u32;
+        for &t in taps {
+            tap_mask |= 1 << (width - t);
+        }
+        let mask = Self::width_mask(width);
+        let mut state = seed & mask;
+        if state == 0 {
+            state = mask;
+        }
+        Ok(Lfsr {
+            width,
+            state,
+            tap_mask,
+        })
+    }
+
+    fn width_mask(width: u32) -> u32 {
+        if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current register state (never zero).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Sequence period: `2^width − 1` for maximal-length taps.
+    pub fn period(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+
+    /// Advances one step and returns the shifted-out bit.
+    pub fn step(&mut self) -> bool {
+        let feedback = (self.state & self.tap_mask).count_ones() & 1;
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        self.state |= feedback << (self.width - 1);
+        out
+    }
+
+    /// Advances one step and returns the full register state, the value a
+    /// comparator SNG compares against the threshold.
+    pub fn next_state(&mut self) -> u32 {
+        self.step();
+        self.state
+    }
+
+    /// Next state scaled into `[0, 1)` (state ∈ `1..=2^w−1` maps to
+    /// `(0, 1)`, so thresholding at `p` yields ones with probability
+    /// `⌊p·(2^w−1)⌋ / (2^w−1)` — the standard SNG quantization).
+    pub fn next_unit(&mut self) -> f64 {
+        self.next_state() as f64 / (self.period() + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_widths_construct() {
+        for w in MIN_WIDTH..=MAX_WIDTH {
+            let l = Lfsr::new(w, 1).unwrap();
+            assert_eq!(l.width(), w);
+        }
+    }
+
+    #[test]
+    fn invalid_widths_rejected() {
+        assert!(Lfsr::new(2, 1).is_err());
+        assert!(Lfsr::new(33, 1).is_err());
+    }
+
+    #[test]
+    fn zero_seed_replaced() {
+        let l = Lfsr::new(8, 0).unwrap();
+        assert_ne!(l.state(), 0);
+    }
+
+    #[test]
+    fn maximal_period_small_widths() {
+        // Exhaustively verify the taps are maximal for widths 3..=16.
+        for w in 3..=16u32 {
+            let mut l = Lfsr::new(w, 1).unwrap();
+            let start = l.state();
+            let mut count = 0u64;
+            loop {
+                l.step();
+                count += 1;
+                if l.state() == start {
+                    break;
+                }
+                assert!(count <= l.period(), "width {w} exceeded maximal period");
+            }
+            assert_eq!(count, l.period(), "width {w} period");
+        }
+    }
+
+    #[test]
+    fn visits_every_nonzero_state_width_8() {
+        let mut l = Lfsr::new(8, 0xB7).unwrap();
+        let mut seen = HashSet::new();
+        for _ in 0..l.period() {
+            seen.insert(l.next_state());
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn state_never_zero_width_32() {
+        let mut l = Lfsr::new(32, 0xDEADBEEF).unwrap();
+        for _ in 0..100_000 {
+            assert_ne!(l.next_state(), 0);
+        }
+    }
+
+    #[test]
+    fn next_unit_in_open_interval() {
+        let mut l = Lfsr::new(10, 0x2A5).unwrap();
+        for _ in 0..2048 {
+            let u = l.next_unit();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniformity_of_states() {
+        // Over a full period the mean of next_unit is ~0.5.
+        let mut l = Lfsr::new(12, 7).unwrap();
+        let period = l.period();
+        let mean: f64 = (0..period).map(|_| l.next_unit()).sum::<f64>() / period as f64;
+        assert!((mean - 0.5).abs() < 1e-3, "mean = {mean}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = Lfsr::new(16, 0xACE1).unwrap();
+        let mut b = Lfsr::new(16, 0xACE1).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn different_seeds_same_cycle_different_phase() {
+        // Maximal LFSRs share one cycle; different seeds start at
+        // different phases and the streams differ bitwise.
+        let mut a = Lfsr::new(16, 1).unwrap();
+        let mut b = Lfsr::new(16, 2).unwrap();
+        let mismatches = (0..256).filter(|_| a.step() != b.step()).count();
+        assert!(mismatches > 50);
+    }
+}

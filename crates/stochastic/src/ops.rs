@@ -1,0 +1,171 @@
+//! Elementary stochastic arithmetic (Gaines \[7\], Poppelbaum \[8\]).
+//!
+//! The classic unipolar SC operator set, provided both as stream
+//! transformations and as analytic probability maps for verification:
+//!
+//! | operation   | logic               | probability law          |
+//! |-------------|---------------------|--------------------------|
+//! | multiply    | AND                 | `p1 · p2`                |
+//! | scaled add  | MUX (select p=1/2)  | `(p1 + p2) / 2`          |
+//! | complement  | NOT                 | `1 − p`                  |
+//! | bipolar mul | XNOR                | bipolar `s1 · s2`        |
+
+use crate::bitstream::BitStream;
+use crate::sng::StochasticNumberGenerator;
+use crate::{check_unit, ScError};
+
+/// Stochastic multiplication: AND of two independent streams.
+///
+/// # Errors
+///
+/// [`ScError::LengthMismatch`] if lengths differ.
+pub fn multiply(a: &BitStream, b: &BitStream) -> Result<BitStream, ScError> {
+    a.and(b)
+}
+
+/// Stochastic scaled addition `(p_a + p_b)/2`: MUX with a fair select
+/// stream.
+///
+/// # Errors
+///
+/// [`ScError::LengthMismatch`] if lengths differ.
+pub fn scaled_add(
+    a: &BitStream,
+    b: &BitStream,
+    select: &BitStream,
+) -> Result<BitStream, ScError> {
+    a.mux(b, select)
+}
+
+/// Stochastic complement `1 − p`: NOT.
+pub fn complement(a: &BitStream) -> BitStream {
+    a.not()
+}
+
+/// Bipolar stochastic multiplication: XNOR. In the bipolar encoding
+/// `s = 2p − 1`, XNOR of independent streams multiplies the encoded
+/// values.
+///
+/// # Errors
+///
+/// [`ScError::LengthMismatch`] if lengths differ.
+pub fn bipolar_multiply(a: &BitStream, b: &BitStream) -> Result<BitStream, ScError> {
+    Ok(a.xor(b)?.not())
+}
+
+/// Converts a unipolar probability to the bipolar encoding `s = 2p − 1`.
+pub fn to_bipolar(p: f64) -> f64 {
+    2.0 * p - 1.0
+}
+
+/// Converts a bipolar value back to the unipolar probability.
+pub fn from_bipolar(s: f64) -> f64 {
+    (s + 1.0) / 2.0
+}
+
+/// Convenience: evaluates `p1 · p2` stochastically with fresh streams from
+/// `sng` and returns (estimate, exact).
+///
+/// # Errors
+///
+/// [`ScError::OutOfUnitRange`] for invalid probabilities.
+pub fn multiply_values<S: StochasticNumberGenerator>(
+    p1: f64,
+    p2: f64,
+    len: usize,
+    sng: &mut S,
+) -> Result<(f64, f64), ScError> {
+    let p1 = check_unit("p1", p1)?;
+    let p2 = check_unit("p2", p2)?;
+    let a = sng.generate(p1, len)?;
+    let b = sng.generate(p2, len)?;
+    Ok((multiply(&a, &b)?.value(), p1 * p2))
+}
+
+/// Convenience: evaluates `(p1 + p2)/2` stochastically.
+///
+/// # Errors
+///
+/// [`ScError::OutOfUnitRange`] for invalid probabilities.
+pub fn scaled_add_values<S: StochasticNumberGenerator>(
+    p1: f64,
+    p2: f64,
+    len: usize,
+    sng: &mut S,
+) -> Result<(f64, f64), ScError> {
+    let p1 = check_unit("p1", p1)?;
+    let p2 = check_unit("p2", p2)?;
+    let a = sng.generate(p1, len)?;
+    let b = sng.generate(p2, len)?;
+    let sel = sng.generate(0.5, len)?;
+    Ok((scaled_add(&a, &b, &sel)?.value(), (p1 + p2) / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sng::XoshiroSng;
+
+    #[test]
+    fn multiply_converges_to_product() {
+        let mut sng = XoshiroSng::new(1);
+        let (est, exact) = multiply_values(0.6, 0.7, 65536, &mut sng).unwrap();
+        assert!((est - exact).abs() < 0.01, "est {est} exact {exact}");
+    }
+
+    #[test]
+    fn scaled_add_converges() {
+        let mut sng = XoshiroSng::new(2);
+        let (est, exact) = scaled_add_values(0.2, 0.9, 65536, &mut sng).unwrap();
+        assert!((exact - 0.55).abs() < 1e-12);
+        assert!((est - exact).abs() < 0.01);
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        let mut sng = XoshiroSng::new(3);
+        let a = sng.generate(0.3, 4096).unwrap();
+        let c = complement(&a);
+        assert!((c.value() - (1.0 - a.value())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bipolar_multiplication_law() {
+        let mut sng = XoshiroSng::new(4);
+        let (p1, p2) = (0.8, 0.3);
+        let a = sng.generate(p1, 1 << 17).unwrap();
+        let b = sng.generate(p2, 1 << 17).unwrap();
+        let out = bipolar_multiply(&a, &b).unwrap();
+        let expect = from_bipolar(to_bipolar(p1) * to_bipolar(p2));
+        assert!(
+            (out.value() - expect).abs() < 0.01,
+            "got {} want {expect}",
+            out.value()
+        );
+    }
+
+    #[test]
+    fn bipolar_encoding_round_trip() {
+        for p in [0.0, 0.25, 0.5, 1.0] {
+            assert!((from_bipolar(to_bipolar(p)) - p).abs() < 1e-15);
+        }
+        assert_eq!(to_bipolar(0.5), 0.0);
+    }
+
+    #[test]
+    fn correlation_breaks_multiplication() {
+        // AND of a stream with itself gives p, not p² — the well-known SC
+        // correlation hazard this library's SNG seeding avoids.
+        let mut sng = XoshiroSng::new(5);
+        let a = sng.generate(0.5, 8192).unwrap();
+        let self_product = multiply(&a, &a).unwrap();
+        assert!((self_product.value() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let mut sng = XoshiroSng::new(6);
+        assert!(multiply_values(1.2, 0.5, 64, &mut sng).is_err());
+        assert!(scaled_add_values(0.5, -0.1, 64, &mut sng).is_err());
+    }
+}

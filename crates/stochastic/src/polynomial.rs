@@ -1,0 +1,220 @@
+//! Power-form polynomials and conversion to/from Bernstein form.
+//!
+//! The ReSC flow starts from an arbitrary polynomial
+//! `f(x) = Σ a_k x^k` and rewrites it in the Bernstein basis of the same
+//! degree, `f(x) = Σ b_i B_{i,n}(x)`, using the exact conversion
+//!
+//! `b_i = Σ_{k=0}^{i} [C(i,k) / C(n,k)] · a_k`
+//!
+//! (and its inverse). When every `b_i` lands in `[0, 1]` the function is
+//! directly implementable in stochastic logic (paper Eq. 1 and \[9\]).
+
+use crate::bernstein::BernsteinPoly;
+use crate::ScError;
+use osc_math::special::binomial_f64;
+use serde::{Deserialize, Serialize};
+
+/// A polynomial in power form: `coeffs[k]` multiplies `x^k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from power-basis coefficients
+    /// (constant term first).
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::Empty`] if no coefficients are supplied.
+    pub fn new(coeffs: Vec<f64>) -> Result<Self, ScError> {
+        if coeffs.is_empty() {
+            return Err(ScError::Empty("polynomial coefficients"));
+        }
+        Ok(Polynomial { coeffs })
+    }
+
+    /// The paper's running example (Fig. 1(b)):
+    /// `f1(x) = 1/4 + 9x/8 − 15x²/8 + 5x³/4`.
+    pub fn paper_f1() -> Self {
+        Polynomial {
+            coeffs: vec![0.25, 9.0 / 8.0, -15.0 / 8.0, 5.0 / 4.0],
+        }
+    }
+
+    /// Power-basis coefficients, constant term first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Polynomial degree (length − 1; trailing zeros are not trimmed).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Exact conversion to the Bernstein basis of the same degree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScError::OutOfUnitRange`] from [`BernsteinPoly::new`]
+    /// when a converted coefficient cannot be encoded as a probability;
+    /// use [`Polynomial::to_bernstein_unchecked`] to inspect such values.
+    pub fn to_bernstein(&self) -> Result<BernsteinPoly, ScError> {
+        BernsteinPoly::new(self.to_bernstein_unchecked())
+    }
+
+    /// The Bernstein coefficients without the `[0, 1]` check.
+    pub fn to_bernstein_unchecked(&self) -> Vec<f64> {
+        let n = self.degree() as u32;
+        (0..=n)
+            .map(|i| {
+                (0..=i)
+                    .map(|k| {
+                        binomial_f64(i, k) / binomial_f64(n, k) * self.coeffs[k as usize]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Exact inverse conversion from Bernstein coefficients:
+    /// `a_k = Σ_{i=0}^{k} (−1)^{k−i} C(n,k) C(k,i) b_i`.
+    pub fn from_bernstein(bernstein: &[f64]) -> Result<Self, ScError> {
+        if bernstein.is_empty() {
+            return Err(ScError::Empty("bernstein coefficients"));
+        }
+        let n = (bernstein.len() - 1) as u32;
+        let coeffs = (0..=n)
+            .map(|k| {
+                (0..=k)
+                    .map(|i| {
+                        let sign = if (k - i) % 2 == 0 { 1.0 } else { -1.0 };
+                        sign * binomial_f64(n, k) * binomial_f64(k, i) * bernstein[i as usize]
+                    })
+                    .sum()
+            })
+            .collect();
+        Ok(Polynomial { coeffs })
+    }
+
+    /// Derivative polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() == 1 {
+            return Polynomial { coeffs: vec![0.0] };
+        }
+        Polynomial {
+            coeffs: self
+                .coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| k as f64 * c)
+                .collect(),
+        }
+    }
+
+    /// Maximum absolute value over `[0, 1]`, sampled on a fine grid
+    /// (sufficient for the low-degree polynomials in this workspace).
+    pub fn sup_norm_unit_interval(&self) -> f64 {
+        (0..=1000)
+            .map(|i| self.eval(i as f64 / 1000.0).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horner_evaluation() {
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]).unwrap(); // 1 - 2x + 3x^2
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert_eq!(p.eval(2.0), 9.0);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn paper_f1_bernstein_coefficients() {
+        // The paper (after [9]) gives b = (2/8, 5/8, 3/8, 6/8).
+        let b = Polynomial::paper_f1().to_bernstein_unchecked();
+        let expect = [0.25, 0.625, 0.375, 0.75];
+        for (got, want) in b.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "b = {b:?}");
+        }
+    }
+
+    #[test]
+    fn paper_f1_value_at_half() {
+        // f1(0.5) = 1/4 + 9/16 - 15/32 + 5/32 = 0.5
+        assert!((Polynomial::paper_f1().eval(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernstein_round_trip() {
+        let p = Polynomial::new(vec![0.3, 0.2, -0.4, 0.55, -0.1]).unwrap();
+        let b = p.to_bernstein_unchecked();
+        let back = Polynomial::from_bernstein(&b).unwrap();
+        for (a, c) in p.coeffs().iter().zip(back.coeffs()) {
+            assert!((a - c).abs() < 1e-9, "round trip failed: {back:?}");
+        }
+    }
+
+    #[test]
+    fn conversion_preserves_values() {
+        let p = Polynomial::paper_f1();
+        let b = p.to_bernstein().unwrap();
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            assert!(
+                (p.eval(x) - b.eval(x)).abs() < 1e-12,
+                "mismatch at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_polynomial() {
+        let p = Polynomial::new(vec![0.7]).unwrap();
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.eval(0.3), 0.7);
+        assert_eq!(p.to_bernstein_unchecked(), vec![0.7]);
+        assert_eq!(p.derivative().eval(0.5), 0.0);
+    }
+
+    #[test]
+    fn out_of_unit_bernstein_rejected_but_inspectable() {
+        // f(x) = 2x has Bernstein coefficients (0, 2): not SC-encodable.
+        let p = Polynomial::new(vec![0.0, 2.0]).unwrap();
+        assert!(p.to_bernstein().is_err());
+        assert_eq!(p.to_bernstein_unchecked(), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn derivative_rule() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[2.0, 6.0, 12.0]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Polynomial::new(vec![]).is_err());
+        assert!(Polynomial::from_bernstein(&[]).is_err());
+    }
+
+    #[test]
+    fn sup_norm() {
+        let p = Polynomial::new(vec![0.0, 1.0]).unwrap(); // x on [0,1]
+        assert!((p.sup_norm_unit_interval() - 1.0).abs() < 1e-12);
+    }
+}

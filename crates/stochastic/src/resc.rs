@@ -1,0 +1,326 @@
+//! The electronic ReSC unit of Qian et al. \[9\] (paper Fig. 1).
+//!
+//! Structure, per clock cycle:
+//!
+//! 1. `n` SNGs emit data bits `x_1 … x_n`, each 1 with probability `x`;
+//! 2. `n+1` SNGs emit coefficient bits `z_0 … z_n`, each 1 with
+//!    probability `b_i`;
+//! 3. an adder counts the ones among the data bits, `k = Σ x_i`;
+//! 4. a multiplexer forwards coefficient bit `z_k` to the output;
+//! 5. a counter accumulates output ones; after `N` cycles the estimate is
+//!    `count / N ≈ B(x)`.
+//!
+//! This is the CMOS baseline the optical architecture replaces: the paper's
+//! throughput comparison pits this unit at 100 MHz against the optical one
+//! at 1 GHz.
+
+use crate::bernstein::BernsteinPoly;
+use crate::bitstream::BitStream;
+use crate::sng::StochasticNumberGenerator;
+use crate::{check_unit, ScError};
+use osc_math::rng::Xoshiro256PlusPlus;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one stochastic evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScEvaluation {
+    /// Stochastic estimate `count / N`.
+    pub estimate: f64,
+    /// Exact polynomial value `B(x)`.
+    pub exact: f64,
+    /// Stream length used.
+    pub stream_length: usize,
+}
+
+impl ScEvaluation {
+    /// Absolute error of the estimate.
+    pub fn abs_error(&self) -> f64 {
+        (self.estimate - self.exact).abs()
+    }
+}
+
+/// The electronic ReSC unit for a fixed Bernstein polynomial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReScUnit {
+    poly: BernsteinPoly,
+}
+
+impl ReScUnit {
+    /// Creates a unit evaluating the given Bernstein polynomial.
+    pub fn new(poly: BernsteinPoly) -> Self {
+        ReScUnit { poly }
+    }
+
+    /// The programmed polynomial.
+    pub fn polynomial(&self) -> &BernsteinPoly {
+        &self.poly
+    }
+
+    /// Polynomial degree `n` (the unit uses `n` data SNGs and `n+1`
+    /// coefficient SNGs).
+    pub fn degree(&self) -> usize {
+        self.poly.degree()
+    }
+
+    /// Generates the input streams for an evaluation: `n` independent data
+    /// streams at probability `x` and `n+1` coefficient streams at the
+    /// Bernstein coefficients.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] if `x` is outside `[0, 1]`.
+    pub fn generate_streams<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        len: usize,
+        sng: &mut S,
+    ) -> Result<(Vec<BitStream>, Vec<BitStream>), ScError> {
+        let x = check_unit("input x", x)?;
+        let n = self.degree();
+        let data = (0..n)
+            .map(|_| sng.generate(x, len))
+            .collect::<Result<Vec<_>, _>>()?;
+        let coeffs = self
+            .poly
+            .coeffs()
+            .iter()
+            .map(|&b| sng.generate(b, len))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((data, coeffs))
+    }
+
+    /// Runs the adder + multiplexer over pre-generated streams, returning
+    /// the output stream (before the counter).
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if any stream length differs;
+    /// [`ScError::Empty`] if the stream sets have the wrong arity.
+    pub fn run_streams(
+        &self,
+        data: &[BitStream],
+        coeffs: &[BitStream],
+    ) -> Result<BitStream, ScError> {
+        let n = self.degree();
+        if data.len() != n {
+            return Err(ScError::Empty("expected n data streams"));
+        }
+        if coeffs.len() != n + 1 {
+            return Err(ScError::Empty("expected n+1 coefficient streams"));
+        }
+        let len = coeffs[0].len();
+        for s in data.iter().chain(coeffs) {
+            if s.len() != len {
+                return Err(ScError::LengthMismatch {
+                    left: len,
+                    right: s.len(),
+                });
+            }
+        }
+        Ok(BitStream::from_fn(len, |t| {
+            // Adder: count ones among the data bits at time t.
+            let k: usize = data.iter().filter(|s| s.get(t)).count();
+            // Multiplexer: forward coefficient bit z_k.
+            coeffs[k].get(t)
+        }))
+    }
+
+    /// Full evaluation: generate streams, run the datapath, de-randomize.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal arity violations (impossible by
+    /// construction); stream generation errors are surfaced through the
+    /// estimate being computed on validated inputs.
+    pub fn evaluate<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        len: usize,
+        sng: &mut S,
+    ) -> ScEvaluation {
+        let (data, coeffs) = self
+            .generate_streams(x, len, sng)
+            .expect("validated inputs");
+        let out = self
+            .run_streams(&data, &coeffs)
+            .expect("streams constructed with matching lengths");
+        ScEvaluation {
+            estimate: out.value(),
+            exact: self.poly.eval(x),
+            stream_length: len,
+        }
+    }
+
+    /// Evaluation with soft-error injection: each output bit flips with
+    /// probability `flip_prob` before the counter (the paper's motivating
+    /// error-resilience scenario).
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] for invalid `x` or `flip_prob`.
+    pub fn evaluate_with_faults<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        len: usize,
+        sng: &mut S,
+        flip_prob: f64,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<ScEvaluation, ScError> {
+        let flip_prob = check_unit("flip probability", flip_prob)?;
+        let (data, coeffs) = self.generate_streams(x, len, sng)?;
+        let out = self.run_streams(&data, &coeffs)?;
+        let corrupted = BitStream::from_fn(len, |t| out.get(t) ^ rng.bernoulli(flip_prob));
+        Ok(ScEvaluation {
+            estimate: corrupted.value(),
+            exact: self.poly.eval(x),
+            stream_length: len,
+        })
+    }
+
+    /// Expected estimate under bit-flip noise: flips move the mean toward
+    /// 1/2 as `E[ŷ] = y(1−p) + (1−y)p` — the analytic companion to
+    /// [`ReScUnit::evaluate_with_faults`].
+    pub fn expected_value_under_faults(&self, x: f64, flip_prob: f64) -> f64 {
+        let y = self.poly.eval(x);
+        y * (1.0 - flip_prob) + (1.0 - y) * flip_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sng::{CounterSng, LfsrSng, XoshiroSng};
+
+    #[test]
+    fn paper_fig1b_example() {
+        // x = 0.5: exact value 4/8 = 0.5.
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let mut sng = XoshiroSng::new(2019);
+        let r = unit.evaluate(0.5, 65536, &mut sng);
+        assert!((r.exact - 0.5).abs() < 1e-12);
+        assert!(r.abs_error() < 0.01, "estimate {}", r.estimate);
+    }
+
+    #[test]
+    fn tracks_polynomial_across_domain() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let mut sng = XoshiroSng::new(7);
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            let r = unit.evaluate(x, 32768, &mut sng);
+            assert!(r.abs_error() < 0.02, "x={x}: err {}", r.abs_error());
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_sng_is_more_accurate() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let n = 2048;
+        let mut err_lfsr = 0.0;
+        let mut err_ctr = 0.0;
+        for i in 1..10 {
+            let x = i as f64 / 10.0;
+            let mut lfsr = LfsrSng::with_width(16, 0xACE1 + i as u32);
+            let mut ctr = CounterSng::new();
+            err_lfsr += unit.evaluate(x, n, &mut lfsr).abs_error();
+            err_ctr += unit.evaluate(x, n, &mut ctr).abs_error();
+        }
+        assert!(
+            err_ctr < err_lfsr,
+            "counter {err_ctr} should beat lfsr {err_lfsr}"
+        );
+    }
+
+    #[test]
+    fn degenerate_polynomial_constant() {
+        // B(x) = 0.3 regardless of x.
+        let unit = ReScUnit::new(BernsteinPoly::new(vec![0.3, 0.3, 0.3]).unwrap());
+        let mut sng = XoshiroSng::new(3);
+        let r = unit.evaluate(0.9, 16384, &mut sng);
+        assert!((r.estimate - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn endpoints_are_exact_coefficients() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let mut sng = XoshiroSng::new(11);
+        // x = 0 selects z_0 always: estimate ≈ b_0 = 0.25.
+        let r0 = unit.evaluate(0.0, 16384, &mut sng);
+        assert!((r0.estimate - 0.25).abs() < 0.02);
+        // x = 1 selects z_n always: estimate ≈ b_3 = 0.75.
+        let r1 = unit.evaluate(1.0, 16384, &mut sng);
+        assert!((r1.estimate - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn run_streams_arity_checked() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let s = BitStream::zeros(8);
+        assert!(unit
+            .run_streams(std::slice::from_ref(&s), std::slice::from_ref(&s))
+            .is_err());
+    }
+
+    #[test]
+    fn run_streams_length_checked() {
+        let unit = ReScUnit::new(BernsteinPoly::new(vec![0.5, 0.5]).unwrap());
+        let data = vec![BitStream::zeros(8)];
+        let coeffs = vec![BitStream::zeros(8), BitStream::zeros(16)];
+        assert!(matches!(
+            unit.run_streams(&data, &coeffs),
+            Err(ScError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mux_semantics_hand_checked() {
+        // Degree 1: out[t] = z1 if x1[t] else z0.
+        let unit = ReScUnit::new(BernsteinPoly::new(vec![0.0, 1.0]).unwrap());
+        let data = vec![BitStream::from_bits([true, false, true, false])];
+        let coeffs = vec![
+            BitStream::from_bits([false, false, true, true]), // z0
+            BitStream::from_bits([true, true, false, false]), // z1
+        ];
+        let out = unit.run_streams(&data, &coeffs).unwrap();
+        assert_eq!(
+            out.iter().collect::<Vec<_>>(),
+            vec![true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn fault_injection_pulls_toward_half() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let mut sng = XoshiroSng::new(5);
+        let mut rng = Xoshiro256PlusPlus::new(99);
+        let r = unit
+            .evaluate_with_faults(0.0, 65536, &mut sng, 0.2, &mut rng)
+            .unwrap();
+        let expect = unit.expected_value_under_faults(0.0, 0.2); // 0.25*0.8+0.75*0.2 = 0.35
+        assert!((expect - 0.35).abs() < 1e-12);
+        assert!((r.estimate - expect).abs() < 0.02, "est {}", r.estimate);
+    }
+
+    #[test]
+    fn graceful_degradation_is_linear_in_flip_prob() {
+        // SC's hallmark: error grows linearly with fault rate, no cliffs.
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let e1 = unit.expected_value_under_faults(0.3, 0.01);
+        let e5 = unit.expected_value_under_faults(0.3, 0.05);
+        let exact = unit.polynomial().eval(0.3);
+        let d1 = (e1 - exact).abs();
+        let d5 = (e5 - exact).abs();
+        assert!((d5 / d1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let mut sng = XoshiroSng::new(1);
+        assert!(unit.generate_streams(1.5, 64, &mut sng).is_err());
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        assert!(unit
+            .evaluate_with_faults(0.5, 64, &mut sng, 2.0, &mut rng)
+            .is_err());
+    }
+}

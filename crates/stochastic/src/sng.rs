@@ -1,0 +1,346 @@
+//! Stochastic number generators (SNGs).
+//!
+//! An SNG converts a probability `p ∈ [0, 1]` into a bit-stream whose
+//! expected fraction of ones is `p`. The canonical hardware structure is a
+//! random-source + comparator pair (paper Fig. 1(a)); the quality of the
+//! random source governs the accuracy/stream-length tradeoff studied in
+//! [`crate::analysis`]:
+//!
+//! - [`LfsrSng`]: maximal-length LFSR comparator SNG — the CMOS baseline;
+//! - [`CounterSng`]: deterministic low-discrepancy (van der Corput) source,
+//!   giving O(1/N) convergence instead of O(1/√N);
+//! - [`XoshiroSng`]: seeded high-quality PRNG, the software reference;
+//! - [`ChaoticLaserSng`]: stand-in for the paper's future-work randomizer
+//!   \[20\] — a 640 Gbit/s chaotic-laser TRNG, modeled as an ideal fast
+//!   entropy source (`rand`-backed, optionally seeded for replay).
+
+use crate::bitstream::BitStream;
+use crate::lfsr::Lfsr;
+use crate::{check_unit, ScError};
+use osc_math::rng::Xoshiro256PlusPlus;
+use rand::{Rng, SeedableRng};
+
+/// A source of stochastic bit-streams with prescribed bias.
+///
+/// Implementors must return a stream of exactly `len` bits with ones
+/// probability as close to `p` as the source permits.
+pub trait StochasticNumberGenerator {
+    /// Generates `len` bits with ones-probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] if `p` is outside `[0, 1]`.
+    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError>;
+
+    /// Human-readable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// LFSR + comparator SNG: the standard stochastic computing randomizer.
+#[derive(Debug, Clone)]
+pub struct LfsrSng {
+    lfsr: Lfsr,
+}
+
+impl LfsrSng {
+    /// Creates an SNG over a maximal-length LFSR of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is outside `3..=32` (programmer error — widths
+    /// are compile-time choices in practice).
+    pub fn with_width(width: u32, seed: u32) -> Self {
+        LfsrSng {
+            lfsr: Lfsr::new(width, seed).expect("valid LFSR width"),
+        }
+    }
+}
+
+impl StochasticNumberGenerator for LfsrSng {
+    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
+        Ok(BitStream::from_fn(len, |_| self.lfsr.next_unit() < p))
+    }
+
+    fn name(&self) -> &'static str {
+        "lfsr"
+    }
+}
+
+/// Low-discrepancy SNG using van der Corput radical-inverse sequences.
+///
+/// Deterministic and uniformly spread, which drops the SC quantization
+/// error from O(1/√N) toward O(log N / N) — the "improved accuracy"
+/// direction the parallel-SC literature (\[3\] in the paper) pursues.
+///
+/// Successive [`StochasticNumberGenerator::generate`] calls use successive
+/// *prime bases* (the Halton construction), so the streams feeding one
+/// ReSC unit are mutually quasi-independent — reusing a single base across
+/// streams would correlate them perfectly and break the multiplexer
+/// statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSng {
+    stream: usize,
+}
+
+/// The first 64 primes, used as Halton bases for successive streams.
+const HALTON_PRIMES: [u64; 64] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    283, 293, 307, 311,
+];
+
+impl CounterSng {
+    /// Creates a fresh generator; its first stream uses base 2.
+    pub fn new() -> Self {
+        CounterSng::default()
+    }
+
+    /// Radical inverse of `n` in the given base (the van der Corput map).
+    fn van_der_corput_base(mut n: u64, base: u64) -> f64 {
+        let mut q = 0.0;
+        let mut bk = 1.0 / base as f64;
+        while n > 0 {
+            q += (n % base) as f64 * bk;
+            n /= base;
+            bk /= base as f64;
+        }
+        q
+    }
+
+    /// Base-2 radical inverse (the classic van der Corput sequence).
+    pub fn van_der_corput(n: u64) -> f64 {
+        Self::van_der_corput_base(n, 2)
+    }
+}
+
+impl StochasticNumberGenerator for CounterSng {
+    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
+        let base = HALTON_PRIMES[self.stream % HALTON_PRIMES.len()];
+        self.stream += 1;
+        // Index starts at 1: the radical inverse of 0 is exactly 0, which
+        // would bias the first bit high for every p > 0.
+        Ok(BitStream::from_fn(len, |i| {
+            Self::van_der_corput_base(i as u64 + 1, base) < p
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+}
+
+/// Seeded software PRNG SNG (Xoshiro256++), the reproducible reference.
+#[derive(Debug, Clone)]
+pub struct XoshiroSng {
+    rng: Xoshiro256PlusPlus,
+}
+
+impl XoshiroSng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        XoshiroSng {
+            rng: Xoshiro256PlusPlus::new(seed),
+        }
+    }
+}
+
+impl StochasticNumberGenerator for XoshiroSng {
+    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
+        Ok(BitStream::from_fn(len, |_| self.rng.bernoulli(p)))
+    }
+
+    fn name(&self) -> &'static str {
+        "xoshiro"
+    }
+}
+
+/// Stand-in for the chaotic-laser TRNG of Zhang et al. \[20\] (the paper's
+/// future-work optical randomizer): an ideal high-rate entropy source.
+///
+/// Backed by `rand::rngs::StdRng`; construct [`ChaoticLaserSng::seeded`]
+/// for reproducible experiments or [`ChaoticLaserSng::entropy`] for true
+/// system randomness.
+pub struct ChaoticLaserSng {
+    rng: rand::rngs::StdRng,
+}
+
+impl std::fmt::Debug for ChaoticLaserSng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaoticLaserSng").finish_non_exhaustive()
+    }
+}
+
+impl ChaoticLaserSng {
+    /// Creates a seeded (replayable) instance.
+    pub fn seeded(seed: u64) -> Self {
+        ChaoticLaserSng {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates an instance seeded from OS entropy.
+    pub fn entropy() -> Self {
+        ChaoticLaserSng {
+            rng: rand::make_rng(),
+        }
+    }
+}
+
+impl StochasticNumberGenerator for ChaoticLaserSng {
+    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
+        let threshold = (p * 2f64.powi(53)) as u64;
+        Ok(BitStream::from_fn(len, |_| {
+            (self.rng.next_u64() >> 11) < threshold
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "chaotic-laser"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bias<S: StochasticNumberGenerator>(sng: &mut S, p: f64, len: usize, tol: f64) {
+        let s = sng.generate(p, len).unwrap();
+        assert_eq!(s.len(), len);
+        assert!(
+            (s.value() - p).abs() < tol,
+            "{}: value {} vs p {p}",
+            sng.name(),
+            s.value()
+        );
+    }
+
+    #[test]
+    fn lfsr_sng_bias() {
+        let mut sng = LfsrSng::with_width(16, 0xACE1);
+        for p in [0.0, 0.25, 0.5, 0.8, 1.0] {
+            check_bias(&mut sng, p, 8192, 0.02);
+        }
+    }
+
+    #[test]
+    fn counter_sng_bias_is_tight() {
+        let mut sng = CounterSng::new();
+        // Low-discrepancy: error ~ base·log(N)/N; bases 2,3,5,7 at N=4096
+        // stay well under 0.01, far tighter than the ~0.016 binomial σ.
+        for p in [0.125, 0.3, 0.5, 0.9] {
+            check_bias(&mut sng, p, 4096, 0.01);
+        }
+        // The base-2 stream alone is O(log N / N)-accurate.
+        let mut fresh = CounterSng::new();
+        check_bias(&mut fresh, 0.3, 4096, 0.002);
+    }
+
+    #[test]
+    fn xoshiro_sng_bias() {
+        let mut sng = XoshiroSng::new(7);
+        for p in [0.1, 0.5, 0.73] {
+            check_bias(&mut sng, p, 16384, 0.02);
+        }
+    }
+
+    #[test]
+    fn chaotic_laser_sng_bias() {
+        let mut sng = ChaoticLaserSng::seeded(42);
+        for p in [0.2, 0.5, 0.95] {
+            check_bias(&mut sng, p, 16384, 0.02);
+        }
+    }
+
+    #[test]
+    fn chaotic_laser_seeded_replays() {
+        let a = ChaoticLaserSng::seeded(5).generate(0.4, 256).unwrap();
+        let b = ChaoticLaserSng::seeded(5).generate(0.4, 256).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_probability_rejected() {
+        let mut sng = XoshiroSng::new(1);
+        assert!(sng.generate(1.5, 8).is_err());
+        assert!(sng.generate(-0.1, 8).is_err());
+        assert!(sng.generate(f64::NAN, 8).is_err());
+    }
+
+    #[test]
+    fn extreme_probabilities_are_exact() {
+        let mut sng = LfsrSng::with_width(12, 3);
+        assert_eq!(sng.generate(0.0, 512).unwrap().count_ones(), 0);
+        assert_eq!(sng.generate(1.0, 512).unwrap().count_ones(), 512);
+    }
+
+    #[test]
+    fn van_der_corput_first_terms() {
+        assert_eq!(CounterSng::van_der_corput(0), 0.0);
+        assert_eq!(CounterSng::van_der_corput(1), 0.5);
+        assert_eq!(CounterSng::van_der_corput(2), 0.25);
+        assert_eq!(CounterSng::van_der_corput(3), 0.75);
+        assert_eq!(CounterSng::van_der_corput(4), 0.125);
+    }
+
+    #[test]
+    fn van_der_corput_base3_first_terms() {
+        let v = |n| CounterSng::van_der_corput_base(n, 3);
+        assert!((v(1) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((v(2) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((v(3) - 1.0 / 9.0).abs() < 1e-15);
+        assert!((v(4) - 4.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn counter_sng_convergence_rate_beats_lfsr() {
+        // Average |error| over several probabilities at N=1024, using a
+        // fresh (base-2) counter stream per probability: the
+        // low-discrepancy source should be at least 3x more accurate.
+        let n = 1024;
+        let ps = [0.137, 0.29, 0.456, 0.61, 0.83];
+        let mut lfsr = LfsrSng::with_width(16, 0xBEEF);
+        let err = |s: &BitStream, p: f64| (s.value() - p).abs();
+        let e_lfsr: f64 = ps
+            .iter()
+            .map(|&p| err(&lfsr.generate(p, n).unwrap(), p))
+            .sum();
+        let e_ctr: f64 = ps
+            .iter()
+            .map(|&p| err(&CounterSng::new().generate(p, n).unwrap(), p))
+            .sum();
+        assert!(
+            e_ctr * 3.0 < e_lfsr + 1e-4,
+            "counter {e_ctr} vs lfsr {e_lfsr}"
+        );
+    }
+
+    #[test]
+    fn halton_streams_are_quasi_independent() {
+        // Two successive streams (bases 2 and 3) multiply correctly under
+        // AND — the property the single-base construction violates.
+        let mut sng = CounterSng::new();
+        let a = sng.generate(0.5, 4096).unwrap();
+        let b = sng.generate(0.5, 4096).unwrap();
+        let prod = a.and(&b).unwrap();
+        assert!(
+            (prod.value() - 0.25).abs() < 0.02,
+            "AND value {}",
+            prod.value()
+        );
+    }
+
+    #[test]
+    fn independent_streams_from_different_seeds() {
+        let mut a = LfsrSng::with_width(16, 0x1111);
+        let mut b = LfsrSng::with_width(16, 0x7777);
+        let sa = a.generate(0.5, 2048).unwrap();
+        let sb = b.generate(0.5, 2048).unwrap();
+        let scc = sa.scc(&sb).unwrap();
+        assert!(scc.abs() < 0.1, "scc = {scc}");
+    }
+}

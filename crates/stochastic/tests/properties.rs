@@ -1,0 +1,118 @@
+//! Property-based tests for the stochastic computing substrate.
+
+use osc_stochastic::bernstein::{basis, BernsteinPoly};
+use osc_stochastic::bitstream::BitStream;
+use osc_stochastic::lfsr::Lfsr;
+use osc_stochastic::ops;
+use osc_stochastic::polynomial::Polynomial;
+use osc_stochastic::sng::{CounterSng, LfsrSng, StochasticNumberGenerator, XoshiroSng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every SNG produces streams whose value converges to the requested
+    /// probability within 5 binomial sigma.
+    #[test]
+    fn sng_bias_converges(p in 0.0f64..1.0, seed in 1u64..500) {
+        let len = 8192usize;
+        let sigma = (p * (1.0 - p) / len as f64).sqrt();
+        let tol = 5.0 * sigma + 0.01;
+        let s_l = LfsrSng::with_width(16, seed as u32 | 1).generate(p, len).unwrap();
+        prop_assert!((s_l.value() - p).abs() < tol, "lfsr {}", s_l.value());
+        let s_c = CounterSng::new().generate(p, len).unwrap();
+        prop_assert!((s_c.value() - p).abs() < tol, "counter {}", s_c.value());
+        let s_x = XoshiroSng::new(seed).generate(p, len).unwrap();
+        prop_assert!((s_x.value() - p).abs() < tol, "xoshiro {}", s_x.value());
+    }
+
+    /// Bernstein evaluation stays inside the coefficient convex hull.
+    #[test]
+    fn bernstein_convex_hull(
+        coeffs in proptest::collection::vec(0.0f64..1.0, 2..10),
+        x in 0.0f64..1.0,
+    ) {
+        let p = BernsteinPoly::new(coeffs.clone()).unwrap();
+        let v = p.eval(x);
+        let lo = coeffs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = coeffs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// Degree elevation preserves the function everywhere.
+    #[test]
+    fn elevation_preserves(
+        coeffs in proptest::collection::vec(0.0f64..1.0, 2..8),
+        x in 0.0f64..1.0,
+        extra in 1usize..4,
+    ) {
+        let p = BernsteinPoly::new(coeffs).unwrap();
+        let q = p.elevate_to(p.degree() + extra);
+        prop_assert!((p.eval(x) - q.eval(x)).abs() < 1e-10);
+    }
+
+    /// Basis functions are a partition of unity for any degree and input.
+    #[test]
+    fn basis_partition(n in 1u32..20, x in 0.0f64..1.0) {
+        let sum: f64 = (0..=n).map(|i| basis(i, n, x)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-10);
+    }
+
+    /// Power-form <-> Bernstein is exact for degree up to 6.
+    #[test]
+    fn conversion_round_trip(coeffs in proptest::collection::vec(-2.0f64..2.0, 1..7)) {
+        let p = Polynomial::new(coeffs).unwrap();
+        let back = Polynomial::from_bernstein(&p.to_bernstein_unchecked()).unwrap();
+        for (a, b) in p.coeffs().iter().zip(back.coeffs()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// AND of independent streams multiplies values (within sampling
+    /// noise).
+    #[test]
+    fn and_multiplies(pa in 0.05f64..0.95, pb in 0.05f64..0.95, seed in 1u64..200) {
+        let n = 16_384;
+        let mut sng = XoshiroSng::new(seed);
+        let a = sng.generate(pa, n).unwrap();
+        let b = sng.generate(pb, n).unwrap();
+        let prod = ops::multiply(&a, &b).unwrap().value();
+        prop_assert!((prod - pa * pb).abs() < 0.03, "prod {prod}");
+    }
+
+    /// LFSR streams are balanced: ones fraction near 1/2 over a period.
+    #[test]
+    fn lfsr_balanced(width in 8u32..16, seed in 1u32..1000) {
+        let mut l = Lfsr::new(width, seed).unwrap();
+        let period = l.period() as usize;
+        let ones = (0..period).filter(|_| l.step()).count();
+        // Maximal sequences have 2^(w-1) ones out of 2^w - 1 bits.
+        prop_assert_eq!(ones as u64, 1u64 << (width - 1));
+    }
+
+    /// Bit-stream mux never produces more ones than its inputs combined.
+    #[test]
+    fn mux_ones_bounded(
+        bits_a in proptest::collection::vec(any::<bool>(), 64),
+        bits_b in proptest::collection::vec(any::<bool>(), 64),
+        bits_s in proptest::collection::vec(any::<bool>(), 64),
+    ) {
+        let a = BitStream::from_bits(bits_a);
+        let b = BitStream::from_bits(bits_b);
+        let s = BitStream::from_bits(bits_s);
+        let out = a.mux(&b, &s).unwrap();
+        prop_assert!(out.count_ones() <= a.count_ones() + b.count_ones());
+    }
+
+    /// Bipolar multiplication law holds for independent streams.
+    #[test]
+    fn bipolar_law(pa in 0.1f64..0.9, pb in 0.1f64..0.9, seed in 1u64..100) {
+        let n = 32_768;
+        let mut sng = XoshiroSng::new(seed);
+        let a = sng.generate(pa, n).unwrap();
+        let b = sng.generate(pb, n).unwrap();
+        let out = ops::bipolar_multiply(&a, &b).unwrap().value();
+        let expect = ops::from_bipolar(ops::to_bipolar(pa) * ops::to_bipolar(pb));
+        prop_assert!((out - expect).abs() < 0.03, "out {out} expect {expect}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Time-domain device behaviours.
+//!
+//! Each block turns abstract drive data (bits, pulse schedules) into
+//! waveforms or transforms waveforms, at the behavioural fidelity the
+//! paper's future-work transient study calls for:
+//!
+//! - [`NrzDrive`] — non-return-to-zero bit waveform with finite rise/fall
+//!   (single-pole edge shaping), driving MZI phase and MRR modulators;
+//! - [`PulseTrain`] — one Gaussian pump pulse per bit slot (26 ps FWHM in
+//!   the paper);
+//! - [`RingResponse`] — first-order photon-lifetime smoothing of a ring's
+//!   steady-state output (`τ_p = Q·λ/(2πc)`);
+//! - [`DetectorFrontEnd`] — responsivity + RC bandwidth + optional
+//!   Gaussian noise.
+
+use crate::signal::Waveform;
+use crate::TransientError;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_units::SPEED_OF_LIGHT_M_PER_S;
+use serde::{Deserialize, Serialize};
+
+/// NRZ bit-stream drive with single-pole edge shaping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NrzDrive {
+    /// Bit slot duration, seconds.
+    pub bit_period: f64,
+    /// Edge time constant, seconds (0 = ideal edges).
+    pub edge_tau: f64,
+    /// Low level of the output waveform.
+    pub low: f64,
+    /// High level of the output waveform.
+    pub high: f64,
+}
+
+impl NrzDrive {
+    /// Renders a bit sequence into a waveform sampled `samples_per_bit`
+    /// times per slot.
+    ///
+    /// # Errors
+    ///
+    /// [`TransientError::InvalidTiming`] for a non-positive bit period or
+    /// zero samples per bit.
+    pub fn render(&self, bits: &[bool], samples_per_bit: usize) -> Result<Waveform, TransientError> {
+        if self.bit_period <= 0.0 {
+            return Err(TransientError::InvalidTiming(
+                "bit period must be positive".into(),
+            ));
+        }
+        if samples_per_bit == 0 {
+            return Err(TransientError::InvalidTiming(
+                "need at least one sample per bit".into(),
+            ));
+        }
+        let dt = self.bit_period / samples_per_bit as f64;
+        let ideal = Waveform::from_fn(0.0, dt, bits.len() * samples_per_bit, |t| {
+            let idx = ((t / self.bit_period).floor() as usize).min(bits.len().saturating_sub(1));
+            if bits[idx] {
+                self.high
+            } else {
+                self.low
+            }
+        });
+        Ok(ideal.low_pass(self.edge_tau))
+    }
+}
+
+/// A train of Gaussian pulses, one per bit slot, centred mid-slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PulseTrain {
+    /// Bit slot duration, seconds.
+    pub bit_period: f64,
+    /// Pulse full width at half maximum, seconds (26 ps in the paper).
+    pub fwhm: f64,
+    /// Peak value (e.g. pump power in mW).
+    pub peak: f64,
+}
+
+impl PulseTrain {
+    /// Renders `bits_count` slots of the pulse train.
+    ///
+    /// # Errors
+    ///
+    /// [`TransientError::InvalidTiming`] for non-positive periods/widths.
+    pub fn render(
+        &self,
+        bits_count: usize,
+        samples_per_bit: usize,
+    ) -> Result<Waveform, TransientError> {
+        if self.bit_period <= 0.0 || self.fwhm <= 0.0 {
+            return Err(TransientError::InvalidTiming(
+                "pulse train timing must be positive".into(),
+            ));
+        }
+        if samples_per_bit == 0 {
+            return Err(TransientError::InvalidTiming(
+                "need at least one sample per bit".into(),
+            ));
+        }
+        let sigma = self.fwhm / (2.0 * (2.0 * 2f64.ln()).sqrt());
+        let dt = self.bit_period / samples_per_bit as f64;
+        Ok(Waveform::from_fn(
+            0.0,
+            dt,
+            bits_count * samples_per_bit,
+            |t| {
+                let slot = (t / self.bit_period).floor();
+                let center = (slot + 0.5) * self.bit_period;
+                let d = t - center;
+                self.peak * (-(d * d) / (2.0 * sigma * sigma)).exp()
+            },
+        ))
+    }
+
+    /// Optical energy carried by one pulse (analytic Gaussian integral of
+    /// the peak×exp envelope): `peak · σ · √(2π)`.
+    pub fn pulse_energy(&self) -> f64 {
+        let sigma = self.fwhm / (2.0 * (2.0 * 2f64.ln()).sqrt());
+        self.peak * sigma * (2.0 * std::f64::consts::PI).sqrt()
+    }
+}
+
+/// First-order (photon-lifetime) dynamic response of a micro-ring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RingResponse {
+    /// Photon lifetime `τ_p`, seconds.
+    pub photon_lifetime: f64,
+}
+
+impl RingResponse {
+    /// Computes the photon lifetime from loaded Q at wavelength
+    /// `lambda_nm`: `τ_p = Q·λ/(2πc)`.
+    pub fn from_q(q: f64, lambda_nm: f64) -> Self {
+        RingResponse {
+            photon_lifetime: q * lambda_nm * 1e-9
+                / (2.0 * std::f64::consts::PI * SPEED_OF_LIGHT_M_PER_S),
+        }
+    }
+
+    /// Applies the ring's energy-buildup dynamics to a waveform of the
+    /// instantaneous steady-state output.
+    pub fn apply(&self, steady_state: &Waveform) -> Waveform {
+        steady_state.low_pass(self.photon_lifetime)
+    }
+}
+
+/// Detector front end: responsivity, RC bandwidth, additive noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorFrontEnd {
+    /// Responsivity, A/W.
+    pub responsivity: f64,
+    /// Front-end bandwidth time constant, seconds (0 = unlimited).
+    pub rc_tau: f64,
+    /// Input-referred RMS power noise, same unit as the input waveform.
+    pub noise_rms: f64,
+}
+
+impl DetectorFrontEnd {
+    /// Converts a received optical power waveform into a (possibly noisy)
+    /// photocurrent waveform.
+    pub fn detect(&self, power: &Waveform, rng: &mut Xoshiro256PlusPlus) -> Waveform {
+        let filtered = power.low_pass(self.rc_tau);
+        filtered.map(|p| {
+            let noisy = if self.noise_rms > 0.0 {
+                p + rng.gaussian_with(0.0, self.noise_rms)
+            } else {
+                p
+            };
+            noisy * self.responsivity
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nrz_levels_and_edges() {
+        let drive = NrzDrive {
+            bit_period: 1e-9,
+            edge_tau: 30e-12,
+            low: 0.1,
+            high: 0.9,
+        };
+        let w = drive.render(&[false, true, true, false], 64).unwrap();
+        assert_eq!(w.len(), 256);
+        // Mid-slot values settle to the levels.
+        assert!((w.sample_at(0.5e-9) - 0.1).abs() < 0.01);
+        assert!((w.sample_at(1.5e-9) - 0.9).abs() < 0.01);
+        assert!((w.sample_at(2.5e-9) - 0.9).abs() < 0.01);
+        assert!((w.sample_at(3.9e-9) - 0.1).abs() < 0.01);
+        // Just after the 0->1 edge the waveform is still rising.
+        assert!(w.sample_at(1.02e-9) < 0.85);
+    }
+
+    #[test]
+    fn nrz_ideal_edges() {
+        let drive = NrzDrive {
+            bit_period: 1e-9,
+            edge_tau: 0.0,
+            low: 0.0,
+            high: 1.0,
+        };
+        let w = drive.render(&[true, false], 8).unwrap();
+        assert_eq!(w.samples()[0], 1.0);
+        assert_eq!(w.samples()[8], 0.0);
+    }
+
+    #[test]
+    fn nrz_invalid_timing() {
+        let drive = NrzDrive {
+            bit_period: 0.0,
+            edge_tau: 0.0,
+            low: 0.0,
+            high: 1.0,
+        };
+        assert!(drive.render(&[true], 8).is_err());
+        let drive2 = NrzDrive {
+            bit_period: 1e-9,
+            ..drive
+        };
+        assert!(drive2.render(&[true], 0).is_err());
+    }
+
+    #[test]
+    fn pulse_train_shape() {
+        let train = PulseTrain {
+            bit_period: 1e-9,
+            fwhm: 26e-12,
+            peak: 591.8,
+        };
+        let w = train.render(2, 512).unwrap();
+        // Peaks mid-slot.
+        assert!((w.sample_at(0.5e-9) - 591.8).abs() < 1.0);
+        assert!((w.sample_at(1.5e-9) - 591.8).abs() < 1.0);
+        // Half maximum at +- fwhm/2.
+        assert!((w.sample_at(0.5e-9 + 13e-12) - 295.9).abs() < 10.0);
+        // Dark between slots.
+        assert!(w.sample_at(1.0e-9) < 1e-3);
+    }
+
+    #[test]
+    fn pulse_energy_matches_numeric_integral() {
+        let train = PulseTrain {
+            bit_period: 1e-9,
+            fwhm: 26e-12,
+            peak: 100.0,
+        };
+        let w = train.render(1, 4096).unwrap();
+        let analytic = train.pulse_energy();
+        assert!(
+            (w.integral() - analytic).abs() / analytic < 0.01,
+            "numeric {} vs analytic {}",
+            w.integral(),
+            analytic
+        );
+    }
+
+    #[test]
+    fn ring_lifetime_from_q() {
+        // Q = 12000 at 1550 nm: tau_p ~ 9.9 ps.
+        let r = RingResponse::from_q(12_000.0, 1550.0);
+        assert!((r.photon_lifetime - 9.87e-12).abs() < 0.1e-12);
+    }
+
+    #[test]
+    fn ring_smooths_steps() {
+        let r = RingResponse {
+            photon_lifetime: 20e-12,
+        };
+        let step = Waveform::from_fn(0.0, 1e-13, 5000, |t| if t > 0.0 { 1.0 } else { 0.0 });
+        let y = r.apply(&step);
+        assert!(y.sample_at(20e-12) < 0.7);
+        assert!(y.sample_at(200e-12) > 0.99);
+    }
+
+    #[test]
+    fn detector_noise_statistics() {
+        let det = DetectorFrontEnd {
+            responsivity: 1.1,
+            rc_tau: 0.0,
+            noise_rms: 0.01,
+        };
+        let mut rng = Xoshiro256PlusPlus::new(9);
+        let w = Waveform::constant(0.0, 1e-12, 20_000, 0.5);
+        let y = det.detect(&w, &mut rng);
+        let mean: f64 = y.samples().iter().sum::<f64>() / y.len() as f64;
+        assert!((mean - 0.55).abs() < 0.005, "mean {mean}");
+        let var: f64 = y
+            .samples()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!((var.sqrt() - 0.011).abs() < 0.001);
+    }
+
+    #[test]
+    fn noiseless_detector_is_deterministic() {
+        let det = DetectorFrontEnd {
+            responsivity: 2.0,
+            rc_tau: 0.0,
+            noise_rms: 0.0,
+        };
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let w = Waveform::constant(0.0, 1e-12, 4, 0.25);
+        let y = det.detect(&w, &mut rng);
+        assert_eq!(y.samples(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+}

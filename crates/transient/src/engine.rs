@@ -1,0 +1,456 @@
+//! The transient circuit simulator.
+//!
+//! Assembles the full optical SC datapath in the time domain: NRZ-driven
+//! MZIs modulate the (possibly pulsed) pump into the control waveform, the
+//! control tunes the filter through its photon-lifetime dynamics, the
+//! coefficient modulators shape each probe channel, and the detector
+//! front end produces the waveform the de-randomizer samples.
+//!
+//! The fidelity target is behavioural: first-order dynamics everywhere,
+//! which is exactly the level the paper's future-work SPICE study names
+//! for exploring synchronization windows and the throughput–accuracy
+//! tradeoff.
+
+use crate::blocks::{NrzDrive, PulseTrain, RingResponse};
+use crate::signal::Waveform;
+use crate::TransientError;
+use osc_core::params::CircuitParams;
+use osc_core::transmission::TransmissionModel;
+use osc_stochastic::bitstream::BitStream;
+use osc_units::{Milliwatts, Nanometers};
+use serde::{Deserialize, Serialize};
+
+/// Timing configuration of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Bit slot duration, seconds (1 ns at the paper's 1 Gb/s).
+    pub bit_period: f64,
+    /// Samples per bit slot.
+    pub samples_per_bit: usize,
+    /// MZI electrical edge time constant, seconds.
+    pub mzi_edge_tau: f64,
+    /// MRR modulator edge time constant, seconds.
+    pub modulator_edge_tau: f64,
+    /// Pump pulse FWHM; `None` runs the pump CW.
+    pub pump_pulse_fwhm: Option<f64>,
+    /// Non-linear (TPA/carrier) tuning response time constant of the
+    /// filter, seconds. Van et al. \[15\] demonstrated switching that
+    /// tracks 26 ps pulses, so this is fast relative to the pulse.
+    pub filter_tuning_tau: f64,
+    /// Detector front-end time constant, seconds (≈8 ps for the >40 GHz
+    /// photodiodes the cited modulator work assumes).
+    pub detector_tau: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            bit_period: 1e-9,
+            samples_per_bit: 64,
+            mzi_edge_tau: 25e-12,
+            modulator_edge_tau: 25e-12,
+            pump_pulse_fwhm: Some(26e-12),
+            filter_tuning_tau: 2e-12,
+            detector_tau: 8e-12,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`TransientError::InvalidTiming`] for non-positive periods or zero
+    /// sampling.
+    pub fn validate(&self) -> Result<(), TransientError> {
+        if self.bit_period <= 0.0 {
+            return Err(TransientError::InvalidTiming(
+                "bit period must be positive".into(),
+            ));
+        }
+        if self.samples_per_bit < 4 {
+            return Err(TransientError::InvalidTiming(
+                "need at least 4 samples per bit".into(),
+            ));
+        }
+        if let Some(fwhm) = self.pump_pulse_fwhm {
+            if fwhm <= 0.0 || fwhm > self.bit_period {
+                return Err(TransientError::InvalidTiming(format!(
+                    "pump pulse FWHM {fwhm} must lie in (0, bit period]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Output of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientTrace {
+    /// Received optical power at the detector input (after filter/ring
+    /// dynamics), mW.
+    pub received: Waveform,
+    /// Control (pump-side) power waveform, mW.
+    pub control: Waveform,
+    /// Ideal multiplexer output bit per slot.
+    pub ideal_bits: Vec<bool>,
+    /// Bit slot duration, seconds.
+    pub bit_period: f64,
+    /// Samples per bit slot.
+    pub samples_per_bit: usize,
+}
+
+impl TransientTrace {
+    /// Number of simulated bit slots.
+    pub fn slots(&self) -> usize {
+        self.ideal_bits.len()
+    }
+
+    /// The received power sampled at a fractional offset (0..1) into each
+    /// slot.
+    pub fn slot_samples(&self, offset_fraction: f64) -> Vec<f64> {
+        (0..self.slots())
+            .map(|s| {
+                self.received
+                    .sample_at((s as f64 + offset_fraction) * self.bit_period)
+            })
+            .collect()
+    }
+}
+
+/// The transient simulator bound to one circuit configuration.
+#[derive(Debug, Clone)]
+pub struct TransientSimulator {
+    params: CircuitParams,
+    model: TransmissionModel,
+    timing: TimingConfig,
+    filter_response: RingResponse,
+}
+
+impl TransientSimulator {
+    /// Builds a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing validation and circuit construction failures.
+    pub fn new(params: CircuitParams, timing: TimingConfig) -> Result<Self, TransientError> {
+        timing.validate()?;
+        let model = TransmissionModel::new(&params)?;
+        let q = model.mux().filter().ring().q_factor();
+        let filter_response = RingResponse::from_q(q, params.lambda_ref.as_nm());
+        Ok(TransientSimulator {
+            params,
+            model,
+            timing,
+            filter_response,
+        })
+    }
+
+    /// The circuit parameters.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// The timing configuration.
+    pub fn timing(&self) -> &TimingConfig {
+        &self.timing
+    }
+
+    /// Runs the datapath over stochastic streams.
+    ///
+    /// `data` must hold `n` streams, `coeffs` `n+1`, all the same length.
+    ///
+    /// # Errors
+    ///
+    /// [`TransientError::Circuit`] on arity/length mismatches.
+    pub fn run(
+        &self,
+        data: &[BitStream],
+        coeffs: &[BitStream],
+    ) -> Result<TransientTrace, TransientError> {
+        let n = self.params.order;
+        if data.len() != n || coeffs.len() != n + 1 {
+            return Err(TransientError::Circuit(format!(
+                "expected {n} data and {} coefficient streams",
+                n + 1
+            )));
+        }
+        let bits = coeffs[0].len();
+        if bits == 0 {
+            return Err(TransientError::Circuit("empty streams".into()));
+        }
+        for s in data.iter().chain(coeffs) {
+            if s.len() != bits {
+                return Err(TransientError::Circuit("stream length mismatch".into()));
+            }
+        }
+        let spb = self.timing.samples_per_bit;
+        let dt = self.timing.bit_period / spb as f64;
+        let total = bits * spb;
+        let mzi = self.params.mzi();
+
+        // MZI arm-phase waveforms (0 or π), edge-shaped.
+        let phase_drive = NrzDrive {
+            bit_period: self.timing.bit_period,
+            edge_tau: self.timing.mzi_edge_tau,
+            low: 0.0,
+            high: std::f64::consts::PI,
+        };
+        let phases: Vec<Waveform> = data
+            .iter()
+            .map(|s| {
+                let bit_vec: Vec<bool> = s.iter().collect();
+                phase_drive.render(&bit_vec, spb)
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Pump envelope.
+        let pump_env = match self.timing.pump_pulse_fwhm {
+            Some(fwhm) => PulseTrain {
+                bit_period: self.timing.bit_period,
+                fwhm,
+                peak: self.params.pump_power.as_mw(),
+            }
+            .render(bits, spb)?,
+            None => Waveform::constant(0.0, dt, total, self.params.pump_power.as_mw()),
+        };
+
+        // Control power: envelope × mean MZI transmission.
+        let control = Waveform::from_fn(0.0, dt, total, |t| {
+            let mean_t: f64 = phases
+                .iter()
+                .map(|p| mzi.transmission_at_phase(p.sample_at(t)))
+                .sum::<f64>()
+                / n as f64;
+            pump_env.sample_at(t) * mean_t
+        });
+
+        // Filter detuning follows the control power through the (fast)
+        // non-linear carrier response.
+        let ote = self.params.filter.ote_nm_per_mw;
+        let detuning = control
+            .map(|p| p * ote)
+            .low_pass(self.timing.filter_tuning_tau);
+
+        // Modulator effective resonances, edge-shaped between OFF and ON.
+        let channels = self.model.channels().to_vec();
+        let dl = self.params.modulator.delta_lambda.as_nm();
+        let resonance_drives: Vec<Waveform> = coeffs
+            .iter()
+            .zip(&channels)
+            .map(|(s, &ch)| {
+                let drive = NrzDrive {
+                    bit_period: self.timing.bit_period,
+                    edge_tau: self.timing.modulator_edge_tau,
+                    low: ch.as_nm(),
+                    high: ch.as_nm() - dl,
+                };
+                let bit_vec: Vec<bool> = s.iter().collect();
+                drive.render(&bit_vec, spb)
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Received power: per-channel modulator chain + tuned filter drop.
+        let modulators = self.model.modulators().to_vec();
+        let filter_ring = *self.model.mux().filter().ring();
+        let lambda_ref = self.params.lambda_ref.as_nm();
+        let probe = self.params.probe_power.as_mw();
+        let raw_received = Waveform::from_fn(0.0, dt, total, |t| {
+            let res_f = Nanometers::new(lambda_ref - detuning.sample_at(t));
+            channels
+                .iter()
+                .map(|&ch| {
+                    let mut p = probe;
+                    for (w, m) in modulators.iter().enumerate() {
+                        p *= m
+                            .ring()
+                            .through_transmission(ch, Nanometers::new(resonance_drives[w].sample_at(t)));
+                    }
+                    p * filter_ring.drop_transmission(ch, res_f)
+                })
+                .sum()
+        });
+        // Filter build-up + detector bandwidth on the received waveform.
+        let received = self
+            .filter_response
+            .apply(&raw_received)
+            .low_pass(self.timing.detector_tau);
+
+        // Ideal multiplexer output per slot.
+        let ideal_bits = (0..bits)
+            .map(|t| {
+                let count = data.iter().filter(|s| s.get(t)).count();
+                coeffs[count].get(t)
+            })
+            .collect();
+
+        Ok(TransientTrace {
+            received,
+            control,
+            ideal_bits,
+            bit_period: self.timing.bit_period,
+            samples_per_bit: spb,
+        })
+    }
+
+    /// The analytic steady-state received power for a given slot's inputs
+    /// — the level the transient waveform should settle to mid-slot (CW
+    /// pump) or at the pulse centre (pulsed pump).
+    ///
+    /// # Errors
+    ///
+    /// Propagates arity errors.
+    pub fn steady_state_power(
+        &self,
+        x_bits: &[bool],
+        z_bits: &[bool],
+    ) -> Result<Milliwatts, TransientError> {
+        Ok(self
+            .model
+            .received_power(z_bits, x_bits, self.params.probe_power)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
+
+    fn streams(len: usize) -> (Vec<BitStream>, Vec<BitStream>) {
+        let mut sng = XoshiroSng::new(77);
+        let data = (0..2).map(|_| sng.generate(0.5, len).unwrap()).collect();
+        let coeffs = (0..3).map(|_| sng.generate(0.5, len).unwrap()).collect();
+        (data, coeffs)
+    }
+
+    fn simulator(timing: TimingConfig) -> TransientSimulator {
+        TransientSimulator::new(CircuitParams::paper_fig5(), timing).unwrap()
+    }
+
+    #[test]
+    fn cw_settles_to_steady_state() {
+        let timing = TimingConfig {
+            pump_pulse_fwhm: None,
+            ..TimingConfig::default()
+        };
+        let sim = simulator(timing);
+        // Constant inputs: x = (1,1), z = (0,1,0) for many slots.
+        let data = vec![BitStream::ones(8), BitStream::ones(8)];
+        let coeffs = vec![
+            BitStream::zeros(8),
+            BitStream::ones(8),
+            BitStream::zeros(8),
+        ];
+        let trace = sim.run(&data, &coeffs).unwrap();
+        let expect = sim
+            .steady_state_power(&[true, true], &[false, true, false])
+            .unwrap()
+            .as_mw();
+        // Late in the run the waveform sits on the analytic level.
+        let late = trace.received.sample_at(7.5e-9);
+        assert!(
+            (late - expect).abs() / expect < 0.02,
+            "late {late} vs steady {expect}"
+        );
+    }
+
+    #[test]
+    fn pulsed_pump_gates_the_selection() {
+        let sim = simulator(TimingConfig::default());
+        let data = vec![BitStream::zeros(4), BitStream::zeros(4)];
+        let coeffs = vec![
+            BitStream::ones(4), // z0 = 1 is selected for x = 00
+            BitStream::zeros(4),
+            BitStream::zeros(4),
+        ];
+        let trace = sim.run(&data, &coeffs).unwrap();
+        // Around the pulse centre the filter reaches λ0 and drops the 1
+        // (the response lags the pulse by the device time constants, so
+        // take the peak over the central half of the slot).
+        let at_pulse = (0..64)
+            .map(|k| trace.received.sample_at(2.3e-9 + k as f64 * 0.4e-9 / 64.0))
+            .fold(0.0_f64, f64::max);
+        // Far from the pulse the filter rests near λ_ref: channel 0 is not
+        // dropped, so the received power collapses.
+        let off_pulse = trace.received.sample_at(2.05e-9);
+        assert!(
+            at_pulse > 3.0 * off_pulse,
+            "pulse {at_pulse} vs off {off_pulse}"
+        );
+    }
+
+    #[test]
+    fn trace_dimensions() {
+        let sim = simulator(TimingConfig::default());
+        let (data, coeffs) = streams(16);
+        let trace = sim.run(&data, &coeffs).unwrap();
+        assert_eq!(trace.slots(), 16);
+        assert_eq!(trace.received.len(), 16 * 64);
+        assert_eq!(trace.slot_samples(0.5).len(), 16);
+    }
+
+    #[test]
+    fn ideal_bits_follow_mux_semantics() {
+        let sim = simulator(TimingConfig::default());
+        let data = vec![
+            BitStream::from_bits([true, false]),
+            BitStream::from_bits([true, false]),
+        ];
+        let coeffs = vec![
+            BitStream::from_bits([false, true]), // z0
+            BitStream::from_bits([false, false]),
+            BitStream::from_bits([true, false]), // z2
+        ];
+        let trace = sim.run(&data, &coeffs).unwrap();
+        // Slot 0: count 2 -> z2 = 1. Slot 1: count 0 -> z0 = 1.
+        assert_eq!(trace.ideal_bits, vec![true, true]);
+    }
+
+    #[test]
+    fn arity_and_length_checked() {
+        let sim = simulator(TimingConfig::default());
+        let (data, mut coeffs) = streams(8);
+        assert!(sim.run(&data[..1], &coeffs).is_err());
+        coeffs[2] = BitStream::zeros(9);
+        assert!(sim.run(&data, &coeffs).is_err());
+    }
+
+    #[test]
+    fn timing_validation() {
+        assert!(TimingConfig {
+            bit_period: 0.0,
+            ..TimingConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TimingConfig {
+            samples_per_bit: 2,
+            ..TimingConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TimingConfig {
+            pump_pulse_fwhm: Some(2e-9),
+            ..TimingConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn control_pulses_track_data_levels() {
+        let sim = simulator(TimingConfig::default());
+        let data = vec![
+            BitStream::from_bits([false, true]),
+            BitStream::from_bits([false, true]),
+        ];
+        let coeffs = vec![BitStream::zeros(2), BitStream::zeros(2), BitStream::zeros(2)];
+        let trace = sim.run(&data, &coeffs).unwrap();
+        // Slot 0 (x=00, constructive) passes much more pump than slot 1
+        // (x=11, destructive) at the pulse centres.
+        let p0 = trace.control.sample_at(0.5e-9);
+        let p1 = trace.control.sample_at(1.5e-9);
+        assert!(p0 > 5.0 * p1, "p0 {p0} vs p1 {p1}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Sampling-window (eye) analysis for the pulsed-pump receiver.
+//!
+//! With a 26 ps pump pulse in a 1 ns bit slot, the multiplexer only
+//! selects the right coefficient while the pulse is present; the receiver
+//! must sample inside that window (the paper's future-work item (i):
+//! "synchronization on the detector side to read the received signals
+//! only during the short light emission").
+//!
+//! [`scan_offsets`] measures the decision error rate as a function of the
+//! sampling instant within the slot; [`sampling_window`] extracts the
+//! usable window width.
+
+use crate::engine::TransientTrace;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_units::Milliwatts;
+use serde::{Deserialize, Serialize};
+
+/// Error rate at one sampling offset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffsetPoint {
+    /// Sampling instant as a fraction of the bit slot (0..1).
+    pub offset_fraction: f64,
+    /// Fraction of slots decided differently from the ideal bit.
+    pub error_rate: f64,
+    /// The decision threshold used at this offset, mW.
+    pub threshold_mw: f64,
+}
+
+/// How the receiver obtains its decision threshold.
+///
+/// The steady-state bands of the analytical model overestimate the
+/// transient levels (the short drop gate is attenuated by the ring and
+/// detector time constants), so a synchronized receiver *trains* its
+/// threshold per sampling phase — the "feedback loop-based control
+/// circuit … for device calibration" of the paper's future work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdMode {
+    /// A fixed threshold (e.g. the analytic mid-band point).
+    Fixed(Milliwatts),
+    /// Midpoint between the observed mean '0' and mean '1' levels at each
+    /// sampling offset (training against known data).
+    Trained,
+}
+
+fn threshold_for(samples: &[f64], ideal: &[bool], mode: ThresholdMode) -> f64 {
+    match mode {
+        ThresholdMode::Fixed(t) => t.as_mw(),
+        ThresholdMode::Trained => {
+            let (mut s1, mut n1, mut s0, mut n0) = (0.0, 0usize, 0.0, 0usize);
+            for (&p, &b) in samples.iter().zip(ideal) {
+                if b {
+                    s1 += p;
+                    n1 += 1;
+                } else {
+                    s0 += p;
+                    n0 += 1;
+                }
+            }
+            if n0 == 0 || n1 == 0 {
+                // Degenerate training set: fall back to the overall mean.
+                return samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+            }
+            0.5 * (s1 / n1 as f64 + s0 / n0 as f64)
+        }
+    }
+}
+
+/// Scans sampling offsets across the bit slot, deciding each slot with
+/// the configured threshold mode plus Gaussian noise of RMS `noise_rms`.
+///
+/// # Panics
+///
+/// Panics if `offsets == 0`.
+pub fn scan_offsets(
+    trace: &TransientTrace,
+    mode: ThresholdMode,
+    noise_rms: Milliwatts,
+    offsets: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Vec<OffsetPoint> {
+    assert!(offsets > 0, "need at least one offset");
+    (0..offsets)
+        .map(|k| {
+            let offset_fraction = (k as f64 + 0.5) / offsets as f64;
+            let samples = trace.slot_samples(offset_fraction);
+            let threshold = threshold_for(&samples, &trace.ideal_bits, mode);
+            let errors = samples
+                .iter()
+                .zip(&trace.ideal_bits)
+                .filter(|(&p, &ideal)| {
+                    let observed = p + rng.gaussian_with(0.0, noise_rms.as_mw());
+                    (observed > threshold) != ideal
+                })
+                .count();
+            OffsetPoint {
+                offset_fraction,
+                error_rate: errors as f64 / trace.slots() as f64,
+                threshold_mw: threshold,
+            }
+        })
+        .collect()
+}
+
+/// The widest contiguous run of offsets whose error rate stays at or
+/// below `target`, returned as `(start_fraction, end_fraction)`; `None`
+/// when no offset qualifies.
+pub fn sampling_window(points: &[OffsetPoint], target: f64) -> Option<(f64, f64)> {
+    let mut best: Option<(usize, usize)> = None;
+    let mut run_start: Option<usize> = None;
+    for (i, p) in points.iter().enumerate() {
+        if p.error_rate <= target {
+            if run_start.is_none() {
+                run_start = Some(i);
+            }
+            let start = run_start.unwrap();
+            if best.is_none_or(|(bs, be)| i - start > be - bs) {
+                best = Some((start, i));
+            }
+        } else {
+            run_start = None;
+        }
+    }
+    best.map(|(s, e)| (points[s].offset_fraction, points[e].offset_fraction))
+}
+
+/// Width of a sampling window in seconds, given the bit period.
+pub fn window_width_seconds(window: (f64, f64), bit_period: f64) -> f64 {
+    (window.1 - window.0) * bit_period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{TimingConfig, TransientSimulator};
+    use osc_core::params::CircuitParams;
+    use osc_stochastic::bitstream::BitStream;
+    use osc_stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
+
+    fn run_trace(pulsed: bool) -> TransientTrace {
+        let timing = TimingConfig {
+            pump_pulse_fwhm: if pulsed { Some(26e-12) } else { None },
+            samples_per_bit: 128,
+            ..TimingConfig::default()
+        };
+        let sim = TransientSimulator::new(CircuitParams::paper_fig5(), timing).unwrap();
+        let mut sng = XoshiroSng::new(3);
+        let len = 64;
+        let data: Vec<BitStream> = (0..2).map(|_| sng.generate(0.5, len).unwrap()).collect();
+        let coeffs: Vec<BitStream> = (0..3).map(|_| sng.generate(0.5, len).unwrap()).collect();
+        sim.run(&data, &coeffs).unwrap()
+    }
+
+    #[test]
+    fn pulsed_pump_has_narrow_window() {
+        let trace = run_trace(true);
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let pts = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 128, &mut rng);
+        let window = sampling_window(&pts, 0.02).expect("some offset must work");
+        let width = window_width_seconds(window, trace.bit_period);
+        // The usable window is tied to the 26 ps pulse, far below the 1 ns
+        // slot.
+        assert!(
+            width < 0.25e-9,
+            "window {width} s should be far below the slot"
+        );
+        // And it sits near the pulse centre (offset 0.5, plus device lag).
+        assert!(
+            window.0 >= 0.35 && window.1 <= 0.75,
+            "window {window:?} should surround the pulse"
+        );
+    }
+
+    #[test]
+    fn cw_pump_has_wide_window() {
+        let trace = run_trace(false);
+        let mut rng = Xoshiro256PlusPlus::new(6);
+        let pts = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 64, &mut rng);
+        let window = sampling_window(&pts, 0.05).expect("CW must have a window");
+        let width = window_width_seconds(window, trace.bit_period);
+        // CW keeps the filter tuned all slot long; only edge transients
+        // shrink the window.
+        assert!(width > 0.4e-9, "window {width}");
+    }
+
+    #[test]
+    fn fixed_analytic_threshold_works_for_cw() {
+        // With a CW pump the slot levels settle to the analytic bands, so
+        // the steady-state mid-gap threshold is usable directly.
+        let circuit =
+            osc_core::architecture::OpticalScCircuit::new(CircuitParams::paper_fig5()).unwrap();
+        let threshold = circuit.power_bands().unwrap().midpoint_threshold();
+        let trace = run_trace(false);
+        let mut rng = Xoshiro256PlusPlus::new(8);
+        let pts = scan_offsets(
+            &trace,
+            ThresholdMode::Fixed(threshold),
+            Milliwatts::ZERO,
+            32,
+            &mut rng,
+        );
+        let best = pts.iter().map(|p| p.error_rate).fold(1.0, f64::min);
+        assert!(best < 0.05, "best error {best}");
+    }
+
+    #[test]
+    fn window_extraction_logic() {
+        let pts: Vec<OffsetPoint> = [0.5, 0.0, 0.0, 0.3, 0.0, 0.0, 0.0, 0.5]
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| OffsetPoint {
+                offset_fraction: i as f64 / 8.0,
+                error_rate: e,
+                threshold_mw: 0.2,
+            })
+            .collect();
+        let w = sampling_window(&pts, 0.01).unwrap();
+        // Longest clean run is indices 4..=6.
+        assert!((w.0 - 4.0 / 8.0).abs() < 1e-12);
+        assert!((w.1 - 6.0 / 8.0).abs() < 1e-12);
+        assert!(sampling_window(&pts, -1.0).is_none());
+    }
+
+    #[test]
+    fn noise_degrades_the_window() {
+        let trace = run_trace(true);
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        let clean = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 32, &mut rng);
+        let noisy = scan_offsets(
+            &trace,
+            ThresholdMode::Trained,
+            Milliwatts::new(0.2),
+            32,
+            &mut rng,
+        );
+        let clean_best = clean.iter().map(|p| p.error_rate).fold(1.0, f64::min);
+        let noisy_best = noisy.iter().map(|p| p.error_rate).fold(1.0, f64::min);
+        assert!(noisy_best + 1e-12 >= clean_best);
+    }
+}

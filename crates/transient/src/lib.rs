@@ -1,0 +1,80 @@
+//! # osc-transient
+//!
+//! Time-domain behavioural simulation of the optical stochastic computing
+//! circuit.
+//!
+//! The paper's analytical model is steady-state: every bit slot is an
+//! independent operating point. Its future-work list asks for transient
+//! simulation to study (i) the synchronization window imposed by the
+//! 26 ps pulsed pump and (ii) the throughput–accuracy tradeoff when the
+//! modulation period approaches the devices' time constants. This crate
+//! provides that substrate at behavioural fidelity:
+//!
+//! - [`signal::Waveform`] — uniformly sampled power/quantity waveforms;
+//! - [`blocks`] — time-domain device behaviours: NRZ drives with finite
+//!   rise time, Gaussian pump pulses, first-order ring (photon-lifetime)
+//!   response, detector RC front end;
+//! - [`engine::TransientSimulator`] — assembles the full circuit and
+//!   produces the detector waveform for given stochastic streams;
+//! - [`eye`] — sampling-window (eye) analysis for the pulsed-pump
+//!   synchronization study;
+//! - [`tradeoff`] — bit-rate sweeps quantifying the throughput–accuracy
+//!   tradeoff of Section V.B.
+//!
+//! # Example
+//!
+//! ```
+//! use osc_transient::signal::Waveform;
+//!
+//! let w = Waveform::from_fn(0.0, 1e-12, 100, |t| if t > 50e-12 { 1.0 } else { 0.0 });
+//! assert_eq!(w.len(), 100);
+//! assert!(w.sample_at(80e-12) > 0.5);
+//! ```
+
+pub mod blocks;
+pub mod engine;
+pub mod eye;
+pub mod signal;
+pub mod tradeoff;
+
+/// Errors produced by the transient simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransientError {
+    /// A timing parameter is invalid (non-positive step, empty window…).
+    InvalidTiming(String),
+    /// Waveforms with incompatible sampling grids were combined.
+    GridMismatch,
+    /// Propagated circuit construction error.
+    Circuit(String),
+}
+
+impl std::fmt::Display for TransientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransientError::InvalidTiming(msg) => write!(f, "invalid timing: {msg}"),
+            TransientError::GridMismatch => write!(f, "waveform sampling grids differ"),
+            TransientError::Circuit(msg) => write!(f, "circuit error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransientError {}
+
+impl From<osc_core::CircuitError> for TransientError {
+    fn from(e: osc_core::CircuitError) -> Self {
+        TransientError::Circuit(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(TransientError::GridMismatch.to_string().contains("grids"));
+        assert!(TransientError::InvalidTiming("dt".into())
+            .to_string()
+            .contains("dt"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Uniformly sampled time-domain waveforms.
+
+use crate::TransientError;
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled waveform (time origin, step, samples).
+///
+/// Values are interpreted by context (optical power in mW, phase in
+/// radians, …); operations never attach units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    t0: f64,
+    dt: f64,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn new(t0: f64, dt: f64, samples: Vec<f64>) -> Self {
+        assert!(dt > 0.0, "sampling step must be positive");
+        Waveform { t0, dt, samples }
+    }
+
+    /// Creates a constant waveform.
+    pub fn constant(t0: f64, dt: f64, len: usize, value: f64) -> Self {
+        Waveform::new(t0, dt, vec![value; len])
+    }
+
+    /// Creates a waveform by sampling a closure of absolute time.
+    pub fn from_fn<F: FnMut(f64) -> f64>(t0: f64, dt: f64, len: usize, mut f: F) -> Self {
+        Waveform::new(t0, dt, (0..len).map(|i| f(t0 + dt * i as f64)).collect())
+    }
+
+    /// Time of the first sample.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Sampling step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the waveform has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable raw samples.
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// End time (one step past the last sample).
+    pub fn t_end(&self) -> f64 {
+        self.t0 + self.dt * self.samples.len() as f64
+    }
+
+    /// Linear-interpolated value at absolute time `t` (clamped at the
+    /// edges; 0 for an empty waveform).
+    pub fn sample_at(&self, t: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let pos = (t - self.t0) / self.dt;
+        if pos <= 0.0 {
+            return self.samples[0];
+        }
+        let last = self.samples.len() - 1;
+        if pos >= last as f64 {
+            return self.samples[last];
+        }
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac
+    }
+
+    /// Element-wise combination of two waveforms on the same grid.
+    ///
+    /// # Errors
+    ///
+    /// [`TransientError::GridMismatch`] when origins, steps or lengths
+    /// differ.
+    pub fn zip_with<F: Fn(f64, f64) -> f64>(
+        &self,
+        other: &Waveform,
+        f: F,
+    ) -> Result<Waveform, TransientError> {
+        if (self.t0 - other.t0).abs() > 1e-18
+            || (self.dt - other.dt).abs() > 1e-24
+            || self.samples.len() != other.samples.len()
+        {
+            return Err(TransientError::GridMismatch);
+        }
+        Ok(Waveform {
+            t0: self.t0,
+            dt: self.dt,
+            samples: self
+                .samples
+                .iter()
+                .zip(&other.samples)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Adds two waveforms.
+    ///
+    /// # Errors
+    ///
+    /// [`TransientError::GridMismatch`] on differing grids.
+    pub fn add(&self, other: &Waveform) -> Result<Waveform, TransientError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Maps every sample.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Waveform {
+        Waveform {
+            t0: self.t0,
+            dt: self.dt,
+            samples: self.samples.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Scales every sample.
+    pub fn scale(&self, k: f64) -> Waveform {
+        self.map(|x| x * k)
+    }
+
+    /// Largest sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Integral over the whole waveform (trapezoid rule). For a power
+    /// waveform in W this is the energy in J.
+    pub fn integral(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let inner: f64 = self.samples[1..self.samples.len() - 1].iter().sum();
+        self.dt * (inner + 0.5 * (self.samples[0] + self.samples[self.samples.len() - 1]))
+    }
+
+    /// Applies a single-pole low-pass filter with time constant `tau`
+    /// (exponential smoothing matched to the sampling step) — the
+    /// behavioural model of ring photon lifetime and detector bandwidth.
+    ///
+    /// A non-positive `tau` returns the waveform unchanged.
+    pub fn low_pass(&self, tau: f64) -> Waveform {
+        if tau <= 0.0 || self.samples.is_empty() {
+            return self.clone();
+        }
+        let alpha = 1.0 - (-self.dt / tau).exp();
+        let mut out = Vec::with_capacity(self.samples.len());
+        let mut y = self.samples[0];
+        for &x in &self.samples {
+            y += alpha * (x - y);
+            out.push(y);
+        }
+        Waveform {
+            t0: self.t0,
+            dt: self.dt,
+            samples: out,
+        }
+    }
+
+    /// 10–90% rise time of the step response implied by `low_pass` with
+    /// time constant `tau` (analytic: `tau · ln 9`).
+    pub fn rise_time_for_tau(tau: f64) -> f64 {
+        tau * 9f64.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let w = Waveform::constant(1e-9, 1e-12, 10, 2.5);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.t0(), 1e-9);
+        assert!((w.t_end() - 1.01e-9).abs() < 1e-18);
+        assert_eq!(w.max(), 2.5);
+        assert_eq!(w.min(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dt_rejected() {
+        let _ = Waveform::new(0.0, 0.0, vec![1.0]);
+    }
+
+    #[test]
+    fn sampling_interpolates() {
+        let w = Waveform::new(0.0, 1.0, vec![0.0, 10.0]);
+        assert_eq!(w.sample_at(0.5), 5.0);
+        assert_eq!(w.sample_at(-1.0), 0.0);
+        assert_eq!(w.sample_at(5.0), 10.0);
+    }
+
+    #[test]
+    fn zip_and_add() {
+        let a = Waveform::constant(0.0, 1.0, 4, 1.0);
+        let b = Waveform::constant(0.0, 1.0, 4, 2.0);
+        assert_eq!(a.add(&b).unwrap().samples(), &[3.0, 3.0, 3.0, 3.0]);
+        let c = Waveform::constant(0.0, 1.0, 5, 2.0);
+        assert_eq!(a.add(&c).unwrap_err(), TransientError::GridMismatch);
+        let d = Waveform::constant(1.0, 1.0, 4, 2.0);
+        assert_eq!(a.add(&d).unwrap_err(), TransientError::GridMismatch);
+    }
+
+    #[test]
+    fn integral_of_rectangle() {
+        // 1 mW for 10 ns sampled at 0.1 ns: integral 1e-3 * 1e-8 J.
+        let w = Waveform::constant(0.0, 1e-10, 101, 1e-3);
+        assert!((w.integral() - 1e-3 * 1e-8).abs() / 1e-11 < 0.01);
+    }
+
+    #[test]
+    fn low_pass_step_response() {
+        let tau = 10e-12;
+        let w = Waveform::from_fn(0.0, 1e-13, 3000, |t| if t > 0.0 { 1.0 } else { 0.0 });
+        let y = w.low_pass(tau);
+        // After 1 tau: ~63%; after 5 tau: ~99%.
+        assert!((y.sample_at(tau) - 0.632).abs() < 0.02);
+        assert!(y.sample_at(5.0 * tau) > 0.99);
+        // Rise time ~ tau ln 9.
+        let rt = Waveform::rise_time_for_tau(tau);
+        assert!((rt - 22e-12).abs() < 0.5e-12);
+    }
+
+    #[test]
+    fn low_pass_noop_for_zero_tau() {
+        let w = Waveform::from_fn(0.0, 1e-12, 50, |t| t * 1e12);
+        assert_eq!(w.low_pass(0.0), w);
+    }
+
+    #[test]
+    fn map_scale() {
+        let w = Waveform::constant(0.0, 1.0, 3, 2.0);
+        assert_eq!(w.scale(2.0).samples(), &[4.0, 4.0, 4.0]);
+        assert_eq!(w.map(|x| x - 1.0).samples(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_waveform_is_safe() {
+        let w = Waveform::new(0.0, 1.0, vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.sample_at(0.0), 0.0);
+        assert_eq!(w.integral(), 0.0);
+        assert_eq!(w.low_pass(1.0).len(), 0);
+    }
+}

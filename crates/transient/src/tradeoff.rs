@@ -1,0 +1,166 @@
+//! Throughput–accuracy tradeoff (paper Section V.B / future work (ii)).
+//!
+//! Raising the modulation rate shrinks the bit slot toward the device
+//! time constants (MZI edges, ring photon lifetime, detector RC), so
+//! inter-symbol interference grows and decisions degrade; stochastic
+//! computing can then buy the accuracy back with longer streams. This
+//! module quantifies both sides: decision error rate vs. bit rate, and
+//! the stream length needed to restore a target accuracy.
+
+use crate::engine::{TimingConfig, TransientSimulator, TransientTrace};
+use crate::TransientError;
+use osc_core::architecture::OpticalScCircuit;
+use osc_core::params::CircuitParams;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bitstream::BitStream;
+use osc_stochastic::sng::StochasticNumberGenerator;
+use osc_units::Milliwatts;
+use serde::{Deserialize, Serialize};
+
+/// One point of the rate sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Modulation rate, Gb/s.
+    pub rate_gbps: f64,
+    /// Observed decision error rate at the slot-centre sampling instant.
+    pub decision_error_rate: f64,
+    /// Mean absolute estimate error over the evaluated inputs.
+    pub estimate_error: f64,
+}
+
+/// Sweeps the modulation rate, running the transient datapath at each
+/// rate over stochastic streams and measuring decision + estimate errors.
+///
+/// The receiver threshold is trained per rate from the slot-centre levels
+/// (see [`crate::eye::ThresholdMode::Trained`]).
+///
+/// # Errors
+///
+/// Propagates simulator construction/run failures.
+pub fn rate_sweep<S: StochasticNumberGenerator>(
+    params: &CircuitParams,
+    rates_gbps: &[f64],
+    stream_length: usize,
+    sng: &mut S,
+    seed: u64,
+) -> Result<Vec<RatePoint>, TransientError> {
+    let _sanity: OpticalScCircuit = OpticalScCircuit::new(*params)?;
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    rates_gbps
+        .iter()
+        .map(|&rate| {
+            let bit_period = 1e-9 / rate;
+            let timing = TimingConfig {
+                bit_period,
+                samples_per_bit: 32,
+                // Pulse scales with the slot but not below the physical
+                // 26 ps source; above ~half the slot the pump is
+                // effectively CW.
+                pump_pulse_fwhm: if bit_period > 52e-12 {
+                    Some(26e-12)
+                } else {
+                    None
+                },
+                ..TimingConfig::default()
+            };
+            let sim = TransientSimulator::new(*params, timing)?;
+            let n = params.order;
+            let data: Vec<BitStream> = (0..n)
+                .map(|_| sng.generate(0.5, stream_length))
+                .collect::<Result<_, _>>()
+                .map_err(|e| TransientError::Circuit(e.to_string()))?;
+            let coeffs: Vec<BitStream> = (0..=n)
+                .map(|_| sng.generate(0.5, stream_length))
+                .collect::<Result<_, _>>()
+                .map_err(|e| TransientError::Circuit(e.to_string()))?;
+            let trace = sim.run(&data, &coeffs)?;
+            let (errors, est, ideal) = decide_trace(&trace, &mut rng);
+            Ok(RatePoint {
+                rate_gbps: rate,
+                decision_error_rate: errors,
+                estimate_error: (est - ideal).abs(),
+            })
+        })
+        .collect()
+}
+
+/// Decides every slot at the best trained sampling offset and returns
+/// `(error_rate, estimate, ideal_estimate)`.
+fn decide_trace(trace: &TransientTrace, rng: &mut Xoshiro256PlusPlus) -> (f64, f64, f64) {
+    let pts = crate::eye::scan_offsets(
+        trace,
+        crate::eye::ThresholdMode::Trained,
+        Milliwatts::ZERO,
+        32,
+        rng,
+    );
+    let best = pts
+        .iter()
+        .min_by(|a, b| a.error_rate.partial_cmp(&b.error_rate).unwrap())
+        .expect("non-empty scan");
+    let samples = trace.slot_samples(best.offset_fraction);
+    let mut errors = 0usize;
+    let mut ones = 0usize;
+    let mut ideal_ones = 0usize;
+    for (p, &ideal) in samples.iter().zip(&trace.ideal_bits) {
+        let decided = *p > best.threshold_mw;
+        if decided != ideal {
+            errors += 1;
+        }
+        if decided {
+            ones += 1;
+        }
+        if ideal {
+            ideal_ones += 1;
+        }
+    }
+    let slots = trace.slots() as f64;
+    (
+        errors as f64 / slots,
+        ones as f64 / slots,
+        ideal_ones as f64 / slots,
+    )
+}
+
+/// Stream length needed to keep total error below `target` given a
+/// decision error rate — re-exported composition of the stochastic-side
+/// analysis for convenience in tradeoff studies.
+pub fn compensating_stream_length(decision_error_rate: f64, target: f64) -> Option<usize> {
+    osc_stochastic::analysis::stream_length_for_noisy_target(decision_error_rate, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_stochastic::sng::XoshiroSng;
+
+    #[test]
+    fn error_grows_with_rate() {
+        let params = CircuitParams::paper_fig5();
+        let mut sng = XoshiroSng::new(21);
+        let pts = rate_sweep(&params, &[1.0, 8.0, 20.0], 48, &mut sng, 9).unwrap();
+        assert_eq!(pts.len(), 3);
+        // At 1 Gb/s the devices are fast relative to the slot: near-clean.
+        assert!(
+            pts[0].decision_error_rate < 0.05,
+            "1 Gb/s error {}",
+            pts[0].decision_error_rate
+        );
+        // At 20 Gb/s (50 ps slots vs ~25 ps taus) ISI must bite.
+        assert!(
+            pts[2].decision_error_rate > pts[0].decision_error_rate,
+            "20 Gb/s {} vs 1 Gb/s {}",
+            pts[2].decision_error_rate,
+            pts[0].decision_error_rate
+        );
+    }
+
+    #[test]
+    fn compensation_logic() {
+        assert!(compensating_stream_length(1e-3, 0.05).is_some());
+        assert!(compensating_stream_length(0.1, 0.05).is_none());
+        let short = compensating_stream_length(1e-4, 0.05).unwrap();
+        let long = compensating_stream_length(3e-2, 0.05).unwrap();
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the transient simulation substrate.
+
+use osc_transient::blocks::{NrzDrive, PulseTrain};
+use osc_transient::signal::Waveform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Low-pass filtering never exceeds the input's range (BIBO-style
+    /// bound for the single-pole filter).
+    #[test]
+    fn low_pass_preserves_bounds(
+        samples in proptest::collection::vec(-5.0f64..5.0, 2..256),
+        tau_ps in 0.1f64..100.0,
+    ) {
+        let w = Waveform::new(0.0, 1e-12, samples.clone());
+        let y = w.low_pass(tau_ps * 1e-12);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(y.min() >= lo - 1e-9);
+        prop_assert!(y.max() <= hi + 1e-9);
+    }
+
+    /// NRZ rendering stays within [low, high] for any bit pattern.
+    #[test]
+    fn nrz_within_levels(
+        bits in proptest::collection::vec(any::<bool>(), 1..32),
+        tau_ps in 0.0f64..100.0,
+    ) {
+        let drive = NrzDrive {
+            bit_period: 1e-9,
+            edge_tau: tau_ps * 1e-12,
+            low: 0.2,
+            high: 0.8,
+        };
+        let w = drive.render(&bits, 16).unwrap();
+        prop_assert_eq!(w.len(), bits.len() * 16);
+        prop_assert!(w.min() >= 0.2 - 1e-9);
+        prop_assert!(w.max() <= 0.8 + 1e-9);
+    }
+
+    /// Pulse-train numeric energy matches the analytic Gaussian integral
+    /// for any pulse width well inside the slot.
+    #[test]
+    fn pulse_energy_consistent(fwhm_ps in 5.0f64..200.0, peak in 1.0f64..1000.0) {
+        let train = PulseTrain {
+            bit_period: 1e-9,
+            fwhm: fwhm_ps * 1e-12,
+            peak,
+        };
+        let w = train.render(1, 2048).unwrap();
+        let analytic = train.pulse_energy();
+        prop_assert!(
+            (w.integral() - analytic).abs() / analytic < 0.05,
+            "numeric {} vs analytic {analytic}", w.integral()
+        );
+    }
+
+    /// Waveform sampling interpolates within the sample hull.
+    #[test]
+    fn sampling_within_hull(
+        samples in proptest::collection::vec(-1.0f64..1.0, 2..64),
+        t_frac in 0.0f64..1.0,
+    ) {
+        let w = Waveform::new(0.0, 1.0, samples.clone());
+        let t = t_frac * (samples.len() - 1) as f64;
+        let v = w.sample_at(t);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// Integral is linear: ∫(a·f) = a·∫f.
+    #[test]
+    fn integral_linearity(
+        samples in proptest::collection::vec(0.0f64..10.0, 2..128),
+        k in 0.1f64..10.0,
+    ) {
+        let w = Waveform::new(0.0, 1e-12, samples);
+        let direct = w.scale(k).integral();
+        prop_assert!((direct - k * w.integral()).abs() < 1e-9 * k.max(1.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Electrical current, for the photodetector model.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical current in amperes.
+///
+/// The detector model (paper Eq. 8) compares photocurrent
+/// `I = R × P_received` against the internal noise current `i_n`; both are
+/// represented with this type.
+///
+/// ```
+/// use osc_units::{Amperes, Milliwatts};
+/// let responsivity = 1.1; // A/W
+/// let photocurrent = Amperes::from_power(Milliwatts::new(0.476), responsivity);
+/// assert!((photocurrent.as_microamps() - 523.6).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Amperes(pub(crate) f64);
+
+crate::impl_quantity_ops!(Amperes);
+
+impl Amperes {
+    /// Creates a current from amperes.
+    pub fn new(a: f64) -> Self {
+        Amperes(a)
+    }
+
+    /// Creates a current from microamperes.
+    pub fn from_microamps(ua: f64) -> Self {
+        Amperes(ua * 1e-6)
+    }
+
+    /// Photocurrent produced by `power` on a detector with the given
+    /// responsivity (A/W).
+    pub fn from_power(power: crate::Milliwatts, responsivity_a_per_w: f64) -> Self {
+        Amperes(power.as_watts() * responsivity_a_per_w)
+    }
+
+    /// Value in amperes.
+    pub fn as_amps(self) -> f64 {
+        self.0
+    }
+
+    /// Value in microamperes.
+    pub fn as_microamps(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl std::fmt::Display for Amperes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.abs() < 1e-3 {
+            write!(f, "{} µA", self.as_microamps())
+        } else {
+            write!(f, "{} A", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Milliwatts;
+
+    #[test]
+    fn microamp_round_trip() {
+        let i = Amperes::from_microamps(11.5);
+        assert!((i.as_amps() - 1.15e-5).abs() < 1e-18);
+        assert!((i.as_microamps() - 11.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn photocurrent_from_power() {
+        let i = Amperes::from_power(Milliwatts::new(1.0), 1.0);
+        assert!((i.as_amps() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn snr_style_ratio() {
+        let signal = Amperes::from_power(Milliwatts::new(0.476), 1.0);
+        let noise = Amperes::from_microamps(50.0);
+        assert!((signal / noise - 9.52).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Amperes::from_microamps(2.0).to_string(), "2 µA");
+        assert_eq!(Amperes::new(1.5).to_string(), "1.5 A");
+    }
+}

@@ -1,0 +1,93 @@
+//! Energy quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy in picojoules.
+///
+/// The paper's key efficiency metric is *laser energy per computed bit*
+/// (20.1 pJ/bit for the 2nd-order circuit at 1 GHz), so picojoules are the
+/// storage unit.
+///
+/// ```
+/// use osc_units::{Milliwatts, Picojoules, Seconds};
+/// // A pulsed pump: 121 mW for 26 ps at 20% lasing efficiency.
+/// let optical = Milliwatts::new(121.0).over(Seconds::from_picos(26.0));
+/// let wall_plug = optical / 0.2;
+/// assert!((wall_plug.as_pj() - 15.73).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Picojoules(pub(crate) f64);
+
+crate::impl_quantity_ops!(Picojoules);
+
+impl Picojoules {
+    /// Zero energy.
+    pub const ZERO: Picojoules = Picojoules(0.0);
+
+    /// Creates an energy from picojoules.
+    pub fn new(pj: f64) -> Self {
+        Picojoules(pj)
+    }
+
+    /// Creates an energy from joules.
+    pub fn from_joules(j: f64) -> Self {
+        Picojoules(j * 1e12)
+    }
+
+    /// Value in picojoules.
+    pub fn as_pj(self) -> f64 {
+        self.0
+    }
+
+    /// Value in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0 * 1e-12
+    }
+
+    /// Value in femtojoules.
+    pub fn as_fj(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl std::fmt::Display for Picojoules {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} pJ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Milliwatts, Seconds};
+
+    #[test]
+    fn joule_round_trip() {
+        let e = Picojoules::from_joules(20.1e-12);
+        assert!((e.as_pj() - 20.1).abs() < 1e-12);
+        assert!((e.as_joules() - 20.1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn probe_laser_energy_per_bit() {
+        // Three 0.3 mW probe lasers over a 1 ns bit at 20% efficiency:
+        // 3 * 0.3 mW * 1 ns / 0.2 = 4.5 pJ.
+        let per_laser = Milliwatts::new(0.3).over(Seconds::from_nanos(1.0));
+        let total = (per_laser * 3.0) / 0.2;
+        assert!((total.as_pj() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn femtojoules() {
+        assert_eq!(Picojoules::new(1.5).as_fj(), 1500.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let total: Picojoules = vec![Picojoules::new(15.7), Picojoules::new(4.4)]
+            .into_iter()
+            .sum();
+        assert!((total.as_pj() - 20.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! # osc-units
+//!
+//! Type-safe physical quantities for photonic circuit modeling.
+//!
+//! The optical stochastic computing models juggle wavelengths (nm), optical
+//! powers (mW and dBm), dimensionless dB ratios (insertion loss, extinction
+//! ratio), times (ps–ns), data rates (Gb/s), energies (pJ/bit) and detector
+//! currents (µA). Mixing those up silently is the classic failure mode of
+//! scientific reproductions, so each quantity is a distinct newtype with
+//! explicit constructors and conversions (C-NEWTYPE).
+//!
+//! # Example
+//!
+//! ```
+//! use osc_units::{DbRatio, Milliwatts, Nanometers};
+//!
+//! // The paper's minimum pump power (Section V.A):
+//! let insertion_loss = DbRatio::from_db(4.5);
+//! let detuning = Nanometers::new(2.1);
+//! let ote_nm_per_mw = 0.01; // 0.1 nm per 10 mW
+//! let pump = Milliwatts::new(detuning.as_nm() / (ote_nm_per_mw * insertion_loss.as_linear()));
+//! assert!((pump.as_mw() - 591.86).abs() < 0.05);
+//! ```
+
+mod current;
+mod energy;
+mod power;
+mod ratio;
+mod time;
+mod wavelength;
+
+pub use current::Amperes;
+pub use energy::Picojoules;
+pub use power::{Milliwatts, Watts};
+pub use ratio::DbRatio;
+pub use time::{GigahertzRate, Seconds};
+pub use wavelength::Nanometers;
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT_M_PER_S: f64 = 299_792_458.0;
+
+/// Implements the shared arithmetic surface of a scalar quantity newtype:
+/// same-unit addition/subtraction/summation, scaling by `f64`, ratio of two
+/// quantities, and ordering.
+macro_rules! impl_quantity_ops {
+    ($ty:ident) => {
+        impl core::ops::Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl core::ops::Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl core::ops::Mul<f64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+        impl core::ops::Div<f64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl core::ops::Div<$ty> for $ty {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+        impl core::ops::Neg for $ty {
+            type Output = $ty;
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|q| q.0).sum())
+            }
+        }
+        impl $ty {
+            /// Absolute value.
+            pub fn abs(self) -> $ty {
+                $ty(self.0.abs())
+            }
+            /// Component-wise maximum.
+            pub fn max(self, other: $ty) -> $ty {
+                $ty(self.0.max(other.0))
+            }
+            /// Component-wise minimum.
+            pub fn min(self, other: $ty) -> $ty {
+                $ty(self.0.min(other.0))
+            }
+            /// Whether the underlying value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+    };
+}
+pub(crate) use impl_quantity_ops;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantities_do_not_cross_assign() {
+        // This test documents the type-safety property: a wavelength and a
+        // power are different types. (Compile-time property; here we just
+        // exercise both.)
+        let wl = Nanometers::new(1550.0);
+        let p = Milliwatts::new(1.0);
+        assert_eq!(wl.as_nm(), 1550.0);
+        assert_eq!(p.as_mw(), 1.0);
+    }
+
+    #[test]
+    fn frequency_wavelength_round_trip() {
+        let wl = Nanometers::new(1550.0);
+        let f_hz = SPEED_OF_LIGHT_M_PER_S / wl.as_meters();
+        let back = Nanometers::from_meters(SPEED_OF_LIGHT_M_PER_S / f_hz);
+        assert!((back.as_nm() - 1550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_pump_power_example() {
+        let il = DbRatio::from_db(4.5);
+        let pump_mw = 2.1 / (0.01 * il.as_linear());
+        assert!((pump_mw - 591.8).abs() < 0.1, "pump={pump_mw}");
+    }
+}

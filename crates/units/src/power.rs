@@ -1,0 +1,182 @@
+//! Optical power.
+
+use crate::{energy::Picojoules, time::Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Optical power in milliwatts.
+///
+/// The working unit throughout the paper (probe lasers ~0.25–1 mW, pump
+/// laser ~25–600 mW).
+///
+/// ```
+/// use osc_units::Milliwatts;
+/// let probe = Milliwatts::new(1.0);
+/// let received = probe * 0.476;
+/// assert!((received.as_mw() - 0.476).abs() < 1e-12);
+/// assert!((received.as_dbm() - (-3.224)).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Milliwatts(pub(crate) f64);
+
+crate::impl_quantity_ops!(Milliwatts);
+
+impl Milliwatts {
+    /// Zero power.
+    pub const ZERO: Milliwatts = Milliwatts(0.0);
+
+    /// Creates a power from milliwatts.
+    pub fn new(mw: f64) -> Self {
+        Milliwatts(mw)
+    }
+
+    /// Creates a power from watts.
+    pub fn from_watts(w: f64) -> Self {
+        Milliwatts(w * 1e3)
+    }
+
+    /// Creates a power from a dBm level.
+    pub fn from_dbm(dbm: f64) -> Self {
+        Milliwatts(10f64.powf(dbm / 10.0))
+    }
+
+    /// Value in milliwatts.
+    pub fn as_mw(self) -> f64 {
+        self.0
+    }
+
+    /// Value in watts.
+    pub fn as_watts(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Level in dBm.
+    ///
+    /// Returns `-inf` for zero power; panics on negative power because a
+    /// negative absolute power has no dBm representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power is negative.
+    pub fn as_dbm(self) -> f64 {
+        assert!(self.0 >= 0.0, "negative power has no dBm representation");
+        10.0 * self.0.log10()
+    }
+
+    /// Energy delivered over a duration.
+    pub fn over(self, duration: Seconds) -> Picojoules {
+        Picojoules::from_joules(self.as_watts() * duration.as_secs())
+    }
+
+    /// Whether this is a physically meaningful (finite, non-negative) power.
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl std::fmt::Display for Milliwatts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} mW", self.0)
+    }
+}
+
+/// Optical power in watts, for high-power pump budgets.
+///
+/// Kept distinct from [`Milliwatts`] only as a reading aid at API
+/// boundaries; convert with [`Watts::as_milliwatts`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Watts(pub(crate) f64);
+
+crate::impl_quantity_ops!(Watts);
+
+impl Watts {
+    /// Creates a power from watts.
+    pub fn new(w: f64) -> Self {
+        Watts(w)
+    }
+
+    /// Value in watts.
+    pub fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to milliwatts.
+    pub fn as_milliwatts(self) -> Milliwatts {
+        Milliwatts(self.0 * 1e3)
+    }
+}
+
+impl From<Watts> for Milliwatts {
+    fn from(w: Watts) -> Milliwatts {
+        w.as_milliwatts()
+    }
+}
+
+impl From<Milliwatts> for Watts {
+    fn from(mw: Milliwatts) -> Watts {
+        Watts(mw.as_watts())
+    }
+}
+
+impl std::fmt::Display for Watts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} W", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        let p = Milliwatts::from_dbm(3.0);
+        assert!((p.as_mw() - 1.995).abs() < 0.001);
+        assert!((p.as_dbm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_dbm_is_one_mw() {
+        assert!((Milliwatts::from_dbm(0.0).as_mw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_conversions() {
+        let p = Watts::new(0.6);
+        assert_eq!(p.as_milliwatts().as_mw(), 600.0);
+        let back: Watts = Milliwatts::new(600.0).into();
+        assert_eq!(back.as_watts(), 0.6);
+    }
+
+    #[test]
+    fn energy_over_duration() {
+        // 591.8 mW over a 26 ps pulse ~ 15.4 pJ.
+        let e = Milliwatts::new(591.8).over(Seconds::from_picos(26.0));
+        assert!((e.as_pj() - 15.3868).abs() < 1e-3, "e={e:?}");
+    }
+
+    #[test]
+    fn physicality_check() {
+        assert!(Milliwatts::new(1.0).is_physical());
+        assert!(Milliwatts::ZERO.is_physical());
+        assert!(!Milliwatts::new(-0.1).is_physical());
+        assert!(!Milliwatts::new(f64::NAN).is_physical());
+    }
+
+    #[test]
+    #[should_panic(expected = "no dBm representation")]
+    fn negative_power_dbm_panics() {
+        let _ = Milliwatts::new(-1.0).as_dbm();
+    }
+
+    #[test]
+    fn sum_of_received_channels() {
+        // Fig. 5(a): 0.091 + 0.004 + 0.0002 = 0.0952 mW on the detector.
+        let total: Milliwatts = [0.091, 0.004, 0.0002]
+            .iter()
+            .map(|&t| Milliwatts::new(1.0) * t)
+            .sum();
+        assert!((total.as_mw() - 0.0952).abs() < 1e-12);
+    }
+}

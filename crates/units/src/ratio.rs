@@ -1,0 +1,133 @@
+//! Dimensionless power ratios expressed in decibels.
+
+use serde::{Deserialize, Serialize};
+
+/// A dimensionless power ratio stored in dB.
+///
+/// Used for insertion loss (IL), extinction ratio (ER), and transmission
+/// factors. The paper's Eq. (7.b) uses the *linear fraction* form (`IL%`,
+/// `ER%`); [`DbRatio::as_linear`] performs that conversion:
+/// `linear = 10^(-dB/10)` — note the sign convention: a **positive** dB
+/// value denotes attenuation (fraction < 1), matching how the paper quotes
+/// IL = 4.5 dB ⇒ IL% ≈ 0.355.
+///
+/// ```
+/// use osc_units::DbRatio;
+/// let il = DbRatio::from_db(4.5);
+/// assert!((il.as_linear() - 0.35481).abs() < 1e-4);
+/// let er = DbRatio::from_linear(0.047624);
+/// assert!((er.as_db() - 13.22).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DbRatio(f64);
+
+impl DbRatio {
+    /// Lossless ratio (0 dB, linear 1.0).
+    pub const UNITY: DbRatio = DbRatio(0.0);
+
+    /// Creates a ratio from an attenuation in dB (positive = loss).
+    pub fn from_db(db: f64) -> Self {
+        DbRatio(db)
+    }
+
+    /// Creates a ratio from a linear power fraction in `(0, ∞)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is not strictly positive (0 has no dB value).
+    pub fn from_linear(linear: f64) -> Self {
+        assert!(
+            linear > 0.0 && linear.is_finite(),
+            "linear ratio must be positive and finite, got {linear}"
+        );
+        DbRatio(-10.0 * linear.log10())
+    }
+
+    /// Attenuation in dB (positive = loss).
+    pub fn as_db(self) -> f64 {
+        self.0
+    }
+
+    /// Linear power fraction `10^(-dB/10)`.
+    pub fn as_linear(self) -> f64 {
+        10f64.powf(-self.0 / 10.0)
+    }
+
+    /// Cascades two attenuations (dB values add, linear fractions multiply).
+    pub fn cascade(self, other: DbRatio) -> DbRatio {
+        DbRatio(self.0 + other.0)
+    }
+
+    /// Whether this ratio attenuates (loss > 0 dB).
+    pub fn is_lossy(self) -> bool {
+        self.0 > 0.0
+    }
+}
+
+impl std::ops::Add for DbRatio {
+    type Output = DbRatio;
+    /// `+` cascades attenuations, mirroring the engineering habit of
+    /// summing dB budgets.
+    fn add(self, rhs: DbRatio) -> DbRatio {
+        self.cascade(rhs)
+    }
+}
+
+impl std::fmt::Display for DbRatio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert!((DbRatio::from_db(3.0103).as_linear() - 0.5).abs() < 1e-4);
+        assert!((DbRatio::from_db(10.0).as_linear() - 0.1).abs() < 1e-12);
+        assert_eq!(DbRatio::UNITY.as_linear(), 1.0);
+    }
+
+    #[test]
+    fn round_trip() {
+        for db in [0.0, 0.5, 3.2, 4.5, 6.5, 13.22] {
+            let r = DbRatio::from_db(db);
+            let back = DbRatio::from_linear(r.as_linear());
+            assert!((back.as_db() - db).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cascade_multiplies_linear() {
+        let a = DbRatio::from_db(3.0);
+        let b = DbRatio::from_db(4.5);
+        let c = a + b;
+        assert!((c.as_linear() - a.as_linear() * b.as_linear()).abs() < 1e-12);
+        assert_eq!(c.as_db(), 7.5);
+    }
+
+    #[test]
+    fn paper_il_er_values() {
+        // Ziebell et al. MZI: IL = 4.5 dB, paper-derived ER = 13.22 dB.
+        let il = DbRatio::from_db(4.5);
+        let er = DbRatio::from_db(13.22);
+        assert!((il.as_linear() - 0.354_81).abs() < 1e-4);
+        assert!((il.as_linear() * er.as_linear() - 0.016_9).abs() < 1e-4);
+    }
+
+    #[test]
+    fn negative_db_is_gain() {
+        let g = DbRatio::from_db(-3.0);
+        assert!(g.as_linear() > 1.0);
+        assert!(!g.is_lossy());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_linear_panics() {
+        let _ = DbRatio::from_linear(0.0);
+    }
+}

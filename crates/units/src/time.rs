@@ -1,0 +1,148 @@
+//! Time and data-rate quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// A duration in seconds (stored as f64 seconds; constructed from ps/ns
+/// since the circuit's time scales are 26 ps pulses and 1 ns bit slots).
+///
+/// ```
+/// use osc_units::Seconds;
+/// let bit = Seconds::from_nanos(1.0);
+/// let pulse = Seconds::from_picos(26.0);
+/// assert!(pulse < bit);
+/// assert!((bit.as_nanos() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Seconds(pub(crate) f64);
+
+crate::impl_quantity_ops!(Seconds);
+
+impl Seconds {
+    /// Creates a duration from seconds.
+    pub fn new(s: f64) -> Self {
+        Seconds(s)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Creates a duration from picoseconds.
+    pub fn from_picos(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Value in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Value in picoseconds.
+    pub fn as_picos(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl std::fmt::Display for Seconds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.abs() < 1e-9 {
+            write!(f, "{} ps", self.as_picos())
+        } else if self.0.abs() < 1e-3 {
+            write!(f, "{} ns", self.as_nanos())
+        } else {
+            write!(f, "{} s", self.0)
+        }
+    }
+}
+
+/// A serial data rate in Gb/s.
+///
+/// The paper evaluates 1 Gb/s SC streams against literature modulators at
+/// 40–60 Gb/s; the reciprocal gives the bit slot duration.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct GigahertzRate(f64);
+
+impl GigahertzRate {
+    /// Creates a rate from Gb/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn new(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "data rate must be positive, got {gbps}");
+        GigahertzRate(gbps)
+    }
+
+    /// Rate in Gb/s.
+    pub fn as_gbps(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in bits per second.
+    pub fn as_bps(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Duration of one bit slot.
+    pub fn bit_period(self) -> Seconds {
+        Seconds(1.0 / self.as_bps())
+    }
+
+    /// Throughput ratio against another rate (e.g. the paper's 10× claim
+    /// for 1 GHz optics over 100 MHz CMOS).
+    pub fn speedup_over(self, other: GigahertzRate) -> f64 {
+        self.0 / other.0
+    }
+}
+
+impl std::fmt::Display for GigahertzRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} Gb/s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Seconds::from_nanos(1.0).as_secs(), 1e-9);
+        assert_eq!(Seconds::from_picos(26.0).as_picos(), 26.0);
+    }
+
+    #[test]
+    fn bit_period_of_one_gbps() {
+        let r = GigahertzRate::new(1.0);
+        assert!((r.bit_period().as_nanos() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_speedup_claim() {
+        // 1 GHz optical SC vs the 100 MHz CMOS ReSC of [9]: 10x.
+        let optical = GigahertzRate::new(1.0);
+        let cmos = GigahertzRate::new(0.1);
+        assert!((optical.speedup_over(cmos) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Seconds::from_picos(26.0).to_string(), "26 ps");
+        assert_eq!(Seconds::from_nanos(2.0).to_string(), "2 ns");
+        assert_eq!(Seconds::new(1.5).to_string(), "1.5 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_panics() {
+        let _ = GigahertzRate::new(0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Optical wavelength.
+
+use serde::{Deserialize, Serialize};
+
+/// A wavelength (or wavelength difference) in nanometers.
+///
+/// The paper works exclusively in the C-band around 1550 nm with shifts and
+/// spacings between 0.1 nm and a few nm, so nanometers are the natural
+/// storage unit.
+///
+/// ```
+/// use osc_units::Nanometers;
+/// let spacing = Nanometers::new(1.0);
+/// let l2 = Nanometers::new(1550.0);
+/// let l0 = l2 - spacing * 2.0;
+/// assert_eq!(l0.as_nm(), 1548.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Nanometers(pub(crate) f64);
+
+crate::impl_quantity_ops!(Nanometers);
+
+impl Nanometers {
+    /// Creates a wavelength from a value in nanometers.
+    pub fn new(nm: f64) -> Self {
+        Nanometers(nm)
+    }
+
+    /// Creates a wavelength from a value in meters.
+    pub fn from_meters(m: f64) -> Self {
+        Nanometers(m * 1e9)
+    }
+
+    /// Creates a wavelength from a value in micrometers.
+    pub fn from_um(um: f64) -> Self {
+        Nanometers(um * 1e3)
+    }
+
+    /// Value in nanometers.
+    pub fn as_nm(self) -> f64 {
+        self.0
+    }
+
+    /// Value in meters.
+    pub fn as_meters(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Value in micrometers.
+    pub fn as_um(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Optical frequency (Hz) of light at this vacuum wavelength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wavelength is not strictly positive.
+    pub fn frequency_hz(self) -> f64 {
+        assert!(self.0 > 0.0, "frequency of non-positive wavelength");
+        crate::SPEED_OF_LIGHT_M_PER_S / self.as_meters()
+    }
+}
+
+impl std::fmt::Display for Nanometers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} nm", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanometers::from_meters(1.55e-6), Nanometers::new(1550.0));
+        assert_eq!(Nanometers::from_um(1.55), Nanometers::new(1550.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanometers::new(1550.0);
+        let b = Nanometers::new(0.1);
+        assert_eq!((a + b).as_nm(), 1550.1);
+        assert_eq!((a - b).as_nm(), 1549.9);
+        assert_eq!((b * 3.0).as_nm(), 0.30000000000000004);
+        assert_eq!(a / a, 1.0);
+    }
+
+    #[test]
+    fn c_band_frequency() {
+        let f = Nanometers::new(1550.0).frequency_hz();
+        assert!((f - 1.934e14).abs() / 1.934e14 < 1e-3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Nanometers::new(1550.1).to_string(), "1550.1 nm");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Nanometers::new(1548.0) < Nanometers::new(1550.0));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Nanometers = (0..3).map(|_| Nanometers::new(0.5)).sum();
+        assert_eq!(total.as_nm(), 1.5);
+    }
+}

@@ -1,0 +1,59 @@
+//! Design-space exploration with the paper's two methods (Section IV.B):
+//! MRR-first for the Section V.A design point, MZI-first across the
+//! literature devices, and the pump/probe Pareto tradeoff.
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use optical_stochastic_computing::core::design::mrr_first::MrrFirstInputs;
+use optical_stochastic_computing::core::design::mzi_first::MziFirstInputs;
+use optical_stochastic_computing::core::design::space::{fig6c_devices, pump_probe_tradeoff};
+use optical_stochastic_computing::core::prelude::*;
+use optical_stochastic_computing::photonics::devices;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // MRR-first: fix the wavelength plan, derive pump power and ER.
+    let design = MrrFirstDesign::solve(&MrrFirstInputs::paper_section_va())?;
+    println!("MRR-first @ 1 nm spacing (Section V.A):");
+    println!("  min pump power  = {}  (paper: 591.8 mW)", design.min_pump_power);
+    println!("  required ER     = {}  (paper: 13.22 dB)", design.required_er);
+    println!("  min probe power = {} for BER 1e-6", design.min_probe_power);
+
+    // MZI-first: fix the pump and the MZI, derive the plan and probe.
+    println!("\nMZI-first @ 0.6 W pump, BER 1e-6:");
+    for device in devices::fig6_devices() {
+        let inputs = MziFirstInputs::paper_fig6(
+            DbRatio::from_db(device.il_db),
+            DbRatio::from_db(device.er_db),
+        );
+        match MziFirstDesign::solve(&inputs) {
+            Ok(d) => println!(
+                "  {:<32} IL {:.1} dB  ER {:.1} dB  ->  spacing {:.3} nm, probe {:.3} mW",
+                device.label,
+                device.il_db,
+                device.er_db,
+                d.wl_spacing.as_nm(),
+                d.min_probe_power.as_mw()
+            ),
+            Err(e) => println!("  {:<32} infeasible: {e}", device.label),
+        }
+    }
+    let xiao = fig6c_devices(&[devices::xiao_2013()], 1e-6);
+    println!(
+        "  Xiao design point: {:.3} mW (paper: 0.26 mW)",
+        xiao[0].min_probe_power.unwrap().as_mw()
+    );
+
+    // The pump/probe tradeoff the paper discusses at the end of V.B.
+    println!("\npump/probe tradeoff over wavelength spacing (n = 2, BER 1e-6):");
+    for p in pump_probe_tradeoff(2, &[0.15, 0.2, 0.3, 0.5, 0.75, 1.0], 1e-6) {
+        println!(
+            "  spacing {:.3} nm:  pump {:>8.1} mW   probe {:.3} mW",
+            p.wl_spacing.as_nm(),
+            p.pump_power.as_mw(),
+            p.probe_power.as_mw()
+        );
+    }
+    Ok(())
+}

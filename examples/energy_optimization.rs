@@ -1,0 +1,64 @@
+//! Laser energy optimization (paper Section V.C / Fig. 7): sweep the
+//! wavelength spacing, find the optimum, and provision the reconfigurable
+//! multi-order circuit the paper's conclusion proposes.
+//!
+//! ```text
+//! cargo run --release --example energy_optimization
+//! ```
+
+use optical_stochastic_computing::core::energy::{scaling_study, EnergyAssumptions};
+use optical_stochastic_computing::core::prelude::*;
+use optical_stochastic_computing::core::reconfig::ReconfigurableCircuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let assumptions = EnergyAssumptions::default();
+    println!(
+        "assumptions: 1 Gb/s, 26 ps pump pulses, lasing efficiency {:.0}%, BER {:.0e}",
+        assumptions.lasing_efficiency * 100.0,
+        assumptions.target_ber
+    );
+
+    // Fig. 7(a): energy vs wavelength spacing for n = 2, 4, 6.
+    for n in [2usize, 4, 6] {
+        let model = EnergyModel::new(n, assumptions);
+        let opt = model.optimal_spacing(0.1, 0.6)?;
+        println!(
+            "n = {n}: optimal spacing {:.3} nm  ->  {:.1} pJ/bit (pump {:.1} + probes {:.1})",
+            opt.wl_spacing.as_nm(),
+            opt.total().as_pj(),
+            opt.pump_energy.as_pj(),
+            opt.probe_energy.as_pj()
+        );
+    }
+    println!("(paper: optimum ≈ 0.165 nm, independent of the order; 20.1 pJ/bit at n = 2)");
+
+    // Fig. 7(b): scalability and the saving of optimal spacing vs 1 nm.
+    println!("\nenergy vs polynomial order:");
+    for p in scaling_study(&[2, 4, 8, 12, 16], assumptions, 0.1, 0.6)? {
+        println!(
+            "  n = {:>2}:  1 nm {:>6.1} pJ   optimal {:>6.1} pJ   saving {:.1}%",
+            p.order,
+            p.energy_at_1nm.as_pj(),
+            p.energy_at_optimal.as_pj(),
+            p.saving_fraction() * 100.0
+        );
+    }
+    println!("(paper: ≈76.6% saving)");
+
+    // The reconfigurable circuit: one shared spacing serving orders 1..=6.
+    let rc = ReconfigurableCircuit::provision(6, assumptions)?;
+    println!(
+        "\nreconfigurable circuit provisioned for orders 1..=6 at shared spacing {:.3} nm:",
+        rc.shared_spacing().as_nm()
+    );
+    for p in rc.sharing_report()? {
+        println!(
+            "  order {}: shared {:>6.1} pJ vs dedicated {:>6.1} pJ  (penalty {:.1}%)",
+            p.order,
+            p.shared_energy.as_pj(),
+            p.dedicated_energy.as_pj(),
+            p.sharing_penalty() * 100.0
+        );
+    }
+    Ok(())
+}

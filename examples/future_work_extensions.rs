@@ -1,0 +1,90 @@
+//! The paper's future-work items, implemented: the calibration
+//! controller (monitoring + thermal lock), the avalanche-photodiode
+//! receiver, the parallel multi-lane implementation, and the physical
+//! loss budget.
+//!
+//! ```text
+//! cargo run --release --example future_work_extensions
+//! ```
+
+use optical_stochastic_computing::core::budget::{
+    probe_path_budget, pump_path_budget, RoutingAssumptions,
+};
+use optical_stochastic_computing::core::controller::{CalibrationController, ThermalDrift};
+use optical_stochastic_computing::core::parallel::ParallelOpticalSc;
+use optical_stochastic_computing::core::prelude::*;
+use optical_stochastic_computing::photonics::apd::{probe_power_reduction, ApdDetector};
+use optical_stochastic_computing::stochastic::bernstein::BernsteinPoly;
+use optical_stochastic_computing::stochastic::sng::XoshiroSng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = CircuitParams::paper_fig5();
+
+    // 1. Calibration controller (future work i): track a ±1 K thermal
+    //    excursion that would otherwise detune the filter off its grid.
+    println!("== calibration controller under thermal drift ==");
+    let mut controller = CalibrationController::new(params, Nanometers::new(0.02))?;
+    let drift = ThermalDrift::silicon(1.0, 120.0);
+    let record = controller.track(&drift, 120)?;
+    let worst_late = record[20..]
+        .iter()
+        .map(|r| r.residual_nm.abs())
+        .fold(0.0, f64::max);
+    let worst_drift = record
+        .iter()
+        .map(|r| r.drift_nm.abs())
+        .fold(0.0, f64::max);
+    println!("  peak drift            : {worst_drift:.3} nm");
+    println!("  worst locked residual : {worst_late:.3} nm");
+
+    // 2. APD receiver (future work iii / ref [21]).
+    println!("\n== avalanche photodiode receiver ==");
+    let apd = ApdDetector::steindl_2014(params.detector()?)?;
+    println!(
+        "  gain M = {}, excess noise F(M) = {:.2}, SNR improvement = {:.1}x",
+        apd.gain(),
+        apd.excess_noise_factor(),
+        apd.snr_improvement()
+    );
+    let pin_probe = SnrModel::new(&params)?.min_probe_power_for_ber(1e-6)?;
+    let apd_probe = SnrModel::new(&params)?
+        .with_detector(apd.effective_detector()?)
+        .min_probe_power_for_ber(1e-6)?;
+    println!(
+        "  min probe power @BER 1e-6: PIN {:.4} mW  ->  APD {:.6} mW ({:.1}% of PIN)",
+        pin_probe.as_mw(),
+        apd_probe.as_mw(),
+        probe_power_reduction(&apd) * 100.0
+    );
+
+    // 3. Parallel lanes (Section V.C remark on power density).
+    println!("\n== parallel implementation ==");
+    let poly = BernsteinPoly::new(vec![0.25, 0.625, 0.75])?;
+    for lanes in [1usize, 2, 4] {
+        let bank = ParallelOpticalSc::new(params, poly.clone(), lanes)?;
+        let run = bank.evaluate(0.5, 16_384, XoshiroSng::new, 7)?;
+        let latency = bank.latency(16_384, Seconds::from_nanos(1.0));
+        println!(
+            "  {lanes} lane(s): latency {:>7.1} ns, |error| {:.4}, total laser {:.0} mW, per-lane {:.0} mW",
+            latency.as_nanos(),
+            run.abs_error(),
+            bank.total_laser_power().as_mw(),
+            bank.per_lane_power().as_mw()
+        );
+    }
+
+    // 4. Physical loss budget of the probe and pump paths.
+    println!("\n== loss budget (best-case probe path) ==");
+    let probe = probe_path_budget(&params, RoutingAssumptions::default())?;
+    for item in &probe.items {
+        println!("  {:<44} {:>6.2} dB", item.stage, item.loss_db);
+    }
+    println!("  {:<44} {:>6.2} dB", "TOTAL", probe.total().as_db());
+    let pump = pump_path_budget(&params, RoutingAssumptions::default())?;
+    println!(
+        "  pump path total (count 0): {:.2} dB (IL {} + routing)",
+        pump.total().as_db(),
+        params.mzi_il
+    );
+    Ok(())
+}
