@@ -28,6 +28,16 @@ pub trait PixelBackend {
     /// Backend-specific failures (invalid input, circuit errors).
     fn evaluate(&mut self, x: f64) -> Result<f64, AppError>;
 
+    /// Derives an independent copy for parallel work item `salt`: same
+    /// circuit and polynomial, but stochastic/noise streams decorrelated
+    /// from both the parent and every other salt (via
+    /// [`osc_core::batch::mix_seed`]). Stateless backends return a plain
+    /// copy. This is what lets image pipelines fan pixels across threads
+    /// while keeping the output a pure function of `(backend seed, salt)`.
+    fn fork(&self, salt: u64) -> Self
+    where
+        Self: Sized;
+
     /// Bits consumed per evaluation (1 for exact backends).
     fn bits_per_evaluation(&self) -> usize;
 
@@ -59,6 +69,10 @@ impl PixelBackend for ExactBackend {
         Ok(self.poly.eval(x))
     }
 
+    fn fork(&self, _salt: u64) -> Self {
+        self.clone()
+    }
+
     fn bits_per_evaluation(&self) -> usize {
         1
     }
@@ -77,6 +91,7 @@ impl PixelBackend for ExactBackend {
 pub struct ElectronicBackend {
     unit: ReScUnit,
     stream_length: usize,
+    seed: u64,
     sng: XoshiroSng,
 }
 
@@ -86,6 +101,7 @@ impl ElectronicBackend {
         ElectronicBackend {
             unit: ReScUnit::new(poly),
             stream_length,
+            seed,
             sng: XoshiroSng::new(seed),
         }
     }
@@ -97,6 +113,16 @@ impl PixelBackend for ElectronicBackend {
             .unit
             .evaluate(x.clamp(0.0, 1.0), self.stream_length, &mut self.sng)
             .estimate)
+    }
+
+    fn fork(&self, salt: u64) -> Self {
+        let seed = osc_core::batch::mix_seed(self.seed, salt);
+        ElectronicBackend {
+            unit: self.unit.clone(),
+            stream_length: self.stream_length,
+            seed,
+            sng: XoshiroSng::new(seed),
+        }
     }
 
     fn bits_per_evaluation(&self) -> usize {
@@ -116,6 +142,7 @@ impl PixelBackend for ElectronicBackend {
 pub struct OpticalBackend {
     system: OpticalScSystem,
     stream_length: usize,
+    seed: u64,
     sng: XoshiroSng,
     rng: Xoshiro256PlusPlus,
 }
@@ -143,6 +170,7 @@ impl OpticalBackend {
         Ok(OpticalBackend {
             system: OpticalScSystem::new(params, poly)?,
             stream_length,
+            seed,
             sng: XoshiroSng::new(seed),
             rng: Xoshiro256PlusPlus::new(seed ^ 0x5EED),
         })
@@ -165,6 +193,19 @@ impl PixelBackend for OpticalBackend {
                 &mut self.rng,
             )?
             .estimate)
+    }
+
+    fn fork(&self, salt: u64) -> Self {
+        // Cloning reuses the precomputed power/decision tables — forking
+        // is cheap even though circuit construction is not.
+        let seed = osc_core::batch::mix_seed(self.seed, salt);
+        OpticalBackend {
+            system: self.system.clone(),
+            stream_length: self.stream_length,
+            seed,
+            sng: XoshiroSng::new(seed),
+            rng: Xoshiro256PlusPlus::new(seed ^ 0x5EED),
+        }
     }
 
     fn bits_per_evaluation(&self) -> usize {
@@ -211,8 +252,7 @@ mod tests {
 
     #[test]
     fn optical_backend_approximates() {
-        let mut b =
-            OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 8192, 11).unwrap();
+        let mut b = OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 8192, 11).unwrap();
         let got = b.evaluate(0.5).unwrap();
         let want = poly().eval(0.5);
         assert!((got - want).abs() < 0.03, "got {got} want {want}");
@@ -220,8 +260,7 @@ mod tests {
 
     #[test]
     fn optical_clamps_out_of_range_pixels() {
-        let mut b =
-            OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 1024, 3).unwrap();
+        let mut b = OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 1024, 3).unwrap();
         assert!(b.evaluate(1.0 + 1e-9).is_ok());
     }
 

@@ -29,9 +29,29 @@ pub fn smoothstep_poly() -> BernsteinPoly {
 /// # Errors
 ///
 /// Propagates backend failures.
-pub fn run_contrast<B: PixelBackend>(image: &Image, backend: &mut B) -> Result<(Image, f64), AppError> {
+pub fn run_contrast<B: PixelBackend>(
+    image: &Image,
+    backend: &mut B,
+) -> Result<(Image, f64), AppError> {
     let reference = image.map(smoothstep);
     let produced = crate::gamma_app::apply_backend(image, backend)?;
+    let mae = produced.mae(&reference)?;
+    Ok((produced, mae))
+}
+
+/// [`run_contrast`] with row-parallel pixel evaluation (see
+/// [`crate::gamma_app::apply_backend_par`]).
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn run_contrast_par<B: PixelBackend + Sync>(
+    image: &Image,
+    backend: &B,
+    evaluator: &osc_core::batch::BatchEvaluator,
+) -> Result<(Image, f64), AppError> {
+    let reference = image.map(smoothstep);
+    let produced = crate::gamma_app::apply_backend_par(image, backend, evaluator)?;
     let mae = produced.mae(&reference)?;
     Ok((produced, mae))
 }
@@ -46,10 +66,7 @@ mod tests {
         let p = smoothstep_poly();
         for i in 0..=20 {
             let x = i as f64 / 20.0;
-            assert!(
-                (p.eval(x) - smoothstep(x)).abs() < 1e-12,
-                "mismatch at {x}"
-            );
+            assert!((p.eval(x) - smoothstep(x)).abs() < 1e-12, "mismatch at {x}");
         }
     }
 
@@ -76,5 +93,17 @@ mod tests {
         let mut b = ElectronicBackend::new(smoothstep_poly(), 8192, 5);
         let (_, mae) = run_contrast(&img, &mut b).unwrap();
         assert!(mae < 0.02, "mae {mae}");
+    }
+
+    #[test]
+    fn parallel_contrast_matches_thread_counts_and_quality() {
+        use osc_core::batch::BatchEvaluator;
+        let img = Image::blobs(12, 12);
+        let b = ElectronicBackend::new(smoothstep_poly(), 4096, 5);
+        let (img1, mae1) = run_contrast_par(&img, &b, &BatchEvaluator::with_threads(1)).unwrap();
+        let (img4, mae4) = run_contrast_par(&img, &b, &BatchEvaluator::with_threads(4)).unwrap();
+        assert_eq!(img1, img4);
+        assert_eq!(mae1, mae4);
+        assert!(mae1 < 0.03, "mae {mae1}");
     }
 }

@@ -8,11 +8,11 @@
 use crate::backend::{throughput_evals_per_second, PixelBackend};
 use crate::image::Image;
 use crate::AppError;
+use osc_core::batch::BatchEvaluator;
 use osc_stochastic::gamma::{fit_gamma_bernstein, gamma_exact, DISPLAY_GAMMA, PAPER_GAMMA_DEGREE};
-use serde::{Deserialize, Serialize};
 
 /// Result of running gamma correction on one backend.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GammaRunReport {
     /// Backend name.
     pub backend: String,
@@ -37,15 +37,69 @@ pub fn apply_backend<B: PixelBackend>(image: &Image, backend: &mut B) -> Result<
     Image::new(image.width(), image.height(), out)
 }
 
+/// Applies a backend's polynomial to every pixel with row-level
+/// parallelism: each image row runs on a [`PixelBackend::fork`] of the
+/// backend salted with the row index, fanned across a
+/// [`BatchEvaluator`]'s workers. The output is a pure function of the
+/// backend's seed and the image — identical for every thread count.
+///
+/// # Errors
+///
+/// Propagates backend failures (first failing row by index order).
+pub fn apply_backend_par<B: PixelBackend + Sync>(
+    image: &Image,
+    backend: &B,
+    evaluator: &BatchEvaluator,
+) -> Result<Image, AppError> {
+    let width = image.width();
+    let rows: Vec<usize> = (0..image.height()).collect();
+    let produced = evaluator.par_map(&rows, |_, &y| {
+        let mut lane = backend.fork(y as u64);
+        image.pixels()[y * width..(y + 1) * width]
+            .iter()
+            .map(|&p| lane.evaluate(p).map(|v| v.clamp(0.0, 1.0)))
+            .collect::<Result<Vec<f64>, AppError>>()
+    });
+    let mut out = Vec::with_capacity(image.pixels().len());
+    for row in produced {
+        out.extend(row?);
+    }
+    Image::new(width, image.height(), out)
+}
+
 /// Runs gamma correction on a backend and reports quality + throughput
 /// against the exact per-pixel map.
 ///
 /// # Errors
 ///
 /// Propagates backend failures.
-pub fn run_gamma<B: PixelBackend>(image: &Image, backend: &mut B) -> Result<GammaRunReport, AppError> {
+pub fn run_gamma<B: PixelBackend>(
+    image: &Image,
+    backend: &mut B,
+) -> Result<GammaRunReport, AppError> {
     let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
     let produced = apply_backend(image, backend)?;
+    Ok(GammaRunReport {
+        backend: backend.name().to_string(),
+        psnr_db: produced.psnr_db(&reference)?,
+        mae: produced.mae(&reference)?,
+        evals_per_second: throughput_evals_per_second(backend),
+    })
+}
+
+/// [`run_gamma`] with row-parallel pixel evaluation (see
+/// [`apply_backend_par`]).
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn run_gamma_par<B: PixelBackend + Sync>(
+    image: &Image,
+    backend: &B,
+    evaluator: &BatchEvaluator,
+) -> Result<GammaRunReport, AppError> {
+    let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
+    let produced = apply_backend_par(image, backend, evaluator)?;
     Ok(GammaRunReport {
         backend: backend.name().to_string(),
         psnr_db: produced.psnr_db(&reference)?,
@@ -88,6 +142,31 @@ mod tests {
         let sc_img = apply_backend(&img, &mut sc).unwrap();
         let mae = sc_img.mae(&exact_img).unwrap();
         assert!(mae < 0.02, "stochastic-vs-fit mae {mae}");
+    }
+
+    #[test]
+    fn parallel_apply_is_thread_count_invariant() {
+        let img = Image::blobs(16, 8);
+        let backend = ElectronicBackend::new(paper_gamma_polynomial().unwrap(), 512, 9);
+        let one = apply_backend_par(&img, &backend, &BatchEvaluator::with_threads(1)).unwrap();
+        let four = apply_backend_par(&img, &backend, &BatchEvaluator::with_threads(4)).unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn parallel_apply_matches_quality_of_sequential() {
+        let img = Image::gradient(16, 8);
+        let backend = ElectronicBackend::new(paper_gamma_polynomial().unwrap(), 4096, 5);
+        let seq = run_gamma(&img, &mut backend.fork(u64::MAX)).unwrap();
+        let par = run_gamma_par(&img, &backend, &BatchEvaluator::with_threads(3)).unwrap();
+        // Different streams, same statistics.
+        assert!(
+            (seq.mae - par.mae).abs() < 0.01,
+            "{} vs {}",
+            seq.mae,
+            par.mae
+        );
+        assert_eq!(seq.backend, par.backend);
     }
 
     #[test]

@@ -7,10 +7,9 @@
 
 use crate::AppError;
 use osc_math::rng::Xoshiro256PlusPlus;
-use serde::{Deserialize, Serialize};
 
 /// A grayscale image with normalized `[0, 1]` pixels, row-major.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Image {
     width: usize,
     height: usize,
@@ -43,17 +42,13 @@ impl Image {
 
     /// Creates an image from a closure over `(x, y)`; values are clamped
     /// into `[0, 1]`.
-    pub fn from_fn<F: FnMut(usize, usize) -> f64>(
-        width: usize,
-        height: usize,
-        mut f: F,
-    ) -> Image {
-        let pixels = (0..height)
-            .flat_map(|y| (0..width).map(move |x| (x, y)))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|(x, y)| f(x, y).clamp(0.0, 1.0))
-            .collect();
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(width: usize, height: usize, mut f: F) -> Image {
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y).clamp(0.0, 1.0));
+            }
+        }
         Image {
             width,
             height,
@@ -63,9 +58,7 @@ impl Image {
 
     /// Horizontal linear gradient (0 at the left edge, 1 at the right).
     pub fn gradient(width: usize, height: usize) -> Image {
-        Image::from_fn(width, height, |x, _| {
-            x as f64 / (width.max(2) - 1) as f64
-        })
+        Image::from_fn(width, height, |x, _| x as f64 / (width.max(2) - 1) as f64)
     }
 
     /// Smooth radial blob pattern exercising mid-range intensities.
@@ -116,6 +109,20 @@ impl Image {
             width: self.width,
             height: self.height,
             pixels: self.pixels.iter().map(|&p| f(p).clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// Applies a per-pixel map across worker threads, clamping results
+    /// into `[0, 1]`. The closure sees `(pixel_index, value)` and must be
+    /// pure — results are identical for every thread count.
+    pub fn map_par<F>(&self, evaluator: &osc_core::batch::BatchEvaluator, f: F) -> Image
+    where
+        F: Fn(usize, f64) -> f64 + Sync,
+    {
+        Image {
+            width: self.width,
+            height: self.height,
+            pixels: evaluator.par_map(&self.pixels, |i, &p| f(i, p).clamp(0.0, 1.0)),
         }
     }
 
@@ -197,6 +204,17 @@ mod tests {
         let g = Image::gradient(4, 1);
         let doubled = g.map(|p| p * 2.0);
         assert!(doubled.pixels().iter().all(|&p| p <= 1.0));
+    }
+
+    #[test]
+    fn map_par_matches_sequential_map_any_thread_count() {
+        let img = Image::blobs(16, 8);
+        let expect = img.map(|p| p * p);
+        for threads in [1usize, 4] {
+            let ev = osc_core::batch::BatchEvaluator::with_threads(threads);
+            let got = img.map_par(&ev, |_, p| p * p);
+            assert_eq!(got, expect, "threads={threads}");
+        }
     }
 
     #[test]

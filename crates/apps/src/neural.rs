@@ -13,10 +13,9 @@ use osc_stochastic::bitstream::BitStream;
 use osc_stochastic::fsm::StanhFsm;
 use osc_stochastic::ops::{bipolar_multiply, from_bipolar, to_bipolar};
 use osc_stochastic::sng::StochasticNumberGenerator;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-weight stochastic neuron with a tanh activation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StochasticNeuron {
     /// Bipolar weights in `[−1, 1]`, one per input (count must be a power
     /// of two for the MUX tree).
@@ -144,7 +143,9 @@ mod tests {
     fn strong_positive_drive_saturates_high() {
         let n = StochasticNeuron::new(vec![1.0, 1.0, 1.0, 1.0], 8).unwrap();
         let mut sng = XoshiroSng::new(18);
-        let y = n.evaluate(&[0.9, 0.9, 0.9, 0.9], 1 << 15, &mut sng).unwrap();
+        let y = n
+            .evaluate(&[0.9, 0.9, 0.9, 0.9], 1 << 15, &mut sng)
+            .unwrap();
         assert!(y > 0.9, "got {y}");
     }
 

@@ -10,10 +10,9 @@ use crate::AppError;
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bitstream::BitStream;
 use osc_stochastic::sng::StochasticNumberGenerator;
-use serde::{Deserialize, Serialize};
 
 /// A sampled waveform with values in `[0, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampledSignal {
     samples: Vec<f64>,
 }
@@ -38,8 +37,7 @@ impl SampledSignal {
             samples: (0..len)
                 .map(|i| {
                     let phase = 2.0 * std::f64::consts::PI * cycles * i as f64 / len as f64;
-                    (0.5 + 0.3 * phase.sin() + rng.gaussian_with(0.0, noise_rms))
-                        .clamp(0.0, 1.0)
+                    (0.5 + 0.3 * phase.sin() + rng.gaussian_with(0.0, noise_rms)).clamp(0.0, 1.0)
                 })
                 .collect(),
         }

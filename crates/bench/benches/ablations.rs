@@ -3,7 +3,7 @@
 //! optical system, receiver threshold optimization, and order scaling of
 //! the analytical model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osc_bench::microbench::Harness;
 use osc_core::architecture::OpticalScCircuit;
 use osc_core::params::CircuitParams;
 use osc_core::receiver::optimize_threshold;
@@ -15,56 +15,61 @@ use osc_stochastic::sng::{CounterSng, LfsrSng, XoshiroSng};
 use osc_units::{Milliwatts, Nanometers};
 use std::hint::black_box;
 
-fn bench_profile_ablation(c: &mut Criterion) {
+fn bench_profile_ablation(c: &mut Harness) {
     // Same SNR analysis under the two calibrated device profiles.
-    let mut group = c.benchmark_group("ablation/snr_by_profile");
     let fig5 = CircuitParams::paper_fig5();
     let dense = CircuitParams::paper_fig7(2, Nanometers::new(0.165));
     for (label, params) in [("fig5", fig5), ("dense", dense)] {
         let snr = SnrModel::new(&params).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
-            b.iter(|| snr.worst_case_snr().unwrap())
-        });
+        let name = format!("ablation/snr_by_profile/{label}");
+        c.bench_function(&name, |b| b.iter(|| snr.worst_case_snr().unwrap()));
     }
-    group.finish();
 }
 
-fn bench_sng_ablation(c: &mut Criterion) {
+fn bench_sng_ablation(c: &mut Harness) {
     // End-to-end optical evaluation cost under different randomizers.
     let poly = BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap();
     let system = OpticalScSystem::new(CircuitParams::paper_fig5(), poly).unwrap();
-    let mut group = c.benchmark_group("ablation/optical_eval_by_sng");
-    group.bench_function(BenchmarkId::from_parameter("lfsr"), |b| {
-        let mut sng = LfsrSng::with_width(16, 0xACE1);
-        let mut rng = Xoshiro256PlusPlus::new(1);
+    let mut sng = LfsrSng::with_width(16, 0xACE1);
+    let mut rng = Xoshiro256PlusPlus::new(1);
+    c.bench_function("ablation/optical_eval_by_sng/lfsr", |b| {
         b.iter(|| {
             system
                 .evaluate(black_box(0.5), 2048, &mut sng, &mut rng)
                 .unwrap()
         })
     });
-    group.bench_function(BenchmarkId::from_parameter("counter"), |b| {
-        let mut sng = CounterSng::new();
-        let mut rng = Xoshiro256PlusPlus::new(1);
+    let mut sng = CounterSng::new();
+    let mut rng = Xoshiro256PlusPlus::new(1);
+    c.bench_function("ablation/optical_eval_by_sng/counter", |b| {
         b.iter(|| {
             system
                 .evaluate(black_box(0.5), 2048, &mut sng, &mut rng)
                 .unwrap()
         })
     });
-    group.bench_function(BenchmarkId::from_parameter("xoshiro"), |b| {
-        let mut sng = XoshiroSng::new(9);
-        let mut rng = Xoshiro256PlusPlus::new(1);
+    let mut sng = XoshiroSng::new(9);
+    let mut rng = Xoshiro256PlusPlus::new(1);
+    c.bench_function("ablation/optical_eval_by_sng/xoshiro", |b| {
         b.iter(|| {
             system
                 .evaluate(black_box(0.5), 2048, &mut sng, &mut rng)
                 .unwrap()
         })
     });
-    group.finish();
+    // The frozen per-bit implementation, for the before/after trend.
+    let mut sng = XoshiroSng::new(9);
+    let mut rng = Xoshiro256PlusPlus::new(1);
+    c.bench_function("ablation/optical_eval_by_sng/xoshiro_reference", |b| {
+        b.iter(|| {
+            system
+                .evaluate_reference(black_box(0.5), 2048, &mut sng, &mut rng)
+                .unwrap()
+        })
+    });
 }
 
-fn bench_threshold_optimization(c: &mut Criterion) {
+fn bench_threshold_optimization(c: &mut Harness) {
     let circuit = OpticalScCircuit::new(CircuitParams::paper_fig5()).unwrap();
     let bands = circuit.power_bands().unwrap();
     c.bench_function("ablation/threshold_optimize", |b| {
@@ -72,24 +77,21 @@ fn bench_threshold_optimization(c: &mut Criterion) {
     });
 }
 
-fn bench_order_scaling(c: &mut Criterion) {
+fn bench_order_scaling(c: &mut Harness) {
     // Cost of the analytical SNR model as the circuit order grows.
-    let mut group = c.benchmark_group("ablation/snr_by_order");
     for order in [2usize, 6, 12] {
         let params = CircuitParams::paper_fig7(order, Nanometers::new(0.2));
         let snr = SnrModel::new(&params).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
-            b.iter(|| snr.worst_case_snr().unwrap())
-        });
+        let name = format!("ablation/snr_by_order/{order}");
+        c.bench_function(&name, |b| b.iter(|| snr.worst_case_snr().unwrap()));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_profile_ablation,
-    bench_sng_ablation,
-    bench_threshold_optimization,
-    bench_order_scaling
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_env("ablations");
+    bench_profile_ablation(&mut c);
+    bench_sng_ablation(&mut c);
+    bench_threshold_optimization(&mut c);
+    bench_order_scaling(&mut c);
+    c.finish();
+}

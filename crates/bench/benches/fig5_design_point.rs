@@ -1,8 +1,8 @@
-//! Criterion benches for the Fig. 5 / Section V.A design point: the
-//! MRR-first design method, the exhaustive power table and the raw
-//! transmission model.
+//! Benches for the Fig. 5 / Section V.A design point: the MRR-first
+//! design method, the exhaustive power table and the raw transmission
+//! model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use osc_bench::microbench::Harness;
 use osc_core::architecture::OpticalScCircuit;
 use osc_core::design::mrr_first::{MrrFirstDesign, MrrFirstInputs};
 use osc_core::params::CircuitParams;
@@ -10,21 +10,21 @@ use osc_core::transmission::TransmissionModel;
 use osc_units::Milliwatts;
 use std::hint::black_box;
 
-fn bench_mrr_first(c: &mut Criterion) {
+fn bench_mrr_first(c: &mut Harness) {
     let inputs = MrrFirstInputs::paper_section_va();
     c.bench_function("fig5/mrr_first_solve", |b| {
         b.iter(|| MrrFirstDesign::solve(black_box(&inputs)).unwrap())
     });
 }
 
-fn bench_power_table(c: &mut Criterion) {
+fn bench_power_table(c: &mut Harness) {
     let circuit = OpticalScCircuit::new(CircuitParams::paper_fig5()).unwrap();
     c.bench_function("fig5/power_level_table_32", |b| {
         b.iter(|| circuit.power_level_table().unwrap())
     });
 }
 
-fn bench_received_power(c: &mut Criterion) {
+fn bench_received_power(c: &mut Harness) {
     let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
     c.bench_function("fig5/received_power_single", |b| {
         b.iter(|| {
@@ -39,7 +39,7 @@ fn bench_received_power(c: &mut Criterion) {
     });
 }
 
-fn bench_spectra(c: &mut Criterion) {
+fn bench_spectra(c: &mut Harness) {
     let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
     c.bench_function("fig5/spectra_121pts", |b| {
         b.iter(|| {
@@ -50,11 +50,11 @@ fn bench_spectra(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_mrr_first,
-    bench_power_table,
-    bench_received_power,
-    bench_spectra
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_env("fig5_design_point");
+    bench_mrr_first(&mut c);
+    bench_power_table(&mut c);
+    bench_received_power(&mut c);
+    bench_spectra(&mut c);
+    c.finish();
+}

@@ -1,34 +1,29 @@
-//! Criterion benches for the Fig. 6 studies: the MZI-first design method,
-//! the (IL, ER) grid sweep and the BER sweep.
+//! Benches for the Fig. 6 studies: the MZI-first design method, the
+//! (IL, ER) grid sweep and the BER sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osc_bench::microbench::Harness;
 use osc_core::design::mzi_first::{MziFirstDesign, MziFirstInputs};
 use osc_core::design::space::{fig6a_grid, fig6b_ber_sweep};
 use osc_units::DbRatio;
 use std::hint::black_box;
 
-fn bench_mzi_first(c: &mut Criterion) {
+fn bench_mzi_first(c: &mut Harness) {
     let inputs = MziFirstInputs::paper_fig6(DbRatio::from_db(6.5), DbRatio::from_db(7.5));
     c.bench_function("fig6/mzi_first_solve_xiao", |b| {
         b.iter(|| MziFirstDesign::solve(black_box(&inputs)).unwrap())
     });
 }
 
-fn bench_grid(c: &mut Criterion) {
+fn bench_grid(c: &mut Harness) {
     let il = osc_math::linspace(3.0, 7.4, 4);
     let er = osc_math::linspace(4.0, 7.6, 4);
-    let mut group = c.benchmark_group("fig6/grid_4x4");
     for threads in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| b.iter(|| fig6a_grid(&il, &er, 1e-6, threads)),
-        );
+        let name = format!("fig6/grid_4x4/{threads}");
+        c.bench_function(&name, |b| b.iter(|| fig6a_grid(&il, &er, 1e-6, threads)));
     }
-    group.finish();
 }
 
-fn bench_ber_sweep(c: &mut Criterion) {
+fn bench_ber_sweep(c: &mut Harness) {
     c.bench_function("fig6/ber_sweep_3pts", |b| {
         b.iter(|| {
             fig6b_ber_sweep(
@@ -41,5 +36,10 @@ fn bench_ber_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mzi_first, bench_grid, bench_ber_sweep);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_env("fig6_design_methods");
+    bench_mzi_first(&mut c);
+    bench_grid(&mut c);
+    bench_ber_sweep(&mut c);
+    c.finish();
+}

@@ -1,43 +1,38 @@
-//! Criterion benches for the Fig. 7 energy model: per-point breakdown,
+//! Benches for the Fig. 7 energy model: per-point breakdown,
 //! optimal-spacing search and the scalability study.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osc_bench::microbench::Harness;
 use osc_core::energy::{scaling_study, EnergyAssumptions, EnergyModel};
 use osc_units::Nanometers;
 use std::hint::black_box;
 
-fn bench_breakdown(c: &mut Criterion) {
+fn bench_breakdown(c: &mut Harness) {
     let model = EnergyModel::new(2, EnergyAssumptions::default());
     c.bench_function("fig7/breakdown_single_point", |b| {
         b.iter(|| model.breakdown(black_box(Nanometers::new(0.165))).unwrap())
     });
 }
 
-fn bench_optimal_spacing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7/optimal_spacing");
-    group.sample_size(10); // each iteration runs a full golden-section search
+fn bench_optimal_spacing(c: &mut Harness) {
     for order in [2usize, 6] {
         let model = EnergyModel::new(order, EnergyAssumptions::default());
-        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+        let name = format!("fig7/optimal_spacing/{order}");
+        c.bench_function(&name, |b| {
             b.iter(|| model.optimal_spacing(0.1, 0.6).unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_scaling_study(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7/scaling");
-    group.sample_size(10); // three optimal-spacing searches per iteration
-    group.bench_function("study_3orders", |b| {
+fn bench_scaling_study(c: &mut Harness) {
+    c.bench_function("fig7/scaling/study_3orders", |b| {
         b.iter(|| scaling_study(&[2, 4, 8], EnergyAssumptions::default(), 0.1, 0.6).unwrap())
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_breakdown,
-    bench_optimal_spacing,
-    bench_scaling_study
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_env("fig7_energy");
+    bench_breakdown(&mut c);
+    bench_optimal_spacing(&mut c);
+    bench_scaling_study(&mut c);
+    c.finish();
+}

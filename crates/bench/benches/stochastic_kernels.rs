@@ -1,31 +1,35 @@
-//! Criterion benches for the stochastic computing substrate: SNG stream
-//! generation, packed bit-stream logic and the electronic ReSC unit.
+//! Benches for the stochastic computing substrate: SNG stream generation
+//! (word-parallel vs per-bit), packed bit-stream logic and the electronic
+//! ReSC unit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osc_bench::microbench::Harness;
 use osc_stochastic::bernstein::BernsteinPoly;
 use osc_stochastic::bitstream::BitStream;
 use osc_stochastic::resc::ReScUnit;
 use osc_stochastic::sng::{CounterSng, LfsrSng, StochasticNumberGenerator, XoshiroSng};
 use std::hint::black_box;
 
-fn bench_sng_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stochastic/sng_generate_16k");
-    group.bench_function(BenchmarkId::from_parameter("lfsr"), |b| {
-        let mut sng = LfsrSng::with_width(16, 0xACE1);
+fn bench_sng_generation(c: &mut Harness) {
+    let mut sng = LfsrSng::with_width(16, 0xACE1);
+    c.bench_function("stochastic/sng_generate_16k/lfsr", |b| {
         b.iter(|| sng.generate(black_box(0.37), 16_384).unwrap())
     });
-    group.bench_function(BenchmarkId::from_parameter("counter"), |b| {
-        let mut sng = CounterSng::new();
+    let mut sng = CounterSng::new();
+    c.bench_function("stochastic/sng_generate_16k/counter", |b| {
         b.iter(|| sng.generate(black_box(0.37), 16_384).unwrap())
     });
-    group.bench_function(BenchmarkId::from_parameter("xoshiro"), |b| {
-        let mut sng = XoshiroSng::new(7);
+    let mut sng = XoshiroSng::new(7);
+    c.bench_function("stochastic/sng_generate_16k/xoshiro", |b| {
         b.iter(|| sng.generate(black_box(0.37), 16_384).unwrap())
     });
-    group.finish();
+    // The per-bit reference path, for the word-parallel before/after.
+    let mut sng = XoshiroSng::new(7);
+    c.bench_function("stochastic/sng_generate_16k/xoshiro_bitwise", |b| {
+        b.iter(|| sng.generate_bitwise(black_box(0.37), 16_384).unwrap())
+    });
 }
 
-fn bench_bitstream_ops(c: &mut Criterion) {
+fn bench_bitstream_ops(c: &mut Harness) {
     let a = BitStream::from_fn(1 << 20, |i| i % 3 == 0);
     let b_stream = BitStream::from_fn(1 << 20, |i| i % 5 == 0);
     c.bench_function("stochastic/and_1m_bits", |b| {
@@ -36,26 +40,26 @@ fn bench_bitstream_ops(c: &mut Criterion) {
     });
 }
 
-fn bench_resc(c: &mut Criterion) {
+fn bench_resc(c: &mut Harness) {
     let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+    let mut sng = XoshiroSng::new(42);
     c.bench_function("stochastic/resc_evaluate_4k", |b| {
-        let mut sng = XoshiroSng::new(42);
         b.iter(|| unit.evaluate(black_box(0.5), 4096, &mut sng))
     });
 }
 
-fn bench_bernstein_eval(c: &mut Criterion) {
+fn bench_bernstein_eval(c: &mut Harness) {
     let poly = BernsteinPoly::new(vec![0.1, 0.4, 0.2, 0.8, 0.5, 0.9, 0.7]).unwrap();
     c.bench_function("stochastic/bernstein_eval_deg6", |b| {
         b.iter(|| poly.eval(black_box(0.42)))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sng_generation,
-    bench_bitstream_ops,
-    bench_resc,
-    bench_bernstein_eval
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_env("stochastic_kernels");
+    bench_sng_generation(&mut c);
+    bench_bitstream_ops(&mut c);
+    bench_resc(&mut c);
+    bench_bernstein_eval(&mut c);
+    c.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion benches for the transient simulator: full datapath runs and
-//! the eye scan.
+//! Benches for the transient simulator: full datapath runs and the eye
+//! scan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osc_bench::microbench::Harness;
 use osc_core::params::CircuitParams;
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bitstream::BitStream;
@@ -17,8 +17,7 @@ fn make_streams(len: usize) -> (Vec<BitStream>, Vec<BitStream>) {
     (data, coeffs)
 }
 
-fn bench_transient_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transient/run_32bits");
+fn bench_transient_run(c: &mut Harness) {
     for pulsed in [true, false] {
         let timing = TimingConfig {
             pump_pulse_fwhm: pulsed.then_some(26e-12),
@@ -27,22 +26,21 @@ fn bench_transient_run(c: &mut Criterion) {
         };
         let sim = TransientSimulator::new(CircuitParams::paper_fig5(), timing).unwrap();
         let (data, coeffs) = make_streams(32);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(if pulsed { "pulsed" } else { "cw" }),
-            &pulsed,
-            |b, _| b.iter(|| sim.run(&data, &coeffs).unwrap()),
+        let name = format!(
+            "transient/run_32bits/{}",
+            if pulsed { "pulsed" } else { "cw" }
         );
+        c.bench_function(&name, |b| b.iter(|| sim.run(&data, &coeffs).unwrap()));
     }
-    group.finish();
 }
 
-fn bench_eye_scan(c: &mut Criterion) {
+fn bench_eye_scan(c: &mut Harness) {
     let sim =
         TransientSimulator::new(CircuitParams::paper_fig5(), TimingConfig::default()).unwrap();
     let (data, coeffs) = make_streams(32);
     let trace = sim.run(&data, &coeffs).unwrap();
+    let mut rng = Xoshiro256PlusPlus::new(3);
     c.bench_function("transient/eye_scan_32offsets", |b| {
-        let mut rng = Xoshiro256PlusPlus::new(3);
         b.iter(|| {
             scan_offsets(
                 &trace,
@@ -55,5 +53,9 @@ fn bench_eye_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_transient_run, bench_eye_scan);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::from_env("transient_engine");
+    bench_transient_run(&mut c);
+    bench_eye_scan(&mut c);
+    c.finish();
+}

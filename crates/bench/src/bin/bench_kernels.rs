@@ -1,0 +1,46 @@
+//! Emits `BENCH_kernels.json`: the word-parallel kernel speedup report.
+//!
+//! ```text
+//! bench_kernels [--out PATH] [--budget-ms N]
+//! ```
+//!
+//! Defaults: `BENCH_kernels.json` in the current directory, 300 ms per
+//! measurement. CI runs this with a small budget as a smoke check; local
+//! runs with the default budget produce the numbers quoted in docs.
+
+use osc_bench::kernels;
+
+fn main() {
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut budget_ms = 300u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--budget-ms" => {
+                budget_ms = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--budget-ms needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_kernels [--out PATH] [--budget-ms N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = kernels::run(budget_ms);
+    kernels::print(&report);
+    let json = kernels::to_json(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("[kernel report written to {out_path}]");
+}

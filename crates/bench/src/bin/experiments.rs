@@ -21,18 +21,14 @@
 
 use osc_bench::{exp0, extensions, fig1b, fig5, fig6, fig7, gamma};
 
-fn dump_json<T: serde::Serialize>(path: Option<&str>, name: &str, value: &T) {
+fn dump_json<T: std::fmt::Debug>(path: Option<&str>, name: &str, value: &T) {
     if let Some(dir) = path {
-        let file = format!("{dir}/{name}.json");
-        match serde_json::to_string_pretty(value) {
-            Ok(s) => {
-                if let Err(e) = std::fs::write(&file, s) {
-                    eprintln!("warning: could not write {file}: {e}");
-                } else {
-                    println!("  [json written to {file}]");
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        let file = format!("{dir}/{name}.txt");
+        let s = format!("{value:#?}\n");
+        if let Err(e) = std::fs::write(&file, s) {
+            eprintln!("warning: could not write {file}: {e}");
+        } else {
+            println!("  [report written to {file}]");
         }
     }
 }

@@ -7,10 +7,9 @@
 use osc_core::calibration::{predict, Fig5Targets};
 use osc_core::design::mrr_first::{MrrFirstDesign, MrrFirstInputs};
 use osc_core::params::CircuitParams;
-use serde::{Deserialize, Serialize};
 
 /// Paper-vs-measured record for the Section V.A design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Exp0Report {
     /// Model predictions at the two Fig. 5 operating cases.
     pub predictions: Fig5Targets,
@@ -47,7 +46,12 @@ pub fn print(report: &Exp0Report) {
     let t = &report.paper;
     println!(
         "{}",
-        crate::compare_line("T(λ2) case A (z=010, x=11)", t.t_lambda2_case_a, p.t_lambda2_case_a, "")
+        crate::compare_line(
+            "T(λ2) case A (z=010, x=11)",
+            t.t_lambda2_case_a,
+            p.t_lambda2_case_a,
+            ""
+        )
     );
     println!(
         "{}",
@@ -59,15 +63,30 @@ pub fn print(report: &Exp0Report) {
     );
     println!(
         "{}",
-        crate::compare_line("T(λ0) case B (z=110, x=00)", t.t_lambda0_case_b, p.t_lambda0_case_b, "")
+        crate::compare_line(
+            "T(λ0) case B (z=110, x=00)",
+            t.t_lambda0_case_b,
+            p.t_lambda0_case_b,
+            ""
+        )
     );
     println!(
         "{}",
-        crate::compare_line("received case A", t.received_case_a_mw, p.received_case_a_mw, "mW")
+        crate::compare_line(
+            "received case A",
+            t.received_case_a_mw,
+            p.received_case_a_mw,
+            "mW"
+        )
     );
     println!(
         "{}",
-        crate::compare_line("received case B", t.received_case_b_mw, p.received_case_b_mw, "mW")
+        crate::compare_line(
+            "received case B",
+            t.received_case_b_mw,
+            p.received_case_b_mw,
+            "mW"
+        )
     );
     println!(
         "{}",
@@ -75,7 +94,12 @@ pub fn print(report: &Exp0Report) {
     );
     println!(
         "{}",
-        crate::compare_line("required extinction ratio", 13.22, report.required_er_db, "dB")
+        crate::compare_line(
+            "required extinction ratio",
+            13.22,
+            report.required_er_db,
+            "dB"
+        )
     );
 }
 

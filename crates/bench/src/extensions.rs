@@ -12,10 +12,9 @@ use osc_transient::engine::{TimingConfig, TransientSimulator};
 use osc_transient::eye::{sampling_window, scan_offsets, window_width_seconds, ThresholdMode};
 use osc_transient::tradeoff::{rate_sweep, RatePoint};
 use osc_units::{Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// EXP-X report: all extension studies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtensionsReport {
     /// PIN minimum probe power at BER 1e-6, mW.
     pub pin_probe_mw: f64,
@@ -41,8 +40,8 @@ fn window_ps(pulsed: bool) -> f64 {
         samples_per_bit: 128,
         ..TimingConfig::default()
     };
-    let sim = TransientSimulator::new(CircuitParams::paper_fig5(), timing)
-        .expect("paper params build");
+    let sim =
+        TransientSimulator::new(CircuitParams::paper_fig5(), timing).expect("paper params build");
     let mut sng = XoshiroSng::new(3);
     let len = 96;
     let data: Vec<BitStream> = (0..2)
@@ -53,7 +52,13 @@ fn window_ps(pulsed: bool) -> f64 {
         .collect();
     let trace = sim.run(&data, &coeffs).expect("streams consistent");
     let mut rng = Xoshiro256PlusPlus::new(5);
-    let pts = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 128, &mut rng);
+    let pts = scan_offsets(
+        &trace,
+        ThresholdMode::Trained,
+        Milliwatts::ZERO,
+        128,
+        &mut rng,
+    );
     sampling_window(&pts, 0.02)
         .map(|w| window_width_seconds(w, trace.bit_period) * 1e12)
         .unwrap_or(0.0)
@@ -98,8 +103,8 @@ pub fn run() -> ExtensionsReport {
 
     // Rate sweep.
     let mut sng = XoshiroSng::new(21);
-    let rate_points = rate_sweep(&params, &[1.0, 4.0, 10.0, 20.0], 48, &mut sng, 9)
-        .expect("rates feasible");
+    let rate_points =
+        rate_sweep(&params, &[1.0, 4.0, 10.0, 20.0], 48, &mut sng, 9).expect("rates feasible");
 
     ExtensionsReport {
         pin_probe_mw: pin_probe.as_mw(),

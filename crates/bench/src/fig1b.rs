@@ -7,10 +7,9 @@
 use osc_stochastic::polynomial::Polynomial;
 use osc_stochastic::resc::ReScUnit;
 use osc_stochastic::sng::XoshiroSng;
-use serde::{Deserialize, Serialize};
 
 /// Record of the Fig. 1(b) example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1bReport {
     /// Bernstein coefficients derived from the power form.
     pub bernstein_coeffs: Vec<f64>,

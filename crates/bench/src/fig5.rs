@@ -4,10 +4,9 @@
 use osc_core::architecture::{OpticalScCircuit, PowerBands};
 use osc_core::params::CircuitParams;
 use osc_core::transmission::TransmissionModel;
-use serde::{Deserialize, Serialize};
 
 /// Spectra for one Fig. 5 case.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpectraReport {
     /// Input description.
     pub label: String,
@@ -42,16 +41,26 @@ fn spectra_case(label: &str, z: [bool; 3], x: [bool; 2], points: usize) -> Spect
 
 /// EXP-5A: z = (0,1,0), x1 = x2 = 1 (filter on λ2).
 pub fn run_fig5a() -> SpectraReport {
-    spectra_case("z=(0,1,0), x=(1,1)", [false, true, false], [true, true], 121)
+    spectra_case(
+        "z=(0,1,0), x=(1,1)",
+        [false, true, false],
+        [true, true],
+        121,
+    )
 }
 
 /// EXP-5B: z = (1,1,0), x1 = x2 = 0 (filter on λ0).
 pub fn run_fig5b() -> SpectraReport {
-    spectra_case("z=(1,1,0), x=(0,0)", [true, true, false], [false, false], 121)
+    spectra_case(
+        "z=(1,1,0), x=(0,0)",
+        [true, true, false],
+        [false, false],
+        121,
+    )
 }
 
 /// EXP-5C: the exhaustive received-power table and its 0/1 bands.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5cReport {
     /// One row per (x, z) combination.
     pub rows: Vec<Fig5cRow>,
@@ -62,7 +71,7 @@ pub struct Fig5cReport {
 }
 
 /// One input combination of the Fig. 5(c) sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5cRow {
     /// Data word rendered as `x2x1`.
     pub x_label: String,
@@ -87,11 +96,7 @@ pub fn run_fig5c() -> Fig5cReport {
     let rows = table
         .iter()
         .map(|r| Fig5cRow {
-            x_label: format!(
-                "{}{}",
-                u8::from(r.x_bits[1]),
-                u8::from(r.x_bits[0])
-            ),
+            x_label: format!("{}{}", u8::from(r.x_bits[1]), u8::from(r.x_bits[0])),
             z_label: format!(
                 "{}{}{}",
                 u8::from(r.z_bits[2]),
@@ -174,7 +179,15 @@ mod tests {
         assert_eq!(r.rows.len(), 32);
         assert!(r.one_band_mw.0 > r.zero_band_mw.1);
         // Bands near the paper's ranges.
-        assert!((r.zero_band_mw.0 - 0.092).abs() < 0.02, "{:?}", r.zero_band_mw);
-        assert!((r.one_band_mw.1 - 0.482).abs() < 0.03, "{:?}", r.one_band_mw);
+        assert!(
+            (r.zero_band_mw.0 - 0.092).abs() < 0.02,
+            "{:?}",
+            r.zero_band_mw
+        );
+        assert!(
+            (r.one_band_mw.1 - 0.482).abs() < 0.03,
+            "{:?}",
+            r.one_band_mw
+        );
     }
 }

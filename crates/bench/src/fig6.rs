@@ -6,10 +6,9 @@ use osc_core::design::space::{
 };
 use osc_photonics::devices;
 use osc_units::DbRatio;
-use serde::{Deserialize, Serialize};
 
 /// EXP-6A report: the (IL, ER) grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6aReport {
     /// Grid cells, row-major (IL outer).
     pub cells: Vec<GridCell>,
@@ -36,7 +35,7 @@ pub fn run_fig6a() -> Fig6aReport {
 }
 
 /// EXP-6B report: probe power vs BER target (Xiao MZI).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6bReport {
     /// Sweep points.
     pub points: Vec<BerSweepPoint>,
@@ -65,7 +64,7 @@ pub fn run_fig6b() -> Fig6bReport {
 }
 
 /// EXP-6C report: the literature device comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6cReport {
     /// One entry per device bar of Fig. 6(c).
     pub points: Vec<DevicePoint>,
@@ -100,7 +99,12 @@ pub fn print_fig6a(report: &Fig6aReport) {
     crate::print_table(&["IL dB", "ER dB", "probe mW", "spacing nm"], &rows);
     println!(
         "{}",
-        crate::compare_line("Xiao et al. point (IL 6.5, ER 7.5)", 0.26, report.xiao_probe_mw, "mW")
+        crate::compare_line(
+            "Xiao et al. point (IL 6.5, ER 7.5)",
+            0.26,
+            report.xiao_probe_mw,
+            "mW"
+        )
     );
 }
 
@@ -120,7 +124,12 @@ pub fn print_fig6b(report: &Fig6bReport) {
     crate::print_table(&["target BER", "probe mW"], &rows);
     println!(
         "{}",
-        crate::compare_line("power ratio 1e-2 vs 1e-6", 0.50, report.relaxation_ratio, "")
+        crate::compare_line(
+            "power ratio 1e-2 vs 1e-6",
+            0.50,
+            report.relaxation_ratio,
+            ""
+        )
     );
 }
 
@@ -169,7 +178,11 @@ mod tests {
     #[test]
     fn fig6b_fifty_percent_reduction() {
         let r = run_fig6b();
-        assert!((r.relaxation_ratio - 0.489).abs() < 0.02, "{}", r.relaxation_ratio);
+        assert!(
+            (r.relaxation_ratio - 0.489).abs() < 0.02,
+            "{}",
+            r.relaxation_ratio
+        );
         // Monotone increase with tighter BER.
         for w in r.points.windows(2) {
             assert!(w[1].min_probe_power > w[0].min_probe_power);

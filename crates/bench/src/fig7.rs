@@ -5,11 +5,12 @@
 //! degree; ≈20.1 pJ/bit for the 2nd-order circuit at the optimum;
 //! ≈76.6% saving vs. the 1 nm plan; ≈600 pJ/bit at order 16 with 1 nm.
 
-use osc_core::energy::{scaling_study, EnergyAssumptions, EnergyBreakdown, EnergyModel, ScalingPoint};
-use serde::{Deserialize, Serialize};
+use osc_core::energy::{
+    scaling_study, EnergyAssumptions, EnergyBreakdown, EnergyModel, ScalingPoint,
+};
 
 /// EXP-7A report: energy vs wavelength spacing per order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7aReport {
     /// Orders swept (2, 4, 6 in the paper).
     pub orders: Vec<usize>,
@@ -45,7 +46,7 @@ pub fn run_fig7a() -> Fig7aReport {
 }
 
 /// EXP-7B report: energy vs order at 1 nm and optimal spacing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7bReport {
     /// One point per order (2, 4, 8, 12, 16 in the paper).
     pub points: Vec<ScalingPoint>,
@@ -59,15 +60,13 @@ pub struct Fig7bReport {
 ///
 /// Panics if a design point is infeasible (library invariant).
 pub fn run_fig7b() -> Fig7bReport {
-    let points = scaling_study(
-        &[2, 4, 8, 12, 16],
-        EnergyAssumptions::default(),
-        0.1,
-        0.6,
-    )
-    .expect("all orders feasible");
-    let mean_saving =
-        points.iter().map(ScalingPoint::saving_fraction).sum::<f64>() / points.len() as f64;
+    let points = scaling_study(&[2, 4, 8, 12, 16], EnergyAssumptions::default(), 0.1, 0.6)
+        .expect("all orders feasible");
+    let mean_saving = points
+        .iter()
+        .map(ScalingPoint::saving_fraction)
+        .sum::<f64>()
+        / points.len() as f64;
     Fig7bReport {
         points,
         mean_saving,
@@ -76,7 +75,9 @@ pub fn run_fig7b() -> Fig7bReport {
 
 /// Prints EXP-7A.
 pub fn print_fig7a(report: &Fig7aReport) {
-    println!("EXP-7A  laser energy per bit vs wavelength spacing (1 Gb/s, 26 ps pump pulses, η = 20%)");
+    println!(
+        "EXP-7A  laser energy per bit vs wavelength spacing (1 Gb/s, 26 ps pump pulses, η = 20%)"
+    );
     for (n, curve) in report.orders.iter().zip(&report.curves) {
         println!("  order n = {n}:");
         let rows: Vec<Vec<String>> = curve
@@ -168,11 +169,7 @@ mod tests {
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
                 (lo.min(s), hi.max(s))
             });
-        assert!(
-            spread.1 - spread.0 < 0.05,
-            "optima spread {:?}",
-            spread
-        );
+        assert!(spread.1 - spread.0 < 0.05, "optima spread {:?}", spread);
     }
 
     #[test]

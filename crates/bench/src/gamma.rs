@@ -8,10 +8,9 @@ use osc_apps::gamma_app::{paper_gamma_polynomial, run_gamma, GammaRunReport};
 use osc_apps::image::Image;
 use osc_core::params::CircuitParams;
 use osc_units::Nanometers;
-use serde::{Deserialize, Serialize};
 
 /// EXP-G report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GammaReport {
     /// Per-backend quality/throughput reports.
     pub runs: Vec<GammaRunReport>,
@@ -45,8 +44,7 @@ pub fn run() -> GammaReport {
         run_gamma(&image, &mut electronic).expect("electronic run"),
         run_gamma(&image, &mut optical).expect("optical run"),
     ];
-    let speedup =
-        throughput_evals_per_second(&optical) / throughput_evals_per_second(&electronic);
+    let speedup = throughput_evals_per_second(&optical) / throughput_evals_per_second(&electronic);
     GammaReport { runs, speedup }
 }
 

@@ -1,0 +1,233 @@
+//! EXP-K: word-parallel kernel speedups, pinned before/after.
+//!
+//! Measures the seed per-bit implementations (kept as `*_bitwise` /
+//! `*_reference` twins) against the word-parallel fast paths shipped by
+//! the packed-`u64` rewrite, on the workloads the acceptance criteria
+//! name: the order-2 Fig. 5 circuit at 16384-bit streams and a
+//! 64×64-pixel gamma-correction image. The `bench_kernels` binary emits
+//! the report as `BENCH_kernels.json` so the perf trajectory is tracked
+//! from this change onward.
+
+use crate::microbench::Harness;
+use osc_core::batch::BatchEvaluator;
+use osc_core::params::CircuitParams;
+use osc_core::system::OpticalScSystem;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::resc::ReScUnit;
+use osc_stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
+use osc_units::Nanometers;
+use std::time::Duration;
+
+/// One before/after pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelComparison {
+    /// Workload name.
+    pub name: String,
+    /// Seed per-bit path, median ns per iteration.
+    pub baseline_ns: f64,
+    /// Word-parallel path, median ns per iteration.
+    pub optimized_ns: f64,
+}
+
+impl KernelComparison {
+    /// Baseline over optimized.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimized_ns
+    }
+}
+
+/// EXP-K report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelsReport {
+    /// All measured pairs.
+    pub comparisons: Vec<KernelComparison>,
+}
+
+fn compare(
+    harness: &mut Harness,
+    name: &str,
+    baseline: impl FnMut() -> f64,
+    optimized: impl FnMut() -> f64,
+) -> KernelComparison {
+    let mut baseline = baseline;
+    let mut optimized = optimized;
+    let b = harness
+        .bench_function(&format!("{name}/per_bit_baseline"), |ben| {
+            ben.iter(&mut baseline)
+        })
+        .expect("unfiltered harness");
+    let o = harness
+        .bench_function(&format!("{name}/word_parallel"), |ben| {
+            ben.iter(&mut optimized)
+        })
+        .expect("unfiltered harness");
+    KernelComparison {
+        name: name.to_string(),
+        baseline_ns: b.median_ns,
+        optimized_ns: o.median_ns,
+    }
+}
+
+/// Runs every kernel comparison with the given per-measurement budget.
+///
+/// # Panics
+///
+/// Panics if the shipped circuit configurations fail to build (library
+/// invariant).
+pub fn run(budget_ms: u64) -> KernelsReport {
+    let mut harness = Harness::with_budget("kernels", Duration::from_millis(budget_ms));
+    let mut comparisons = Vec::new();
+
+    // SNG stream generation, 16384 bits.
+    let mut sng_b = XoshiroSng::new(7);
+    let mut sng_o = XoshiroSng::new(7);
+    comparisons.push(compare(
+        &mut harness,
+        "sng_xoshiro_16384",
+        move || sng_b.generate_bitwise(0.37, 16_384).unwrap().value(),
+        move || sng_o.generate(0.37, 16_384).unwrap().value(),
+    ));
+
+    // Electronic ReSC datapath (adder + mux), degree 3, 16384 bits.
+    let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+    let mut gen = XoshiroSng::new(5);
+    let (data, coeffs) = unit.generate_streams(0.5, 16_384, &mut gen).unwrap();
+    let unit_b = unit.clone();
+    let (data_b, coeffs_b) = (data.clone(), coeffs.clone());
+    comparisons.push(compare(
+        &mut harness,
+        "resc_mux_16384",
+        move || {
+            unit_b
+                .run_streams_bitwise(&data_b, &coeffs_b)
+                .unwrap()
+                .value()
+        },
+        move || unit.run_streams(&data, &coeffs).unwrap().value(),
+    ));
+
+    // The acceptance workload: order-2 Fig. 5 circuit, 16384-bit streams.
+    let system = OpticalScSystem::new(
+        CircuitParams::paper_fig5(),
+        BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+    )
+    .expect("fig5 circuit builds");
+    let system_b = system.clone();
+    let mut sng_b = XoshiroSng::new(11);
+    let mut rng_b = Xoshiro256PlusPlus::new(12);
+    let mut sng_o = XoshiroSng::new(11);
+    let mut rng_o = Xoshiro256PlusPlus::new(12);
+    comparisons.push(compare(
+        &mut harness,
+        "optical_evaluate_order2_16384",
+        move || {
+            system_b
+                .evaluate_reference(0.5, 16_384, &mut sng_b, &mut rng_b)
+                .unwrap()
+                .estimate
+        },
+        move || {
+            system
+                .evaluate(0.5, 16_384, &mut sng_o, &mut rng_o)
+                .unwrap()
+                .estimate
+        },
+    ));
+
+    // The acceptance workload: 64×64-pixel gamma correction on the
+    // 6th-order optical circuit.
+    let poly = osc_apps::gamma_app::paper_gamma_polynomial().expect("gamma fit");
+    let image = osc_apps::image::Image::blobs(64, 64);
+    let stream = 512usize;
+    let params = CircuitParams::paper_fig7(6, Nanometers::new(0.165));
+    let gamma_system =
+        OpticalScSystem::new(params, poly.clone()).expect("6th-order circuit builds");
+    let image_b = image.clone();
+    let mut sng_b = XoshiroSng::new(13);
+    let mut rng_b = Xoshiro256PlusPlus::new(14);
+    let backend = osc_apps::backend::OpticalBackend::new(params, poly, stream, 13)
+        .expect("6th-order circuit builds");
+    let evaluator = BatchEvaluator::new();
+    comparisons.push(compare(
+        &mut harness,
+        "gamma_64x64_order6",
+        move || {
+            // Seed path: sequential per-pixel loop over the frozen
+            // per-bit implementation.
+            let mut acc = 0.0;
+            for &p in image_b.pixels() {
+                acc += gamma_system
+                    .evaluate_reference(p, stream, &mut sng_b, &mut rng_b)
+                    .unwrap()
+                    .estimate;
+            }
+            acc
+        },
+        move || {
+            // Ported pipeline: word-parallel kernel fanned across the
+            // batch evaluator's workers.
+            osc_apps::gamma_app::apply_backend_par(&image, &backend, &evaluator)
+                .unwrap()
+                .pixels()
+                .iter()
+                .sum()
+        },
+    ));
+
+    harness.finish();
+    KernelsReport { comparisons }
+}
+
+/// Prints EXP-K.
+pub fn print(report: &KernelsReport) {
+    println!("EXP-K  word-parallel kernel speedups (per-bit seed path vs packed-u64 path)");
+    let rows: Vec<Vec<String>> = report
+        .comparisons
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("{:.0}", c.baseline_ns),
+                format!("{:.0}", c.optimized_ns),
+                format!("{:.2}x", c.speedup()),
+            ]
+        })
+        .collect();
+    crate::print_table(&["kernel", "per-bit ns", "word ns", "speedup"], &rows);
+}
+
+/// Renders the report as JSON (`BENCH_kernels.json` schema).
+pub fn to_json(report: &KernelsReport) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, c) in report.comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.3}, \"optimized_ns\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.baseline_ns,
+            c.optimized_ns,
+            c.speedup(),
+            if i + 1 < report.comparisons.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_comparisons() {
+        // Tiny budget: correctness of the plumbing, not timing quality.
+        let r = run(1);
+        assert_eq!(r.comparisons.len(), 4);
+        for c in &r.comparisons {
+            assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
+        }
+        let json = to_json(&r);
+        assert!(json.contains("optical_evaluate_order2_16384"));
+        assert!(json.contains("gamma_64x64_order6"));
+    }
+}

@@ -28,6 +28,8 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod gamma;
+pub mod kernels;
+pub mod microbench;
 
 /// Renders a labelled `paper vs measured` comparison line.
 pub fn compare_line(label: &str, paper: f64, measured: f64, unit: &str) -> String {
@@ -36,7 +38,9 @@ pub fn compare_line(label: &str, paper: f64, measured: f64, unit: &str) -> Strin
     } else {
         "n/a".to_string()
     };
-    format!("  {label:<44} paper {paper:>10.4} {unit:<6} measured {measured:>10.4} {unit:<6} ({rel})")
+    format!(
+        "  {label:<44} paper {paper:>10.4} {unit:<6} measured {measured:>10.4} {unit:<6} ({rel})"
+    )
 }
 
 /// Simple fixed-width table printer for experiment outputs.

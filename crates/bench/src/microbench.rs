@@ -1,0 +1,229 @@
+//! Minimal wall-clock benchmark harness (`std::time` only).
+//!
+//! The container builds fully offline, so criterion is unavailable; this
+//! module provides the slice of its API the workspace benches need —
+//! named benchmarks with warmup, adaptive batching and a median-of-batches
+//! estimate — behind `harness = false` bench targets. Run with
+//!
+//! ```text
+//! cargo bench -p osc-bench                       # all benches
+//! cargo bench -p osc-bench --bench stochastic_kernels -- sng   # filter
+//! MICROBENCH_MS=50 cargo bench -p osc-bench      # CI smoke budget
+//! ```
+//!
+//! Results print as `name  median ns/iter (iters)` rows; [`Harness::json`]
+//! renders them as a JSON object for trend tracking (`BENCH_kernels.json`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name (slash-separated groups by convention).
+    pub name: String,
+    /// Median batch time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum batch time per iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Total iterations executed across measured batches.
+    pub iterations: u64,
+}
+
+/// Iteration driver handed to each benchmark closure.
+pub struct Bencher {
+    batch_sizes: Vec<u64>,
+    batch_ns: Vec<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, calling it repeatedly until the measurement budget is
+    /// spent. The return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: find a batch size lasting ~1/10 budget.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget / 10 || batch >= 1 << 40 {
+                break;
+            }
+            // Grow toward the target in one or two steps.
+            let grow = (self.budget.as_secs_f64() / 10.0 / elapsed.as_secs_f64().max(1e-9))
+                .clamp(2.0, 1e6);
+            batch = (batch as f64 * grow).ceil() as u64;
+        }
+        // Measured batches until the budget is consumed.
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.batch_sizes.push(batch);
+            self.batch_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks with filtering and reporting.
+pub struct Harness {
+    target: String,
+    filter: Option<String>,
+    budget: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates a harness for a bench target, reading the CLI filter
+    /// (cargo passes `--bench` plus an optional substring filter) and the
+    /// `MICROBENCH_MS` per-benchmark budget override (default 300 ms).
+    pub fn from_env(target: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let budget_ms = std::env::var("MICROBENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300)
+            .max(1);
+        println!("== bench target: {target} (budget {budget_ms} ms/benchmark)");
+        Harness {
+            target: target.to_string(),
+            filter,
+            budget: Duration::from_millis(budget_ms),
+            results: Vec::new(),
+        }
+    }
+
+    /// Explicit constructor for programmatic use (the kernels runner).
+    pub fn with_budget(target: &str, budget: Duration) -> Self {
+        Harness {
+            target: target.to_string(),
+            filter: None,
+            budget,
+            results: Vec::new(),
+        }
+    }
+
+    /// The bench target name.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Runs one named benchmark (skipped unless it matches the filter)
+    /// and returns the measurement when it ran.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> Option<Measurement> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let mut bencher = Bencher {
+            batch_sizes: Vec::new(),
+            batch_ns: Vec::new(),
+            budget: self.budget,
+        };
+        f(&mut bencher);
+        assert!(
+            !bencher.batch_ns.is_empty(),
+            "benchmark {name} never called Bencher::iter"
+        );
+        let mut sorted = bencher.batch_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: sorted[0],
+            iterations: bencher.batch_sizes.iter().sum(),
+        };
+        println!(
+            "{:<52} {:>14.1} ns/iter  ({} iters)",
+            m.name, m.median_ns, m.iterations
+        );
+        self.results.push(m.clone());
+        Some(m)
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Renders the measurements as a JSON object (hand-rolled writer; the
+    /// offline build has no serde).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"target\": \"{}\",\n", self.target));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.3}, \"min_ns\": {:.3}, \"iterations\": {}}}{}\n",
+                m.name,
+                m.median_ns,
+                m.min_ns,
+                m.iterations,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Prints the closing summary line.
+    pub fn finish(&self) {
+        println!(
+            "== {}: {} benchmarks measured",
+            self.target,
+            self.results.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut h = Harness::with_budget("test", Duration::from_millis(5));
+        let m = h
+            .bench_function("noop_add", |b| {
+                let mut acc = 0u64;
+                b.iter(|| {
+                    acc = acc.wrapping_add(1);
+                    acc
+                })
+            })
+            .expect("no filter set");
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.iterations > 0);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut h = Harness::with_budget("t", Duration::from_millis(2));
+        h.bench_function("a/b", |b| b.iter(|| 1 + 1));
+        let json = h.json();
+        assert!(json.contains("\"target\": \"t\""));
+        assert!(json.contains("\"name\": \"a/b\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

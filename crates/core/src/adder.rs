@@ -133,9 +133,7 @@ mod tests {
         let p01 = a.control_power(&[false, true]).unwrap();
         let p10 = a.control_power(&[true, false]).unwrap();
         assert!((p01.as_mw() - p10.as_mw()).abs() < 1e-12);
-        assert!(
-            (p01.as_mw() - a.control_power_for_count(1).as_mw()).abs() < 1e-12
-        );
+        assert!((p01.as_mw() - a.control_power_for_count(1).as_mw()).abs() < 1e-12);
     }
 
     #[test]

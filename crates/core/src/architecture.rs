@@ -5,10 +5,9 @@ use crate::transmission::TransmissionModel;
 use crate::{params::CircuitParams, CircuitError};
 use osc_photonics::detector::Photodetector;
 use osc_units::Milliwatts;
-use serde::{Deserialize, Serialize};
 
 /// One row of the exhaustive received-power table (paper Fig. 5(c)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerLevelRow {
     /// Data word `x_1 … x_n`.
     pub x_bits: Vec<bool>,
@@ -24,7 +23,7 @@ pub struct PowerLevelRow {
 
 /// Min/max received power for each logical level (the separation that
 /// makes optical de-randomizing possible).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerBands {
     /// Lowest received power while transmitting a 0.
     pub zero_min: Milliwatts,

@@ -1,0 +1,312 @@
+//! Batched, multi-threaded evaluation of many stochastic runs.
+//!
+//! The paper's Section V.C scale-out argument is spatial: many identical
+//! optical lanes working on independent stream segments. This module is
+//! the software mirror of that argument — a [`BatchEvaluator`] fans a set
+//! of independent evaluations (many `x` values, many seeds, many image
+//! pixels) across OS threads with work stealing, while keeping results
+//! **bit-reproducible regardless of thread count**.
+//!
+//! # Determinism contract
+//!
+//! Every work item `i` derives its own RNG universe from
+//! [`mix_seed`]`(seed, i)` — a SplitMix64-style avalanche of the batch
+//! seed and the item index — so the value computed for item `i` depends
+//! only on `(seed, i)`, never on which worker ran it or how the batch was
+//! chunked. The property tests pin `threads = 1` against `threads = N`.
+//!
+//! Within one process the evaluator uses plain `std::thread::scope`
+//! workers pulling chunk indices from an atomic counter: no external
+//! dependencies, no pool to shut down, and the same work-stealing shape a
+//! rayon `par_iter` would give for these embarrassingly parallel loads.
+
+use crate::system::{OpticalRun, OpticalScSystem};
+use crate::CircuitError;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::sng::StochasticNumberGenerator;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Mixes a batch seed with a work-item index into an independent stream
+/// seed (SplitMix64 finalizer — full avalanche, so neighbouring indices
+/// share no low-bit structure the way `seed ^ (i << 32)` did).
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A work-stealing parallel evaluator with a fixed thread budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvaluator {
+    threads: usize,
+}
+
+impl Default for BatchEvaluator {
+    fn default() -> Self {
+        BatchEvaluator::new()
+    }
+}
+
+impl BatchEvaluator {
+    /// Creates an evaluator sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BatchEvaluator { threads }
+    }
+
+    /// Creates an evaluator with an explicit thread count (`0` is treated
+    /// as `1`). Results are identical for every choice — only wall-clock
+    /// changes.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchEvaluator {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Deterministic indexed parallel map: applies `f(i, &items[i])` for
+    /// every item and returns results in input order. `f` must derive any
+    /// randomness it needs from `i` (e.g. via [`mix_seed`]) for the
+    /// thread-count-independence contract to hold.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        // Chunked work stealing: workers claim small index ranges from a
+        // shared counter, so a slow item does not stall the batch the way
+        // a static split would.
+        let chunk = (n / (workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for (i, item) in items.iter().enumerate().skip(start).take(chunk) {
+                            local.push((i, f(i, item)));
+                        }
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                tagged.extend(h.join().expect("batch worker panicked"));
+            }
+        });
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(tagged.len(), n);
+        tagged.into_iter().map(|(_, u)| u).collect()
+    }
+
+    /// Evaluates the system at every `x` in `xs`, each run on independent
+    /// SNG/noise streams derived from `(seed, index)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure (by index order).
+    pub fn evaluate_many<S, F>(
+        &self,
+        system: &OpticalScSystem,
+        xs: &[f64],
+        stream_length: usize,
+        sng_factory: F,
+        seed: u64,
+    ) -> Result<Vec<OpticalRun>, CircuitError>
+    where
+        S: StochasticNumberGenerator,
+        F: Fn(u64) -> S + Sync,
+    {
+        self.par_map(xs, |i, &x| {
+            let item_seed = mix_seed(seed, i as u64);
+            let mut sng = sng_factory(item_seed);
+            let mut rng = Xoshiro256PlusPlus::new(mix_seed(item_seed, 0x0A11_D1CE));
+            system.evaluate(x, stream_length, &mut sng, &mut rng)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Evaluates one `x` across many independent seeds — the Monte-Carlo
+    /// replication loop of the accuracy studies, batched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure (by index order).
+    pub fn evaluate_seeds<S, F>(
+        &self,
+        system: &OpticalScSystem,
+        x: f64,
+        stream_length: usize,
+        sng_factory: F,
+        seeds: &[u64],
+    ) -> Result<Vec<OpticalRun>, CircuitError>
+    where
+        S: StochasticNumberGenerator,
+        F: Fn(u64) -> S + Sync,
+    {
+        self.par_map(seeds, |_, &seed| {
+            let mut sng = sng_factory(seed);
+            let mut rng = Xoshiro256PlusPlus::new(mix_seed(seed, 0x0A11_D1CE));
+            system.evaluate(x, stream_length, &mut sng, &mut rng)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Sweeps the polynomial over `[0, 1]` on `points` equally spaced
+    /// inputs — the batched port of [`OpticalScSystem::transfer_curve`],
+    /// returning the same `(x, estimate, exact)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn transfer_curve<S, F>(
+        &self,
+        system: &OpticalScSystem,
+        points: usize,
+        stream_length: usize,
+        sng_factory: F,
+        seed: u64,
+    ) -> Result<Vec<(f64, f64, f64)>, CircuitError>
+    where
+        S: StochasticNumberGenerator,
+        F: Fn(u64) -> S + Sync,
+    {
+        let xs: Vec<f64> = (0..points)
+            .map(|i| i as f64 / (points - 1).max(1) as f64)
+            .collect();
+        let runs = self.evaluate_many(system, &xs, stream_length, sng_factory, seed)?;
+        Ok(xs
+            .into_iter()
+            .zip(runs)
+            .map(|(x, run)| (x, run.estimate, run.exact))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CircuitParams;
+    use osc_stochastic::bernstein::BernsteinPoly;
+    use osc_stochastic::sng::XoshiroSng;
+
+    fn system() -> OpticalScSystem {
+        OpticalScSystem::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_indices() {
+        // Consecutive indices must not share obvious structure; a weak mix
+        // like seed ^ (i << 32) leaves the low 32 bits constant.
+        let a = mix_seed(42, 0);
+        let b = mix_seed(42, 1);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF, "low bits must differ");
+        // And different base seeds diverge for the same index.
+        assert_ne!(mix_seed(1, 7), mix_seed(2, 7));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = BatchEvaluator::with_threads(4).par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let ev = BatchEvaluator::with_threads(8);
+        assert!(ev.par_map(&[] as &[u8], |_, _| 0).is_empty());
+        assert_eq!(ev.par_map(&[5u8], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let s = system();
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 19.0).collect();
+        let mut previous: Option<Vec<OpticalRun>> = None;
+        for threads in [1usize, 2, 3, 8] {
+            let ev = BatchEvaluator::with_threads(threads);
+            let runs = ev
+                .evaluate_many(&s, &xs, 2048, XoshiroSng::new, 99)
+                .unwrap();
+            if let Some(prev) = &previous {
+                assert_eq!(prev, &runs, "threads={threads} changed the results");
+            }
+            previous = Some(runs);
+        }
+    }
+
+    #[test]
+    fn evaluate_seeds_replicates_independently() {
+        let s = system();
+        let seeds: Vec<u64> = (0..8).collect();
+        let ev = BatchEvaluator::with_threads(2);
+        let runs = ev
+            .evaluate_seeds(&s, 0.5, 4096, XoshiroSng::new, &seeds)
+            .unwrap();
+        assert_eq!(runs.len(), 8);
+        // Distinct seeds must give distinct estimates at least once.
+        assert!(runs.windows(2).any(|w| w[0].estimate != w[1].estimate));
+        for run in &runs {
+            assert!(run.abs_error() < 0.05, "error {}", run.abs_error());
+        }
+    }
+
+    #[test]
+    fn transfer_curve_tracks_polynomial() {
+        let s = system();
+        let curve = BatchEvaluator::with_threads(3)
+            .transfer_curve(&s, 9, 8192, XoshiroSng::new, 7)
+            .unwrap();
+        assert_eq!(curve.len(), 9);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[8].0, 1.0);
+        for (x, est, exact) in curve {
+            assert!((est - exact).abs() < 0.05, "x={x}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn invalid_x_surfaces_error() {
+        let s = system();
+        let err =
+            BatchEvaluator::with_threads(2).evaluate_many(&s, &[0.5, 1.5], 64, XoshiroSng::new, 1);
+        assert!(err.is_err());
+    }
+}

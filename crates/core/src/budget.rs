@@ -13,10 +13,9 @@ use crate::CircuitError;
 use osc_photonics::bpf::BandPassFilter;
 use osc_photonics::waveguide::Waveguide;
 use osc_units::DbRatio;
-use serde::{Deserialize, Serialize};
 
 /// One itemized entry of a loss budget.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetItem {
     /// What the loss is attributed to.
     pub stage: String,
@@ -25,7 +24,7 @@ pub struct BudgetItem {
 }
 
 /// A complete loss budget for one signal path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LossBudget {
     /// Itemized stages, in propagation order.
     pub items: Vec<BudgetItem>,
@@ -46,7 +45,7 @@ impl LossBudget {
 }
 
 /// Routing assumptions for the budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoutingAssumptions {
     /// Waveguide length between consecutive devices, mm.
     pub inter_device_mm: f64,
@@ -94,7 +93,11 @@ pub fn probe_path_budget(
         items.push(BudgetItem {
             stage: format!(
                 "MRR modulator {w} ({})",
-                if z[w] { "own channel, ON" } else { "crosstalk, OFF" }
+                if z[w] {
+                    "own channel, ON"
+                } else {
+                    "crosstalk, OFF"
+                }
             ),
             loss_db: -10.0 * t.log10(),
         });

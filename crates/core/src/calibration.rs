@@ -24,10 +24,9 @@ use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
 use crate::transmission::TransmissionModel;
 use osc_math::optimize::NelderMead;
 use osc_units::Nanometers;
-use serde::{Deserialize, Serialize};
 
 /// The Section V.A reference operating points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig5Targets {
     /// T(λ2) with z=(0,1,0), x=(1,1).
     pub t_lambda2_case_a: f64,
@@ -105,7 +104,7 @@ pub fn residual(pred: &Fig5Targets, target: &Fig5Targets) -> f64 {
 }
 
 /// Result of a calibration run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationResult {
     /// Fitted modulator template.
     pub modulator: ModulatorTemplate,
@@ -219,10 +218,22 @@ mod tests {
         let pred = predict(&CircuitParams::paper_fig5()).unwrap();
         let t = Fig5Targets::paper();
         let rel = |p: f64, t: f64| (p - t).abs() / t;
-        assert!(rel(pred.t_lambda2_case_a, t.t_lambda2_case_a) < 0.3, "{pred:?}");
-        assert!(rel(pred.t_lambda0_case_b, t.t_lambda0_case_b) < 0.3, "{pred:?}");
-        assert!(rel(pred.received_case_a_mw, t.received_case_a_mw) < 0.3, "{pred:?}");
-        assert!(rel(pred.received_case_b_mw, t.received_case_b_mw) < 0.3, "{pred:?}");
+        assert!(
+            rel(pred.t_lambda2_case_a, t.t_lambda2_case_a) < 0.3,
+            "{pred:?}"
+        );
+        assert!(
+            rel(pred.t_lambda0_case_b, t.t_lambda0_case_b) < 0.3,
+            "{pred:?}"
+        );
+        assert!(
+            rel(pred.received_case_a_mw, t.received_case_a_mw) < 0.3,
+            "{pred:?}"
+        );
+        assert!(
+            rel(pred.received_case_b_mw, t.received_case_b_mw) < 0.3,
+            "{pred:?}"
+        );
     }
 
     #[test]

@@ -18,10 +18,9 @@ use crate::architecture::OpticalScCircuit;
 use crate::params::CircuitParams;
 use crate::CircuitError;
 use osc_units::{Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// A thermal drift process applied to the whole chip.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalDrift {
     /// Resonance sensitivity, nm per Kelvin (≈0.08 nm/K for silicon).
     pub nm_per_kelvin: f64,
@@ -49,7 +48,7 @@ impl ThermalDrift {
 }
 
 /// One epoch of the closed-loop record.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControlEpoch {
     /// Epoch index.
     pub epoch: usize,
@@ -211,15 +210,9 @@ mod tests {
             .iter()
             .map(|r| r.residual_nm.abs())
             .fold(0.0, f64::max);
-        assert!(
-            late_worst <= 0.05,
-            "late worst residual {late_worst} nm"
-        );
+        assert!(late_worst <= 0.05, "late worst residual {late_worst} nm");
         // The drift itself is much bigger than the residual.
-        let drift_peak = record
-            .iter()
-            .map(|r| r.drift_nm.abs())
-            .fold(0.0, f64::max);
+        let drift_peak = record.iter().map(|r| r.drift_nm.abs()).fold(0.0, f64::max);
         assert!(drift_peak > 0.07);
     }
 

@@ -15,10 +15,9 @@ use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
 use crate::snr::SnrModel;
 use crate::CircuitError;
 use osc_units::{DbRatio, Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// Inputs of the MRR-first method.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MrrFirstInputs {
     /// Polynomial order `n`.
     pub order: usize,
@@ -55,7 +54,7 @@ impl MrrFirstInputs {
 }
 
 /// Outputs of the MRR-first method.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MrrFirstDesign {
     /// The derived probe wavelengths `λ_0 … λ_n`.
     pub channels: Vec<Nanometers>,
@@ -80,8 +79,8 @@ impl MrrFirstDesign {
     pub fn solve(inputs: &MrrFirstInputs) -> Result<Self, CircuitError> {
         // Step 3 first (pump), because the ER needed for step 4 and the
         // derived params are interlinked.
-        let full_shift = inputs.lambda_ref
-            - (inputs.lambda_last - inputs.wl_spacing * inputs.order as f64);
+        let full_shift =
+            inputs.lambda_ref - (inputs.lambda_last - inputs.wl_spacing * inputs.order as f64);
         let ref_offset = inputs.lambda_ref - inputs.lambda_last;
         if ref_offset.as_nm() <= 0.0 {
             return Err(CircuitError::InvalidStructure(

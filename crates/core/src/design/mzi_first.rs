@@ -14,10 +14,9 @@ use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
 use crate::snr::SnrModel;
 use crate::CircuitError;
 use osc_units::{DbRatio, Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// Inputs of the MZI-first method.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MziFirstInputs {
     /// Polynomial order `n`.
     pub order: usize,
@@ -55,7 +54,7 @@ impl MziFirstInputs {
 }
 
 /// Outputs of the MZI-first method.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MziFirstDesign {
     /// The derived probe wavelengths `λ_0 … λ_n`.
     pub channels: Vec<Nanometers>,

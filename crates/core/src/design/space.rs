@@ -8,10 +8,9 @@ use crate::design::mzi_first::{MziFirstDesign, MziFirstInputs};
 use crate::CircuitError;
 use osc_photonics::devices::MziDevice;
 use osc_units::{DbRatio, Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// One cell of the Fig. 6(a) grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridCell {
     /// MZI insertion loss, dB.
     pub il_db: f64,
@@ -28,12 +27,7 @@ pub struct GridCell {
 ///
 /// Infeasible corners (crosstalk exceeding signal) are reported as `None`
 /// rather than failing the sweep.
-pub fn fig6a_grid(
-    il_db: &[f64],
-    er_db: &[f64],
-    target_ber: f64,
-    threads: usize,
-) -> Vec<GridCell> {
+pub fn fig6a_grid(il_db: &[f64], er_db: &[f64], target_ber: f64, threads: usize) -> Vec<GridCell> {
     let cells: Vec<(f64, f64)> = il_db
         .iter()
         .flat_map(|&il| er_db.iter().map(move |&er| (il, er)))
@@ -83,7 +77,7 @@ pub fn fig6a_grid(
 }
 
 /// One row of the Fig. 6(b) BER sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BerSweepPoint {
     /// Target bit error rate.
     pub target_ber: f64,
@@ -117,7 +111,7 @@ pub fn fig6b_ber_sweep(
 }
 
 /// One bar of the Fig. 6(c) device comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DevicePoint {
     /// Device citation label.
     pub label: String,
@@ -136,10 +130,7 @@ pub fn fig6c_devices(devices: &[MziDevice], target_ber: f64) -> Vec<DevicePoint>
         .map(|d| {
             let inputs = MziFirstInputs {
                 target_ber,
-                ..MziFirstInputs::paper_fig6(
-                    DbRatio::from_db(d.il_db),
-                    DbRatio::from_db(d.er_db),
-                )
+                ..MziFirstInputs::paper_fig6(DbRatio::from_db(d.il_db), DbRatio::from_db(d.er_db))
             };
             DevicePoint {
                 label: d.label.to_string(),
@@ -155,7 +146,7 @@ pub fn fig6c_devices(devices: &[MziDevice], target_ber: f64) -> Vec<DevicePoint>
 
 /// A (pump power, probe power) Pareto point over the spacing sweep —
 /// the pump/probe tradeoff the paper discusses at the end of Section V.B.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoPoint {
     /// Wavelength spacing realizing this tradeoff.
     pub wl_spacing: Nanometers,
@@ -167,11 +158,7 @@ pub struct ParetoPoint {
 
 /// Sweeps the wavelength spacing and reports the pump/probe tradeoff
 /// curve (larger spacing: more pump, less probe).
-pub fn pump_probe_tradeoff(
-    order: usize,
-    spacings_nm: &[f64],
-    target_ber: f64,
-) -> Vec<ParetoPoint> {
+pub fn pump_probe_tradeoff(order: usize, spacings_nm: &[f64], target_ber: f64) -> Vec<ParetoPoint> {
     spacings_nm
         .iter()
         .filter_map(|&s| {

@@ -18,10 +18,9 @@ use crate::params::CircuitParams;
 use crate::snr::SnrModel;
 use crate::CircuitError;
 use osc_units::{Milliwatts, Nanometers, Picojoules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// Operating assumptions of the Fig. 7 energy study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyAssumptions {
     /// Modulation rate (1 Gb/s in the paper).
     pub bit_period: Seconds,
@@ -45,7 +44,7 @@ impl Default for EnergyAssumptions {
 }
 
 /// Per-bit energy breakdown at one design point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyBreakdown {
     /// Wavelength spacing of the design point.
     pub wl_spacing: Nanometers,
@@ -151,7 +150,7 @@ impl EnergyModel {
 }
 
 /// One row of the Fig. 7(b) scalability study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingPoint {
     /// Polynomial order.
     pub order: usize,
@@ -259,7 +258,9 @@ mod tests {
         let o2 = model(2).optimal_spacing(0.1, 1.0).unwrap().wl_spacing;
         let o4 = model(4).optimal_spacing(0.1, 1.0).unwrap().wl_spacing;
         let o6 = model(6).optimal_spacing(0.1, 1.0).unwrap().wl_spacing;
-        let spread = (o2.as_nm() - o6.as_nm()).abs().max((o2.as_nm() - o4.as_nm()).abs());
+        let spread = (o2.as_nm() - o6.as_nm())
+            .abs()
+            .max((o2.as_nm() - o4.as_nm()).abs());
         assert!(
             spread < 0.35 * o2.as_nm(),
             "optima: n=2 {o2}, n=4 {o4}, n=6 {o6}"

@@ -21,6 +21,9 @@
 //!
 //! Modules:
 //!
+//! - [`batch`] — [`batch::BatchEvaluator`], deterministic multi-threaded
+//!   fan-out of many evaluations (many inputs, seeds, lanes or pixels)
+//!   with thread-count-independent results;
 //! - [`params`] — the full system/device parameter set of paper Fig. 4(b),
 //!   with calibrated defaults for each of the paper's experiments;
 //! - [`adder`] — Eq. (7.b): MZI-bank control power levels;
@@ -54,6 +57,7 @@
 
 pub mod adder;
 pub mod architecture;
+pub mod batch;
 pub mod budget;
 pub mod calibration;
 pub mod controller;
@@ -71,6 +75,7 @@ pub mod transmission;
 /// Convenience re-exports of the most used types.
 pub mod prelude {
     pub use crate::architecture::OpticalScCircuit;
+    pub use crate::batch::BatchEvaluator;
     pub use crate::design::{mrr_first::MrrFirstDesign, mzi_first::MziFirstDesign};
     pub use crate::energy::EnergyModel;
     pub use crate::params::CircuitParams;

@@ -14,13 +14,12 @@ use osc_photonics::mrr_modulator::MrrModulator;
 use osc_photonics::mzi::MziModulator;
 use osc_photonics::ring::RingResonator;
 use osc_units::{Amperes, DbRatio, Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// Calibrated micro-ring template shared by all coefficient modulators.
 ///
 /// `r1/r2/a` were fitted by [`crate::calibration`] so that the Fig. 5
 /// operating points reproduce (see EXPERIMENTS.md for residuals).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModulatorTemplate {
     /// Input-bus self-coupling.
     pub r1: f64,
@@ -110,7 +109,7 @@ impl ModulatorTemplate {
 }
 
 /// Calibrated add-drop filter template (the all-optical multiplexer).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FilterTemplate {
     /// Input-bus self-coupling.
     pub r1: f64,
@@ -212,7 +211,7 @@ pub mod receiver_defaults {
 }
 
 /// Complete parameter set for one optical SC circuit instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CircuitParams {
     /// Polynomial order `n` (the circuit uses `n` MZIs and `n+1` probes).
     pub order: usize,

@@ -11,10 +11,9 @@ use crate::architecture::PowerBands;
 use osc_math::special::gaussian_q;
 use osc_stochastic::bitstream::BitStream;
 use osc_units::Milliwatts;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-threshold optical bit decision + counter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Derandomizer {
     threshold: Milliwatts,
 }
@@ -157,9 +156,7 @@ mod tests {
         let sigma = Milliwatts::new(0.05);
         let opt = optimize_threshold(&bands(), sigma);
         let bad = Derandomizer::new(Milliwatts::new(0.12));
-        assert!(
-            opt.worst_case_error(&bands(), sigma) < bad.worst_case_error(&bands(), sigma)
-        );
+        assert!(opt.worst_case_error(&bands(), sigma) < bad.worst_case_error(&bands(), sigma));
     }
 
     #[test]

@@ -15,7 +15,6 @@ use crate::energy::{EnergyAssumptions, EnergyModel};
 use crate::params::CircuitParams;
 use crate::CircuitError;
 use osc_units::{Milliwatts, Nanometers, Picojoules};
-use serde::{Deserialize, Serialize};
 
 /// A circuit provisioned for all orders `1 ..= max_order` on a shared
 /// wavelength plan.
@@ -28,7 +27,7 @@ pub struct ReconfigurableCircuit {
 
 /// Energy report for one order on the shared plan vs. a per-order
 /// re-optimized plan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReconfigPoint {
     /// The order being executed.
     pub order: usize,

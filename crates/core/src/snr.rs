@@ -116,10 +116,9 @@ impl SnrModel {
             }
         }
         let delta_t = t_signal - t_xtalk;
-        let snr = self.detector.snr(
-            self.probe_power * t_signal,
-            self.probe_power * t_xtalk,
-        );
+        let snr = self
+            .detector
+            .snr(self.probe_power * t_signal, self.probe_power * t_xtalk);
         Ok(SelectionSnr {
             count,
             signal_transmission: t_signal,
@@ -242,10 +241,7 @@ mod tests {
     fn min_power_round_trips_through_ber() {
         let m = model();
         let p = m.min_probe_power_for_ber(1e-6).unwrap();
-        let tuned = SnrModel::new(
-            &CircuitParams::paper_fig5().with_probe_power(p),
-        )
-        .unwrap();
+        let tuned = SnrModel::new(&CircuitParams::paper_fig5().with_probe_power(p)).unwrap();
         let ber = tuned.ber().unwrap();
         assert!(
             (ber.log10() - (-6.0)).abs() < 0.05,
@@ -293,8 +289,7 @@ mod tests {
         use osc_photonics::apd::ApdDetector;
         let params = CircuitParams::paper_fig5();
         let pin = SnrModel::new(&params).unwrap();
-        let apd_front =
-            ApdDetector::steindl_2014(params.detector().unwrap()).unwrap();
+        let apd_front = ApdDetector::steindl_2014(params.detector().unwrap()).unwrap();
         let apd = SnrModel::new(&params)
             .unwrap()
             .with_detector(apd_front.effective_detector().unwrap());

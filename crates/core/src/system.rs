@@ -3,23 +3,50 @@
 //! [`OpticalScSystem`] runs the complete paper pipeline for a Bernstein
 //! polynomial evaluation: SNGs generate the data and coefficient streams,
 //! every clock cycle the transmission model produces the power reaching
-//! the photodetector, Gaussian receiver noise is sampled, the
-//! de-randomizer thresholds and counts — and the result is compared
+//! the photodetector, Gaussian receiver noise perturbs the observation,
+//! the de-randomizer thresholds and counts — and the result is compared
 //! against the exact polynomial value and against the ideal (noise-free)
 //! electronic ReSC output.
+//!
+//! # Word-parallel execution
+//!
+//! The hot path ([`OpticalScSystem::evaluate`]) never touches individual
+//! bits: it walks the packed `u64` words of the data and coefficient
+//! streams, transposing 64 clock cycles per memory pass into
+//! `(ones-count, z-word)` pairs. The receiver is folded analytically —
+//! because the adder only sees the ones count and the circuit's power for
+//! each `(count, z-word)` pair is precomputed, the probability that the
+//! Gaussian-noise observation clears the threshold is a per-pair constant
+//! `Q((threshold − power)/σ)`. A cycle's decision is then a Bernoulli
+//! draw against that constant (one uniform draw, and none at all when the
+//! bands are far enough apart that the probability saturates at 0 or 1),
+//! instead of a full Gaussian sample per cycle.
+//!
+//! Three implementations share these semantics:
+//!
+//! - [`OpticalScSystem::evaluate`] — word-transposed, analytic noise
+//!   folding (the fast default);
+//! - [`OpticalScSystem::evaluate_bitwise`] — per-bit twin of `evaluate`,
+//!   draw-for-draw identical (equivalence tests pin exact equality);
+//! - [`OpticalScSystem::evaluate_analog`] — the physical-sampling
+//!   reference: one explicit Gaussian power observation per cycle
+//!   (batched through [`Xoshiro256PlusPlus::fill_gaussian`]), thresholded
+//!   by the de-randomizer. Statistically identical to `evaluate`; kept as
+//!   the seed-semantics baseline for benchmarks and validation.
 
 use crate::architecture::OpticalScCircuit;
 use crate::receiver::Derandomizer;
 use crate::{params::CircuitParams, CircuitError};
 use osc_math::rng::Xoshiro256PlusPlus;
+use osc_math::special::gaussian_q;
 use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::bitstream::BitStream;
 use osc_stochastic::resc::ReScUnit;
 use osc_stochastic::sng::StochasticNumberGenerator;
 use osc_units::Milliwatts;
-use serde::{Deserialize, Serialize};
 
 /// Result of one end-to-end optical evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpticalRun {
     /// Optical estimate after noisy detection and counting.
     pub estimate: f64,
@@ -58,11 +85,37 @@ pub struct OpticalScSystem {
     /// Received power for every (count-of-ones, coefficient-word) pair,
     /// indexed `[count][z_word]`.
     power_table: Vec<Vec<Milliwatts>>,
+    /// Probability the noisy observation clears the decision threshold,
+    /// per (count-of-ones, coefficient-word) pair:
+    /// `Q((threshold − power) / σ)`. The analytic folding of the receiver
+    /// noise that lets the hot path decide cycles with at most one uniform
+    /// draw each. Stored flat with row stride `2^(order+1)` — index
+    /// `count << (order+1) | z_word` — so a cycle decision costs one load.
+    one_probability: Vec<f64>,
+    /// Whether every folded probability is saturated at exactly 0 or 1
+    /// (bands far apart relative to the receiver noise). In that regime
+    /// decisions are a pure function of the cycle's `(count, z-word)` and
+    /// the kernel runs branch-free without consuming any randomness.
+    deterministic_decisions: bool,
+    /// Stronger still: every saturated decision equals the ideal
+    /// multiplexer output `z_count` (the circuit transmits perfectly).
+    /// Then a whole 64-cycle block reduces to a bit-sliced popcount —
+    /// the fastest kernel tier.
+    mux_exact: bool,
+    /// Per-entry decision class, same indexing as `one_probability`:
+    /// 0 = always zero, 1 = always one, 2 = needs a uniform draw. Lets
+    /// the mixed kernel tier branch only on the (rare, predictable)
+    /// ambiguous class instead of on two data-dependent f64 compares.
+    decision_class: Vec<u8>,
 }
 
 impl OpticalScSystem {
     /// Maximum order supported by the exhaustive power table.
     pub const MAX_SIM_ORDER: usize = 12;
+
+    /// Decision-flip probabilities below this are folded to exact 0/1 in
+    /// the receiver table: no simulable stream length could observe them.
+    pub const NEGLIGIBLE_FLIP_PROBABILITY: f64 = 1e-18;
 
     /// Builds a system executing `poly` on a circuit with `params`.
     ///
@@ -103,12 +156,66 @@ impl OpticalScSystem {
             }
             power_table.push(row);
         }
+        let sigma = circuit.detector().power_noise();
+        let threshold = derandomizer.threshold();
+        let one_probability: Vec<f64> = power_table
+            .iter()
+            .flat_map(|row| {
+                row.iter().map(|&power| {
+                    let q = if sigma.as_mw() > 0.0 {
+                        gaussian_q((threshold - power).as_mw() / sigma.as_mw())
+                    } else if power > threshold {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    // Saturate sub-observable tails: a decision-flip
+                    // probability below 1e-18 (e.g. Q(16σ) ≈ 1e-58 at the
+                    // paper's operating point) would need ~1 exa-cycle to
+                    // produce a single flip, far beyond any simulable
+                    // stream, so folding it to an exact 0/1 is
+                    // statistically invisible — and unlocks the
+                    // deterministic kernel tiers. (The upper tail needs no
+                    // clamp: 1 − 1e-58 already rounds to exactly 1.0.)
+                    if q < Self::NEGLIGIBLE_FLIP_PROBABILITY {
+                        0.0
+                    } else if q > 1.0 - Self::NEGLIGIBLE_FLIP_PROBABILITY {
+                        1.0
+                    } else {
+                        q
+                    }
+                })
+            })
+            .collect();
+        let decision_class: Vec<u8> = one_probability
+            .iter()
+            .map(|&p| {
+                if p <= 0.0 {
+                    0
+                } else if p >= 1.0 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        let deterministic_decisions = one_probability.iter().all(|&p| p <= 0.0 || p >= 1.0);
+        let mux_exact = deterministic_decisions
+            && one_probability.iter().enumerate().all(|(idx, &p)| {
+                let count = idx >> (n + 1);
+                let zw = idx & ((1 << (n + 1)) - 1);
+                (p >= 1.0) == ((zw >> count) & 1 == 1)
+            });
         Ok(OpticalScSystem {
             circuit,
             resc: ReScUnit::new(poly.clone()),
             poly,
             derandomizer,
             power_table,
+            one_probability,
+            deterministic_decisions,
+            mux_exact,
+            decision_class,
         })
     }
 
@@ -147,7 +254,272 @@ impl OpticalScSystem {
             .resc
             .generate_streams(x, stream_length, sng)
             .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
-        let n = self.circuit.order();
+        let (ones, ideal_ones, decision_flips) =
+            self.dispatch_word_kernel(&data, &coeffs, stream_length, rng);
+        Ok(self.finish_run(x, stream_length, ones, ideal_ones, decision_flips))
+    }
+
+    /// Monomorphizes the word kernel on the circuit order so the per-cycle
+    /// extraction loops fully unroll (the order is bounded by
+    /// [`OpticalScSystem::MAX_SIM_ORDER`], enforced in the constructor).
+    fn dispatch_word_kernel(
+        &self,
+        data: &[BitStream],
+        coeffs: &[BitStream],
+        stream_length: usize,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> (usize, usize, usize) {
+        match self.circuit.order() {
+            1 => self.word_kernel::<1>(data, coeffs, stream_length, rng),
+            2 => self.word_kernel::<2>(data, coeffs, stream_length, rng),
+            3 => self.word_kernel::<3>(data, coeffs, stream_length, rng),
+            4 => self.word_kernel::<4>(data, coeffs, stream_length, rng),
+            5 => self.word_kernel::<5>(data, coeffs, stream_length, rng),
+            6 => self.word_kernel::<6>(data, coeffs, stream_length, rng),
+            7 => self.word_kernel::<7>(data, coeffs, stream_length, rng),
+            8 => self.word_kernel::<8>(data, coeffs, stream_length, rng),
+            9 => self.word_kernel::<9>(data, coeffs, stream_length, rng),
+            10 => self.word_kernel::<10>(data, coeffs, stream_length, rng),
+            11 => self.word_kernel::<11>(data, coeffs, stream_length, rng),
+            12 => self.word_kernel::<12>(data, coeffs, stream_length, rng),
+            n => unreachable!("order {n} exceeds MAX_SIM_ORDER"),
+        }
+    }
+
+    /// The word-transposed decision kernel: one memory pass per 64 cycles.
+    /// Returns `(ones, ideal_ones, decision_flips)`.
+    ///
+    /// Three tiers, selected once per run from precomputed table facts:
+    ///
+    /// 1. `mux_exact` — every decision equals the ideal multiplexer bit
+    ///    `z_count`, so the block collapses to a bit-sliced adder (count
+    ///    planes), per-count equality masks and one popcount: no
+    ///    per-cycle work at all;
+    /// 2. `deterministic_decisions` — decisions are a pure table function
+    ///    of `(count, z-word)`; per-cycle extraction with fully unrolled
+    ///    shifts and a branch-free compare, no randomness consumed;
+    /// 3. general — as (2) plus one uniform draw per ambiguous cycle.
+    fn word_kernel<const N: usize>(
+        &self,
+        data: &[BitStream],
+        coeffs: &[BitStream],
+        stream_length: usize,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> (usize, usize, usize) {
+        let table = &self.one_probability[..];
+        let mut ones = 0usize;
+        let mut ideal_ones = 0usize;
+        let mut decision_flips = 0usize;
+        // Stack-resident word registers ([u64; 16] keeps the type concrete
+        // while N+1 stays inexpressible in stable const generics).
+        let mut dw = [0u64; 16];
+        let mut cw = [0u64; 16];
+        let mut remaining = stream_length;
+        for w in 0..stream_length.div_ceil(64) {
+            for (slot, s) in dw[..N].iter_mut().zip(data) {
+                *slot = s.words()[w];
+            }
+            for (slot, s) in cw[..=N].iter_mut().zip(coeffs) {
+                *slot = s.words()[w];
+            }
+            let nbits = remaining.min(64);
+            if self.mux_exact {
+                // Tier 1: decided == ideal == z_count on every cycle.
+                // Bit-sliced ripple-carry adder: plane b of (s0..s3) holds
+                // bit b of the ones count for each of the 64 lanes.
+                let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
+                for &d in &dw[..N] {
+                    let c0 = s0 & d;
+                    s0 ^= d;
+                    let c1 = s1 & c0;
+                    s1 ^= c0;
+                    let c2 = s2 & c1;
+                    s2 ^= c1;
+                    s3 ^= c2; // counts <= 12 never carry out of plane 3
+                }
+                let planes = [s0, s1, s2, s3];
+                // Select z_count per lane: OR of (count == c) & z_c masks.
+                let mut sel = 0u64;
+                for (c, &z) in cw[..=N].iter().enumerate() {
+                    let mut eq = !0u64;
+                    for (b, &plane) in planes.iter().enumerate() {
+                        eq &= if (c >> b) & 1 == 1 { plane } else { !plane };
+                    }
+                    sel |= eq & z;
+                }
+                // Coefficient words are tail-masked, so padding lanes
+                // contribute zero bits.
+                let block_ones = sel.count_ones() as usize;
+                ones += block_ones;
+                ideal_ones += block_ones;
+            } else if self.deterministic_decisions {
+                // Tier 2: branch-free table decisions, no RNG consumed
+                // (matching the per-bit rule, which only draws when a
+                // probability lies strictly inside (0, 1)).
+                for t in 0..nbits {
+                    let mut count = 0usize;
+                    for &d in &dw[..N] {
+                        count += ((d >> t) & 1) as usize;
+                    }
+                    let mut zw = 0usize;
+                    for (j, &c) in cw[..=N].iter().enumerate() {
+                        zw |= (((c >> t) & 1) as usize) << j;
+                    }
+                    let decided = table[(count << (N + 1)) | zw] >= 1.0;
+                    let ideal = (cw[count] >> t) & 1 == 1;
+                    ones += usize::from(decided);
+                    ideal_ones += usize::from(ideal);
+                    decision_flips += usize::from(decided != ideal);
+                }
+            } else {
+                // Tier 3: ambiguous bands. Branch only on the (rare)
+                // needs-a-draw class; saturated decisions come branch-free
+                // from the class value itself.
+                let classes = &self.decision_class[..];
+                for t in 0..nbits {
+                    let mut count = 0usize;
+                    for &d in &dw[..N] {
+                        count += ((d >> t) & 1) as usize;
+                    }
+                    let mut zw = 0usize;
+                    for (j, &c) in cw[..=N].iter().enumerate() {
+                        zw |= (((c >> t) & 1) as usize) << j;
+                    }
+                    let idx = (count << (N + 1)) | zw;
+                    let cls = classes[idx];
+                    let decided = if cls == 2 {
+                        rng.next_f64() < table[idx]
+                    } else {
+                        cls == 1
+                    };
+                    let ideal = (cw[count] >> t) & 1 == 1;
+                    ones += usize::from(decided);
+                    ideal_ones += usize::from(ideal);
+                    decision_flips += usize::from(decided != ideal);
+                }
+            }
+            remaining -= nbits;
+        }
+        (ones, ideal_ones, decision_flips)
+    }
+
+    /// Per-bit twin of [`OpticalScSystem::evaluate`]: identical stream
+    /// traversal semantics and identical RNG consumption, one bit at a
+    /// time. Given equal starting `sng`/`rng` states the two return
+    /// exactly the same [`OpticalRun`] — the equivalence the property
+    /// tests pin down. Kept as the readable reference; use `evaluate` in
+    /// hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors for invalid `x`.
+    pub fn evaluate_bitwise<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<OpticalRun, CircuitError> {
+        let (data, coeffs) = self
+            .resc
+            .generate_streams(x, stream_length, sng)
+            .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
+        let mut ones = 0usize;
+        let mut ideal_ones = 0usize;
+        let mut decision_flips = 0usize;
+        for t in 0..stream_length {
+            let count: usize = data.iter().filter(|s| s.get(t)).count();
+            let mut zw = 0u32;
+            for (j, s) in coeffs.iter().enumerate() {
+                if s.get(t) {
+                    zw |= 1 << j;
+                }
+            }
+            let decided = self.decide_cycle(count, zw as usize, rng);
+            let ideal = coeffs[count].get(t);
+            ones += usize::from(decided);
+            ideal_ones += usize::from(ideal);
+            decision_flips += usize::from(decided != ideal);
+        }
+        Ok(self.finish_run(x, stream_length, ones, ideal_ones, decision_flips))
+    }
+
+    /// Physical-sampling reference: draws one explicit Gaussian power
+    /// observation per clock cycle (in 64-cycle batches through
+    /// [`Xoshiro256PlusPlus::fill_gaussian`]) and thresholds it with the
+    /// de-randomizer — the literal translation of the paper's receiver
+    /// and the semantics the original per-bit implementation had.
+    /// Statistically identical to [`OpticalScSystem::evaluate`] (the
+    /// crate's tests pin that), but one to two orders of magnitude
+    /// slower. For the frozen seed implementation the benchmarks use as
+    /// their "before" side, see
+    /// [`OpticalScSystem::evaluate_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors for invalid `x`.
+    pub fn evaluate_analog<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<OpticalRun, CircuitError> {
+        let (data, coeffs) = self
+            .resc
+            .generate_streams(x, stream_length, sng)
+            .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
+        let sigma = self.circuit.detector().power_noise();
+        let mut ones = 0usize;
+        let mut ideal_ones = 0usize;
+        let mut decision_flips = 0usize;
+        let mut noise = [0.0f64; 64];
+        for block in 0..stream_length.div_ceil(64) {
+            let base = block * 64;
+            let nbits = (stream_length - base).min(64);
+            rng.fill_gaussian(&mut noise[..nbits]);
+            for (i, &g) in noise[..nbits].iter().enumerate() {
+                let t = base + i;
+                let count: usize = data.iter().filter(|s| s.get(t)).count();
+                let mut zw = 0u32;
+                for (j, s) in coeffs.iter().enumerate() {
+                    if s.get(t) {
+                        zw |= 1 << j;
+                    }
+                }
+                let power = self.power_table[count][zw as usize];
+                let observed = Milliwatts::new(power.as_mw() + sigma.as_mw() * g);
+                let decided = self.derandomizer.decide(observed);
+                let ideal = coeffs[count].get(t);
+                ones += usize::from(decided);
+                ideal_ones += usize::from(ideal);
+                decision_flips += usize::from(decided != ideal);
+            }
+        }
+        Ok(self.finish_run(x, stream_length, ones, ideal_ones, decision_flips))
+    }
+
+    /// The frozen pre-word-parallel implementation: per-bit SNG comparator
+    /// streams, per-cycle `get()` traversal, and one scalar Gaussian
+    /// power sample per clock cycle. Exists so kernel benchmarks can pin
+    /// the word-parallel speedup against the original code path;
+    /// statistically identical to [`OpticalScSystem::evaluate`]. Do not
+    /// use in new code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors for invalid `x`.
+    pub fn evaluate_reference<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<OpticalRun, CircuitError> {
+        let (data, coeffs) = self
+            .resc
+            .generate_streams_bitwise(x, stream_length, sng)
+            .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
         let sigma = self.circuit.detector().power_noise();
         let mut ones = 0usize;
         let mut ideal_ones = 0usize;
@@ -163,24 +535,89 @@ impl OpticalScSystem {
             let power = self.power_table[count][zw as usize];
             let observed = Milliwatts::new(rng.gaussian_with(power.as_mw(), sigma.as_mw()));
             let decided = self.derandomizer.decide(observed);
-            let ideal = coeffs[count.min(n)].get(t);
-            if decided {
-                ones += 1;
-            }
-            if ideal {
-                ideal_ones += 1;
-            }
-            if decided != ideal {
-                decision_flips += 1;
-            }
+            let ideal = coeffs[count].get(t);
+            ones += usize::from(decided);
+            ideal_ones += usize::from(ideal);
+            decision_flips += usize::from(decided != ideal);
         }
-        Ok(OpticalRun {
+        Ok(self.finish_run(x, stream_length, ones, ideal_ones, decision_flips))
+    }
+
+    /// Decides one cycle from the folded noise table: saturated
+    /// probabilities decide without consuming randomness; ambiguous ones
+    /// cost a single uniform draw.
+    #[inline]
+    fn decide_cycle(&self, count: usize, zw: usize, rng: &mut Xoshiro256PlusPlus) -> bool {
+        let p1 = self.one_probability[(count << (self.circuit.order() + 1)) | zw];
+        if p1 >= 1.0 {
+            true
+        } else if p1 <= 0.0 {
+            false
+        } else {
+            rng.next_f64() < p1
+        }
+    }
+
+    fn finish_run(
+        &self,
+        x: f64,
+        stream_length: usize,
+        ones: usize,
+        ideal_ones: usize,
+        decision_flips: usize,
+    ) -> OpticalRun {
+        OpticalRun {
             estimate: ones as f64 / stream_length as f64,
             ideal_estimate: ideal_ones as f64 / stream_length as f64,
             exact: self.poly.eval(x),
             observed_ber: decision_flips as f64 / stream_length as f64,
             stream_length,
-        })
+        }
+    }
+
+    /// Decodes a pre-generated stream pair exactly like
+    /// [`OpticalScSystem::evaluate`] would, returning the decided output
+    /// stream — useful when callers need the bits, not just the counts.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidStructure`] on stream arity/length mismatch.
+    pub fn decide_streams(
+        &self,
+        data: &[BitStream],
+        coeffs: &[BitStream],
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Result<BitStream, CircuitError> {
+        let n = self.circuit.order();
+        if data.len() != n || coeffs.len() != n + 1 {
+            return Err(CircuitError::InvalidStructure(format!(
+                "expected {n} data and {} coefficient streams, got {} and {}",
+                n + 1,
+                data.len(),
+                coeffs.len()
+            )));
+        }
+        let len = coeffs[0].len();
+        if data.iter().chain(coeffs).any(|s| s.len() != len) {
+            return Err(CircuitError::InvalidStructure(
+                "stream length mismatch".into(),
+            ));
+        }
+        // Not a hot path: reuse the per-cycle decision rule directly
+        // rather than mirroring the word kernel's transpose.
+        Ok(BitStream::from_word_fn(len, |chunk, nbits| {
+            let mut word = 0u64;
+            for b in 0..nbits {
+                let t = chunk * 64 + b;
+                let count: usize = data.iter().filter(|s| s.get(t)).count();
+                let mut zw = 0usize;
+                for (j, s) in coeffs.iter().enumerate() {
+                    zw |= usize::from(s.get(t)) << j;
+                }
+                word |= u64::from(self.decide_cycle(count, zw, rng)) << b;
+            }
+            word
+        }))
     }
 
     /// Sweeps the polynomial over `[0, 1]` and returns
@@ -222,6 +659,90 @@ mod tests {
     }
 
     #[test]
+    fn word_kernel_identical_to_bitwise_reference() {
+        let s = system();
+        for len in [1usize, 63, 64, 65, 130, 4096, 5000] {
+            for (i, &x) in [0.0, 0.3, 0.5, 1.0].iter().enumerate() {
+                let seed = 100 + (len + i) as u64;
+                let mut sng_a = XoshiroSng::new(seed);
+                let mut rng_a = Xoshiro256PlusPlus::new(seed ^ 0xABCD);
+                let mut sng_b = XoshiroSng::new(seed);
+                let mut rng_b = Xoshiro256PlusPlus::new(seed ^ 0xABCD);
+                let fast = s.evaluate(x, len, &mut sng_a, &mut rng_a).unwrap();
+                let slow = s.evaluate_bitwise(x, len, &mut sng_b, &mut rng_b).unwrap();
+                assert_eq!(fast, slow, "x={x}, len={len}");
+                // Post-run RNG states must match too: another evaluation
+                // from each pair must still be identical.
+                let fast2 = s.evaluate(x, 130, &mut sng_a, &mut rng_a).unwrap();
+                let slow2 = s.evaluate_bitwise(x, 130, &mut sng_b, &mut rng_b).unwrap();
+                assert_eq!(fast2, slow2, "x={x}, len={len} (second run)");
+            }
+        }
+    }
+
+    #[test]
+    fn word_kernel_identical_under_visible_noise() {
+        // Starved probes make the folded probabilities land strictly
+        // inside (0, 1), so the uniform-draw branch is exercised.
+        let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
+        let s = OpticalScSystem::new(params, BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap())
+            .unwrap();
+        let mut sng_a = XoshiroSng::new(7);
+        let mut rng_a = Xoshiro256PlusPlus::new(8);
+        let mut sng_b = XoshiroSng::new(7);
+        let mut rng_b = Xoshiro256PlusPlus::new(8);
+        let fast = s.evaluate(0.4, 4097, &mut sng_a, &mut rng_a).unwrap();
+        let slow = s
+            .evaluate_bitwise(0.4, 4097, &mut sng_b, &mut rng_b)
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert!(fast.observed_ber > 0.0, "expected the noisy branch to fire");
+    }
+
+    #[test]
+    fn analytic_folding_matches_analog_sampling_statistically() {
+        // Same noisy circuit; the folded-Bernoulli path and the explicit
+        // Gaussian-sampling path must agree in distribution.
+        let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
+        let s = OpticalScSystem::new(params, BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap())
+            .unwrap();
+        let len = 32_768;
+        let mut sng_a = XoshiroSng::new(21);
+        let mut rng_a = Xoshiro256PlusPlus::new(22);
+        let mut sng_b = XoshiroSng::new(21);
+        let mut rng_b = Xoshiro256PlusPlus::new(23);
+        let folded = s.evaluate(0.5, len, &mut sng_a, &mut rng_a).unwrap();
+        let analog = s.evaluate_analog(0.5, len, &mut sng_b, &mut rng_b).unwrap();
+        assert!(
+            (folded.estimate - analog.estimate).abs() < 0.02,
+            "folded {} vs analog {}",
+            folded.estimate,
+            analog.estimate
+        );
+        assert!(
+            (folded.observed_ber - analog.observed_ber).abs() < 0.02,
+            "ber folded {} vs analog {}",
+            folded.observed_ber,
+            analog.observed_ber
+        );
+    }
+
+    #[test]
+    fn decide_streams_counts_match_evaluate() {
+        let s = system();
+        let mut sng = XoshiroSng::new(3);
+        let (data, coeffs) = s.resc.generate_streams(0.5, 1000, &mut sng).unwrap();
+        let mut rng_a = Xoshiro256PlusPlus::new(4);
+        let out = s.decide_streams(&data, &coeffs, &mut rng_a).unwrap();
+        // Same decision rule as evaluate: re-run with the same rng seed.
+        let mut sng_b = XoshiroSng::new(3);
+        let mut rng_b = Xoshiro256PlusPlus::new(4);
+        let run = s.evaluate(0.5, 1000, &mut sng_b, &mut rng_b).unwrap();
+        assert_eq!(out.count_ones() as f64 / 1000.0, run.estimate);
+        assert!(s.decide_streams(&data[..1], &coeffs, &mut rng_a).is_err());
+    }
+
+    #[test]
     fn end_to_end_accuracy() {
         let s = system();
         let mut sng = XoshiroSng::new(42);
@@ -238,7 +759,11 @@ mod tests {
         let mut sng = XoshiroSng::new(7);
         let mut rng = Xoshiro256PlusPlus::new(2);
         let run = s.evaluate(0.3, 8192, &mut sng, &mut rng).unwrap();
-        assert!(run.optical_error() < 0.01, "optical error {}", run.optical_error());
+        assert!(
+            run.optical_error() < 0.01,
+            "optical error {}",
+            run.optical_error()
+        );
     }
 
     #[test]
@@ -246,11 +771,8 @@ mod tests {
         // Starve the probes: decisions get noisy, BER rises, but the
         // estimate still lands in the right region (error resilience).
         let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
-        let s = OpticalScSystem::new(
-            params,
-            BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
-        )
-        .unwrap();
+        let s = OpticalScSystem::new(params, BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap())
+            .unwrap();
         let mut sng = XoshiroSng::new(11);
         let mut rng = Xoshiro256PlusPlus::new(3);
         let run = s.evaluate(0.5, 16384, &mut sng, &mut rng).unwrap();

@@ -278,10 +278,7 @@ mod tests {
             let z0 = vec![false; 3];
             let p1 = m.received_power(&z1, x, Milliwatts::new(1.0)).unwrap();
             let p0 = m.received_power(&z0, x, Milliwatts::new(1.0)).unwrap();
-            assert!(
-                p1.as_mw() > 3.0 * p0.as_mw(),
-                "x={x:?}: p1={p1}, p0={p0}"
-            );
+            assert!(p1.as_mw() > 3.0 * p0.as_mw(), "x={x:?}: p1={p1}, p0={p0}");
         }
     }
 
@@ -298,15 +295,9 @@ mod tests {
     #[test]
     fn delta_filter_matches_paper() {
         let m = model();
-        assert!(
-            (m.delta_filter(&[false, false]).unwrap().as_nm() - 2.1).abs() < 1e-6
-        );
-        assert!(
-            (m.delta_filter(&[true, false]).unwrap().as_nm() - 1.1).abs() < 1e-6
-        );
-        assert!(
-            (m.delta_filter(&[true, true]).unwrap().as_nm() - 0.1).abs() < 1e-6
-        );
+        assert!((m.delta_filter(&[false, false]).unwrap().as_nm() - 2.1).abs() < 1e-6);
+        assert!((m.delta_filter(&[true, false]).unwrap().as_nm() - 1.1).abs() < 1e-6);
+        assert!((m.delta_filter(&[true, true]).unwrap().as_nm() - 0.1).abs() < 1e-6);
     }
 
     #[test]
@@ -324,7 +315,9 @@ mod tests {
     #[test]
     fn spectra_shapes() {
         let m = model();
-        let (wl, mods, filt) = m.spectra(&[false, true, false], &[true, true], 200).unwrap();
+        let (wl, mods, filt) = m
+            .spectra(&[false, true, false], &[true, true], 200)
+            .unwrap();
         assert_eq!(wl.len(), 200);
         assert_eq!(mods.len(), 3);
         assert_eq!(filt.len(), 200);
@@ -355,9 +348,7 @@ mod tests {
         let m = model();
         let z = [true, false, true];
         let x = [false, true];
-        let spec = m
-            .received_spectrum(&z, &x, Milliwatts::new(1.0))
-            .unwrap();
+        let spec = m.received_spectrum(&z, &x, Milliwatts::new(1.0)).unwrap();
         let total = m.received_power(&z, &x, Milliwatts::new(1.0)).unwrap();
         assert!((spec.total_power().as_mw() - total.as_mw()).abs() < 1e-15);
         assert_eq!(spec.len(), 3);

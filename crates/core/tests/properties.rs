@@ -1,120 +1,222 @@
 //! Property-based tests for the optical SC architecture.
+//!
+//! Deterministic property harness: each property runs over seeded random
+//! cases drawn from the workspace RNG, so failures replay exactly.
 
 use osc_core::adder::OpticalAdder;
+use osc_core::batch::{mix_seed, BatchEvaluator};
 use osc_core::design::mzi_first::{MziFirstDesign, MziFirstInputs};
 use osc_core::params::CircuitParams;
 use osc_core::snr::SnrModel;
+use osc_core::system::OpticalScSystem;
 use osc_core::transmission::TransmissionModel;
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::sng::XoshiroSng;
 use osc_units::{DbRatio, Milliwatts, Nanometers};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `f` over `n` seeded cases.
+fn cases(n: u64, mut f: impl FnMut(&mut Xoshiro256PlusPlus)) {
+    for case in 0..n {
+        let mut rng = Xoshiro256PlusPlus::new(0xC02E ^ (case << 8));
+        f(&mut rng);
+    }
+}
 
-    /// The adder's control power depends only on the popcount, for any
-    /// word and order up to 6.
-    #[test]
-    fn adder_popcount_invariance(bits in proptest::collection::vec(any::<bool>(), 2..7)) {
-        let n = bits.len();
+/// The adder's control power depends only on the popcount, for any word
+/// and order up to 6.
+#[test]
+fn adder_popcount_invariance() {
+    cases(48, |rng| {
+        let n = 2 + rng.below(5) as usize;
+        let bits: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
         let params = CircuitParams::paper_fig7(n, Nanometers::new(0.3));
         let adder = OpticalAdder::new(&params).unwrap();
         let count = bits.iter().filter(|&&b| b).count();
         let from_word = adder.control_power(&bits).unwrap();
         let from_count = adder.control_power_for_count(count);
-        prop_assert!((from_word.as_mw() - from_count.as_mw()).abs() < 1e-9);
-    }
+        assert!((from_word.as_mw() - from_count.as_mw()).abs() < 1e-9);
+    });
+}
 
-    /// Adder control levels are strictly decreasing in the ones count.
-    #[test]
-    fn adder_levels_strictly_decreasing(order in 1usize..8) {
+/// Adder control levels are strictly decreasing in the ones count.
+#[test]
+fn adder_levels_strictly_decreasing() {
+    for order in 1usize..8 {
         let params = CircuitParams::paper_fig7(order, Nanometers::new(0.3));
         let adder = OpticalAdder::new(&params).unwrap();
         let levels = adder.levels();
         for pair in levels.windows(2) {
-            prop_assert!(pair[0] > pair[1]);
+            assert!(pair[0] > pair[1]);
         }
     }
+}
 
-    /// The MZI-first wavelength plan obeys the closed-form spacing
-    /// `pump·OTE·IL%·(1−ER%)/n`.
-    #[test]
-    fn mzi_first_spacing_closed_form(il in 3.0f64..7.4, er in 2.0f64..10.0) {
+/// The MZI-first wavelength plan obeys the closed-form spacing
+/// `pump·OTE·IL%·(1−ER%)/n`.
+#[test]
+fn mzi_first_spacing_closed_form() {
+    cases(48, |rng| {
+        let il = rng.range_f64(3.0, 7.4);
+        let er = rng.range_f64(2.0, 10.0);
         let inputs = MziFirstInputs::paper_fig6(DbRatio::from_db(il), DbRatio::from_db(er));
         if let Ok(d) = MziFirstDesign::solve(&inputs) {
             let il_lin = 10f64.powf(-il / 10.0);
             let er_lin = 10f64.powf(-er / 10.0);
             let expect = 600.0 * 0.01 * il_lin * (1.0 - er_lin) / 2.0;
-            prop_assert!(
+            assert!(
                 (d.wl_spacing.as_nm() - expect).abs() < 1e-9,
-                "spacing {} vs closed form {expect}", d.wl_spacing.as_nm()
+                "spacing {} vs closed form {expect}",
+                d.wl_spacing.as_nm()
             );
         }
-    }
+    });
+}
 
-    /// Minimum probe power scales exactly linearly with the noise
-    /// current (Eq. 8 structure).
-    #[test]
-    fn min_probe_linear_in_noise(scale in 0.2f64..5.0) {
+/// Minimum probe power scales exactly linearly with the noise current
+/// (Eq. 8 structure).
+#[test]
+fn min_probe_linear_in_noise() {
+    cases(48, |rng| {
+        let scale = rng.range_f64(0.2, 5.0);
         let mut base = CircuitParams::paper_fig5();
-        let p1 = SnrModel::new(&base).unwrap().min_probe_power_for_ber(1e-6).unwrap();
+        let p1 = SnrModel::new(&base)
+            .unwrap()
+            .min_probe_power_for_ber(1e-6)
+            .unwrap();
         base.noise_current_a *= scale;
-        let p2 = SnrModel::new(&base).unwrap().min_probe_power_for_ber(1e-6).unwrap();
-        prop_assert!((p2.as_mw() - scale * p1.as_mw()).abs() / p1.as_mw() < 1e-9);
-    }
+        let p2 = SnrModel::new(&base)
+            .unwrap()
+            .min_probe_power_for_ber(1e-6)
+            .unwrap();
+        assert!((p2.as_mw() - scale * p1.as_mw()).abs() / p1.as_mw() < 1e-9);
+    });
+}
 
-    /// Received power is monotone in each coefficient bit: flipping any
-    /// z-bit from 0 to 1 never decreases the detector power.
-    #[test]
-    fn received_power_monotone_in_z(
-        x0 in any::<bool>(), x1 in any::<bool>(),
-        z0 in any::<bool>(), z1 in any::<bool>(), z2 in any::<bool>(),
-        flip in 0usize..3,
-    ) {
+/// Received power is monotone in each coefficient bit: flipping any z-bit
+/// from 0 to 1 never decreases the detector power.
+#[test]
+fn received_power_monotone_in_z() {
+    cases(48, |rng| {
+        let x = [rng.bernoulli(0.5), rng.bernoulli(0.5)];
+        let mut z = [rng.bernoulli(0.5), rng.bernoulli(0.5), rng.bernoulli(0.5)];
+        let flip = rng.below(3) as usize;
+        if z[flip] {
+            return; // property is about a 0 -> 1 flip
+        }
         let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
-        let mut z = [z0, z1, z2];
-        prop_assume!(!z[flip]);
-        let before = model
-            .received_power(&z, &[x0, x1], Milliwatts::new(1.0))
-            .unwrap();
+        let before = model.received_power(&z, &x, Milliwatts::new(1.0)).unwrap();
         z[flip] = true;
-        let after = model
-            .received_power(&z, &[x0, x1], Milliwatts::new(1.0))
-            .unwrap();
-        prop_assert!(
+        let after = model.received_power(&z, &x, Milliwatts::new(1.0)).unwrap();
+        assert!(
             after.as_mw() >= before.as_mw() - 1e-9,
             "flipping z{flip} reduced power: {before} -> {after}"
         );
-    }
+    });
+}
 
-    /// Filter detuning interpolates linearly between the all-zeros and
-    /// all-ones extremes as the popcount grows.
-    #[test]
-    fn delta_filter_linear_in_count(order in 2usize..7) {
+/// Filter detuning interpolates linearly between the all-zeros and
+/// all-ones extremes as the popcount grows.
+#[test]
+fn delta_filter_linear_in_count() {
+    for order in 2usize..7 {
         let params = CircuitParams::paper_fig7(order, Nanometers::new(0.25));
         let model = TransmissionModel::new(&params).unwrap();
-        let word = |count: usize| -> Vec<bool> {
-            (0..order).map(|i| i < count).collect()
-        };
+        let word = |count: usize| -> Vec<bool> { (0..order).map(|i| i < count).collect() };
         let d0 = model.delta_filter(&word(0)).unwrap().as_nm();
         let dn = model.delta_filter(&word(order)).unwrap().as_nm();
         for k in 1..order {
             let dk = model.delta_filter(&word(k)).unwrap().as_nm();
             let expect = d0 + (dn - d0) * k as f64 / order as f64;
-            prop_assert!((dk - expect).abs() < 1e-9, "count {k}");
+            assert!((dk - expect).abs() < 1e-9, "count {k}");
         }
     }
+}
 
-    /// The paper_fig7 constructor always yields a valid, feasible design
-    /// for sensible orders and spacings.
-    #[test]
-    fn fig7_params_valid(order in 1usize..17, spacing in 0.1f64..1.0) {
+/// The paper_fig7 constructor always yields a valid, feasible design for
+/// sensible orders and spacings.
+#[test]
+fn fig7_params_valid() {
+    cases(48, |rng| {
+        let order = 1 + rng.below(16) as usize;
+        let spacing = rng.range_f64(0.1, 1.0);
         let params = CircuitParams::paper_fig7(order, Nanometers::new(spacing));
-        prop_assert!(params.validate().is_ok());
+        assert!(params.validate().is_ok());
         // Channels strictly increasing and below λ_ref.
         let ch = params.channels();
         for pair in ch.windows(2) {
-            prop_assert!(pair[1] > pair[0]);
+            assert!(pair[1] > pair[0]);
         }
-        prop_assert!(*ch.last().unwrap() < params.lambda_ref);
+        assert!(*ch.last().unwrap() < params.lambda_ref);
+    });
+}
+
+/// The word-transposed evaluate and its per-bit twin return identical
+/// runs for random polynomials, inputs, lengths and seeds — the
+/// end-to-end equivalence of the word-parallel rewrite.
+#[test]
+fn word_and_bitwise_evaluate_identical() {
+    cases(12, |rng| {
+        let coeffs: Vec<f64> = (0..3).map(|_| rng.next_f64()).collect();
+        let system = OpticalScSystem::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(coeffs).unwrap(),
+        )
+        .unwrap();
+        let x = rng.next_f64();
+        let len = 1 + rng.below(3000) as usize;
+        let seed = rng.next_u64();
+        let mut sng_a = XoshiroSng::new(seed);
+        let mut rng_a = Xoshiro256PlusPlus::new(seed ^ 1);
+        let mut sng_b = XoshiroSng::new(seed);
+        let mut rng_b = Xoshiro256PlusPlus::new(seed ^ 1);
+        assert_eq!(
+            system.evaluate(x, len, &mut sng_a, &mut rng_a).unwrap(),
+            system
+                .evaluate_bitwise(x, len, &mut sng_b, &mut rng_b)
+                .unwrap(),
+            "x={x}, len={len}"
+        );
+    });
+}
+
+/// Batched evaluation is invariant under the thread budget for random
+/// batch shapes.
+#[test]
+fn batch_results_thread_count_invariant() {
+    let system = OpticalScSystem::new(
+        CircuitParams::paper_fig5(),
+        BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+    )
+    .unwrap();
+    cases(6, |rng| {
+        let points = 1 + rng.below(12) as usize;
+        let xs: Vec<f64> = (0..points).map(|_| rng.next_f64()).collect();
+        let seed = rng.next_u64();
+        let len = 256 + rng.below(512) as usize;
+        let baseline = BatchEvaluator::with_threads(1)
+            .evaluate_many(&system, &xs, len, XoshiroSng::new, seed)
+            .unwrap();
+        for threads in [2usize, 5] {
+            let other = BatchEvaluator::with_threads(threads)
+                .evaluate_many(&system, &xs, len, XoshiroSng::new, seed)
+                .unwrap();
+            assert_eq!(baseline, other, "threads={threads}");
+        }
+    });
+}
+
+/// Seed mixing is injective-ish in practice: no collisions over a dense
+/// grid of (seed, index) pairs.
+#[test]
+fn mix_seed_collision_free_on_grid() {
+    let mut seen = std::collections::HashSet::new();
+    for seed in 0..64u64 {
+        for index in 0..64u64 {
+            assert!(
+                seen.insert(mix_seed(seed, index)),
+                "collision at seed={seed}, index={index}"
+            );
+        }
     }
 }

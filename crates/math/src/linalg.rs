@@ -237,9 +237,7 @@ mod tests {
     #[test]
     fn solve_random_5x5_round_trip() {
         let mut rng = crate::rng::Xoshiro256PlusPlus::new(3);
-        let a = Matrix::from_fn(5, 5, |i, j| {
-            rng.next_f64() + if i == j { 5.0 } else { 0.0 }
-        });
+        let a = Matrix::from_fn(5, 5, |i, j| rng.next_f64() + if i == j { 5.0 } else { 0.0 });
         let x_true: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
         let b = a.mul_vec(&x_true).unwrap();
         let x = a.solve(&b).unwrap();
@@ -277,7 +275,10 @@ mod tests {
     #[test]
     fn dimension_mismatches() {
         let a = Matrix::zeros(2, 3);
-        assert_eq!(a.mul_vec(&[1.0]).unwrap_err(), LinAlgError::DimensionMismatch);
+        assert_eq!(
+            a.mul_vec(&[1.0]).unwrap_err(),
+            LinAlgError::DimensionMismatch
+        );
         assert_eq!(
             a.solve(&[1.0, 2.0]).unwrap_err(),
             LinAlgError::DimensionMismatch

@@ -296,7 +296,13 @@ mod tests {
     #[test]
     fn grid_min_skips_nan_cells() {
         let m = grid_min(
-            |x| if x < 0.5 { f64::NAN } else { (x - 0.8) * (x - 0.8) },
+            |x| {
+                if x < 0.5 {
+                    f64::NAN
+                } else {
+                    (x - 0.8) * (x - 0.8)
+                }
+            },
             0.0,
             1.0,
             21,

@@ -391,7 +391,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = FindRootError::NotBracketed { f_lo: 1.0, f_hi: 2.0 };
+        let e = FindRootError::NotBracketed {
+            f_lo: 1.0,
+            f_hi: 2.0,
+        };
         assert!(e.to_string().contains("does not bracket"));
     }
 }

@@ -227,10 +227,7 @@ mod tests {
     fn erf_matches_reference_table() {
         for &(x, want) in &ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 5e-10,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 5e-10, "erf({x}) = {got}, want {want}");
         }
     }
 
@@ -322,10 +319,7 @@ mod tests {
     fn binomial_pascal_identity() {
         for n in 1..25u32 {
             for k in 1..n {
-                assert_eq!(
-                    binomial(n, k),
-                    binomial(n - 1, k - 1) + binomial(n - 1, k)
-                );
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
             }
         }
     }

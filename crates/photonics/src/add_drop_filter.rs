@@ -17,10 +17,9 @@
 use crate::ring::RingResonator;
 use crate::{check_range, DeviceError};
 use osc_units::{Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// The pump-tuned add-drop filter implementing the all-optical multiplexer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AddDropFilter {
     ring: RingResonator,
     ote_nm_per_mw: f64,
@@ -101,7 +100,7 @@ impl AddDropFilter {
 ///
 /// The resonance shift follows from the index change:
 /// `Δλ / λ = Δn_eff / n_g`, so `Δλ = λ · n2 · P / (S · n_g)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NonlinearTuning {
     /// Linear effective index `n0`.
     pub n0: f64,
@@ -177,9 +176,7 @@ mod tests {
         // this OTE times IL chain; here we check the raw linear map.
         let d = f.detuning_for(Milliwatts::new(210.0));
         assert!((d.as_nm() - 2.1).abs() < 1e-12);
-        assert!(
-            (f.effective_resonance(Milliwatts::new(210.0)).as_nm() - 1548.0).abs() < 1e-12
-        );
+        assert!((f.effective_resonance(Milliwatts::new(210.0)).as_nm() - 1548.0).abs() < 1e-12);
     }
 
     #[test]

@@ -13,10 +13,9 @@
 use crate::detector::Photodetector;
 use crate::{check_range, DeviceError};
 use osc_units::Amperes;
-use serde::{Deserialize, Serialize};
 
 /// An avalanche photodiode front end wrapping the paper's PIN model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApdDetector {
     base: Photodetector,
     gain: f64,
@@ -96,10 +95,7 @@ impl ApdDetector {
     pub fn effective_detector(&self) -> Result<Photodetector, DeviceError> {
         Photodetector::new(
             self.base.responsivity() * self.gain,
-            Amperes::new(
-                self.base.noise_current().as_amps() * self.gain
-                    / self.snr_improvement(),
-            ),
+            Amperes::new(self.base.noise_current().as_amps() * self.gain / self.snr_improvement()),
         )
     }
 }
@@ -126,9 +122,7 @@ mod tests {
         assert_eq!(apd.snr_improvement(), 1.0);
         let eff = apd.effective_detector().unwrap();
         assert!((eff.responsivity() - 1.1).abs() < 1e-12);
-        assert!(
-            (eff.noise_current().as_amps() - base().noise_current().as_amps()).abs() < 1e-18
-        );
+        assert!((eff.noise_current().as_amps() - base().noise_current().as_amps()).abs() < 1e-18);
     }
 
     #[test]

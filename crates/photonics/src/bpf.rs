@@ -10,10 +10,9 @@
 
 use crate::{check_range, DeviceError};
 use osc_units::{DbRatio, Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// A band-pass filter passing the probe band and rejecting the pump.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BandPassFilter {
     center: Nanometers,
     bandwidth: Nanometers,
@@ -35,8 +34,20 @@ impl BandPassFilter {
         rejection: DbRatio,
     ) -> Result<Self, DeviceError> {
         check_range("bandwidth", bandwidth.as_nm(), 1e-9, f64::MAX, "BW > 0")?;
-        check_range("in_band_loss_db", in_band_loss.as_db(), 0.0, f64::MAX, "loss >= 0")?;
-        check_range("rejection_db", rejection.as_db(), 0.0, f64::MAX, "rejection >= 0")?;
+        check_range(
+            "in_band_loss_db",
+            in_band_loss.as_db(),
+            0.0,
+            f64::MAX,
+            "loss >= 0",
+        )?;
+        check_range(
+            "rejection_db",
+            rejection.as_db(),
+            0.0,
+            f64::MAX,
+            "rejection >= 0",
+        )?;
         Ok(BandPassFilter {
             center,
             bandwidth,

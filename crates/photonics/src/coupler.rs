@@ -7,10 +7,9 @@
 
 use crate::{check_range, DeviceError};
 use osc_units::{DbRatio, Milliwatts};
-use serde::{Deserialize, Serialize};
 
 /// An `n`-way optical power splitter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Splitter {
     ways: usize,
     excess_loss: DbRatio,
@@ -39,7 +38,13 @@ impl Splitter {
                 constraint: "ways >= 1",
             });
         }
-        check_range("excess_loss_db", excess_loss.as_db(), 0.0, f64::MAX, "loss >= 0 dB")?;
+        check_range(
+            "excess_loss_db",
+            excess_loss.as_db(),
+            0.0,
+            f64::MAX,
+            "loss >= 0 dB",
+        )?;
         Ok(Splitter { ways, excess_loss })
     }
 
@@ -66,7 +71,7 @@ impl Splitter {
 
 /// An `n`-way combiner that sums port powers (incoherent power addition,
 /// matching the paper's `1/n · Σ T_MZI` model) with optional excess loss.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Combiner {
     ways: usize,
     excess_loss: DbRatio,
@@ -95,7 +100,13 @@ impl Combiner {
                 constraint: "ways >= 1",
             });
         }
-        check_range("excess_loss_db", excess_loss.as_db(), 0.0, f64::MAX, "loss >= 0 dB")?;
+        check_range(
+            "excess_loss_db",
+            excess_loss.as_db(),
+            0.0,
+            f64::MAX,
+            "loss >= 0 dB",
+        )?;
         Ok(Combiner { ways, excess_loss })
     }
 

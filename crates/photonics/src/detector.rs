@@ -15,10 +15,9 @@ use crate::{check_range, DeviceError};
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_math::special::erfc;
 use osc_units::{Amperes, Milliwatts};
-use serde::{Deserialize, Serialize};
 
 /// A photodetector with responsivity and input-referred noise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Photodetector {
     responsivity_a_per_w: f64,
     noise_current: Amperes,

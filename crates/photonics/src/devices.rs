@@ -11,10 +11,9 @@
 
 use crate::mzi::MziModulator;
 use osc_units::GigahertzRate;
-use serde::{Deserialize, Serialize};
 
 /// A published MZI modulator with provenance metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MziDevice {
     /// Short citation label as used in the paper's Fig. 6.
     pub label: &'static str,

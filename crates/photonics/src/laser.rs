@@ -13,10 +13,9 @@
 
 use crate::{check_range, DeviceError};
 use osc_units::{Milliwatts, Nanometers, Picojoules, Seconds};
-use serde::{Deserialize, Serialize};
 
 /// A continuous-wave laser at a fixed wavelength.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CwLaser {
     wavelength: Nanometers,
     power: Milliwatts,
@@ -73,7 +72,7 @@ impl CwLaser {
 }
 
 /// A pulsed laser emitting one pulse per bit slot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PulsedLaser {
     wavelength: Nanometers,
     peak_power: Milliwatts,
@@ -152,7 +151,7 @@ impl PulsedLaser {
 
 /// A WDM comb of equally spaced probe lasers (paper Fig. 4(a): `n+1`
 /// probes at `λ_0 … λ_n`, spacing `WLspacing`, Eq. 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WdmComb {
     lasers: Vec<CwLaser>,
 }

@@ -16,10 +16,9 @@
 use crate::ring::RingResonator;
 use crate::{check_range, DeviceError};
 use osc_units::Nanometers;
-use serde::{Deserialize, Serialize};
 
 /// An MRR modulator: a ring resonator plus the ON-state resonance shift.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MrrModulator {
     ring: RingResonator,
     on_shift: Nanometers,

@@ -15,14 +15,13 @@
 
 use crate::{check_range, DeviceError};
 use osc_units::{DbRatio, GigahertzRate};
-use serde::{Deserialize, Serialize};
 
 /// Logical drive state of an MZI in the stochastic adder.
 ///
 /// The paper's convention (Eq. 7.b): data bit `0` leaves the arms in phase
 /// (constructive, maximum transmission); data bit `1` applies a π shift
 /// (destructive, transmission floored by the extinction ratio).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MziState {
     /// Arms in phase; transmission `IL%`.
     Constructive,
@@ -43,7 +42,7 @@ impl MziState {
 
 /// A 1×1 MZI modulator characterized by insertion loss and extinction
 /// ratio, with optional rate/geometry metadata from the source publication.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MziModulator {
     insertion_loss: DbRatio,
     extinction_ratio: DbRatio,

@@ -20,7 +20,6 @@
 
 use crate::{check_range, DeviceError};
 use osc_units::Nanometers;
-use serde::{Deserialize, Serialize};
 
 /// An add-drop micro-ring resonator characterized at one resonance.
 ///
@@ -28,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// the *effective* resonant wavelength as an argument so that callers
 /// (modulators, the non-linear filter) can shift the resonance without
 /// rebuilding the device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RingResonator {
     resonance: Nanometers,
     fsr: Nanometers,
@@ -130,10 +129,7 @@ impl RingResonator {
         let peak = self.drop_at_resonance();
         let half = peak / 2.0;
         let f = |delta: f64| {
-            self.drop_transmission(
-                self.resonance + Nanometers::new(delta),
-                self.resonance,
-            ) - half
+            self.drop_transmission(self.resonance + Nanometers::new(delta), self.resonance) - half
         };
         let mut hi = self.fsr.as_nm() * 0.499;
         // The drop response decreases monotonically out to FSR/2.
@@ -269,15 +265,10 @@ mod tests {
     #[test]
     fn off_resonance_passes_through() {
         let ring = test_ring();
-        let off = ring.through_transmission(
-            Nanometers::new(1550.0 + 2.5),
-            Nanometers::new(1550.0),
-        );
+        let off = ring.through_transmission(Nanometers::new(1550.0 + 2.5), Nanometers::new(1550.0));
         assert!(off > 0.9, "anti-resonance through = {off}");
-        let drop_off = ring.drop_transmission(
-            Nanometers::new(1550.0 + 2.5),
-            Nanometers::new(1550.0),
-        );
+        let drop_off =
+            ring.drop_transmission(Nanometers::new(1550.0 + 2.5), Nanometers::new(1550.0));
         assert!(drop_off < 0.01);
     }
 
@@ -297,11 +288,7 @@ mod tests {
             let t = ring.through_transmission(wl, ring.resonance());
             let dr = ring.drop_transmission(wl, ring.resonance());
             assert!(t >= 0.0 && dr >= 0.0);
-            assert!(
-                t + dr <= 1.0 + 1e-9,
-                "φt + φd = {} at detuning {d}",
-                t + dr
-            );
+            assert!(t + dr <= 1.0 + 1e-9, "φt + φd = {} at detuning {d}", t + dr);
         }
     }
 

@@ -6,10 +6,9 @@
 //! what reaches the detector — [`Spectrum`] is that running record.
 
 use osc_units::{Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// One WDM channel: a wavelength carrying some optical power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Channel {
     /// Carrier wavelength.
     pub wavelength: Nanometers,
@@ -18,7 +17,7 @@ pub struct Channel {
 }
 
 /// A set of WDM channels on one waveguide.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Spectrum {
     channels: Vec<Channel>,
 }
@@ -150,7 +149,10 @@ mod tests {
     fn power_near_picks_closest() {
         let s = comb().attenuate(|wl| if wl.as_nm() == 1549.0 { 0.25 } else { 1.0 });
         assert_eq!(s.power_near(Nanometers::new(1549.2)).as_mw(), 0.25);
-        assert_eq!(Spectrum::new().power_near(Nanometers::new(1.0)).as_mw(), 0.0);
+        assert_eq!(
+            Spectrum::new().power_near(Nanometers::new(1.0)).as_mw(),
+            0.0
+        );
     }
 
     #[test]

@@ -7,10 +7,9 @@
 
 use crate::{check_range, DeviceError};
 use osc_units::{DbRatio, Milliwatts};
-use serde::{Deserialize, Serialize};
 
 /// A waveguide segment with distributed propagation loss.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Waveguide {
     length_mm: f64,
     loss_db_per_cm: f64,
@@ -24,13 +23,7 @@ impl Waveguide {
     /// Returns [`DeviceError`] for negative length or loss.
     pub fn new(length_mm: f64, loss_db_per_cm: f64) -> Result<Self, DeviceError> {
         check_range("length_mm", length_mm, 0.0, f64::MAX, "length >= 0")?;
-        check_range(
-            "loss_db_per_cm",
-            loss_db_per_cm,
-            0.0,
-            f64::MAX,
-            "loss >= 0",
-        )?;
+        check_range("loss_db_per_cm", loss_db_per_cm, 0.0, f64::MAX, "loss >= 0")?;
         Ok(Waveguide {
             length_mm,
             loss_db_per_cm,

@@ -1,5 +1,9 @@
 //! Property-based tests for the photonic device models.
+//!
+//! Deterministic property harness: each property runs over seeded random
+//! cases drawn from the workspace RNG, so failures replay exactly.
 
+use osc_math::rng::Xoshiro256PlusPlus;
 use osc_photonics::add_drop_filter::AddDropFilter;
 use osc_photonics::apd::ApdDetector;
 use osc_photonics::detector::Photodetector;
@@ -7,69 +11,95 @@ use osc_photonics::laser::WdmComb;
 use osc_photonics::mzi::MziModulator;
 use osc_photonics::ring::RingResonator;
 use osc_units::{Amperes, Milliwatts, Nanometers};
-use proptest::prelude::*;
 
-fn arb_ring() -> impl Strategy<Value = RingResonator> {
-    (0.85f64..0.995, 0.85f64..0.995, 0.95f64..1.0).prop_map(|(r1, r2, a)| {
-        RingResonator::builder()
-            .resonance(Nanometers::new(1550.0))
-            .fsr(Nanometers::new(10.0))
-            .self_coupling(r1, r2)
-            .amplitude_transmission(a)
-            .build()
-            .unwrap()
-    })
+/// Runs `f` over `n` seeded cases.
+fn cases(n: u64, mut f: impl FnMut(&mut Xoshiro256PlusPlus)) {
+    for case in 0..n {
+        let mut rng = Xoshiro256PlusPlus::new(0x9070_70E5 ^ case);
+        f(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn arb_ring(rng: &mut Xoshiro256PlusPlus) -> RingResonator {
+    let r1 = rng.range_f64(0.85, 0.995);
+    let r2 = rng.range_f64(0.85, 0.995);
+    let a = rng.range_f64(0.95, 1.0);
+    RingResonator::builder()
+        .resonance(Nanometers::new(1550.0))
+        .fsr(Nanometers::new(10.0))
+        .self_coupling(r1, r2)
+        .amplitude_transmission(a)
+        .build()
+        .unwrap()
+}
 
-    /// Through + drop never exceeds unity for any ring and detuning.
-    #[test]
-    fn ring_passivity(ring in arb_ring(), detuning in -6.0f64..6.0) {
+/// Through + drop never exceeds unity for any ring and detuning.
+#[test]
+fn ring_passivity() {
+    cases(96, |rng| {
+        let ring = arb_ring(rng);
+        let detuning = rng.range_f64(-6.0, 6.0);
         let wl = Nanometers::new(1550.0 + detuning);
         let t = ring.through_transmission(wl, ring.resonance());
         let d = ring.drop_transmission(wl, ring.resonance());
-        prop_assert!(t >= 0.0 && d >= 0.0);
-        prop_assert!(t + d <= 1.0 + 1e-9, "t+d = {}", t + d);
-    }
+        assert!(t >= 0.0 && d >= 0.0);
+        assert!(t + d <= 1.0 + 1e-9, "t+d = {}", t + d);
+    });
+}
 
-    /// The through dip is at the resonance: any detuned point transmits
-    /// at least as much as the on-resonance point.
-    #[test]
-    fn ring_dip_at_resonance(ring in arb_ring(), detuning in -4.9f64..4.9) {
+/// The through dip is at the resonance: any detuned point transmits at
+/// least as much as the on-resonance point.
+#[test]
+fn ring_dip_at_resonance() {
+    cases(96, |rng| {
+        let ring = arb_ring(rng);
+        let detuning = rng.range_f64(-4.9, 4.9);
         let on = ring.through_at_resonance();
-        let off = ring.through_transmission(
-            Nanometers::new(1550.0 + detuning),
-            ring.resonance(),
-        );
-        prop_assert!(off >= on - 1e-12);
-    }
+        let off = ring.through_transmission(Nanometers::new(1550.0 + detuning), ring.resonance());
+        assert!(off >= on - 1e-12);
+    });
+}
 
-    /// Drop response decreases monotonically with |detuning| inside half
-    /// an FSR.
-    #[test]
-    fn drop_monotone_in_detuning(ring in arb_ring(), d1 in 0.0f64..4.9, d2 in 0.0f64..4.9) {
-        prop_assume!(d1 < d2);
+/// Drop response decreases monotonically with |detuning| inside half an
+/// FSR.
+#[test]
+fn drop_monotone_in_detuning() {
+    cases(96, |rng| {
+        let ring = arb_ring(rng);
+        let a = rng.range_f64(0.0, 4.9);
+        let b = rng.range_f64(0.0, 4.9);
+        let (d1, d2) = if a < b { (a, b) } else { (b, a) };
+        if d1 == d2 {
+            return;
+        }
         let near = ring.drop_transmission(Nanometers::new(1550.0 + d1), ring.resonance());
         let far = ring.drop_transmission(Nanometers::new(1550.0 + d2), ring.resonance());
-        prop_assert!(near >= far - 1e-12);
-    }
+        assert!(near >= far - 1e-12);
+    });
+}
 
-    /// MZI interferometric transmission is bounded by its two states for
-    /// every phase.
-    #[test]
-    fn mzi_phase_bounded(il in 0.0f64..10.0, er in 0.1f64..20.0, phi in 0.0f64..std::f64::consts::TAU) {
+/// MZI interferometric transmission is bounded by its two states for
+/// every phase.
+#[test]
+fn mzi_phase_bounded() {
+    cases(96, |rng| {
+        let il = rng.range_f64(0.0, 10.0);
+        let er = rng.range_f64(0.1, 20.0);
+        let phi = rng.range_f64(0.0, std::f64::consts::TAU);
         let mzi = MziModulator::from_db(il, er).unwrap();
         let t = mzi.transmission_at_phase(phi);
         let hi = mzi.transmission_for_bit(false);
         let lo = mzi.transmission_for_bit(true);
-        prop_assert!(t >= lo - 1e-12 && t <= hi + 1e-12);
-    }
+        assert!(t >= lo - 1e-12 && t <= hi + 1e-12);
+    });
+}
 
-    /// Filter detuning is exactly linear in control power.
-    #[test]
-    fn filter_detuning_linear(p in 0.0f64..1000.0, k in 0.1f64..5.0) {
+/// Filter detuning is exactly linear in control power.
+#[test]
+fn filter_detuning_linear() {
+    cases(96, |rng| {
+        let p = rng.range_f64(0.0, 1000.0);
+        let k = rng.range_f64(0.1, 5.0);
         let ring = RingResonator::builder()
             .resonance(Nanometers::new(1550.1))
             .fsr(Nanometers::new(10.0))
@@ -80,32 +110,44 @@ proptest! {
         let f = AddDropFilter::new(ring, 0.01).unwrap();
         let d1 = f.detuning_for(Milliwatts::new(p)).as_nm();
         let dk = f.detuning_for(Milliwatts::new(k * p)).as_nm();
-        prop_assert!((dk - k * d1).abs() < 1e-9);
-    }
+        assert!((dk - k * d1).abs() < 1e-9);
+    });
+}
 
-    /// Detector SNR is linear in the power separation.
-    #[test]
-    fn detector_snr_linear(sep in 0.001f64..1.0, base in 0.0f64..1.0) {
+/// Detector SNR is linear in the power separation.
+#[test]
+fn detector_snr_linear() {
+    cases(96, |rng| {
+        let sep = rng.range_f64(0.001, 1.0);
+        let base = rng.next_f64();
         let d = Photodetector::new(1.1, Amperes::from_microamps(10.0)).unwrap();
         let s1 = d.snr(Milliwatts::new(base + sep), Milliwatts::new(base));
         let s2 = d.snr(Milliwatts::new(base + 2.0 * sep), Milliwatts::new(base));
-        prop_assert!((s2 - 2.0 * s1).abs() < 1e-9);
-    }
+        assert!((s2 - 2.0 * s1).abs() < 1e-9);
+    });
+}
 
-    /// APD SNR improvement is at least 1 and grows with gain for fixed x.
-    #[test]
-    fn apd_improvement_monotone(m in 1.0f64..500.0, x in 0.0f64..1.0) {
+/// APD SNR improvement is at least 1 and grows with gain for fixed x.
+#[test]
+fn apd_improvement_monotone() {
+    cases(96, |rng| {
+        let m = rng.range_f64(1.0, 500.0);
+        let x = rng.next_f64();
         let base = Photodetector::new(1.0, Amperes::from_microamps(10.0)).unwrap();
         let apd = ApdDetector::new(base, m, x).unwrap();
-        prop_assert!(apd.snr_improvement() >= 1.0 - 1e-12);
+        assert!(apd.snr_improvement() >= 1.0 - 1e-12);
         let apd2 = ApdDetector::new(base, m * 1.5, x).unwrap();
-        prop_assert!(apd2.snr_improvement() >= apd.snr_improvement() - 1e-12);
-    }
+        assert!(apd2.snr_improvement() >= apd.snr_improvement() - 1e-12);
+    });
+}
 
-    /// WDM comb channels are equally spaced and end on the requested
-    /// wavelength.
-    #[test]
-    fn comb_layout(count in 2usize..20, spacing in 0.05f64..2.0) {
+/// WDM comb channels are equally spaced and end on the requested
+/// wavelength.
+#[test]
+fn comb_layout() {
+    cases(96, |rng| {
+        let count = 2 + rng.below(18) as usize;
+        let spacing = rng.range_f64(0.05, 2.0);
         let comb = WdmComb::equally_spaced(
             count,
             Nanometers::new(1550.0),
@@ -115,20 +157,24 @@ proptest! {
         )
         .unwrap();
         let wls = comb.wavelengths();
-        prop_assert_eq!(wls.len(), count);
-        prop_assert!((wls[count - 1].as_nm() - 1550.0).abs() < 1e-9);
+        assert_eq!(wls.len(), count);
+        assert!((wls[count - 1].as_nm() - 1550.0).abs() < 1e-9);
         for pair in wls.windows(2) {
-            prop_assert!(((pair[1] - pair[0]).as_nm() - spacing).abs() < 1e-9);
+            assert!(((pair[1] - pair[0]).as_nm() - spacing).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// BER is monotone decreasing in SNR and within [0, 0.5].
-    #[test]
-    fn ber_monotone(s1 in 0.0f64..30.0, ds in 0.01f64..5.0) {
+/// BER is monotone decreasing in SNR and within [0, 0.5].
+#[test]
+fn ber_monotone() {
+    cases(96, |rng| {
         use osc_photonics::detector::ber_from_snr;
+        let s1 = rng.range_f64(0.0, 30.0);
+        let ds = rng.range_f64(0.01, 5.0);
         let b1 = ber_from_snr(s1);
         let b2 = ber_from_snr(s1 + ds);
-        prop_assert!(b2 < b1 || (b1 == 0.5 && s1 == 0.0));
-        prop_assert!((0.0..=0.5).contains(&b1));
-    }
+        assert!(b2 < b1 || (b1 == 0.5 && s1 == 0.0));
+        assert!((0.0..=0.5).contains(&b1));
+    });
 }

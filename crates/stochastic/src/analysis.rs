@@ -14,10 +14,9 @@ use crate::sng::StochasticNumberGenerator;
 use crate::ScError;
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_math::stats::RunningStats;
-use serde::{Deserialize, Serialize};
 
 /// One row of a stream-length convergence study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvergencePoint {
     /// Stream length `N`.
     pub stream_length: usize,
@@ -73,7 +72,7 @@ pub fn convergence_study<S: StochasticNumberGenerator>(
 }
 
 /// One row of a fault-injection study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPoint {
     /// Injected bit-flip probability.
     pub flip_prob: f64,

@@ -11,7 +11,6 @@
 
 use crate::{check_unit, ScError};
 use osc_math::special::binomial_f64;
-use serde::{Deserialize, Serialize};
 
 /// Bernstein basis polynomial `B_{i,n}(x) = C(n,i) x^i (1−x)^(n−i)`.
 ///
@@ -31,7 +30,7 @@ pub fn basis(i: u32, n: u32, x: f64) -> f64 {
 
 /// A Bernstein-form polynomial whose coefficients are probabilities,
 /// i.e. directly implementable in stochastic logic.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BernsteinPoly {
     coeffs: Vec<f64>,
 }

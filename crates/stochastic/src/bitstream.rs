@@ -3,9 +3,20 @@
 //! A [`BitStream`] stores bits in `u64` words; its *value* is the fraction
 //! of ones, the number the stream encodes. Operations preserve the packed
 //! layout so million-bit experiments stay cheap.
+//!
+//! # Packed-word layout
+//!
+//! Bit `i` of the stream lives in word `i / 64` at bit position `i % 64`
+//! (LSB-first within a word). The final word of a stream whose length is
+//! not a multiple of 64 is zero-padded above the tail: every operation
+//! maintains the invariant that padding bits are 0, so `count_ones` and
+//! word-level combinators never see phantom bits. Hot paths should use the
+//! word-level API — [`BitStream::words`], [`BitStream::from_words`],
+//! [`BitStream::word_chunks`], [`BitStream::push_word`] and
+//! [`BitStream::extend_from_fn`] — which processes 64 clock cycles per
+//! memory access instead of one.
 
 use crate::ScError;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-length stochastic bit-stream.
 ///
@@ -16,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.count_ones(), 3);
 /// assert_eq!(s.value(), 0.75);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct BitStream {
     words: Vec<u64>,
     len: usize,
@@ -89,7 +100,11 @@ impl BitStream {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] >> (index % 64) & 1 == 1
     }
 
@@ -99,12 +114,107 @@ impl BitStream {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         if bit {
             self.words[index / 64] |= 1 << (index % 64);
         } else {
             self.words[index / 64] &= !(1 << (index % 64));
         }
+    }
+
+    /// The packed words backing the stream (LSB-first within each word).
+    ///
+    /// Padding bits above `len` in the final word are guaranteed to be 0.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a stream of `len` bits directly from packed words.
+    ///
+    /// `words` must hold exactly `len.div_ceil(64)` words; padding bits in
+    /// the final word are masked off, so callers may hand over a word with
+    /// garbage above the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)` (programmer error — the
+    /// packed layout is fixed).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "packed layout requires len.div_ceil(64) words"
+        );
+        let mut s = BitStream { words, len };
+        s.mask_tail();
+        s
+    }
+
+    /// Iterates over the packed `u64` chunks (the final chunk zero-padded).
+    pub fn word_chunks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().copied()
+    }
+
+    /// Appends the low `n` bits of `word` (LSB first), `n <= 64`.
+    ///
+    /// Works at any current length: when the stream length is not
+    /// word-aligned the incoming bits are spliced across the word boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn push_word(&mut self, word: u64, n: usize) {
+        assert!(n <= 64, "a word holds at most 64 bits, got {n}");
+        if n == 0 {
+            return;
+        }
+        let word = if n < 64 {
+            word & ((1u64 << n) - 1)
+        } else {
+            word
+        };
+        let offset = self.len % 64;
+        if offset == 0 {
+            self.words.push(word);
+        } else {
+            *self.words.last_mut().expect("offset != 0 implies a word") |= word << offset;
+            if offset + n > 64 {
+                self.words.push(word >> (64 - offset));
+            }
+        }
+        self.len += n;
+    }
+
+    /// Appends `bits` bits produced one word at a time by `f`.
+    ///
+    /// `f(chunk_index, nbits)` must return the next `nbits` bits of the
+    /// stream in the low bits of a `u64` (LSB = earliest bit). `nbits` is
+    /// 64 for every chunk except possibly the last, so generators that
+    /// consume an entropy source draw exactly `bits` samples — this is what
+    /// keeps the word-parallel SNG fast paths bit-identical (including RNG
+    /// state) to their per-bit references.
+    pub fn extend_from_fn<F: FnMut(usize, usize) -> u64>(&mut self, bits: usize, mut f: F) {
+        self.words.reserve(bits.div_ceil(64));
+        let mut remaining = bits;
+        let mut chunk = 0;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            self.push_word(f(chunk, take), take);
+            chunk += 1;
+            remaining -= take;
+        }
+    }
+
+    /// Creates a stream of `len` bits from a word-building closure (see
+    /// [`BitStream::extend_from_fn`] for the closure contract).
+    pub fn from_word_fn<F: FnMut(usize, usize) -> u64>(len: usize, f: F) -> Self {
+        let mut s = BitStream::zeros(0);
+        s.extend_from_fn(len, f);
+        s
     }
 
     /// Number of ones (the de-randomizing counter of the ReSC receiver).
@@ -416,6 +526,91 @@ mod tests {
         let s: BitStream = (0..10).map(|i| i < 3).collect();
         assert_eq!(s.count_ones(), 3);
         assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn words_layout_lsb_first() {
+        let mut s = BitStream::zeros(70);
+        s.set(0, true);
+        s.set(63, true);
+        s.set(64, true);
+        assert_eq!(s.words(), &[1 | (1 << 63), 1]);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        let s = BitStream::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.count_ones(), 70);
+        assert_eq!(s.words()[1], (1 << 6) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed layout")]
+    fn from_words_wrong_word_count_panics() {
+        let _ = BitStream::from_words(vec![0], 70);
+    }
+
+    #[test]
+    fn push_word_splices_across_boundaries() {
+        // Build 0..=130 via odd-sized word pushes and compare to from_fn.
+        let reference = BitStream::from_fn(131, |i| i % 3 == 0);
+        let mut s = BitStream::zeros(0);
+        let mut bit = 0usize;
+        for n in [1, 7, 64, 13, 46] {
+            let mut w = 0u64;
+            for b in 0..n {
+                w |= u64::from((bit + b).is_multiple_of(3)) << b;
+            }
+            s.push_word(w, n);
+            bit += n;
+        }
+        assert_eq!(s, reference);
+    }
+
+    #[test]
+    fn push_word_ignores_garbage_above_n() {
+        let mut s = BitStream::zeros(0);
+        s.push_word(u64::MAX, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count_ones(), 3);
+        assert_eq!(s.words(), &[0b111]);
+    }
+
+    #[test]
+    fn extend_from_fn_matches_from_fn() {
+        for len in [0usize, 1, 63, 64, 65, 128, 200] {
+            let reference = BitStream::from_fn(len, |i| i % 5 == 0);
+            let built = BitStream::from_word_fn(len, |chunk, nbits| {
+                let mut w = 0u64;
+                for b in 0..nbits {
+                    w |= u64::from((chunk * 64 + b).is_multiple_of(5)) << b;
+                }
+                w
+            });
+            assert_eq!(built, reference, "len {len}");
+        }
+    }
+
+    #[test]
+    fn extend_from_fn_reports_partial_tail() {
+        let mut seen = Vec::new();
+        let _ = BitStream::from_word_fn(130, |chunk, nbits| {
+            seen.push((chunk, nbits));
+            0
+        });
+        assert_eq!(seen, vec![(0, 64), (1, 64), (2, 2)]);
+    }
+
+    #[test]
+    fn word_chunks_covers_stream() {
+        let s = BitStream::from_fn(130, |i| i % 2 == 0);
+        let words: Vec<u64> = s.word_chunks().collect();
+        assert_eq!(words.len(), 3);
+        assert_eq!(
+            words.iter().map(|w| w.count_ones() as usize).sum::<usize>(),
+            s.count_ones()
+        );
     }
 
     #[test]

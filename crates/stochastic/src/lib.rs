@@ -9,7 +9,9 @@
 //! arbitrary continuous functions. The DATE 2019 paper transposes exactly
 //! that architecture to optics, so this crate provides:
 //!
-//! - [`bitstream::BitStream`] — packed stochastic bit-streams;
+//! - [`bitstream::BitStream`] — packed stochastic bit-streams, with a
+//!   word-level API (64 cycles per memory pass) that every hot path in
+//!   the workspace builds on (see the module docs for the packed layout);
 //! - [`lfsr::Lfsr`] — maximal-length linear feedback shift registers, the
 //!   conventional SC pseudo-random source;
 //! - [`sng`] — stochastic number generators (comparator SNGs over LFSR,

@@ -29,11 +29,7 @@ pub fn multiply(a: &BitStream, b: &BitStream) -> Result<BitStream, ScError> {
 /// # Errors
 ///
 /// [`ScError::LengthMismatch`] if lengths differ.
-pub fn scaled_add(
-    a: &BitStream,
-    b: &BitStream,
-    select: &BitStream,
-) -> Result<BitStream, ScError> {
+pub fn scaled_add(a: &BitStream, b: &BitStream, select: &BitStream) -> Result<BitStream, ScError> {
     a.mux(b, select)
 }
 

@@ -12,10 +12,9 @@
 use crate::bernstein::BernsteinPoly;
 use crate::ScError;
 use osc_math::special::binomial_f64;
-use serde::{Deserialize, Serialize};
 
 /// A polynomial in power form: `coeffs[k]` multiplies `x^k`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polynomial {
     coeffs: Vec<f64>,
 }
@@ -54,10 +53,7 @@ impl Polynomial {
 
     /// Evaluates by Horner's rule.
     pub fn eval(&self, x: f64) -> f64 {
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &c| acc * x + c)
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
     }
 
     /// Exact conversion to the Bernstein basis of the same degree.
@@ -77,9 +73,7 @@ impl Polynomial {
         (0..=n)
             .map(|i| {
                 (0..=i)
-                    .map(|k| {
-                        binomial_f64(i, k) / binomial_f64(n, k) * self.coeffs[k as usize]
-                    })
+                    .map(|k| binomial_f64(i, k) / binomial_f64(n, k) * self.coeffs[k as usize])
                     .sum()
             })
             .collect()
@@ -175,10 +169,7 @@ mod tests {
         let b = p.to_bernstein().unwrap();
         for i in 0..=20 {
             let x = i as f64 / 20.0;
-            assert!(
-                (p.eval(x) - b.eval(x)).abs() < 1e-12,
-                "mismatch at x={x}"
-            );
+            assert!((p.eval(x) - b.eval(x)).abs() < 1e-12, "mismatch at x={x}");
         }
     }
 

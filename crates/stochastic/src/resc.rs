@@ -19,10 +19,9 @@ use crate::bitstream::BitStream;
 use crate::sng::StochasticNumberGenerator;
 use crate::{check_unit, ScError};
 use osc_math::rng::Xoshiro256PlusPlus;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of one stochastic evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScEvaluation {
     /// Stochastic estimate `count / N`.
     pub estimate: f64,
@@ -40,7 +39,7 @@ impl ScEvaluation {
 }
 
 /// The electronic ReSC unit for a fixed Bernstein polynomial.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReScUnit {
     poly: BernsteinPoly,
 }
@@ -89,18 +88,35 @@ impl ReScUnit {
         Ok((data, coeffs))
     }
 
-    /// Runs the adder + multiplexer over pre-generated streams, returning
-    /// the output stream (before the counter).
+    /// Per-bit reference twin of [`ReScUnit::generate_streams`], drawing
+    /// through each SNG's per-bit comparator path. Bit-identical to the
+    /// word-parallel default; kept for equivalence tests and as the
+    /// "before" side of kernel benchmarks.
     ///
     /// # Errors
     ///
-    /// [`ScError::LengthMismatch`] if any stream length differs;
-    /// [`ScError::Empty`] if the stream sets have the wrong arity.
-    pub fn run_streams(
+    /// [`ScError::OutOfUnitRange`] if `x` is outside `[0, 1]`.
+    pub fn generate_streams_bitwise<S: StochasticNumberGenerator>(
         &self,
-        data: &[BitStream],
-        coeffs: &[BitStream],
-    ) -> Result<BitStream, ScError> {
+        x: f64,
+        len: usize,
+        sng: &mut S,
+    ) -> Result<(Vec<BitStream>, Vec<BitStream>), ScError> {
+        let x = check_unit("input x", x)?;
+        let n = self.degree();
+        let data = (0..n)
+            .map(|_| sng.generate_bitwise(x, len))
+            .collect::<Result<Vec<_>, _>>()?;
+        let coeffs = self
+            .poly
+            .coeffs()
+            .iter()
+            .map(|&b| sng.generate_bitwise(b, len))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((data, coeffs))
+    }
+
+    fn check_arity(&self, data: &[BitStream], coeffs: &[BitStream]) -> Result<usize, ScError> {
         let n = self.degree();
         if data.len() != n {
             return Err(ScError::Empty("expected n data streams"));
@@ -117,10 +133,66 @@ impl ReScUnit {
                 });
             }
         }
+        Ok(len)
+    }
+
+    /// Runs the adder + multiplexer over pre-generated streams, returning
+    /// the output stream (before the counter).
+    ///
+    /// Word-parallel: each iteration loads one 64-cycle `u64` chunk of
+    /// every stream and transposes it bit by bit in registers, instead of
+    /// issuing `(2n+1)` bounds-checked bit reads per clock cycle.
+    /// Bit-identical to [`ReScUnit::run_streams_bitwise`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::LengthMismatch`] if any stream length differs;
+    /// [`ScError::Empty`] if the stream sets have the wrong arity.
+    pub fn run_streams(
+        &self,
+        data: &[BitStream],
+        coeffs: &[BitStream],
+    ) -> Result<BitStream, ScError> {
+        let len = self.check_arity(data, coeffs)?;
+        let mut out = BitStream::zeros(0);
+        let words = len.div_ceil(64);
+        let mut remaining = len;
+        let mut dw = vec![0u64; data.len()];
+        let mut cw = vec![0u64; coeffs.len()];
+        for w in 0..words {
+            for (slot, s) in dw.iter_mut().zip(data) {
+                *slot = s.words()[w];
+            }
+            for (slot, s) in cw.iter_mut().zip(coeffs) {
+                *slot = s.words()[w];
+            }
+            let nbits = remaining.min(64);
+            let mut word = 0u64;
+            for t in 0..nbits {
+                // Adder: count ones among the data bits at time t.
+                let k: usize = dw.iter().map(|&d| ((d >> t) & 1) as usize).sum();
+                // Multiplexer: forward coefficient bit z_k.
+                word |= ((cw[k] >> t) & 1) << t;
+            }
+            out.push_word(word, nbits);
+            remaining -= nbits;
+        }
+        Ok(out)
+    }
+
+    /// Per-bit reference twin of [`ReScUnit::run_streams`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ReScUnit::run_streams`].
+    pub fn run_streams_bitwise(
+        &self,
+        data: &[BitStream],
+        coeffs: &[BitStream],
+    ) -> Result<BitStream, ScError> {
+        let len = self.check_arity(data, coeffs)?;
         Ok(BitStream::from_fn(len, |t| {
-            // Adder: count ones among the data bits at time t.
             let k: usize = data.iter().filter(|s| s.get(t)).count();
-            // Multiplexer: forward coefficient bit z_k.
             coeffs[k].get(t)
         }))
     }
@@ -190,6 +262,33 @@ impl ReScUnit {
 mod tests {
     use super::*;
     use crate::sng::{CounterSng, LfsrSng, XoshiroSng};
+
+    #[test]
+    fn word_kernel_matches_bitwise_reference() {
+        // Ragged and aligned lengths, several degrees: the transposed word
+        // kernel must agree with the per-bit mux on every cycle.
+        for degree in [1usize, 2, 3, 6] {
+            let coeffs: Vec<f64> = (0..=degree).map(|i| i as f64 / degree as f64).collect();
+            let unit = ReScUnit::new(BernsteinPoly::new(coeffs).unwrap());
+            for len in [1usize, 63, 64, 65, 130, 1000] {
+                let mut sng = XoshiroSng::new(1234 + len as u64);
+                let (data, z) = unit.generate_streams(0.4, len, &mut sng).unwrap();
+                let fast = unit.run_streams(&data, &z).unwrap();
+                let slow = unit.run_streams_bitwise(&data, &z).unwrap();
+                assert_eq!(fast, slow, "degree {degree}, len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_generation_fast_and_bitwise_agree() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let mut a = XoshiroSng::new(9);
+        let mut b = XoshiroSng::new(9);
+        let fast = unit.generate_streams(0.3, 257, &mut a).unwrap();
+        let slow = unit.generate_streams_bitwise(0.3, 257, &mut b).unwrap();
+        assert_eq!(fast, slow);
+    }
 
     #[test]
     fn paper_fig1b_example() {

@@ -12,13 +12,58 @@
 //! - [`XoshiroSng`]: seeded high-quality PRNG, the software reference;
 //! - [`ChaoticLaserSng`]: stand-in for the paper's future-work randomizer
 //!   \[20\] — a 640 Gbit/s chaotic-laser TRNG, modeled as an ideal fast
-//!   entropy source (`rand`-backed, optionally seeded for replay).
+//!   entropy source (SplitMix64-backed, optionally seeded for replay).
+//!
+//! # Word-parallel fast paths
+//!
+//! Every generator assembles whole 64-bit words (via a private equivalent
+//! of [`BitStream::from_word_fn`]) instead of setting bits one at a time,
+//! and the comparator is lowered to an exact integer threshold where the
+//! random source has a power-of-two range (see [`unit_threshold`]). The
+//! per-bit comparator path is preserved as
+//! [`StochasticNumberGenerator::generate_bitwise`]; the fast paths are
+//! **bit-identical** to it — same bits, same random-source state after the
+//! call — which the crate's property tests pin down for word-aligned and
+//! ragged stream lengths alike.
 
 use crate::bitstream::BitStream;
 use crate::lfsr::Lfsr;
 use crate::{check_unit, ScError};
-use osc_math::rng::Xoshiro256PlusPlus;
-use rand::{Rng, SeedableRng};
+use osc_math::rng::{SplitMix64, Xoshiro256PlusPlus};
+
+/// Smallest integer `T` such that `u < T  ⇔  u / 2^bits < p` for every
+/// integer `u ∈ [0, 2^bits)`.
+///
+/// `p * 2^bits` is exact in `f64` (scaling by a power of two only moves
+/// the exponent), so thresholding an integer comparator state against `T`
+/// reproduces the floating-point comparison `u as f64 / 2^bits < p`
+/// bit-for-bit while staying entirely in integer arithmetic.
+///
+/// # Panics
+///
+/// Panics if `bits > 63` (the threshold for `p = 1` would not fit) or
+/// `p` is outside `[0, 1]` — callers validate `p` via `check_unit` first.
+pub fn unit_threshold(p: f64, bits: u32) -> u64 {
+    assert!(bits <= 63, "unit_threshold supports at most 63 bits");
+    assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+    (p * (1u64 << bits) as f64).ceil() as u64
+}
+
+/// Assembles a stream by filling whole packed words from `f(nbits)`,
+/// which must return the next `nbits` bits LSB-first (`nbits` is 64 for
+/// every word but possibly the last). The tight word loop the SNG fast
+/// paths share — equivalent to [`BitStream::from_word_fn`] but built
+/// directly into the word vector.
+fn build_words<F: FnMut(usize) -> u64>(len: usize, mut f: F) -> BitStream {
+    let mut words = Vec::with_capacity(len.div_ceil(64));
+    let mut remaining = len;
+    while remaining > 0 {
+        let nbits = remaining.min(64);
+        words.push(f(nbits));
+        remaining -= nbits;
+    }
+    BitStream::from_words(words, len)
+}
 
 /// A source of stochastic bit-streams with prescribed bias.
 ///
@@ -31,6 +76,20 @@ pub trait StochasticNumberGenerator {
     ///
     /// [`ScError::OutOfUnitRange`] if `p` is outside `[0, 1]`.
     fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError>;
+
+    /// Per-bit reference implementation of [`Self::generate`].
+    ///
+    /// Generators with a word-parallel fast path override this with the
+    /// straightforward one-comparison-per-bit loop; the two must be
+    /// bit-identical (including the generator state left behind). The
+    /// default simply delegates to `generate`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] if `p` is outside `[0, 1]`.
+    fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        self.generate(p, len)
+    }
 
     /// Human-readable name for reports and benchmarks.
     fn name(&self) -> &'static str;
@@ -59,6 +118,21 @@ impl LfsrSng {
 impl StochasticNumberGenerator for LfsrSng {
     fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
         let p = check_unit("probability", p)?;
+        // `next_unit` is `state / 2^w`: a power-of-two range, so the
+        // comparison lowers to an exact integer threshold.
+        let threshold = unit_threshold(p, self.lfsr.width());
+        let lfsr = &mut self.lfsr;
+        Ok(build_words(len, |nbits| {
+            let mut w = 0u64;
+            for b in 0..nbits {
+                w |= u64::from(u64::from(lfsr.next_state()) < threshold) << b;
+            }
+            w
+        }))
+    }
+
+    fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
         Ok(BitStream::from_fn(len, |_| self.lfsr.next_unit() < p))
     }
 
@@ -85,10 +159,10 @@ pub struct CounterSng {
 
 /// The first 64 primes, used as Halton bases for successive streams.
 const HALTON_PRIMES: [u64; 64] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
-    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
-    283, 293, 307, 311,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311,
 ];
 
 impl CounterSng {
@@ -113,15 +187,51 @@ impl CounterSng {
     pub fn van_der_corput(n: u64) -> f64 {
         Self::van_der_corput_base(n, 2)
     }
+
+    fn next_base(&mut self) -> u64 {
+        let base = HALTON_PRIMES[self.stream % HALTON_PRIMES.len()];
+        self.stream += 1;
+        base
+    }
 }
 
 impl StochasticNumberGenerator for CounterSng {
     fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
         let p = check_unit("probability", p)?;
-        let base = HALTON_PRIMES[self.stream % HALTON_PRIMES.len()];
-        self.stream += 1;
+        let base = self.next_base();
         // Index starts at 1: the radical inverse of 0 is exactly 0, which
         // would bias the first bit high for every p > 0.
+        if base == 2 && (len as u64) < (1 << 52) {
+            // vdc_2(n) == reverse_bits(n) / 2^64 exactly (for n below 2^53
+            // the radical inverse is a short binary fraction, so the
+            // reference f64 accumulation is exact too). Compare in u128 to
+            // admit the p = 1 threshold of 2^64.
+            let threshold = ((p * 2f64.powi(64)).ceil()) as u128;
+            let mut n = 0u64;
+            Ok(build_words(len, |nbits| {
+                let mut w = 0u64;
+                for b in 0..nbits {
+                    n += 1;
+                    w |= u64::from((n.reverse_bits() as u128) < threshold) << b;
+                }
+                w
+            }))
+        } else {
+            let mut n = 0u64;
+            Ok(build_words(len, |nbits| {
+                let mut w = 0u64;
+                for b in 0..nbits {
+                    n += 1;
+                    w |= u64::from(Self::van_der_corput_base(n, base) < p) << b;
+                }
+                w
+            }))
+        }
+    }
+
+    fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
+        let base = self.next_base();
         Ok(BitStream::from_fn(len, |i| {
             Self::van_der_corput_base(i as u64 + 1, base) < p
         }))
@@ -150,6 +260,26 @@ impl XoshiroSng {
 impl StochasticNumberGenerator for XoshiroSng {
     fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
         let p = check_unit("probability", p)?;
+        // `next_f64` is `(next_u64() >> 11) / 2^53`; lower the comparison
+        // to an integer threshold and keep one RNG draw per bit, so the
+        // generator state matches the per-bit reference exactly.
+        let threshold = unit_threshold(p, 53);
+        // Hoist the generator state into a local so it lives in registers
+        // across the word loop instead of bouncing through `&mut self`.
+        let mut rng = self.rng.clone();
+        let out = build_words(len, |nbits| {
+            let mut w = 0u64;
+            for b in 0..nbits {
+                w |= u64::from((rng.next_u64() >> 11) < threshold) << b;
+            }
+            w
+        });
+        self.rng = rng;
+        Ok(out)
+    }
+
+    fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
         Ok(BitStream::from_fn(len, |_| self.rng.bernoulli(p)))
     }
 
@@ -161,11 +291,13 @@ impl StochasticNumberGenerator for XoshiroSng {
 /// Stand-in for the chaotic-laser TRNG of Zhang et al. \[20\] (the paper's
 /// future-work optical randomizer): an ideal high-rate entropy source.
 ///
-/// Backed by `rand::rngs::StdRng`; construct [`ChaoticLaserSng::seeded`]
-/// for reproducible experiments or [`ChaoticLaserSng::entropy`] for true
-/// system randomness.
+/// Backed by [`SplitMix64`] (the fastest generator in the workspace, as
+/// befits a 640 Gbit/s source model); construct [`ChaoticLaserSng::seeded`]
+/// for reproducible experiments or [`ChaoticLaserSng::entropy`] for
+/// run-to-run varying randomness.
+#[derive(Clone)]
 pub struct ChaoticLaserSng {
-    rng: rand::rngs::StdRng,
+    rng: SplitMix64,
 }
 
 impl std::fmt::Debug for ChaoticLaserSng {
@@ -178,22 +310,49 @@ impl ChaoticLaserSng {
     /// Creates a seeded (replayable) instance.
     pub fn seeded(seed: u64) -> Self {
         ChaoticLaserSng {
-            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 
-    /// Creates an instance seeded from OS entropy.
+    /// Creates an instance seeded from ambient entropy (wall clock +
+    /// process-unique hasher state) — not cryptographic, but different on
+    /// every call, which is all the TRNG stand-in needs.
     pub fn entropy() -> Self {
-        ChaoticLaserSng {
-            rng: rand::make_rng(),
-        }
+        use std::hash::{BuildHasher, Hasher};
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let hasher = std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish();
+        Self::seeded(clock ^ hasher)
+    }
+
+    fn comparator_threshold(p: f64) -> u64 {
+        (p * 2f64.powi(53)) as u64
     }
 }
 
 impl StochasticNumberGenerator for ChaoticLaserSng {
     fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
         let p = check_unit("probability", p)?;
-        let threshold = (p * 2f64.powi(53)) as u64;
+        let threshold = Self::comparator_threshold(p);
+        let mut rng = self.rng;
+        let out = build_words(len, |nbits| {
+            let mut w = 0u64;
+            for b in 0..nbits {
+                w |= u64::from((rng.next_u64() >> 11) < threshold) << b;
+            }
+            w
+        });
+        self.rng = rng;
+        Ok(out)
+    }
+
+    fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let p = check_unit("probability", p)?;
+        let threshold = Self::comparator_threshold(p);
         Ok(BitStream::from_fn(len, |_| {
             (self.rng.next_u64() >> 11) < threshold
         }))
@@ -217,6 +376,85 @@ mod tests {
             sng.name(),
             s.value()
         );
+    }
+
+    /// Awkward probabilities for threshold-equivalence checks: endpoints,
+    /// values with long mantissas, subnormal-adjacent magnitudes.
+    const EDGE_PS: [f64; 9] = [
+        0.0,
+        1.0,
+        0.5,
+        0.3,
+        1.0 / 3.0,
+        0.999_999_999,
+        1e-9,
+        f64::EPSILON,
+        0.123_456_789_012_345_67,
+    ];
+
+    /// Ragged and word-aligned lengths for tail coverage.
+    const EDGE_LENS: [usize; 7] = [1, 63, 64, 65, 127, 1024, 1000];
+
+    fn assert_fast_path_bit_identical<S>(make: impl Fn() -> S)
+    where
+        S: StochasticNumberGenerator,
+    {
+        for &p in &EDGE_PS {
+            for &len in &EDGE_LENS {
+                let mut fast = make();
+                let mut reference = make();
+                // Two consecutive generations: equality of the second
+                // stream also proves the source state after the first call
+                // matched.
+                let f1 = fast.generate(p, len).unwrap();
+                let f2 = fast.generate(p, len).unwrap();
+                let r1 = reference.generate_bitwise(p, len).unwrap();
+                let r2 = reference.generate_bitwise(p, len).unwrap();
+                assert_eq!(f1, r1, "{} first stream, p={p}, len={len}", fast.name());
+                assert_eq!(f2, r2, "{} second stream, p={p}, len={len}", fast.name());
+            }
+        }
+    }
+
+    #[test]
+    fn lfsr_fast_path_bit_identical() {
+        assert_fast_path_bit_identical(|| LfsrSng::with_width(16, 0xACE1));
+        assert_fast_path_bit_identical(|| LfsrSng::with_width(3, 5));
+        assert_fast_path_bit_identical(|| LfsrSng::with_width(32, 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn counter_fast_path_bit_identical() {
+        // Covers base 2 (reverse-bits path) and bases 3, 5 (generic path).
+        assert_fast_path_bit_identical(CounterSng::new);
+        assert_fast_path_bit_identical(|| {
+            let mut sng = CounterSng::new();
+            let _ = sng.generate(0.5, 8);
+            sng
+        });
+    }
+
+    #[test]
+    fn xoshiro_fast_path_bit_identical() {
+        assert_fast_path_bit_identical(|| XoshiroSng::new(42));
+        assert_fast_path_bit_identical(|| XoshiroSng::new(u64::MAX));
+    }
+
+    #[test]
+    fn chaotic_fast_path_bit_identical() {
+        assert_fast_path_bit_identical(|| ChaoticLaserSng::seeded(7));
+    }
+
+    #[test]
+    fn unit_threshold_is_exact() {
+        // Exhaustive check at a small width: integer thresholding equals
+        // the floating comparison for every state and edge probability.
+        for &p in &EDGE_PS {
+            let t = unit_threshold(p, 8);
+            for u in 0u64..256 {
+                assert_eq!(u < t, (u as f64 / 256.0) < p, "u={u}, p={p}, threshold={t}");
+            }
+        }
     }
 
     #[test]
@@ -264,11 +502,21 @@ mod tests {
     }
 
     #[test]
+    fn chaotic_laser_entropy_varies() {
+        let a = ChaoticLaserSng::entropy().generate(0.5, 4096).unwrap();
+        let b = ChaoticLaserSng::entropy().generate(0.5, 4096).unwrap();
+        // Two independent 4096-bit draws colliding is ~2^-4096; a collision here
+        // means the entropy seeding is broken.
+        assert_ne!(a, b);
+    }
+
+    #[test]
     fn out_of_range_probability_rejected() {
         let mut sng = XoshiroSng::new(1);
         assert!(sng.generate(1.5, 8).is_err());
         assert!(sng.generate(-0.1, 8).is_err());
         assert!(sng.generate(f64::NAN, 8).is_err());
+        assert!(sng.generate_bitwise(1.5, 8).is_err());
     }
 
     #[test]

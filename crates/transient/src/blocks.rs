@@ -17,10 +17,9 @@ use crate::signal::Waveform;
 use crate::TransientError;
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_units::SPEED_OF_LIGHT_M_PER_S;
-use serde::{Deserialize, Serialize};
 
 /// NRZ bit-stream drive with single-pole edge shaping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NrzDrive {
     /// Bit slot duration, seconds.
     pub bit_period: f64,
@@ -40,7 +39,11 @@ impl NrzDrive {
     ///
     /// [`TransientError::InvalidTiming`] for a non-positive bit period or
     /// zero samples per bit.
-    pub fn render(&self, bits: &[bool], samples_per_bit: usize) -> Result<Waveform, TransientError> {
+    pub fn render(
+        &self,
+        bits: &[bool],
+        samples_per_bit: usize,
+    ) -> Result<Waveform, TransientError> {
         if self.bit_period <= 0.0 {
             return Err(TransientError::InvalidTiming(
                 "bit period must be positive".into(),
@@ -65,7 +68,7 @@ impl NrzDrive {
 }
 
 /// A train of Gaussian pulses, one per bit slot, centred mid-slot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PulseTrain {
     /// Bit slot duration, seconds.
     pub bit_period: f64,
@@ -120,7 +123,7 @@ impl PulseTrain {
 }
 
 /// First-order (photon-lifetime) dynamic response of a micro-ring.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RingResponse {
     /// Photon lifetime `τ_p`, seconds.
     pub photon_lifetime: f64,
@@ -144,7 +147,7 @@ impl RingResponse {
 }
 
 /// Detector front end: responsivity, RC bandwidth, additive noise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorFrontEnd {
     /// Responsivity, A/W.
     pub responsivity: f64,

@@ -18,10 +18,9 @@ use osc_core::params::CircuitParams;
 use osc_core::transmission::TransmissionModel;
 use osc_stochastic::bitstream::BitStream;
 use osc_units::{Milliwatts, Nanometers};
-use serde::{Deserialize, Serialize};
 
 /// Timing configuration of a transient run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingConfig {
     /// Bit slot duration, seconds (1 ns at the paper's 1 Gb/s).
     pub bit_period: f64,
@@ -263,9 +262,10 @@ impl TransientSimulator {
                 .map(|&ch| {
                     let mut p = probe;
                     for (w, m) in modulators.iter().enumerate() {
-                        p *= m
-                            .ring()
-                            .through_transmission(ch, Nanometers::new(resonance_drives[w].sample_at(t)));
+                        p *= m.ring().through_transmission(
+                            ch,
+                            Nanometers::new(resonance_drives[w].sample_at(t)),
+                        );
                     }
                     p * filter_ring.drop_transmission(ch, res_f)
                 })
@@ -337,11 +337,7 @@ mod tests {
         let sim = simulator(timing);
         // Constant inputs: x = (1,1), z = (0,1,0) for many slots.
         let data = vec![BitStream::ones(8), BitStream::ones(8)];
-        let coeffs = vec![
-            BitStream::zeros(8),
-            BitStream::ones(8),
-            BitStream::zeros(8),
-        ];
+        let coeffs = vec![BitStream::zeros(8), BitStream::ones(8), BitStream::zeros(8)];
         let trace = sim.run(&data, &coeffs).unwrap();
         let expect = sim
             .steady_state_power(&[true, true], &[false, true, false])
@@ -445,7 +441,11 @@ mod tests {
             BitStream::from_bits([false, true]),
             BitStream::from_bits([false, true]),
         ];
-        let coeffs = vec![BitStream::zeros(2), BitStream::zeros(2), BitStream::zeros(2)];
+        let coeffs = vec![
+            BitStream::zeros(2),
+            BitStream::zeros(2),
+            BitStream::zeros(2),
+        ];
         let trace = sim.run(&data, &coeffs).unwrap();
         // Slot 0 (x=00, constructive) passes much more pump than slot 1
         // (x=11, destructive) at the pulse centres.

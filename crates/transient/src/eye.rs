@@ -13,10 +13,9 @@
 use crate::engine::TransientTrace;
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_units::Milliwatts;
-use serde::{Deserialize, Serialize};
 
 /// Error rate at one sampling offset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OffsetPoint {
     /// Sampling instant as a fraction of the bit slot (0..1).
     pub offset_fraction: f64,
@@ -154,7 +153,13 @@ mod tests {
     fn pulsed_pump_has_narrow_window() {
         let trace = run_trace(true);
         let mut rng = Xoshiro256PlusPlus::new(5);
-        let pts = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 128, &mut rng);
+        let pts = scan_offsets(
+            &trace,
+            ThresholdMode::Trained,
+            Milliwatts::ZERO,
+            128,
+            &mut rng,
+        );
         let window = sampling_window(&pts, 0.02).expect("some offset must work");
         let width = window_width_seconds(window, trace.bit_period);
         // The usable window is tied to the 26 ps pulse, far below the 1 ns
@@ -174,7 +179,13 @@ mod tests {
     fn cw_pump_has_wide_window() {
         let trace = run_trace(false);
         let mut rng = Xoshiro256PlusPlus::new(6);
-        let pts = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 64, &mut rng);
+        let pts = scan_offsets(
+            &trace,
+            ThresholdMode::Trained,
+            Milliwatts::ZERO,
+            64,
+            &mut rng,
+        );
         let window = sampling_window(&pts, 0.05).expect("CW must have a window");
         let width = window_width_seconds(window, trace.bit_period);
         // CW keeps the filter tuned all slot long; only edge transients
@@ -224,7 +235,13 @@ mod tests {
     fn noise_degrades_the_window() {
         let trace = run_trace(true);
         let mut rng = Xoshiro256PlusPlus::new(7);
-        let clean = scan_offsets(&trace, ThresholdMode::Trained, Milliwatts::ZERO, 32, &mut rng);
+        let clean = scan_offsets(
+            &trace,
+            ThresholdMode::Trained,
+            Milliwatts::ZERO,
+            32,
+            &mut rng,
+        );
         let noisy = scan_offsets(
             &trace,
             ThresholdMode::Trained,

@@ -1,13 +1,12 @@
 //! Uniformly sampled time-domain waveforms.
 
 use crate::TransientError;
-use serde::{Deserialize, Serialize};
 
 /// A uniformly sampled waveform (time origin, step, samples).
 ///
 /// Values are interpreted by context (optical power in mW, phase in
 /// radians, …); operations never attach units.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Waveform {
     t0: f64,
     dt: f64,
@@ -143,7 +142,10 @@ impl Waveform {
 
     /// Largest sample (`-inf` when empty).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Smallest sample (`+inf` when empty).

@@ -15,10 +15,9 @@ use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bitstream::BitStream;
 use osc_stochastic::sng::StochasticNumberGenerator;
 use osc_units::Milliwatts;
-use serde::{Deserialize, Serialize};
 
 /// One point of the rate sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatePoint {
     /// Modulation rate, Gb/s.
     pub rate_gbps: f64,

@@ -1,33 +1,44 @@
 //! Property-based tests for the transient simulation substrate.
+//!
+//! Deterministic property harness: each property runs over seeded random
+//! cases drawn from the workspace RNG, so failures replay exactly.
 
+use osc_math::rng::Xoshiro256PlusPlus;
 use osc_transient::blocks::{NrzDrive, PulseTrain};
 use osc_transient::signal::Waveform;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs `f` over `n` seeded cases.
+fn cases(n: u64, mut f: impl FnMut(&mut Xoshiro256PlusPlus)) {
+    for case in 0..n {
+        let mut rng = Xoshiro256PlusPlus::new(0x7245_4E5D ^ case);
+        f(&mut rng);
+    }
+}
 
-    /// Low-pass filtering never exceeds the input's range (BIBO-style
-    /// bound for the single-pole filter).
-    #[test]
-    fn low_pass_preserves_bounds(
-        samples in proptest::collection::vec(-5.0f64..5.0, 2..256),
-        tau_ps in 0.1f64..100.0,
-    ) {
+/// Low-pass filtering never exceeds the input's range (BIBO-style bound
+/// for the single-pole filter).
+#[test]
+fn low_pass_preserves_bounds() {
+    cases(64, |rng| {
+        let len = 2 + rng.below(254) as usize;
+        let samples: Vec<f64> = (0..len).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+        let tau_ps = rng.range_f64(0.1, 100.0);
         let w = Waveform::new(0.0, 1e-12, samples.clone());
         let y = w.low_pass(tau_ps * 1e-12);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(y.min() >= lo - 1e-9);
-        prop_assert!(y.max() <= hi + 1e-9);
-    }
+        assert!(y.min() >= lo - 1e-9);
+        assert!(y.max() <= hi + 1e-9);
+    });
+}
 
-    /// NRZ rendering stays within [low, high] for any bit pattern.
-    #[test]
-    fn nrz_within_levels(
-        bits in proptest::collection::vec(any::<bool>(), 1..32),
-        tau_ps in 0.0f64..100.0,
-    ) {
+/// NRZ rendering stays within [low, high] for any bit pattern.
+#[test]
+fn nrz_within_levels() {
+    cases(64, |rng| {
+        let nbits = 1 + rng.below(31) as usize;
+        let bits: Vec<bool> = (0..nbits).map(|_| rng.bernoulli(0.5)).collect();
+        let tau_ps = rng.range_f64(0.0, 100.0);
         let drive = NrzDrive {
             bit_period: 1e-9,
             edge_tau: tau_ps * 1e-12,
@@ -35,15 +46,19 @@ proptest! {
             high: 0.8,
         };
         let w = drive.render(&bits, 16).unwrap();
-        prop_assert_eq!(w.len(), bits.len() * 16);
-        prop_assert!(w.min() >= 0.2 - 1e-9);
-        prop_assert!(w.max() <= 0.8 + 1e-9);
-    }
+        assert_eq!(w.len(), bits.len() * 16);
+        assert!(w.min() >= 0.2 - 1e-9);
+        assert!(w.max() <= 0.8 + 1e-9);
+    });
+}
 
-    /// Pulse-train numeric energy matches the analytic Gaussian integral
-    /// for any pulse width well inside the slot.
-    #[test]
-    fn pulse_energy_consistent(fwhm_ps in 5.0f64..200.0, peak in 1.0f64..1000.0) {
+/// Pulse-train numeric energy matches the analytic Gaussian integral for
+/// any pulse width well inside the slot.
+#[test]
+fn pulse_energy_consistent() {
+    cases(64, |rng| {
+        let fwhm_ps = rng.range_f64(5.0, 200.0);
+        let peak = rng.range_f64(1.0, 1000.0);
         let train = PulseTrain {
             bit_period: 1e-9,
             fwhm: fwhm_ps * 1e-12,
@@ -51,34 +66,38 @@ proptest! {
         };
         let w = train.render(1, 2048).unwrap();
         let analytic = train.pulse_energy();
-        prop_assert!(
+        assert!(
             (w.integral() - analytic).abs() / analytic < 0.05,
-            "numeric {} vs analytic {analytic}", w.integral()
+            "numeric {} vs analytic {analytic}",
+            w.integral()
         );
-    }
+    });
+}
 
-    /// Waveform sampling interpolates within the sample hull.
-    #[test]
-    fn sampling_within_hull(
-        samples in proptest::collection::vec(-1.0f64..1.0, 2..64),
-        t_frac in 0.0f64..1.0,
-    ) {
+/// Waveform sampling interpolates within the sample hull.
+#[test]
+fn sampling_within_hull() {
+    cases(64, |rng| {
+        let len = 2 + rng.below(62) as usize;
+        let samples: Vec<f64> = (0..len).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let t = rng.next_f64() * (samples.len() - 1) as f64;
         let w = Waveform::new(0.0, 1.0, samples.clone());
-        let t = t_frac * (samples.len() - 1) as f64;
         let v = w.sample_at(t);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
-    }
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    });
+}
 
-    /// Integral is linear: ∫(a·f) = a·∫f.
-    #[test]
-    fn integral_linearity(
-        samples in proptest::collection::vec(0.0f64..10.0, 2..128),
-        k in 0.1f64..10.0,
-    ) {
+/// Integral is linear: ∫(a·f) = a·∫f.
+#[test]
+fn integral_linearity() {
+    cases(64, |rng| {
+        let len = 2 + rng.below(126) as usize;
+        let samples: Vec<f64> = (0..len).map(|_| rng.range_f64(0.0, 10.0)).collect();
+        let k = rng.range_f64(0.1, 10.0);
         let w = Waveform::new(0.0, 1e-12, samples);
         let direct = w.scale(k).integral();
-        prop_assert!((direct - k * w.integral()).abs() < 1e-9 * k.max(1.0));
-    }
+        assert!((direct - k * w.integral()).abs() < 1e-9 * k.max(1.0));
+    });
 }

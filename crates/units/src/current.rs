@@ -1,7 +1,5 @@
 //! Electrical current, for the photodetector model.
 
-use serde::{Deserialize, Serialize};
-
 /// Electrical current in amperes.
 ///
 /// The detector model (paper Eq. 8) compares photocurrent
@@ -14,8 +12,7 @@ use serde::{Deserialize, Serialize};
 /// let photocurrent = Amperes::from_power(Milliwatts::new(0.476), responsivity);
 /// assert!((photocurrent.as_microamps() - 523.6).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Amperes(pub(crate) f64);
 
 crate::impl_quantity_ops!(Amperes);

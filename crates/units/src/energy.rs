@@ -1,7 +1,5 @@
 //! Energy quantities.
 
-use serde::{Deserialize, Serialize};
-
 /// Energy in picojoules.
 ///
 /// The paper's key efficiency metric is *laser energy per computed bit*
@@ -15,8 +13,7 @@ use serde::{Deserialize, Serialize};
 /// let wall_plug = optical / 0.2;
 /// assert!((wall_plug.as_pj() - 15.73).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Picojoules(pub(crate) f64);
 
 crate::impl_quantity_ops!(Picojoules);

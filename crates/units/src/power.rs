@@ -1,7 +1,6 @@
 //! Optical power.
 
 use crate::{energy::Picojoules, time::Seconds};
-use serde::{Deserialize, Serialize};
 
 /// Optical power in milliwatts.
 ///
@@ -15,8 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((received.as_mw() - 0.476).abs() < 1e-12);
 /// assert!((received.as_dbm() - (-3.224)).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Milliwatts(pub(crate) f64);
 
 crate::impl_quantity_ops!(Milliwatts);
@@ -84,8 +82,7 @@ impl std::fmt::Display for Milliwatts {
 ///
 /// Kept distinct from [`Milliwatts`] only as a reading aid at API
 /// boundaries; convert with [`Watts::as_milliwatts`].
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Watts(pub(crate) f64);
 
 crate::impl_quantity_ops!(Watts);

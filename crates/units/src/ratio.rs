@@ -1,7 +1,5 @@
 //! Dimensionless power ratios expressed in decibels.
 
-use serde::{Deserialize, Serialize};
-
 /// A dimensionless power ratio stored in dB.
 ///
 /// Used for insertion loss (IL), extinction ratio (ER), and transmission
@@ -18,8 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let er = DbRatio::from_linear(0.047624);
 /// assert!((er.as_db() - 13.22).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct DbRatio(f64);
 
 impl DbRatio {

@@ -1,7 +1,5 @@
 //! Time and data-rate quantities.
 
-use serde::{Deserialize, Serialize};
-
 /// A duration in seconds (stored as f64 seconds; constructed from ps/ns
 /// since the circuit's time scales are 26 ps pulses and 1 ns bit slots).
 ///
@@ -12,8 +10,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(pulse < bit);
 /// assert!((bit.as_nanos() - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Seconds(pub(crate) f64);
 
 crate::impl_quantity_ops!(Seconds);
@@ -66,8 +63,7 @@ impl std::fmt::Display for Seconds {
 ///
 /// The paper evaluates 1 Gb/s SC streams against literature modulators at
 /// 40–60 Gb/s; the reciprocal gives the bit slot duration.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct GigahertzRate(f64);
 
 impl GigahertzRate {

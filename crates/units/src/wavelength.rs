@@ -1,7 +1,5 @@
 //! Optical wavelength.
 
-use serde::{Deserialize, Serialize};
-
 /// A wavelength (or wavelength difference) in nanometers.
 ///
 /// The paper works exclusively in the C-band around 1550 nm with shifts and
@@ -15,8 +13,7 @@ use serde::{Deserialize, Serialize};
 /// let l0 = l2 - spacing * 2.0;
 /// assert_eq!(l0.as_nm(), 1548.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Nanometers(pub(crate) f64);
 
 crate::impl_quantity_ops!(Nanometers);

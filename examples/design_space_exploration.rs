@@ -16,9 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // MRR-first: fix the wavelength plan, derive pump power and ER.
     let design = MrrFirstDesign::solve(&MrrFirstInputs::paper_section_va())?;
     println!("MRR-first @ 1 nm spacing (Section V.A):");
-    println!("  min pump power  = {}  (paper: 591.8 mW)", design.min_pump_power);
-    println!("  required ER     = {}  (paper: 13.22 dB)", design.required_er);
-    println!("  min probe power = {} for BER 1e-6", design.min_probe_power);
+    println!(
+        "  min pump power  = {}  (paper: 591.8 mW)",
+        design.min_pump_power
+    );
+    println!(
+        "  required ER     = {}  (paper: 13.22 dB)",
+        design.required_er
+    );
+    println!(
+        "  min probe power = {} for BER 1e-6",
+        design.min_probe_power
+    );
 
     // MZI-first: fix the pump and the MZI, derive the plan and probe.
     println!("\nMZI-first @ 0.6 W pump, BER 1e-6:");

@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\noptical transmission BER vs probe power (Fig. 5 circuit):");
     let poly2 = BernsteinPoly::new(vec![0.25, 0.625, 0.75])?;
     for probe_mw in [0.05, 0.1, 0.2, 1.0] {
-        let params =
-            CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(probe_mw));
+        let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(probe_mw));
         let snr = SnrModel::new(&params)?;
         let ber = snr.ber()?;
         let system = OpticalScSystem::new(params, poly2.clone())?;

@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|r| r.residual_nm.abs())
         .fold(0.0, f64::max);
-    let worst_drift = record
-        .iter()
-        .map(|r| r.drift_nm.abs())
-        .fold(0.0, f64::max);
+    let worst_drift = record.iter().map(|r| r.drift_nm.abs()).fold(0.0, f64::max);
     println!("  peak drift            : {worst_drift:.3} nm");
     println!("  worst locked residual : {worst_late:.3} nm");
 

@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let speedup =
-        throughput_evals_per_second(&optical) / throughput_evals_per_second(&electronic);
-    println!(
-        "\noptical (1 GHz) over CMOS ReSC (100 MHz) speedup: {speedup:.1}x (paper: 10x)"
-    );
+    let speedup = throughput_evals_per_second(&optical) / throughput_evals_per_second(&electronic);
+    println!("\noptical (1 GHz) over CMOS ReSC (100 MHz) speedup: {speedup:.1}x (paper: 10x)");
     Ok(())
 }

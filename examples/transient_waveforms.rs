@@ -93,7 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 w.1,
                 width * 1e12
             );
-            println!("(the 26 ps pump pulse forces the receiver to synchronize, as the paper notes)");
+            println!(
+                "(the 26 ps pump pulse forces the receiver to synchronize, as the paper notes)"
+            );
         }
         None => println!("\nno viable sampling window at this noise level"),
     }

@@ -36,11 +36,7 @@ fn adder_levels_match_mux_selection_for_all_counts() {
         let mux = OpticalMux::new(&params).unwrap();
         for k in 0..=order {
             let control = adder.control_power_for_count(k);
-            assert_eq!(
-                mux.selected_channel(control),
-                k,
-                "order {order}, count {k}"
-            );
+            assert_eq!(mux.selected_channel(control), k, "order {order}, count {k}");
         }
     }
 }
@@ -74,9 +70,7 @@ fn ber_snr_inverses_round_trip() {
 fn bernstein_mux_probability_equals_basis() {
     // The probability that the ReSC mux selects index k equals the
     // Bernstein basis value — the statistical heart of the architecture.
-    use optical_stochastic_computing::stochastic::sng::{
-        StochasticNumberGenerator, XoshiroSng,
-    };
+    use optical_stochastic_computing::stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
     let n = 4usize;
     let x = 0.3;
     let len = 200_000;
@@ -134,9 +128,7 @@ fn transmission_weights_reproduce_expected_power() {
                 .as_mw();
     }
     // Monte-Carlo with the stochastic machinery.
-    use optical_stochastic_computing::stochastic::sng::{
-        StochasticNumberGenerator, XoshiroSng,
-    };
+    use optical_stochastic_computing::stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
     let mut sng = XoshiroSng::new(77);
     let len = 60_000;
     let streams: Vec<_> = probs
@@ -183,11 +175,8 @@ fn degree_elevated_polynomial_runs_on_larger_circuit() {
     let poly2 = BernsteinPoly::new(vec![0.2, 0.7, 0.5]).unwrap();
     let poly4 = poly2.elevate_to(4);
     let sys2 = OpticalScSystem::new(CircuitParams::paper_fig5(), poly2).unwrap();
-    let sys4 = OpticalScSystem::new(
-        CircuitParams::paper_fig7(4, Nanometers::new(0.4)),
-        poly4,
-    )
-    .unwrap();
+    let sys4 =
+        OpticalScSystem::new(CircuitParams::paper_fig7(4, Nanometers::new(0.4)), poly4).unwrap();
     let mut rng = Xoshiro256PlusPlus::new(4);
     let mut sng_a = XoshiroSng::new(8);
     let mut sng_b = XoshiroSng::new(9);

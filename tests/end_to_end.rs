@@ -1,7 +1,9 @@
 //! End-to-end integration: stochastic streams through the optical circuit
 //! and the application layer, spanning every workspace crate.
 
-use optical_stochastic_computing::apps::backend::{ElectronicBackend, OpticalBackend, PixelBackend};
+use optical_stochastic_computing::apps::backend::{
+    ElectronicBackend, OpticalBackend, PixelBackend,
+};
 use optical_stochastic_computing::apps::contrast::{run_contrast, smoothstep_poly};
 use optical_stochastic_computing::apps::image::Image;
 use optical_stochastic_computing::core::prelude::*;
@@ -98,11 +100,7 @@ fn transient_cw_matches_analytical_levels() {
     use optical_stochastic_computing::stochastic::bitstream::BitStream;
     // Constant words held for 6 slots.
     let data = vec![BitStream::ones(6), BitStream::zeros(6)];
-    let coeffs = vec![
-        BitStream::zeros(6),
-        BitStream::ones(6),
-        BitStream::ones(6),
-    ];
+    let coeffs = vec![BitStream::zeros(6), BitStream::ones(6), BitStream::ones(6)];
     let trace = sim.run(&data, &coeffs).unwrap();
     let analytic = circuit
         .received_power(&[true, false], &[false, true, true])
@@ -119,8 +117,7 @@ fn transient_cw_matches_analytical_levels() {
 fn full_pipeline_gamma_on_noise_image() {
     // Noise image -> degree-6 gamma polynomial -> optical backend at the
     // energy-optimal spacing -> PSNR sanity.
-    let poly =
-        optical_stochastic_computing::apps::gamma_app::paper_gamma_polynomial().unwrap();
+    let poly = optical_stochastic_computing::apps::gamma_app::paper_gamma_polynomial().unwrap();
     let image = Image::noise(16, 16, 99);
     let params = CircuitParams::paper_fig7(6, Nanometers::new(0.165));
     let mut backend = OpticalBackend::new(params, poly, 2048, 5).unwrap();

@@ -3,9 +3,7 @@
 //! loss budget, FSM elements and the SC neuron.
 
 use optical_stochastic_computing::apps::neural::StochasticNeuron;
-use optical_stochastic_computing::apps::signal::{
-    stochastic_moving_average, SampledSignal,
-};
+use optical_stochastic_computing::apps::signal::{stochastic_moving_average, SampledSignal};
 use optical_stochastic_computing::core::budget::{
     probe_path_budget, pump_path_budget, RoutingAssumptions,
 };

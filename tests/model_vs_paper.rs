@@ -102,7 +102,10 @@ fn fig7_optimal_spacing_near_0_165_nm_and_order_independent() {
     );
     let spread = optima.iter().cloned().fold(f64::MIN, f64::max)
         - optima.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 0.05, "optima {optima:?} should be order-independent");
+    assert!(
+        spread < 0.05,
+        "optima {optima:?} should be order-independent"
+    );
 }
 
 #[test]

@@ -1,51 +1,67 @@
 //! Property-based integration tests: invariants that must hold across the
 //! whole parameter space, not just at the paper's design points.
+//!
+//! Deterministic property harness: each property runs over seeded random
+//! cases drawn from the workspace RNG, so failures replay exactly.
 
 use optical_stochastic_computing::core::prelude::*;
 use optical_stochastic_computing::core::transmission::TransmissionModel;
+use optical_stochastic_computing::math::rng::Xoshiro256PlusPlus;
 use optical_stochastic_computing::photonics::ring::RingResonator;
 use optical_stochastic_computing::stochastic::bernstein::BernsteinPoly;
 use optical_stochastic_computing::stochastic::bitstream::BitStream;
 use optical_stochastic_computing::stochastic::polynomial::Polynomial;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs `f` over `n` seeded cases.
+fn cases(n: u64, mut f: impl FnMut(&mut Xoshiro256PlusPlus)) {
+    for case in 0..n {
+        let mut rng = Xoshiro256PlusPlus::new(0x1A7E_60A7 ^ case);
+        f(&mut rng);
+    }
+}
 
-    /// Every channel transmission is a physical power fraction.
-    #[test]
-    fn transmissions_are_physical(
-        z0 in any::<bool>(), z1 in any::<bool>(), z2 in any::<bool>(),
-        x0 in any::<bool>(), x1 in any::<bool>(),
-    ) {
+/// Every channel transmission is a physical power fraction.
+#[test]
+fn transmissions_are_physical() {
+    cases(64, |rng| {
+        let z = [rng.bernoulli(0.5), rng.bernoulli(0.5), rng.bernoulli(0.5)];
+        let x = [rng.bernoulli(0.5), rng.bernoulli(0.5)];
         let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
-        let ts = model.all_transmissions(&[z0, z1, z2], &[x0, x1]).unwrap();
+        let ts = model.all_transmissions(&z, &x).unwrap();
         for t in ts {
-            prop_assert!((0.0..=1.0).contains(&t), "transmission {t}");
+            assert!((0.0..=1.0).contains(&t), "transmission {t}");
         }
-    }
+    });
+}
 
-    /// Received power is bounded by the total probe budget and scales
-    /// linearly with probe power.
-    #[test]
-    fn received_power_bounded_and_linear(
-        z0 in any::<bool>(), z1 in any::<bool>(), z2 in any::<bool>(),
-        x0 in any::<bool>(), x1 in any::<bool>(),
-        probe in 0.01f64..10.0,
-    ) {
+/// Received power is bounded by the total probe budget and scales
+/// linearly with probe power.
+#[test]
+fn received_power_bounded_and_linear() {
+    cases(64, |rng| {
+        let z = [rng.bernoulli(0.5), rng.bernoulli(0.5), rng.bernoulli(0.5)];
+        let x = [rng.bernoulli(0.5), rng.bernoulli(0.5)];
+        let probe = rng.range_f64(0.01, 10.0);
         let model = TransmissionModel::new(&CircuitParams::paper_fig5()).unwrap();
-        let z = [z0, z1, z2];
-        let x = [x0, x1];
-        let p = model.received_power(&z, &x, Milliwatts::new(probe)).unwrap();
-        prop_assert!(p.as_mw() >= 0.0);
-        prop_assert!(p.as_mw() <= probe * 3.0 + 1e-12);
-        let p2 = model.received_power(&z, &x, Milliwatts::new(2.0 * probe)).unwrap();
-        prop_assert!((p2.as_mw() - 2.0 * p.as_mw()).abs() < 1e-9);
-    }
+        let p = model
+            .received_power(&z, &x, Milliwatts::new(probe))
+            .unwrap();
+        assert!(p.as_mw() >= 0.0);
+        assert!(p.as_mw() <= probe * 3.0 + 1e-12);
+        let p2 = model
+            .received_power(&z, &x, Milliwatts::new(2.0 * probe))
+            .unwrap();
+        assert!((p2.as_mw() - 2.0 * p.as_mw()).abs() < 1e-9);
+    });
+}
 
-    /// Ring transfer functions conserve energy for any detuning.
-    #[test]
-    fn ring_energy_conservation(detuning in -5.0f64..5.0, r in 0.8f64..0.995, a in 0.9f64..1.0) {
+/// Ring transfer functions conserve energy for any detuning.
+#[test]
+fn ring_energy_conservation() {
+    cases(64, |rng| {
+        let detuning = rng.range_f64(-5.0, 5.0);
+        let r = rng.range_f64(0.8, 0.995);
+        let a = rng.range_f64(0.9, 1.0);
         let ring = RingResonator::builder()
             .resonance(Nanometers::new(1550.0))
             .fsr(Nanometers::new(10.0))
@@ -56,51 +72,59 @@ proptest! {
         let wl = Nanometers::new(1550.0 + detuning);
         let through = ring.through_transmission(wl, ring.resonance());
         let drop = ring.drop_transmission(wl, ring.resonance());
-        prop_assert!(through >= 0.0 && drop >= 0.0);
-        prop_assert!(through + drop <= 1.0 + 1e-9, "t+d = {}", through + drop);
-    }
+        assert!(through >= 0.0 && drop >= 0.0);
+        assert!(through + drop <= 1.0 + 1e-9, "t+d = {}", through + drop);
+    });
+}
 
-    /// Power-form -> Bernstein -> power-form is the identity.
-    #[test]
-    fn bernstein_conversion_round_trip(
-        a0 in -1.0f64..1.0, a1 in -1.0f64..1.0, a2 in -1.0f64..1.0, a3 in -1.0f64..1.0,
-    ) {
-        let p = Polynomial::new(vec![a0, a1, a2, a3]).unwrap();
+/// Power-form -> Bernstein -> power-form is the identity.
+#[test]
+fn bernstein_conversion_round_trip() {
+    cases(64, |rng| {
+        let coeffs: Vec<f64> = (0..4).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let p = Polynomial::new(coeffs).unwrap();
         let b = p.to_bernstein_unchecked();
         let back = Polynomial::from_bernstein(&b).unwrap();
         for (orig, rec) in p.coeffs().iter().zip(back.coeffs()) {
-            prop_assert!((orig - rec).abs() < 1e-9);
+            assert!((orig - rec).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// The de-randomized estimate converges to the exact value within the
-    /// binomial bound (5 sigma) for any valid polynomial and input.
-    #[test]
-    fn resc_estimate_within_binomial_bound(
-        b0 in 0.0f64..1.0, b1 in 0.0f64..1.0, b2 in 0.0f64..1.0,
-        x in 0.0f64..1.0, seed in 0u64..1000,
-    ) {
-        use optical_stochastic_computing::stochastic::resc::ReScUnit;
-        use optical_stochastic_computing::stochastic::sng::XoshiroSng;
-        let poly = BernsteinPoly::new(vec![b0, b1, b2]).unwrap();
+/// The de-randomized estimate converges to the exact value within the
+/// binomial bound (5 sigma) for any valid polynomial and input.
+#[test]
+fn resc_estimate_within_binomial_bound() {
+    use optical_stochastic_computing::stochastic::resc::ReScUnit;
+    use optical_stochastic_computing::stochastic::sng::XoshiroSng;
+    cases(64, |rng| {
+        let coeffs: Vec<f64> = (0..3).map(|_| rng.next_f64()).collect();
+        let x = rng.next_f64();
+        let seed = rng.below(1000);
+        let poly = BernsteinPoly::new(coeffs).unwrap();
         let unit = ReScUnit::new(poly);
         let len = 16_384usize;
         let mut sng = XoshiroSng::new(seed);
         let run = unit.evaluate(x, len, &mut sng);
         let sigma = (run.exact * (1.0 - run.exact) / len as f64).sqrt();
-        prop_assert!(
+        assert!(
             run.abs_error() < 5.0 * sigma + 0.005,
-            "error {} vs 5σ {}", run.abs_error(), 5.0 * sigma
+            "error {} vs 5σ {}",
+            run.abs_error(),
+            5.0 * sigma
         );
-    }
+    });
+}
 
-    /// Bit-stream MUX output probability is a convex combination of its
-    /// input probabilities for any select bias.
-    #[test]
-    fn mux_is_convex_combination(pa in 0.0f64..1.0, pb in 0.0f64..1.0, ps in 0.0f64..1.0) {
-        use optical_stochastic_computing::stochastic::sng::{
-            StochasticNumberGenerator, XoshiroSng,
-        };
+/// Bit-stream MUX output probability is a convex combination of its input
+/// probabilities for any select bias.
+#[test]
+fn mux_is_convex_combination() {
+    use optical_stochastic_computing::stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
+    cases(64, |rng| {
+        let pa = rng.next_f64();
+        let pb = rng.next_f64();
+        let ps = rng.next_f64();
         let mut sng = XoshiroSng::new(12345);
         let n = 32_768;
         let a = sng.generate(pa, n).unwrap();
@@ -108,32 +132,38 @@ proptest! {
         let s = sng.generate(ps, n).unwrap();
         let out = a.mux(&b, &s).unwrap().value();
         let expected = pa * (1.0 - ps) + pb * ps;
-        prop_assert!((out - expected).abs() < 0.02, "out {out} vs {expected}");
-    }
+        assert!((out - expected).abs() < 0.02, "out {out} vs {expected}");
+    });
+}
 
-    /// Data words with the same popcount always produce the same filter
-    /// detuning (the adder is symmetric).
-    #[test]
-    fn adder_symmetry(bits in proptest::collection::vec(any::<bool>(), 4)) {
+/// Data words with the same popcount always produce the same filter
+/// detuning (the adder is symmetric).
+#[test]
+fn adder_symmetry() {
+    cases(64, |rng| {
+        let bits: Vec<bool> = (0..4).map(|_| rng.bernoulli(0.5)).collect();
         let params = CircuitParams::paper_fig7(4, Nanometers::new(0.3));
         let model = TransmissionModel::new(&params).unwrap();
         let d1 = model.delta_filter(&bits).unwrap();
         let mut reversed = bits.clone();
         reversed.reverse();
         let d2 = model.delta_filter(&reversed).unwrap();
-        prop_assert!((d1.as_nm() - d2.as_nm()).abs() < 1e-12);
-    }
+        assert!((d1.as_nm() - d2.as_nm()).abs() < 1e-12);
+    });
+}
 
-    /// Bit-stream logical identities hold for arbitrary packed streams.
-    #[test]
-    fn bitstream_identities(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
-        let s = BitStream::from_bits(bits.iter().copied());
+/// Bit-stream logical identities hold for arbitrary packed streams.
+#[test]
+fn bitstream_identities() {
+    cases(64, |rng| {
+        let len = 1 + rng.below(199) as usize;
+        let s = BitStream::from_fn(len, |_| rng.bernoulli(0.5));
         // Double complement.
-        prop_assert_eq!(s.not().not(), s.clone());
+        assert_eq!(s.not().not(), s.clone());
         // x AND x = x; x XOR x = 0.
-        prop_assert_eq!(s.and(&s).unwrap(), s.clone());
-        prop_assert_eq!(s.xor(&s).unwrap().count_ones(), 0);
+        assert_eq!(s.and(&s).unwrap(), s.clone());
+        assert_eq!(s.xor(&s).unwrap().count_ones(), 0);
         // Value of NOT is 1 - value.
-        prop_assert!((s.not().value() - (1.0 - s.value())).abs() < 1e-12);
-    }
+        assert!((s.not().value() - (1.0 - s.value())).abs() < 1e-12);
+    });
 }
