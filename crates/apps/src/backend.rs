@@ -12,10 +12,10 @@
 
 use crate::AppError;
 use osc_core::params::CircuitParams;
-use osc_core::system::OpticalScSystem;
+use osc_core::system::{EvalScratch, OpticalScSystem};
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bernstein::BernsteinPoly;
-use osc_stochastic::resc::ReScUnit;
+use osc_stochastic::resc::{MuxScratch, ReScUnit};
 use osc_stochastic::sng::XoshiroSng;
 use osc_units::GigahertzRate;
 
@@ -87,12 +87,17 @@ impl PixelBackend for ExactBackend {
 }
 
 /// The electronic ReSC unit at the paper's 100 MHz CMOS clock.
+///
+/// Evaluates through [`ReScUnit::evaluate_fused`] with a backend-resident
+/// [`MuxScratch`], so the per-pixel hot loop materializes no streams and
+/// performs no heap allocation at steady state.
 #[derive(Debug, Clone)]
 pub struct ElectronicBackend {
     unit: ReScUnit,
     stream_length: usize,
     seed: u64,
     sng: XoshiroSng,
+    scratch: MuxScratch,
 }
 
 impl ElectronicBackend {
@@ -103,6 +108,7 @@ impl ElectronicBackend {
             stream_length,
             seed,
             sng: XoshiroSng::new(seed),
+            scratch: MuxScratch::new(),
         }
     }
 }
@@ -111,7 +117,12 @@ impl PixelBackend for ElectronicBackend {
     fn evaluate(&mut self, x: f64) -> Result<f64, AppError> {
         Ok(self
             .unit
-            .evaluate(x.clamp(0.0, 1.0), self.stream_length, &mut self.sng)
+            .evaluate_fused(
+                x.clamp(0.0, 1.0),
+                self.stream_length,
+                &mut self.sng,
+                &mut self.scratch,
+            )?
             .estimate)
     }
 
@@ -122,6 +133,7 @@ impl PixelBackend for ElectronicBackend {
             stream_length: self.stream_length,
             seed,
             sng: XoshiroSng::new(seed),
+            scratch: MuxScratch::new(),
         }
     }
 
@@ -139,12 +151,18 @@ impl PixelBackend for ElectronicBackend {
 }
 
 /// The optical SC circuit at 1 GHz with noisy detection.
+///
+/// Evaluates through [`OpticalScSystem::evaluate_fused`] with a
+/// backend-resident [`EvalScratch`]: the image pipelines' per-pixel hot
+/// loop streams SNG words straight into the decision kernel with zero
+/// heap allocation once the scratch has warmed up.
 pub struct OpticalBackend {
     system: OpticalScSystem,
     stream_length: usize,
     seed: u64,
     sng: XoshiroSng,
     rng: Xoshiro256PlusPlus,
+    scratch: EvalScratch,
 }
 
 impl std::fmt::Debug for OpticalBackend {
@@ -173,6 +191,7 @@ impl OpticalBackend {
             seed,
             sng: XoshiroSng::new(seed),
             rng: Xoshiro256PlusPlus::new(seed ^ 0x5EED),
+            scratch: EvalScratch::new(),
         })
     }
 
@@ -186,11 +205,12 @@ impl PixelBackend for OpticalBackend {
     fn evaluate(&mut self, x: f64) -> Result<f64, AppError> {
         Ok(self
             .system
-            .evaluate(
+            .evaluate_fused(
                 x.clamp(0.0, 1.0),
                 self.stream_length,
                 &mut self.sng,
                 &mut self.rng,
+                &mut self.scratch,
             )?
             .estimate)
     }
@@ -205,6 +225,7 @@ impl PixelBackend for OpticalBackend {
             seed,
             sng: XoshiroSng::new(seed),
             rng: Xoshiro256PlusPlus::new(seed ^ 0x5EED),
+            scratch: EvalScratch::new(),
         }
     }
 
@@ -256,6 +277,29 @@ mod tests {
         let got = b.evaluate(0.5).unwrap();
         let want = poly().eval(0.5);
         assert!((got - want).abs() < 0.03, "got {got} want {want}");
+    }
+
+    #[test]
+    fn backends_fused_paths_match_materializing_twins() {
+        // The backends run the fused zero-materialization paths; their
+        // outputs must equal direct materializing evaluation with the
+        // same seeds, bit for bit.
+        let mut ob = OpticalBackend::new(CircuitParams::paper_fig5(), poly(), 777, 21).unwrap();
+        let mut sng = XoshiroSng::new(21);
+        let mut rng = Xoshiro256PlusPlus::new(21 ^ 0x5EED);
+        for &x in &[0.2, 0.7] {
+            let got = ob.evaluate(x).unwrap();
+            let want = ob.system.evaluate(x, 777, &mut sng, &mut rng).unwrap();
+            assert_eq!(got, want.estimate, "optical x={x}");
+        }
+        let mut eb = ElectronicBackend::new(poly(), 777, 33);
+        let unit = ReScUnit::new(poly());
+        let mut esng = XoshiroSng::new(33);
+        for &x in &[0.2, 0.7] {
+            let got = eb.evaluate(x).unwrap();
+            let want = unit.evaluate(x, 777, &mut esng);
+            assert_eq!(got, want.estimate, "electronic x={x}");
+        }
     }
 
     #[test]

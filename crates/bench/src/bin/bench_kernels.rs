@@ -1,26 +1,48 @@
-//! Emits `BENCH_kernels.json`: the word-parallel kernel speedup report.
+//! Appends a run record to `BENCH_kernels.json`: the kernel speedup
+//! trajectory.
 //!
 //! ```text
-//! bench_kernels [--out PATH] [--budget-ms N]
+//! bench_kernels [--out PATH] [--budget-ms N] [--label NAME] [--check PATH]
 //! ```
 //!
 //! Defaults: `BENCH_kernels.json` in the current directory, 300 ms per
-//! measurement. CI runs this with a small budget as a smoke check; local
-//! runs with the default budget produce the numbers quoted in docs.
+//! measurement, label `local`. When the output file already exists its
+//! run records are preserved and the new run is appended (a
+//! pre-trajectory single-run file is migrated to the first record), so
+//! the file carries the PR-over-PR perf history.
+//!
+//! `--check PATH` compares this run's speedups against the most recent
+//! run recorded in PATH and exits non-zero if any workload regresses
+//! below 80% of the recorded speedup — the CI regression gate.
 
 use osc_bench::kernels;
+
+/// A fresh measurement must reach this fraction of the recorded speedup.
+const CHECK_THRESHOLD: f64 = 0.8;
 
 fn main() {
     let mut out_path = String::from("BENCH_kernels.json");
     let mut budget_ms = 300u64;
+    let mut label = String::from("local");
+    let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
+    let missing = |what: &str| -> String {
+        eprintln!("{what}");
+        std::process::exit(2);
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--out" => {
-                out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                })
+            "--out" => out_path = args.next().unwrap_or_else(|| missing("--out needs a path")),
+            "--label" => {
+                label = args
+                    .next()
+                    .unwrap_or_else(|| missing("--label needs a name"))
+            }
+            "--check" => {
+                check_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| missing("--check needs a path")),
+                )
             }
             "--budget-ms" => {
                 budget_ms = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -30,17 +52,62 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_kernels [--out PATH] [--budget-ms N]");
+                eprintln!(
+                    "usage: bench_kernels [--out PATH] [--budget-ms N] [--label NAME] [--check PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    // Snapshot the regression reference BEFORE the fresh run is appended:
+    // with `--check` and `--out` naming the same file, reading afterwards
+    // would compare the new run against itself and always pass.
+    let committed_reference = check_path.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: could not read {path}: {e}");
+            std::process::exit(1);
+        })
+    });
     let report = kernels::run(budget_ms);
     kernels::print(&report);
-    let json = kernels::to_json(&report);
-    if let Err(e) = std::fs::write(&out_path, &json) {
+    let record = kernels::render_run(&report, &label);
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let merged = kernels::append_run(existing.as_deref(), &record);
+    if let Err(e) = std::fs::write(&out_path, &merged) {
         eprintln!("error: could not write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("[kernel report written to {out_path}]");
+    println!("[kernel run '{label}' appended to {out_path}]");
+
+    if let Some(path) = check_path {
+        let committed = committed_reference.expect("read when --check was parsed");
+        let recorded = kernels::last_run_speedups(&committed);
+        if recorded.is_empty() {
+            eprintln!("error: no recorded speedups found in {path}");
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for (name, committed_speedup) in recorded {
+            let Some(measured) = report
+                .comparisons
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.speedup())
+            else {
+                println!("[check] {name}: not measured in this run, skipping");
+                continue;
+            };
+            let floor = committed_speedup * CHECK_THRESHOLD;
+            let verdict = if measured >= floor { "ok" } else { "REGRESSED" };
+            println!(
+                "[check] {name}: measured {measured:.2}x vs recorded {committed_speedup:.2}x \
+                 (floor {floor:.2}x) — {verdict}"
+            );
+            failed |= measured < floor;
+        }
+        if failed {
+            eprintln!("error: kernel speedup regression below {CHECK_THRESHOLD} of recorded");
+            std::process::exit(1);
+        }
+    }
 }

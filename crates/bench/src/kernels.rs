@@ -1,17 +1,20 @@
-//! EXP-K: word-parallel kernel speedups, pinned before/after.
+//! EXP-K: kernel speedups, pinned per PR.
 //!
 //! Measures the seed per-bit implementations (kept as `*_bitwise` /
-//! `*_reference` twins) against the word-parallel fast paths shipped by
-//! the packed-`u64` rewrite, on the workloads the acceptance criteria
-//! name: the order-2 Fig. 5 circuit at 16384-bit streams and a
-//! 64×64-pixel gamma-correction image. The `bench_kernels` binary emits
-//! the report as `BENCH_kernels.json` so the perf trajectory is tracked
-//! from this change onward.
+//! `*_reference` twins) against the current hot paths on the workloads
+//! the acceptance criteria name: the order-2 Fig. 5 circuit at 16384-bit
+//! streams and a 64×64-pixel gamma-correction image. Since the fusion PR
+//! the hot path is the zero-materialization streaming kernel
+//! ([`OpticalScSystem::evaluate_fused`]); dedicated `*_fused` entries pin
+//! it against the materializing word path it replaced. The
+//! `bench_kernels` binary appends each report as one labelled run record
+//! to `BENCH_kernels.json`, so the file carries the PR-over-PR perf
+//! trajectory instead of a single snapshot (see [`append_run`]).
 
 use crate::microbench::Harness;
 use osc_core::batch::BatchEvaluator;
 use osc_core::params::CircuitParams;
-use osc_core::system::OpticalScSystem;
+use osc_core::system::{EvalScratch, OpticalScSystem};
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bernstein::BernsteinPoly;
 use osc_stochastic::resc::ReScUnit;
@@ -108,16 +111,21 @@ pub fn run(budget_ms: u64) -> KernelsReport {
     ));
 
     // The acceptance workload: order-2 Fig. 5 circuit, 16384-bit streams.
+    // Optimized side = the fused streaming kernel (the hot default since
+    // the fusion PR); baseline = the frozen per-bit seed implementation.
     let system = OpticalScSystem::new(
         CircuitParams::paper_fig5(),
         BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
     )
     .expect("fig5 circuit builds");
     let system_b = system.clone();
+    let system_m = system.clone();
+    let system_m2 = system.clone();
     let mut sng_b = XoshiroSng::new(11);
     let mut rng_b = Xoshiro256PlusPlus::new(12);
     let mut sng_o = XoshiroSng::new(11);
     let mut rng_o = Xoshiro256PlusPlus::new(12);
+    let mut scratch_o = EvalScratch::new();
     comparisons.push(compare(
         &mut harness,
         "optical_evaluate_order2_16384",
@@ -129,7 +137,31 @@ pub fn run(budget_ms: u64) -> KernelsReport {
         },
         move || {
             system
-                .evaluate(0.5, 16_384, &mut sng_o, &mut rng_o)
+                .evaluate_fused(0.5, 16_384, &mut sng_o, &mut rng_o, &mut scratch_o)
+                .unwrap()
+                .estimate
+        },
+    ));
+
+    // Fusion isolated: the materializing word path (the previous hot
+    // path) against the zero-materialization streaming kernel.
+    let mut sng_m = XoshiroSng::new(11);
+    let mut rng_m = Xoshiro256PlusPlus::new(12);
+    let mut sng_f = XoshiroSng::new(11);
+    let mut rng_f = Xoshiro256PlusPlus::new(12);
+    let mut scratch_f = EvalScratch::new();
+    comparisons.push(compare(
+        &mut harness,
+        "optical_evaluate_order2_16384_fused",
+        move || {
+            system_m
+                .evaluate(0.5, 16_384, &mut sng_m, &mut rng_m)
+                .unwrap()
+                .estimate
+        },
+        move || {
+            system_m2
+                .evaluate_fused(0.5, 16_384, &mut sng_f, &mut rng_f, &mut scratch_f)
                 .unwrap()
                 .estimate
         },
@@ -144,6 +176,10 @@ pub fn run(budget_ms: u64) -> KernelsReport {
     let gamma_system =
         OpticalScSystem::new(params, poly.clone()).expect("6th-order circuit builds");
     let image_b = image.clone();
+    let image_m = image.clone();
+    let image_f = image.clone();
+    let gamma_system_m = gamma_system.clone();
+    let gamma_system_f = gamma_system.clone();
     let mut sng_b = XoshiroSng::new(13);
     let mut rng_b = Xoshiro256PlusPlus::new(14);
     let backend = osc_apps::backend::OpticalBackend::new(params, poly, stream, 13)
@@ -165,13 +201,47 @@ pub fn run(budget_ms: u64) -> KernelsReport {
             acc
         },
         move || {
-            // Ported pipeline: word-parallel kernel fanned across the
-            // batch evaluator's workers.
+            // Current pipeline: fused zero-materialization kernel, rows
+            // fanned across the batch evaluator's workers with per-row
+            // backend scratch.
             osc_apps::gamma_app::apply_backend_par(&image, &backend, &evaluator)
                 .unwrap()
                 .pixels()
                 .iter()
                 .sum()
+        },
+    ));
+
+    // Fusion isolated on the gamma workload: sequential per-pixel loops,
+    // materializing word path vs streaming kernel with reused scratch
+    // (zero heap allocation per pixel).
+    let mut sng_m = XoshiroSng::new(13);
+    let mut rng_m = Xoshiro256PlusPlus::new(14);
+    let mut sng_f = XoshiroSng::new(13);
+    let mut rng_f = Xoshiro256PlusPlus::new(14);
+    let mut scratch_g = EvalScratch::new();
+    comparisons.push(compare(
+        &mut harness,
+        "gamma_64x64_order6_fused",
+        move || {
+            let mut acc = 0.0;
+            for &p in image_m.pixels() {
+                acc += gamma_system_m
+                    .evaluate(p, stream, &mut sng_m, &mut rng_m)
+                    .unwrap()
+                    .estimate;
+            }
+            acc
+        },
+        move || {
+            let mut acc = 0.0;
+            for &p in image_f.pixels() {
+                acc += gamma_system_f
+                    .evaluate_fused(p, stream, &mut sng_f, &mut rng_f, &mut scratch_g)
+                    .unwrap()
+                    .estimate;
+            }
+            acc
         },
     ));
 
@@ -197,12 +267,15 @@ pub fn print(report: &KernelsReport) {
     crate::print_table(&["kernel", "per-bit ns", "word ns", "speedup"], &rows);
 }
 
-/// Renders the report as JSON (`BENCH_kernels.json` schema).
-pub fn to_json(report: &KernelsReport) -> String {
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
+/// Renders one labelled run record. The per-run schema is the original
+/// single-run `BENCH_kernels.json` shape (a `benchmarks` array of
+/// name / baseline_ns / optimized_ns / speedup entries) plus a `label`
+/// identifying the PR or invocation that produced it.
+pub fn render_run(report: &KernelsReport, label: &str) -> String {
+    let mut out = format!("    {{\"label\": \"{label}\", \"benchmarks\": [\n");
     for (i, c) in report.comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"baseline_ns\": {:.3}, \"optimized_ns\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "      {{\"name\": \"{}\", \"baseline_ns\": {:.3}, \"optimized_ns\": {:.3}, \"speedup\": {:.3}}}{}\n",
             c.name,
             c.baseline_ns,
             c.optimized_ns,
@@ -210,7 +283,110 @@ pub fn to_json(report: &KernelsReport) -> String {
             if i + 1 < report.comparisons.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("    ]}");
+    out
+}
+
+/// Splits the top-level objects of the `runs` array out of a trajectory
+/// file (or the whole object of a pre-trajectory single-run file).
+/// Returns `None` when the text holds neither schema.
+fn extract_run_records(text: &str) -> Option<Vec<String>> {
+    let body = if let Some(pos) = text.find("\"runs\"") {
+        let open = pos + text[pos..].find('[')?;
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, ch) in text[open..].char_indices() {
+            match ch {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &text[open + 1..end?]
+    } else if text.contains("\"benchmarks\"") {
+        // Pre-trajectory schema: the whole file is one unlabelled run.
+        // Splice a label in so every record carries one.
+        let rest = text.trim().strip_prefix('{')?;
+        return Some(vec![format!("    {{\"label\": \"pr1\",{rest}")
+            .trim_end()
+            .to_string()]);
+    } else {
+        return None;
+    };
+    // Split the array body into top-level `{...}` records by brace depth
+    // (names and labels never contain braces).
+    let mut records = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    records.push(format!("    {}", body[start?..=i].trim()));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(records)
+}
+
+/// Appends a rendered run record to the trajectory file contents,
+/// migrating a pre-trajectory single-run file into the first record.
+/// `existing = None` (or unrecognized contents) starts a fresh
+/// trajectory.
+pub fn append_run(existing: Option<&str>, run_record: &str) -> String {
+    let mut records = existing.and_then(extract_run_records).unwrap_or_default();
+    records.push(run_record.trim_end().to_string());
+    let mut out = String::from("{\n  \"runs\": [\n");
+    out.push_str(&records.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The `(name, speedup)` pairs of the trajectory's most recent run (or of
+/// a pre-trajectory single-run file) — what the CI regression gate
+/// compares fresh measurements against.
+pub fn last_run_speedups(text: &str) -> Vec<(String, f64)> {
+    let Some(records) = extract_run_records(text) else {
+        return Vec::new();
+    };
+    let Some(last) = records.last() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest: &str = last;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        let name_start = pos + "\"name\": \"".len();
+        let Some(name_len) = rest[name_start..].find('"') else {
+            break;
+        };
+        let name = rest[name_start..name_start + name_len].to_string();
+        let after = &rest[name_start + name_len..];
+        if let Some(spos) = after.find("\"speedup\": ") {
+            let val = after[spos + "\"speedup\": ".len()..]
+                .split(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                .next()
+                .and_then(|v| v.parse::<f64>().ok());
+            if let Some(v) = val {
+                out.push((name, v));
+            }
+        }
+        rest = &rest[name_start + name_len..];
+    }
     out
 }
 
@@ -222,12 +398,80 @@ mod tests {
     fn smoke_run_produces_all_comparisons() {
         // Tiny budget: correctness of the plumbing, not timing quality.
         let r = run(1);
-        assert_eq!(r.comparisons.len(), 4);
+        assert_eq!(r.comparisons.len(), 6);
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
-        let json = to_json(&r);
+        let json = render_run(&r, "test");
         assert!(json.contains("optical_evaluate_order2_16384"));
+        assert!(json.contains("optical_evaluate_order2_16384_fused"));
         assert!(json.contains("gamma_64x64_order6"));
+        assert!(json.contains("gamma_64x64_order6_fused"));
+    }
+
+    fn sample_report() -> KernelsReport {
+        KernelsReport {
+            comparisons: vec![
+                KernelComparison {
+                    name: "alpha".into(),
+                    baseline_ns: 100.0,
+                    optimized_ns: 25.0,
+                },
+                KernelComparison {
+                    name: "beta".into(),
+                    baseline_ns: 90.0,
+                    optimized_ns: 30.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn append_run_starts_fresh_trajectory() {
+        let record = render_run(&sample_report(), "pr2");
+        let out = append_run(None, &record);
+        assert!(out.starts_with("{\n  \"runs\": ["));
+        let speedups = last_run_speedups(&out);
+        assert_eq!(speedups.len(), 2);
+        assert_eq!(speedups[0].0, "alpha");
+        assert!((speedups[0].1 - 4.0).abs() < 1e-9);
+        assert!((speedups[1].1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn append_run_migrates_single_run_schema() {
+        // The pre-trajectory file shape (one top-level benchmarks array)
+        // becomes the first labelled record.
+        let old = "{\n  \"benchmarks\": [\n    {\"name\": \"alpha\", \"baseline_ns\": 100.000, \"optimized_ns\": 50.000, \"speedup\": 2.000}\n  ]\n}\n";
+        let record = render_run(&sample_report(), "pr2");
+        let out = append_run(Some(old), &record);
+        assert!(out.contains("\"label\": \"pr1\""), "{out}");
+        assert!(out.contains("\"label\": \"pr2\""));
+        // The last run governs the regression gate.
+        let speedups = last_run_speedups(&out);
+        assert_eq!(speedups.len(), 2);
+        assert!((speedups[0].1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn append_run_extends_trajectory() {
+        let r1 = append_run(None, &render_run(&sample_report(), "pr2"));
+        let mut faster = sample_report();
+        faster.comparisons[0].optimized_ns = 10.0;
+        let r2 = append_run(Some(&r1), &render_run(&faster, "pr3"));
+        assert_eq!(r2.matches("\"label\"").count(), 2);
+        let speedups = last_run_speedups(&r2);
+        assert!((speedups[0].1 - 10.0).abs() < 1e-9, "{speedups:?}");
+        // Still valid for a third append.
+        let r3 = append_run(Some(&r2), &render_run(&sample_report(), "pr4"));
+        assert_eq!(r3.matches("\"label\"").count(), 3);
+        assert_eq!(last_run_speedups(&r3).len(), 2);
+    }
+
+    #[test]
+    fn unrecognized_trajectory_contents_start_fresh() {
+        let out = append_run(Some("not json at all"), &render_run(&sample_report(), "x"));
+        assert_eq!(out.matches("\"label\"").count(), 1);
+        assert_eq!(last_run_speedups("garbage"), Vec::new());
     }
 }

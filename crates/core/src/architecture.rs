@@ -160,20 +160,31 @@ impl OpticalScCircuit {
     ///
     /// Propagates arity errors (not reachable through the public API).
     pub fn power_bands(&self) -> Result<PowerBands, CircuitError> {
-        let rows = self.power_level_table()?;
+        // The adder's identical MZIs make received power depend on the
+        // data word only through its ones count (the pinned
+        // `control_depends_only_on_count` invariant), so one canonical
+        // data pattern per count covers every band extreme: (n+1)·2^(n+1)
+        // evaluations instead of the exhaustive 2^(2n+1) table — the
+        // difference between milliseconds and minutes at high orders.
+        let n = self.order();
         let mut bands = PowerBands {
             zero_min: Milliwatts::new(f64::INFINITY),
             zero_max: Milliwatts::new(f64::NEG_INFINITY),
             one_min: Milliwatts::new(f64::INFINITY),
             one_max: Milliwatts::new(f64::NEG_INFINITY),
         };
-        for row in rows {
-            if row.transmitted_bit {
-                bands.one_min = bands.one_min.min(row.received);
-                bands.one_max = bands.one_max.max(row.received);
-            } else {
-                bands.zero_min = bands.zero_min.min(row.received);
-                bands.zero_max = bands.zero_max.max(row.received);
+        for count in 0..=n {
+            let x_bits: Vec<bool> = (0..n).map(|i| i < count).collect();
+            for zw in 0..(1u32 << (n + 1)) {
+                let z_bits: Vec<bool> = (0..=n).map(|b| zw >> b & 1 == 1).collect();
+                let received = self.received_power(&x_bits, &z_bits)?;
+                if z_bits[count] {
+                    bands.one_min = bands.one_min.min(received);
+                    bands.one_max = bands.one_max.max(received);
+                } else {
+                    bands.zero_min = bands.zero_min.min(received);
+                    bands.zero_max = bands.zero_max.max(received);
+                }
             }
         }
         Ok(bands)
@@ -198,6 +209,41 @@ mod tests {
             assert_eq!(r.selected, r.x_bits.iter().filter(|&&b| b).count());
             assert_eq!(r.transmitted_bit, r.z_bits[r.selected]);
         }
+    }
+
+    #[test]
+    fn count_collapsed_bands_match_exhaustive_table() {
+        // `power_bands` visits one canonical data pattern per ones count;
+        // the exhaustive table must produce exactly the same extremes
+        // (the count-invariance of received power).
+        let c = circuit();
+        let bands = c.power_bands().unwrap();
+        let mut zero: Vec<f64> = Vec::new();
+        let mut one: Vec<f64> = Vec::new();
+        for row in c.power_level_table().unwrap() {
+            if row.transmitted_bit {
+                one.push(row.received.as_mw());
+            } else {
+                zero.push(row.received.as_mw());
+            }
+        }
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        assert!(close(
+            bands.zero_min.as_mw(),
+            zero.iter().cloned().fold(f64::INFINITY, f64::min)
+        ));
+        assert!(close(
+            bands.zero_max.as_mw(),
+            zero.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        ));
+        assert!(close(
+            bands.one_min.as_mw(),
+            one.iter().cloned().fold(f64::INFINITY, f64::min)
+        ));
+        assert!(close(
+            bands.one_max.as_mw(),
+            one.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        ));
     }
 
     #[test]

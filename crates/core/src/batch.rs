@@ -20,7 +20,7 @@
 //! dependencies, no pool to shut down, and the same work-stealing shape a
 //! rayon `par_iter` would give for these embarrassingly parallel loads.
 
-use crate::system::{OpticalRun, OpticalScSystem};
+use crate::system::{EvalScratch, OpticalRun, OpticalScSystem};
 use crate::CircuitError;
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::sng::StochasticNumberGenerator;
@@ -83,13 +83,35 @@ impl BatchEvaluator {
         U: Send,
         F: Fn(usize, &T) -> U + Sync,
     {
+        self.par_map_with(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// [`BatchEvaluator::par_map`] with worker-local state: each worker
+    /// builds one `state = init()` when it starts and threads it through
+    /// every item it processes. This is how per-worker scratch (e.g.
+    /// [`EvalScratch`]) is reused across items without locking or
+    /// per-item allocation. For the determinism contract, `state` must
+    /// never leak information between items — scratch buffers that are
+    /// fully rewritten per item qualify.
+    pub fn par_map_with<T, U, W, I, F>(&self, items: &[T], init: I, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, usize, &T) -> U + Sync,
+    {
         let n = items.len();
         if n == 0 {
             return Vec::new();
         }
         let workers = self.threads.min(n);
         if workers == 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
         }
         // Chunked work stealing: workers claim small index ranges from a
         // shared counter, so a slow item does not stall the batch the way
@@ -102,7 +124,9 @@ impl BatchEvaluator {
             for _ in 0..workers {
                 let cursor = &cursor;
                 let f = &f;
+                let init = &init;
                 handles.push(scope.spawn(move || {
+                    let mut state = init();
                     let mut local: Vec<(usize, U)> = Vec::new();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -110,7 +134,7 @@ impl BatchEvaluator {
                             break;
                         }
                         for (i, item) in items.iter().enumerate().skip(start).take(chunk) {
-                            local.push((i, f(i, item)));
+                            local.push((i, f(&mut state, i, item)));
                         }
                     }
                     local
@@ -128,6 +152,10 @@ impl BatchEvaluator {
     /// Evaluates the system at every `x` in `xs`, each run on independent
     /// SNG/noise streams derived from `(seed, index)`.
     ///
+    /// Runs the fused zero-materialization path with one [`EvalScratch`]
+    /// per worker — no stream allocation anywhere in the batch. Results
+    /// are bit-identical to per-item [`OpticalScSystem::evaluate`] calls.
+    ///
     /// # Errors
     ///
     /// Propagates the first evaluation failure (by index order).
@@ -143,18 +171,19 @@ impl BatchEvaluator {
         S: StochasticNumberGenerator,
         F: Fn(u64) -> S + Sync,
     {
-        self.par_map(xs, |i, &x| {
+        self.par_map_with(xs, EvalScratch::new, |scratch, i, &x| {
             let item_seed = mix_seed(seed, i as u64);
             let mut sng = sng_factory(item_seed);
             let mut rng = Xoshiro256PlusPlus::new(mix_seed(item_seed, 0x0A11_D1CE));
-            system.evaluate(x, stream_length, &mut sng, &mut rng)
+            system.evaluate_fused(x, stream_length, &mut sng, &mut rng, scratch)
         })
         .into_iter()
         .collect()
     }
 
     /// Evaluates one `x` across many independent seeds — the Monte-Carlo
-    /// replication loop of the accuracy studies, batched.
+    /// replication loop of the accuracy studies, batched. Fused path,
+    /// per-worker scratch, like [`BatchEvaluator::evaluate_many`].
     ///
     /// # Errors
     ///
@@ -171,10 +200,10 @@ impl BatchEvaluator {
         S: StochasticNumberGenerator,
         F: Fn(u64) -> S + Sync,
     {
-        self.par_map(seeds, |_, &seed| {
+        self.par_map_with(seeds, EvalScratch::new, |scratch, _, &seed| {
             let mut sng = sng_factory(seed);
             let mut rng = Xoshiro256PlusPlus::new(mix_seed(seed, 0x0A11_D1CE));
-            system.evaluate(x, stream_length, &mut sng, &mut rng)
+            system.evaluate_fused(x, stream_length, &mut sng, &mut rng, scratch)
         })
         .into_iter()
         .collect()
@@ -236,6 +265,43 @@ mod tests {
         assert_ne!(a & 0xFFFF_FFFF, b & 0xFFFF_FFFF, "low bits must differ");
         // And different base seeds diverge for the same index.
         assert_ne!(mix_seed(1, 7), mix_seed(2, 7));
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state_and_preserves_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = BatchEvaluator::with_threads(4).par_map_with(
+            &items,
+            || 0usize,
+            |seen, i, &x| {
+                assert_eq!(i, x);
+                *seen += 1; // worker-local: must never be shared
+                (x * 3, *seen)
+            },
+        );
+        let values: Vec<usize> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, (0..64).map(|x| x * 3).collect::<Vec<_>>());
+        // Every worker's counter increments monotonically from 1, and the
+        // total across items equals the item count.
+        assert!(out.iter().all(|&(_, seen)| seen >= 1));
+    }
+
+    #[test]
+    fn evaluate_many_matches_unbatched_materializing_runs() {
+        // The batched fused path must agree bit-for-bit with direct
+        // per-item materializing evaluation under the same seed derivation.
+        let s = system();
+        let xs = [0.1, 0.5, 0.9];
+        let runs = BatchEvaluator::with_threads(2)
+            .evaluate_many(&s, &xs, 1000, XoshiroSng::new, 17)
+            .unwrap();
+        for (i, (&x, run)) in xs.iter().zip(&runs).enumerate() {
+            let item_seed = mix_seed(17, i as u64);
+            let mut sng = XoshiroSng::new(item_seed);
+            let mut rng = Xoshiro256PlusPlus::new(mix_seed(item_seed, 0x0A11_D1CE));
+            let direct = s.evaluate(x, 1000, &mut sng, &mut rng).unwrap();
+            assert_eq!(*run, direct, "item {i}");
+        }
     }
 
     #[test]

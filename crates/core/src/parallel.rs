@@ -9,7 +9,7 @@
 //! paper's argument for why parallelism is the natural scale-out axis.
 
 use crate::batch::{mix_seed, BatchEvaluator};
-use crate::system::{OpticalRun, OpticalScSystem};
+use crate::system::{EvalScratch, OpticalRun, OpticalScSystem};
 use crate::{params::CircuitParams, CircuitError};
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bernstein::BernsteinPoly;
@@ -119,12 +119,14 @@ impl ParallelOpticalSc {
         F: Fn(u64) -> S + Sync,
     {
         let per_lane = total_bits.div_ceil(self.lanes.len());
+        // Fused zero-materialization lanes: one scratch per worker, no
+        // stream allocation; bit-identical to lane-wise `evaluate`.
         let runs: Vec<OpticalRun> = evaluator
-            .par_map(&self.lanes, |i, lane| {
+            .par_map_with(&self.lanes, EvalScratch::new, |scratch, i, lane| {
                 let lane_seed = mix_seed(seed, i as u64);
                 let mut sng = sng_factory(lane_seed);
                 let mut rng = Xoshiro256PlusPlus::new(mix_seed(lane_seed, 0x0A11_D1CE));
-                lane.evaluate(x, per_lane, &mut sng, &mut rng)
+                lane.evaluate_fused(x, per_lane, &mut sng, &mut rng, scratch)
             })
             .into_iter()
             .collect::<Result<_, _>>()?;

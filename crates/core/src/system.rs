@@ -10,9 +10,8 @@
 //!
 //! # Word-parallel execution
 //!
-//! The hot path ([`OpticalScSystem::evaluate`]) never touches individual
-//! bits: it walks the packed `u64` words of the data and coefficient
-//! streams, transposing 64 clock cycles per memory pass into
+//! The hot paths never touch individual bits: they work on packed `u64`
+//! words, transposing 64 clock cycles per memory pass into
 //! `(ones-count, z-word)` pairs. The receiver is folded analytically —
 //! because the adder only sees the ones count and the circuit's power for
 //! each `(count, z-word)` pair is precomputed, the probability that the
@@ -22,17 +21,39 @@
 //! bands are far enough apart that the probability saturates at 0 or 1),
 //! instead of a full Gaussian sample per cycle.
 //!
-//! Three implementations share these semantics:
+//! # The evaluate paths, and when to use each
 //!
-//! - [`OpticalScSystem::evaluate`] — word-transposed, analytic noise
-//!   folding (the fast default);
+//! Four implementations share draw-for-draw identical semantics; two more
+//! keep the original physical-sampling seed semantics:
+//!
+//! - [`OpticalScSystem::evaluate_fused`] — the hot default. Streams SNG
+//!   words straight into the decision kernel through
+//!   [`SngWordCursor`](osc_stochastic::sng::SngWordCursor)s: data streams
+//!   fold into bit-sliced ones-count planes as they leave the generator,
+//!   coefficient streams fold into the decision (or land in reusable
+//!   scratch for noisy circuits), and **no `BitStream` is ever
+//!   materialized** — zero heap allocation once the caller's
+//!   [`EvalScratch`] has warmed up. Use this anywhere throughput matters
+//!   (the batch, parallel-lane and image pipelines all do).
+//! - [`OpticalScSystem::evaluate`] — the materializing equivalence twin:
+//!   generates the `2n+1` input streams as `BitStream`s, then runs the
+//!   same word-transposed kernel. Bit-identical to `evaluate_fused`
+//!   (the property tests pin the pair across SNGs, orders and ragged
+//!   lengths). Use it when the intermediate streams themselves are of
+//!   interest, or as the reference side of fusion benchmarks.
 //! - [`OpticalScSystem::evaluate_bitwise`] — per-bit twin of `evaluate`,
-//!   draw-for-draw identical (equivalence tests pin exact equality);
+//!   draw-for-draw identical (equivalence tests pin exact equality).
+//!   The readable specification of the kernel; use it in tests.
+//! - [`OpticalScSystem::decide_streams`] — same decision rule over
+//!   pre-generated streams when callers need the output bits.
 //! - [`OpticalScSystem::evaluate_analog`] — the physical-sampling
 //!   reference: one explicit Gaussian power observation per cycle
 //!   (batched through [`Xoshiro256PlusPlus::fill_gaussian`]), thresholded
 //!   by the de-randomizer. Statistically identical to `evaluate`; kept as
 //!   the seed-semantics baseline for benchmarks and validation.
+//! - [`OpticalScSystem::evaluate_reference`] — the frozen pre-word-
+//!   parallel seed implementation, kept only as the benchmarks' "before"
+//!   side. Do not use in new code.
 
 use crate::architecture::OpticalScCircuit;
 use crate::receiver::Derandomizer;
@@ -41,9 +62,77 @@ use osc_math::rng::Xoshiro256PlusPlus;
 use osc_math::special::gaussian_q;
 use osc_stochastic::bernstein::BernsteinPoly;
 use osc_stochastic::bitstream::BitStream;
-use osc_stochastic::resc::ReScUnit;
-use osc_stochastic::sng::StochasticNumberGenerator;
+use osc_stochastic::resc::{fold_data_words, fold_sel_words, planes_for, ReScUnit};
+use osc_stochastic::sng::{SngWordCursor, StochasticNumberGenerator};
 use osc_units::Milliwatts;
+
+/// Reusable scratch state for [`OpticalScSystem::evaluate_fused`].
+///
+/// Holds the bit-sliced ones-count planes the data streams fold into, the
+/// coefficient words of noisy (non-deterministic) circuits, and the folded
+/// decision output. Buffers grow on first use and are reused verbatim
+/// afterwards, so steady-state fused evaluation performs **zero heap
+/// allocation per call** — thread one scratch per worker through batch
+/// loops ([`crate::batch::BatchEvaluator`] and the image pipelines do).
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Count planes, plane-major: plane `p` of block `w` lives at
+    /// `p * words + w` (`nplanes = planes_for(order)` planes), so the
+    /// fold passes run elementwise over whole arrays and vectorize.
+    planes: Vec<u64>,
+    /// Coefficient words, stream-major: stream `c` of block `w` lives at
+    /// `c * words + w`. Only used by the noisy kernel tiers — the
+    /// exact-multiplexer tier folds coefficients without storing them.
+    coeff: Vec<u64>,
+    /// Folded ideal multiplexer output `z_count`, one word per 64-cycle
+    /// block (also the decided output in the exact-multiplexer tier).
+    sel: Vec<u64>,
+    /// Landing buffer for up to two streams being generated (one pair),
+    /// before their words fold into `planes`/`sel`.
+    stream_buf: Vec<u64>,
+}
+
+impl EvalScratch {
+    /// Creates empty scratch; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+
+    /// Currently reserved capacity in `u64` words across all buffers —
+    /// lets tests pin that steady-state evaluation stops allocating.
+    pub fn capacity_words(&self) -> usize {
+        self.planes.capacity()
+            + self.coeff.capacity()
+            + self.sel.capacity()
+            + self.stream_buf.capacity()
+    }
+}
+
+/// Nibble-spread tables for the noisy decision tiers: `SPREAD[pos][v]`
+/// scatters the nibble `v`'s 4 bits into four 16-bit lanes at bit `pos`,
+/// so a block's 64 table indices `(count << (n+1)) | zw` assemble with
+/// two lookups + ORs per source word per 8 cycles instead of ~10
+/// shift/mask ops per cycle. Covers index bit positions 0..15 (orders
+/// ≤ 11); at 2 KiB total the tables stay L1-resident.
+fn spread_tables() -> &'static [[u64; 16]; 16] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[[u64; 16]; 16]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0u64; 16]; 16];
+        for (pos, tab) in tables.iter_mut().enumerate() {
+            for (v, slot) in tab.iter_mut().enumerate() {
+                let mut acc = 0u64;
+                for k in 0..4 {
+                    if (v >> k) & 1 == 1 {
+                        acc |= 1u64 << (k * 16 + pos);
+                    }
+                }
+                *slot = acc;
+            }
+        }
+        tables
+    })
+}
 
 /// Result of one end-to-end optical evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,6 +201,13 @@ pub struct OpticalScSystem {
 impl OpticalScSystem {
     /// Maximum order supported by the exhaustive power table.
     pub const MAX_SIM_ORDER: usize = 12;
+
+    /// Width of the stack-resident word-register arrays inside the
+    /// kernels: room for the `order + 1` coefficient streams at
+    /// [`OpticalScSystem::MAX_SIM_ORDER`]. Deriving it from the order cap
+    /// keeps the kernel register arrays and the constructor bound from
+    /// drifting apart.
+    pub const WORD_REGS: usize = Self::MAX_SIM_ORDER + 1;
 
     /// Decision-flip probabilities below this are folded to exact 0/1 in
     /// the receiver table: no simulable stream length could observe them.
@@ -259,6 +355,288 @@ impl OpticalScSystem {
         Ok(self.finish_run(x, stream_length, ones, ideal_ones, decision_flips))
     }
 
+    /// Fused zero-materialization evaluation: streams SNG words straight
+    /// into the decision kernel.
+    ///
+    /// Where [`OpticalScSystem::evaluate`] first materializes `2n+1`
+    /// [`BitStream`]s and then walks them, this path pulls one 64-cycle
+    /// word at a time from each stream's
+    /// [`SngWordCursor`](osc_stochastic::sng::SngWordCursor): the `n` data
+    /// streams fold into `⌈log₂(n+1)⌉` bit-sliced ones-count planes as
+    /// they leave the generator, and the `n+1` coefficient streams either
+    /// fold directly into the decision (exact-multiplexer circuits) or
+    /// land in `scratch` for the noisy kernel tiers. No stream is ever
+    /// heap-allocated; `scratch` is reused across calls, so steady-state
+    /// evaluation allocates nothing.
+    ///
+    /// Bit-identical to [`OpticalScSystem::evaluate`] and
+    /// [`OpticalScSystem::evaluate_bitwise`]: same SNG comparator draws in
+    /// the same order, same receiver-noise draws, same [`OpticalRun`] —
+    /// the crate's property tests pin the three-way equality across all
+    /// four SNGs, every simulable order and ragged stream lengths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors for invalid `x`.
+    pub fn evaluate_fused<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+        scratch: &mut EvalScratch,
+    ) -> Result<OpticalRun, CircuitError> {
+        let (ones, ideal_ones, decision_flips) = match self.circuit.order() {
+            1 => self.fused_kernel::<1, S>(x, stream_length, sng, rng, scratch),
+            2 => self.fused_kernel::<2, S>(x, stream_length, sng, rng, scratch),
+            3 => self.fused_kernel::<3, S>(x, stream_length, sng, rng, scratch),
+            4 => self.fused_kernel::<4, S>(x, stream_length, sng, rng, scratch),
+            5 => self.fused_kernel::<5, S>(x, stream_length, sng, rng, scratch),
+            6 => self.fused_kernel::<6, S>(x, stream_length, sng, rng, scratch),
+            7 => self.fused_kernel::<7, S>(x, stream_length, sng, rng, scratch),
+            8 => self.fused_kernel::<8, S>(x, stream_length, sng, rng, scratch),
+            9 => self.fused_kernel::<9, S>(x, stream_length, sng, rng, scratch),
+            10 => self.fused_kernel::<10, S>(x, stream_length, sng, rng, scratch),
+            11 => self.fused_kernel::<11, S>(x, stream_length, sng, rng, scratch),
+            12 => self.fused_kernel::<12, S>(x, stream_length, sng, rng, scratch),
+            n => unreachable!("order {n} exceeds MAX_SIM_ORDER"),
+        }
+        .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
+        Ok(self.finish_run(x, stream_length, ones, ideal_ones, decision_flips))
+    }
+
+    /// Streams shorter than this are generated one chain at a time: the
+    /// GF(2) jump that lets [`StochasticNumberGenerator::drain_two`] run
+    /// two streams as interleaved chains costs ~0.6 µs per pair, which
+    /// only pays for itself once each stream is a few thousand bits.
+    const PAIR_STREAM_CUTOFF: usize = 4096;
+
+    /// The fused kernel body: generation-order streaming (all data
+    /// streams, then all coefficient streams — the exact draw order of
+    /// [`ReScUnit::generate_streams`]), with the decision phase matching
+    /// the same three tiers as [`OpticalScSystem::word_kernel`].
+    ///
+    /// Streams land in reusable scratch buffers (never a `BitStream`):
+    /// data words fold into bit-sliced ones-count planes, coefficient
+    /// words fold into the ideal multiplexer output (and are retained for
+    /// the noisy tiers). On long streams, consecutive streams are drawn
+    /// as two interleaved chains via
+    /// [`StochasticNumberGenerator::drain_two`]. The noisy decision pass
+    /// assembles each cycle's `(count, z-word)` table index by byte-spread
+    /// lookups ([`spread_tables`]) instead of per-cycle bit extraction.
+    fn fused_kernel<const N: usize, S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+        scratch: &mut EvalScratch,
+    ) -> Result<(usize, usize, usize), osc_stochastic::ScError> {
+        let nplanes = planes_for(N);
+        let words = stream_length.div_ceil(64);
+        let mux_exact = self.mux_exact;
+        scratch.planes.clear();
+        scratch.planes.resize(words * nplanes, 0);
+        scratch.sel.clear();
+        scratch.sel.resize(words, 0);
+        if scratch.stream_buf.len() < 2 * words {
+            scratch.stream_buf.resize(2 * words, 0);
+        }
+        if !mux_exact && scratch.coeff.len() < (N + 1) * words {
+            scratch.coeff.resize((N + 1) * words, 0);
+        }
+        let coeffs = self.poly.coeffs();
+        // Stream j of the generation order: data (probability x) for
+        // j < N, then the n+1 Bernstein coefficients. Data streams and —
+        // in the exact-multiplexer regime — coefficient streams fold
+        // immediately and land in the pair buffer; noisy-tier coefficient
+        // words are retained in `scratch.coeff`.
+        let prob = |j: usize| if j < N { x } else { coeffs[j - N] };
+        let buffered = |j: usize| j < N || mux_exact;
+        let total = 2 * N + 1;
+        let try_pairs = stream_length >= Self::PAIR_STREAM_CUTOFF;
+        let mut j = 0usize;
+        while j < total {
+            let mut paired = false;
+            if try_pairs && j + 1 < total {
+                let (buf_a, buf_b) = scratch.stream_buf.split_at_mut(words);
+                let (d0, d1): (&mut [u64], &mut [u64]) = match (buffered(j), buffered(j + 1)) {
+                    (true, true) => (&mut buf_a[..words], &mut buf_b[..words]),
+                    (true, false) => {
+                        let c1 = j + 1 - N;
+                        (
+                            &mut buf_a[..words],
+                            &mut scratch.coeff[c1 * words..(c1 + 1) * words],
+                        )
+                    }
+                    (false, false) => {
+                        let c0 = j - N;
+                        let (left, right) = scratch.coeff.split_at_mut((c0 + 1) * words);
+                        (&mut left[c0 * words..], &mut right[..words])
+                    }
+                    (false, true) => unreachable!("data streams precede coefficient streams"),
+                };
+                {
+                    let mut slots = d0.iter_mut().zip(d1.iter_mut());
+                    paired = sng.drain_two(prob(j), prob(j + 1), stream_length, |w0, w1, _| {
+                        let (s0, s1) = slots.next().expect("word count matches");
+                        *s0 = w0;
+                        *s1 = w1;
+                    })?;
+                }
+                if paired {
+                    for (jj, d) in [(j, d0), (j + 1, d1)] {
+                        if jj < N {
+                            fold_data_words(d, &mut scratch.planes, nplanes);
+                        } else {
+                            fold_sel_words(d, &scratch.planes, &mut scratch.sel, jj - N, nplanes);
+                        }
+                    }
+                    j += 2;
+                }
+            }
+            if !paired {
+                let d: &mut [u64] = if buffered(j) {
+                    &mut scratch.stream_buf[..words]
+                } else {
+                    let c = j - N;
+                    &mut scratch.coeff[c * words..(c + 1) * words]
+                };
+                {
+                    let mut slots = d.iter_mut();
+                    sng.begin(prob(j), stream_length)?.drain(|w, _| {
+                        *slots.next().expect("word count matches") = w;
+                    });
+                }
+                if j < N {
+                    fold_data_words(d, &mut scratch.planes, nplanes);
+                } else {
+                    fold_sel_words(d, &scratch.planes, &mut scratch.sel, j - N, nplanes);
+                }
+                j += 1;
+            }
+        }
+        let ideal_ones: usize = scratch.sel.iter().map(|w| w.count_ones() as usize).sum();
+        if mux_exact {
+            // Tier 1: every decision equals the ideal multiplexer bit
+            // z_count — the folded output IS the decided stream.
+            return Ok((ideal_ones, ideal_ones, 0));
+        }
+        // Noisy tiers: per-cycle table decisions against the folded
+        // receiver probabilities, identical traversal and RNG consumption
+        // to the materializing word kernel's tiers 2 and 3.
+        let table = &self.one_probability[..];
+        let classes = &self.decision_class[..];
+        let deterministic = self.deterministic_decisions;
+        let mut ones = 0usize;
+        let mut decision_flips = 0usize;
+        let mut remaining = stream_length;
+        if (N + 1) + nplanes <= 16 {
+            // Nibble-spread index assembly: 8 cycles of `(count << (N+1))
+            // | zw` per lookup group (low nibble → lanes 0–3, high nibble
+            // → lanes 4–7).
+            let spread = spread_tables();
+            let mut idxs = [0u16; 64];
+            for w in 0..words {
+                let nbits = remaining.min(64);
+                let mut src = [0u64; Self::WORD_REGS + 4];
+                for (c, slot) in src[..=N].iter_mut().enumerate() {
+                    *slot = scratch.coeff[c * words + w];
+                }
+                for p in 0..nplanes {
+                    src[N + 1 + p] = scratch.planes[p * words + w];
+                }
+                let nsrc = N + 1 + nplanes;
+                for k in 0..8 {
+                    let sh = k * 8;
+                    let (mut lo, mut hi) = (0u64, 0u64);
+                    for (j, &word) in src[..nsrc].iter().enumerate() {
+                        let byte = (word >> sh) & 0xFF;
+                        lo |= spread[j][(byte & 0xF) as usize];
+                        hi |= spread[j][(byte >> 4) as usize];
+                    }
+                    for (b, slot) in idxs[k * 8..k * 8 + 4].iter_mut().enumerate() {
+                        *slot = (lo >> (b * 16)) as u16;
+                    }
+                    for (b, slot) in idxs[k * 8 + 4..k * 8 + 8].iter_mut().enumerate() {
+                        *slot = (hi >> (b * 16)) as u16;
+                    }
+                }
+                let mut decided_mask = 0u64;
+                if deterministic {
+                    // Tier 2: saturated table decisions, no RNG consumed
+                    // (every class is 0 or 1).
+                    for (t, &idx) in idxs[..nbits].iter().enumerate() {
+                        decided_mask |= u64::from(classes[idx as usize]) << t;
+                    }
+                } else {
+                    // Tier 3: one uniform draw per ambiguous cycle, in
+                    // the same cycle order as the materializing kernel.
+                    for (t, &idx) in idxs[..nbits].iter().enumerate() {
+                        let idx = idx as usize;
+                        let cls = classes[idx];
+                        let d = if cls == 2 {
+                            u64::from(rng.next_f64() < table[idx])
+                        } else {
+                            u64::from(cls)
+                        };
+                        decided_mask |= d << t;
+                    }
+                }
+                ones += decided_mask.count_ones() as usize;
+                decision_flips += (decided_mask ^ scratch.sel[w]).count_ones() as usize;
+                remaining -= nbits;
+            }
+        } else {
+            // Orders 11–12 need 17-bit indices: plain per-cycle
+            // extraction (cold path — the spread lanes are 16-bit).
+            let mut cw = [0u64; Self::WORD_REGS];
+            for w in 0..words {
+                let nbits = remaining.min(64);
+                for (c, slot) in cw[..=N].iter_mut().enumerate() {
+                    *slot = scratch.coeff[c * words + w];
+                }
+                let mut decided_mask = 0u64;
+                for t in 0..nbits {
+                    let mut count = 0usize;
+                    for p in 0..nplanes {
+                        count |= (((scratch.planes[p * words + w] >> t) & 1) as usize) << p;
+                    }
+                    let mut zw = 0usize;
+                    for (c, &word) in cw[..=N].iter().enumerate() {
+                        zw |= (((word >> t) & 1) as usize) << c;
+                    }
+                    let idx = (count << (N + 1)) | zw;
+                    let cls = classes[idx];
+                    let d = if cls == 2 {
+                        u64::from(rng.next_f64() < table[idx])
+                    } else {
+                        u64::from(cls)
+                    };
+                    decided_mask |= d << t;
+                }
+                ones += decided_mask.count_ones() as usize;
+                decision_flips += (decided_mask ^ scratch.sel[w]).count_ones() as usize;
+                remaining -= nbits;
+            }
+        }
+        Ok((ones, ideal_ones, decision_flips))
+    }
+
+    /// Whether every receiver decision is exactly the ideal multiplexer
+    /// output `z_count` — the regime where the fastest (bit-sliced,
+    /// randomness-free) kernel tier runs.
+    pub fn is_mux_exact(&self) -> bool {
+        self.mux_exact
+    }
+
+    /// Whether every folded decision probability is saturated at 0 or 1
+    /// (decisions are a pure function of each cycle's `(count, z-word)`,
+    /// consuming no randomness).
+    pub fn has_deterministic_decisions(&self) -> bool {
+        self.deterministic_decisions
+    }
+
     /// Monomorphizes the word kernel on the circuit order so the per-cycle
     /// extraction loops fully unroll (the order is bounded by
     /// [`OpticalScSystem::MAX_SIM_ORDER`], enforced in the constructor).
@@ -310,10 +688,11 @@ impl OpticalScSystem {
         let mut ones = 0usize;
         let mut ideal_ones = 0usize;
         let mut decision_flips = 0usize;
-        // Stack-resident word registers ([u64; 16] keeps the type concrete
-        // while N+1 stays inexpressible in stable const generics).
-        let mut dw = [0u64; 16];
-        let mut cw = [0u64; 16];
+        // Stack-resident word registers (a fixed WORD_REGS-wide array
+        // keeps the type concrete while N+1 stays inexpressible in stable
+        // const generics).
+        let mut dw = [0u64; Self::WORD_REGS];
+        let mut cw = [0u64; Self::WORD_REGS];
         let mut remaining = stream_length;
         for w in 0..stream_length.div_ceil(64) {
             for (slot, s) in dw[..N].iter_mut().zip(data) {
@@ -660,7 +1039,10 @@ mod tests {
 
     #[test]
     fn word_kernel_identical_to_bitwise_reference() {
+        // Three-way draw identity: fused ≡ materializing ≡ per-bit, with
+        // one scratch reused across every fused run.
         let s = system();
+        let mut scratch = EvalScratch::new();
         for len in [1usize, 63, 64, 65, 130, 4096, 5000] {
             for (i, &x) in [0.0, 0.3, 0.5, 1.0].iter().enumerate() {
                 let seed = 100 + (len + i) as u64;
@@ -668,14 +1050,24 @@ mod tests {
                 let mut rng_a = Xoshiro256PlusPlus::new(seed ^ 0xABCD);
                 let mut sng_b = XoshiroSng::new(seed);
                 let mut rng_b = Xoshiro256PlusPlus::new(seed ^ 0xABCD);
+                let mut sng_c = XoshiroSng::new(seed);
+                let mut rng_c = Xoshiro256PlusPlus::new(seed ^ 0xABCD);
                 let fast = s.evaluate(x, len, &mut sng_a, &mut rng_a).unwrap();
                 let slow = s.evaluate_bitwise(x, len, &mut sng_b, &mut rng_b).unwrap();
+                let fused = s
+                    .evaluate_fused(x, len, &mut sng_c, &mut rng_c, &mut scratch)
+                    .unwrap();
                 assert_eq!(fast, slow, "x={x}, len={len}");
+                assert_eq!(fused, fast, "fused, x={x}, len={len}");
                 // Post-run RNG states must match too: another evaluation
                 // from each pair must still be identical.
                 let fast2 = s.evaluate(x, 130, &mut sng_a, &mut rng_a).unwrap();
                 let slow2 = s.evaluate_bitwise(x, 130, &mut sng_b, &mut rng_b).unwrap();
+                let fused2 = s
+                    .evaluate_fused(x, 130, &mut sng_c, &mut rng_c, &mut scratch)
+                    .unwrap();
                 assert_eq!(fast2, slow2, "x={x}, len={len} (second run)");
+                assert_eq!(fused2, fast2, "fused, x={x}, len={len} (second run)");
             }
         }
     }
@@ -683,20 +1075,50 @@ mod tests {
     #[test]
     fn word_kernel_identical_under_visible_noise() {
         // Starved probes make the folded probabilities land strictly
-        // inside (0, 1), so the uniform-draw branch is exercised.
+        // inside (0, 1), so the uniform-draw branch is exercised — in
+        // both the materializing and the fused kernel.
         let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
         let s = OpticalScSystem::new(params, BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap())
             .unwrap();
+        assert!(!s.has_deterministic_decisions() || !s.is_mux_exact());
         let mut sng_a = XoshiroSng::new(7);
         let mut rng_a = Xoshiro256PlusPlus::new(8);
         let mut sng_b = XoshiroSng::new(7);
         let mut rng_b = Xoshiro256PlusPlus::new(8);
+        let mut sng_c = XoshiroSng::new(7);
+        let mut rng_c = Xoshiro256PlusPlus::new(8);
+        let mut scratch = EvalScratch::new();
         let fast = s.evaluate(0.4, 4097, &mut sng_a, &mut rng_a).unwrap();
         let slow = s
             .evaluate_bitwise(0.4, 4097, &mut sng_b, &mut rng_b)
             .unwrap();
+        let fused = s
+            .evaluate_fused(0.4, 4097, &mut sng_c, &mut rng_c, &mut scratch)
+            .unwrap();
         assert_eq!(fast, slow);
+        assert_eq!(fused, fast);
         assert!(fast.observed_ber > 0.0, "expected the noisy branch to fire");
+    }
+
+    #[test]
+    fn fused_scratch_stops_allocating_after_warmup() {
+        // The zero-allocation contract: after the first call sizes the
+        // buffers, repeated fused evaluation never grows them.
+        let s = system();
+        let mut sng = XoshiroSng::new(19);
+        let mut rng = Xoshiro256PlusPlus::new(20);
+        let mut scratch = EvalScratch::new();
+        let _ = s
+            .evaluate_fused(0.5, 8192, &mut sng, &mut rng, &mut scratch)
+            .unwrap();
+        let warmed = scratch.capacity_words();
+        for i in 0..8 {
+            let x = i as f64 / 8.0;
+            let _ = s
+                .evaluate_fused(x, 8192, &mut sng, &mut rng, &mut scratch)
+                .unwrap();
+        }
+        assert_eq!(scratch.capacity_words(), warmed, "scratch regrew");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Three-way draw-identity of the evaluate paths.
+//!
+//! [`OpticalScSystem::evaluate_fused`] (streaming, zero-materialization),
+//! [`OpticalScSystem::evaluate`] (materializing word kernel) and
+//! [`OpticalScSystem::evaluate_bitwise`] (per-bit reference) must return
+//! the **same** [`OpticalRun`] from the same starting SNG/RNG states —
+//! same comparator draws, same receiver-noise draws, same counts. These
+//! tests sweep every simulable circuit order (1 through `MAX_SIM_ORDER`),
+//! all four stochastic number generators, and ragged / word-aligned /
+//! multi-word stream lengths, with one shared [`EvalScratch`] reused
+//! across every fused run to exercise scratch reuse between differently
+//! shaped systems.
+
+use osc_core::params::CircuitParams;
+use osc_core::system::{EvalScratch, OpticalScSystem};
+use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::sng::{
+    ChaoticLaserSng, CounterSng, LfsrSng, StochasticNumberGenerator, XoshiroSng,
+};
+use osc_units::{Milliwatts, Nanometers};
+
+/// Stream lengths named by the fused-path acceptance criteria: one bit
+/// short of a word, exactly one word, one bit over, a prime multi-word
+/// length, and a non-multiple-of-64 "round" length.
+const LENGTHS: [usize; 5] = [63, 64, 65, 257, 1000];
+
+/// A polynomial of the given degree with varied, non-symmetric
+/// coefficients in `[0, 1]`.
+fn poly_for(degree: usize) -> BernsteinPoly {
+    let coeffs: Vec<f64> = (0..=degree)
+        .map(|i| ((i * 7 + 3) % 11) as f64 / 11.0)
+        .collect();
+    BernsteinPoly::new(coeffs).expect("coefficients in range")
+}
+
+/// A simulable system of the given order (Fig. 5 exactly at order 2, the
+/// Fig. 7 dense-WDM plan elsewhere).
+fn system_for(order: usize) -> OpticalScSystem {
+    let params = if order == 2 {
+        CircuitParams::paper_fig5()
+    } else {
+        CircuitParams::paper_fig7(order, Nanometers::new(0.2))
+    };
+    OpticalScSystem::new(params, poly_for(order)).expect("simulable order builds")
+}
+
+/// Runs the three paths from identical starting states and asserts exact
+/// equality of the runs — twice in a row, so diverging post-run SNG/RNG
+/// states would also be caught.
+fn assert_three_way<S, F>(
+    system: &OpticalScSystem,
+    scratch: &mut EvalScratch,
+    make_sng: F,
+    x: f64,
+    len: usize,
+    tag: &str,
+) where
+    S: StochasticNumberGenerator,
+    F: Fn() -> S,
+{
+    let mut sng_fused = make_sng();
+    let mut sng_mat = make_sng();
+    let mut sng_bit = make_sng();
+    let mut rng_fused = Xoshiro256PlusPlus::new(0xC0FFEE ^ len as u64);
+    let mut rng_mat = rng_fused.clone();
+    let mut rng_bit = rng_fused.clone();
+    for round in 0..2 {
+        let fused = system
+            .evaluate_fused(x, len, &mut sng_fused, &mut rng_fused, scratch)
+            .unwrap();
+        let mat = system.evaluate(x, len, &mut sng_mat, &mut rng_mat).unwrap();
+        let bit = system
+            .evaluate_bitwise(x, len, &mut sng_bit, &mut rng_bit)
+            .unwrap();
+        assert_eq!(fused, mat, "{tag}: fused vs materializing, round {round}");
+        assert_eq!(mat, bit, "{tag}: materializing vs bitwise, round {round}");
+    }
+}
+
+/// The full sweep for one system (possibly noisy), all four SNGs at every
+/// acceptance length.
+fn sweep_all_sngs(system: &OpticalScSystem, scratch: &mut EvalScratch, order: usize, x: f64) {
+    for &len in &LENGTHS {
+        let seed = (order * 131 + len) as u64;
+        assert_three_way(
+            system,
+            scratch,
+            || XoshiroSng::new(seed),
+            x,
+            len,
+            &format!("xoshiro order={order} len={len}"),
+        );
+        assert_three_way(
+            system,
+            scratch,
+            || LfsrSng::with_width(16, 0xACE1 ^ seed as u32),
+            x,
+            len,
+            &format!("lfsr order={order} len={len}"),
+        );
+        assert_three_way(
+            system,
+            scratch,
+            CounterSng::new,
+            x,
+            len,
+            &format!("counter order={order} len={len}"),
+        );
+        assert_three_way(
+            system,
+            scratch,
+            || ChaoticLaserSng::seeded(seed),
+            x,
+            len,
+            &format!("chaotic order={order} len={len}"),
+        );
+    }
+}
+
+#[test]
+fn fused_equals_materialized_equals_bitwise_across_orders() {
+    // One scratch across the entire sweep: orders of different shapes
+    // must not leak state through the reused buffers.
+    let mut scratch = EvalScratch::new();
+    for order in 1..=OpticalScSystem::MAX_SIM_ORDER {
+        let system = system_for(order);
+        let x = (order as f64 * 0.077 + 0.11) % 1.0;
+        sweep_all_sngs(&system, &mut scratch, order, x);
+    }
+}
+
+#[test]
+fn fused_equals_twins_under_visible_noise() {
+    // Starved probes push the folded decision probabilities strictly
+    // inside (0, 1), so the uniform-draw kernel tier (and its exact RNG
+    // consumption order) is exercised across all four SNGs.
+    let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
+    let system = OpticalScSystem::new(params, poly_for(2)).unwrap();
+    assert!(
+        !system.has_deterministic_decisions(),
+        "noisy config should need draws"
+    );
+    let mut scratch = EvalScratch::new();
+    sweep_all_sngs(&system, &mut scratch, 2, 0.42);
+}
+
+#[test]
+fn fused_equals_twins_on_paired_stream_lengths() {
+    // Streams past the pairing cutoff run as two interleaved chains from
+    // GF(2)-jumped states; the three-way identity must survive that, on
+    // word-aligned and ragged long lengths, for jump-capable and
+    // fallback (LFSR) sources, in clean and noisy regimes.
+    let mut scratch = EvalScratch::new();
+    for (label, system) in [
+        ("clean", system_for(2)),
+        ("noisy", {
+            let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
+            OpticalScSystem::new(params, poly_for(2)).unwrap()
+        }),
+        ("order3", system_for(3)),
+    ] {
+        for &len in &[8192usize, 8257] {
+            assert_three_way(
+                &system,
+                &mut scratch,
+                || XoshiroSng::new(0xBEEF),
+                0.37,
+                len,
+                &format!("{label} xoshiro len={len}"),
+            );
+            assert_three_way(
+                &system,
+                &mut scratch,
+                || ChaoticLaserSng::seeded(0xBEEF),
+                0.37,
+                len,
+                &format!("{label} chaotic len={len}"),
+            );
+            assert_three_way(
+                &system,
+                &mut scratch,
+                CounterSng::new,
+                0.37,
+                len,
+                &format!("{label} counter len={len}"),
+            );
+            assert_three_way(
+                &system,
+                &mut scratch,
+                || LfsrSng::with_width(16, 0xACE1),
+                0.37,
+                len,
+                &format!("{label} lfsr len={len}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_rejects_invalid_x_like_the_twins() {
+    let system = system_for(2);
+    let mut scratch = EvalScratch::new();
+    let mut sng = XoshiroSng::new(1);
+    let mut rng = Xoshiro256PlusPlus::new(1);
+    assert!(system
+        .evaluate_fused(1.5, 64, &mut sng, &mut rng, &mut scratch)
+        .is_err());
+    assert!(system
+        .evaluate_fused(f64::NAN, 64, &mut sng, &mut rng, &mut scratch)
+        .is_err());
+}

@@ -16,9 +16,79 @@
 
 use crate::bernstein::BernsteinPoly;
 use crate::bitstream::BitStream;
-use crate::sng::StochasticNumberGenerator;
+use crate::sng::{SngWordCursor, StochasticNumberGenerator};
 use crate::{check_unit, ScError};
 use osc_math::rng::Xoshiro256PlusPlus;
+
+/// Number of bit-planes needed to hold ones-counts in `0..=n` — the
+/// compressed form `n` data streams take inside the fused evaluation
+/// kernels (here and in `osc-core`'s optical system).
+pub const fn planes_for(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()) as usize
+}
+
+/// Folds one data stream's words (which double as the running carry and
+/// are destroyed) into plane-major ones-count planes (`plane p` of block
+/// `w` at `p * words.len() + w`): a bit-sliced ripple-carry add,
+/// elementwise per plane so it vectorizes. The shared adder of every
+/// fused kernel (the electronic unit here, the optical system in
+/// `osc-core`).
+pub fn fold_data_words(words: &mut [u64], planes: &mut [u64], nplanes: usize) {
+    let w = words.len();
+    for p in 0..nplanes {
+        for (pl, carry) in planes[p * w..(p + 1) * w].iter_mut().zip(words.iter_mut()) {
+            let c = *pl & *carry;
+            *pl ^= *carry;
+            *carry = c;
+        }
+    }
+}
+
+/// Folds coefficient stream `c` into the multiplexer output: lanes whose
+/// ones count equals `c` take their bit from `z`. `plane ^ mask` with an
+/// all-ones/all-zero mask selects plane or complement branch-free. Tail
+/// padding stays zero because `z` words are tail-masked.
+pub fn fold_sel_words(z: &[u64], planes: &[u64], sel: &mut [u64], c: usize, nplanes: usize) {
+    let w = z.len();
+    for (i, (s, &zw)) in sel.iter_mut().zip(z).enumerate() {
+        let mut eq = !0u64;
+        for p in 0..nplanes {
+            let mask = if (c >> p) & 1 == 1 { 0 } else { !0u64 };
+            eq &= planes[p * w + i] ^ mask;
+        }
+        *s |= eq & zw;
+    }
+}
+
+/// Reusable scratch state for [`ReScUnit::evaluate_fused`].
+///
+/// Holds the bit-sliced ones-count planes of the data streams and the
+/// folded multiplexer output. Buffers grow on first use and are reused
+/// verbatim afterwards, so a steady-state fused evaluation performs no
+/// heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct MuxScratch {
+    /// Count planes, plane-major: plane `p` of block `w` lives at
+    /// `p * words + w` (the [`fold_data_words`] layout).
+    planes: Vec<u64>,
+    /// Folded multiplexer output, one word per 64-cycle block.
+    sel: Vec<u64>,
+    /// Landing buffer for the stream currently being generated.
+    stream_buf: Vec<u64>,
+}
+
+impl MuxScratch {
+    /// Creates empty scratch; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        MuxScratch::default()
+    }
+
+    /// Currently reserved capacity in `u64` words across all buffers —
+    /// lets tests pin that steady-state evaluation stops allocating.
+    pub fn capacity_words(&self) -> usize {
+        self.planes.capacity() + self.sel.capacity() + self.stream_buf.capacity()
+    }
+}
 
 /// Outcome of one stochastic evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,10 +209,11 @@ impl ReScUnit {
     /// Runs the adder + multiplexer over pre-generated streams, returning
     /// the output stream (before the counter).
     ///
-    /// Word-parallel: each iteration loads one 64-cycle `u64` chunk of
-    /// every stream and transposes it bit by bit in registers, instead of
-    /// issuing `(2n+1)` bounds-checked bit reads per clock cycle.
-    /// Bit-identical to [`ReScUnit::run_streams_bitwise`].
+    /// Fully bit-sliced: the data streams fold into `⌈log₂(n+1)⌉`
+    /// ones-count planes (ripple-carry add, 64 lanes per word op), and
+    /// each coefficient stream contributes its bits to the lanes whose
+    /// count matches via an equality mask — no per-cycle transpose at
+    /// all. Bit-identical to [`ReScUnit::run_streams_bitwise`].
     ///
     /// # Errors
     ///
@@ -154,30 +225,19 @@ impl ReScUnit {
         coeffs: &[BitStream],
     ) -> Result<BitStream, ScError> {
         let len = self.check_arity(data, coeffs)?;
-        let mut out = BitStream::zeros(0);
         let words = len.div_ceil(64);
-        let mut remaining = len;
-        let mut dw = vec![0u64; data.len()];
-        let mut cw = vec![0u64; coeffs.len()];
-        for w in 0..words {
-            for (slot, s) in dw.iter_mut().zip(data) {
-                *slot = s.words()[w];
-            }
-            for (slot, s) in cw.iter_mut().zip(coeffs) {
-                *slot = s.words()[w];
-            }
-            let nbits = remaining.min(64);
-            let mut word = 0u64;
-            for t in 0..nbits {
-                // Adder: count ones among the data bits at time t.
-                let k: usize = dw.iter().map(|&d| ((d >> t) & 1) as usize).sum();
-                // Multiplexer: forward coefficient bit z_k.
-                word |= ((cw[k] >> t) & 1) << t;
-            }
-            out.push_word(word, nbits);
-            remaining -= nbits;
+        let nplanes = planes_for(self.degree());
+        let mut planes = vec![0u64; words * nplanes];
+        let mut carry_buf = vec![0u64; words];
+        for s in data {
+            carry_buf.copy_from_slice(s.words());
+            fold_data_words(&mut carry_buf, &mut planes, nplanes);
         }
-        Ok(out)
+        let mut sel = vec![0u64; words];
+        for (c, s) in coeffs.iter().enumerate() {
+            fold_sel_words(s.words(), &planes, &mut sel, c, nplanes);
+        }
+        Ok(BitStream::from_words(sel, len))
     }
 
     /// Per-bit reference twin of [`ReScUnit::run_streams`].
@@ -221,6 +281,60 @@ impl ReScUnit {
             exact: self.poly.eval(x),
             stream_length: len,
         }
+    }
+
+    /// Fused evaluation: streams SNG words straight through the
+    /// adder + multiplexer without materializing any input stream.
+    ///
+    /// Data words are folded into bit-sliced ones-count planes as they
+    /// leave the generator (`n` streams compress into `⌈log₂(n+1)⌉`
+    /// planes); each coefficient stream is then folded into the output
+    /// word through a per-count equality mask. Bit-identical to
+    /// [`ReScUnit::evaluate`] — same comparator draws, same generator
+    /// state afterwards, same estimate — but with zero `BitStream` (or
+    /// any heap) allocation once `scratch` has warmed up.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] if `x` is outside `[0, 1]`.
+    pub fn evaluate_fused<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        len: usize,
+        sng: &mut S,
+        scratch: &mut MuxScratch,
+    ) -> Result<ScEvaluation, ScError> {
+        let x = check_unit("input x", x)?;
+        let n = self.degree();
+        let words = len.div_ceil(64);
+        let nplanes = planes_for(n);
+        scratch.planes.clear();
+        scratch.planes.resize(words * nplanes, 0);
+        scratch.sel.clear();
+        scratch.sel.resize(words, 0);
+        if scratch.stream_buf.len() < words {
+            scratch.stream_buf.resize(words, 0);
+        }
+        for _ in 0..n {
+            let buf = &mut scratch.stream_buf[..words];
+            let mut slots = buf.iter_mut();
+            sng.begin(x, len)?
+                .drain(|d, _| *slots.next().expect("word count matches") = d);
+            fold_data_words(buf, &mut scratch.planes, nplanes);
+        }
+        for (c, &b) in self.poly.coeffs().iter().enumerate() {
+            let buf = &mut scratch.stream_buf[..words];
+            let mut slots = buf.iter_mut();
+            sng.begin(b, len)?
+                .drain(|z, _| *slots.next().expect("word count matches") = z);
+            fold_sel_words(buf, &scratch.planes, &mut scratch.sel, c, nplanes);
+        }
+        let ones: usize = scratch.sel.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(ScEvaluation {
+            estimate: ones as f64 / len as f64,
+            exact: self.poly.eval(x),
+            stream_length: len,
+        })
     }
 
     /// Evaluation with soft-error injection: each output bit flips with
@@ -278,6 +392,52 @@ mod tests {
                 assert_eq!(fast, slow, "degree {degree}, len {len}");
             }
         }
+    }
+
+    #[test]
+    fn fused_evaluate_matches_materializing_evaluate() {
+        // Same seed, same draw order: the fused path must reproduce the
+        // materializing estimate exactly, for ragged and aligned lengths
+        // and across scratch reuse.
+        let mut scratch = MuxScratch::new();
+        for degree in [1usize, 2, 3, 6, 9] {
+            let coeffs: Vec<f64> = (0..=degree).map(|i| (i * 5 % 7) as f64 / 7.0).collect();
+            let unit = ReScUnit::new(BernsteinPoly::new(coeffs).unwrap());
+            for len in [1usize, 63, 64, 65, 257, 1000] {
+                let seed = 500 + (degree * 31 + len) as u64;
+                let mut sng_a = XoshiroSng::new(seed);
+                let mut sng_b = XoshiroSng::new(seed);
+                let fused = unit
+                    .evaluate_fused(0.41, len, &mut sng_a, &mut scratch)
+                    .unwrap();
+                let mat = unit.evaluate(0.41, len, &mut sng_b);
+                assert_eq!(fused, mat, "degree {degree}, len {len}");
+                // Generator states must match afterwards too.
+                assert_eq!(
+                    sng_a.generate(0.5, 64).unwrap(),
+                    sng_b.generate(0.5, 64).unwrap(),
+                    "post-run SNG state, degree {degree}, len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_evaluate_stops_allocating_after_warmup() {
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        let mut sng = XoshiroSng::new(77);
+        let mut scratch = MuxScratch::new();
+        let _ = unit
+            .evaluate_fused(0.3, 4096, &mut sng, &mut scratch)
+            .unwrap();
+        let warmed = scratch.capacity_words();
+        for i in 0..10 {
+            let x = i as f64 / 10.0;
+            let _ = unit
+                .evaluate_fused(x, 4096, &mut sng, &mut scratch)
+                .unwrap();
+        }
+        assert_eq!(scratch.capacity_words(), warmed, "scratch regrew");
     }
 
     #[test]

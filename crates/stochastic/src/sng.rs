@@ -14,14 +14,21 @@
 //!   \[20\] — a 640 Gbit/s chaotic-laser TRNG, modeled as an ideal fast
 //!   entropy source (SplitMix64-backed, optionally seeded for replay).
 //!
-//! # Word-parallel fast paths
+//! # Word-parallel fast paths and streaming cursors
 //!
-//! Every generator assembles whole 64-bit words (via a private equivalent
-//! of [`BitStream::from_word_fn`]) instead of setting bits one at a time,
-//! and the comparator is lowered to an exact integer threshold where the
-//! random source has a power-of-two range (see [`unit_threshold`]). The
-//! per-bit comparator path is preserved as
-//! [`StochasticNumberGenerator::generate_bitwise`]; the fast paths are
+//! Every generator assembles whole 64-bit words instead of setting bits
+//! one at a time, and the comparator is lowered to an exact integer
+//! threshold where the random source has a power-of-two range (see
+//! [`unit_threshold`]). The primitive is the *streaming* form: a
+//! [`StochasticNumberGenerator::begin`] call hands back a
+//! [`SngWordCursor`] that yields one packed word per 64 clock cycles
+//! straight out of the random source, with no [`BitStream`] (or any heap)
+//! allocation — the fused evaluation paths in `osc-stochastic::resc` and
+//! `osc-core::system` consume streams this way. The materializing
+//! [`StochasticNumberGenerator::generate`] is a thin collector over the
+//! cursor, so the two are bit-identical by construction. The per-bit
+//! comparator path is preserved as
+//! [`StochasticNumberGenerator::generate_bitwise`]; the word paths are
 //! **bit-identical** to it — same bits, same random-source state after the
 //! call — which the crate's property tests pin down for word-aligned and
 //! ragged stream lengths alike.
@@ -49,20 +56,112 @@ pub fn unit_threshold(p: f64, bits: u32) -> u64 {
     (p * (1u64 << bits) as f64).ceil() as u64
 }
 
-/// Assembles a stream by filling whole packed words from `f(nbits)`,
-/// which must return the next `nbits` bits LSB-first (`nbits` is 64 for
-/// every word but possibly the last). The tight word loop the SNG fast
-/// paths share — equivalent to [`BitStream::from_word_fn`] but built
-/// directly into the word vector.
-fn build_words<F: FnMut(usize) -> u64>(len: usize, mut f: F) -> BitStream {
-    let mut words = Vec::with_capacity(len.div_ceil(64));
-    let mut remaining = len;
-    while remaining > 0 {
-        let nbits = remaining.min(64);
-        words.push(f(nbits));
-        remaining -= nbits;
+/// Packs `nbits` comparator outcomes from `bit()` into a word, LSB-first.
+#[inline]
+fn pack_word<F: FnMut() -> bool>(nbits: usize, mut bit: F) -> u64 {
+    let mut w = 0u64;
+    for b in 0..nbits {
+        w |= u64::from(bit()) << b;
     }
-    BitStream::from_words(words, len)
+    w
+}
+
+/// Packs 64 outcomes by MSB insertion — after 64 insertions the first
+/// outcome sits at bit 0 (LSB-first), with no per-bit variable shift on
+/// the critical path.
+#[inline]
+fn pack64<F: FnMut() -> bool>(mut bit: F) -> u64 {
+    let mut w = 0u64;
+    for _ in 0..64 {
+        w = (w >> 1) | (u64::from(bit()) << 63);
+    }
+    w
+}
+
+/// Shared drain loop: full 64-bit words with a constant trip count (so the
+/// comparator loop fully unrolls), then one ragged tail word.
+#[inline]
+fn drain_with<B: FnMut() -> bool, F: FnMut(u64, usize)>(len: usize, mut bit: B, mut emit: F) {
+    let mut remaining = len;
+    while remaining >= 64 {
+        emit(pack64(&mut bit), 64);
+        remaining -= 64;
+    }
+    if remaining > 0 {
+        emit(pack_word(remaining, &mut bit), remaining);
+    }
+}
+
+/// Drains two equal-length independent bit sources in word lockstep. The
+/// two comparator chains interleave at bit granularity, so each source's
+/// serial state-update latency hides behind the other's — the engine of
+/// [`StochasticNumberGenerator::drain_two`].
+#[inline]
+fn drain_with2<B0, B1, F>(len: usize, mut bit0: B0, mut bit1: B1, mut emit: F)
+where
+    B0: FnMut() -> bool,
+    B1: FnMut() -> bool,
+    F: FnMut(u64, u64, usize),
+{
+    let mut remaining = len;
+    while remaining >= 64 {
+        let (mut w0, mut w1) = (0u64, 0u64);
+        for _ in 0..64 {
+            w0 = (w0 >> 1) | (u64::from(bit0()) << 63);
+            w1 = (w1 >> 1) | (u64::from(bit1()) << 63);
+        }
+        emit(w0, w1, 64);
+        remaining -= 64;
+    }
+    if remaining > 0 {
+        let w0 = pack_word(remaining, &mut bit0);
+        let w1 = pack_word(remaining, &mut bit1);
+        emit(w0, w1, remaining);
+    }
+}
+
+/// Lowers a 53-bit comparator threshold to a full-width `u64` compare:
+/// `(u >> 11) < t  ⇔  (u < wide) | always`. The `always` flag carries the
+/// saturated `t = 2^53` (p = 1) case exactly — the draw still happens,
+/// only the comparison is constant.
+#[inline]
+fn widen_threshold53(t: u64) -> (u64, bool) {
+    if t >= 1 << 53 {
+        (0, true)
+    } else {
+        (t << 11, false)
+    }
+}
+
+/// A streaming word cursor over one stream being generated.
+///
+/// Returned by [`StochasticNumberGenerator::begin`]; bound to one stream
+/// of fixed length and probability. It yields exactly the bits
+/// [`StochasticNumberGenerator::generate`] would produce — same comparator
+/// draws in the same order, same random-source state once the stream is
+/// exhausted — 64 bits per [`SngWordCursor::next_word`] call (fewer in the
+/// final word), packed LSB-first. No allocation anywhere.
+pub trait SngWordCursor: Sized {
+    /// Bits not yet produced.
+    fn remaining(&self) -> usize;
+
+    /// Produces the next `min(64, remaining)` bits, packed LSB-first with
+    /// zero padding above the valid bits. Once the stream is exhausted it
+    /// returns 0 without drawing from the source.
+    fn next_word(&mut self) -> u64;
+
+    /// Streams every remaining word into `emit(word, nbits)`, consuming
+    /// the cursor — the hot path. Implementations override the default to
+    /// hoist their source state into locals for the whole run instead of
+    /// round-tripping through the generator on every word. After `drain`
+    /// returns, the generator is in exactly the state a full `generate`
+    /// call would have left it in.
+    fn drain<F: FnMut(u64, usize)>(mut self, mut emit: F) {
+        while self.remaining() > 0 {
+            let nbits = self.remaining().min(64);
+            emit(self.next_word(), nbits);
+        }
+    }
 }
 
 /// A source of stochastic bit-streams with prescribed bias.
@@ -70,12 +169,74 @@ fn build_words<F: FnMut(usize) -> u64>(len: usize, mut f: F) -> BitStream {
 /// Implementors must return a stream of exactly `len` bits with ones
 /// probability as close to `p` as the source permits.
 pub trait StochasticNumberGenerator {
-    /// Generates `len` bits with ones-probability `p`.
+    /// Streaming cursor tied to one [`StochasticNumberGenerator::begin`]
+    /// call.
+    type Cursor<'a>: SngWordCursor
+    where
+        Self: 'a;
+
+    /// Begins streaming `len` bits with ones-probability `p`, one packed
+    /// word at a time, without materializing the stream. Draining the
+    /// cursor leaves the generator in the same state `generate(p, len)`
+    /// would; abandoning it part-way advances the random source only by
+    /// the bits actually pulled — though per-stream setup (such as
+    /// [`CounterSng`]'s Halton base) is consumed by `begin` itself, so an
+    /// abandoned cursor still counts as one begun stream.
     ///
     /// # Errors
     ///
     /// [`ScError::OutOfUnitRange`] if `p` is outside `[0, 1]`.
-    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError>;
+    fn begin(&mut self, p: f64, len: usize) -> Result<Self::Cursor<'_>, ScError>;
+
+    /// Generates `len` bits with ones-probability `p`.
+    ///
+    /// The default materializes the [`StochasticNumberGenerator::begin`]
+    /// cursor, so the streaming and materializing paths are bit-identical
+    /// by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] if `p` is outside `[0, 1]`.
+    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        self.begin(p, len)?.drain(|w, _| words.push(w));
+        Ok(BitStream::from_words(words, len))
+    }
+
+    /// Streams **two consecutive streams** (`p0` then `p1`, both `len`
+    /// bits) in 64-cycle word lockstep, when the random source can jump
+    /// over a whole stream cheaply.
+    ///
+    /// A single source draws one value per bit, so consecutive streams
+    /// form one long serial dependency chain; a source with an O(1)-ish
+    /// jump (counter reset, SplitMix arithmetic, xoshiro's GF(2) matrix)
+    /// can start the second stream's chain immediately and interleave the
+    /// two chains bit-for-bit, hiding each chain's state-update latency
+    /// behind the other's — ~15–20% faster generation on long streams.
+    ///
+    /// Returns `Ok(false)` **without consuming any randomness** when the
+    /// source has no cheap jump; callers then drain the two streams
+    /// sequentially via [`StochasticNumberGenerator::begin`]. On
+    /// `Ok(true)`, `emit(w0, w1, nbits)` received every block of both
+    /// streams and the generator ended in exactly the state two
+    /// sequential `generate` calls would have left — the emitted words
+    /// are bit-identical to sequential generation (the property tests pin
+    /// this per source).
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] if `p0` or `p1` is outside `[0, 1]`
+    /// (checked before any randomness is consumed).
+    fn drain_two<F: FnMut(u64, u64, usize)>(
+        &mut self,
+        p0: f64,
+        p1: f64,
+        len: usize,
+        emit: F,
+    ) -> Result<bool, ScError> {
+        let _ = (p0, p1, len, emit);
+        Ok(false)
+    }
 
     /// Per-bit reference implementation of [`Self::generate`].
     ///
@@ -115,20 +276,58 @@ impl LfsrSng {
     }
 }
 
+/// Streaming cursor of [`LfsrSng`].
+#[derive(Debug)]
+pub struct LfsrWordCursor<'a> {
+    lfsr: &'a mut Lfsr,
+    threshold: u64,
+    remaining: usize,
+}
+
+impl SngWordCursor for LfsrWordCursor<'_> {
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn next_word(&mut self) -> u64 {
+        let nbits = self.remaining.min(64);
+        self.remaining -= nbits;
+        let lfsr = &mut *self.lfsr;
+        let threshold = self.threshold;
+        pack_word(nbits, || u64::from(lfsr.next_state()) < threshold)
+    }
+
+    fn drain<F: FnMut(u64, usize)>(self, emit: F) {
+        let LfsrWordCursor {
+            lfsr,
+            threshold,
+            remaining,
+        } = self;
+        let mut local = lfsr.clone();
+        drain_with(
+            remaining,
+            || u64::from(local.next_state()) < threshold,
+            emit,
+        );
+        *lfsr = local;
+    }
+}
+
 impl StochasticNumberGenerator for LfsrSng {
-    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+    type Cursor<'a>
+        = LfsrWordCursor<'a>
+    where
+        Self: 'a;
+
+    fn begin(&mut self, p: f64, len: usize) -> Result<LfsrWordCursor<'_>, ScError> {
         let p = check_unit("probability", p)?;
         // `next_unit` is `state / 2^w`: a power-of-two range, so the
         // comparison lowers to an exact integer threshold.
-        let threshold = unit_threshold(p, self.lfsr.width());
-        let lfsr = &mut self.lfsr;
-        Ok(build_words(len, |nbits| {
-            let mut w = 0u64;
-            for b in 0..nbits {
-                w |= u64::from(u64::from(lfsr.next_state()) < threshold) << b;
-            }
-            w
-        }))
+        Ok(LfsrWordCursor {
+            threshold: unit_threshold(p, self.lfsr.width()),
+            lfsr: &mut self.lfsr,
+            remaining: len,
+        })
     }
 
     fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
@@ -193,40 +392,137 @@ impl CounterSng {
         self.stream += 1;
         base
     }
-}
 
-impl StochasticNumberGenerator for CounterSng {
-    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
-        let p = check_unit("probability", p)?;
+    /// Consumes the next Halton base and picks the comparator mode for a
+    /// `len`-bit stream at probability `p`.
+    fn next_mode(&mut self, p: f64, len: usize) -> CounterMode {
         let base = self.next_base();
         // Index starts at 1: the radical inverse of 0 is exactly 0, which
         // would bias the first bit high for every p > 0.
         if base == 2 && (len as u64) < (1 << 52) {
             // vdc_2(n) == reverse_bits(n) / 2^64 exactly (for n below 2^53
             // the radical inverse is a short binary fraction, so the
-            // reference f64 accumulation is exact too). Compare in u128 to
-            // admit the p = 1 threshold of 2^64.
-            let threshold = ((p * 2f64.powi(64)).ceil()) as u128;
-            let mut n = 0u64;
-            Ok(build_words(len, |nbits| {
-                let mut w = 0u64;
-                for b in 0..nbits {
-                    n += 1;
-                    w |= u64::from((n.reverse_bits() as u128) < threshold) << b;
-                }
-                w
-            }))
+            // reference f64 accumulation is exact too).
+            CounterMode::Base2 {
+                threshold: ((p * 2f64.powi(64)).ceil()) as u128,
+            }
         } else {
-            let mut n = 0u64;
-            Ok(build_words(len, |nbits| {
-                let mut w = 0u64;
-                for b in 0..nbits {
-                    n += 1;
-                    w |= u64::from(Self::van_der_corput_base(n, base) < p) << b;
-                }
-                w
-            }))
+            CounterMode::Halton { base, p }
         }
+    }
+}
+
+/// Comparator mode of a [`CounterWordCursor`].
+#[derive(Debug, Clone, Copy)]
+enum CounterMode {
+    /// Base-2 radical inverse as an exact integer threshold on
+    /// `reverse_bits` — `u128` admits the `p = 1` threshold of `2^64`.
+    Base2 { threshold: u128 },
+    /// Generic Halton base, per-bit float comparator.
+    Halton { base: u64, p: f64 },
+}
+
+/// Streaming cursor of [`CounterSng`].
+///
+/// Owns its position (the generator's only per-stream state, the Halton
+/// base index, is consumed by `begin`), so it borrows nothing.
+#[derive(Debug, Clone)]
+pub struct CounterWordCursor {
+    mode: CounterMode,
+    n: u64,
+    remaining: usize,
+}
+
+/// One comparator evaluation of a counter stream at index `*n + 1`.
+#[inline]
+fn counter_bit(mode: &CounterMode, n: &mut u64) -> bool {
+    *n += 1;
+    match *mode {
+        CounterMode::Base2 { threshold } => (n.reverse_bits() as u128) < threshold,
+        CounterMode::Halton { base, p } => CounterSng::van_der_corput_base(*n, base) < p,
+    }
+}
+
+impl SngWordCursor for CounterWordCursor {
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn next_word(&mut self) -> u64 {
+        let nbits = self.remaining.min(64);
+        self.remaining -= nbits;
+        let n = &mut self.n;
+        match self.mode {
+            CounterMode::Base2 { threshold } => pack_word(nbits, || {
+                *n += 1;
+                (n.reverse_bits() as u128) < threshold
+            }),
+            CounterMode::Halton { base, p } => pack_word(nbits, || {
+                *n += 1;
+                CounterSng::van_der_corput_base(*n, base) < p
+            }),
+        }
+    }
+
+    fn drain<F: FnMut(u64, usize)>(self, emit: F) {
+        let mut n = self.n;
+        match self.mode {
+            CounterMode::Base2 { threshold } => drain_with(
+                self.remaining,
+                || {
+                    n += 1;
+                    (n.reverse_bits() as u128) < threshold
+                },
+                emit,
+            ),
+            CounterMode::Halton { base, p } => drain_with(
+                self.remaining,
+                || {
+                    n += 1;
+                    CounterSng::van_der_corput_base(n, base) < p
+                },
+                emit,
+            ),
+        }
+    }
+}
+
+impl StochasticNumberGenerator for CounterSng {
+    type Cursor<'a>
+        = CounterWordCursor
+    where
+        Self: 'a;
+
+    fn begin(&mut self, p: f64, len: usize) -> Result<CounterWordCursor, ScError> {
+        let p = check_unit("probability", p)?;
+        Ok(CounterWordCursor {
+            mode: self.next_mode(p, len),
+            n: 0,
+            remaining: len,
+        })
+    }
+
+    fn drain_two<F: FnMut(u64, u64, usize)>(
+        &mut self,
+        p0: f64,
+        p1: f64,
+        len: usize,
+        emit: F,
+    ) -> Result<bool, ScError> {
+        let p0 = check_unit("probability", p0)?;
+        let p1 = check_unit("probability", p1)?;
+        // Streams are independent counters over consecutive Halton bases;
+        // "jumping" is just consuming the bases in order.
+        let mode0 = self.next_mode(p0, len);
+        let mode1 = self.next_mode(p1, len);
+        let (mut n0, mut n1) = (0u64, 0u64);
+        drain_with2(
+            len,
+            || counter_bit(&mode0, &mut n0),
+            || counter_bit(&mode1, &mut n1),
+            emit,
+        );
+        Ok(true)
     }
 
     fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
@@ -257,25 +553,85 @@ impl XoshiroSng {
     }
 }
 
+/// Streaming cursor of [`XoshiroSng`].
+#[derive(Debug)]
+pub struct XoshiroWordCursor<'a> {
+    rng: &'a mut Xoshiro256PlusPlus,
+    threshold: u64,
+    remaining: usize,
+}
+
+impl SngWordCursor for XoshiroWordCursor<'_> {
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn next_word(&mut self) -> u64 {
+        let nbits = self.remaining.min(64);
+        self.remaining -= nbits;
+        let rng = &mut *self.rng;
+        let threshold = self.threshold;
+        pack_word(nbits, || (rng.next_u64() >> 11) < threshold)
+    }
+
+    fn drain<F: FnMut(u64, usize)>(self, emit: F) {
+        let XoshiroWordCursor {
+            rng,
+            threshold,
+            remaining,
+        } = self;
+        // Hoist the generator state into a local so it lives in registers
+        // across the whole run instead of bouncing through `&mut self`.
+        let (wide, always) = widen_threshold53(threshold);
+        let mut local = rng.clone();
+        drain_with(remaining, || (local.next_u64() < wide) | always, emit);
+        *rng = local;
+    }
+}
+
 impl StochasticNumberGenerator for XoshiroSng {
-    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+    type Cursor<'a>
+        = XoshiroWordCursor<'a>
+    where
+        Self: 'a;
+
+    fn begin(&mut self, p: f64, len: usize) -> Result<XoshiroWordCursor<'_>, ScError> {
         let p = check_unit("probability", p)?;
         // `next_f64` is `(next_u64() >> 11) / 2^53`; lower the comparison
         // to an integer threshold and keep one RNG draw per bit, so the
         // generator state matches the per-bit reference exactly.
-        let threshold = unit_threshold(p, 53);
-        // Hoist the generator state into a local so it lives in registers
-        // across the word loop instead of bouncing through `&mut self`.
-        let mut rng = self.rng.clone();
-        let out = build_words(len, |nbits| {
-            let mut w = 0u64;
-            for b in 0..nbits {
-                w |= u64::from((rng.next_u64() >> 11) < threshold) << b;
-            }
-            w
-        });
-        self.rng = rng;
-        Ok(out)
+        Ok(XoshiroWordCursor {
+            threshold: unit_threshold(p, 53),
+            rng: &mut self.rng,
+            remaining: len,
+        })
+    }
+
+    fn drain_two<F: FnMut(u64, u64, usize)>(
+        &mut self,
+        p0: f64,
+        p1: f64,
+        len: usize,
+        emit: F,
+    ) -> Result<bool, ScError> {
+        let p0 = check_unit("probability", p0)?;
+        let p1 = check_unit("probability", p1)?;
+        let (wide0, always0) = widen_threshold53(unit_threshold(p0, 53));
+        let (wide1, always1) = widen_threshold53(unit_threshold(p1, 53));
+        // Chain A draws the first stream from the current state; chain B
+        // draws the second from the GF(2)-jumped state (exactly where A
+        // will end). B's end state is where sequential generation of both
+        // streams would have left the generator.
+        let mut a = self.rng.clone();
+        let mut b = a.jumped(len);
+        drain_with2(
+            len,
+            || (a.next_u64() < wide0) | always0,
+            || (b.next_u64() < wide1) | always1,
+            emit,
+        );
+        self.rng = b;
+        Ok(true)
     }
 
     fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
@@ -334,20 +690,79 @@ impl ChaoticLaserSng {
     }
 }
 
+/// Streaming cursor of [`ChaoticLaserSng`].
+#[derive(Debug)]
+pub struct ChaoticWordCursor<'a> {
+    rng: &'a mut SplitMix64,
+    threshold: u64,
+    remaining: usize,
+}
+
+impl SngWordCursor for ChaoticWordCursor<'_> {
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn next_word(&mut self) -> u64 {
+        let nbits = self.remaining.min(64);
+        self.remaining -= nbits;
+        let rng = &mut *self.rng;
+        let threshold = self.threshold;
+        pack_word(nbits, || (rng.next_u64() >> 11) < threshold)
+    }
+
+    fn drain<F: FnMut(u64, usize)>(self, emit: F) {
+        let ChaoticWordCursor {
+            rng,
+            threshold,
+            remaining,
+        } = self;
+        let (wide, always) = widen_threshold53(threshold);
+        let mut local = *rng;
+        drain_with(remaining, || (local.next_u64() < wide) | always, emit);
+        *rng = local;
+    }
+}
+
 impl StochasticNumberGenerator for ChaoticLaserSng {
-    fn generate(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
+    type Cursor<'a>
+        = ChaoticWordCursor<'a>
+    where
+        Self: 'a;
+
+    fn begin(&mut self, p: f64, len: usize) -> Result<ChaoticWordCursor<'_>, ScError> {
         let p = check_unit("probability", p)?;
-        let threshold = Self::comparator_threshold(p);
-        let mut rng = self.rng;
-        let out = build_words(len, |nbits| {
-            let mut w = 0u64;
-            for b in 0..nbits {
-                w |= u64::from((rng.next_u64() >> 11) < threshold) << b;
-            }
-            w
-        });
-        self.rng = rng;
-        Ok(out)
+        Ok(ChaoticWordCursor {
+            threshold: Self::comparator_threshold(p),
+            rng: &mut self.rng,
+            remaining: len,
+        })
+    }
+
+    fn drain_two<F: FnMut(u64, u64, usize)>(
+        &mut self,
+        p0: f64,
+        p1: f64,
+        len: usize,
+        emit: F,
+    ) -> Result<bool, ScError> {
+        let p0 = check_unit("probability", p0)?;
+        let p1 = check_unit("probability", p1)?;
+        let (wide0, always0) = widen_threshold53(Self::comparator_threshold(p0));
+        let (wide1, always1) = widen_threshold53(Self::comparator_threshold(p1));
+        // SplitMix64's state is an arithmetic sequence: the second
+        // stream's start (and the combined end state) are one multiply
+        // away.
+        let mut a = self.rng;
+        let mut b = a.jumped(len as u64);
+        self.rng = b.jumped(len as u64);
+        drain_with2(
+            len,
+            || (a.next_u64() < wide0) | always0,
+            || (b.next_u64() < wide1) | always1,
+            emit,
+        );
+        Ok(true)
     }
 
     fn generate_bitwise(&mut self, p: f64, len: usize) -> Result<BitStream, ScError> {
@@ -395,6 +810,33 @@ mod tests {
     /// Ragged and word-aligned lengths for tail coverage.
     const EDGE_LENS: [usize; 7] = [1, 63, 64, 65, 127, 1024, 1000];
 
+    /// Materializes a stream by pulling the cursor one word at a time.
+    fn collect_next_word<S: StochasticNumberGenerator>(
+        sng: &mut S,
+        p: f64,
+        len: usize,
+    ) -> BitStream {
+        let mut cur = sng.begin(p, len).unwrap();
+        let mut words = Vec::new();
+        while cur.remaining() > 0 {
+            words.push(cur.next_word());
+        }
+        assert_eq!(cur.next_word(), 0, "exhausted cursor must yield 0");
+        BitStream::from_words(words, len)
+    }
+
+    /// Materializes a stream through the bulk `drain` path.
+    fn collect_drain<S: StochasticNumberGenerator>(sng: &mut S, p: f64, len: usize) -> BitStream {
+        let mut words = Vec::new();
+        let mut tail = Vec::new();
+        sng.begin(p, len).unwrap().drain(|w, nbits| {
+            words.push(w);
+            tail.push(nbits);
+        });
+        assert_eq!(tail.iter().sum::<usize>(), len, "drain must emit len bits");
+        BitStream::from_words(words, len)
+    }
+
     fn assert_fast_path_bit_identical<S>(make: impl Fn() -> S)
     where
         S: StochasticNumberGenerator,
@@ -403,15 +845,26 @@ mod tests {
             for &len in &EDGE_LENS {
                 let mut fast = make();
                 let mut reference = make();
+                let mut stepped = make();
+                let mut drained = make();
                 // Two consecutive generations: equality of the second
                 // stream also proves the source state after the first call
-                // matched.
+                // matched. The two cursor collectors pin the streaming
+                // word path (word-by-word and bulk) against both.
                 let f1 = fast.generate(p, len).unwrap();
                 let f2 = fast.generate(p, len).unwrap();
                 let r1 = reference.generate_bitwise(p, len).unwrap();
                 let r2 = reference.generate_bitwise(p, len).unwrap();
+                let s1 = collect_next_word(&mut stepped, p, len);
+                let s2 = collect_next_word(&mut stepped, p, len);
+                let d1 = collect_drain(&mut drained, p, len);
+                let d2 = collect_drain(&mut drained, p, len);
                 assert_eq!(f1, r1, "{} first stream, p={p}, len={len}", fast.name());
                 assert_eq!(f2, r2, "{} second stream, p={p}, len={len}", fast.name());
+                assert_eq!(s1, r1, "{} cursor stream, p={p}, len={len}", fast.name());
+                assert_eq!(s2, r2, "{} cursor stream 2, p={p}, len={len}", fast.name());
+                assert_eq!(d1, r1, "{} drained stream, p={p}, len={len}", fast.name());
+                assert_eq!(d2, r2, "{} drained stream 2, p={p}, len={len}", fast.name());
             }
         }
     }
@@ -443,6 +896,107 @@ mod tests {
     #[test]
     fn chaotic_fast_path_bit_identical() {
         assert_fast_path_bit_identical(|| ChaoticLaserSng::seeded(7));
+    }
+
+    /// Collects a `drain_two` call into two streams, or None when the
+    /// source reports no cheap jump.
+    fn collect_drain_two<S: StochasticNumberGenerator>(
+        sng: &mut S,
+        p0: f64,
+        p1: f64,
+        len: usize,
+    ) -> Option<(BitStream, BitStream)> {
+        let mut w0 = Vec::new();
+        let mut w1 = Vec::new();
+        let streamed = sng
+            .drain_two(p0, p1, len, |a, b, _| {
+                w0.push(a);
+                w1.push(b);
+            })
+            .unwrap();
+        streamed.then(|| {
+            (
+                BitStream::from_words(w0, len),
+                BitStream::from_words(w1, len),
+            )
+        })
+    }
+
+    fn assert_drain_two_matches_sequential<S>(make: impl Fn() -> S, expect_streamed: bool)
+    where
+        S: StochasticNumberGenerator,
+    {
+        // Pairs cover interior, saturated (0 and 1) and mixed
+        // probabilities; lengths cover ragged tails and multi-word runs.
+        let pairs = [(0.37, 0.62), (1.0, 0.3), (0.0, 1.0), (0.5, 0.5)];
+        for &(p0, p1) in &pairs {
+            for &len in &[1usize, 63, 64, 65, 257, 4096] {
+                let mut paired = make();
+                let mut sequential = make();
+                let Some((s0, s1)) = collect_drain_two(&mut paired, p0, p1, len) else {
+                    assert!(!expect_streamed, "source unexpectedly lacks drain_two");
+                    return;
+                };
+                assert!(expect_streamed, "source unexpectedly streamed");
+                let r0 = sequential.generate(p0, len).unwrap();
+                let r1 = sequential.generate(p1, len).unwrap();
+                assert_eq!(s0, r0, "first stream, p0={p0}, len={len}");
+                assert_eq!(s1, r1, "second stream, p1={p1}, len={len}");
+                // End states must agree: the next stream from each source
+                // must be identical.
+                assert_eq!(
+                    paired.generate(0.41, 130).unwrap(),
+                    sequential.generate(0.41, 130).unwrap(),
+                    "post-pair state, p0={p0} p1={p1} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xoshiro_drain_two_matches_sequential() {
+        assert_drain_two_matches_sequential(|| XoshiroSng::new(97), true);
+    }
+
+    #[test]
+    fn chaotic_drain_two_matches_sequential() {
+        assert_drain_two_matches_sequential(|| ChaoticLaserSng::seeded(31), true);
+    }
+
+    #[test]
+    fn counter_drain_two_matches_sequential() {
+        assert_drain_two_matches_sequential(CounterSng::new, true);
+        // Also from an advanced base position (non-base-2 modes in play).
+        assert_drain_two_matches_sequential(
+            || {
+                let mut sng = CounterSng::new();
+                let _ = sng.generate(0.5, 8);
+                sng
+            },
+            true,
+        );
+    }
+
+    #[test]
+    fn lfsr_drain_two_falls_back() {
+        // No cheap jump for the LFSR: the default must decline without
+        // consuming randomness.
+        let mut sng = LfsrSng::with_width(16, 0xACE1);
+        let before = sng.clone().generate(0.5, 64).unwrap();
+        assert!(collect_drain_two(&mut sng, 0.3, 0.7, 128).is_none());
+        assert_eq!(sng.generate(0.5, 64).unwrap(), before);
+    }
+
+    #[test]
+    fn drain_two_rejects_invalid_probabilities_before_drawing() {
+        let mut sng = XoshiroSng::new(3);
+        let pristine = sng.clone();
+        assert!(sng.drain_two(0.5, 1.5, 64, |_, _, _| {}).is_err());
+        assert!(sng.drain_two(-0.1, 0.5, 64, |_, _, _| {}).is_err());
+        assert_eq!(
+            sng.generate(0.5, 64).unwrap(),
+            pristine.clone().generate(0.5, 64).unwrap()
+        );
     }
 
     #[test]
