@@ -199,6 +199,17 @@ impl OpticalBackend {
     pub fn system(&self) -> &OpticalScSystem {
         &self.system
     }
+
+    /// The backend's base seed — the root of the per-row / per-pixel
+    /// generator derivations in the lane-blocked image pipelines.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Stream length per pixel evaluation.
+    pub fn stream_length(&self) -> usize {
+        self.stream_length
+    }
 }
 
 impl PixelBackend for OpticalBackend {

@@ -56,6 +56,24 @@ pub fn run_contrast_par<B: PixelBackend + Sync>(
     Ok((produced, mae))
 }
 
+/// [`run_contrast`] with row- **and lane-**parallel pixel evaluation on
+/// the optical backend (see
+/// [`crate::gamma_app::apply_optical_lanes`]).
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn run_contrast_lanes(
+    image: &Image,
+    backend: &crate::backend::OpticalBackend,
+    evaluator: &osc_core::batch::BatchEvaluator,
+) -> Result<(Image, f64), AppError> {
+    let reference = image.map(smoothstep);
+    let produced = crate::gamma_app::apply_optical_lanes(image, backend, evaluator)?;
+    let mae = produced.mae(&reference)?;
+    Ok((produced, mae))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +120,21 @@ mod tests {
         let b = ElectronicBackend::new(smoothstep_poly(), 4096, 5);
         let (img1, mae1) = run_contrast_par(&img, &b, &BatchEvaluator::with_threads(1)).unwrap();
         let (img4, mae4) = run_contrast_par(&img, &b, &BatchEvaluator::with_threads(4)).unwrap();
+        assert_eq!(img1, img4);
+        assert_eq!(mae1, mae4);
+        assert!(mae1 < 0.03, "mae {mae1}");
+    }
+
+    #[test]
+    fn lane_blocked_contrast_matches_thread_counts_and_quality() {
+        use crate::backend::OpticalBackend;
+        use osc_core::batch::BatchEvaluator;
+        use osc_core::params::CircuitParams;
+        let img = Image::blobs(12, 6);
+        let params = CircuitParams::paper_fig7(3, osc_units::Nanometers::new(0.2));
+        let b = OpticalBackend::new(params, smoothstep_poly(), 4096, 5).unwrap();
+        let (img1, mae1) = run_contrast_lanes(&img, &b, &BatchEvaluator::with_threads(1)).unwrap();
+        let (img4, mae4) = run_contrast_lanes(&img, &b, &BatchEvaluator::with_threads(4)).unwrap();
         assert_eq!(img1, img4);
         assert_eq!(mae1, mae4);
         assert!(mae1 < 0.03, "mae {mae1}");

@@ -5,11 +5,13 @@
 //! frequency considered in \[9\], the use of integrated optics will lead to
 //! a 10x speedup."
 
-use crate::backend::{throughput_evals_per_second, PixelBackend};
+use crate::backend::{throughput_evals_per_second, OpticalBackend, PixelBackend};
 use crate::image::Image;
 use crate::AppError;
-use osc_core::batch::BatchEvaluator;
+use osc_core::batch::{evaluate_lane_block, lane_blocks, mix_seed, BatchEvaluator};
+use osc_core::system::EvalScratch;
 use osc_stochastic::gamma::{fit_gamma_bernstein, gamma_exact, DISPLAY_GAMMA, PAPER_GAMMA_DEGREE};
+use osc_stochastic::sng::XoshiroSng;
 
 /// Result of running gamma correction on one backend.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +69,65 @@ pub fn apply_backend_par<B: PixelBackend + Sync>(
     Image::new(width, image.height(), out)
 }
 
+/// Applies the optical backend's polynomial to every pixel with **two
+/// levels of parallelism**: image rows fan across the
+/// [`BatchEvaluator`]'s workers (thread level), and within a row pixels
+/// run through the lane-blocked fused kernel
+/// ([`osc_core::system::OpticalScSystem::evaluate_fused_lanes`]) in
+/// register groups of 8/4/2/1 (SIMD/ILP level) — the image-pipeline form
+/// of the paper's Section V.C lane bank.
+///
+/// Each pixel gets its own generator universe derived as
+/// `mix_seed(mix_seed(backend seed, row), column)`, so the output is a
+/// pure function of the backend's seed and the image — identical for
+/// every thread count *and* every lane-block decomposition (pinned by
+/// the tests against per-pixel fused evaluation). Note the per-pixel
+/// seeding differs from [`apply_backend_par`]'s sequential per-row
+/// generator chain, so the two pipelines produce statistically
+/// equivalent but not bit-equal images.
+///
+/// # Errors
+///
+/// Propagates backend failures (first failing row by index order).
+pub fn apply_optical_lanes(
+    image: &Image,
+    backend: &OpticalBackend,
+    evaluator: &BatchEvaluator,
+) -> Result<Image, AppError> {
+    let width = image.width();
+    let rows: Vec<usize> = (0..image.height()).collect();
+    // Every row decomposes identically; compute the blocks once.
+    let blocks = lane_blocks(width);
+    let produced = evaluator.par_map_with(&rows, EvalScratch::new, |scratch, _, &y| {
+        let row_seed = mix_seed(backend.seed(), y as u64);
+        let pixels = &image.pixels()[y * width..(y + 1) * width];
+        let mut out_row = Vec::with_capacity(width);
+        for &(start, bw) in &blocks {
+            let mut xs = [0.0f64; 8];
+            for (slot, &p) in xs.iter_mut().zip(&pixels[start..start + bw]) {
+                *slot = p.clamp(0.0, 1.0);
+            }
+            // The shared lane-block evaluator keeps the pixel pipeline's
+            // generator derivation identical to the batch convention.
+            let runs = evaluate_lane_block(
+                backend.system(),
+                &xs[..bw],
+                backend.stream_length(),
+                &XoshiroSng::new,
+                |k| mix_seed(row_seed, (start + k) as u64),
+                scratch,
+            )?;
+            out_row.extend(runs.iter().map(|r| r.estimate.clamp(0.0, 1.0)));
+        }
+        Ok::<Vec<f64>, AppError>(out_row)
+    });
+    let mut out = Vec::with_capacity(image.pixels().len());
+    for row in produced {
+        out.extend(row?);
+    }
+    Image::new(width, image.height(), out)
+}
+
 /// Runs gamma correction on a backend and reports quality + throughput
 /// against the exact per-pixel map.
 ///
@@ -108,6 +169,27 @@ pub fn run_gamma_par<B: PixelBackend + Sync>(
     })
 }
 
+/// [`run_gamma`] with row- **and lane-**parallel pixel evaluation (see
+/// [`apply_optical_lanes`]).
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn run_gamma_lanes(
+    image: &Image,
+    backend: &OpticalBackend,
+    evaluator: &BatchEvaluator,
+) -> Result<GammaRunReport, AppError> {
+    let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
+    let produced = apply_optical_lanes(image, backend, evaluator)?;
+    Ok(GammaRunReport {
+        backend: backend.name().to_string(),
+        psnr_db: produced.psnr_db(&reference)?,
+        mae: produced.mae(&reference)?,
+        evals_per_second: throughput_evals_per_second(backend),
+    })
+}
+
 /// The paper's degree-6 gamma polynomial, ready for backends.
 ///
 /// # Errors
@@ -121,6 +203,7 @@ pub fn paper_gamma_polynomial() -> Result<osc_stochastic::bernstein::BernsteinPo
 mod tests {
     use super::*;
     use crate::backend::{ElectronicBackend, ExactBackend};
+    use osc_math::rng::Xoshiro256PlusPlus;
 
     #[test]
     fn exact_backend_matches_polynomial_not_map() {
@@ -167,6 +250,64 @@ mod tests {
             par.mae
         );
         assert_eq!(seq.backend, par.backend);
+    }
+
+    #[test]
+    fn lane_blocked_image_is_thread_invariant_and_matches_per_pixel() {
+        use osc_core::params::CircuitParams;
+        // Width 13 exercises the 8 + 4 + 1 block decomposition per row.
+        let img = Image::blobs(13, 5);
+        let poly = osc_stochastic::bernstein::BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap();
+        let backend = OpticalBackend::new(CircuitParams::paper_fig5(), poly, 512, 41).unwrap();
+        let one = apply_optical_lanes(&img, &backend, &BatchEvaluator::with_threads(1)).unwrap();
+        let four = apply_optical_lanes(&img, &backend, &BatchEvaluator::with_threads(4)).unwrap();
+        assert_eq!(one, four, "thread-count invariance");
+        // Per-pixel replay through the unblocked fused path: the lane
+        // decomposition must be unobservable.
+        let mut scratch = EvalScratch::new();
+        for y in 0..img.height() {
+            let row_seed = mix_seed(41, y as u64);
+            for i in 0..img.width() {
+                let pixel_seed = mix_seed(row_seed, i as u64);
+                let mut sng = XoshiroSng::new(pixel_seed);
+                let mut rng = Xoshiro256PlusPlus::new(mix_seed(pixel_seed, 0x0A11_D1CE));
+                let run = backend
+                    .system()
+                    .evaluate_fused(
+                        img.get(i, y).clamp(0.0, 1.0),
+                        512,
+                        &mut sng,
+                        &mut rng,
+                        &mut scratch,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    one.get(i, y),
+                    run.estimate.clamp(0.0, 1.0),
+                    "pixel ({i}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_blocked_gamma_quality_matches_row_parallel() {
+        use osc_core::params::CircuitParams;
+        let img = Image::gradient(16, 8);
+        let poly = paper_gamma_polynomial().unwrap();
+        let params = CircuitParams::paper_fig7(6, osc_units::Nanometers::new(0.165));
+        let backend = OpticalBackend::new(params, poly, 2048, 7).unwrap();
+        let ev = BatchEvaluator::with_threads(3);
+        let lanes = run_gamma_lanes(&img, &backend, &ev).unwrap();
+        let rows = run_gamma_par(&img, &backend, &ev).unwrap();
+        // Different per-pixel streams, same statistics.
+        assert!(
+            (lanes.mae - rows.mae).abs() < 0.01,
+            "{} vs {}",
+            lanes.mae,
+            rows.mae
+        );
+        assert_eq!(lanes.backend, rows.backend);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use osc_core::system::{EvalScratch, OpticalScSystem};
 use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bernstein::BernsteinPoly;
 use osc_stochastic::resc::ReScUnit;
-use osc_stochastic::sng::{StochasticNumberGenerator, XoshiroSng};
+use osc_stochastic::sng::{SngWordCursor, StochasticNumberGenerator, XoshiroSng};
 use osc_units::Nanometers;
 use std::time::Duration;
 
@@ -164,6 +164,87 @@ pub fn run(budget_ms: u64) -> KernelsReport {
                 .evaluate_fused(0.5, 16_384, &mut sng_f, &mut rng_f, &mut scratch_f)
                 .unwrap()
                 .estimate
+        },
+    ));
+
+    // Lane-blocked SNG generation: 8 comparator chains drawn in
+    // lock-step (vectorized where the CPU allows) against 8 sequential
+    // drains of the same streams. The per-call round counter varies the
+    // seeds so the optimizer cannot hoist the pure computation out of
+    // the timing loop.
+    let mut round_b = 0u64;
+    let mut round_o = 0u64;
+    comparisons.push(compare(
+        &mut harness,
+        "sng_lanes8_xoshiro_16384",
+        move || {
+            round_b += 1;
+            let mut acc = 0u64;
+            for l in 0..8u64 {
+                let mut sng = XoshiroSng::new(500 + 8 * round_b + l);
+                sng.begin(0.37, 16_384).unwrap().drain(|w, _| acc ^= w);
+            }
+            acc as f64
+        },
+        move || {
+            round_o += 1;
+            let mut lanes: [XoshiroSng; 8] =
+                std::array::from_fn(|l| XoshiroSng::new(500 + 8 * round_o + l as u64));
+            let mut acc = 0u64;
+            XoshiroSng::drain_lanes(&mut lanes, &[0.37; 8], 16_384, |block, _| {
+                for &w in block {
+                    acc ^= w;
+                }
+            })
+            .unwrap();
+            acc as f64
+        },
+    ));
+
+    // The lane-bank acceptance workload: an 8-lane order-2 Fig. 5 bank
+    // over 16384 total bits (2048 per lane). Baseline = the per-lane
+    // fused path (8 standalone evaluate_fused calls); optimized = one
+    // lane-blocked evaluate_fused_lanes::<8> pass. Both sides construct
+    // their per-lane generators from the same seeds, and the results are
+    // bit-identical — only the walk differs.
+    let lane_system = OpticalScSystem::new(
+        CircuitParams::paper_fig5(),
+        BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+    )
+    .expect("fig5 circuit builds");
+    let lane_system_b = lane_system.clone();
+    let mut lane_scratch_b = EvalScratch::new();
+    let mut lane_scratch_o = EvalScratch::new();
+    let mut lane_round_b = 0u64;
+    let mut lane_round_o = 0u64;
+    comparisons.push(compare(
+        &mut harness,
+        "parallel_lanes_order2_16384",
+        move || {
+            lane_round_b += 1;
+            let mut acc = 0.0;
+            for l in 0..8u64 {
+                let mut sng = XoshiroSng::new(700 + 8 * lane_round_b + l);
+                let mut rng = Xoshiro256PlusPlus::new(800 + 8 * lane_round_b + l);
+                acc += lane_system_b
+                    .evaluate_fused(0.5, 2048, &mut sng, &mut rng, &mut lane_scratch_b)
+                    .unwrap()
+                    .estimate;
+            }
+            acc
+        },
+        move || {
+            lane_round_o += 1;
+            let mut sngs: [XoshiroSng; 8] =
+                std::array::from_fn(|l| XoshiroSng::new(700 + 8 * lane_round_o + l as u64));
+            let mut rngs: [Xoshiro256PlusPlus; 8] =
+                std::array::from_fn(|l| Xoshiro256PlusPlus::new(800 + 8 * lane_round_o + l as u64));
+            lane_system
+                .evaluate_fused_lanes(&[0.5; 8], 2048, &mut sngs, &mut rngs, &mut lane_scratch_o)
+                .unwrap()
+                .iter()
+                .map(|r| r.estimate)
+                .sum()
         },
     ));
 
@@ -390,6 +471,90 @@ pub fn last_run_speedups(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// One workload that fell below the regression floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Workload name.
+    pub name: String,
+    /// Fresh measurement.
+    pub measured: f64,
+    /// Speedup recorded in the committed trajectory's last run.
+    pub recorded: f64,
+    /// `recorded × threshold` — the floor the measurement missed.
+    pub floor: f64,
+}
+
+impl Regression {
+    /// How far below the recorded speedup the measurement landed, in
+    /// percent (e.g. `38.0` = "down 38%").
+    pub fn shortfall_percent(&self) -> f64 {
+        (1.0 - self.measured / self.recorded) * 100.0
+    }
+}
+
+/// Result of gating a fresh report against a committed trajectory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckOutcome {
+    /// Workloads measured below `threshold ×` their recorded speedup —
+    /// CI fails if this is non-empty.
+    pub regressions: Vec<Regression>,
+    /// Workloads passing the gate, as `(name, measured, recorded)`.
+    pub passed: Vec<(String, f64, f64)>,
+    /// Workloads measured this run with **no prior trajectory entry**:
+    /// recorded into the trajectory but not gated on their first run.
+    pub new_workloads: Vec<String>,
+    /// Workloads recorded in the trajectory but not measured this run.
+    pub skipped: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// Whether the gate passes (no regressions).
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Gates `report` against the most recent run recorded in the committed
+/// trajectory text: a workload regresses when its fresh speedup falls
+/// below `threshold ×` the recorded one. Workloads without a prior
+/// trajectory entry are collected in
+/// [`CheckOutcome::new_workloads`] — recorded, never gated on their
+/// first run — so adding a benchmark can't fail CI by construction.
+pub fn check_report(report: &KernelsReport, committed: &str, threshold: f64) -> CheckOutcome {
+    let recorded = last_run_speedups(committed);
+    let mut outcome = CheckOutcome::default();
+    for (name, recorded_speedup) in &recorded {
+        let Some(measured) = report
+            .comparisons
+            .iter()
+            .find(|c| &c.name == name)
+            .map(|c| c.speedup())
+        else {
+            outcome.skipped.push(name.clone());
+            continue;
+        };
+        let floor = recorded_speedup * threshold;
+        if measured < floor {
+            outcome.regressions.push(Regression {
+                name: name.clone(),
+                measured,
+                recorded: *recorded_speedup,
+                floor,
+            });
+        } else {
+            outcome
+                .passed
+                .push((name.clone(), measured, *recorded_speedup));
+        }
+    }
+    for c in &report.comparisons {
+        if !recorded.iter().any(|(name, _)| name == &c.name) {
+            outcome.new_workloads.push(c.name.clone());
+        }
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,13 +563,15 @@ mod tests {
     fn smoke_run_produces_all_comparisons() {
         // Tiny budget: correctness of the plumbing, not timing quality.
         let r = run(1);
-        assert_eq!(r.comparisons.len(), 6);
+        assert_eq!(r.comparisons.len(), 8);
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
         let json = render_run(&r, "test");
         assert!(json.contains("optical_evaluate_order2_16384"));
         assert!(json.contains("optical_evaluate_order2_16384_fused"));
+        assert!(json.contains("sng_lanes8_xoshiro_16384"));
+        assert!(json.contains("parallel_lanes_order2_16384"));
         assert!(json.contains("gamma_64x64_order6"));
         assert!(json.contains("gamma_64x64_order6_fused"));
     }
@@ -466,6 +633,72 @@ mod tests {
         let r3 = append_run(Some(&r2), &render_run(&sample_report(), "pr4"));
         assert_eq!(r3.matches("\"label\"").count(), 3);
         assert_eq!(last_run_speedups(&r3).len(), 2);
+    }
+
+    #[test]
+    fn check_report_gates_only_known_workloads() {
+        // Trajectory records alpha (4x) and beta (3x). A fresh run where
+        // alpha regressed hard, beta holds, and a brand-new workload
+        // appears must flag exactly alpha — the new workload is recorded
+        // but not gated on its first run.
+        let committed = append_run(None, &render_run(&sample_report(), "pr2"));
+        let fresh = KernelsReport {
+            comparisons: vec![
+                KernelComparison {
+                    name: "alpha".into(),
+                    baseline_ns: 100.0,
+                    optimized_ns: 50.0, // 2.0x vs recorded 4.0x
+                },
+                KernelComparison {
+                    name: "beta".into(),
+                    baseline_ns: 90.0,
+                    optimized_ns: 30.0, // 3.0x, holds
+                },
+                KernelComparison {
+                    name: "brand_new".into(),
+                    baseline_ns: 10.0,
+                    optimized_ns: 10.0,
+                },
+            ],
+        };
+        let outcome = check_report(&fresh, &committed, 0.8);
+        assert!(!outcome.is_ok());
+        assert_eq!(outcome.regressions.len(), 1);
+        let reg = &outcome.regressions[0];
+        assert_eq!(reg.name, "alpha");
+        assert!((reg.measured - 2.0).abs() < 1e-9);
+        assert!((reg.recorded - 4.0).abs() < 1e-9);
+        assert!((reg.floor - 3.2).abs() < 1e-9);
+        assert!((reg.shortfall_percent() - 50.0).abs() < 1e-9);
+        assert_eq!(outcome.new_workloads, vec!["brand_new".to_string()]);
+        assert_eq!(outcome.passed.len(), 1);
+        assert_eq!(outcome.passed[0].0, "beta");
+        assert!(outcome.skipped.is_empty());
+    }
+
+    #[test]
+    fn check_report_passes_at_the_floor_and_skips_unmeasured() {
+        let committed = append_run(None, &render_run(&sample_report(), "pr2"));
+        // Exactly the floor (4.0 × 0.8 = 3.2) passes; beta unmeasured.
+        let fresh = KernelsReport {
+            comparisons: vec![KernelComparison {
+                name: "alpha".into(),
+                baseline_ns: 320.0,
+                optimized_ns: 100.0,
+            }],
+        };
+        let outcome = check_report(&fresh, &committed, 0.8);
+        assert!(outcome.is_ok(), "{outcome:?}");
+        assert_eq!(outcome.skipped, vec!["beta".to_string()]);
+        assert!(outcome.new_workloads.is_empty());
+    }
+
+    #[test]
+    fn check_report_with_empty_trajectory_gates_nothing() {
+        let outcome = check_report(&sample_report(), "not json at all", 0.8);
+        assert!(outcome.is_ok());
+        assert_eq!(outcome.new_workloads.len(), 2);
+        assert!(outcome.passed.is_empty());
     }
 
     #[test]

@@ -38,6 +38,128 @@ pub fn mix_seed(seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Decomposes `n` consecutive work items into the lane-block widths the
+/// fused kernel monomorphizes (8, then 4, 2, 1), widest first: each
+/// returned `(start, width)` covers items `start..start + width`.
+///
+/// This is the shared chunking rule of every lane-blocked caller —
+/// [`BatchEvaluator::evaluate_many`], [`crate::parallel::ParallelOpticalSc`]
+/// and the image pipelines — so their per-item results stay bit-identical
+/// to unblocked evaluation no matter how `n` decomposes.
+pub fn lane_blocks(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n.div_ceil(8) + 2);
+    let mut start = 0;
+    while start < n {
+        let rem = n - start;
+        let width = match rem {
+            8.. => 8,
+            4..=7 => 4,
+            2..=3 => 2,
+            _ => 1,
+        };
+        out.push((start, width));
+        start += width;
+    }
+    out
+}
+
+/// Seed salt deriving a work item's receiver-noise stream from its SNG
+/// seed: `rng = Xoshiro256PlusPlus::new(mix_seed(item_seed,
+/// NOISE_SEED_SALT))`. Every lane-blocked caller — this module, the
+/// lane bank in [`crate::parallel`] and the image pipelines — shares
+/// this one constant so their generator universes stay mutually
+/// consistent.
+pub const NOISE_SEED_SALT: u64 = 0x0A11_D1CE;
+
+/// Evaluates one lane block of consecutive work items through
+/// [`OpticalScSystem::evaluate_fused_lanes`]: item `l` evaluates `xs[l]`
+/// with SNG `sng_factory(lane_seed(l))` and receiver noise seeded
+/// `mix_seed(lane_seed(l), `[`NOISE_SEED_SALT`]`)`. The single dispatch
+/// point every lane-blocked caller shares — per item the result is
+/// bit-identical to a standalone fused evaluation with the same seeds.
+///
+/// # Panics
+///
+/// Panics if `xs.len()` is not one of the [`lane_blocks`] widths
+/// (1, 2, 4 or 8).
+///
+/// # Errors
+///
+/// Propagates evaluation failures (e.g. an `xs[l]` outside `[0, 1]`).
+pub fn evaluate_lane_block<S, F, G>(
+    system: &OpticalScSystem,
+    xs: &[f64],
+    stream_length: usize,
+    sng_factory: &F,
+    lane_seed: G,
+    scratch: &mut EvalScratch,
+) -> Result<Vec<OpticalRun>, CircuitError>
+where
+    S: StochasticNumberGenerator,
+    F: Fn(u64) -> S,
+    G: Fn(usize) -> u64,
+{
+    match xs.len() {
+        8 => eval_lane_block::<8, S, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            scratch,
+        ),
+        4 => eval_lane_block::<4, S, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            scratch,
+        ),
+        2 => eval_lane_block::<2, S, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            scratch,
+        ),
+        1 => eval_lane_block::<1, S, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            scratch,
+        ),
+        n => panic!("lane block width {n} is not a lane_blocks width (1, 2, 4 or 8)"),
+    }
+}
+
+/// The monomorphized body of [`evaluate_lane_block`].
+fn eval_lane_block<const L: usize, S, F, G>(
+    system: &OpticalScSystem,
+    xs: &[f64],
+    stream_length: usize,
+    sng_factory: &F,
+    lane_seed: G,
+    scratch: &mut EvalScratch,
+) -> Result<Vec<OpticalRun>, CircuitError>
+where
+    S: StochasticNumberGenerator,
+    F: Fn(u64) -> S,
+    G: Fn(usize) -> u64,
+{
+    debug_assert_eq!(xs.len(), L);
+    let block: [f64; L] = std::array::from_fn(|l| xs[l]);
+    let mut sngs: [S; L] = std::array::from_fn(|l| sng_factory(lane_seed(l)));
+    let mut rngs: [Xoshiro256PlusPlus; L] =
+        std::array::from_fn(|l| Xoshiro256PlusPlus::new(mix_seed(lane_seed(l), NOISE_SEED_SALT)));
+    Ok(system
+        .evaluate_fused_lanes(&block, stream_length, &mut sngs, &mut rngs, scratch)?
+        .to_vec())
+}
+
 /// A work-stealing parallel evaluator with a fixed thread budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchEvaluator {
@@ -152,9 +274,13 @@ impl BatchEvaluator {
     /// Evaluates the system at every `x` in `xs`, each run on independent
     /// SNG/noise streams derived from `(seed, index)`.
     ///
-    /// Runs the fused zero-materialization path with one [`EvalScratch`]
-    /// per worker — no stream allocation anywhere in the batch. Results
-    /// are bit-identical to per-item [`OpticalScSystem::evaluate`] calls.
+    /// Consecutive items run through the lane-blocked fused kernel
+    /// ([`OpticalScSystem::evaluate_fused_lanes`]) in groups of 8/4/2/1
+    /// ([`lane_blocks`]), with one [`EvalScratch`] per worker — no stream
+    /// allocation anywhere in the batch. Lane-blocking changes nothing
+    /// observable: each item's run is bit-identical to a standalone
+    /// [`OpticalScSystem::evaluate`] with the same `(seed, index)`
+    /// derivation, for every batch size and thread count.
     ///
     /// # Errors
     ///
@@ -171,19 +297,34 @@ impl BatchEvaluator {
         S: StochasticNumberGenerator,
         F: Fn(u64) -> S + Sync,
     {
-        self.par_map_with(xs, EvalScratch::new, |scratch, i, &x| {
-            let item_seed = mix_seed(seed, i as u64);
-            let mut sng = sng_factory(item_seed);
-            let mut rng = Xoshiro256PlusPlus::new(mix_seed(item_seed, 0x0A11_D1CE));
-            system.evaluate_fused(x, stream_length, &mut sng, &mut rng, scratch)
-        })
-        .into_iter()
-        .collect()
+        let blocks = lane_blocks(xs.len());
+        let nested = self.par_map_with(&blocks, EvalScratch::new, |scratch, _, &(start, width)| {
+            // Invalid inputs need no special casing: the lane kernel
+            // checks every lane's x in index order before consuming any
+            // randomness, so a block with a bad input fails with exactly
+            // the error (and at exactly the index) the unblocked path
+            // would surface.
+            evaluate_lane_block(
+                system,
+                &xs[start..start + width],
+                stream_length,
+                &sng_factory,
+                |l| mix_seed(seed, (start + l) as u64),
+                scratch,
+            )
+        });
+        let mut out = Vec::with_capacity(xs.len());
+        for block in nested {
+            out.extend(block?);
+        }
+        Ok(out)
     }
 
     /// Evaluates one `x` across many independent seeds — the Monte-Carlo
-    /// replication loop of the accuracy studies, batched. Fused path,
-    /// per-worker scratch, like [`BatchEvaluator::evaluate_many`].
+    /// replication loop of the accuracy studies, batched. Lane-blocked
+    /// fused path, per-worker scratch, like
+    /// [`BatchEvaluator::evaluate_many`]; each seed's run is bit-identical
+    /// to its standalone evaluation.
     ///
     /// # Errors
     ///
@@ -200,13 +341,23 @@ impl BatchEvaluator {
         S: StochasticNumberGenerator,
         F: Fn(u64) -> S + Sync,
     {
-        self.par_map_with(seeds, EvalScratch::new, |scratch, _, &seed| {
-            let mut sng = sng_factory(seed);
-            let mut rng = Xoshiro256PlusPlus::new(mix_seed(seed, 0x0A11_D1CE));
-            system.evaluate_fused(x, stream_length, &mut sng, &mut rng, scratch)
-        })
-        .into_iter()
-        .collect()
+        let blocks = lane_blocks(seeds.len());
+        let nested = self.par_map_with(&blocks, EvalScratch::new, |scratch, _, &(start, width)| {
+            let block_xs = [x; 8];
+            evaluate_lane_block(
+                system,
+                &block_xs[..width],
+                stream_length,
+                &sng_factory,
+                |l| seeds[start + l],
+                scratch,
+            )
+        });
+        let mut out = Vec::with_capacity(seeds.len());
+        for block in nested {
+            out.extend(block?);
+        }
+        Ok(out)
     }
 
     /// Sweeps the polynomial over `[0, 1]` on `points` equally spaced
@@ -288,10 +439,11 @@ mod tests {
 
     #[test]
     fn evaluate_many_matches_unbatched_materializing_runs() {
-        // The batched fused path must agree bit-for-bit with direct
-        // per-item materializing evaluation under the same seed derivation.
+        // The batched lane-blocked fused path must agree bit-for-bit with
+        // direct per-item materializing evaluation under the same seed
+        // derivation. 13 items exercise the 8 + 4 + 1 block decomposition.
         let s = system();
-        let xs = [0.1, 0.5, 0.9];
+        let xs: Vec<f64> = (0..13).map(|i| i as f64 / 12.0).collect();
         let runs = BatchEvaluator::with_threads(2)
             .evaluate_many(&s, &xs, 1000, XoshiroSng::new, 17)
             .unwrap();
@@ -301,6 +453,46 @@ mod tests {
             let mut rng = Xoshiro256PlusPlus::new(mix_seed(item_seed, 0x0A11_D1CE));
             let direct = s.evaluate(x, 1000, &mut sng, &mut rng).unwrap();
             assert_eq!(*run, direct, "item {i}");
+        }
+    }
+
+    #[test]
+    fn lane_blocks_cover_every_index_widest_first() {
+        for n in 0..40 {
+            let blocks = lane_blocks(n);
+            let mut next = 0usize;
+            for &(start, width) in &blocks {
+                assert_eq!(start, next, "n={n}: blocks must be contiguous");
+                assert!(matches!(width, 1 | 2 | 4 | 8), "n={n}: width {width}");
+                next = start + width;
+            }
+            assert_eq!(next, n, "n={n}: blocks must cover all items");
+            // Widest-first: widths never increase along the decomposition.
+            for pair in blocks.windows(2) {
+                assert!(pair[0].1 >= pair[1].1, "n={n}: {blocks:?}");
+            }
+        }
+        assert_eq!(lane_blocks(7), vec![(0, 4), (4, 2), (6, 1)]);
+        assert_eq!(lane_blocks(16), vec![(0, 8), (8, 8)]);
+    }
+
+    #[test]
+    fn evaluate_seeds_matches_unbatched_runs() {
+        // Lane-blocked Monte-Carlo replication: per-seed runs must be
+        // bit-identical to standalone fused evaluation with that seed.
+        let s = system();
+        let seeds: Vec<u64> = (100..111).collect();
+        let runs = BatchEvaluator::with_threads(3)
+            .evaluate_seeds(&s, 0.4, 999, XoshiroSng::new, &seeds)
+            .unwrap();
+        let mut scratch = crate::system::EvalScratch::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut sng = XoshiroSng::new(seed);
+            let mut rng = Xoshiro256PlusPlus::new(mix_seed(seed, 0x0A11_D1CE));
+            let direct = s
+                .evaluate_fused(0.4, 999, &mut sng, &mut rng, &mut scratch)
+                .unwrap();
+            assert_eq!(runs[i], direct, "seed index {i}");
         }
     }
 

@@ -6,12 +6,39 @@
 //! segments evaluated concurrently, dividing latency by `L` at the cost
 //! of `L×` laser power. Because the lanes are spatially separate, the
 //! *power density* per lane stays at the single-circuit level — the
-//! paper's argument for why parallelism is the natural scale-out axis.
+//! paper's argument for why parallelism is the natural scale-out axis:
+//! thermal and nonlinear limits constrain watts per unit of chip area,
+//! not total watts, so replicating the circuit sideways buys latency
+//! without ever concentrating more power in one ring.
+//!
+//! # Lane blocks: the software mirror of spatial parallelism
+//!
+//! The simulation exploits exactly the same structure. The lanes of a
+//! [`ParallelOpticalSc`] are *identical* circuits evaluating the *same*
+//! polynomial at the *same* input — only their stochastic streams differ
+//! — so instead of simulating them one after another, the bank walks
+//! them in lock-step as **`[u64; L]` register groups** through
+//! [`OpticalScSystem::evaluate_fused_lanes`]: one 64-cycle block of all
+//! `L` lanes is processed per memory pass, the per-lane SNG comparator
+//! chains interleave at bit granularity (hiding each chain's serial
+//! state-update latency — the ILP analogue of the paper's spatial
+//! separation), and the per-lane output counts reduce through the
+//! runtime-dispatched SIMD popcount ([`osc_stochastic::simd`]: AVX-512
+//! holds all 8 lanes of a block in one register, matching the paper's
+//! lanes-side-by-side picture one to one). Lane groups wider than the
+//! bank decomposes into blocks of 8/4/2/1
+//! ([`crate::batch::lane_blocks`]), and the blocks fan across a
+//! [`BatchEvaluator`]'s workers, so thread-level and register-level
+//! parallelism compose.
+//!
+//! Blocking is **observationally free**: every lane draws from its own
+//! [`mix_seed`]-derived generators, and each lane's run is bit-identical
+//! to a standalone [`OpticalScSystem::evaluate_fused`] call — the lane
+//! equivalence suite pins this across all four SNGs and L ∈ {1, 2, 4, 8}.
 
-use crate::batch::{mix_seed, BatchEvaluator};
+use crate::batch::{lane_blocks, mix_seed, BatchEvaluator};
 use crate::system::{EvalScratch, OpticalRun, OpticalScSystem};
 use crate::{params::CircuitParams, CircuitError};
-use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::bernstein::BernsteinPoly;
 use osc_stochastic::sng::StochasticNumberGenerator;
 use osc_units::{Milliwatts, Seconds};
@@ -77,11 +104,14 @@ impl ParallelOpticalSc {
 
     /// Evaluates `x` over `total_bits` split evenly across the lanes.
     ///
-    /// Lanes run concurrently through a [`BatchEvaluator`]; each lane `i`
-    /// derives an independent SNG seed and receiver-noise stream from
+    /// Lanes run as lock-step `[u64; L]` register blocks of 8/4/2/1
+    /// through the lane-blocked fused kernel, and the blocks fan
+    /// concurrently across a [`BatchEvaluator`]; each lane `i` derives an
+    /// independent SNG seed and receiver-noise stream from
     /// [`mix_seed`]`(seed, i)` (a full-avalanche SplitMix64 mix — distinct
     /// in every bit across lanes, unlike an xor/shift of the lane index),
-    /// so the aggregate is reproducible for any thread count.
+    /// so the aggregate is reproducible for any thread count and
+    /// bit-identical to evaluating the lanes one by one.
     ///
     /// # Errors
     ///
@@ -119,17 +149,31 @@ impl ParallelOpticalSc {
         F: Fn(u64) -> S + Sync,
     {
         let per_lane = total_bits.div_ceil(self.lanes.len());
-        // Fused zero-materialization lanes: one scratch per worker, no
-        // stream allocation; bit-identical to lane-wise `evaluate`.
-        let runs: Vec<OpticalRun> = evaluator
-            .par_map_with(&self.lanes, EvalScratch::new, |scratch, i, lane| {
-                let lane_seed = mix_seed(seed, i as u64);
-                let mut sng = sng_factory(lane_seed);
-                let mut rng = Xoshiro256PlusPlus::new(mix_seed(lane_seed, 0x0A11_D1CE));
-                lane.evaluate_fused(x, per_lane, &mut sng, &mut rng, scratch)
-            })
-            .into_iter()
-            .collect::<Result<_, _>>()?;
+        // Fused zero-materialization lane blocks: groups of 8/4/2/1 lanes
+        // run lock-step through the lane-blocked kernel, one scratch per
+        // worker, no stream allocation; bit-identical to lane-wise
+        // `evaluate_fused` under the same per-lane seed derivation.
+        let blocks = lane_blocks(self.lanes.len());
+        let nested =
+            evaluator.par_map_with(&blocks, EvalScratch::new, |scratch, _, &(start, w)| {
+                // The lanes are identical circuits; the block evaluates on
+                // the first one's (shared) decision tables, each lane on
+                // generators derived from its bank-wide index so the block
+                // decomposition is unobservable.
+                let xs = [x; 8];
+                crate::batch::evaluate_lane_block(
+                    &self.lanes[start],
+                    &xs[..w],
+                    per_lane,
+                    &sng_factory,
+                    |k| mix_seed(seed, (start + k) as u64),
+                    scratch,
+                )
+            });
+        let mut runs: Vec<OpticalRun> = Vec::with_capacity(self.lanes.len());
+        for block in nested {
+            runs.extend(block?);
+        }
         let ones_weighted: f64 = runs.iter().map(|r| r.estimate * per_lane as f64).sum();
         // The exact value is a property of the programmed polynomial, not
         // of any lane's run.
@@ -170,6 +214,7 @@ impl ParallelOpticalSc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osc_math::rng::Xoshiro256PlusPlus;
     use osc_stochastic::sng::XoshiroSng;
 
     fn bank(lanes: usize) -> ParallelOpticalSc {
@@ -227,6 +272,35 @@ mod tests {
         // Determinism across repeated calls.
         let r2 = b.evaluate(0.5, 8192, XoshiroSng::new, 0).unwrap();
         assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn lane_blocked_bank_matches_per_lane_fused() {
+        // The public contract of the lane-blocked rewrite: the bank's
+        // aggregate must equal the old per-lane evaluation exactly, for
+        // lane counts that decompose into every block width (8+4+1, 2+1,
+        // single).
+        for lanes in [1usize, 3, 5, 13] {
+            let b = bank(lanes);
+            let total = 16_384usize;
+            let per_lane = total.div_ceil(lanes);
+            let got = b.evaluate(0.45, total, XoshiroSng::new, 21).unwrap();
+            let mut scratch = EvalScratch::new();
+            let mut ones_weighted = 0.0;
+            for i in 0..lanes {
+                let lane_seed = mix_seed(21, i as u64);
+                let mut sng = XoshiroSng::new(lane_seed);
+                let mut rng = Xoshiro256PlusPlus::new(mix_seed(lane_seed, 0x0A11_D1CE));
+                let run = b
+                    .lane(i)
+                    .unwrap()
+                    .evaluate_fused(0.45, per_lane, &mut sng, &mut rng, &mut scratch)
+                    .unwrap();
+                ones_weighted += run.estimate * per_lane as f64;
+            }
+            let want = ones_weighted / (per_lane * lanes) as f64;
+            assert_eq!(got.estimate, want, "lanes={lanes}");
+        }
     }
 
     #[test]

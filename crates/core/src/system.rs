@@ -35,6 +35,12 @@
 //!   materialized** — zero heap allocation once the caller's
 //!   [`EvalScratch`] has warmed up. Use this anywhere throughput matters
 //!   (the batch, parallel-lane and image pipelines all do).
+//! - [`OpticalScSystem::evaluate_fused_lanes`] — the lane-blocked form:
+//!   `L` independent evaluations walked in 64-cycle lock-step as
+//!   `[u64; L]` register groups, with vectorized comparator chains and a
+//!   runtime-dispatched SIMD popcount ([`osc_stochastic::simd`]).
+//!   `evaluate_fused` is its `L = 1` case; every lane is bit-identical
+//!   to a standalone `evaluate_fused` call.
 //! - [`OpticalScSystem::evaluate`] — the materializing equivalence twin:
 //!   generates the `2n+1` input streams as `BitStream`s, then runs the
 //!   same word-transposed kernel. Bit-identical to `evaluate_fused`
@@ -63,7 +69,8 @@ use osc_math::special::gaussian_q;
 use osc_stochastic::bernstein::BernsteinPoly;
 use osc_stochastic::bitstream::BitStream;
 use osc_stochastic::resc::{fold_data_words, fold_sel_words, planes_for, ReScUnit};
-use osc_stochastic::sng::{SngWordCursor, StochasticNumberGenerator};
+use osc_stochastic::simd;
+use osc_stochastic::sng::StochasticNumberGenerator;
 use osc_units::Milliwatts;
 
 /// Reusable scratch state for [`OpticalScSystem::evaluate_fused`].
@@ -107,6 +114,10 @@ impl EvalScratch {
             + self.stream_buf.capacity()
     }
 }
+
+/// Per-lane `(ones, ideal_ones, decision_flips)` counters returned by
+/// the lane kernel.
+type LaneCounts<const L: usize> = ([usize; L], [usize; L], [usize; L]);
 
 /// Nibble-spread tables for the noisy decision tiers: `SPREAD[pos][v]`
 /// scatters the nibble `v`'s 4 bits into four 16-bit lanes at bit `pos`,
@@ -386,23 +397,73 @@ impl OpticalScSystem {
         rng: &mut Xoshiro256PlusPlus,
         scratch: &mut EvalScratch,
     ) -> Result<OpticalRun, CircuitError> {
-        let (ones, ideal_ones, decision_flips) = match self.circuit.order() {
-            1 => self.fused_kernel::<1, S>(x, stream_length, sng, rng, scratch),
-            2 => self.fused_kernel::<2, S>(x, stream_length, sng, rng, scratch),
-            3 => self.fused_kernel::<3, S>(x, stream_length, sng, rng, scratch),
-            4 => self.fused_kernel::<4, S>(x, stream_length, sng, rng, scratch),
-            5 => self.fused_kernel::<5, S>(x, stream_length, sng, rng, scratch),
-            6 => self.fused_kernel::<6, S>(x, stream_length, sng, rng, scratch),
-            7 => self.fused_kernel::<7, S>(x, stream_length, sng, rng, scratch),
-            8 => self.fused_kernel::<8, S>(x, stream_length, sng, rng, scratch),
-            9 => self.fused_kernel::<9, S>(x, stream_length, sng, rng, scratch),
-            10 => self.fused_kernel::<10, S>(x, stream_length, sng, rng, scratch),
-            11 => self.fused_kernel::<11, S>(x, stream_length, sng, rng, scratch),
-            12 => self.fused_kernel::<12, S>(x, stream_length, sng, rng, scratch),
+        let [run] = self.evaluate_fused_lanes::<1, S>(
+            &[x],
+            stream_length,
+            std::array::from_mut(sng),
+            std::array::from_mut(rng),
+            scratch,
+        )?;
+        Ok(run)
+    }
+
+    /// Lane-blocked fused evaluation: `L` independent end-to-end runs —
+    /// lane `l` at input `xs[l]`, drawing its streams from `sngs[l]` and
+    /// its receiver noise from `rngs[l]` — executed in 64-cycle
+    /// lock-step through one shared kernel pass. This is the software
+    /// form of the paper's Section V.C lane bank (see
+    /// [`crate::parallel`]): the spatially separate circuit lanes become
+    /// `[u64; L]` register groups walked side by side.
+    ///
+    /// Per-stream word arrays live *lane-interleaved* in `scratch`
+    /// (block `w` of lane `l` at `w * L + l`), so the bit-sliced
+    /// adder/multiplexer folds process `L` lanes per elementwise pass and
+    /// the per-lane output counting is one SIMD popcount+fold sweep
+    /// ([`osc_stochastic::simd`], runtime-dispatched scalar / AVX2 /
+    /// AVX-512, overridable via `OSC_SIMD` for CI pinning). Generation
+    /// interleaves all `L` comparator chains
+    /// ([`StochasticNumberGenerator::drain_lanes`]) and, on long streams,
+    /// pairs consecutive streams per lane from GF(2)-jumped states
+    /// (`2L` chains, [`StochasticNumberGenerator::drain_lanes_two`]).
+    ///
+    /// Lane `l`'s [`OpticalRun`] — and the final states of `sngs[l]` and
+    /// `rngs[l]` — are **bit-identical** to a standalone
+    /// [`OpticalScSystem::evaluate_fused`] call with the same inputs;
+    /// `evaluate_fused` is the `L = 1` case of this kernel, so the
+    /// three-way fused/materializing/bitwise property tests transitively
+    /// pin every lane width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors when any `xs[l]` is invalid
+    /// (checked before any randomness is consumed).
+    pub fn evaluate_fused_lanes<const L: usize, S: StochasticNumberGenerator>(
+        &self,
+        xs: &[f64; L],
+        stream_length: usize,
+        sngs: &mut [S; L],
+        rngs: &mut [Xoshiro256PlusPlus; L],
+        scratch: &mut EvalScratch,
+    ) -> Result<[OpticalRun; L], CircuitError> {
+        let (ones, ideal, flips) = match self.circuit.order() {
+            1 => self.lane_kernel::<1, L, S>(xs, stream_length, sngs, rngs, scratch),
+            2 => self.lane_kernel::<2, L, S>(xs, stream_length, sngs, rngs, scratch),
+            3 => self.lane_kernel::<3, L, S>(xs, stream_length, sngs, rngs, scratch),
+            4 => self.lane_kernel::<4, L, S>(xs, stream_length, sngs, rngs, scratch),
+            5 => self.lane_kernel::<5, L, S>(xs, stream_length, sngs, rngs, scratch),
+            6 => self.lane_kernel::<6, L, S>(xs, stream_length, sngs, rngs, scratch),
+            7 => self.lane_kernel::<7, L, S>(xs, stream_length, sngs, rngs, scratch),
+            8 => self.lane_kernel::<8, L, S>(xs, stream_length, sngs, rngs, scratch),
+            9 => self.lane_kernel::<9, L, S>(xs, stream_length, sngs, rngs, scratch),
+            10 => self.lane_kernel::<10, L, S>(xs, stream_length, sngs, rngs, scratch),
+            11 => self.lane_kernel::<11, L, S>(xs, stream_length, sngs, rngs, scratch),
+            12 => self.lane_kernel::<12, L, S>(xs, stream_length, sngs, rngs, scratch),
             n => unreachable!("order {n} exceeds MAX_SIM_ORDER"),
         }
         .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
-        Ok(self.finish_run(x, stream_length, ones, ideal_ones, decision_flips))
+        Ok(std::array::from_fn(|l| {
+            self.finish_run(xs[l], stream_length, ones[l], ideal[l], flips[l])
+        }))
     }
 
     /// Streams shorter than this are generated one chain at a time: the
@@ -411,47 +472,63 @@ impl OpticalScSystem {
     /// only pays for itself once each stream is a few thousand bits.
     const PAIR_STREAM_CUTOFF: usize = 4096;
 
-    /// The fused kernel body: generation-order streaming (all data
-    /// streams, then all coefficient streams — the exact draw order of
-    /// [`ReScUnit::generate_streams`]), with the decision phase matching
-    /// the same three tiers as [`OpticalScSystem::word_kernel`].
+    /// The lane-blocked fused kernel body: generation-order streaming
+    /// (all data streams, then all coefficient streams — the exact draw
+    /// order of [`ReScUnit::generate_streams`], per lane), with the
+    /// decision phase matching the same three tiers as
+    /// [`OpticalScSystem::word_kernel`]. Returns per-lane
+    /// `(ones, ideal_ones, decision_flips)`.
     ///
-    /// Streams land in reusable scratch buffers (never a `BitStream`):
-    /// data words fold into bit-sliced ones-count planes, coefficient
-    /// words fold into the ideal multiplexer output (and are retained for
-    /// the noisy tiers). On long streams, consecutive streams are drawn
-    /// as two interleaved chains via
-    /// [`StochasticNumberGenerator::drain_two`]. The noisy decision pass
-    /// assembles each cycle's `(count, z-word)` table index by byte-spread
-    /// lookups ([`spread_tables`]) instead of per-cycle bit extraction.
-    fn fused_kernel<const N: usize, S: StochasticNumberGenerator>(
+    /// Streams land in reusable scratch buffers (never a `BitStream`),
+    /// stored lane-interleaved (`[u64; L]` register groups): data words
+    /// fold into bit-sliced ones-count planes, coefficient words fold
+    /// into the ideal multiplexer output (and are retained for the noisy
+    /// tiers). The elementwise fold passes are lane-width-oblivious —
+    /// they simply run over `words × L` blocks. On long streams,
+    /// consecutive streams are drawn as `2L` interleaved chains from
+    /// GF(2)-jumped states via
+    /// [`StochasticNumberGenerator::drain_lanes_two`]. Per-lane ideal
+    /// ones come from one SIMD popcount+fold sweep over the
+    /// lane-interleaved output; the noisy decision pass walks each lane's
+    /// strided words with byte-spread index assembly ([`spread_tables`]),
+    /// consuming that lane's `rngs[l]` in exactly the per-lane cycle
+    /// order.
+    fn lane_kernel<const N: usize, const L: usize, S: StochasticNumberGenerator>(
         &self,
-        x: f64,
+        xs: &[f64; L],
         stream_length: usize,
-        sng: &mut S,
-        rng: &mut Xoshiro256PlusPlus,
+        sngs: &mut [S; L],
+        rngs: &mut [Xoshiro256PlusPlus; L],
         scratch: &mut EvalScratch,
-    ) -> Result<(usize, usize, usize), osc_stochastic::ScError> {
+    ) -> Result<LaneCounts<L>, osc_stochastic::ScError> {
         let nplanes = planes_for(N);
         let words = stream_length.div_ceil(64);
+        let wl = words * L;
         let mux_exact = self.mux_exact;
         scratch.planes.clear();
-        scratch.planes.resize(words * nplanes, 0);
+        scratch.planes.resize(wl * nplanes, 0);
         scratch.sel.clear();
-        scratch.sel.resize(words, 0);
-        if scratch.stream_buf.len() < 2 * words {
-            scratch.stream_buf.resize(2 * words, 0);
+        scratch.sel.resize(wl, 0);
+        if scratch.stream_buf.len() < 2 * wl {
+            scratch.stream_buf.resize(2 * wl, 0);
         }
-        if !mux_exact && scratch.coeff.len() < (N + 1) * words {
-            scratch.coeff.resize((N + 1) * words, 0);
+        if !mux_exact && scratch.coeff.len() < (N + 1) * wl {
+            scratch.coeff.resize((N + 1) * wl, 0);
         }
         let coeffs = self.poly.coeffs();
-        // Stream j of the generation order: data (probability x) for
-        // j < N, then the n+1 Bernstein coefficients. Data streams and —
-        // in the exact-multiplexer regime — coefficient streams fold
-        // immediately and land in the pair buffer; noisy-tier coefficient
-        // words are retained in `scratch.coeff`.
-        let prob = |j: usize| if j < N { x } else { coeffs[j - N] };
+        // Stream j of the generation order: data (lane l at probability
+        // xs[l]) for j < N, then the n+1 Bernstein coefficients (shared
+        // by every lane). Data streams and — in the exact-multiplexer
+        // regime — coefficient streams fold immediately and land in the
+        // pair buffer; noisy-tier coefficient words are retained in
+        // `scratch.coeff`.
+        let probs = |j: usize| -> [f64; L] {
+            if j < N {
+                *xs
+            } else {
+                [coeffs[j - N]; L]
+            }
+        };
         let buffered = |j: usize| j < N || mux_exact;
         let total = 2 * N + 1;
         let try_pairs = stream_length >= Self::PAIR_STREAM_CUTOFF;
@@ -459,30 +536,33 @@ impl OpticalScSystem {
         while j < total {
             let mut paired = false;
             if try_pairs && j + 1 < total {
-                let (buf_a, buf_b) = scratch.stream_buf.split_at_mut(words);
+                let (buf_a, buf_b) = scratch.stream_buf.split_at_mut(wl);
                 let (d0, d1): (&mut [u64], &mut [u64]) = match (buffered(j), buffered(j + 1)) {
-                    (true, true) => (&mut buf_a[..words], &mut buf_b[..words]),
+                    (true, true) => (&mut buf_a[..wl], &mut buf_b[..wl]),
                     (true, false) => {
                         let c1 = j + 1 - N;
-                        (
-                            &mut buf_a[..words],
-                            &mut scratch.coeff[c1 * words..(c1 + 1) * words],
-                        )
+                        (&mut buf_a[..wl], &mut scratch.coeff[c1 * wl..(c1 + 1) * wl])
                     }
                     (false, false) => {
                         let c0 = j - N;
-                        let (left, right) = scratch.coeff.split_at_mut((c0 + 1) * words);
-                        (&mut left[c0 * words..], &mut right[..words])
+                        let (left, right) = scratch.coeff.split_at_mut((c0 + 1) * wl);
+                        (&mut left[c0 * wl..], &mut right[..wl])
                     }
                     (false, true) => unreachable!("data streams precede coefficient streams"),
                 };
                 {
-                    let mut slots = d0.iter_mut().zip(d1.iter_mut());
-                    paired = sng.drain_two(prob(j), prob(j + 1), stream_length, |w0, w1, _| {
-                        let (s0, s1) = slots.next().expect("word count matches");
-                        *s0 = w0;
-                        *s1 = w1;
-                    })?;
+                    let mut w = 0usize;
+                    paired = S::drain_lanes_two(
+                        sngs,
+                        &probs(j),
+                        &probs(j + 1),
+                        stream_length,
+                        |b0, b1, _| {
+                            d0[w * L..(w + 1) * L].copy_from_slice(b0);
+                            d1[w * L..(w + 1) * L].copy_from_slice(b1);
+                            w += 1;
+                        },
+                    )?;
                 }
                 if paired {
                     for (jj, d) in [(j, d0), (j + 1, d1)] {
@@ -497,16 +577,17 @@ impl OpticalScSystem {
             }
             if !paired {
                 let d: &mut [u64] = if buffered(j) {
-                    &mut scratch.stream_buf[..words]
+                    &mut scratch.stream_buf[..wl]
                 } else {
                     let c = j - N;
-                    &mut scratch.coeff[c * words..(c + 1) * words]
+                    &mut scratch.coeff[c * wl..(c + 1) * wl]
                 };
                 {
-                    let mut slots = d.iter_mut();
-                    sng.begin(prob(j), stream_length)?.drain(|w, _| {
-                        *slots.next().expect("word count matches") = w;
-                    });
+                    let mut w = 0usize;
+                    S::drain_lanes(sngs, &probs(j), stream_length, |b, _| {
+                        d[w * L..(w + 1) * L].copy_from_slice(b);
+                        w += 1;
+                    })?;
                 }
                 if j < N {
                     fold_data_words(d, &mut scratch.planes, nplanes);
@@ -516,64 +597,108 @@ impl OpticalScSystem {
                 j += 1;
             }
         }
-        let ideal_ones: usize = scratch.sel.iter().map(|w| w.count_ones() as usize).sum();
+        // Per-lane ideal multiplexer ones: the SIMD popcount+fold over
+        // the lane-interleaved folded output.
+        let mut ideal_acc = [0u64; L];
+        simd::popcount_lanes_accumulate(&scratch.sel, &mut ideal_acc);
+        let ideal: [usize; L] = std::array::from_fn(|l| ideal_acc[l] as usize);
         if mux_exact {
             // Tier 1: every decision equals the ideal multiplexer bit
             // z_count — the folded output IS the decided stream.
-            return Ok((ideal_ones, ideal_ones, 0));
+            return Ok((ideal, ideal, [0; L]));
         }
         // Noisy tiers: per-cycle table decisions against the folded
-        // receiver probabilities, identical traversal and RNG consumption
-        // to the materializing word kernel's tiers 2 and 3.
+        // receiver probabilities, lane by lane so that lane l consumes
+        // rngs[l] in exactly the traversal order of a standalone fused
+        // run (identical to the materializing kernel's tiers 2 and 3).
         let table = &self.one_probability[..];
         let classes = &self.decision_class[..];
         let deterministic = self.deterministic_decisions;
-        let mut ones = 0usize;
-        let mut decision_flips = 0usize;
-        let mut remaining = stream_length;
+        let mut ones = [0usize; L];
+        let mut flips = [0usize; L];
         if (N + 1) + nplanes <= 16 {
             // Nibble-spread index assembly: 8 cycles of `(count << (N+1))
             // | zw` per lookup group (low nibble → lanes 0–3, high nibble
             // → lanes 4–7).
             let spread = spread_tables();
             let mut idxs = [0u16; 64];
-            for w in 0..words {
-                let nbits = remaining.min(64);
-                let mut src = [0u64; Self::WORD_REGS + 4];
-                for (c, slot) in src[..=N].iter_mut().enumerate() {
-                    *slot = scratch.coeff[c * words + w];
+            for (l, rng) in rngs.iter_mut().enumerate() {
+                let mut remaining = stream_length;
+                for w in 0..words {
+                    let nbits = remaining.min(64);
+                    let mut src = [0u64; Self::WORD_REGS + 4];
+                    for (c, slot) in src[..=N].iter_mut().enumerate() {
+                        *slot = scratch.coeff[c * wl + w * L + l];
+                    }
+                    for p in 0..nplanes {
+                        src[N + 1 + p] = scratch.planes[p * wl + w * L + l];
+                    }
+                    let nsrc = N + 1 + nplanes;
+                    for k in 0..8 {
+                        let sh = k * 8;
+                        let (mut lo, mut hi) = (0u64, 0u64);
+                        for (j, &word) in src[..nsrc].iter().enumerate() {
+                            let byte = (word >> sh) & 0xFF;
+                            lo |= spread[j][(byte & 0xF) as usize];
+                            hi |= spread[j][(byte >> 4) as usize];
+                        }
+                        for (b, slot) in idxs[k * 8..k * 8 + 4].iter_mut().enumerate() {
+                            *slot = (lo >> (b * 16)) as u16;
+                        }
+                        for (b, slot) in idxs[k * 8 + 4..k * 8 + 8].iter_mut().enumerate() {
+                            *slot = (hi >> (b * 16)) as u16;
+                        }
+                    }
+                    let mut decided_mask = 0u64;
+                    if deterministic {
+                        // Tier 2: saturated table decisions, no RNG
+                        // consumed (every class is 0 or 1).
+                        for (t, &idx) in idxs[..nbits].iter().enumerate() {
+                            decided_mask |= u64::from(classes[idx as usize]) << t;
+                        }
+                    } else {
+                        // Tier 3: one uniform draw per ambiguous cycle,
+                        // in the same cycle order as the materializing
+                        // kernel.
+                        for (t, &idx) in idxs[..nbits].iter().enumerate() {
+                            let idx = idx as usize;
+                            let cls = classes[idx];
+                            let d = if cls == 2 {
+                                u64::from(rng.next_f64() < table[idx])
+                            } else {
+                                u64::from(cls)
+                            };
+                            decided_mask |= d << t;
+                        }
+                    }
+                    ones[l] += decided_mask.count_ones() as usize;
+                    flips[l] += (decided_mask ^ scratch.sel[w * L + l]).count_ones() as usize;
+                    remaining -= nbits;
                 }
-                for p in 0..nplanes {
-                    src[N + 1 + p] = scratch.planes[p * words + w];
-                }
-                let nsrc = N + 1 + nplanes;
-                for k in 0..8 {
-                    let sh = k * 8;
-                    let (mut lo, mut hi) = (0u64, 0u64);
-                    for (j, &word) in src[..nsrc].iter().enumerate() {
-                        let byte = (word >> sh) & 0xFF;
-                        lo |= spread[j][(byte & 0xF) as usize];
-                        hi |= spread[j][(byte >> 4) as usize];
+            }
+        } else {
+            // Orders 11–12 need 17-bit indices: plain per-cycle
+            // extraction (cold path — the spread lanes are 16-bit).
+            let mut cw = [0u64; Self::WORD_REGS];
+            for (l, rng) in rngs.iter_mut().enumerate() {
+                let mut remaining = stream_length;
+                for w in 0..words {
+                    let nbits = remaining.min(64);
+                    for (c, slot) in cw[..=N].iter_mut().enumerate() {
+                        *slot = scratch.coeff[c * wl + w * L + l];
                     }
-                    for (b, slot) in idxs[k * 8..k * 8 + 4].iter_mut().enumerate() {
-                        *slot = (lo >> (b * 16)) as u16;
-                    }
-                    for (b, slot) in idxs[k * 8 + 4..k * 8 + 8].iter_mut().enumerate() {
-                        *slot = (hi >> (b * 16)) as u16;
-                    }
-                }
-                let mut decided_mask = 0u64;
-                if deterministic {
-                    // Tier 2: saturated table decisions, no RNG consumed
-                    // (every class is 0 or 1).
-                    for (t, &idx) in idxs[..nbits].iter().enumerate() {
-                        decided_mask |= u64::from(classes[idx as usize]) << t;
-                    }
-                } else {
-                    // Tier 3: one uniform draw per ambiguous cycle, in
-                    // the same cycle order as the materializing kernel.
-                    for (t, &idx) in idxs[..nbits].iter().enumerate() {
-                        let idx = idx as usize;
+                    let mut decided_mask = 0u64;
+                    for t in 0..nbits {
+                        let mut count = 0usize;
+                        for p in 0..nplanes {
+                            count |=
+                                (((scratch.planes[p * wl + w * L + l] >> t) & 1) as usize) << p;
+                        }
+                        let mut zw = 0usize;
+                        for (c, &word) in cw[..=N].iter().enumerate() {
+                            zw |= (((word >> t) & 1) as usize) << c;
+                        }
+                        let idx = (count << (N + 1)) | zw;
                         let cls = classes[idx];
                         let d = if cls == 2 {
                             u64::from(rng.next_f64() < table[idx])
@@ -582,45 +707,13 @@ impl OpticalScSystem {
                         };
                         decided_mask |= d << t;
                     }
+                    ones[l] += decided_mask.count_ones() as usize;
+                    flips[l] += (decided_mask ^ scratch.sel[w * L + l]).count_ones() as usize;
+                    remaining -= nbits;
                 }
-                ones += decided_mask.count_ones() as usize;
-                decision_flips += (decided_mask ^ scratch.sel[w]).count_ones() as usize;
-                remaining -= nbits;
-            }
-        } else {
-            // Orders 11–12 need 17-bit indices: plain per-cycle
-            // extraction (cold path — the spread lanes are 16-bit).
-            let mut cw = [0u64; Self::WORD_REGS];
-            for w in 0..words {
-                let nbits = remaining.min(64);
-                for (c, slot) in cw[..=N].iter_mut().enumerate() {
-                    *slot = scratch.coeff[c * words + w];
-                }
-                let mut decided_mask = 0u64;
-                for t in 0..nbits {
-                    let mut count = 0usize;
-                    for p in 0..nplanes {
-                        count |= (((scratch.planes[p * words + w] >> t) & 1) as usize) << p;
-                    }
-                    let mut zw = 0usize;
-                    for (c, &word) in cw[..=N].iter().enumerate() {
-                        zw |= (((word >> t) & 1) as usize) << c;
-                    }
-                    let idx = (count << (N + 1)) | zw;
-                    let cls = classes[idx];
-                    let d = if cls == 2 {
-                        u64::from(rng.next_f64() < table[idx])
-                    } else {
-                        u64::from(cls)
-                    };
-                    decided_mask |= d << t;
-                }
-                ones += decided_mask.count_ones() as usize;
-                decision_flips += (decided_mask ^ scratch.sel[w]).count_ones() as usize;
-                remaining -= nbits;
             }
         }
-        Ok((ones, ideal_ones, decision_flips))
+        Ok((ones, ideal, flips))
     }
 
     /// Whether every receiver decision is exactly the ideal multiplexer

@@ -185,6 +185,23 @@ impl Xoshiro256PlusPlus {
         Xoshiro256PlusPlus { s: out }
     }
 
+    /// The raw 256-bit state, `s[0]..s[3]` — the plumbing the SIMD lane
+    /// engines use to hoist several generators into vector registers
+    /// (state word `i` of `L` generators forms one SIMD vector). Pair
+    /// with [`Xoshiro256PlusPlus::from_state_words`] to round-trip.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from raw state words, e.g. after a SIMD lane
+    /// engine advanced them. The words must come from a valid generator
+    /// (in particular, not all zero — the all-zero state is a fixed
+    /// point that only `state_words` on a broken generator could yield).
+    pub fn from_state_words(s: [u64; 4]) -> Self {
+        debug_assert!(s.iter().any(|&w| w != 0), "all-zero xoshiro state");
+        Xoshiro256PlusPlus { s }
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
@@ -440,6 +457,16 @@ mod tests {
             assert_eq!(jumped, walked, "steps {steps}");
             // And the draw sequence continues identically.
             assert_eq!(jumped.clone().next_u64(), walked.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_words_round_trip() {
+        let mut g = Xoshiro256PlusPlus::new(314);
+        let _ = g.next_u64();
+        let mut rebuilt = Xoshiro256PlusPlus::from_state_words(g.state_words());
+        for _ in 0..16 {
+            assert_eq!(rebuilt.next_u64(), g.next_u64());
         }
     }
 

@@ -22,6 +22,8 @@
 //!   counter) used as the CMOS baseline (100 MHz in the paper's speedup
 //!   comparison);
 //! - [`ops`] — elementary SC arithmetic (AND multiply, MUX add, NOT);
+//! - [`simd`] — runtime-dispatched SIMD kernels (scalar / AVX2 / AVX-512)
+//!   for the lane-blocked hot paths, with `OSC_SIMD` / API overrides;
 //! - [`analysis`] — accuracy vs. stream length and fault-injection studies
 //!   backing the "error-resilient computing" motivation;
 //! - [`gamma`] — the gamma-correction polynomial workload (Section V.C).
@@ -50,6 +52,7 @@ pub mod lfsr;
 pub mod ops;
 pub mod polynomial;
 pub mod resc;
+pub mod simd;
 pub mod sng;
 
 /// Errors produced by stochastic-computing constructors.

@@ -16,7 +16,7 @@
 
 use crate::bernstein::BernsteinPoly;
 use crate::bitstream::BitStream;
-use crate::sng::{SngWordCursor, StochasticNumberGenerator};
+use crate::sng::StochasticNumberGenerator;
 use crate::{check_unit, ScError};
 use osc_math::rng::Xoshiro256PlusPlus;
 
@@ -304,37 +304,78 @@ impl ReScUnit {
         sng: &mut S,
         scratch: &mut MuxScratch,
     ) -> Result<ScEvaluation, ScError> {
-        let x = check_unit("input x", x)?;
+        let [run] =
+            self.evaluate_fused_lanes::<1, S>(&[x], len, std::array::from_mut(sng), scratch)?;
+        Ok(run)
+    }
+
+    /// Lane-blocked fused evaluation: runs `L` independent evaluations —
+    /// lane `l` at input `xs[l]` drawing from generator `sngs[l]` — in
+    /// 64-cycle lock-step through one shared datapath pass.
+    ///
+    /// All per-stream word arrays are stored *lane-interleaved* (`[u64;
+    /// L]` register groups: block `w` of lane `l` at `w * L + l`), so the
+    /// bit-sliced adder and multiplexer folds run elementwise over `L`
+    /// lanes at once and the final per-lane counting is one SIMD
+    /// popcount+fold pass ([`crate::simd`], runtime-dispatched across
+    /// scalar / AVX2 / AVX-512). Stream generation interleaves all `L`
+    /// comparator chains via [`StochasticNumberGenerator::drain_lanes`].
+    ///
+    /// Lane `l`'s result (and `sngs[l]`'s final state) is **bit-identical**
+    /// to a standalone [`ReScUnit::evaluate_fused`] call with the same
+    /// generator — [`ReScUnit::evaluate_fused`] is literally the `L = 1`
+    /// case of this kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`ScError::OutOfUnitRange`] if any `xs[l]` is outside `[0, 1]`
+    /// (checked before any randomness is consumed).
+    pub fn evaluate_fused_lanes<const L: usize, S: StochasticNumberGenerator>(
+        &self,
+        xs: &[f64; L],
+        len: usize,
+        sngs: &mut [S; L],
+        scratch: &mut MuxScratch,
+    ) -> Result<[ScEvaluation; L], ScError> {
+        for &x in xs {
+            check_unit("input x", x)?;
+        }
         let n = self.degree();
         let words = len.div_ceil(64);
+        let wl = words * L;
         let nplanes = planes_for(n);
         scratch.planes.clear();
-        scratch.planes.resize(words * nplanes, 0);
+        scratch.planes.resize(wl * nplanes, 0);
         scratch.sel.clear();
-        scratch.sel.resize(words, 0);
-        if scratch.stream_buf.len() < words {
-            scratch.stream_buf.resize(words, 0);
+        scratch.sel.resize(wl, 0);
+        if scratch.stream_buf.len() < wl {
+            scratch.stream_buf.resize(wl, 0);
         }
         for _ in 0..n {
-            let buf = &mut scratch.stream_buf[..words];
-            let mut slots = buf.iter_mut();
-            sng.begin(x, len)?
-                .drain(|d, _| *slots.next().expect("word count matches") = d);
+            let buf = &mut scratch.stream_buf[..wl];
+            let mut w = 0usize;
+            S::drain_lanes(sngs, xs, len, |block, _| {
+                buf[w * L..(w + 1) * L].copy_from_slice(block);
+                w += 1;
+            })?;
             fold_data_words(buf, &mut scratch.planes, nplanes);
         }
         for (c, &b) in self.poly.coeffs().iter().enumerate() {
-            let buf = &mut scratch.stream_buf[..words];
-            let mut slots = buf.iter_mut();
-            sng.begin(b, len)?
-                .drain(|z, _| *slots.next().expect("word count matches") = z);
+            let buf = &mut scratch.stream_buf[..wl];
+            let mut w = 0usize;
+            S::drain_lanes(sngs, &[b; L], len, |block, _| {
+                buf[w * L..(w + 1) * L].copy_from_slice(block);
+                w += 1;
+            })?;
             fold_sel_words(buf, &scratch.planes, &mut scratch.sel, c, nplanes);
         }
-        let ones: usize = scratch.sel.iter().map(|w| w.count_ones() as usize).sum();
-        Ok(ScEvaluation {
-            estimate: ones as f64 / len as f64,
-            exact: self.poly.eval(x),
+        let mut ones = [0u64; L];
+        crate::simd::popcount_lanes_accumulate(&scratch.sel, &mut ones);
+        Ok(std::array::from_fn(|l| ScEvaluation {
+            estimate: ones[l] as f64 / len as f64,
+            exact: self.poly.eval(xs[l]),
             stream_length: len,
-        })
+        }))
     }
 
     /// Evaluation with soft-error injection: each output bit flips with
@@ -419,6 +460,42 @@ mod tests {
                     "post-run SNG state, degree {degree}, len {len}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn lane_blocked_evaluate_matches_per_lane_fused() {
+        // L ∈ {1, 2, 4, 8} at ragged/odd lengths: every lane of the
+        // blocked kernel must equal a standalone fused evaluation with
+        // the same generator, including the SNG state left behind.
+        fn check<const L: usize>(unit: &ReScUnit, len: usize) {
+            let xs: [f64; L] = std::array::from_fn(|l| (l as f64 * 0.13 + 0.07) % 1.0);
+            let mut blocked: [XoshiroSng; L] =
+                std::array::from_fn(|l| XoshiroSng::new(900 + (L * 17 + l) as u64));
+            let mut scratch = MuxScratch::new();
+            let runs = unit
+                .evaluate_fused_lanes(&xs, len, &mut blocked, &mut scratch)
+                .unwrap();
+            let mut lane_scratch = MuxScratch::new();
+            for l in 0..L {
+                let mut sng = XoshiroSng::new(900 + (L * 17 + l) as u64);
+                let want = unit
+                    .evaluate_fused(xs[l], len, &mut sng, &mut lane_scratch)
+                    .unwrap();
+                assert_eq!(runs[l], want, "L={L}, lane {l}, len {len}");
+                assert_eq!(
+                    blocked[l].generate(0.5, 64).unwrap(),
+                    sng.generate(0.5, 64).unwrap(),
+                    "L={L}, lane {l}, len {len}: post-run SNG state"
+                );
+            }
+        }
+        let unit = ReScUnit::new(BernsteinPoly::paper_f1());
+        for &len in &[63usize, 65, 257, 1001] {
+            check::<1>(&unit, len);
+            check::<2>(&unit, len);
+            check::<4>(&unit, len);
+            check::<8>(&unit, len);
         }
     }
 

@@ -1,0 +1,595 @@
+//! Runtime-dispatched SIMD kernels for the lane-blocked hot paths.
+//!
+//! The lane-blocked evaluation pipeline (see [`crate::resc`] and
+//! `osc-core`'s lane kernel) stores every per-stream word array
+//! *lane-interleaved*: block `w` of lane `l` lives at `w * L + l`, so the
+//! `L` lanes of one 64-cycle block are contiguous in memory. That layout
+//! makes the heavy reduction — per-lane population counts over the folded
+//! multiplexer output — a textbook vertical SIMD loop: a 256-bit register
+//! holds one block across 4 lanes (AVX2), a 512-bit register across 8
+//! (AVX-512), and per-lane accumulators never leave their vector slot.
+//!
+//! # Dispatch
+//!
+//! [`active_tier`] picks the widest implementation the CPU supports,
+//! resolved once per process via `is_x86_feature_detected!`. Two override
+//! channels exist so CI can pin every code path:
+//!
+//! - the `OSC_SIMD` environment variable (`scalar`, `avx2`, `avx512`)
+//!   caps the tier; `OSC_FORCE_SCALAR=1` is shorthand for
+//!   `OSC_SIMD=scalar`. Requests above what the hardware supports clamp
+//!   down, so `OSC_SIMD=avx2` is safe on any machine.
+//! - [`set_tier_override`], the in-process API switch the equivalence
+//!   tests use to run the same workload through each tier.
+//!
+//! The portable scalar path is **mandatory**: every entry point falls
+//! back to it for lane counts the vector widths don't divide and on
+//! non-x86 targets, and the property tests pin all tiers word-for-word
+//! against it.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One dispatchable implementation level, ordered by register width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable `u64::count_ones` loop — always available, the reference.
+    Scalar,
+    /// 256-bit AVX2 nibble-shuffle popcount (4 lanes per register).
+    Avx2,
+    /// 512-bit `vpopcntq` (8 lanes per register); requires the
+    /// AVX512VPOPCNTDQ extension, not just AVX-512F.
+    Avx512,
+}
+
+impl SimdTier {
+    /// Short lowercase name (`scalar` / `avx2` / `avx512`), matching the
+    /// `OSC_SIMD` spellings.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<SimdTier> {
+        match v {
+            1 => Some(SimdTier::Scalar),
+            2 => Some(SimdTier::Avx2),
+            3 => Some(SimdTier::Avx512),
+            _ => None,
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            SimdTier::Scalar => 1,
+            SimdTier::Avx2 => 2,
+            SimdTier::Avx512 => 3,
+        }
+    }
+}
+
+/// The widest tier this CPU supports (cached after the first call).
+pub fn detected_tier() -> SimdTier {
+    static DETECTED: AtomicU8 = AtomicU8::new(0);
+    if let Some(t) = SimdTier::from_u8(DETECTED.load(Ordering::Relaxed)) {
+        return t;
+    }
+    let t = detect();
+    DETECTED.store(t.to_u8(), Ordering::Relaxed);
+    t
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> SimdTier {
+    if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq") {
+        SimdTier::Avx512
+    } else if is_x86_feature_detected!("avx2") {
+        SimdTier::Avx2
+    } else {
+        SimdTier::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> SimdTier {
+    SimdTier::Scalar
+}
+
+/// `0` = no override; otherwise `SimdTier::to_u8` of the forced tier.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces (or, with `None`, releases) the dispatch tier process-wide —
+/// the API form of the `OSC_SIMD` switch, for tests that must run the
+/// same workload through several tiers in one process. Requests above
+/// [`detected_tier`] clamp down, so forcing is always safe. Returns the
+/// tier that will actually be active.
+pub fn set_tier_override(tier: Option<SimdTier>) -> SimdTier {
+    match tier {
+        Some(t) => {
+            let t = t.min(detected_tier());
+            OVERRIDE.store(t.to_u8(), Ordering::Relaxed);
+            t
+        }
+        None => {
+            OVERRIDE.store(0, Ordering::Relaxed);
+            active_tier()
+        }
+    }
+}
+
+/// Tier cap requested through the environment (`OSC_SIMD` /
+/// `OSC_FORCE_SCALAR`), read once per process.
+fn env_cap() -> Option<SimdTier> {
+    static ENV: AtomicU8 = AtomicU8::new(0);
+    match ENV.load(Ordering::Relaxed) {
+        0 => {}
+        0xFF => return None,
+        v => return SimdTier::from_u8(v),
+    }
+    let cap = if std::env::var_os("OSC_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
+        Some(SimdTier::Scalar)
+    } else {
+        match std::env::var("OSC_SIMD").map(|v| v.to_ascii_lowercase()) {
+            Ok(v) if v == "scalar" => Some(SimdTier::Scalar),
+            Ok(v) if v == "avx2" => Some(SimdTier::Avx2),
+            Ok(v) if v == "avx512" => Some(SimdTier::Avx512),
+            _ => None,
+        }
+    };
+    ENV.store(cap.map_or(0xFF, SimdTier::to_u8), Ordering::Relaxed);
+    cap
+}
+
+/// The tier the dispatched entry points use: the [`set_tier_override`]
+/// value if set, else the environment cap, clamped to [`detected_tier`].
+pub fn active_tier() -> SimdTier {
+    if let Some(t) = SimdTier::from_u8(OVERRIDE.load(Ordering::Relaxed)) {
+        return t;
+    }
+    let detected = detected_tier();
+    env_cap().map_or(detected, |cap| cap.min(detected))
+}
+
+/// Adds, per lane, the population count of every block of a
+/// lane-interleaved word array: `acc[l] += Σ_w popcount(words[w * L + l])`
+/// where `L = acc.len()`. Dispatches on [`active_tier`].
+///
+/// # Panics
+///
+/// Panics if `words.len()` is not a multiple of `acc.len()` or `acc` is
+/// empty.
+pub fn popcount_lanes_accumulate(words: &[u64], acc: &mut [u64]) {
+    popcount_lanes_accumulate_with(active_tier(), words, acc);
+}
+
+/// [`popcount_lanes_accumulate`] through an explicit tier (clamped to
+/// [`detected_tier`], so any request is safe to make). The
+/// word-for-word agreement of all tiers is pinned by this module's tests
+/// and the cross-crate lane-equivalence suite.
+///
+/// # Panics
+///
+/// Panics if `words.len()` is not a multiple of `acc.len()` or `acc` is
+/// empty.
+pub fn popcount_lanes_accumulate_with(tier: SimdTier, words: &[u64], acc: &mut [u64]) {
+    let lanes = acc.len();
+    assert!(lanes > 0, "need at least one lane accumulator");
+    assert_eq!(
+        words.len() % lanes,
+        0,
+        "words must hold whole lane-interleaved blocks"
+    );
+    let tier = tier.min(detected_tier());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if tier == SimdTier::Avx512 && lanes.is_multiple_of(8) {
+            // SAFETY: tier is clamped to detected_tier(), so avx512f +
+            // avx512vpopcntdq are present.
+            unsafe { popcount_lanes_avx512(words, lanes, acc) };
+            return;
+        }
+        if tier >= SimdTier::Avx2 && lanes.is_multiple_of(4) {
+            // SAFETY: tier >= Avx2 after clamping means avx2 is present.
+            unsafe { popcount_lanes_avx2(words, lanes, acc) };
+            return;
+        }
+    }
+    let _ = tier;
+    popcount_lanes_scalar(words, lanes, acc);
+}
+
+/// The portable reference implementation (and the fallback for lane
+/// counts the vector paths do not divide).
+fn popcount_lanes_scalar(words: &[u64], lanes: usize, acc: &mut [u64]) {
+    for block in words.chunks_exact(lanes) {
+        for (a, &w) in acc.iter_mut().zip(block) {
+            *a += u64::from(w.count_ones());
+        }
+    }
+}
+
+/// AVX2: nibble-LUT popcount (`vpshufb`) + `vpsadbw` horizontal fold,
+/// one 256-bit register per 4 adjacent lanes, per-lane accumulators kept
+/// vertical across all blocks.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_lanes_avx2(words: &[u64], lanes: usize, acc: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let nblocks = words.len() / lanes;
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+        3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0F);
+    let zero = _mm256_setzero_si256();
+    for group in 0..lanes / 4 {
+        let mut vacc = zero;
+        for w in 0..nblocks {
+            let ptr = words.as_ptr().add(w * lanes + group * 4) as *const __m256i;
+            let v = _mm256_loadu_si256(ptr);
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+            let nib = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            vacc = _mm256_add_epi64(vacc, _mm256_sad_epu8(nib, zero));
+        }
+        let mut out = [0u64; 4];
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, vacc);
+        for (a, o) in acc[group * 4..group * 4 + 4].iter_mut().zip(out) {
+            *a += o;
+        }
+    }
+}
+
+/// AVX-512: hardware `vpopcntq`, one 512-bit register per 8 adjacent
+/// lanes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn popcount_lanes_avx512(words: &[u64], lanes: usize, acc: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let nblocks = words.len() / lanes;
+    for group in 0..lanes / 8 {
+        let mut vacc = _mm512_setzero_si512();
+        for w in 0..nblocks {
+            let ptr = words.as_ptr().add(w * lanes + group * 8) as *const __m512i;
+            let v = _mm512_loadu_si512(ptr);
+            vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(v));
+        }
+        let mut out = [0u64; 8];
+        _mm512_storeu_si512(out.as_mut_ptr() as *mut __m512i, vacc);
+        for (a, o) in acc[group * 8..group * 8 + 8].iter_mut().zip(out) {
+            *a += o;
+        }
+    }
+}
+
+/// Whether the vectorized xoshiro comparator-chain engine
+/// ([`xoshiro_drain_chains`]) will run for `lanes` chains under the
+/// current dispatch tier. `drain_lanes_two` uses this to decline pairing
+/// when two separate vectorized passes beat one scalar paired pass.
+pub(crate) fn xoshiro_vector_applicable(lanes: usize) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        matches!(lanes, 4 | 8)
+            && active_tier() >= SimdTier::Avx2
+            && is_x86_feature_detected!("bmi2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = lanes;
+        false
+    }
+}
+
+/// Draws `L` independent xoshiro256++ comparator chains in vector
+/// lock-step: chain `l` starts at `states[l]`, each draw emits bit
+/// `(next_u64() < wide[l]) | always[l]`, and 64 draws per chain pack
+/// into one `emit(&block, nbits)` word per lane (LSB-first, exactly the
+/// scalar drain's bit order). On success the states hold each chain's
+/// post-`len`-draws value and the function returns `true`; it returns
+/// `false` (touching nothing) when no vector path applies — callers
+/// must then run the scalar interleave.
+///
+/// The engine holds state word `i` of all chains in one SIMD register
+/// (AVX-512: 8 chains/register with `vpcmpuq` k-mask comparators;
+/// AVX2: 4 chains/register, two register groups for `L = 8`), collects
+/// one comparator mask per draw, and transposes each 64-draw mask block
+/// into per-lane words with BMI2 `pext`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn xoshiro_drain_chains<const L: usize, F>(
+    states: &mut [[u64; 4]; L],
+    wide: &[u64; L],
+    always: &[bool; L],
+    len: usize,
+    mut emit: F,
+) -> bool
+where
+    F: FnMut(&[u64; L], usize),
+{
+    if !xoshiro_vector_applicable(L) {
+        return false;
+    }
+    let tier = active_tier();
+    let mut always_mask = 0u8;
+    for (l, &a) in always.iter().enumerate() {
+        always_mask |= u8::from(a) << l;
+    }
+    let mut adapter = |words: &[u64], nbits: usize| {
+        let mut block = [0u64; L];
+        block.copy_from_slice(&words[..L]);
+        emit(&block, nbits);
+    };
+    // SAFETY: xoshiro_vector_applicable checked bmi2 + the tier (which
+    // active_tier clamps to the detected hardware), so every feature the
+    // target_feature attributes name is present.
+    unsafe {
+        if L == 8 && tier == SimdTier::Avx512 {
+            xoshiro_chains8_avx512(states.as_mut_slice(), wide, always_mask, len, &mut adapter);
+        } else {
+            xoshiro_chains_avx2(states.as_mut_slice(), wide, always_mask, len, &mut adapter);
+        }
+    }
+    true
+}
+
+/// Non-x86 stub: no vector engine; callers use the scalar interleave.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn xoshiro_drain_chains<const L: usize, F>(
+    _states: &mut [[u64; 4]; L],
+    _wide: &[u64; L],
+    _always: &[bool; L],
+    _len: usize,
+    _emit: F,
+) -> bool
+where
+    F: FnMut(&[u64; L], usize),
+{
+    false
+}
+
+/// Transposes one 64-draw mask block (`masks[t]` bit `l` = chain `l`'s
+/// draw `t`) into per-lane LSB-first words via BMI2 `pext`, zeroing
+/// draws at and above `nbits`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn transpose_masks(masks: &mut [u8; 64], lanes: usize, nbits: usize, words: &mut [u64; 8]) {
+    use std::arch::x86_64::_pext_u64;
+    if nbits < 64 {
+        masks[nbits..].fill(0);
+    }
+    for (l, word) in words[..lanes].iter_mut().enumerate() {
+        let sel = 0x0101_0101_0101_0101u64 << l;
+        let mut w = 0u64;
+        for c in 0..8 {
+            let chunk = u64::from_le_bytes(masks[c * 8..c * 8 + 8].try_into().expect("8 bytes"));
+            w |= _pext_u64(chunk, sel) << (c * 8);
+        }
+        *word = w;
+    }
+}
+
+/// AVX-512 engine: 8 chains, state word `i` of all chains in one ZMM,
+/// `vprolq` rotates, `vpcmpuq` comparator k-masks.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,bmi2")]
+unsafe fn xoshiro_chains8_avx512(
+    states: &mut [[u64; 4]],
+    wide: &[u64],
+    always_mask: u8,
+    len: usize,
+    emit: &mut dyn FnMut(&[u64], usize),
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(states.len(), 8);
+    let load = |i: usize, states: &[[u64; 4]]| {
+        let tmp: [u64; 8] = std::array::from_fn(|l| states[l][i]);
+        _mm512_loadu_si512(tmp.as_ptr() as *const __m512i)
+    };
+    let (mut s0, mut s1, mut s2, mut s3) = (
+        load(0, states),
+        load(1, states),
+        load(2, states),
+        load(3, states),
+    );
+    let widev = _mm512_loadu_si512(wide.as_ptr() as *const __m512i);
+    let mut masks = [0u8; 64];
+    let mut words = [0u64; 8];
+    let mut remaining = len;
+    while remaining > 0 {
+        let nbits = remaining.min(64);
+        for m in masks[..nbits].iter_mut() {
+            // result = rotl(s0 + s3, 23) + s0, compared below the
+            // widened threshold (exact unsigned compare).
+            let sum = _mm512_add_epi64(s0, s3);
+            let res = _mm512_add_epi64(_mm512_rol_epi64::<23>(sum), s0);
+            *m = _mm512_cmplt_epu64_mask(res, widev) | always_mask;
+            // State transition (the linear xoshiro256++ update).
+            let t17 = _mm512_slli_epi64::<17>(s1);
+            s2 = _mm512_xor_si512(s2, s0);
+            s3 = _mm512_xor_si512(s3, s1);
+            s1 = _mm512_xor_si512(s1, s2);
+            s0 = _mm512_xor_si512(s0, s3);
+            s2 = _mm512_xor_si512(s2, t17);
+            s3 = _mm512_rol_epi64::<45>(s3);
+        }
+        transpose_masks(&mut masks, 8, nbits, &mut words);
+        emit(&words, nbits);
+        remaining -= nbits;
+    }
+    let store = |v: __m512i| {
+        let mut tmp = [0u64; 8];
+        _mm512_storeu_si512(tmp.as_mut_ptr() as *mut __m512i, v);
+        tmp
+    };
+    let (o0, o1, o2, o3) = (store(s0), store(s1), store(s2), store(s3));
+    for (l, st) in states.iter_mut().enumerate() {
+        *st = [o0[l], o1[l], o2[l], o3[l]];
+    }
+}
+
+/// AVX2 engine: 4 chains per YMM register group, one group for `L = 4`
+/// and two for `L = 8`; rotates are shift-or pairs and the unsigned
+/// comparator is the sign-bias `vpcmpgtq` trick + `vmovmskpd`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,bmi2")]
+unsafe fn xoshiro_chains_avx2(
+    states: &mut [[u64; 4]],
+    wide: &[u64],
+    always_mask: u8,
+    len: usize,
+    emit: &mut dyn FnMut(&[u64], usize),
+) {
+    use std::arch::x86_64::*;
+    let lanes = states.len();
+    debug_assert!(lanes == 4 || lanes == 8);
+    let groups = lanes / 4;
+    let load = |i: usize, g: usize, states: &[[u64; 4]]| {
+        let tmp: [u64; 4] = std::array::from_fn(|l| states[g * 4 + l][i]);
+        _mm256_loadu_si256(tmp.as_ptr() as *const __m256i)
+    };
+    let mut s0 = [_mm256_setzero_si256(); 2];
+    let mut s1 = [_mm256_setzero_si256(); 2];
+    let mut s2 = [_mm256_setzero_si256(); 2];
+    let mut s3 = [_mm256_setzero_si256(); 2];
+    let mut widev = [_mm256_setzero_si256(); 2];
+    let bias = _mm256_set1_epi64x(i64::MIN);
+    for g in 0..groups {
+        s0[g] = load(0, g, states);
+        s1[g] = load(1, g, states);
+        s2[g] = load(2, g, states);
+        s3[g] = load(3, g, states);
+        widev[g] = _mm256_xor_si256(
+            _mm256_loadu_si256(wide[g * 4..].as_ptr() as *const __m256i),
+            bias,
+        );
+    }
+    let mut masks = [0u8; 64];
+    let mut words = [0u64; 8];
+    let mut remaining = len;
+    while remaining > 0 {
+        let nbits = remaining.min(64);
+        for m in masks[..nbits].iter_mut() {
+            let mut bits = 0u32;
+            for g in 0..groups {
+                let sum = _mm256_add_epi64(s0[g], s3[g]);
+                let rot =
+                    _mm256_or_si256(_mm256_slli_epi64::<23>(sum), _mm256_srli_epi64::<41>(sum));
+                let res = _mm256_add_epi64(rot, s0[g]);
+                // Unsigned res < wide  ⇔  signed (wide ^ bias) > (res ^ bias).
+                let lt = _mm256_cmpgt_epi64(widev[g], _mm256_xor_si256(res, bias));
+                bits |= (_mm256_movemask_pd(_mm256_castsi256_pd(lt)) as u32) << (g * 4);
+                let t17 = _mm256_slli_epi64::<17>(s1[g]);
+                s2[g] = _mm256_xor_si256(s2[g], s0[g]);
+                s3[g] = _mm256_xor_si256(s3[g], s1[g]);
+                s1[g] = _mm256_xor_si256(s1[g], s2[g]);
+                s0[g] = _mm256_xor_si256(s0[g], s3[g]);
+                s2[g] = _mm256_xor_si256(s2[g], t17);
+                s3[g] = _mm256_or_si256(
+                    _mm256_slli_epi64::<45>(s3[g]),
+                    _mm256_srli_epi64::<19>(s3[g]),
+                );
+            }
+            *m = bits as u8 | always_mask;
+        }
+        transpose_masks(&mut masks, lanes, nbits, &mut words);
+        emit(&words[..lanes], nbits);
+        remaining -= nbits;
+    }
+    for g in 0..groups {
+        let store = |v: __m256i| {
+            let mut tmp = [0u64; 4];
+            _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, v);
+            tmp
+        };
+        let (o0, o1, o2, o3) = (store(s0[g]), store(s1[g]), store(s2[g]), store(s3[g]));
+        for l in 0..4 {
+            states[g * 4 + l] = [o0[l], o1[l], o2[l], o3[l]];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osc_math::rng::SplitMix64;
+
+    fn reference(words: &[u64], lanes: usize) -> Vec<u64> {
+        let mut acc = vec![0u64; lanes];
+        for block in words.chunks_exact(lanes) {
+            for (a, &w) in acc.iter_mut().zip(block) {
+                *a += u64::from(w.count_ones());
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn tiers_are_ordered_by_width() {
+        assert!(SimdTier::Scalar < SimdTier::Avx2);
+        assert!(SimdTier::Avx2 < SimdTier::Avx512);
+        assert_eq!(SimdTier::Avx512.name(), "avx512");
+    }
+
+    #[test]
+    fn every_available_tier_matches_scalar_word_for_word() {
+        // Random words across awkward block counts and every lane width
+        // the kernels use: all tiers must agree exactly with the scalar
+        // reference (the forced-scalar CI job pins the reverse direction).
+        let mut rng = SplitMix64::new(0xD15_BA7C);
+        for lanes in [1usize, 2, 3, 4, 5, 8] {
+            for nblocks in [0usize, 1, 2, 7, 64, 129] {
+                let words: Vec<u64> = (0..lanes * nblocks).map(|_| rng.next_u64()).collect();
+                let want = reference(&words, lanes);
+                for tier in [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512] {
+                    let mut acc = vec![0u64; lanes];
+                    popcount_lanes_accumulate_with(tier, &words, &mut acc);
+                    assert_eq!(
+                        acc, want,
+                        "tier {:?}, lanes {lanes}, blocks {nblocks}",
+                        tier
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_adds_on_top_of_existing_counts() {
+        let words = [u64::MAX, 0, 0xF0F0_F0F0_F0F0_F0F0, 1];
+        let mut acc = [100u64, 200];
+        popcount_lanes_accumulate(&words, &mut acc);
+        assert_eq!(acc, [100 + 64 + 32, 200 + 1]);
+    }
+
+    #[test]
+    fn detected_tier_is_stable_and_active_tier_clamped() {
+        assert_eq!(detected_tier(), detected_tier());
+        assert!(active_tier() <= detected_tier());
+    }
+
+    #[test]
+    fn override_forces_and_releases() {
+        // The override clamps to the hardware and always round-trips back
+        // to the environment-resolved tier on release. Forcing Scalar is
+        // exact on every machine. (No assertion on the global
+        // `active_tier` itself: other tests in this binary toggle the
+        // shared override concurrently, and every tier is bit-identical
+        // anyway — value assertions below are the race-free check.)
+        let forced = set_tier_override(Some(SimdTier::Scalar));
+        assert_eq!(forced, SimdTier::Scalar);
+        let words = [0xAAAAu64, 0x5555];
+        let mut acc = [0u64; 2];
+        popcount_lanes_accumulate(&words, &mut acc);
+        assert_eq!(acc, [8, 8]);
+        let released = set_tier_override(None);
+        assert!(released <= detected_tier());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole lane-interleaved blocks")]
+    fn ragged_word_count_rejected() {
+        let mut acc = [0u64; 4];
+        popcount_lanes_accumulate(&[0u64; 6], &mut acc);
+    }
+}
