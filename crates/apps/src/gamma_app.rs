@@ -8,6 +8,7 @@
 use crate::backend::{throughput_evals_per_second, OpticalBackend, PixelBackend};
 use crate::image::Image;
 use crate::AppError;
+use osc_core::batch::shard::{ShardCoordinator, SngKind};
 use osc_core::batch::{evaluate_lane_block, lane_blocks, mix_seed, BatchEvaluator};
 use osc_core::system::EvalScratch;
 use osc_stochastic::gamma::{fit_gamma_bernstein, gamma_exact, DISPLAY_GAMMA, PAPER_GAMMA_DEGREE};
@@ -128,6 +129,46 @@ pub fn apply_optical_lanes(
     Image::new(width, image.height(), out)
 }
 
+/// Applies the optical backend's polynomial to every pixel with **three
+/// levels of parallelism**: image rows shard across worker
+/// *subprocesses* (a [`ShardCoordinator`] running the
+/// [`osc_core::batch::shard`] wire protocol), rows fan across each
+/// worker's threads, and within a row pixels run through the
+/// lane-blocked fused kernel — the scale-out form of the paper's
+/// Section V.C lane bank.
+///
+/// The per-pixel generator universes are exactly
+/// [`apply_optical_lanes`]' (`mix_seed(mix_seed(backend seed, row),
+/// column)` with Xoshiro sources), and every worker evaluates its rows
+/// with their *global* row indices, so the output is **byte-identical**
+/// to [`apply_optical_lanes`] — and therefore identical for every shard
+/// count — not merely statistically equivalent.
+///
+/// # Errors
+///
+/// Propagates shard failures ([`AppError::Shard`]: spawn failures, dead
+/// workers after retries, protocol violations) and evaluation errors
+/// reported by workers.
+pub fn apply_optical_sharded(
+    image: &Image,
+    backend: &OpticalBackend,
+    coordinator: &ShardCoordinator,
+) -> Result<Image, AppError> {
+    let runs = coordinator.image_rows(
+        backend.system(),
+        SngKind::Xoshiro,
+        image.width(),
+        image.pixels(),
+        backend.stream_length(),
+        backend.seed(),
+    )?;
+    Image::new(
+        image.width(),
+        image.height(),
+        runs.iter().map(|r| r.estimate.clamp(0.0, 1.0)).collect(),
+    )
+}
+
 /// Runs gamma correction on a backend and reports quality + throughput
 /// against the exact per-pixel map.
 ///
@@ -182,6 +223,29 @@ pub fn run_gamma_lanes(
 ) -> Result<GammaRunReport, AppError> {
     let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
     let produced = apply_optical_lanes(image, backend, evaluator)?;
+    Ok(GammaRunReport {
+        backend: backend.name().to_string(),
+        psnr_db: produced.psnr_db(&reference)?,
+        mae: produced.mae(&reference)?,
+        evals_per_second: throughput_evals_per_second(backend),
+    })
+}
+
+/// [`run_gamma`] with process-sharded row evaluation (see
+/// [`apply_optical_sharded`]): the report's quality numbers are computed
+/// from an image byte-identical to [`run_gamma_lanes`]' for every shard
+/// count.
+///
+/// # Errors
+///
+/// Propagates shard and backend failures.
+pub fn run_gamma_sharded(
+    image: &Image,
+    backend: &OpticalBackend,
+    coordinator: &ShardCoordinator,
+) -> Result<GammaRunReport, AppError> {
+    let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
+    let produced = apply_optical_sharded(image, backend, coordinator)?;
     Ok(GammaRunReport {
         backend: backend.name().to_string(),
         psnr_db: produced.psnr_db(&reference)?,
@@ -308,6 +372,25 @@ mod tests {
             rows.mae
         );
         assert_eq!(lanes.backend, rows.backend);
+    }
+
+    #[test]
+    fn sharded_apply_surfaces_missing_worker_as_value() {
+        use osc_core::params::CircuitParams;
+        // A coordinator pointed at a binary that does not exist must
+        // fail with a clean AppError::Shard, never a panic. The
+        // byte-identity of a *working* sharded run against the lanes
+        // pipeline is pinned by the osc-bench integration suite, which
+        // owns the worker binary.
+        let img = Image::gradient(8, 4);
+        let poly = osc_stochastic::bernstein::BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap();
+        let backend = OpticalBackend::new(CircuitParams::paper_fig5(), poly, 64, 5).unwrap();
+        let coordinator = ShardCoordinator::new("/nonexistent/shard_worker_binary", 2);
+        let err = apply_optical_sharded(&img, &backend, &coordinator).unwrap_err();
+        assert!(
+            matches!(err, crate::AppError::Shard(_)),
+            "expected a shard error, got {err:?}"
+        );
     }
 
     #[test]

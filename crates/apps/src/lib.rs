@@ -35,6 +35,8 @@ pub enum AppError {
     Circuit(String),
     /// Invalid application parameter.
     Invalid(String),
+    /// A process-sharded pipeline failed (worker spawn/death/protocol).
+    Shard(String),
 }
 
 impl std::fmt::Display for AppError {
@@ -43,6 +45,7 @@ impl std::fmt::Display for AppError {
             AppError::Stochastic(m) => write!(f, "stochastic error: {m}"),
             AppError::Circuit(m) => write!(f, "circuit error: {m}"),
             AppError::Invalid(m) => write!(f, "invalid parameter: {m}"),
+            AppError::Shard(m) => write!(f, "shard error: {m}"),
         }
     }
 }
@@ -58,6 +61,12 @@ impl From<osc_stochastic::ScError> for AppError {
 impl From<osc_core::CircuitError> for AppError {
     fn from(e: osc_core::CircuitError) -> Self {
         AppError::Circuit(e.to_string())
+    }
+}
+
+impl From<osc_core::batch::shard::ShardError> for AppError {
+    fn from(e: osc_core::batch::shard::ShardError) -> Self {
+        AppError::Shard(e.to_string())
     }
 }
 

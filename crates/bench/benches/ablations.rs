@@ -30,7 +30,7 @@ fn bench_sng_ablation(c: &mut Harness) {
     // End-to-end optical evaluation cost under different randomizers.
     let poly = BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap();
     let system = OpticalScSystem::new(CircuitParams::paper_fig5(), poly).unwrap();
-    let mut sng = LfsrSng::with_width(16, 0xACE1);
+    let mut sng = LfsrSng::new(16, 0xACE1).unwrap();
     let mut rng = Xoshiro256PlusPlus::new(1);
     c.bench_function("ablation/optical_eval_by_sng/lfsr", |b| {
         b.iter(|| {

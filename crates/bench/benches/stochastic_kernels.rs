@@ -10,7 +10,7 @@ use osc_stochastic::sng::{CounterSng, LfsrSng, StochasticNumberGenerator, Xoshir
 use std::hint::black_box;
 
 fn bench_sng_generation(c: &mut Harness) {
-    let mut sng = LfsrSng::with_width(16, 0xACE1);
+    let mut sng = LfsrSng::new(16, 0xACE1).unwrap();
     c.bench_function("stochastic/sng_generate_16k/lfsr", |b| {
         b.iter(|| sng.generate(black_box(0.37), 16_384).unwrap())
     });

@@ -110,7 +110,15 @@ fn main() {
             );
         }
         for name in &outcome.skipped {
-            println!("[check] {name}: not measured in this run, skipping");
+            // Loud on stderr: a recorded workload that silently stops
+            // being measured (e.g. the shard_worker binary missing, or a
+            // rename) drops out of the regression gate entirely — that
+            // must be visible in CI logs even though it does not fail
+            // the gate (renames are legitimate).
+            eprintln!(
+                "warning: [check] {name}: recorded in the trajectory but NOT measured in this \
+                 run — it is not being gated (missing prerequisite binary or renamed workload?)"
+            );
         }
         for name in &outcome.new_workloads {
             println!("[check] {name}: new workload (no prior trajectory entry) — recorded, not gated on its first run");

@@ -1,0 +1,108 @@
+//! Process-sharded gamma correction demo — the CI determinism smoke.
+//!
+//! ```text
+//! gamma_sharded [--shards N] [--out PATH] [--stream BITS] [--size WxH]
+//! ```
+//!
+//! Runs the paper's Section V.C gamma-correction workload (order-6
+//! optical circuit) over a synthetic image, sharded across `N`
+//! `shard_worker` subprocesses (`--shards 0` runs the in-process
+//! row+lane pipeline instead), and writes every output pixel as its raw
+//! little-endian IEEE-754 bytes to `--out`. The sharding determinism
+//! contract makes those bytes **identical for every shard count**, so
+//! CI diffs `--shards 1` against `--shards 3` (and against the
+//! in-process `--shards 0`) with a plain `cmp`.
+
+use osc_apps::backend::OpticalBackend;
+use osc_apps::gamma_app::{self, paper_gamma_polynomial};
+use osc_apps::image::Image;
+use osc_core::batch::shard::{locate_worker, ShardCoordinator};
+use osc_core::batch::BatchEvaluator;
+use osc_core::params::CircuitParams;
+use osc_stochastic::gamma::{gamma_exact, DISPLAY_GAMMA};
+use osc_units::Nanometers;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("gamma_sharded: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut shards = 3usize;
+    let mut out_path: Option<String> = None;
+    let mut stream = 512usize;
+    let mut size = (64usize, 64usize);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--shards" => {
+                shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--shards needs an integer"))
+            }
+            "--out" => out_path = Some(value("--out")),
+            "--stream" => {
+                stream = value("--stream")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--stream needs an integer"))
+            }
+            "--size" => {
+                let v = value("--size");
+                let (w, h) = v
+                    .split_once('x')
+                    .unwrap_or_else(|| fail("--size needs WxH"));
+                size = (
+                    w.parse().unwrap_or_else(|_| fail("--size needs WxH")),
+                    h.parse().unwrap_or_else(|_| fail("--size needs WxH")),
+                );
+            }
+            other => fail(&format!(
+                "unknown argument {other}\nusage: gamma_sharded [--shards N] [--out PATH] [--stream BITS] [--size WxH]"
+            )),
+        }
+    }
+
+    let image = Image::blobs(size.0, size.1);
+    let poly = paper_gamma_polynomial().unwrap_or_else(|e| fail(&format!("gamma fit: {e}")));
+    let params = CircuitParams::paper_fig7(6, Nanometers::new(0.165));
+    let backend = OpticalBackend::new(params, poly, stream, 13)
+        .unwrap_or_else(|e| fail(&format!("circuit build: {e}")));
+
+    let produced = if shards == 0 {
+        gamma_app::apply_optical_lanes(&image, &backend, &BatchEvaluator::new())
+            .unwrap_or_else(|e| fail(&format!("in-process pipeline: {e}")))
+    } else {
+        let worker = locate_worker("shard_worker").unwrap_or_else(|| {
+            fail("could not locate the shard_worker binary (build it, or set OSC_SHARD_WORKER)")
+        });
+        let coordinator = ShardCoordinator::new(worker, shards);
+        gamma_app::apply_optical_sharded(&image, &backend, &coordinator)
+            .unwrap_or_else(|e| fail(&format!("sharded pipeline: {e}")))
+    };
+
+    let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
+    let psnr = produced.psnr_db(&reference).unwrap();
+    let mae = produced.mae(&reference).unwrap();
+    println!(
+        "[gamma_sharded] {}x{} stream={stream} shards={shards}: psnr {psnr:.2} dB, mae {mae:.4}",
+        size.0, size.1
+    );
+
+    if let Some(path) = out_path {
+        let mut bytes = Vec::with_capacity(produced.pixels().len() * 8);
+        for &p in produced.pixels() {
+            bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            fail(&format!("writing {path}: {e}"));
+        }
+        println!(
+            "[gamma_sharded] wrote {} pixel bytes to {path}",
+            bytes.len()
+        );
+    }
+}

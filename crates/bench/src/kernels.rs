@@ -12,6 +12,7 @@
 //! trajectory instead of a single snapshot (see [`append_run`]).
 
 use crate::microbench::Harness;
+use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::batch::BatchEvaluator;
 use osc_core::params::CircuitParams;
 use osc_core::system::{EvalScratch, OpticalScSystem};
@@ -293,6 +294,56 @@ pub fn run(budget_ms: u64) -> KernelsReport {
         },
     ));
 
+    // The scale-out acceptance workload: the same 64×64 order-6 gamma
+    // image, single-process row+lane pipeline pinned to one thread
+    // (baseline) against three shard_worker subprocesses (optimized) —
+    // what process sharding buys over one core, spawn cost included.
+    // The outputs are byte-identical; only the walk differs. The stream
+    // length is 2048 (vs 512 for the in-process gamma records) so the
+    // video-scale compute dominates the fixed per-worker cost (spawn +
+    // circuit rebuild, ~2 ms/worker); on a single-core host the ratio
+    // tops out just below 1.0 by construction — the record documents
+    // the sharding overhead there and the scale-out gain on multi-core
+    // runners. Skipped (with a log line) when the worker binary has not
+    // been built — first-run workloads are never gated, so the record
+    // simply appears once the binary exists.
+    if let Some(worker) = shard_worker_path() {
+        let stream_s = 2048usize;
+        let image_s = osc_apps::image::Image::blobs(64, 64);
+        let image_s2 = image_s.clone();
+        let poly_s = osc_apps::gamma_app::paper_gamma_polynomial().expect("gamma fit");
+        let backend_s =
+            osc_apps::backend::OpticalBackend::new(params, poly_s.clone(), stream_s, 13)
+                .expect("6th-order circuit builds");
+        let backend_s2 = osc_apps::backend::OpticalBackend::new(params, poly_s, stream_s, 13)
+            .expect("6th-order circuit builds");
+        let one_thread = BatchEvaluator::with_threads(1);
+        let coordinator = ShardCoordinator::new(worker, 3);
+        comparisons.push(compare(
+            &mut harness,
+            "gamma_64x64_order6_sharded",
+            move || {
+                osc_apps::gamma_app::apply_optical_lanes(&image_s, &backend_s, &one_thread)
+                    .unwrap()
+                    .pixels()
+                    .iter()
+                    .sum()
+            },
+            move || {
+                osc_apps::gamma_app::apply_optical_sharded(&image_s2, &backend_s2, &coordinator)
+                    .unwrap()
+                    .pixels()
+                    .iter()
+                    .sum()
+            },
+        ));
+    } else {
+        eprintln!(
+            "[kernels] shard_worker binary not found — skipping gamma_64x64_order6_sharded \
+             (build it with `cargo build -p osc-bench --bin shard_worker`)"
+        );
+    }
+
     // Fusion isolated on the gamma workload: sequential per-pixel loops,
     // materializing word path vs streaming kernel with reused scratch
     // (zero heap allocation per pixel).
@@ -330,6 +381,14 @@ pub fn run(budget_ms: u64) -> KernelsReport {
     KernelsReport { comparisons }
 }
 
+/// Locates the `shard_worker` binary the sharded workload spawns — the
+/// `OSC_SHARD_WORKER` env override, or a sibling of the running
+/// executable (covering `target/<profile>/` binaries and
+/// `target/<profile>/deps/` test runners).
+pub fn shard_worker_path() -> Option<std::path::PathBuf> {
+    locate_worker("shard_worker")
+}
+
 /// Prints EXP-K.
 pub fn print(report: &KernelsReport) {
     println!("EXP-K  word-parallel kernel speedups (per-bit seed path vs packed-u64 path)");
@@ -348,11 +407,34 @@ pub fn print(report: &KernelsReport) {
     crate::print_table(&["kernel", "per-bit ns", "word ns", "speedup"], &rows);
 }
 
+/// Maps a run label to a form every consumer of `BENCH_kernels.json`
+/// can round-trip. The renderer splices labels into hand-built JSON and
+/// the trajectory parser splits records by brace depth, so a label
+/// containing `{`, `}`, `"` or `\` would corrupt the file for every
+/// later append; those characters are substituted with visually close
+/// safe ones (`(`, `)`, `'`, `/`), and control characters with `_`.
+pub fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| match c {
+            '{' => '(',
+            '}' => ')',
+            '"' => '\'',
+            '\\' => '/',
+            c if c.is_control() => '_',
+            c => c,
+        })
+        .collect()
+}
+
 /// Renders one labelled run record. The per-run schema is the original
 /// single-run `BENCH_kernels.json` shape (a `benchmarks` array of
 /// name / baseline_ns / optimized_ns / speedup entries) plus a `label`
-/// identifying the PR or invocation that produced it.
+/// identifying the PR or invocation that produced it. The label is
+/// passed through [`sanitize_label`], so a hostile one cannot corrupt
+/// the trajectory file.
 pub fn render_run(report: &KernelsReport, label: &str) -> String {
+    let label = sanitize_label(label);
     let mut out = format!("    {{\"label\": \"{label}\", \"benchmarks\": [\n");
     for (i, c) in report.comparisons.iter().enumerate() {
         out.push_str(&format!(
@@ -563,7 +645,11 @@ mod tests {
     fn smoke_run_produces_all_comparisons() {
         // Tiny budget: correctness of the plumbing, not timing quality.
         let r = run(1);
-        assert_eq!(r.comparisons.len(), 8);
+        // The sharded workload rides along only when the worker binary
+        // has been built (cargo test builds it for this package's
+        // integration tests, but a filtered build may not have).
+        let expect_sharded = shard_worker_path().is_some();
+        assert_eq!(r.comparisons.len(), if expect_sharded { 9 } else { 8 });
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
@@ -574,6 +660,39 @@ mod tests {
         assert!(json.contains("parallel_lanes_order2_16384"));
         assert!(json.contains("gamma_64x64_order6"));
         assert!(json.contains("gamma_64x64_order6_fused"));
+        assert_eq!(
+            json.contains("gamma_64x64_order6_sharded"),
+            expect_sharded,
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn hostile_labels_cannot_corrupt_the_trajectory() {
+        // Regression: `--label` text used to be spliced verbatim into the
+        // hand-built JSON, so braces or quotes in a label broke the
+        // brace-depth record splitter for every later append.
+        let hostile = "evil{\"label\": \"fake\"}, \\ {{}}";
+        let r1 = append_run(None, &render_run(&sample_report(), hostile));
+        // The rendered label is sanitized but still recognizable.
+        assert!(r1.contains("evil('label': 'fake'), / (())"), "{r1}");
+        assert!(!r1.contains('\\'), "{r1}");
+        // The trajectory still parses: one record, both workloads.
+        assert_eq!(r1.matches("\"label\"").count(), 1, "{r1}");
+        assert_eq!(last_run_speedups(&r1).len(), 2);
+        // And a second (clean) append still extends it instead of
+        // starting over or splitting the hostile record in two.
+        let mut faster = sample_report();
+        faster.comparisons[0].optimized_ns = 10.0;
+        let r2 = append_run(Some(&r1), &render_run(&faster, "pr5"));
+        assert_eq!(r2.matches("\"label\"").count(), 2, "{r2}");
+        let speedups = last_run_speedups(&r2);
+        assert_eq!(speedups.len(), 2);
+        assert!((speedups[0].1 - 10.0).abs() < 1e-9, "{speedups:?}");
+        // Control characters (a newline would also break the one-record-
+        // per-line shape) are flattened.
+        assert_eq!(sanitize_label("a\nb\tc"), "a_b_c");
+        assert_eq!(sanitize_label("pr4-sharding"), "pr4-sharding");
     }
 
     fn sample_report() -> KernelsReport {

@@ -26,6 +26,14 @@ use osc_math::rng::Xoshiro256PlusPlus;
 use osc_stochastic::sng::StochasticNumberGenerator;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod shard;
+
+/// Environment variable pinning the [`BatchEvaluator::new`] worker-thread
+/// count (clamped to at least 1). CI jobs and shard worker processes use
+/// it to control per-process parallelism without touching call sites;
+/// results are thread-count-invariant either way.
+pub const THREADS_ENV: &str = "OSC_THREADS";
+
 /// Mixes a batch seed with a work-item index into an independent stream
 /// seed (SplitMix64 finalizer — full avalanche, so neighbouring indices
 /// share no low-bit structure the way `seed ^ (i << 32)` did).
@@ -173,11 +181,21 @@ impl Default for BatchEvaluator {
 }
 
 impl BatchEvaluator {
-    /// Creates an evaluator sized to the machine's available parallelism.
+    /// Creates an evaluator sized to the machine's available parallelism,
+    /// unless the [`THREADS_ENV`] (`OSC_THREADS`) environment variable
+    /// pins an explicit count (non-numeric or zero values are ignored).
+    /// The choice only affects wall-clock: results are identical for
+    /// every thread count.
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let pinned = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        let threads = pinned.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         BatchEvaluator { threads }
     }
 
@@ -297,6 +315,35 @@ impl BatchEvaluator {
         S: StochasticNumberGenerator,
         F: Fn(u64) -> S + Sync,
     {
+        self.evaluate_range(system, xs, stream_length, sng_factory, seed, 0)
+    }
+
+    /// [`BatchEvaluator::evaluate_many`] for a contiguous *slice of a
+    /// larger batch*: item `i` of `xs` derives its generators from
+    /// `mix_seed(seed, first_index + i)`. This is the primitive the
+    /// process-sharding layer ([`shard`]) runs inside each worker — a
+    /// shard covering global indices `[a, b)` calls
+    /// `evaluate_range(..., a)` and reproduces exactly the runs a
+    /// single-process `evaluate_many` over the whole batch would have
+    /// produced for those indices, because every item's universe depends
+    /// only on `(seed, global index)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation failure (by index order).
+    pub fn evaluate_range<S, F>(
+        &self,
+        system: &OpticalScSystem,
+        xs: &[f64],
+        stream_length: usize,
+        sng_factory: F,
+        seed: u64,
+        first_index: u64,
+    ) -> Result<Vec<OpticalRun>, CircuitError>
+    where
+        S: StochasticNumberGenerator,
+        F: Fn(u64) -> S + Sync,
+    {
         let blocks = lane_blocks(xs.len());
         let nested = self.par_map_with(&blocks, EvalScratch::new, |scratch, _, &(start, width)| {
             // Invalid inputs need no special casing: the lane kernel
@@ -309,7 +356,7 @@ impl BatchEvaluator {
                 &xs[start..start + width],
                 stream_length,
                 &sng_factory,
-                |l| mix_seed(seed, (start + l) as u64),
+                |l| mix_seed(seed, first_index + (start + l) as u64),
                 scratch,
             )
         });
@@ -511,6 +558,56 @@ mod tests {
         let ev = BatchEvaluator::with_threads(8);
         assert!(ev.par_map(&[] as &[u8], |_, _| 0).is_empty());
         assert_eq!(ev.par_map(&[5u8], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn osc_threads_env_pins_worker_count() {
+        // Serialized through one test so concurrent readers of the env
+        // var cannot race the mutations.
+        let saved = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(BatchEvaluator::new().threads(), 3);
+        // Zero and junk are ignored, falling back to auto-detection.
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(BatchEvaluator::new().threads() >= 1);
+        std::env::set_var(THREADS_ENV, "not a number");
+        assert!(BatchEvaluator::new().threads() >= 1);
+        // The determinism contract: a pinned single worker computes the
+        // same bits as any explicit thread count.
+        std::env::set_var(THREADS_ENV, "1");
+        let pinned = BatchEvaluator::new();
+        assert_eq!(pinned.threads(), 1);
+        let s = system();
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 / 9.0).collect();
+        let one = pinned
+            .evaluate_many(&s, &xs, 512, XoshiroSng::new, 23)
+            .unwrap();
+        let many = BatchEvaluator::with_threads(4)
+            .evaluate_many(&s, &xs, 512, XoshiroSng::new, 23)
+            .unwrap();
+        assert_eq!(one, many, "OSC_THREADS=1 must not change results");
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+    }
+
+    #[test]
+    fn evaluate_range_matches_the_containing_batch() {
+        // A range starting at global index `a` must reproduce exactly the
+        // runs the full batch computed at those indices — the property
+        // process sharding is built on.
+        let s = system();
+        let xs: Vec<f64> = (0..17).map(|i| i as f64 / 16.0).collect();
+        let full = BatchEvaluator::with_threads(2)
+            .evaluate_many(&s, &xs, 700, XoshiroSng::new, 55)
+            .unwrap();
+        for (a, b) in [(0usize, 5usize), (5, 17), (3, 4), (16, 17), (7, 7)] {
+            let part = BatchEvaluator::with_threads(3)
+                .evaluate_range(&s, &xs[a..b], 700, XoshiroSng::new, 55, a as u64)
+                .unwrap();
+            assert_eq!(part, full[a..b].to_vec(), "range {a}..{b}");
+        }
     }
 
     #[test]

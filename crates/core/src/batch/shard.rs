@@ -1,0 +1,1444 @@
+//! Process-level sharding of batch evaluation.
+//!
+//! [`super::BatchEvaluator`] scales one process across threads; this
+//! module scales a batch across **worker subprocesses** — the
+//! software mirror of replicating the paper's ReSC lane bank across
+//! chips. The pieces:
+//!
+//! - [`ShardPlan`] — splits a batch of `n` items into contiguous,
+//!   balanced index ranges, one per shard;
+//! - the **wire protocol** ([`ShardRequest`] / [`ShardResponse`], see
+//!   below) — a framed, versioned binary encoding of "evaluate these
+//!   items of this system" and the per-item [`OpticalRun`]s coming back;
+//! - [`serve`] — the worker side: a read-request/write-response loop any
+//!   binary can expose over stdin/stdout (the `osc-bench` crate ships it
+//!   as the `shard_worker` binary);
+//! - [`ShardCoordinator`] — the parent side: spawns one worker process
+//!   per shard via `std::process::Command`, feeds each its range,
+//!   collects responses and merges them in index order, with worker
+//!   failure detection and per-shard retry.
+//!
+//! # Determinism contract
+//!
+//! Sharding is **unobservable in the results**. Every work item derives
+//! its generator universe from its *global* index —
+//! [`super::mix_seed`]`(seed, global_index)` for flat batches,
+//! `mix_seed(mix_seed(seed, row), column)` for image jobs — exactly as
+//! the single-process paths ([`super::BatchEvaluator::evaluate_many`],
+//! the row+lane image pipelines) do. A shard covering `[a, b)` runs
+//! [`super::BatchEvaluator::evaluate_range`] with `first_index = a`
+//! inside its own process, so concatenating shard outputs in plan order
+//! is **byte-identical** to the unsharded evaluation for every shard
+//! count, worker thread count and SIMD tier. The `f64` payloads travel
+//! as IEEE-754 bit patterns (`to_bits`/`from_bits`), so no value is
+//! perturbed in transit.
+//!
+//! # Wire protocol
+//!
+//! Both directions use the same framing: a little-endian `u64` payload
+//! length, then the payload. Integers are little-endian; every `f64` is
+//! its IEEE-754 bit pattern as a `u64`. A worker reads frames until EOF
+//! and answers each with exactly one response frame.
+//!
+//! Request payload:
+//!
+//! ```text
+//! u32  magic  "OSCR" (0x4F53_4352)
+//! u32  version (currently 1)
+//! u8   job kind      0 = Batch, 1 = ImageRows
+//! u8   SNG kind      0 = lfsr, 1 = counter, 2 = xoshiro, 3 = chaotic
+//! u16  reserved (0)
+//! u64  batch seed
+//! u64  stream length (bits per evaluation)
+//! CircuitParams      order as u64, then 19 f64s in declaration order
+//!                    (spacing, λ_last, λ_ref, MZI IL dB, MZI ER dB,
+//!                    modulator r1/r2/a/FSR/Δλ, filter r1/r2/a/FSR/OTE,
+//!                    pump mW, probe mW, responsivity, noise current)
+//! u64  coefficient count, then that many f64 Bernstein coefficients
+//! Batch job:     u64 first global index, u64 count, count × f64 inputs
+//! ImageRows job: u64 image width, u64 first global row, u64 pixel
+//!                count, count × f64 pixels (row-major)
+//! ```
+//!
+//! Response payload:
+//!
+//! ```text
+//! u32  magic  "OSCA" (0x4F53_4341)
+//! u32  version (currently 1)
+//! u8   status        0 = ok, 1 = error
+//! ok:    u64 run count, then per run: estimate, ideal_estimate, exact,
+//!        observed_ber (4 × f64) and stream_length (u64), in item order
+//! error: u64 message length, then that many UTF-8 bytes
+//! ```
+//!
+//! Errors cross the boundary **as values**: the worker validates the
+//! request, catches panics, and reports failures in an error response —
+//! it never aborts on bad input. The coordinator treats a dead worker, a
+//! truncated frame, a wrong magic/version or a short response as a
+//! failed shard, retries it on a fresh process ([`ShardCoordinator`]
+//! retries each shard once by default), and only then surfaces a
+//! [`ShardError`].
+
+use super::{evaluate_lane_block, lane_blocks, mix_seed, BatchEvaluator};
+use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
+use crate::system::{OpticalRun, OpticalScSystem};
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::sng::{ChaoticLaserSng, CounterSng, LfsrSng, XoshiroSng};
+use osc_units::{DbRatio, Milliwatts, Nanometers};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Request frame magic, `"OSCR"`.
+pub const REQUEST_MAGIC: u32 = 0x4F53_4352;
+/// Response frame magic, `"OSCA"`.
+pub const RESPONSE_MAGIC: u32 = 0x4F53_4341;
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Upper bound accepted for any frame payload (guards a corrupted
+/// length prefix from driving an allocation).
+const MAX_FRAME_BYTES: u64 = 1 << 31;
+/// Register width used when a wire request selects the LFSR source; the
+/// per-item seed is truncated to the register. Width 16 is inside the
+/// supported `3..=32` range by construction, so the factory is
+/// infallible.
+pub const LFSR_WIRE_WIDTH: u32 = 16;
+/// Environment variable overriding where [`locate_worker`] looks for
+/// the worker binary.
+pub const WORKER_ENV: &str = "OSC_SHARD_WORKER";
+
+/// Errors surfaced by the sharding layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// A worker process could not be launched at all (missing or
+    /// non-executable binary), after exhausting retries.
+    Spawn {
+        /// Shard index in the plan.
+        shard: usize,
+        /// Operating-system detail.
+        detail: String,
+    },
+    /// A worker died, closed its pipe early, or answered with a
+    /// malformed frame (after exhausting retries).
+    Worker {
+        /// Shard index in the plan.
+        shard: usize,
+        /// What the coordinator observed.
+        detail: String,
+    },
+    /// A worker answered cleanly with an error report (bad config,
+    /// invalid input, caught panic).
+    Remote {
+        /// Shard index in the plan.
+        shard: usize,
+        /// The worker's message.
+        detail: String,
+    },
+    /// A locally-detected protocol violation (encode/decode failure).
+    Protocol(String),
+    /// The request itself is unshardable (e.g. pixel count not a
+    /// multiple of the image width).
+    InvalidPlan(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Spawn { shard, detail } => {
+                write!(f, "shard {shard}: failed to spawn worker: {detail}")
+            }
+            ShardError::Worker { shard, detail } => {
+                write!(f, "shard {shard}: worker failed: {detail}")
+            }
+            ShardError::Remote { shard, detail } => {
+                write!(f, "shard {shard}: worker reported: {detail}")
+            }
+            ShardError::Protocol(msg) => write!(f, "shard protocol error: {msg}"),
+            ShardError::InvalidPlan(msg) => write!(f, "invalid shard plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Which stochastic number generator a worker instantiates per item.
+///
+/// The variant, together with the per-item seed derivation, pins the
+/// exact generator universe, so coordinator and single-process runs
+/// agree bit for bit:
+///
+/// - `Lfsr` → `LfsrSng::new(LFSR_WIRE_WIDTH, seed as u32)`;
+/// - `Counter` → `CounterSng::new()` (seed-independent by design);
+/// - `Xoshiro` → `XoshiroSng::new(seed)`;
+/// - `Chaotic` → `ChaoticLaserSng::seeded(seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SngKind {
+    /// Maximal-length LFSR comparator SNG (the CMOS baseline).
+    Lfsr,
+    /// Deterministic low-discrepancy van der Corput/Halton source.
+    Counter,
+    /// Seeded Xoshiro256++ PRNG, the software reference.
+    Xoshiro,
+    /// Chaotic-laser TRNG stand-in (SplitMix64-backed, seeded).
+    Chaotic,
+}
+
+impl SngKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [SngKind; 4] = [
+        SngKind::Lfsr,
+        SngKind::Counter,
+        SngKind::Xoshiro,
+        SngKind::Chaotic,
+    ];
+
+    fn as_u8(self) -> u8 {
+        match self {
+            SngKind::Lfsr => 0,
+            SngKind::Counter => 1,
+            SngKind::Xoshiro => 2,
+            SngKind::Chaotic => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, String> {
+        match v {
+            0 => Ok(SngKind::Lfsr),
+            1 => Ok(SngKind::Counter),
+            2 => Ok(SngKind::Xoshiro),
+            3 => Ok(SngKind::Chaotic),
+            other => Err(format!("unknown SNG kind {other}")),
+        }
+    }
+
+    /// Generator name as the SNGs themselves report it.
+    pub fn name(self) -> &'static str {
+        match self {
+            SngKind::Lfsr => "lfsr",
+            SngKind::Counter => "counter",
+            SngKind::Xoshiro => "xoshiro",
+            SngKind::Chaotic => "chaotic-laser",
+        }
+    }
+}
+
+/// The per-item LFSR factory of the wire protocol.
+fn lfsr_item(seed: u64) -> LfsrSng {
+    // Infallible: LFSR_WIRE_WIDTH is inside the supported range and the
+    // constructor remaps the one forbidden (zero) seed itself.
+    LfsrSng::new(LFSR_WIRE_WIDTH, seed as u32).expect("LFSR_WIRE_WIDTH is a supported width")
+}
+
+/// Runs `$body` with `$factory` bound to the seed→generator constructor
+/// of `$kind` — the one dispatch point both shard jobs share, so every
+/// caller derives identical generator universes per kind.
+macro_rules! dispatch_sng {
+    ($kind:expr, $factory:ident => $body:expr) => {
+        match $kind {
+            SngKind::Lfsr => {
+                let $factory = lfsr_item;
+                $body
+            }
+            SngKind::Counter => {
+                let $factory = |_seed: u64| CounterSng::new();
+                $body
+            }
+            SngKind::Xoshiro => {
+                let $factory = XoshiroSng::new;
+                $body
+            }
+            SngKind::Chaotic => {
+                let $factory = ChaoticLaserSng::seeded;
+                $body
+            }
+        }
+    };
+}
+
+/// A contiguous, balanced decomposition of `items` work items into at
+/// most `shards` index ranges (empty trailing ranges are dropped, so
+/// asking for more shards than items degrades gracefully).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Plans `items` work items across `shards` workers (`0` is treated
+    /// as `1`). The first `items % shards` ranges take one extra item, so
+    /// range sizes differ by at most one.
+    pub fn new(items: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = items / shards;
+        let extra = items % shards;
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            if len == 0 {
+                break;
+            }
+            ranges.push((start, len));
+            start += len;
+        }
+        ShardPlan { ranges }
+    }
+
+    /// The planned `(start, len)` ranges, contiguous and in index order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Total items covered.
+    pub fn items(&self) -> usize {
+        self.ranges.iter().map(|&(_, len)| len).sum()
+    }
+}
+
+/// One evaluation job, as carried by a [`ShardRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardJob {
+    /// Evaluate `xs[i]` with generators derived from
+    /// `mix_seed(seed, first_index + i)` — one slice of a flat batch.
+    Batch {
+        /// Global index of `xs[0]` in the full batch.
+        first_index: u64,
+        /// Inputs for this shard's range.
+        xs: Vec<f64>,
+    },
+    /// Evaluate image pixels through the row+lane pipeline derivation:
+    /// the pixel at global row `y`, column `x` uses
+    /// `mix_seed(mix_seed(seed, y), x)`. Pixels are row-major rows
+    /// `first_row ..`, and are clamped to `[0, 1]` before evaluation
+    /// exactly as the in-process image pipelines do.
+    ImageRows {
+        /// Image width in pixels (row stride).
+        width: u64,
+        /// Global row index of the first transmitted row.
+        first_row: u64,
+        /// Row-major pixels, `width × rows` values.
+        pixels: Vec<f64>,
+    },
+}
+
+/// One framed request: the system to build and the job to run on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// Full circuit parameter set (rebuilt worker-side).
+    pub params: CircuitParams,
+    /// Bernstein coefficients of the programmed polynomial.
+    pub coeffs: Vec<f64>,
+    /// Generator kind for every item.
+    pub sng: SngKind,
+    /// Batch seed the per-item universes derive from.
+    pub seed: u64,
+    /// Stream length (bits) per evaluation.
+    pub stream_length: u64,
+    /// The work itself.
+    pub job: ShardJob,
+}
+
+/// One framed response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardResponse {
+    /// Per-item runs, in item order.
+    Runs(Vec<OpticalRun>),
+    /// The worker rejected the request or failed evaluating it.
+    Error(String),
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Sequential reader over a payload, with truncation-safe accessors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64_vec(&mut self, count: u64) -> Result<Vec<f64>, String> {
+        let count = usize::try_from(count).map_err(|_| "count overflows usize".to_string())?;
+        if count
+            .checked_mul(8)
+            .is_none_or(|bytes| bytes > self.buf.len() - self.pos)
+        {
+            return Err(format!("declared {count} f64s exceed the payload"));
+        }
+        (0..count).map(|_| self.f64()).collect()
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_params(buf: &mut Vec<u8>, p: &CircuitParams) {
+    put_u64(buf, p.order as u64);
+    for v in [
+        p.wl_spacing.as_nm(),
+        p.lambda_last.as_nm(),
+        p.lambda_ref.as_nm(),
+        p.mzi_il.as_db(),
+        p.mzi_er.as_db(),
+        p.modulator.r1,
+        p.modulator.r2,
+        p.modulator.a,
+        p.modulator.fsr.as_nm(),
+        p.modulator.delta_lambda.as_nm(),
+        p.filter.r1,
+        p.filter.r2,
+        p.filter.a,
+        p.filter.fsr.as_nm(),
+        p.filter.ote_nm_per_mw,
+        p.pump_power.as_mw(),
+        p.probe_power.as_mw(),
+        p.responsivity_a_per_w,
+    ] {
+        put_f64(buf, v);
+    }
+    put_f64(buf, p.noise_current_a);
+}
+
+fn decode_params(c: &mut Cursor<'_>) -> Result<CircuitParams, String> {
+    let order = usize::try_from(c.u64()?).map_err(|_| "order overflows usize".to_string())?;
+    let mut f = [0f64; 19];
+    for slot in &mut f {
+        *slot = c.f64()?;
+    }
+    Ok(CircuitParams {
+        order,
+        wl_spacing: Nanometers::new(f[0]),
+        lambda_last: Nanometers::new(f[1]),
+        lambda_ref: Nanometers::new(f[2]),
+        mzi_il: DbRatio::from_db(f[3]),
+        mzi_er: DbRatio::from_db(f[4]),
+        modulator: ModulatorTemplate {
+            r1: f[5],
+            r2: f[6],
+            a: f[7],
+            fsr: Nanometers::new(f[8]),
+            delta_lambda: Nanometers::new(f[9]),
+        },
+        filter: FilterTemplate {
+            r1: f[10],
+            r2: f[11],
+            a: f[12],
+            fsr: Nanometers::new(f[13]),
+            ote_nm_per_mw: f[14],
+        },
+        pump_power: Milliwatts::new(f[15]),
+        probe_power: Milliwatts::new(f[16]),
+        responsivity_a_per_w: f[17],
+        noise_current_a: f[18],
+    })
+}
+
+/// Serializes a request into one frame payload (no length prefix).
+pub fn encode_request(req: &ShardRequest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    put_u32(&mut buf, REQUEST_MAGIC);
+    put_u32(&mut buf, PROTOCOL_VERSION);
+    let (job_kind, _) = match &req.job {
+        ShardJob::Batch { .. } => (0u8, ()),
+        ShardJob::ImageRows { .. } => (1u8, ()),
+    };
+    buf.push(job_kind);
+    buf.push(req.sng.as_u8());
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    put_u64(&mut buf, req.seed);
+    put_u64(&mut buf, req.stream_length);
+    encode_params(&mut buf, &req.params);
+    put_u64(&mut buf, req.coeffs.len() as u64);
+    for &c in &req.coeffs {
+        put_f64(&mut buf, c);
+    }
+    match &req.job {
+        ShardJob::Batch { first_index, xs } => {
+            put_u64(&mut buf, *first_index);
+            put_u64(&mut buf, xs.len() as u64);
+            for &x in xs {
+                put_f64(&mut buf, x);
+            }
+        }
+        ShardJob::ImageRows {
+            width,
+            first_row,
+            pixels,
+        } => {
+            put_u64(&mut buf, *width);
+            put_u64(&mut buf, *first_row);
+            put_u64(&mut buf, pixels.len() as u64);
+            for &p in pixels {
+                put_f64(&mut buf, p);
+            }
+        }
+    }
+    buf
+}
+
+/// Parses a request frame payload.
+///
+/// # Errors
+///
+/// A description of the first violation (bad magic, unknown version,
+/// truncation, trailing bytes).
+pub fn decode_request(payload: &[u8]) -> Result<ShardRequest, String> {
+    let mut c = Cursor::new(payload);
+    let magic = c.u32()?;
+    if magic != REQUEST_MAGIC {
+        return Err(format!("bad request magic {magic:#010x}"));
+    }
+    let version = c.u32()?;
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "unsupported protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+        ));
+    }
+    let job_kind = c.u8()?;
+    let sng = SngKind::from_u8(c.u8()?)?;
+    let _reserved = c.u16()?;
+    let seed = c.u64()?;
+    let stream_length = c.u64()?;
+    let params = decode_params(&mut c)?;
+    let n_coeffs = c.u64()?;
+    let coeffs = c.f64_vec(n_coeffs)?;
+    let job = match job_kind {
+        0 => {
+            let first_index = c.u64()?;
+            let n = c.u64()?;
+            ShardJob::Batch {
+                first_index,
+                xs: c.f64_vec(n)?,
+            }
+        }
+        1 => {
+            let width = c.u64()?;
+            let first_row = c.u64()?;
+            let n = c.u64()?;
+            ShardJob::ImageRows {
+                width,
+                first_row,
+                pixels: c.f64_vec(n)?,
+            }
+        }
+        other => return Err(format!("unknown job kind {other}")),
+    };
+    if !c.finished() {
+        return Err(format!(
+            "{} trailing bytes after request",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(ShardRequest {
+        params,
+        coeffs,
+        sng,
+        seed,
+        stream_length,
+        job,
+    })
+}
+
+/// Serializes a response into one frame payload (no length prefix).
+pub fn encode_response(resp: &ShardResponse) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u32(&mut buf, RESPONSE_MAGIC);
+    put_u32(&mut buf, PROTOCOL_VERSION);
+    match resp {
+        ShardResponse::Runs(runs) => {
+            buf.push(0);
+            put_u64(&mut buf, runs.len() as u64);
+            for run in runs {
+                put_f64(&mut buf, run.estimate);
+                put_f64(&mut buf, run.ideal_estimate);
+                put_f64(&mut buf, run.exact);
+                put_f64(&mut buf, run.observed_ber);
+                put_u64(&mut buf, run.stream_length as u64);
+            }
+        }
+        ShardResponse::Error(msg) => {
+            buf.push(1);
+            put_u64(&mut buf, msg.len() as u64);
+            buf.extend_from_slice(msg.as_bytes());
+        }
+    }
+    buf
+}
+
+/// Parses a response frame payload.
+///
+/// # Errors
+///
+/// A description of the first violation (bad magic, unknown version,
+/// truncation, trailing bytes).
+pub fn decode_response(payload: &[u8]) -> Result<ShardResponse, String> {
+    let mut c = Cursor::new(payload);
+    let magic = c.u32()?;
+    if magic != RESPONSE_MAGIC {
+        return Err(format!("bad response magic {magic:#010x}"));
+    }
+    let version = c.u32()?;
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "unsupported protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+        ));
+    }
+    let resp = match c.u8()? {
+        0 => {
+            let count = c.u64()?;
+            let count =
+                usize::try_from(count).map_err(|_| "run count overflows usize".to_string())?;
+            if count
+                .checked_mul(40)
+                .is_none_or(|bytes| bytes > payload.len())
+            {
+                return Err(format!("declared {count} runs exceed the payload"));
+            }
+            let mut runs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let estimate = c.f64()?;
+                let ideal_estimate = c.f64()?;
+                let exact = c.f64()?;
+                let observed_ber = c.f64()?;
+                let stream_length = usize::try_from(c.u64()?)
+                    .map_err(|_| "stream length overflows usize".to_string())?;
+                runs.push(OpticalRun {
+                    estimate,
+                    ideal_estimate,
+                    exact,
+                    observed_ber,
+                    stream_length,
+                });
+            }
+            ShardResponse::Runs(runs)
+        }
+        1 => {
+            let len = c.u64()?;
+            let bytes = c.take(
+                usize::try_from(len).map_err(|_| "message length overflows usize".to_string())?,
+            )?;
+            ShardResponse::Error(
+                String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 error message")?,
+            )
+        }
+        other => return Err(format!("unknown response status {other}")),
+    };
+    if !c.finished() {
+        return Err(format!(
+            "{} trailing bytes after response",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary; EOF inside a frame is an error.
+///
+/// # Errors
+///
+/// Propagates I/O failures; an oversized length prefix is reported as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < 8 {
+        // Retry EINTR like `read_exact` does for the payload below — a
+        // signal landing mid-prefix must not be mistaken for a dead
+        // worker.
+        let n = match r.read(&mut len_bytes[filled..]) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Evaluates one request to runs, as a value — every failure (invalid
+/// params, degree mismatch, out-of-range input) comes back as `Err`.
+fn handle_request(req: &ShardRequest) -> Result<Vec<OpticalRun>, String> {
+    req.params.validate().map_err(|e| e.to_string())?;
+    let poly = BernsteinPoly::new(req.coeffs.clone()).map_err(|e| e.to_string())?;
+    let system = OpticalScSystem::new(req.params, poly).map_err(|e| e.to_string())?;
+    let stream_length = usize::try_from(req.stream_length)
+        .map_err(|_| "stream length overflows usize".to_string())?;
+    let evaluator = BatchEvaluator::new();
+    match &req.job {
+        ShardJob::Batch { first_index, xs } => dispatch_sng!(req.sng, factory => {
+            evaluator
+                .evaluate_range(&system, xs, stream_length, factory, req.seed, *first_index)
+                .map_err(|e| e.to_string())
+        }),
+        ShardJob::ImageRows {
+            width,
+            first_row,
+            pixels,
+        } => {
+            let width = usize::try_from(*width)
+                .ok()
+                .filter(|&w| w > 0)
+                .ok_or_else(|| "image width must be a positive usize".to_string())?;
+            if !pixels.len().is_multiple_of(width) {
+                return Err(format!(
+                    "pixel count {} is not a multiple of width {width}",
+                    pixels.len()
+                ));
+            }
+            dispatch_sng!(req.sng, factory => {
+                image_rows_eval(
+                    &evaluator,
+                    &system,
+                    &factory,
+                    width,
+                    *first_row,
+                    pixels,
+                    stream_length,
+                    req.seed,
+                )
+                .map_err(|e| e.to_string())
+            })
+        }
+    }
+}
+
+/// The worker half of the image job: evaluates row-major pixels with the
+/// row+lane pipeline's per-pixel universes,
+/// `mix_seed(mix_seed(seed, global row), column)` — identical to the
+/// in-process `apply_optical_lanes` derivation, so shard boundaries are
+/// invisible in the output.
+#[allow(clippy::too_many_arguments)]
+fn image_rows_eval<S, F>(
+    evaluator: &BatchEvaluator,
+    system: &OpticalScSystem,
+    factory: &F,
+    width: usize,
+    first_row: u64,
+    pixels: &[f64],
+    stream_length: usize,
+    seed: u64,
+) -> Result<Vec<OpticalRun>, crate::CircuitError>
+where
+    S: osc_stochastic::sng::StochasticNumberGenerator,
+    F: Fn(u64) -> S + Sync,
+{
+    use crate::system::EvalScratch;
+    let rows: Vec<usize> = (0..pixels.len() / width).collect();
+    let blocks = lane_blocks(width);
+    let produced = evaluator.par_map_with(&rows, EvalScratch::new, |scratch, _, &r| {
+        let row_seed = mix_seed(seed, first_row + r as u64);
+        let row_pixels = &pixels[r * width..(r + 1) * width];
+        let mut out_row = Vec::with_capacity(width);
+        for &(start, bw) in &blocks {
+            let mut xs = [0.0f64; 8];
+            for (slot, &p) in xs.iter_mut().zip(&row_pixels[start..start + bw]) {
+                *slot = p.clamp(0.0, 1.0);
+            }
+            let runs = evaluate_lane_block(
+                system,
+                &xs[..bw],
+                stream_length,
+                factory,
+                |k| mix_seed(row_seed, (start + k) as u64),
+                scratch,
+            )?;
+            out_row.extend(runs);
+        }
+        Ok::<Vec<OpticalRun>, crate::CircuitError>(out_row)
+    });
+    let mut out = Vec::with_capacity(pixels.len());
+    for row in produced {
+        out.extend(row?);
+    }
+    Ok(out)
+}
+
+/// The worker loop: reads request frames from `input` until EOF,
+/// answering each with exactly one response frame on `output`.
+///
+/// Every failure mode that can be expressed as a value is: malformed
+/// requests, invalid configurations and evaluation errors come back as
+/// [`ShardResponse::Error`], and panics inside evaluation are caught and
+/// reported the same way — the process boundary only ever sees clean
+/// frames or EOF.
+///
+/// # Errors
+///
+/// Propagates I/O failures on the transport itself (a vanished pipe).
+pub fn serve<R: Read, W: Write>(mut input: R, mut output: W) -> std::io::Result<()> {
+    while let Some(payload) = read_frame(&mut input)? {
+        let response = match decode_request(&payload) {
+            Err(e) => ShardResponse::Error(format!("bad request: {e}")),
+            Ok(req) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_request(&req)
+                })) {
+                    Ok(Ok(runs)) => ShardResponse::Runs(runs),
+                    Ok(Err(msg)) => ShardResponse::Error(msg),
+                    Err(panic) => ShardResponse::Error(format!(
+                        "worker panicked: {}",
+                        panic_message(panic.as_ref())
+                    )),
+                }
+            }
+        };
+        write_frame(&mut output, &encode_response(&response))?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------
+
+/// Locates a worker binary named `name`: a set [`WORKER_ENV`]
+/// environment variable is authoritative (a path that does not exist
+/// yields `None` rather than silently falling back to a possibly stale
+/// sibling binary); otherwise the directory of the current executable
+/// and its parent are searched (covering `target/<profile>/` siblings
+/// and `target/<profile>/deps/` test binaries).
+pub fn locate_worker(name: &str) -> Option<PathBuf> {
+    if let Ok(path) = std::env::var(WORKER_ENV) {
+        let path = PathBuf::from(path);
+        return path.is_file().then_some(path);
+    }
+    let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    [dir.join(&file), dir.parent()?.join(&file)]
+        .into_iter()
+        .find(|candidate| candidate.is_file())
+}
+
+/// Spawns worker subprocesses and distributes a batch across them.
+///
+/// Each shard gets one fresh process of the configured worker binary
+/// (speaking the module's wire protocol over stdin/stdout), receives its
+/// contiguous range, and is reaped after its single response. Failed
+/// shards are retried on fresh processes ([`ShardCoordinator::retries`]
+/// times, default 1) before the batch fails — a killed worker costs a
+/// respawn, not the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCoordinator {
+    worker: PathBuf,
+    shards: usize,
+    worker_threads: Option<usize>,
+    retries: usize,
+}
+
+impl ShardCoordinator {
+    /// Creates a coordinator running `shards` worker processes (`0` is
+    /// treated as `1`) of the given binary.
+    pub fn new(worker: impl AsRef<Path>, shards: usize) -> Self {
+        ShardCoordinator {
+            worker: worker.as_ref().to_path_buf(),
+            shards: shards.max(1),
+            worker_threads: None,
+            retries: 1,
+        }
+    }
+
+    /// Pins every worker's internal thread count by exporting
+    /// [`super::THREADS_ENV`] (`OSC_THREADS`) into its environment.
+    /// Results are identical either way; this bounds total CPU
+    /// oversubscription.
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets how many times a failed shard is retried on a fresh process.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured worker binary.
+    pub fn worker(&self) -> &Path {
+        &self.worker
+    }
+
+    /// Sharded [`BatchEvaluator::evaluate_many`]: evaluates every `x` in
+    /// `xs`, item `i` on generators derived from `mix_seed(seed, i)`,
+    /// split across worker processes by a [`ShardPlan`]. Byte-identical
+    /// to the single-process evaluation for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] when a shard cannot be completed (after retries) or
+    /// a worker reports an evaluation failure.
+    pub fn evaluate_many(
+        &self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        xs: &[f64],
+        stream_length: usize,
+        seed: u64,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
+        let plan = ShardPlan::new(xs.len(), self.shards);
+        let requests: Vec<ShardRequest> = plan
+            .ranges()
+            .iter()
+            .map(|&(start, len)| ShardRequest {
+                params: *system.circuit().params(),
+                coeffs: system.polynomial().coeffs().to_vec(),
+                sng,
+                seed,
+                stream_length: stream_length as u64,
+                job: ShardJob::Batch {
+                    first_index: start as u64,
+                    xs: xs[start..start + len].to_vec(),
+                },
+            })
+            .collect();
+        let expected: Vec<usize> = plan.ranges().iter().map(|&(_, len)| len).collect();
+        let merged = self.run_requests(&requests, &expected)?;
+        Ok(merged.into_iter().flatten().collect())
+    }
+
+    /// Sharded image evaluation: splits the image's rows across worker
+    /// processes, each running the row+lane pipeline derivation
+    /// (`mix_seed(mix_seed(seed, row), column)` per pixel) over its row
+    /// range. Returns per-pixel runs in row-major order — byte-identical
+    /// to the in-process row+lane pipeline for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::InvalidPlan`] when `pixels` is not a whole number of
+    /// `width`-sized rows; otherwise as [`ShardCoordinator::evaluate_many`].
+    pub fn image_rows(
+        &self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        width: usize,
+        pixels: &[f64],
+        stream_length: usize,
+        seed: u64,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
+        if width == 0 || !pixels.len().is_multiple_of(width) {
+            return Err(ShardError::InvalidPlan(format!(
+                "pixel count {} is not a whole number of width-{width} rows",
+                pixels.len()
+            )));
+        }
+        let rows = pixels.len() / width;
+        let plan = ShardPlan::new(rows, self.shards);
+        let requests: Vec<ShardRequest> = plan
+            .ranges()
+            .iter()
+            .map(|&(start, len)| ShardRequest {
+                params: *system.circuit().params(),
+                coeffs: system.polynomial().coeffs().to_vec(),
+                sng,
+                seed,
+                stream_length: stream_length as u64,
+                job: ShardJob::ImageRows {
+                    width: width as u64,
+                    first_row: start as u64,
+                    pixels: pixels[start * width..(start + len) * width].to_vec(),
+                },
+            })
+            .collect();
+        let expected: Vec<usize> = plan.ranges().iter().map(|&(_, len)| len * width).collect();
+        let merged = self.run_requests(&requests, &expected)?;
+        Ok(merged.into_iter().flatten().collect())
+    }
+
+    /// Runs one request per shard, all workers in flight concurrently,
+    /// and returns their runs in shard order.
+    fn run_requests(
+        &self,
+        requests: &[ShardRequest],
+        expected: &[usize],
+    ) -> Result<Vec<Vec<OpticalRun>>, ShardError> {
+        // Launch every shard before collecting any: the subprocesses
+        // compute in parallel while responses are drained in plan order.
+        let mut children: Vec<Result<Child, WorkerFailure>> = requests
+            .iter()
+            .map(|req| self.spawn_and_send(req))
+            .collect();
+        // `Child` does not reap on drop, so every early-error return
+        // must kill + wait the still-pending workers of later shards or
+        // they linger as zombies for the life of this process.
+        let reap_pending = |children: &mut Vec<Result<Child, WorkerFailure>>| {
+            for slot in children.iter_mut() {
+                if let Ok(child) = slot.as_mut() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                *slot = Err(WorkerFailure::Transport("reaped".into()));
+            }
+        };
+        let mut outputs = Vec::with_capacity(requests.len());
+        for (shard, req) in requests.iter().enumerate() {
+            let mut attempt = std::mem::replace(
+                &mut children[shard],
+                Err(WorkerFailure::Transport("taken".into())),
+            );
+            let mut failure: Option<WorkerFailure> = None;
+            let mut runs = None;
+            for retry in 0..=self.retries {
+                let outcome = match attempt {
+                    Ok(child) => self.collect(child, expected[shard]),
+                    Err(e) => Err(e),
+                };
+                match outcome {
+                    Ok(r) => {
+                        runs = Some(r);
+                        break;
+                    }
+                    Err(WorkerFailure::Remote(msg)) => {
+                        // The worker evaluated the request and rejected
+                        // it; retrying cannot change a deterministic
+                        // answer.
+                        reap_pending(&mut children);
+                        return Err(ShardError::Remote { shard, detail: msg });
+                    }
+                    Err(other) => {
+                        failure = Some(other);
+                        if retry == self.retries {
+                            break;
+                        }
+                        attempt = self.spawn_and_send(req);
+                    }
+                }
+            }
+            match runs {
+                Some(r) => outputs.push(r),
+                None => {
+                    reap_pending(&mut children);
+                    return Err(
+                        match failure
+                            .unwrap_or_else(|| WorkerFailure::Transport("unknown failure".into()))
+                        {
+                            WorkerFailure::Spawn(detail) => ShardError::Spawn { shard, detail },
+                            WorkerFailure::Transport(detail) => {
+                                ShardError::Worker { shard, detail }
+                            }
+                            WorkerFailure::Remote(detail) => ShardError::Remote { shard, detail },
+                        },
+                    );
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn spawn_and_send(&self, req: &ShardRequest) -> Result<Child, WorkerFailure> {
+        let mut command = Command::new(&self.worker);
+        command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(threads) = self.worker_threads {
+            command.env(super::THREADS_ENV, threads.to_string());
+        }
+        let mut child = command.spawn().map_err(|e| {
+            WorkerFailure::Spawn(format!("spawning {}: {e}", self.worker.display()))
+        })?;
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        let sent = write_frame(&mut stdin, &encode_request(req));
+        // Dropping stdin closes the pipe: the worker answers this one
+        // request, sees EOF and exits.
+        drop(stdin);
+        if let Err(e) = sent {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(WorkerFailure::Transport(format!("writing request: {e}")));
+        }
+        Ok(child)
+    }
+
+    fn collect(&self, mut child: Child, expected: usize) -> Result<Vec<OpticalRun>, WorkerFailure> {
+        let mut stdout = child.stdout.take().expect("stdout was piped");
+        let frame = read_frame(&mut stdout);
+        // Reap the process before interpreting the frame so a crashed
+        // worker reports its exit status, not just a bare EOF.
+        drop(stdout);
+        let status = child.wait();
+        let payload = match frame {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                let status = status
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|e| format!("unknown ({e})"));
+                return Err(WorkerFailure::Transport(format!(
+                    "worker exited without responding ({status})"
+                )));
+            }
+            Err(e) => return Err(WorkerFailure::Transport(format!("reading response: {e}"))),
+        };
+        match decode_response(&payload) {
+            Ok(ShardResponse::Runs(runs)) => {
+                if runs.len() != expected {
+                    return Err(WorkerFailure::Transport(format!(
+                        "worker returned {} runs, expected {expected}",
+                        runs.len()
+                    )));
+                }
+                Ok(runs)
+            }
+            Ok(ShardResponse::Error(msg)) => Err(WorkerFailure::Remote(msg)),
+            Err(e) => Err(WorkerFailure::Transport(format!("malformed response: {e}"))),
+        }
+    }
+}
+
+/// Distinguishes retryable failures (and which side they sit on) from a
+/// worker's deterministic rejection of the request.
+enum WorkerFailure {
+    /// The process could not be launched — retried, and reported as
+    /// [`ShardError::Spawn`] once retries are exhausted.
+    Spawn(String),
+    /// The process died or spoke garbage — retry on a fresh one.
+    Transport(String),
+    /// The worker answered cleanly with an error — not retryable.
+    Remote(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5_request(job: ShardJob) -> ShardRequest {
+        ShardRequest {
+            params: CircuitParams::paper_fig5(),
+            coeffs: vec![0.25, 0.625, 0.75],
+            sng: SngKind::Xoshiro,
+            seed: 42,
+            stream_length: 256,
+            job,
+        }
+    }
+
+    #[test]
+    fn plan_covers_everything_contiguously_and_balanced() {
+        for items in 0..40usize {
+            for shards in 1..10usize {
+                let plan = ShardPlan::new(items, shards);
+                assert_eq!(plan.items(), items, "items={items} shards={shards}");
+                let mut next = 0usize;
+                let (mut min_len, mut max_len) = (usize::MAX, 0usize);
+                for &(start, len) in plan.ranges() {
+                    assert_eq!(start, next, "items={items} shards={shards}");
+                    assert!(len > 0, "empty range must be dropped");
+                    min_len = min_len.min(len);
+                    max_len = max_len.max(len);
+                    next = start + len;
+                }
+                assert_eq!(next, items);
+                if !plan.ranges().is_empty() {
+                    assert!(max_len - min_len <= 1, "balanced split");
+                    assert_eq!(plan.ranges().len(), shards.min(items));
+                }
+            }
+        }
+        assert_eq!(ShardPlan::new(10, 0).ranges().len(), 1, "0 shards → 1");
+        assert_eq!(
+            ShardPlan::new(7, 3).ranges(),
+            &[(0, 3), (3, 2), (5, 2)],
+            "ragged split"
+        );
+    }
+
+    #[test]
+    fn batch_request_roundtrips_bit_exactly() {
+        // Awkward payload values: signaling bit patterns must survive the
+        // wire unchanged (the contract serializes f64 bit patterns).
+        let req = fig5_request(ShardJob::Batch {
+            first_index: 3,
+            xs: vec![0.0, 1.0, 0.123_456_789, f64::MIN_POSITIVE],
+        });
+        let decoded = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn image_request_roundtrips() {
+        let mut req = fig5_request(ShardJob::ImageRows {
+            width: 3,
+            first_row: 7,
+            pixels: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        });
+        req.sng = SngKind::Counter;
+        let decoded = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let runs = vec![
+            OpticalRun {
+                estimate: 0.5,
+                ideal_estimate: 0.51,
+                exact: 0.52,
+                observed_ber: 1e-6,
+                stream_length: 1024,
+            },
+            OpticalRun {
+                estimate: 0.0,
+                ideal_estimate: 1.0,
+                exact: 0.25,
+                observed_ber: 0.0,
+                stream_length: 1,
+            },
+        ];
+        let ok = ShardResponse::Runs(runs);
+        assert_eq!(decode_response(&encode_response(&ok)).unwrap(), ok);
+        let err = ShardResponse::Error("no circuit for you".into());
+        assert_eq!(decode_response(&encode_response(&err)).unwrap(), err);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let good = encode_request(&fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        }));
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_request(&bad).unwrap_err().contains("magic"));
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(decode_request(&bad).unwrap_err().contains("version"));
+        // Truncation at every length: never a panic, always an Err.
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(decode_request(&bad).unwrap_err().contains("trailing"));
+        // A declared element count far beyond the payload must be
+        // rejected before any allocation attempt.
+        let mut huge = good.clone();
+        let coeff_count_at = 4 + 4 + 4 + 8 + 8 + 8 + 19 * 8;
+        huge[coeff_count_at..coeff_count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_request(&huge).is_err());
+        // Response-side garbage.
+        assert!(decode_response(&good).unwrap_err().contains("magic"));
+        assert!(decode_response(&[]).is_err());
+    }
+
+    #[test]
+    fn framing_roundtrips_and_detects_truncation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut reader = &buf[..];
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+        // EOF inside a frame is an error, not a silent None.
+        let mut truncated = &buf[..3];
+        assert!(read_frame(&mut truncated).is_err());
+        let mut mid_payload = &buf[..10];
+        assert!(read_frame(&mut mid_payload).is_err());
+        // A hostile length prefix is rejected before allocating.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_frame(&mut &hostile[..]).is_err());
+    }
+
+    /// Drives a request through the in-process worker loop.
+    fn serve_one(req: &ShardRequest) -> ShardResponse {
+        let mut input = Vec::new();
+        write_frame(&mut input, &encode_request(req)).unwrap();
+        let mut output = Vec::new();
+        serve(&input[..], &mut output).unwrap();
+        let payload = read_frame(&mut &output[..]).unwrap().expect("one response");
+        decode_response(&payload).unwrap()
+    }
+
+    #[test]
+    fn serve_answers_invalid_configs_as_values() {
+        // Degree mismatch: coefficients say order 1, params say order 2.
+        let mut req = fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        });
+        req.coeffs = vec![0.5, 0.5];
+        match serve_one(&req) {
+            ShardResponse::Error(msg) => assert!(msg.contains("degree"), "{msg}"),
+            other => panic!("expected an error response, got {other:?}"),
+        }
+        // Out-of-range input.
+        let req = fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5, 1.5],
+        });
+        assert!(matches!(serve_one(&req), ShardResponse::Error(_)));
+        // Invalid params (order zero).
+        let mut req = fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        });
+        req.params.order = 0;
+        assert!(matches!(serve_one(&req), ShardResponse::Error(_)));
+        // Ragged image payload.
+        let req = fig5_request(ShardJob::ImageRows {
+            width: 3,
+            first_row: 0,
+            pixels: vec![0.5; 7],
+        });
+        match serve_one(&req) {
+            ShardResponse::Error(msg) => assert!(msg.contains("multiple"), "{msg}"),
+            other => panic!("expected an error response, got {other:?}"),
+        }
+        // A garbage frame still gets a clean error frame back.
+        let mut input = Vec::new();
+        write_frame(&mut input, b"not a request").unwrap();
+        let mut output = Vec::new();
+        serve(&input[..], &mut output).unwrap();
+        let payload = read_frame(&mut &output[..]).unwrap().unwrap();
+        assert!(matches!(
+            decode_response(&payload).unwrap(),
+            ShardResponse::Error(_)
+        ));
+    }
+
+    #[test]
+    fn serve_batch_matches_in_process_evaluation() {
+        let system = OpticalScSystem::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+        )
+        .unwrap();
+        let xs: Vec<f64> = (0..9).map(|i| i as f64 / 8.0).collect();
+        let direct = BatchEvaluator::with_threads(2)
+            .evaluate_many(&system, &xs, 256, XoshiroSng::new, 42)
+            .unwrap();
+        // Split 4 + 5 across two served requests.
+        let mut merged = Vec::new();
+        for (start, len) in [(0usize, 4usize), (4, 5)] {
+            let req = fig5_request(ShardJob::Batch {
+                first_index: start as u64,
+                xs: xs[start..start + len].to_vec(),
+            });
+            match serve_one(&req) {
+                ShardResponse::Runs(runs) => merged.extend(runs),
+                ShardResponse::Error(msg) => panic!("worker error: {msg}"),
+            }
+        }
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn locate_worker_honors_env_override() {
+        // Point the override at a file that certainly exists.
+        let me = std::env::current_exe().unwrap();
+        std::env::set_var(WORKER_ENV, &me);
+        assert_eq!(locate_worker("no-such-binary"), Some(me));
+        // An explicit override naming a missing file is authoritative:
+        // no fallback to sibling search, so a typo'd path fails fast
+        // instead of picking up a stale binary.
+        std::env::set_var(WORKER_ENV, "/nonexistent/override/worker");
+        assert_eq!(locate_worker("no-such-binary"), None);
+        std::env::remove_var(WORKER_ENV);
+        assert_eq!(locate_worker("no-such-binary-anywhere"), None);
+    }
+}

@@ -94,7 +94,7 @@ fn sweep_all_sngs(system: &OpticalScSystem, scratch: &mut EvalScratch, order: us
         assert_three_way(
             system,
             scratch,
-            || LfsrSng::with_width(16, 0xACE1 ^ seed as u32),
+            || LfsrSng::new(16, 0xACE1 ^ seed as u32).unwrap(),
             x,
             len,
             &format!("lfsr order={order} len={len}"),
@@ -188,7 +188,7 @@ fn fused_equals_twins_on_paired_stream_lengths() {
             assert_three_way(
                 &system,
                 &mut scratch,
-                || LfsrSng::with_width(16, 0xACE1),
+                || LfsrSng::new(16, 0xACE1).unwrap(),
                 0.37,
                 len,
                 &format!("{label} lfsr len={len}"),

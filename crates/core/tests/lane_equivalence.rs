@@ -103,7 +103,7 @@ fn sweep_all_sngs<const L: usize>(system: &OpticalScSystem, len: usize, tag: &st
     );
     assert_lanes_match_per_lane::<L, _, _>(
         system,
-        |l| LfsrSng::with_width(16, 0xACE1 ^ (seed as u32 + 7 * l as u32)),
+        |l| LfsrSng::new(16, 0xACE1 ^ (seed as u32 + 7 * l as u32)).unwrap(),
         len,
         &format!("{tag} lfsr"),
     );

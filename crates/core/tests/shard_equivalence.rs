@@ -1,0 +1,156 @@
+//! Shard-protocol determinism: any [`ShardPlan`] partition of a batch,
+//! run through the worker loop shard by shard and merged in index
+//! order, must be **byte-identical** to the single-process
+//! `evaluate_many` output — for every SNG kind, in clean and noisy
+//! receiver regimes, for balanced and ragged splits.
+//!
+//! These tests drive [`osc_core::batch::shard::serve`] over in-memory
+//! pipes, so they pin the whole protocol path (encode → decode → worker
+//! evaluation → encode → decode) without spawning processes; the
+//! subprocess coordinator itself is exercised end to end by the
+//! `osc-bench` integration suite, which owns the worker binary.
+
+use osc_core::batch::shard::{
+    decode_response, encode_request, read_frame, serve, write_frame, ShardJob, ShardPlan,
+    ShardRequest, ShardResponse, SngKind,
+};
+use osc_core::batch::BatchEvaluator;
+use osc_core::params::CircuitParams;
+use osc_core::system::{OpticalRun, OpticalScSystem};
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::sng::{ChaoticLaserSng, CounterSng, LfsrSng, XoshiroSng};
+use osc_units::Milliwatts;
+
+fn fig5_poly() -> BernsteinPoly {
+    BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap()
+}
+
+fn clean_system() -> OpticalScSystem {
+    OpticalScSystem::new(CircuitParams::paper_fig5(), fig5_poly()).unwrap()
+}
+
+/// Starved probes push the folded decision probabilities strictly inside
+/// (0, 1): the uniform-draw kernel tier, whose RNG consumption order is
+/// part of the determinism contract, runs on every cycle.
+fn noisy_system() -> OpticalScSystem {
+    let params = CircuitParams::paper_fig5().with_probe_power(Milliwatts::new(0.05));
+    let system = OpticalScSystem::new(params, fig5_poly()).unwrap();
+    assert!(
+        !system.has_deterministic_decisions(),
+        "noisy config should need draws"
+    );
+    system
+}
+
+/// Runs one request through the in-memory worker loop.
+fn serve_one(req: &ShardRequest) -> Vec<OpticalRun> {
+    let mut input = Vec::new();
+    write_frame(&mut input, &encode_request(req)).unwrap();
+    let mut output = Vec::new();
+    serve(&input[..], &mut output).unwrap();
+    let payload = read_frame(&mut &output[..]).unwrap().expect("one response");
+    match decode_response(&payload).unwrap() {
+        ShardResponse::Runs(runs) => runs,
+        ShardResponse::Error(msg) => panic!("worker error: {msg}"),
+    }
+}
+
+/// The single-process reference with the factory the wire protocol pins
+/// for each SNG kind.
+fn reference_runs(
+    system: &OpticalScSystem,
+    kind: SngKind,
+    xs: &[f64],
+    stream_length: usize,
+    seed: u64,
+) -> Vec<OpticalRun> {
+    let ev = BatchEvaluator::with_threads(2);
+    match kind {
+        SngKind::Lfsr => ev.evaluate_many(
+            system,
+            xs,
+            stream_length,
+            |s| LfsrSng::new(16, s as u32).unwrap(),
+            seed,
+        ),
+        SngKind::Counter => {
+            ev.evaluate_many(system, xs, stream_length, |_| CounterSng::new(), seed)
+        }
+        SngKind::Xoshiro => ev.evaluate_many(system, xs, stream_length, XoshiroSng::new, seed),
+        SngKind::Chaotic => {
+            ev.evaluate_many(system, xs, stream_length, ChaoticLaserSng::seeded, seed)
+        }
+    }
+    .unwrap()
+}
+
+#[test]
+fn any_partition_merges_to_the_single_process_batch() {
+    // 23 items: every shard count in {1, 2, 3, 7} splits it raggedly
+    // except 1, and 23 > 2 lane blocks so blocks straddle shard cuts.
+    let n = 23usize;
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+    let stream_length = 200usize;
+    for (label, system) in [("clean", clean_system()), ("noisy", noisy_system())] {
+        for kind in SngKind::ALL {
+            let seed = 0xD1CE ^ kind.name().len() as u64;
+            let reference = reference_runs(&system, kind, &xs, stream_length, seed);
+            for shards in [1usize, 2, 3, 7, n, n + 5] {
+                let plan = ShardPlan::new(n, shards);
+                let mut merged = Vec::with_capacity(n);
+                for &(start, len) in plan.ranges() {
+                    let req = ShardRequest {
+                        params: *system.circuit().params(),
+                        coeffs: system.polynomial().coeffs().to_vec(),
+                        sng: kind,
+                        seed,
+                        stream_length: stream_length as u64,
+                        job: ShardJob::Batch {
+                            first_index: start as u64,
+                            xs: xs[start..start + len].to_vec(),
+                        },
+                    };
+                    merged.extend(serve_one(&req));
+                }
+                assert_eq!(merged, reference, "{label} {} shards={shards}", kind.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn image_rows_partition_matches_whole_image_job() {
+    // Row-sharded image evaluation must be invisible: any row partition
+    // merges to the single-request whole-image job, whose derivation the
+    // apps layer pins against `apply_optical_lanes`.
+    let (width, height) = (13usize, 6usize); // 13 → ragged 8+4+1 lane blocks
+    let pixels: Vec<f64> = (0..width * height)
+        .map(|i| (i as f64 * 0.37) % 1.0)
+        .collect();
+    let system = clean_system();
+    let base_req = |first_row: usize, rows: &[f64]| ShardRequest {
+        params: *system.circuit().params(),
+        coeffs: system.polynomial().coeffs().to_vec(),
+        sng: SngKind::Xoshiro,
+        seed: 99,
+        stream_length: 128,
+        job: ShardJob::ImageRows {
+            width: width as u64,
+            first_row: first_row as u64,
+            pixels: rows.to_vec(),
+        },
+    };
+    let whole = serve_one(&base_req(0, &pixels));
+    assert_eq!(whole.len(), width * height);
+    for shards in [2usize, 3, 7] {
+        let plan = ShardPlan::new(height, shards);
+        let mut merged = Vec::new();
+        for &(start, len) in plan.ranges() {
+            merged.extend(serve_one(&base_req(
+                start,
+                &pixels[start * width..(start + len) * width],
+            )));
+        }
+        assert_eq!(merged, whole, "shards={shards}");
+    }
+}

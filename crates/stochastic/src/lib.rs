@@ -39,7 +39,7 @@
 //! // with Bernstein coefficients (2/8, 5/8, 3/8, 6/8).
 //! let poly = BernsteinPoly::new(vec![0.25, 0.625, 0.375, 0.75]).unwrap();
 //! let unit = ReScUnit::new(poly);
-//! let result = unit.evaluate(0.5, 4096, &mut LfsrSng::with_width(16, 0xACE1));
+//! let result = unit.evaluate(0.5, 4096, &mut LfsrSng::new(16, 0xACE1).unwrap());
 //! assert!((result.estimate - result.exact).abs() < 0.05);
 //! ```
 
@@ -74,6 +74,11 @@ pub enum ScError {
     },
     /// An empty input where at least one element is required.
     Empty(&'static str),
+    /// A random-source configuration a generator cannot be built from
+    /// (e.g. an unsupported LFSR width). Carried as a message so remote
+    /// workers can report the exact rejected configuration instead of
+    /// aborting on it.
+    InvalidGenerator(String),
 }
 
 impl std::fmt::Display for ScError {
@@ -86,6 +91,7 @@ impl std::fmt::Display for ScError {
                 write!(f, "stream length mismatch: {left} vs {right}")
             }
             ScError::Empty(what) => write!(f, "{what} must not be empty"),
+            ScError::InvalidGenerator(msg) => write!(f, "invalid generator config: {msg}"),
         }
     }
 }

@@ -556,7 +556,7 @@ mod tests {
         let mut err_ctr = 0.0;
         for i in 1..10 {
             let x = i as f64 / 10.0;
-            let mut lfsr = LfsrSng::with_width(16, 0xACE1 + i as u32);
+            let mut lfsr = LfsrSng::new(16, 0xACE1 + i as u32).unwrap();
             let mut ctr = CounterSng::new();
             err_lfsr += unit.evaluate(x, n, &mut lfsr).abs_error();
             err_ctr += unit.evaluate(x, n, &mut ctr).abs_error();

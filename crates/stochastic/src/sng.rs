@@ -427,14 +427,20 @@ pub struct LfsrSng {
 impl LfsrSng {
     /// Creates an SNG over a maximal-length LFSR of the given width.
     ///
-    /// # Panics
+    /// The seed is masked to the register width; a zero seed (the one
+    /// forbidden state) is replaced by all-ones, so every `(width, seed)`
+    /// with a supported width builds.
     ///
-    /// Panics if the width is outside `3..=32` (programmer error — widths
-    /// are compile-time choices in practice).
-    pub fn with_width(width: u32, seed: u32) -> Self {
-        LfsrSng {
-            lfsr: Lfsr::new(width, seed).expect("valid LFSR width"),
-        }
+    /// # Errors
+    ///
+    /// [`ScError::InvalidGenerator`] if the width is outside `3..=32` —
+    /// widths often arrive from configuration (CLI flags, shard-worker
+    /// requests), and a worker process must reject a bad one instead of
+    /// aborting on it.
+    pub fn new(width: u32, seed: u32) -> Result<Self, ScError> {
+        Ok(LfsrSng {
+            lfsr: Lfsr::new(width, seed).map_err(ScError::InvalidGenerator)?,
+        })
     }
 }
 
@@ -1260,10 +1266,27 @@ mod tests {
     }
 
     #[test]
+    fn lfsr_constructor_rejects_bad_widths_without_panicking() {
+        // A worker process must be able to reject a hostile width as a
+        // value, never abort on it.
+        for bad in [0u32, 1, 2, 33, u32::MAX] {
+            let err = LfsrSng::new(bad, 1).unwrap_err();
+            assert!(
+                matches!(err, ScError::InvalidGenerator(ref msg) if msg.contains("width")),
+                "width {bad}: {err}"
+            );
+        }
+        // Every supported width builds for any seed (zero remaps).
+        for width in 3..=32 {
+            LfsrSng::new(width, 0).unwrap();
+        }
+    }
+
+    #[test]
     fn lfsr_fast_path_bit_identical() {
-        assert_fast_path_bit_identical(|| LfsrSng::with_width(16, 0xACE1));
-        assert_fast_path_bit_identical(|| LfsrSng::with_width(3, 5));
-        assert_fast_path_bit_identical(|| LfsrSng::with_width(32, 0xDEAD_BEEF));
+        assert_fast_path_bit_identical(|| LfsrSng::new(16, 0xACE1).unwrap());
+        assert_fast_path_bit_identical(|| LfsrSng::new(3, 5).unwrap());
+        assert_fast_path_bit_identical(|| LfsrSng::new(32, 0xDEAD_BEEF).unwrap());
     }
 
     #[test]
@@ -1371,7 +1394,7 @@ mod tests {
     fn lfsr_drain_two_falls_back() {
         // No cheap jump for the LFSR: the default must decline without
         // consuming randomness.
-        let mut sng = LfsrSng::with_width(16, 0xACE1);
+        let mut sng = LfsrSng::new(16, 0xACE1).unwrap();
         let before = sng.clone().generate(0.5, 64).unwrap();
         assert!(collect_drain_two(&mut sng, 0.3, 0.7, 128).is_none());
         assert_eq!(sng.generate(0.5, 64).unwrap(), before);
@@ -1441,7 +1464,7 @@ mod tests {
         assert_drain_lanes_matches_standalone::<8, _>(|l| XoshiroSng::new(40 + l as u64));
         assert_drain_lanes_matches_standalone::<8, _>(|l| ChaoticLaserSng::seeded(9 + l as u64));
         assert_drain_lanes_matches_standalone::<8, _>(|l| {
-            LfsrSng::with_width(16, 0xACE1 + l as u32)
+            LfsrSng::new(16, 0xACE1 + l as u32).unwrap()
         });
         assert_drain_lanes_matches_standalone::<8, _>(|l| {
             // Stagger the counters' Halton positions so lanes differ.
@@ -1534,7 +1557,7 @@ mod tests {
         );
         // No cheap jump for the LFSR: the default declines.
         assert_drain_lanes_two_matches_sequential::<4, _>(
-            |l| LfsrSng::with_width(16, 0xACE1 + l as u32),
+            |l| LfsrSng::new(16, 0xACE1 + l as u32).unwrap(),
             Some(false),
         );
     }
@@ -1597,7 +1620,7 @@ mod tests {
 
     #[test]
     fn lfsr_sng_bias() {
-        let mut sng = LfsrSng::with_width(16, 0xACE1);
+        let mut sng = LfsrSng::new(16, 0xACE1).unwrap();
         for p in [0.0, 0.25, 0.5, 0.8, 1.0] {
             check_bias(&mut sng, p, 8192, 0.02);
         }
@@ -1659,7 +1682,7 @@ mod tests {
 
     #[test]
     fn extreme_probabilities_are_exact() {
-        let mut sng = LfsrSng::with_width(12, 3);
+        let mut sng = LfsrSng::new(12, 3).unwrap();
         assert_eq!(sng.generate(0.0, 512).unwrap().count_ones(), 0);
         assert_eq!(sng.generate(1.0, 512).unwrap().count_ones(), 512);
     }
@@ -1689,7 +1712,7 @@ mod tests {
         // low-discrepancy source should be at least 3x more accurate.
         let n = 1024;
         let ps = [0.137, 0.29, 0.456, 0.61, 0.83];
-        let mut lfsr = LfsrSng::with_width(16, 0xBEEF);
+        let mut lfsr = LfsrSng::new(16, 0xBEEF).unwrap();
         let err = |s: &BitStream, p: f64| (s.value() - p).abs();
         let e_lfsr: f64 = ps
             .iter()
@@ -1722,8 +1745,8 @@ mod tests {
 
     #[test]
     fn independent_streams_from_different_seeds() {
-        let mut a = LfsrSng::with_width(16, 0x1111);
-        let mut b = LfsrSng::with_width(16, 0x7777);
+        let mut a = LfsrSng::new(16, 0x1111).unwrap();
+        let mut b = LfsrSng::new(16, 0x7777).unwrap();
         let sa = a.generate(0.5, 2048).unwrap();
         let sb = b.generate(0.5, 2048).unwrap();
         let scc = sa.scc(&sb).unwrap();

@@ -36,7 +36,8 @@ fn sng_bias_converges() {
         let len = 8192usize;
         let sigma = (p * (1.0 - p) / len as f64).sqrt();
         let tol = 5.0 * sigma + 0.01;
-        let s_l = LfsrSng::with_width(16, seed as u32 | 1)
+        let s_l = LfsrSng::new(16, seed as u32 | 1)
+            .unwrap()
             .generate(p, len)
             .unwrap();
         assert!((s_l.value() - p).abs() < tol, "lfsr {}", s_l.value());
@@ -73,8 +74,8 @@ fn sng_fast_paths_bit_identical_to_reference() {
         );
 
         let width = 3 + (seed % 30) as u32;
-        let mut fast = LfsrSng::with_width(width, seed as u32);
-        let mut slow = LfsrSng::with_width(width, seed as u32);
+        let mut fast = LfsrSng::new(width, seed as u32).unwrap();
+        let mut slow = LfsrSng::new(width, seed as u32).unwrap();
         assert_eq!(
             (
                 fast.generate(p, len).unwrap(),
