@@ -210,6 +210,24 @@ impl OpticalBackend {
     pub fn stream_length(&self) -> usize {
         self.stream_length
     }
+
+    /// A same-circuit backend with a different base seed. Cloning
+    /// reuses the precomputed power/decision tables, so a caller
+    /// serving many requests against one circuit (e.g. the soak
+    /// workloads) derives per-request backends without paying circuit
+    /// construction each time. Identical to
+    /// `OpticalBackend::new(params, poly, stream_length, seed)` in
+    /// every observable way.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        OpticalBackend {
+            system: self.system.clone(),
+            stream_length: self.stream_length,
+            seed,
+            sng: XoshiroSng::new(seed),
+            rng: Xoshiro256PlusPlus::new(seed ^ 0x5EED),
+            scratch: EvalScratch::new(),
+        }
+    }
 }
 
 impl PixelBackend for OpticalBackend {

@@ -93,6 +93,27 @@ pub fn run_contrast_sharded(
     Ok((produced, mae))
 }
 
+/// [`run_contrast_sharded`] on a persistent
+/// [`osc_core::batch::shard::pool::WorkerPool`] (see
+/// [`crate::gamma_app::apply_optical_pooled`]): the produced image is
+/// byte-identical to [`run_contrast_lanes`]' for every worker count,
+/// but spawn + circuit construction are paid once per pool, not per
+/// call.
+///
+/// # Errors
+///
+/// Propagates pool and backend failures.
+pub fn run_contrast_pooled(
+    image: &Image,
+    backend: &crate::backend::OpticalBackend,
+    pool: &mut osc_core::batch::shard::pool::WorkerPool,
+) -> Result<(Image, f64), AppError> {
+    let reference = image.map(smoothstep);
+    let produced = crate::gamma_app::apply_optical_pooled(image, backend, pool)?;
+    let mae = produced.mae(&reference)?;
+    Ok((produced, mae))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

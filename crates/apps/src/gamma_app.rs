@@ -8,6 +8,7 @@
 use crate::backend::{throughput_evals_per_second, OpticalBackend, PixelBackend};
 use crate::image::Image;
 use crate::AppError;
+use osc_core::batch::shard::pool::WorkerPool;
 use osc_core::batch::shard::{ShardCoordinator, SngKind};
 use osc_core::batch::{evaluate_lane_block, lane_blocks, mix_seed, BatchEvaluator};
 use osc_core::system::EvalScratch;
@@ -169,6 +170,38 @@ pub fn apply_optical_sharded(
     )
 }
 
+/// [`apply_optical_sharded`] on a persistent [`WorkerPool`]: identical
+/// row sharding, per-pixel universes and output bytes, but the worker
+/// processes (and their cached circuits) survive across calls — the
+/// right shape for a stream of small images, where per-call spawn +
+/// circuit rebuild dominates ([`ShardCoordinator`] pays both every
+/// call).
+///
+/// # Errors
+///
+/// Propagates pool failures ([`AppError::Shard`]: dead workers after
+/// respawn + retries, protocol violations) and evaluation errors
+/// reported by workers.
+pub fn apply_optical_pooled(
+    image: &Image,
+    backend: &OpticalBackend,
+    pool: &mut WorkerPool,
+) -> Result<Image, AppError> {
+    let runs = pool.image_rows(
+        backend.system(),
+        SngKind::Xoshiro,
+        image.width(),
+        image.pixels(),
+        backend.stream_length(),
+        backend.seed(),
+    )?;
+    Image::new(
+        image.width(),
+        image.height(),
+        runs.iter().map(|r| r.estimate.clamp(0.0, 1.0)).collect(),
+    )
+}
+
 /// Runs gamma correction on a backend and reports quality + throughput
 /// against the exact per-pixel map.
 ///
@@ -246,6 +279,29 @@ pub fn run_gamma_sharded(
 ) -> Result<GammaRunReport, AppError> {
     let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
     let produced = apply_optical_sharded(image, backend, coordinator)?;
+    Ok(GammaRunReport {
+        backend: backend.name().to_string(),
+        psnr_db: produced.psnr_db(&reference)?,
+        mae: produced.mae(&reference)?,
+        evals_per_second: throughput_evals_per_second(backend),
+    })
+}
+
+/// [`run_gamma_sharded`] on a persistent [`WorkerPool`] (see
+/// [`apply_optical_pooled`]): the report's quality numbers are computed
+/// from an image byte-identical to [`run_gamma_lanes`]' for every
+/// worker count.
+///
+/// # Errors
+///
+/// Propagates pool and backend failures.
+pub fn run_gamma_pooled(
+    image: &Image,
+    backend: &OpticalBackend,
+    pool: &mut WorkerPool,
+) -> Result<GammaRunReport, AppError> {
+    let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
+    let produced = apply_optical_pooled(image, backend, pool)?;
     Ok(GammaRunReport {
         backend: backend.name().to_string(),
         psnr_db: produced.psnr_db(&reference)?,

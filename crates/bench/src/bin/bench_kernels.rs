@@ -80,27 +80,40 @@ fn main() {
             std::process::exit(1);
         })
     });
+    // Speedups are tier-relative, so the run record is stamped with the
+    // active tier and the gate compares only against a same-tier (or
+    // legacy untagged) reference run.
+    let tier = osc_stochastic::simd::active_tier().name();
     let report = kernels::run(budget_ms);
     kernels::print(&report);
-    let record = kernels::render_run(&report, &label);
+    let record = kernels::render_run(&report, &label, tier);
     let existing = std::fs::read_to_string(&out_path).ok();
     let merged = kernels::append_run(existing.as_deref(), &record);
     if let Err(e) = std::fs::write(&out_path, &merged) {
         eprintln!("error: could not write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("[kernel run '{label}' appended to {out_path}]");
+    println!("[kernel run '{label}' ({tier}) appended to {out_path}]");
 
     if let Some(path) = check_path {
         let committed = committed_reference.expect("read when --check was parsed");
-        let outcome = kernels::check_report(&report, &committed, CHECK_THRESHOLD);
+        let outcome = kernels::check_report(&report, &committed, CHECK_THRESHOLD, tier);
         // Fail loudly only when the committed trajectory records nothing
-        // at all; a run where every recorded workload happens to be
-        // unmeasured (e.g. after a rename) reports them as skipped below.
+        // for this tier at all; a run where every recorded workload
+        // happens to be unmeasured (e.g. after a rename) reports them as
+        // skipped below.
         if outcome.passed.is_empty() && outcome.regressions.is_empty() && outcome.skipped.is_empty()
         {
-            eprintln!("error: no recorded speedups found in {path}");
-            std::process::exit(1);
+            if kernels::last_run_speedups(&committed).is_empty() {
+                // The file records nothing for ANY tier: almost
+                // certainly the wrong path, not a fresh tier.
+                eprintln!("error: no recorded speedups found in {path}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "warning: no recorded run for tier '{tier}' in {path} — nothing gated \
+                 (the first run on a new tier is recorded, not judged)"
+            );
         }
         for (name, measured, recorded) in &outcome.passed {
             println!(

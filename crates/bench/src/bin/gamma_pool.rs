@@ -1,0 +1,115 @@
+//! Persistent-pool soak demo — the CI `pool-soak` entry point.
+//!
+//! ```text
+//! gamma_pool [--workers N] [--requests R] [--spawn-per-request]
+//!            [--out PATH] [--stream BITS] [--size WxH]
+//! ```
+//!
+//! Drives the shared [`osc_bench::soak`] schedule — `R` small
+//! alternating gamma/contrast image requests — through one of three
+//! serving modes, writes every output pixel's raw little-endian
+//! IEEE-754 bytes to `--out`, and prints a one-line timing summary:
+//!
+//! - `--workers N` (default 3): a persistent `N`-worker
+//!   [`PoolConfig`]-spawned pool, circuits cached worker-side — spawn +
+//!   build paid once for the whole stream;
+//! - `--workers 0`: the unsharded in-process row+lane pipeline;
+//! - `--spawn-per-request`: a fresh `N`-shard `ShardCoordinator` run
+//!   per request — the per-request-spawn baseline the pool amortizes.
+//!
+//! The determinism contract makes the output bytes **identical across
+//! all modes and worker counts**, so CI `cmp`s them directly; the
+//! timing lines are the amortization story. `gamma_sharded --requests`
+//! drives the same schedule, so both binaries are interchangeable
+//! entry points for local repros.
+
+use osc_bench::soak::{self, SoakConfig, SoakMode};
+use osc_core::batch::shard::pool::PoolConfig;
+use osc_core::batch::shard::{locate_worker, ShardCoordinator};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("gamma_pool: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut workers = 3usize;
+    let mut cfg = SoakConfig::default();
+    let mut spawn_per_request = false;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers needs an integer"))
+            }
+            "--requests" => {
+                cfg.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--requests needs an integer"))
+            }
+            "--spawn-per-request" => spawn_per_request = true,
+            "--out" => out_path = Some(value("--out")),
+            "--stream" => {
+                cfg.stream = value("--stream")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--stream needs an integer"))
+            }
+            "--size" => {
+                let v = value("--size");
+                let (w, h) = v
+                    .split_once('x')
+                    .unwrap_or_else(|| fail("--size needs WxH"));
+                cfg.width = w.parse().unwrap_or_else(|_| fail("--size needs WxH"));
+                cfg.height = h.parse().unwrap_or_else(|_| fail("--size needs WxH"));
+            }
+            other => fail(&format!(
+                "unknown argument {other}\nusage: gamma_pool [--workers N] [--requests R] \
+                 [--spawn-per-request] [--out PATH] [--stream BITS] [--size WxH]"
+            )),
+        }
+    }
+
+    let worker = || {
+        locate_worker("shard_worker").unwrap_or_else(|| {
+            fail("could not locate the shard_worker binary (build it, or set OSC_SHARD_WORKER)")
+        })
+    };
+    let (report, mode_name) = if workers == 0 {
+        let report = soak::run(&cfg, SoakMode::InProcess)
+            .unwrap_or_else(|e| fail(&format!("in-process soak: {e}")));
+        (report, "in-process".to_string())
+    } else if spawn_per_request {
+        let coordinator = ShardCoordinator::new(worker(), workers);
+        let report = soak::run(&cfg, SoakMode::Spawn(&coordinator))
+            .unwrap_or_else(|e| fail(&format!("spawn-per-request soak: {e}")));
+        (report, format!("spawn-per-request({workers})"))
+    } else {
+        let mut pool = PoolConfig::new(worker(), workers)
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("pool spawn: {e}")));
+        let report = soak::run(&cfg, SoakMode::Pool(&mut pool))
+            .unwrap_or_else(|e| fail(&format!("pooled soak: {e}")));
+        (report, format!("pool({workers})"))
+    };
+    println!(
+        "{}",
+        soak::summary_line("gamma_pool", &cfg, &mode_name, &report)
+    );
+
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &report.bytes) {
+            fail(&format!("writing {path}: {e}"));
+        }
+        println!(
+            "[gamma_pool] wrote {} pixel bytes to {path}",
+            report.bytes.len()
+        );
+    }
+}

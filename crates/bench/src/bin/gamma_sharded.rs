@@ -1,21 +1,31 @@
 //! Process-sharded gamma correction demo — the CI determinism smoke.
 //!
 //! ```text
-//! gamma_sharded [--shards N] [--out PATH] [--stream BITS] [--size WxH]
+//! gamma_sharded [--shards N | --workers N] [--requests R]
+//!               [--out PATH] [--stream BITS] [--size WxH]
 //! ```
 //!
-//! Runs the paper's Section V.C gamma-correction workload (order-6
-//! optical circuit) over a synthetic image, sharded across `N`
-//! `shard_worker` subprocesses (`--shards 0` runs the in-process
-//! row+lane pipeline instead), and writes every output pixel as its raw
-//! little-endian IEEE-754 bytes to `--out`. The sharding determinism
-//! contract makes those bytes **identical for every shard count**, so
-//! CI diffs `--shards 1` against `--shards 3` (and against the
-//! in-process `--shards 0`) with a plain `cmp`.
+//! Default mode: runs the paper's Section V.C gamma-correction workload
+//! (order-6 optical circuit) once over a synthetic image, sharded
+//! across `N` `shard_worker` subprocesses (`--shards 0` runs the
+//! in-process row+lane pipeline instead), and writes every output pixel
+//! as its raw little-endian IEEE-754 bytes to `--out`. The sharding
+//! determinism contract makes those bytes **identical for every shard
+//! count**, so CI diffs `--shards 1` against `--shards 3` (and against
+//! the in-process `--shards 0`) with a plain `cmp`.
+//!
+//! `--requests R` switches to the shared [`osc_bench::soak`] schedule —
+//! `R` small alternating gamma/contrast requests, each on a **freshly
+//! spawned** coordinator run (the per-request-spawn baseline) — writing
+//! the same concatenated bytes the `gamma_pool` binary produces in its
+//! modes, so the CI soak job and local repros share one entry point.
+//! `--workers` is an alias for `--shards`. Both modes print a one-line
+//! timing summary.
 
 use osc_apps::backend::OpticalBackend;
 use osc_apps::gamma_app::{self, paper_gamma_polynomial};
 use osc_apps::image::Image;
+use osc_bench::soak::{self, SoakConfig, SoakMode};
 use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::batch::BatchEvaluator;
 use osc_core::params::CircuitParams;
@@ -27,11 +37,22 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+fn write_bytes(path: &str, bytes: &[u8]) {
+    if let Err(e) = std::fs::write(path, bytes) {
+        fail(&format!("writing {path}: {e}"));
+    }
+    println!(
+        "[gamma_sharded] wrote {} pixel bytes to {path}",
+        bytes.len()
+    );
+}
+
 fn main() {
     let mut shards = 3usize;
+    let mut requests: Option<usize> = None;
     let mut out_path: Option<String> = None;
-    let mut stream = 512usize;
-    let mut size = (64usize, 64usize);
+    let mut stream: Option<usize> = None;
+    let mut size: Option<(usize, usize)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -39,39 +60,91 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("{what} needs a value")))
         };
         match arg.as_str() {
-            "--shards" => {
-                shards = value("--shards")
+            "--shards" | "--workers" => {
+                shards = value(&arg)
                     .parse()
-                    .unwrap_or_else(|_| fail("--shards needs an integer"))
+                    .unwrap_or_else(|_| fail(&format!("{arg} needs an integer")))
+            }
+            "--requests" => {
+                requests = Some(
+                    value("--requests")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--requests needs an integer")),
+                )
             }
             "--out" => out_path = Some(value("--out")),
             "--stream" => {
-                stream = value("--stream")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--stream needs an integer"))
+                stream = Some(
+                    value("--stream")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--stream needs an integer")),
+                )
             }
             "--size" => {
                 let v = value("--size");
                 let (w, h) = v
                     .split_once('x')
                     .unwrap_or_else(|| fail("--size needs WxH"));
-                size = (
+                size = Some((
                     w.parse().unwrap_or_else(|_| fail("--size needs WxH")),
                     h.parse().unwrap_or_else(|_| fail("--size needs WxH")),
-                );
+                ));
             }
             other => fail(&format!(
-                "unknown argument {other}\nusage: gamma_sharded [--shards N] [--out PATH] [--stream BITS] [--size WxH]"
+                "unknown argument {other}\nusage: gamma_sharded [--shards N | --workers N] \
+                 [--requests R] [--out PATH] [--stream BITS] [--size WxH]"
             )),
         }
     }
 
+    // Soak mode: the shared schedule, a fresh coordinator spawn per
+    // request (or the in-process pipeline with 0 workers) — byte-
+    // comparable against every gamma_pool mode.
+    if let Some(requests) = requests {
+        // Unset size/stream default to the shared SoakConfig — the same
+        // defaults gamma_pool uses — so the two binaries stay
+        // byte-comparable without explicit flags.
+        let defaults = SoakConfig::default();
+        let (width, height) = size.unwrap_or((defaults.width, defaults.height));
+        let cfg = SoakConfig {
+            requests,
+            width,
+            height,
+            stream: stream.unwrap_or(defaults.stream),
+        };
+        let (report, mode_name) = if shards == 0 {
+            let report = soak::run(&cfg, SoakMode::InProcess)
+                .unwrap_or_else(|e| fail(&format!("in-process soak: {e}")));
+            (report, "in-process".to_string())
+        } else {
+            let worker = locate_worker("shard_worker").unwrap_or_else(|| {
+                fail("could not locate the shard_worker binary (build it, or set OSC_SHARD_WORKER)")
+            });
+            let coordinator = ShardCoordinator::new(worker, shards);
+            let report = soak::run(&cfg, SoakMode::Spawn(&coordinator))
+                .unwrap_or_else(|e| fail(&format!("spawn-per-request soak: {e}")));
+            (report, format!("spawn-per-request({shards})"))
+        };
+        println!(
+            "{}",
+            soak::summary_line("gamma_sharded", &cfg, &mode_name, &report)
+        );
+        if let Some(path) = out_path {
+            write_bytes(&path, &report.bytes);
+        }
+        return;
+    }
+
+    // Legacy single-image defaults: the paper's 64×64 frame at 512 bits.
+    let size = size.unwrap_or((64, 64));
+    let stream = stream.unwrap_or(512);
     let image = Image::blobs(size.0, size.1);
     let poly = paper_gamma_polynomial().unwrap_or_else(|e| fail(&format!("gamma fit: {e}")));
     let params = CircuitParams::paper_fig7(6, Nanometers::new(0.165));
     let backend = OpticalBackend::new(params, poly, stream, 13)
         .unwrap_or_else(|e| fail(&format!("circuit build: {e}")));
 
+    let started = std::time::Instant::now();
     let produced = if shards == 0 {
         gamma_app::apply_optical_lanes(&image, &backend, &BatchEvaluator::new())
             .unwrap_or_else(|e| fail(&format!("in-process pipeline: {e}")))
@@ -83,13 +156,17 @@ fn main() {
         gamma_app::apply_optical_sharded(&image, &backend, &coordinator)
             .unwrap_or_else(|e| fail(&format!("sharded pipeline: {e}")))
     };
+    let elapsed = started.elapsed();
 
     let reference = image.map(|p| gamma_exact(p, DISPLAY_GAMMA));
     let psnr = produced.psnr_db(&reference).unwrap();
     let mae = produced.mae(&reference).unwrap();
     println!(
-        "[gamma_sharded] {}x{} stream={stream} shards={shards}: psnr {psnr:.2} dB, mae {mae:.4}",
-        size.0, size.1
+        "[gamma_sharded] {}x{} stream={stream} shards={shards}: psnr {psnr:.2} dB, mae {mae:.4}, \
+         total {:.3} s",
+        size.0,
+        size.1,
+        elapsed.as_secs_f64()
     );
 
     if let Some(path) = out_path {
@@ -97,12 +174,6 @@ fn main() {
         for &p in produced.pixels() {
             bytes.extend_from_slice(&p.to_bits().to_le_bytes());
         }
-        if let Err(e) = std::fs::write(&path, &bytes) {
-            fail(&format!("writing {path}: {e}"));
-        }
-        println!(
-            "[gamma_sharded] wrote {} pixel bytes to {path}",
-            bytes.len()
-        );
+        write_bytes(&path, &bytes);
     }
 }

@@ -5,15 +5,21 @@
 //! ```
 //!
 //! Speaks the framed binary protocol documented in
-//! [`osc_core::batch::shard`]: reads request frames from stdin until
-//! EOF, answering each with one response frame on stdout. Every
-//! expressible failure — malformed frames, invalid configurations,
+//! [`osc_core::batch::shard`] — both versions: one-shot v1 requests and
+//! the v2 pool protocol (request IDs, cached-circuit references; the
+//! last few built circuits persist across requests in an LRU cache, so
+//! a pool's repeat requests skip the rebuild). Reads request frames
+//! from stdin until EOF, answering each with one response frame on
+//! stdout in the version it arrived in. Every expressible failure —
+//! malformed frames, unknown protocol versions, invalid configurations,
 //! evaluation errors, caught panics — is reported *as an error
 //! response*, so a coordinator never sees this process abort on bad
-//! input; a non-zero exit happens only when the transport itself dies.
+//! input; a non-zero exit happens only when the transport itself dies
+//! (truncated frame, oversized length prefix, vanished pipe).
 //!
 //! The in-process thread count follows `OSC_THREADS` (the coordinator
-//! exports it when pinned via `ShardCoordinator::with_worker_threads`).
+//! exports it when pinned via `ShardCoordinator::with_worker_threads`
+//! or `PoolConfig::with_worker_threads`).
 
 use std::io::{BufReader, BufWriter};
 

@@ -12,6 +12,7 @@
 //! trajectory instead of a single snapshot (see [`append_run`]).
 
 use crate::microbench::Harness;
+use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::batch::BatchEvaluator;
 use osc_core::params::CircuitParams;
@@ -318,7 +319,7 @@ pub fn run(budget_ms: u64) -> KernelsReport {
         let backend_s2 = osc_apps::backend::OpticalBackend::new(params, poly_s, stream_s, 13)
             .expect("6th-order circuit builds");
         let one_thread = BatchEvaluator::with_threads(1);
-        let coordinator = ShardCoordinator::new(worker, 3);
+        let coordinator = ShardCoordinator::new(&worker, 3);
         comparisons.push(compare(
             &mut harness,
             "gamma_64x64_order6_sharded",
@@ -337,9 +338,79 @@ pub fn run(budget_ms: u64) -> KernelsReport {
                     .sum()
             },
         ));
+
+        // Pool amortization on the image workload: the same 64×64
+        // order-6 gamma image (stream 512), a fresh 3-worker coordinator
+        // spawn per request (baseline — what gamma_64x64_order6_sharded
+        // pays every call) against a persistent 3-worker pool whose
+        // processes and cached circuit survive across requests
+        // (optimized). Both sides produce byte-identical images; the
+        // ratio is pure spawn + circuit-rebuild amortization, so it
+        // holds on a single-core container too.
+        let image_q = osc_apps::image::Image::blobs(64, 64);
+        let image_q2 = image_q.clone();
+        let poly_q = osc_apps::gamma_app::paper_gamma_polynomial().expect("gamma fit");
+        let backend_q = osc_apps::backend::OpticalBackend::new(params, poly_q.clone(), stream, 13)
+            .expect("6th-order circuit builds");
+        let backend_q2 = osc_apps::backend::OpticalBackend::new(params, poly_q, stream, 13)
+            .expect("6th-order circuit builds");
+        let spawn_coordinator = ShardCoordinator::new(&worker, 3);
+        let mut warm_pool = PoolConfig::new(&worker, 3).spawn().expect("pool spawns");
+        comparisons.push(compare(
+            &mut harness,
+            "gamma_64x64_order6_pooled",
+            move || {
+                osc_apps::gamma_app::apply_optical_sharded(&image_q, &backend_q, &spawn_coordinator)
+                    .unwrap()
+                    .pixels()
+                    .iter()
+                    .sum()
+            },
+            move || {
+                osc_apps::gamma_app::apply_optical_pooled(&image_q2, &backend_q2, &mut warm_pool)
+                    .unwrap()
+                    .pixels()
+                    .iter()
+                    .sum()
+            },
+        ));
+
+        // The serving acceptance workload: the shared soak schedule —
+        // 16 tiny (4×4) alternating gamma/contrast requests at 1024-bit
+        // streams — per-request coordinator spawning (baseline) against
+        // a persistent 3-worker pool with warm circuit caches
+        // (optimized). This is the many-small-requests regime the
+        // ROADMAP's service story lives in: the baseline pays 3 spawns
+        // + a circuit build per request, the pool pays neither after
+        // the first two requests.
+        let soak_cfg = crate::soak::SoakConfig {
+            requests: 16,
+            width: 4,
+            height: 4,
+            stream: 1024,
+        };
+        let soak_spawn = ShardCoordinator::new(&worker, 3);
+        let mut soak_pool = PoolConfig::new(&worker, 3).spawn().expect("pool spawns");
+        comparisons.push(compare(
+            &mut harness,
+            "pool_small_requests_1024",
+            move || {
+                crate::soak::run(&soak_cfg, crate::soak::SoakMode::Spawn(&soak_spawn))
+                    .unwrap()
+                    .bytes
+                    .len() as f64
+            },
+            move || {
+                crate::soak::run(&soak_cfg, crate::soak::SoakMode::Pool(&mut soak_pool))
+                    .unwrap()
+                    .bytes
+                    .len() as f64
+            },
+        ));
     } else {
         eprintln!(
-            "[kernels] shard_worker binary not found — skipping gamma_64x64_order6_sharded \
+            "[kernels] shard_worker binary not found — skipping gamma_64x64_order6_sharded, \
+             gamma_64x64_order6_pooled and pool_small_requests_1024 \
              (build it with `cargo build -p osc-bench --bin shard_worker`)"
         );
     }
@@ -430,12 +501,17 @@ pub fn sanitize_label(label: &str) -> String {
 /// Renders one labelled run record. The per-run schema is the original
 /// single-run `BENCH_kernels.json` shape (a `benchmarks` array of
 /// name / baseline_ns / optimized_ns / speedup entries) plus a `label`
-/// identifying the PR or invocation that produced it. The label is
-/// passed through [`sanitize_label`], so a hostile one cannot corrupt
-/// the trajectory file.
-pub fn render_run(report: &KernelsReport, label: &str) -> String {
+/// identifying the PR or invocation that produced it and the SIMD
+/// `tier` the measurements ran under (kernel speedups are
+/// tier-relative, so the regression gate only compares like against
+/// like — see [`reference_run_speedups`]). Label and tier are passed
+/// through [`sanitize_label`], so a hostile one cannot corrupt the
+/// trajectory file.
+pub fn render_run(report: &KernelsReport, label: &str, tier: &str) -> String {
     let label = sanitize_label(label);
-    let mut out = format!("    {{\"label\": \"{label}\", \"benchmarks\": [\n");
+    let tier = sanitize_label(tier);
+    let mut out =
+        format!("    {{\"label\": \"{label}\", \"tier\": \"{tier}\", \"benchmarks\": [\n");
     for (i, c) in report.comparisons.iter().enumerate() {
         out.push_str(&format!(
             "      {{\"name\": \"{}\", \"baseline_ns\": {:.3}, \"optimized_ns\": {:.3}, \"speedup\": {:.3}}}{}\n",
@@ -520,18 +596,51 @@ pub fn append_run(existing: Option<&str>, run_record: &str) -> String {
     out
 }
 
-/// The `(name, speedup)` pairs of the trajectory's most recent run (or of
-/// a pre-trajectory single-run file) — what the CI regression gate
-/// compares fresh measurements against.
+/// The `"tier"` a run record declares, if any (records from before the
+/// tier-aware gate carry none).
+fn record_tier(record: &str) -> Option<&str> {
+    let start = record.find("\"tier\": \"")? + "\"tier\": \"".len();
+    let len = record[start..].find('"')?;
+    Some(&record[start..start + len])
+}
+
+/// The `(name, speedup)` pairs the regression gate compares a fresh
+/// run against, given the SIMD tier it was measured under. Kernel
+/// speedups are tier-relative (a vectorized workload's ratio collapses
+/// under forced-scalar dispatch by design, not by regression), so the
+/// reference is the trajectory's most recent run **recorded under the
+/// same tier**; when no tier-matching record exists the most recent
+/// *untagged* (pre-tier-schema) record is used, preserving the old
+/// behavior for old files; otherwise nothing is gated (first run on a
+/// new tier — recorded, not judged).
+pub fn reference_run_speedups(text: &str, tier: &str) -> Vec<(String, f64)> {
+    let Some(records) = extract_run_records(text) else {
+        return Vec::new();
+    };
+    let reference = records
+        .iter()
+        .rev()
+        .find(|r| record_tier(r) == Some(tier))
+        .or_else(|| records.iter().rev().find(|r| record_tier(r).is_none()));
+    reference.map(|r| record_speedups(r)).unwrap_or_default()
+}
+
+/// The `(name, speedup)` pairs of the trajectory's most recent run (or
+/// of a pre-trajectory single-run file), regardless of tier.
 pub fn last_run_speedups(text: &str) -> Vec<(String, f64)> {
     let Some(records) = extract_run_records(text) else {
         return Vec::new();
     };
-    let Some(last) = records.last() else {
-        return Vec::new();
-    };
+    match records.last() {
+        Some(last) => record_speedups(last),
+        None => Vec::new(),
+    }
+}
+
+/// Parses the `(name, speedup)` pairs out of one run record.
+fn record_speedups(record: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
-    let mut rest: &str = last;
+    let mut rest: &str = record;
     while let Some(pos) = rest.find("\"name\": \"") {
         let name_start = pos + "\"name\": \"".len();
         let Some(name_len) = rest[name_start..].find('"') else {
@@ -596,14 +705,20 @@ impl CheckOutcome {
     }
 }
 
-/// Gates `report` against the most recent run recorded in the committed
-/// trajectory text: a workload regresses when its fresh speedup falls
-/// below `threshold ×` the recorded one. Workloads without a prior
-/// trajectory entry are collected in
+/// Gates `report` against the committed trajectory's reference run for
+/// `tier` (see [`reference_run_speedups`]): a workload regresses when
+/// its fresh speedup falls below `threshold ×` the recorded one.
+/// Workloads without a prior trajectory entry are collected in
 /// [`CheckOutcome::new_workloads`] — recorded, never gated on their
-/// first run — so adding a benchmark can't fail CI by construction.
-pub fn check_report(report: &KernelsReport, committed: &str, threshold: f64) -> CheckOutcome {
-    let recorded = last_run_speedups(committed);
+/// first run — so adding a benchmark (or measuring a tier for the
+/// first time) can't fail CI by construction.
+pub fn check_report(
+    report: &KernelsReport,
+    committed: &str,
+    threshold: f64,
+    tier: &str,
+) -> CheckOutcome {
+    let recorded = reference_run_speedups(committed, tier);
     let mut outcome = CheckOutcome::default();
     for (name, recorded_speedup) in &recorded {
         let Some(measured) = report
@@ -649,22 +764,24 @@ mod tests {
         // has been built (cargo test builds it for this package's
         // integration tests, but a filtered build may not have).
         let expect_sharded = shard_worker_path().is_some();
-        assert_eq!(r.comparisons.len(), if expect_sharded { 9 } else { 8 });
+        assert_eq!(r.comparisons.len(), if expect_sharded { 11 } else { 8 });
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
-        let json = render_run(&r, "test");
+        let json = render_run(&r, "test", "scalar");
         assert!(json.contains("optical_evaluate_order2_16384"));
         assert!(json.contains("optical_evaluate_order2_16384_fused"));
         assert!(json.contains("sng_lanes8_xoshiro_16384"));
         assert!(json.contains("parallel_lanes_order2_16384"));
         assert!(json.contains("gamma_64x64_order6"));
         assert!(json.contains("gamma_64x64_order6_fused"));
-        assert_eq!(
-            json.contains("gamma_64x64_order6_sharded"),
-            expect_sharded,
-            "{json}"
-        );
+        for pool_workload in [
+            "gamma_64x64_order6_sharded",
+            "gamma_64x64_order6_pooled",
+            "pool_small_requests_1024",
+        ] {
+            assert_eq!(json.contains(pool_workload), expect_sharded, "{json}");
+        }
     }
 
     #[test]
@@ -673,7 +790,7 @@ mod tests {
         // hand-built JSON, so braces or quotes in a label broke the
         // brace-depth record splitter for every later append.
         let hostile = "evil{\"label\": \"fake\"}, \\ {{}}";
-        let r1 = append_run(None, &render_run(&sample_report(), hostile));
+        let r1 = append_run(None, &render_run(&sample_report(), hostile, "scalar"));
         // The rendered label is sanitized but still recognizable.
         assert!(r1.contains("evil('label': 'fake'), / (())"), "{r1}");
         assert!(!r1.contains('\\'), "{r1}");
@@ -684,7 +801,7 @@ mod tests {
         // starting over or splitting the hostile record in two.
         let mut faster = sample_report();
         faster.comparisons[0].optimized_ns = 10.0;
-        let r2 = append_run(Some(&r1), &render_run(&faster, "pr5"));
+        let r2 = append_run(Some(&r1), &render_run(&faster, "pr5", "scalar"));
         assert_eq!(r2.matches("\"label\"").count(), 2, "{r2}");
         let speedups = last_run_speedups(&r2);
         assert_eq!(speedups.len(), 2);
@@ -714,7 +831,7 @@ mod tests {
 
     #[test]
     fn append_run_starts_fresh_trajectory() {
-        let record = render_run(&sample_report(), "pr2");
+        let record = render_run(&sample_report(), "pr2", "scalar");
         let out = append_run(None, &record);
         assert!(out.starts_with("{\n  \"runs\": ["));
         let speedups = last_run_speedups(&out);
@@ -729,7 +846,7 @@ mod tests {
         // The pre-trajectory file shape (one top-level benchmarks array)
         // becomes the first labelled record.
         let old = "{\n  \"benchmarks\": [\n    {\"name\": \"alpha\", \"baseline_ns\": 100.000, \"optimized_ns\": 50.000, \"speedup\": 2.000}\n  ]\n}\n";
-        let record = render_run(&sample_report(), "pr2");
+        let record = render_run(&sample_report(), "pr2", "scalar");
         let out = append_run(Some(old), &record);
         assert!(out.contains("\"label\": \"pr1\""), "{out}");
         assert!(out.contains("\"label\": \"pr2\""));
@@ -741,15 +858,15 @@ mod tests {
 
     #[test]
     fn append_run_extends_trajectory() {
-        let r1 = append_run(None, &render_run(&sample_report(), "pr2"));
+        let r1 = append_run(None, &render_run(&sample_report(), "pr2", "scalar"));
         let mut faster = sample_report();
         faster.comparisons[0].optimized_ns = 10.0;
-        let r2 = append_run(Some(&r1), &render_run(&faster, "pr3"));
+        let r2 = append_run(Some(&r1), &render_run(&faster, "pr3", "scalar"));
         assert_eq!(r2.matches("\"label\"").count(), 2);
         let speedups = last_run_speedups(&r2);
         assert!((speedups[0].1 - 10.0).abs() < 1e-9, "{speedups:?}");
         // Still valid for a third append.
-        let r3 = append_run(Some(&r2), &render_run(&sample_report(), "pr4"));
+        let r3 = append_run(Some(&r2), &render_run(&sample_report(), "pr4", "scalar"));
         assert_eq!(r3.matches("\"label\"").count(), 3);
         assert_eq!(last_run_speedups(&r3).len(), 2);
     }
@@ -760,7 +877,7 @@ mod tests {
         // alpha regressed hard, beta holds, and a brand-new workload
         // appears must flag exactly alpha — the new workload is recorded
         // but not gated on its first run.
-        let committed = append_run(None, &render_run(&sample_report(), "pr2"));
+        let committed = append_run(None, &render_run(&sample_report(), "pr2", "scalar"));
         let fresh = KernelsReport {
             comparisons: vec![
                 KernelComparison {
@@ -780,7 +897,7 @@ mod tests {
                 },
             ],
         };
-        let outcome = check_report(&fresh, &committed, 0.8);
+        let outcome = check_report(&fresh, &committed, 0.8, "scalar");
         assert!(!outcome.is_ok());
         assert_eq!(outcome.regressions.len(), 1);
         let reg = &outcome.regressions[0];
@@ -797,7 +914,7 @@ mod tests {
 
     #[test]
     fn check_report_passes_at_the_floor_and_skips_unmeasured() {
-        let committed = append_run(None, &render_run(&sample_report(), "pr2"));
+        let committed = append_run(None, &render_run(&sample_report(), "pr2", "scalar"));
         // Exactly the floor (4.0 × 0.8 = 3.2) passes; beta unmeasured.
         let fresh = KernelsReport {
             comparisons: vec![KernelComparison {
@@ -806,15 +923,52 @@ mod tests {
                 optimized_ns: 100.0,
             }],
         };
-        let outcome = check_report(&fresh, &committed, 0.8);
+        let outcome = check_report(&fresh, &committed, 0.8, "scalar");
         assert!(outcome.is_ok(), "{outcome:?}");
         assert_eq!(outcome.skipped, vec!["beta".to_string()]);
         assert!(outcome.new_workloads.is_empty());
     }
 
     #[test]
+    fn check_report_compares_like_tier_against_like_tier() {
+        // Trajectory: an untagged legacy run (pr1 era), then an avx512
+        // run, then a scalar run where alpha is much slower (by design
+        // — it is a vectorized workload).
+        let legacy = "{\n  \"benchmarks\": [\n    {\"name\": \"alpha\", \"baseline_ns\": 100.000, \"optimized_ns\": 50.000, \"speedup\": 2.000}\n  ]\n}\n";
+        let mut scalar_report = sample_report();
+        scalar_report.comparisons[0].optimized_ns = 100.0; // alpha 1.0x scalar
+        let t1 = append_run(Some(legacy), &render_run(&sample_report(), "pr5", "avx512"));
+        let t2 = append_run(Some(&t1), &render_run(&scalar_report, "pr5", "scalar"));
+
+        // A fresh scalar run at scalar speeds passes the scalar gate —
+        // and would have failed against the avx512 record (1.0 < 0.8 ×
+        // 4.0).
+        let outcome = check_report(&scalar_report, &t2, 0.8, "scalar");
+        assert!(outcome.is_ok(), "{outcome:?}");
+        let avx_judged = check_report(&scalar_report, &t2, 0.8, "avx512");
+        assert!(!avx_judged.is_ok(), "cross-tier floors must differ");
+
+        // An avx512 run is judged against the avx512 record even though
+        // the scalar record is more recent.
+        let outcome = check_report(&sample_report(), &t2, 0.8, "avx512");
+        assert!(outcome.is_ok(), "{outcome:?}");
+
+        // A tier with no record falls back to the legacy untagged run
+        // when one exists...
+        let reference = reference_run_speedups(&t2, "avx2");
+        assert_eq!(reference, reference_run_speedups(legacy, "avx2"));
+        // ...and gates nothing when every record is tier-tagged.
+        let tagged_only = append_run(None, &render_run(&sample_report(), "pr5", "avx512"));
+        assert!(reference_run_speedups(&tagged_only, "avx2").is_empty());
+        let outcome = check_report(&sample_report(), &tagged_only, 0.8, "avx2");
+        assert!(outcome.is_ok());
+        assert!(outcome.passed.is_empty());
+        assert_eq!(outcome.new_workloads.len(), 2);
+    }
+
+    #[test]
     fn check_report_with_empty_trajectory_gates_nothing() {
-        let outcome = check_report(&sample_report(), "not json at all", 0.8);
+        let outcome = check_report(&sample_report(), "not json at all", 0.8, "scalar");
         assert!(outcome.is_ok());
         assert_eq!(outcome.new_workloads.len(), 2);
         assert!(outcome.passed.is_empty());
@@ -822,7 +976,10 @@ mod tests {
 
     #[test]
     fn unrecognized_trajectory_contents_start_fresh() {
-        let out = append_run(Some("not json at all"), &render_run(&sample_report(), "x"));
+        let out = append_run(
+            Some("not json at all"),
+            &render_run(&sample_report(), "x", "scalar"),
+        );
         assert_eq!(out.matches("\"label\"").count(), 1);
         assert_eq!(last_run_speedups("garbage"), Vec::new());
     }

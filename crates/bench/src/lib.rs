@@ -30,6 +30,7 @@ pub mod fig7;
 pub mod gamma;
 pub mod kernels;
 pub mod microbench;
+pub mod soak;
 
 /// Renders a labelled `paper vs measured` comparison line.
 pub fn compare_line(label: &str, paper: f64, measured: f64, unit: &str) -> String {

@@ -1,0 +1,195 @@
+//! The shared soak workload: a stream of small gamma/contrast image
+//! requests, runnable through any serving mode.
+//!
+//! This is the one request schedule the CI `pool-soak` job, the
+//! `gamma_pool` / `gamma_sharded` demo binaries and the
+//! `pool_small_requests_1024` trajectory workload all drive, so "pooled
+//! ≡ sharded ≡ unsharded" is checked (and timed) on **identical
+//! bytes** everywhere. Request `r` evaluates one small
+//! [`Image::blobs`] frame through the paper's order-6 gamma circuit
+//! when `r` is even and the order-3 smoothstep contrast circuit when
+//! `r` is odd, with a per-request backend seed — the alternating
+//! circuits keep both digests live in the workers' v2 circuit caches,
+//! so a pooled run exercises the cache-hit path on every request after
+//! the first two.
+//!
+//! Every mode produces the pixels of every request, concatenated in
+//! request order as little-endian IEEE-754 bit patterns
+//! ([`SoakReport::bytes`]) — byte-identical across modes by the
+//! sharding determinism contract, so a plain `cmp` is the whole
+//! equivalence check.
+
+use osc_apps::backend::OpticalBackend;
+use osc_apps::contrast::smoothstep_poly;
+use osc_apps::gamma_app::{self, paper_gamma_polynomial};
+use osc_apps::image::Image;
+use osc_apps::AppError;
+use osc_core::batch::shard::pool::WorkerPool;
+use osc_core::batch::shard::ShardCoordinator;
+use osc_core::batch::BatchEvaluator;
+use osc_core::params::CircuitParams;
+use osc_units::Nanometers;
+use std::time::{Duration, Instant};
+
+/// The request schedule: how many frames, their size, and the stream
+/// length per pixel evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakConfig {
+    /// How many requests to drive.
+    pub requests: usize,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Stream length (bits) per pixel evaluation.
+    pub stream: usize,
+}
+
+impl Default for SoakConfig {
+    /// A CI-sized schedule: 16 requests of 12×8 pixels at 128 bits.
+    fn default() -> Self {
+        SoakConfig {
+            requests: 16,
+            width: 12,
+            height: 8,
+            stream: 128,
+        }
+    }
+}
+
+/// Which serving architecture evaluates the requests.
+pub enum SoakMode<'a> {
+    /// The unsharded in-process row+lane pipeline — the reference.
+    InProcess,
+    /// A persistent [`WorkerPool`]: spawn + circuit build paid once.
+    Pool(&'a mut WorkerPool),
+    /// A [`ShardCoordinator`] per request: spawn + circuit build paid
+    /// on **every** request — the baseline the pool amortizes.
+    Spawn(&'a ShardCoordinator),
+}
+
+/// What a soak run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// Every output pixel of every request, in request order, as
+    /// little-endian IEEE-754 bit patterns — byte-identical across
+    /// [`SoakMode`]s.
+    pub bytes: Vec<u8>,
+    /// Requests driven.
+    pub requests: usize,
+    /// Wall-clock for the whole stream.
+    pub elapsed: Duration,
+}
+
+impl SoakReport {
+    /// Mean wall-clock per request, in milliseconds.
+    pub fn ms_per_request(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3 / self.requests.max(1) as f64
+    }
+}
+
+/// The backend seed of request `r` — deterministic and
+/// request-distinct, shared by every mode.
+fn request_seed(r: usize) -> u64 {
+    0x50C5 + 7919 * r as u64
+}
+
+/// Drives the soak schedule through `mode`.
+///
+/// # Errors
+///
+/// Propagates backend construction and evaluation failures (including
+/// shard/pool failures as [`AppError::Shard`]).
+pub fn run(cfg: &SoakConfig, mut mode: SoakMode<'_>) -> Result<SoakReport, AppError> {
+    let image = Image::blobs(cfg.width, cfg.height);
+    // The two circuits are fixed across the schedule: build each once
+    // and derive per-request backends via the cheap table-reusing
+    // `with_seed` clone, the same way a real service front-end would.
+    let gamma_base = OpticalBackend::new(
+        CircuitParams::paper_fig7(6, Nanometers::new(0.165)),
+        paper_gamma_polynomial()?,
+        cfg.stream,
+        0,
+    )?;
+    let contrast_base = OpticalBackend::new(
+        CircuitParams::paper_fig7(3, Nanometers::new(0.2)),
+        smoothstep_poly(),
+        cfg.stream,
+        0,
+    )?;
+    let evaluator = BatchEvaluator::new();
+    let mut bytes = Vec::with_capacity(cfg.requests * cfg.width * cfg.height * 8);
+    let started = Instant::now();
+    for r in 0..cfg.requests {
+        let backend = if r % 2 == 0 {
+            gamma_base.with_seed(request_seed(r))
+        } else {
+            contrast_base.with_seed(request_seed(r))
+        };
+        let produced = match &mut mode {
+            SoakMode::InProcess => gamma_app::apply_optical_lanes(&image, &backend, &evaluator)?,
+            SoakMode::Pool(pool) => gamma_app::apply_optical_pooled(&image, &backend, pool)?,
+            SoakMode::Spawn(coordinator) => {
+                gamma_app::apply_optical_sharded(&image, &backend, coordinator)?
+            }
+        };
+        for &p in produced.pixels() {
+            bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+    Ok(SoakReport {
+        bytes,
+        requests: cfg.requests,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Renders the one-line timing summary the demo binaries and the CI
+/// soak job print.
+pub fn summary_line(
+    binary: &str,
+    cfg: &SoakConfig,
+    mode_name: &str,
+    report: &SoakReport,
+) -> String {
+    format!(
+        "[{binary}] soak: {} requests ({}x{}, stream {}) via {mode_name}: total {:.3} s, {:.2} ms/request",
+        report.requests,
+        cfg.width,
+        cfg.height,
+        cfg.stream,
+        report.elapsed.as_secs_f64(),
+        report.ms_per_request()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..100).map(request_seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn in_process_soak_is_deterministic() {
+        let cfg = SoakConfig {
+            requests: 3,
+            width: 5,
+            height: 2,
+            stream: 64,
+        };
+        let a = run(&cfg, SoakMode::InProcess).unwrap();
+        let b = run(&cfg, SoakMode::InProcess).unwrap();
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.bytes.len(), 3 * 5 * 2 * 8);
+        let line = summary_line("test", &cfg, "in-process", &a);
+        assert!(line.contains("3 requests"), "{line}");
+        assert!(line.contains("ms/request"), "{line}");
+    }
+}

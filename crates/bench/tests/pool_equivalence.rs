@@ -1,0 +1,264 @@
+//! End-to-end persistent-pool equivalence: a [`WorkerPool`] of real
+//! `shard_worker` subprocesses must reproduce single-process results
+//! **byte for byte** — across worker counts, repeat requests (the
+//! warm circuit-cache path), forced cache misses, mid-stream worker
+//! kills and fatal errors — and every failure must surface as a
+//! [`ShardError`] value with the pool still usable afterwards.
+//!
+//! This suite owns the worker binary via `CARGO_BIN_EXE_shard_worker`;
+//! the in-memory v2 protocol properties live in
+//! `osc-core/tests/shard_equivalence.rs` and
+//! `osc-core/tests/protocol_robustness.rs`.
+
+use osc_apps::backend::OpticalBackend;
+use osc_apps::contrast::{run_contrast_lanes, run_contrast_pooled, smoothstep_poly};
+use osc_apps::gamma_app::{
+    apply_optical_lanes, apply_optical_pooled, paper_gamma_polynomial, run_gamma_lanes,
+    run_gamma_pooled,
+};
+use osc_apps::image::Image;
+use osc_bench::soak::{self, SoakConfig, SoakMode};
+use osc_core::batch::shard::pool::PoolConfig;
+use osc_core::batch::shard::{ShardCoordinator, ShardError, SngKind};
+use osc_core::batch::BatchEvaluator;
+use osc_core::params::CircuitParams;
+use osc_core::system::{OpticalRun, OpticalScSystem};
+use osc_stochastic::bernstein::BernsteinPoly;
+use osc_stochastic::sng::{ChaoticLaserSng, CounterSng, LfsrSng, XoshiroSng};
+use osc_units::Nanometers;
+
+const WORKER: &str = env!("CARGO_BIN_EXE_shard_worker");
+
+fn fig5_system() -> OpticalScSystem {
+    OpticalScSystem::new(
+        CircuitParams::paper_fig5(),
+        BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+    )
+    .unwrap()
+}
+
+fn reference_runs(
+    system: &OpticalScSystem,
+    kind: SngKind,
+    xs: &[f64],
+    stream_length: usize,
+    seed: u64,
+) -> Vec<OpticalRun> {
+    let ev = BatchEvaluator::with_threads(2);
+    match kind {
+        SngKind::Lfsr => ev.evaluate_many(
+            system,
+            xs,
+            stream_length,
+            |s| LfsrSng::new(16, s as u32).unwrap(),
+            seed,
+        ),
+        SngKind::Counter => {
+            ev.evaluate_many(system, xs, stream_length, |_| CounterSng::new(), seed)
+        }
+        SngKind::Xoshiro => ev.evaluate_many(system, xs, stream_length, XoshiroSng::new, seed),
+        SngKind::Chaotic => {
+            ev.evaluate_many(system, xs, stream_length, ChaoticLaserSng::seeded, seed)
+        }
+    }
+    .unwrap()
+}
+
+#[test]
+fn pooled_batches_match_single_process_for_all_sngs_and_worker_counts() {
+    let system = fig5_system();
+    let xs: Vec<f64> = (0..11).map(|i| i as f64 / 10.0).collect();
+    for workers in [1usize, 3] {
+        let mut pool = PoolConfig::new(WORKER, workers)
+            .with_worker_threads(1)
+            .spawn()
+            .unwrap();
+        for kind in SngKind::ALL {
+            let reference = reference_runs(&system, kind, &xs, 128, 7);
+            // Twice through the same pool: the first call ships the
+            // circuit inline, the second rides the cached reference —
+            // both must be byte-identical to the reference.
+            for round in 0..2 {
+                let pooled = pool.evaluate_many(&system, kind, &xs, 128, 7).unwrap();
+                assert_eq!(
+                    pooled,
+                    reference,
+                    "{} workers={workers} round={round}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_images_are_byte_identical_to_the_lanes_pipeline() {
+    let image = Image::blobs(13, 16); // width 13 → ragged 8+4+1 lane blocks
+    let gamma_poly = paper_gamma_polynomial().unwrap();
+    let gamma_backend = OpticalBackend::new(
+        CircuitParams::paper_fig7(6, Nanometers::new(0.165)),
+        gamma_poly,
+        256,
+        13,
+    )
+    .unwrap();
+    let contrast_backend = OpticalBackend::new(
+        CircuitParams::paper_fig7(3, Nanometers::new(0.2)),
+        smoothstep_poly(),
+        256,
+        5,
+    )
+    .unwrap();
+    let evaluator = BatchEvaluator::with_threads(2);
+    let gamma_ref = apply_optical_lanes(&image, &gamma_backend, &evaluator).unwrap();
+    let (contrast_ref, contrast_ref_mae) =
+        run_contrast_lanes(&image, &contrast_backend, &evaluator).unwrap();
+    let mut pool = PoolConfig::new(WORKER, 3).spawn().unwrap();
+    // Alternate gamma/contrast twice: both circuits stay cached, and
+    // every repetition must reproduce the in-process bytes exactly.
+    for round in 0..2 {
+        let gamma_pooled = apply_optical_pooled(&image, &gamma_backend, &mut pool).unwrap();
+        let identical = gamma_pooled
+            .pixels()
+            .iter()
+            .zip(gamma_ref.pixels())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "round {round}: pooled gamma bytes diverged");
+        let (contrast_pooled, contrast_mae) =
+            run_contrast_pooled(&image, &contrast_backend, &mut pool).unwrap();
+        assert_eq!(contrast_pooled, contrast_ref, "round {round}");
+        assert_eq!(contrast_mae, contrast_ref_mae, "round {round}");
+    }
+    // The derived gamma reports agree exactly too.
+    let lanes_report = run_gamma_lanes(&image, &gamma_backend, &evaluator).unwrap();
+    let pooled_report = run_gamma_pooled(&image, &gamma_backend, &mut pool).unwrap();
+    assert_eq!(pooled_report, lanes_report);
+}
+
+#[test]
+fn soak_modes_produce_identical_bytes() {
+    // The CI pool-soak contract in miniature: in-process, pooled and
+    // spawn-per-request runs of the shared schedule produce the same
+    // bytes.
+    let cfg = SoakConfig {
+        requests: 6,
+        width: 9,
+        height: 4,
+        stream: 64,
+    };
+    let in_process = soak::run(&cfg, SoakMode::InProcess).unwrap();
+    let mut pool = PoolConfig::new(WORKER, 3).spawn().unwrap();
+    let pooled = soak::run(&cfg, SoakMode::Pool(&mut pool)).unwrap();
+    let coordinator = ShardCoordinator::new(WORKER, 3);
+    let spawned = soak::run(&cfg, SoakMode::Spawn(&coordinator)).unwrap();
+    assert_eq!(pooled.bytes, in_process.bytes, "pool ≡ in-process");
+    assert_eq!(spawned.bytes, in_process.bytes, "spawn ≡ in-process");
+}
+
+#[test]
+fn killed_worker_mid_stream_is_respawned_with_identical_results() {
+    let system = fig5_system();
+    let xs: Vec<f64> = (0..9).map(|i| i as f64 / 8.0).collect();
+    let reference = reference_runs(&system, SngKind::Xoshiro, &xs, 128, 3);
+    let mut pool = PoolConfig::new(WORKER, 2).spawn().unwrap();
+    let before = pool
+        .evaluate_many(&system, SngKind::Xoshiro, &xs, 128, 3)
+        .unwrap();
+    assert_eq!(before, reference);
+    // Kill one worker out from under the pool, mid-stream.
+    let pids = pool.worker_pids();
+    assert_eq!(pids.len(), 2);
+    let status = std::process::Command::new("kill")
+        .args(["-9", &pids[0].to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill must succeed");
+    // The next call hits the dead worker, respawns it transparently and
+    // still produces the exact reference bytes (the respawned worker's
+    // cold cache forces the inline path — also byte-identical).
+    let after = pool
+        .evaluate_many(&system, SngKind::Xoshiro, &xs, 128, 3)
+        .unwrap();
+    assert_eq!(after, reference, "recovery must not change results");
+    let new_pids = pool.worker_pids();
+    assert_ne!(new_pids[0], pids[0], "the dead worker was respawned");
+}
+
+#[test]
+fn forced_cache_miss_falls_back_to_inline_transparently() {
+    // Poison the pool's cache mirror so its very first request ships as
+    // a cached reference the worker has never seen: the worker answers
+    // a clean cache miss, the pool resends inline, and the caller sees
+    // only the correct bytes.
+    let system = fig5_system();
+    let xs = [0.1, 0.5, 0.9];
+    let reference = reference_runs(&system, SngKind::Xoshiro, &xs, 96, 11);
+    let mut pool = PoolConfig::new(WORKER, 1).spawn().unwrap();
+    pool.assume_cached(system.circuit().params(), system.polynomial().coeffs());
+    let pooled = pool
+        .evaluate_many(&system, SngKind::Xoshiro, &xs, 96, 11)
+        .unwrap();
+    assert_eq!(pooled, reference, "cache-miss fallback must be invisible");
+    // And the digest is now genuinely cached: the repeat request rides
+    // the reference path for real.
+    let again = pool
+        .evaluate_many(&system, SngKind::Xoshiro, &xs, 96, 11)
+        .unwrap();
+    assert_eq!(again, reference);
+}
+
+#[test]
+fn fatal_errors_are_values_and_the_pool_survives_them() {
+    let system = fig5_system();
+    let mut pool = PoolConfig::new(WORKER, 2).spawn().unwrap();
+    // A deterministic rejection (out-of-range input) is a Remote error,
+    // not a retry loop...
+    let err = pool
+        .evaluate_many(&system, SngKind::Xoshiro, &[0.5, 1.5], 64, 1)
+        .unwrap_err();
+    match err {
+        ShardError::Remote { detail, .. } => assert!(detail.contains("outside"), "{detail}"),
+        other => panic!("expected a remote error, got {other}"),
+    }
+    // ...and the pool remains fully usable afterwards.
+    let xs = [0.25, 0.5, 0.75];
+    let reference = reference_runs(&system, SngKind::Xoshiro, &xs, 64, 1);
+    let recovered = pool
+        .evaluate_many(&system, SngKind::Xoshiro, &xs, 64, 1)
+        .unwrap();
+    assert_eq!(recovered, reference);
+}
+
+#[test]
+fn garbage_speaking_worker_fails_as_a_value() {
+    // /bin/echo "answers" with a newline and exits: an invalid frame
+    // prefix. The pool must retry on fresh processes and then fail with
+    // a clean Worker error — never a panic, hang or huge allocation.
+    let system = fig5_system();
+    let mut pool = PoolConfig::new("/bin/echo", 2)
+        .with_retries(1)
+        .spawn()
+        .unwrap();
+    let err = pool
+        .evaluate_many(&system, SngKind::Xoshiro, &[0.5], 64, 1)
+        .unwrap_err();
+    assert!(matches!(err, ShardError::Worker { .. }), "{err}");
+}
+
+#[test]
+fn pool_thread_pinning_does_not_change_results() {
+    let system = fig5_system();
+    let xs: Vec<f64> = (0..13).map(|i| i as f64 / 12.0).collect();
+    let mut pinned = PoolConfig::new(WORKER, 2)
+        .with_worker_threads(1)
+        .spawn()
+        .unwrap();
+    let mut free = PoolConfig::new(WORKER, 2).spawn().unwrap();
+    let a = pinned
+        .evaluate_many(&system, SngKind::Chaotic, &xs, 256, 11)
+        .unwrap();
+    let b = free
+        .evaluate_many(&system, SngKind::Chaotic, &xs, 256, 11)
+        .unwrap();
+    assert_eq!(a, b, "OSC_THREADS pinning must be unobservable");
+}

@@ -5,9 +5,16 @@
 //! pipelines — and fail *as values* when workers die (including a
 //! killed-worker recovery case riding the coordinator's retry).
 //!
+//! Since the pool landed, the coordinator is a one-shot facade over
+//! `pool::WorkerPool`, so this suite also pins the pool's spawn /
+//! dispatch / retry machinery end to end; the persistent-pool paths
+//! (warm caches, kill-mid-stream, cache-miss fallback) live in
+//! `pool_equivalence.rs`.
+//!
 //! This suite owns the worker binary via `CARGO_BIN_EXE_shard_worker`;
 //! the in-memory protocol properties live in
-//! `osc-core/tests/shard_equivalence.rs`.
+//! `osc-core/tests/shard_equivalence.rs` and
+//! `osc-core/tests/protocol_robustness.rs`.
 
 use osc_apps::backend::OpticalBackend;
 use osc_apps::contrast::{run_contrast_sharded, smoothstep_poly};

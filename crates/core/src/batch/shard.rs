@@ -12,11 +12,41 @@
 //!   items of this system" and the per-item [`OpticalRun`]s coming back;
 //! - [`serve`] — the worker side: a read-request/write-response loop any
 //!   binary can expose over stdin/stdout (the `osc-bench` crate ships it
-//!   as the `shard_worker` binary);
-//! - [`ShardCoordinator`] — the parent side: spawns one worker process
-//!   per shard via `std::process::Command`, feeds each its range,
-//!   collects responses and merges them in index order, with worker
-//!   failure detection and per-shard retry.
+//!   as the `shard_worker` binary), holding a small LRU cache of built
+//!   circuits across requests;
+//! - [`pool::WorkerPool`] — the long-lived parent side: spawns N worker
+//!   processes **once**, keeps them alive across requests, dispatches
+//!   round-robin, respawns + retries on worker death, and references
+//!   worker-cached circuits instead of reshipping them;
+//! - [`ShardCoordinator`] — the one-shot parent side: every call spawns
+//!   a fresh pool sized to the plan (acquire → run → drop), feeds each
+//!   worker its range, collects responses and merges them in index
+//!   order, with worker failure detection and per-shard retry.
+//!
+//! # One-shot vs pooled
+//!
+//! A [`ShardCoordinator`] pays process spawn + circuit construction on
+//! **every** call — the right trade for one big batch, and a bad one for
+//! a stream of small requests (the paper's image workloads are many
+//! small evaluations). A [`pool::WorkerPool`] pays both **once**:
+//!
+//! ```no_run
+//! use osc_core::batch::shard::{pool::PoolConfig, ShardCoordinator, SngKind};
+//! # fn demo(system: &osc_core::system::OpticalScSystem) -> Result<(), Box<dyn std::error::Error>> {
+//! // One-shot: spawn, evaluate, reap — per call.
+//! let coordinator = ShardCoordinator::new("shard_worker", 3);
+//! let once = coordinator.evaluate_many(system, SngKind::Xoshiro, &[0.5], 256, 7)?;
+//!
+//! // Pooled: spawn 3 workers once, then stream requests at them. The
+//! // workers cache the built circuit, so repeat requests skip both the
+//! // spawn and the rebuild. Results are bit-identical either way.
+//! let mut pool = PoolConfig::new("shard_worker", 3).spawn()?;
+//! for seed in 0..100u64 {
+//!     let runs = pool.evaluate_many(system, SngKind::Xoshiro, &[0.5], 256, seed)?;
+//!     assert_eq!(runs.len(), 1);
+//! }
+//! # Ok(()) }
+//! ```
 //!
 //! # Determinism contract
 //!
@@ -36,11 +66,16 @@
 //! # Wire protocol
 //!
 //! Both directions use the same framing: a little-endian `u64` payload
-//! length, then the payload. Integers are little-endian; every `f64` is
-//! its IEEE-754 bit pattern as a `u64`. A worker reads frames until EOF
-//! and answers each with exactly one response frame.
+//! length (capped at [`MAX_FRAME_BYTES`] — a garbled prefix is rejected
+//! before any allocation), then the payload. Integers are little-endian;
+//! every `f64` is its IEEE-754 bit pattern as a `u64`. A worker reads
+//! frames until EOF and answers each with exactly one response frame.
+//! Two payload versions coexist — the version word directly after the
+//! magic selects the decoder, and [`serve`] answers a frame in the
+//! version it arrived in, so v1 coordinators keep working against v2
+//! workers unchanged.
 //!
-//! Request payload:
+//! Version-1 request payload:
 //!
 //! ```text
 //! u32  magic  "OSCR" (0x4F53_4352)
@@ -60,15 +95,65 @@
 //!                count, count × f64 pixels (row-major)
 //! ```
 //!
-//! Response payload:
+//! Version-1 response payload:
 //!
 //! ```text
 //! u32  magic  "OSCA" (0x4F53_4341)
-//! u32  version (currently 1)
+//! u32  version (1)
 //! u8   status        0 = ok, 1 = error
 //! ok:    u64 run count, then per run: estimate, ideal_estimate, exact,
 //!        observed_ber (4 × f64) and stream_length (u64), in item order
 //! error: u64 message length, then that many UTF-8 bytes
+//! ```
+//!
+//! # Wire protocol v2 (request IDs + circuit cache)
+//!
+//! Version 2 adds what a persistent pool needs: a **request ID** echoed
+//! in every response (so one worker can serve interleaved requests from
+//! a coordinator and desyncs are detectable), and a **circuit-cache
+//! reference** so a stream of requests against the same circuit ships
+//! the parameters + coefficients once. The worker keeps the last
+//! [`CIRCUIT_CACHE_CAPACITY`] built [`OpticalScSystem`]s in LRU order,
+//! keyed by [`circuit_digest`] (FNV-1a over the canonical encoding of
+//! params + coefficients). Digest collisions cannot silently evaluate
+//! the wrong circuit: inline insertions compare the full encoded key
+//! and evict any same-digest entry with a different key (one circuit
+//! per digest, always), and [`pool::WorkerPool`] only sends a cached
+//! reference when the full key matches the circuit it last shipped
+//! inline under that digest — a collision costs rebuilds, never
+//! correctness.
+//!
+//! Version-2 request payload ([`encode_request_v2`] / [`decode_request_v2`]):
+//!
+//! ```text
+//! u32  magic  "OSCR"
+//! u32  version (2)
+//! u64  request id (opaque to the worker, echoed in the response)
+//! u8   circuit kind  0 = inline, 1 = cached reference
+//! u8   job kind      0 = Batch, 1 = ImageRows
+//! u8   SNG kind      0 = lfsr, 1 = counter, 2 = xoshiro, 3 = chaotic
+//! u8   reserved (0)
+//! u64  batch seed
+//! u64  stream length (bits per evaluation)
+//! inline:  CircuitParams + u64 coefficient count + coefficients
+//!          (worker builds — or reuses — the system and caches it
+//!          under its digest)
+//! cached:  u64 digest (worker looks the system up; a miss is answered
+//!          with a cache-miss response, never an evaluation)
+//! job body exactly as in version 1
+//! ```
+//!
+//! Version-2 response payload ([`encode_response_v2`] / [`decode_response_v2`]):
+//!
+//! ```text
+//! u32  magic  "OSCA"
+//! u32  version (2)
+//! u64  request id (echoed)
+//! u8   status        0 = ok, 1 = error, 2 = cache miss
+//! ok / error: exactly the version-1 bodies
+//! cache miss: u64 digest that was not found (the sender falls back to
+//!             an inline request; [`pool::WorkerPool`] does this
+//!             transparently)
 //! ```
 //!
 //! Errors cross the boundary **as values**: the worker validates the
@@ -87,17 +172,28 @@ use osc_stochastic::sng::{ChaoticLaserSng, CounterSng, LfsrSng, XoshiroSng};
 use osc_units::{DbRatio, Milliwatts, Nanometers};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+
+pub mod pool;
 
 /// Request frame magic, `"OSCR"`.
 pub const REQUEST_MAGIC: u32 = 0x4F53_4352;
 /// Response frame magic, `"OSCA"`.
 pub const RESPONSE_MAGIC: u32 = 0x4F53_4341;
-/// Protocol version spoken by this build.
+/// Original protocol version: one-shot requests, circuit always inline.
 pub const PROTOCOL_VERSION: u32 = 1;
-/// Upper bound accepted for any frame payload (guards a corrupted
-/// length prefix from driving an allocation).
-const MAX_FRAME_BYTES: u64 = 1 << 31;
+/// Pool protocol version: request IDs + worker-side circuit cache.
+pub const PROTOCOL_VERSION_V2: u32 = 2;
+/// Upper bound accepted for any frame payload: a corrupted or hostile
+/// length prefix is rejected with a clean protocol error **before** any
+/// allocation is attempted. 256 MiB comfortably covers the largest real
+/// request (a 4096×4096 image ships 128 MiB of pixels) while keeping a
+/// garbled prefix from driving a multi-gigabyte allocation. Responses
+/// carry 40 bytes per run, so the cap also bounds one shard to ~6.7M
+/// items per response — plan more shards for batches beyond that.
+pub const MAX_FRAME_BYTES: u64 = 256 * (1 << 20);
+/// How many built [`OpticalScSystem`]s a [`serve`] loop keeps, in LRU
+/// order, for v2 cached-circuit requests.
+pub const CIRCUIT_CACHE_CAPACITY: usize = 8;
 /// Register width used when a wire request selects the LFSR source; the
 /// per-item seed is truncated to the register. Width 16 is inside the
 /// supported `3..=32` range by construction, so the factory is
@@ -482,16 +578,69 @@ fn decode_params(c: &mut Cursor<'_>) -> Result<CircuitParams, String> {
     })
 }
 
+impl ShardJob {
+    fn kind(&self) -> u8 {
+        match self {
+            ShardJob::Batch { .. } => 0,
+            ShardJob::ImageRows { .. } => 1,
+        }
+    }
+}
+
+fn encode_job(buf: &mut Vec<u8>, job: &ShardJob) {
+    match job {
+        ShardJob::Batch { first_index, xs } => {
+            put_u64(buf, *first_index);
+            put_u64(buf, xs.len() as u64);
+            for &x in xs {
+                put_f64(buf, x);
+            }
+        }
+        ShardJob::ImageRows {
+            width,
+            first_row,
+            pixels,
+        } => {
+            put_u64(buf, *width);
+            put_u64(buf, *first_row);
+            put_u64(buf, pixels.len() as u64);
+            for &p in pixels {
+                put_f64(buf, p);
+            }
+        }
+    }
+}
+
+fn decode_job(c: &mut Cursor<'_>, job_kind: u8) -> Result<ShardJob, String> {
+    match job_kind {
+        0 => {
+            let first_index = c.u64()?;
+            let n = c.u64()?;
+            Ok(ShardJob::Batch {
+                first_index,
+                xs: c.f64_vec(n)?,
+            })
+        }
+        1 => {
+            let width = c.u64()?;
+            let first_row = c.u64()?;
+            let n = c.u64()?;
+            Ok(ShardJob::ImageRows {
+                width,
+                first_row,
+                pixels: c.f64_vec(n)?,
+            })
+        }
+        other => Err(format!("unknown job kind {other}")),
+    }
+}
+
 /// Serializes a request into one frame payload (no length prefix).
 pub fn encode_request(req: &ShardRequest) -> Vec<u8> {
     let mut buf = Vec::with_capacity(256);
     put_u32(&mut buf, REQUEST_MAGIC);
     put_u32(&mut buf, PROTOCOL_VERSION);
-    let (job_kind, _) = match &req.job {
-        ShardJob::Batch { .. } => (0u8, ()),
-        ShardJob::ImageRows { .. } => (1u8, ()),
-    };
-    buf.push(job_kind);
+    buf.push(req.job.kind());
     buf.push(req.sng.as_u8());
     buf.extend_from_slice(&0u16.to_le_bytes());
     put_u64(&mut buf, req.seed);
@@ -501,27 +650,7 @@ pub fn encode_request(req: &ShardRequest) -> Vec<u8> {
     for &c in &req.coeffs {
         put_f64(&mut buf, c);
     }
-    match &req.job {
-        ShardJob::Batch { first_index, xs } => {
-            put_u64(&mut buf, *first_index);
-            put_u64(&mut buf, xs.len() as u64);
-            for &x in xs {
-                put_f64(&mut buf, x);
-            }
-        }
-        ShardJob::ImageRows {
-            width,
-            first_row,
-            pixels,
-        } => {
-            put_u64(&mut buf, *width);
-            put_u64(&mut buf, *first_row);
-            put_u64(&mut buf, pixels.len() as u64);
-            for &p in pixels {
-                put_f64(&mut buf, p);
-            }
-        }
-    }
+    encode_job(&mut buf, &req.job);
     buf
 }
 
@@ -551,27 +680,7 @@ pub fn decode_request(payload: &[u8]) -> Result<ShardRequest, String> {
     let params = decode_params(&mut c)?;
     let n_coeffs = c.u64()?;
     let coeffs = c.f64_vec(n_coeffs)?;
-    let job = match job_kind {
-        0 => {
-            let first_index = c.u64()?;
-            let n = c.u64()?;
-            ShardJob::Batch {
-                first_index,
-                xs: c.f64_vec(n)?,
-            }
-        }
-        1 => {
-            let width = c.u64()?;
-            let first_row = c.u64()?;
-            let n = c.u64()?;
-            ShardJob::ImageRows {
-                width,
-                first_row,
-                pixels: c.f64_vec(n)?,
-            }
-        }
-        other => return Err(format!("unknown job kind {other}")),
-    };
+    let job = decode_job(&mut c, job_kind)?;
     if !c.finished() {
         return Err(format!(
             "{} trailing bytes after request",
@@ -682,6 +791,298 @@ pub fn decode_response(payload: &[u8]) -> Result<ShardResponse, String> {
 }
 
 // ---------------------------------------------------------------------
+// Protocol v2: request IDs + circuit-cache references
+// ---------------------------------------------------------------------
+
+/// How a v2 request names its circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitRef {
+    /// Parameters + coefficients shipped in full; the worker builds (or
+    /// reuses) the system and caches it under its digest.
+    Inline {
+        /// Full circuit parameter set.
+        params: CircuitParams,
+        /// Bernstein coefficients of the programmed polynomial.
+        coeffs: Vec<f64>,
+    },
+    /// Reference to a circuit a previous inline request cached on this
+    /// worker. An unknown digest is answered with
+    /// [`ShardResponseV2::CacheMiss`], never an evaluation.
+    Cached {
+        /// [`circuit_digest`] of the referenced circuit.
+        digest: u64,
+    },
+}
+
+/// One decoded v2 request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequestV2 {
+    /// Opaque to the worker; echoed verbatim in the response.
+    pub request_id: u64,
+    /// The circuit, inline or by cache reference.
+    pub circuit: CircuitRef,
+    /// Generator kind for every item.
+    pub sng: SngKind,
+    /// Batch seed the per-item universes derive from.
+    pub seed: u64,
+    /// Stream length (bits) per evaluation.
+    pub stream_length: u64,
+    /// The work itself.
+    pub job: ShardJob,
+}
+
+/// One v2 response, always echoing the request ID.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardResponseV2 {
+    /// Per-item runs, in item order.
+    Runs {
+        /// Echoed request ID.
+        request_id: u64,
+        /// Per-item runs.
+        runs: Vec<OpticalRun>,
+    },
+    /// The worker rejected the request or failed evaluating it.
+    Error {
+        /// Echoed request ID.
+        request_id: u64,
+        /// What went wrong, as the worker saw it.
+        message: String,
+    },
+    /// A [`CircuitRef::Cached`] digest was not in the worker's cache
+    /// (evicted, or the worker was respawned). The sender retries the
+    /// same request inline.
+    CacheMiss {
+        /// Echoed request ID.
+        request_id: u64,
+        /// The digest that missed.
+        digest: u64,
+    },
+}
+
+/// The canonical byte encoding a circuit is digested (and, for inline
+/// cache insertions, compared) under.
+fn circuit_key(params: &CircuitParams, coeffs: &[f64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(176 + coeffs.len() * 8);
+    encode_params(&mut buf, params);
+    put_u64(&mut buf, coeffs.len() as u64);
+    for &c in coeffs {
+        put_f64(&mut buf, c);
+    }
+    buf
+}
+
+/// FNV-1a digest of [`circuit_key`] — the key v2 cached-circuit
+/// references travel as. Workers verify inline insertions against the
+/// full key, so a collision can cost a rebuild but never a wrong
+/// evaluation.
+pub fn circuit_digest(params: &CircuitParams, coeffs: &[f64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in &circuit_key(params, coeffs) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serializes a [`ShardRequest`] as a v2 frame payload. With
+/// `cached_digest = Some(d)` the circuit travels as a cache reference
+/// `d` instead of inline parameters — the caller asserts a previous
+/// inline request cached it on the receiving worker (a stale assertion
+/// costs one [`ShardResponseV2::CacheMiss`] round trip, nothing more).
+pub fn encode_request_v2(
+    req: &ShardRequest,
+    request_id: u64,
+    cached_digest: Option<u64>,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256);
+    put_u32(&mut buf, REQUEST_MAGIC);
+    put_u32(&mut buf, PROTOCOL_VERSION_V2);
+    put_u64(&mut buf, request_id);
+    buf.push(u8::from(cached_digest.is_some()));
+    buf.push(req.job.kind());
+    buf.push(req.sng.as_u8());
+    buf.push(0); // reserved
+    put_u64(&mut buf, req.seed);
+    put_u64(&mut buf, req.stream_length);
+    match cached_digest {
+        Some(digest) => put_u64(&mut buf, digest),
+        None => {
+            encode_params(&mut buf, &req.params);
+            put_u64(&mut buf, req.coeffs.len() as u64);
+            for &c in &req.coeffs {
+                put_f64(&mut buf, c);
+            }
+        }
+    }
+    encode_job(&mut buf, &req.job);
+    buf
+}
+
+/// Parses a v2 request frame payload.
+///
+/// # Errors
+///
+/// A description of the first violation (bad magic, wrong version,
+/// unknown circuit/job/SNG tag, truncation, trailing bytes).
+pub fn decode_request_v2(payload: &[u8]) -> Result<ShardRequestV2, String> {
+    let mut c = Cursor::new(payload);
+    let magic = c.u32()?;
+    if magic != REQUEST_MAGIC {
+        return Err(format!("bad request magic {magic:#010x}"));
+    }
+    let version = c.u32()?;
+    if version != PROTOCOL_VERSION_V2 {
+        return Err(format!(
+            "not a v2 request (version {version}, expected {PROTOCOL_VERSION_V2})"
+        ));
+    }
+    let request_id = c.u64()?;
+    let circuit_kind = c.u8()?;
+    let job_kind = c.u8()?;
+    let sng = SngKind::from_u8(c.u8()?)?;
+    let _reserved = c.u8()?;
+    let seed = c.u64()?;
+    let stream_length = c.u64()?;
+    let circuit = match circuit_kind {
+        0 => {
+            let params = decode_params(&mut c)?;
+            let n_coeffs = c.u64()?;
+            CircuitRef::Inline {
+                params,
+                coeffs: c.f64_vec(n_coeffs)?,
+            }
+        }
+        1 => CircuitRef::Cached { digest: c.u64()? },
+        other => return Err(format!("unknown circuit kind {other}")),
+    };
+    let job = decode_job(&mut c, job_kind)?;
+    if !c.finished() {
+        return Err(format!(
+            "{} trailing bytes after v2 request",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(ShardRequestV2 {
+        request_id,
+        circuit,
+        sng,
+        seed,
+        stream_length,
+        job,
+    })
+}
+
+/// Serializes a v2 response into one frame payload (no length prefix).
+pub fn encode_response_v2(resp: &ShardResponseV2) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u32(&mut buf, RESPONSE_MAGIC);
+    put_u32(&mut buf, PROTOCOL_VERSION_V2);
+    match resp {
+        ShardResponseV2::Runs { request_id, runs } => {
+            put_u64(&mut buf, *request_id);
+            buf.push(0);
+            put_u64(&mut buf, runs.len() as u64);
+            for run in runs {
+                put_f64(&mut buf, run.estimate);
+                put_f64(&mut buf, run.ideal_estimate);
+                put_f64(&mut buf, run.exact);
+                put_f64(&mut buf, run.observed_ber);
+                put_u64(&mut buf, run.stream_length as u64);
+            }
+        }
+        ShardResponseV2::Error {
+            request_id,
+            message,
+        } => {
+            put_u64(&mut buf, *request_id);
+            buf.push(1);
+            put_u64(&mut buf, message.len() as u64);
+            buf.extend_from_slice(message.as_bytes());
+        }
+        ShardResponseV2::CacheMiss { request_id, digest } => {
+            put_u64(&mut buf, *request_id);
+            buf.push(2);
+            put_u64(&mut buf, *digest);
+        }
+    }
+    buf
+}
+
+/// Parses a v2 response frame payload.
+///
+/// # Errors
+///
+/// A description of the first violation (bad magic, wrong version,
+/// unknown status, truncation, trailing bytes).
+pub fn decode_response_v2(payload: &[u8]) -> Result<ShardResponseV2, String> {
+    let mut c = Cursor::new(payload);
+    let magic = c.u32()?;
+    if magic != RESPONSE_MAGIC {
+        return Err(format!("bad response magic {magic:#010x}"));
+    }
+    let version = c.u32()?;
+    if version != PROTOCOL_VERSION_V2 {
+        return Err(format!(
+            "not a v2 response (version {version}, expected {PROTOCOL_VERSION_V2})"
+        ));
+    }
+    let request_id = c.u64()?;
+    let resp = match c.u8()? {
+        0 => {
+            let count = c.u64()?;
+            let count =
+                usize::try_from(count).map_err(|_| "run count overflows usize".to_string())?;
+            if count
+                .checked_mul(40)
+                .is_none_or(|bytes| bytes > payload.len())
+            {
+                return Err(format!("declared {count} runs exceed the payload"));
+            }
+            let mut runs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let estimate = c.f64()?;
+                let ideal_estimate = c.f64()?;
+                let exact = c.f64()?;
+                let observed_ber = c.f64()?;
+                let stream_length = usize::try_from(c.u64()?)
+                    .map_err(|_| "stream length overflows usize".to_string())?;
+                runs.push(OpticalRun {
+                    estimate,
+                    ideal_estimate,
+                    exact,
+                    observed_ber,
+                    stream_length,
+                });
+            }
+            ShardResponseV2::Runs { request_id, runs }
+        }
+        1 => {
+            let len = c.u64()?;
+            let bytes = c.take(
+                usize::try_from(len).map_err(|_| "message length overflows usize".to_string())?,
+            )?;
+            ShardResponseV2::Error {
+                request_id,
+                message: String::from_utf8(bytes.to_vec())
+                    .map_err(|_| "non-UTF-8 error message")?,
+            }
+        }
+        2 => ShardResponseV2::CacheMiss {
+            request_id,
+            digest: c.u64()?,
+        },
+        other => return Err(format!("unknown response status {other}")),
+    };
+    if !c.finished() {
+        return Err(format!(
+            "{} trailing bytes after v2 response",
+            payload.len() - c.pos
+        ));
+    }
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------
 
@@ -741,19 +1142,45 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
 // Worker side
 // ---------------------------------------------------------------------
 
-/// Evaluates one request to runs, as a value — every failure (invalid
-/// params, degree mismatch, out-of-range input) comes back as `Err`.
-fn handle_request(req: &ShardRequest) -> Result<Vec<OpticalRun>, String> {
-    req.params.validate().map_err(|e| e.to_string())?;
-    let poly = BernsteinPoly::new(req.coeffs.clone()).map_err(|e| e.to_string())?;
-    let system = OpticalScSystem::new(req.params, poly).map_err(|e| e.to_string())?;
-    let stream_length = usize::try_from(req.stream_length)
-        .map_err(|_| "stream length overflows usize".to_string())?;
+/// Validates parameters + coefficients and builds the system, every
+/// failure as a value.
+fn build_system(params: &CircuitParams, coeffs: &[f64]) -> Result<OpticalScSystem, String> {
+    params.validate().map_err(|e| e.to_string())?;
+    let poly = BernsteinPoly::new(coeffs.to_vec()).map_err(|e| e.to_string())?;
+    OpticalScSystem::new(*params, poly).map_err(|e| e.to_string())
+}
+
+/// Evaluates one job on an already-built system, as a value — every
+/// failure (out-of-range input, ragged image payload) comes back as
+/// `Err`. Shared by the v1 and v2 request handlers, so both versions
+/// pin identical generator universes.
+fn evaluate_job(
+    system: &OpticalScSystem,
+    sng: SngKind,
+    seed: u64,
+    stream_length: u64,
+    job: &ShardJob,
+) -> Result<Vec<OpticalRun>, String> {
+    let stream_length =
+        usize::try_from(stream_length).map_err(|_| "stream length overflows usize".to_string())?;
+    // Refuse upfront a job whose response could not be framed — the
+    // coordinator side plans against the same bound, so this only
+    // triggers for foreign clients, before any evaluation work.
+    let runs = match job {
+        ShardJob::Batch { xs, .. } => xs.len(),
+        ShardJob::ImageRows { pixels, .. } => pixels.len(),
+    };
+    if response_frame_bound(runs) > MAX_FRAME_BYTES {
+        return Err(format!(
+            "a {runs}-run response would exceed the {MAX_FRAME_BYTES}-byte frame cap — \
+             split the job across more requests"
+        ));
+    }
     let evaluator = BatchEvaluator::new();
-    match &req.job {
-        ShardJob::Batch { first_index, xs } => dispatch_sng!(req.sng, factory => {
+    match job {
+        ShardJob::Batch { first_index, xs } => dispatch_sng!(sng, factory => {
             evaluator
-                .evaluate_range(&system, xs, stream_length, factory, req.seed, *first_index)
+                .evaluate_range(system, xs, stream_length, factory, seed, *first_index)
                 .map_err(|e| e.to_string())
         }),
         ShardJob::ImageRows {
@@ -771,21 +1198,27 @@ fn handle_request(req: &ShardRequest) -> Result<Vec<OpticalRun>, String> {
                     pixels.len()
                 ));
             }
-            dispatch_sng!(req.sng, factory => {
+            dispatch_sng!(sng, factory => {
                 image_rows_eval(
                     &evaluator,
-                    &system,
+                    system,
                     &factory,
                     width,
                     *first_row,
                     pixels,
                     stream_length,
-                    req.seed,
+                    seed,
                 )
                 .map_err(|e| e.to_string())
             })
         }
     }
+}
+
+/// Evaluates one v1 request to runs, as a value.
+fn handle_request(req: &ShardRequest) -> Result<Vec<OpticalRun>, String> {
+    let system = build_system(&req.params, &req.coeffs)?;
+    evaluate_job(&system, req.sng, req.seed, req.stream_length, &req.job)
 }
 
 /// The worker half of the image job: evaluates row-major pixels with the
@@ -839,36 +1272,173 @@ where
     Ok(out)
 }
 
-/// The worker loop: reads request frames from `input` until EOF,
-/// answering each with exactly one response frame on `output`.
-///
-/// Every failure mode that can be expressed as a value is: malformed
-/// requests, invalid configurations and evaluation errors come back as
-/// [`ShardResponse::Error`], and panics inside evaluation are caught and
-/// reported the same way — the process boundary only ever sees clean
-/// frames or EOF.
-///
-/// # Errors
-///
-/// Propagates I/O failures on the transport itself (a vanished pipe).
-pub fn serve<R: Read, W: Write>(mut input: R, mut output: W) -> std::io::Result<()> {
-    while let Some(payload) = read_frame(&mut input)? {
-        let response = match decode_request(&payload) {
-            Err(e) => ShardResponse::Error(format!("bad request: {e}")),
+/// The worker-side circuit cache: the last [`CIRCUIT_CACHE_CAPACITY`]
+/// built systems, most recently used first, keyed by digest and (for
+/// inline insertions) the full canonical key.
+struct CircuitCache {
+    entries: Vec<(u64, Vec<u8>, OpticalScSystem)>,
+}
+
+impl CircuitCache {
+    fn new() -> Self {
+        CircuitCache {
+            entries: Vec::with_capacity(CIRCUIT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Looks a digest up, refreshing its LRU position on a hit.
+    fn get(&mut self, digest: u64) -> Option<&OpticalScSystem> {
+        let idx = self.entries.iter().position(|&(d, _, _)| d == digest)?;
+        let entry = self.entries.remove(idx);
+        self.entries.insert(0, entry);
+        Some(&self.entries[0].2)
+    }
+
+    /// Resolves an inline circuit: reuses a cached system whose digest
+    /// AND full key match (so a digest collision rebuilds instead of
+    /// evaluating the wrong circuit), building otherwise. An insertion
+    /// evicts any same-digest entry with a *different* key, so a digest
+    /// maps to at most one cached system at all times — the invariant
+    /// that keeps [`CircuitRef::Cached`] lookups unambiguous (the
+    /// pool's key-checked mirror then guarantees a cached reference
+    /// can only ever resolve to the circuit it last shipped inline).
+    fn resolve_inline(
+        &mut self,
+        params: &CircuitParams,
+        coeffs: &[f64],
+    ) -> Result<&OpticalScSystem, String> {
+        let key = circuit_key(params, coeffs);
+        let digest = circuit_digest(params, coeffs);
+        match self
+            .entries
+            .iter()
+            .position(|(d, k, _)| *d == digest && *k == key)
+        {
+            Some(idx) => {
+                let entry = self.entries.remove(idx);
+                self.entries.insert(0, entry);
+            }
+            None => {
+                let system = build_system(params, coeffs)?;
+                self.entries.retain(|(d, _, _)| *d != digest);
+                self.entries.insert(0, (digest, key, system));
+                self.entries.truncate(CIRCUIT_CACHE_CAPACITY);
+            }
+        }
+        Ok(&self.entries[0].2)
+    }
+}
+
+/// Evaluates one v2 request against the worker's circuit cache.
+fn handle_request_v2(req: &ShardRequestV2, cache: &mut CircuitCache) -> ShardResponseV2 {
+    let request_id = req.request_id;
+    let system = match &req.circuit {
+        CircuitRef::Cached { digest } => match cache.get(*digest) {
+            Some(system) => system,
+            None => {
+                return ShardResponseV2::CacheMiss {
+                    request_id,
+                    digest: *digest,
+                }
+            }
+        },
+        CircuitRef::Inline { params, coeffs } => match cache.resolve_inline(params, coeffs) {
+            Ok(system) => system,
+            Err(message) => {
+                return ShardResponseV2::Error {
+                    request_id,
+                    message,
+                }
+            }
+        },
+    };
+    match evaluate_job(system, req.sng, req.seed, req.stream_length, &req.job) {
+        Ok(runs) => ShardResponseV2::Runs { request_id, runs },
+        Err(message) => ShardResponseV2::Error {
+            request_id,
+            message,
+        },
+    }
+}
+
+/// The request ID of a v2 frame, best effort — used to echo an ID even
+/// when the rest of the payload fails to decode.
+fn peek_request_id(payload: &[u8]) -> u64 {
+    payload
+        .get(8..16)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .unwrap_or(0)
+}
+
+/// Answers one already-read frame payload, in the protocol version it
+/// arrived in. Panics inside evaluation are caught and reported as
+/// error responses.
+fn answer_payload(payload: &[u8], cache: &mut CircuitCache) -> Vec<u8> {
+    let is_v2 = payload.len() >= 8
+        && payload[..4] == REQUEST_MAGIC.to_le_bytes()
+        && payload[4..8] == PROTOCOL_VERSION_V2.to_le_bytes();
+    if is_v2 {
+        let response = match decode_request_v2(payload) {
+            Err(e) => ShardResponseV2::Error {
+                request_id: peek_request_id(payload),
+                message: format!("bad request: {e}"),
+            },
             Ok(req) => {
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_request(&req)
+                    handle_request_v2(&req, cache)
                 })) {
-                    Ok(Ok(runs)) => ShardResponse::Runs(runs),
-                    Ok(Err(msg)) => ShardResponse::Error(msg),
-                    Err(panic) => ShardResponse::Error(format!(
-                        "worker panicked: {}",
-                        panic_message(panic.as_ref())
-                    )),
+                    Ok(resp) => resp,
+                    Err(panic) => ShardResponseV2::Error {
+                        request_id: req.request_id,
+                        message: format!("worker panicked: {}", panic_message(panic.as_ref())),
+                    },
                 }
             }
         };
-        write_frame(&mut output, &encode_response(&response))?;
+        return encode_response_v2(&response);
+    }
+    // v1 — and anything unrecognizable (bad magic, unknown version),
+    // which decode_request reports as a clean v1 error value.
+    let response = match decode_request(payload) {
+        Err(e) => ShardResponse::Error(format!("bad request: {e}")),
+        Ok(req) => {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_request(&req))) {
+                Ok(Ok(runs)) => ShardResponse::Runs(runs),
+                Ok(Err(msg)) => ShardResponse::Error(msg),
+                Err(panic) => ShardResponse::Error(format!(
+                    "worker panicked: {}",
+                    panic_message(panic.as_ref())
+                )),
+            }
+        }
+    };
+    encode_response(&response)
+}
+
+/// The worker loop: reads request frames from `input` until EOF,
+/// answering each with exactly one response frame on `output` — v1
+/// frames get v1 responses, v2 frames get v2 responses, and a circuit
+/// cache (capacity [`CIRCUIT_CACHE_CAPACITY`]) persists across requests
+/// for the v2 cached-circuit path.
+///
+/// Every failure mode that can be expressed as a value is: malformed
+/// requests, invalid configurations, unknown protocol versions and
+/// evaluation errors come back as error responses, and panics inside
+/// evaluation are caught and reported the same way — the process
+/// boundary only ever sees clean frames or EOF. The loop survives every
+/// answered error, so one bad request never costs a live worker.
+///
+/// # Errors
+///
+/// Propagates I/O failures on the transport itself (a vanished pipe, a
+/// truncated frame, a length prefix above [`MAX_FRAME_BYTES`]) — the
+/// cases where the stream cannot be resynchronized and exiting is the
+/// only safe answer; the coordinator sees a dead worker and retries on
+/// a fresh process.
+pub fn serve<R: Read, W: Write>(mut input: R, mut output: W) -> std::io::Result<()> {
+    let mut cache = CircuitCache::new();
+    while let Some(payload) = read_frame(&mut input)? {
+        write_frame(&mut output, &answer_payload(&payload, &mut cache))?;
         output.flush()?;
     }
     Ok(())
@@ -907,14 +1477,122 @@ pub fn locate_worker(name: &str) -> Option<PathBuf> {
         .find(|candidate| candidate.is_file())
 }
 
+/// Conservative upper bound on a request's encoded frame size, in
+/// bytes (v2 header + params + coefficients + job payload, with
+/// slack).
+fn request_frame_bound(req: &ShardRequest) -> u64 {
+    let items = match &req.job {
+        ShardJob::Batch { xs, .. } => xs.len(),
+        ShardJob::ImageRows { pixels, .. } => pixels.len(),
+    };
+    256 + (req.coeffs.len() as u64 + items as u64) * 8
+}
+
+/// The encoded size of a runs response carrying `runs` items (header +
+/// count + 40 bytes per run, with slack).
+fn response_frame_bound(runs: usize) -> u64 {
+    32 + runs as u64 * 40
+}
+
+/// Rejects a request whose encoded frame — or whose *response* frame —
+/// would exceed [`MAX_FRAME_BYTES`], so an over-large shard fails
+/// upfront as a clean plan error instead of after the worker has done
+/// all the work (the response cap bounds one shard to ~6.7M items).
+fn check_frame_bounds(req: &ShardRequest, expected: usize) -> Result<(), ShardError> {
+    let request = request_frame_bound(req);
+    if request > MAX_FRAME_BYTES {
+        return Err(ShardError::InvalidPlan(format!(
+            "request frame (~{request} bytes) exceeds the {MAX_FRAME_BYTES}-byte cap — \
+             split the batch across more shards"
+        )));
+    }
+    let response = response_frame_bound(expected);
+    if response > MAX_FRAME_BYTES {
+        return Err(ShardError::InvalidPlan(format!(
+            "a {expected}-run response (~{response} bytes) would exceed the \
+             {MAX_FRAME_BYTES}-byte cap — split the batch across more shards"
+        )));
+    }
+    Ok(())
+}
+
+/// Builds the per-shard batch requests for a plan over `xs`.
+fn batch_requests(
+    system: &OpticalScSystem,
+    sng: SngKind,
+    xs: &[f64],
+    stream_length: usize,
+    seed: u64,
+    shards: usize,
+) -> (Vec<ShardRequest>, Vec<usize>) {
+    let plan = ShardPlan::new(xs.len(), shards);
+    let requests = plan
+        .ranges()
+        .iter()
+        .map(|&(start, len)| ShardRequest {
+            params: *system.circuit().params(),
+            coeffs: system.polynomial().coeffs().to_vec(),
+            sng,
+            seed,
+            stream_length: stream_length as u64,
+            job: ShardJob::Batch {
+                first_index: start as u64,
+                xs: xs[start..start + len].to_vec(),
+            },
+        })
+        .collect();
+    let expected = plan.ranges().iter().map(|&(_, len)| len).collect();
+    (requests, expected)
+}
+
+/// Builds the per-shard image-row requests for a plan over the rows.
+fn image_requests(
+    system: &OpticalScSystem,
+    sng: SngKind,
+    width: usize,
+    pixels: &[f64],
+    stream_length: usize,
+    seed: u64,
+    shards: usize,
+) -> Result<(Vec<ShardRequest>, Vec<usize>), ShardError> {
+    if width == 0 || !pixels.len().is_multiple_of(width) {
+        return Err(ShardError::InvalidPlan(format!(
+            "pixel count {} is not a whole number of width-{width} rows",
+            pixels.len()
+        )));
+    }
+    let rows = pixels.len() / width;
+    let plan = ShardPlan::new(rows, shards);
+    let requests = plan
+        .ranges()
+        .iter()
+        .map(|&(start, len)| ShardRequest {
+            params: *system.circuit().params(),
+            coeffs: system.polynomial().coeffs().to_vec(),
+            sng,
+            seed,
+            stream_length: stream_length as u64,
+            job: ShardJob::ImageRows {
+                width: width as u64,
+                first_row: start as u64,
+                pixels: pixels[start * width..(start + len) * width].to_vec(),
+            },
+        })
+        .collect();
+    let expected = plan.ranges().iter().map(|&(_, len)| len * width).collect();
+    Ok((requests, expected))
+}
+
 /// Spawns worker subprocesses and distributes a batch across them.
 ///
-/// Each shard gets one fresh process of the configured worker binary
-/// (speaking the module's wire protocol over stdin/stdout), receives its
-/// contiguous range, and is reaped after its single response. Failed
-/// shards are retried on fresh processes ([`ShardCoordinator::retries`]
+/// Since the pool landed this is the **one-shot** facade over
+/// [`pool::WorkerPool`]: every call spawns a fresh pool with one worker
+/// per shard, feeds each worker its contiguous range, merges the
+/// responses in index order and reaps the pool. Failed shards are
+/// retried on fresh processes ([`ShardCoordinator::with_retries`]
 /// times, default 1) before the batch fails — a killed worker costs a
-/// respawn, not the batch.
+/// respawn, not the batch. For a stream of requests, hold a
+/// [`pool::WorkerPool`] instead and pay the spawn once.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardCoordinator {
     worker: PathBuf,
@@ -977,23 +1655,8 @@ impl ShardCoordinator {
         stream_length: usize,
         seed: u64,
     ) -> Result<Vec<OpticalRun>, ShardError> {
-        let plan = ShardPlan::new(xs.len(), self.shards);
-        let requests: Vec<ShardRequest> = plan
-            .ranges()
-            .iter()
-            .map(|&(start, len)| ShardRequest {
-                params: *system.circuit().params(),
-                coeffs: system.polynomial().coeffs().to_vec(),
-                sng,
-                seed,
-                stream_length: stream_length as u64,
-                job: ShardJob::Batch {
-                    first_index: start as u64,
-                    xs: xs[start..start + len].to_vec(),
-                },
-            })
-            .collect();
-        let expected: Vec<usize> = plan.ranges().iter().map(|&(_, len)| len).collect();
+        let (requests, expected) =
+            batch_requests(system, sng, xs, stream_length, seed, self.shards);
         let merged = self.run_requests(&requests, &expected)?;
         Ok(merged.into_iter().flatten().collect())
     }
@@ -1017,185 +1680,31 @@ impl ShardCoordinator {
         stream_length: usize,
         seed: u64,
     ) -> Result<Vec<OpticalRun>, ShardError> {
-        if width == 0 || !pixels.len().is_multiple_of(width) {
-            return Err(ShardError::InvalidPlan(format!(
-                "pixel count {} is not a whole number of width-{width} rows",
-                pixels.len()
-            )));
-        }
-        let rows = pixels.len() / width;
-        let plan = ShardPlan::new(rows, self.shards);
-        let requests: Vec<ShardRequest> = plan
-            .ranges()
-            .iter()
-            .map(|&(start, len)| ShardRequest {
-                params: *system.circuit().params(),
-                coeffs: system.polynomial().coeffs().to_vec(),
-                sng,
-                seed,
-                stream_length: stream_length as u64,
-                job: ShardJob::ImageRows {
-                    width: width as u64,
-                    first_row: start as u64,
-                    pixels: pixels[start * width..(start + len) * width].to_vec(),
-                },
-            })
-            .collect();
-        let expected: Vec<usize> = plan.ranges().iter().map(|&(_, len)| len * width).collect();
+        let (requests, expected) =
+            image_requests(system, sng, width, pixels, stream_length, seed, self.shards)?;
         let merged = self.run_requests(&requests, &expected)?;
         Ok(merged.into_iter().flatten().collect())
     }
 
-    /// Runs one request per shard, all workers in flight concurrently,
-    /// and returns their runs in shard order.
+    /// Runs one request per shard on a freshly spawned one-shot pool —
+    /// all workers in flight concurrently — and returns their runs in
+    /// shard order.
     fn run_requests(
         &self,
         requests: &[ShardRequest],
         expected: &[usize],
     ) -> Result<Vec<Vec<OpticalRun>>, ShardError> {
-        // Launch every shard before collecting any: the subprocesses
-        // compute in parallel while responses are drained in plan order.
-        let mut children: Vec<Result<Child, WorkerFailure>> = requests
-            .iter()
-            .map(|req| self.spawn_and_send(req))
-            .collect();
-        // `Child` does not reap on drop, so every early-error return
-        // must kill + wait the still-pending workers of later shards or
-        // they linger as zombies for the life of this process.
-        let reap_pending = |children: &mut Vec<Result<Child, WorkerFailure>>| {
-            for slot in children.iter_mut() {
-                if let Ok(child) = slot.as_mut() {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
-                *slot = Err(WorkerFailure::Transport("reaped".into()));
-            }
-        };
-        let mut outputs = Vec::with_capacity(requests.len());
-        for (shard, req) in requests.iter().enumerate() {
-            let mut attempt = std::mem::replace(
-                &mut children[shard],
-                Err(WorkerFailure::Transport("taken".into())),
-            );
-            let mut failure: Option<WorkerFailure> = None;
-            let mut runs = None;
-            for retry in 0..=self.retries {
-                let outcome = match attempt {
-                    Ok(child) => self.collect(child, expected[shard]),
-                    Err(e) => Err(e),
-                };
-                match outcome {
-                    Ok(r) => {
-                        runs = Some(r);
-                        break;
-                    }
-                    Err(WorkerFailure::Remote(msg)) => {
-                        // The worker evaluated the request and rejected
-                        // it; retrying cannot change a deterministic
-                        // answer.
-                        reap_pending(&mut children);
-                        return Err(ShardError::Remote { shard, detail: msg });
-                    }
-                    Err(other) => {
-                        failure = Some(other);
-                        if retry == self.retries {
-                            break;
-                        }
-                        attempt = self.spawn_and_send(req);
-                    }
-                }
-            }
-            match runs {
-                Some(r) => outputs.push(r),
-                None => {
-                    reap_pending(&mut children);
-                    return Err(
-                        match failure
-                            .unwrap_or_else(|| WorkerFailure::Transport("unknown failure".into()))
-                        {
-                            WorkerFailure::Spawn(detail) => ShardError::Spawn { shard, detail },
-                            WorkerFailure::Transport(detail) => {
-                                ShardError::Worker { shard, detail }
-                            }
-                            WorkerFailure::Remote(detail) => ShardError::Remote { shard, detail },
-                        },
-                    );
-                }
-            }
+        if requests.is_empty() {
+            return Ok(Vec::new());
         }
-        Ok(outputs)
-    }
-
-    fn spawn_and_send(&self, req: &ShardRequest) -> Result<Child, WorkerFailure> {
-        let mut command = Command::new(&self.worker);
-        command
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null());
+        let mut config =
+            pool::PoolConfig::new(&self.worker, requests.len()).with_retries(self.retries);
         if let Some(threads) = self.worker_threads {
-            command.env(super::THREADS_ENV, threads.to_string());
+            config = config.with_worker_threads(threads);
         }
-        let mut child = command.spawn().map_err(|e| {
-            WorkerFailure::Spawn(format!("spawning {}: {e}", self.worker.display()))
-        })?;
-        let mut stdin = child.stdin.take().expect("stdin was piped");
-        let sent = write_frame(&mut stdin, &encode_request(req));
-        // Dropping stdin closes the pipe: the worker answers this one
-        // request, sees EOF and exits.
-        drop(stdin);
-        if let Err(e) = sent {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(WorkerFailure::Transport(format!("writing request: {e}")));
-        }
-        Ok(child)
+        let mut pool = config.spawn()?;
+        pool.run_requests(requests, expected)
     }
-
-    fn collect(&self, mut child: Child, expected: usize) -> Result<Vec<OpticalRun>, WorkerFailure> {
-        let mut stdout = child.stdout.take().expect("stdout was piped");
-        let frame = read_frame(&mut stdout);
-        // Reap the process before interpreting the frame so a crashed
-        // worker reports its exit status, not just a bare EOF.
-        drop(stdout);
-        let status = child.wait();
-        let payload = match frame {
-            Ok(Some(payload)) => payload,
-            Ok(None) => {
-                let status = status
-                    .map(|s| s.to_string())
-                    .unwrap_or_else(|e| format!("unknown ({e})"));
-                return Err(WorkerFailure::Transport(format!(
-                    "worker exited without responding ({status})"
-                )));
-            }
-            Err(e) => return Err(WorkerFailure::Transport(format!("reading response: {e}"))),
-        };
-        match decode_response(&payload) {
-            Ok(ShardResponse::Runs(runs)) => {
-                if runs.len() != expected {
-                    return Err(WorkerFailure::Transport(format!(
-                        "worker returned {} runs, expected {expected}",
-                        runs.len()
-                    )));
-                }
-                Ok(runs)
-            }
-            Ok(ShardResponse::Error(msg)) => Err(WorkerFailure::Remote(msg)),
-            Err(e) => Err(WorkerFailure::Transport(format!("malformed response: {e}"))),
-        }
-    }
-}
-
-/// Distinguishes retryable failures (and which side they sit on) from a
-/// worker's deterministic rejection of the request.
-enum WorkerFailure {
-    /// The process could not be launched — retried, and reported as
-    /// [`ShardError::Spawn`] once retries are exhausted.
-    Spawn(String),
-    /// The process died or spoke garbage — retry on a fresh one.
-    Transport(String),
-    /// The worker answered cleanly with an error — not retryable.
-    Remote(String),
 }
 
 #[cfg(test)]
@@ -1325,6 +1834,176 @@ mod tests {
     }
 
     #[test]
+    fn unframeable_shards_fail_as_plan_errors_before_any_work() {
+        // A shard whose response could not fit in one frame must be
+        // rejected upfront — not after minutes of evaluation.
+        let req = fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5], // stand-in; the expected count carries the size
+        });
+        let too_many_runs = (MAX_FRAME_BYTES / 40 + 1) as usize;
+        let err = check_frame_bounds(&req, too_many_runs).unwrap_err();
+        assert!(
+            matches!(err, ShardError::InvalidPlan(ref msg) if msg.contains("response")),
+            "{err}"
+        );
+        // A request body over the cap is equally a plan error. Claiming
+        // a huge coefficient vector stands in for actually allocating
+        // gigabytes of inputs.
+        let mut huge = fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        });
+        huge.coeffs = vec![0.5; (MAX_FRAME_BYTES / 8 + 1) as usize];
+        let err = check_frame_bounds(&huge, 1).unwrap_err();
+        assert!(
+            matches!(err, ShardError::InvalidPlan(ref msg) if msg.contains("request")),
+            "{err}"
+        );
+        // Ordinary shards pass with room to spare.
+        check_frame_bounds(&req, 1).unwrap();
+        check_frame_bounds(&req, 1_000_000).unwrap();
+        // The worker enforces the same response bound as a value.
+        let sys = OpticalScSystem::new(
+            CircuitParams::paper_fig5(),
+            BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+        )
+        .unwrap();
+        let msg = evaluate_job(
+            &sys,
+            SngKind::Xoshiro,
+            1,
+            64,
+            &ShardJob::Batch {
+                first_index: 0,
+                xs: vec![0.0; too_many_runs],
+            },
+        )
+        .unwrap_err();
+        assert!(msg.contains("frame cap"), "{msg}");
+    }
+
+    #[test]
+    fn v2_requests_roundtrip_inline_and_cached() {
+        let base = fig5_request(ShardJob::Batch {
+            first_index: 3,
+            xs: vec![0.0, 1.0, 0.123_456_789, f64::MIN_POSITIVE],
+        });
+        // Inline: the circuit travels in full.
+        let decoded = decode_request_v2(&encode_request_v2(&base, 0xFEED, None)).unwrap();
+        assert_eq!(decoded.request_id, 0xFEED);
+        assert_eq!(decoded.sng, base.sng);
+        assert_eq!(decoded.seed, base.seed);
+        assert_eq!(decoded.stream_length, base.stream_length);
+        assert_eq!(decoded.job, base.job);
+        match &decoded.circuit {
+            CircuitRef::Inline { params, coeffs } => {
+                assert_eq!(*params, base.params);
+                assert_eq!(*coeffs, base.coeffs);
+            }
+            other => panic!("expected inline circuit, got {other:?}"),
+        }
+        // Cached: only the digest travels.
+        let digest = circuit_digest(&base.params, &base.coeffs);
+        let frame = encode_request_v2(&base, 7, Some(digest));
+        assert!(
+            frame.len() < encode_request_v2(&base, 7, None).len(),
+            "cached reference must be smaller than the inline form"
+        );
+        let decoded = decode_request_v2(&frame).unwrap();
+        assert_eq!(decoded.circuit, CircuitRef::Cached { digest });
+        // Image jobs ride v2 unchanged.
+        let img = fig5_request(ShardJob::ImageRows {
+            width: 3,
+            first_row: 7,
+            pixels: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        });
+        let decoded = decode_request_v2(&encode_request_v2(&img, 1, None)).unwrap();
+        assert_eq!(decoded.job, img.job);
+    }
+
+    #[test]
+    fn v2_responses_roundtrip_all_statuses() {
+        let runs = ShardResponseV2::Runs {
+            request_id: 42,
+            runs: vec![OpticalRun {
+                estimate: 0.5,
+                ideal_estimate: 0.51,
+                exact: 0.52,
+                observed_ber: 1e-6,
+                stream_length: 1024,
+            }],
+        };
+        assert_eq!(
+            decode_response_v2(&encode_response_v2(&runs)).unwrap(),
+            runs
+        );
+        let err = ShardResponseV2::Error {
+            request_id: 43,
+            message: "no circuit for you".into(),
+        };
+        assert_eq!(decode_response_v2(&encode_response_v2(&err)).unwrap(), err);
+        let miss = ShardResponseV2::CacheMiss {
+            request_id: 44,
+            digest: 0xDEAD_BEEF,
+        };
+        assert_eq!(
+            decode_response_v2(&encode_response_v2(&miss)).unwrap(),
+            miss
+        );
+        // A v1 response is not mistaken for v2, and vice versa.
+        let v1 = encode_response(&ShardResponse::Error("old".into()));
+        assert!(decode_response_v2(&v1).unwrap_err().contains("version"));
+        assert!(decode_response(&encode_response_v2(&miss))
+            .unwrap_err()
+            .contains("version"));
+    }
+
+    #[test]
+    fn circuit_digest_separates_circuits() {
+        let params = CircuitParams::paper_fig5();
+        let coeffs = [0.25, 0.625, 0.75];
+        let d = circuit_digest(&params, &coeffs);
+        assert_eq!(d, circuit_digest(&params, &coeffs), "digest is stable");
+        assert_ne!(d, circuit_digest(&params, &[0.25, 0.625, 0.76]));
+        let mut other = params;
+        other.order = 3;
+        assert_ne!(d, circuit_digest(&other, &coeffs));
+    }
+
+    #[test]
+    fn v2_decode_rejects_malformed_payloads() {
+        let req = fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        });
+        let good = encode_request_v2(&req, 9, None);
+        // Truncation at every length: never a panic, always an Err.
+        for cut in 0..good.len() {
+            assert!(decode_request_v2(&good[..cut]).is_err(), "cut={cut}");
+        }
+        // Unknown circuit kind.
+        let mut bad = good.clone();
+        bad[16] = 9;
+        assert!(decode_request_v2(&bad).unwrap_err().contains("circuit"));
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(decode_request_v2(&bad).unwrap_err().contains("trailing"));
+        // A v1 frame is cleanly rejected by the v2 decoder.
+        let v1 = encode_request(&req);
+        assert!(decode_request_v2(&v1).unwrap_err().contains("version"));
+        // Response-side truncation sweep.
+        let resp = encode_response_v2(&ShardResponseV2::CacheMiss {
+            request_id: 1,
+            digest: 2,
+        });
+        for cut in 0..resp.len() {
+            assert!(decode_response_v2(&resp[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
     fn framing_roundtrips_and_detects_truncation() {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello").unwrap();
@@ -1338,10 +2017,14 @@ mod tests {
         assert!(read_frame(&mut truncated).is_err());
         let mut mid_payload = &buf[..10];
         assert!(read_frame(&mut mid_payload).is_err());
-        // A hostile length prefix is rejected before allocating.
-        let mut hostile = Vec::new();
-        hostile.extend_from_slice(&u64::MAX.to_le_bytes());
-        assert!(read_frame(&mut &hostile[..]).is_err());
+        // A hostile length prefix is rejected before allocating — both
+        // the absurd and the just-past-the-cap case.
+        for prefix in [u64::MAX, MAX_FRAME_BYTES + 1] {
+            let mut hostile = Vec::new();
+            hostile.extend_from_slice(&prefix.to_le_bytes());
+            let err = read_frame(&mut &hostile[..]).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{prefix}");
+        }
     }
 
     /// Drives a request through the in-process worker loop.

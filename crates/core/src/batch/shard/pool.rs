@@ -1,0 +1,677 @@
+//! Persistent shard-worker pools: spawn once, serve many requests.
+//!
+//! [`super::ShardCoordinator`] pays process spawn + circuit
+//! construction on every call — fine for one big batch, ruinous for the
+//! paper's image workloads, which are streams of *small* evaluations
+//! (the `gamma_64x64_order6_sharded` trajectory entry documents that
+//! overhead). A [`WorkerPool`] is the serving-architecture answer:
+//!
+//! - N `shard_worker` subprocesses are spawned **once**
+//!   ([`PoolConfig::spawn`]) and kept alive across requests;
+//! - requests are dispatched **round-robin** across the workers, each
+//!   worker keeping one request in flight (depth-1 pipelining: a
+//!   worker's next request is written the moment its previous response
+//!   is read, so all workers compute concurrently and the pipe pair can
+//!   never deadlock on a full buffer);
+//! - the pool speaks **protocol v2**: every request carries an ID the
+//!   worker echoes (desyncs are detected, not silently misattributed),
+//!   and repeat circuits travel as [`super::CircuitRef::Cached`] digest
+//!   references — the pool mirrors each worker's LRU cache state, and a
+//!   stale mirror costs one clean
+//!   [`super::ShardResponseV2::CacheMiss`] + inline resend, never a
+//!   wrong result;
+//! - a worker that dies or speaks garbage is **respawned
+//!   transparently** and its request retried ([`PoolConfig::with_retries`]
+//!   attempts, default 1) — mid-stream worker death costs a respawn,
+//!   not the stream. After a fatal error the pool restarts the affected
+//!   workers, so it stays usable for the next call.
+//!
+//! # Determinism contract
+//!
+//! Unchanged from [`super`] — pooled evaluation is **byte-identical**
+//! to one-shot sharded, unsharded, and fused single-lane evaluation,
+//! for every worker count, dispatch order, cache hit/miss pattern and
+//! respawn history, because every work item's generator universe
+//! depends only on `(seed, global index)`.
+
+use super::{
+    batch_requests, circuit_digest, circuit_key, decode_response_v2, encode_request_v2,
+    image_requests, read_frame, write_frame, ShardError, ShardRequest, ShardResponseV2, SngKind,
+    CIRCUIT_CACHE_CAPACITY,
+};
+use crate::system::{OpticalRun, OpticalScSystem};
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// Configuration for a [`WorkerPool`], consumed by [`PoolConfig::spawn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolConfig {
+    worker: PathBuf,
+    workers: usize,
+    worker_threads: Option<usize>,
+    retries: usize,
+}
+
+impl PoolConfig {
+    /// Configures a pool of `workers` processes (`0` is treated as `1`)
+    /// of the given worker binary.
+    pub fn new(worker: impl AsRef<Path>, workers: usize) -> Self {
+        PoolConfig {
+            worker: worker.as_ref().to_path_buf(),
+            workers: workers.max(1),
+            worker_threads: None,
+            retries: 1,
+        }
+    }
+
+    /// Pins every worker's internal thread count by exporting
+    /// [`crate::batch::THREADS_ENV`] (`OSC_THREADS`) into its
+    /// environment. Results are identical either way; this bounds total
+    /// CPU oversubscription.
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets how many times a failed request is retried on a freshly
+    /// respawned worker before the batch fails.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Spawns the workers and returns the live pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Spawn`] when any worker process cannot be launched
+    /// (the `shard` field names the worker slot).
+    pub fn spawn(self) -> Result<WorkerPool, ShardError> {
+        let mut slots = Vec::with_capacity(self.workers);
+        for slot in 0..self.workers {
+            // Transient spawn failures (EAGAIN under momentary pid/fd
+            // pressure) burn retries like any other worker failure,
+            // matching the pre-pool coordinator's per-shard behavior.
+            let mut attempt = 0usize;
+            let spawned = loop {
+                match spawn_slot(&self.worker, self.worker_threads) {
+                    Ok(s) => break s,
+                    Err(detail) if attempt >= self.retries => {
+                        return Err(ShardError::Spawn {
+                            shard: slot,
+                            detail,
+                        })
+                    }
+                    Err(_) => attempt += 1,
+                }
+            };
+            slots.push(spawned);
+        }
+        Ok(WorkerPool {
+            config: self,
+            slots,
+            next_request_id: 1,
+        })
+    }
+}
+
+/// One live worker subprocess plus the pool's mirror of its LRU
+/// circuit-cache contents.
+#[derive(Debug)]
+struct WorkerSlot {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    /// `(digest, full circuit key)` pairs this worker's cache is
+    /// believed to hold, most recently used first, truncated to
+    /// [`CIRCUIT_CACHE_CAPACITY`] exactly as the worker truncates. The
+    /// full key is kept so a cached reference is only ever sent for
+    /// the exact circuit last shipped inline under that digest —
+    /// digest collisions fall back to inline, mirroring the worker's
+    /// one-circuit-per-digest invariant. Advisory only: drift is
+    /// healed by the cache-miss fallback.
+    known: VecDeque<(u64, Vec<u8>)>,
+}
+
+/// Records `(digest, key)` as the most recently used entry of a
+/// worker-cache mirror, exactly as the worker's own LRU does (one
+/// entry per digest, move to front, truncate at capacity).
+fn note_digest(known: &mut VecDeque<(u64, Vec<u8>)>, digest: u64, key: Vec<u8>) {
+    known.retain(|(d, _)| *d != digest);
+    known.push_front((digest, key));
+    known.truncate(CIRCUIT_CACHE_CAPACITY);
+}
+
+impl Drop for WorkerSlot {
+    fn drop(&mut self) {
+        // `Child` does not reap on drop: kill + wait, or the worker
+        // lingers as a zombie for the life of this process.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_slot(worker: &Path, threads: Option<usize>) -> Result<WorkerSlot, String> {
+    let mut command = Command::new(worker);
+    command
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(threads) = threads {
+        command.env(crate::batch::THREADS_ENV, threads.to_string());
+    }
+    let mut child = command
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", worker.display()))?;
+    let stdin = child.stdin.take().expect("stdin was piped");
+    let stdout = BufReader::new(child.stdout.take().expect("stdout was piped"));
+    Ok(WorkerSlot {
+        child,
+        stdin,
+        stdout,
+        known: VecDeque::new(),
+    })
+}
+
+/// One request currently awaiting its response on a worker.
+struct InFlight {
+    /// Index into the call's request slice.
+    req: usize,
+    /// The ID the response must echo.
+    id: u64,
+    /// Transport attempts already consumed by this request.
+    attempts: usize,
+    /// Whether a cache-miss inline fallback already happened on this
+    /// attempt — a second miss on the same attempt is a protocol
+    /// violation, not a retry loop.
+    inline_retry_done: bool,
+}
+
+/// A long-lived pool of `shard_worker` subprocesses serving
+/// [`ShardRequest`]s over the v2 wire protocol.
+///
+/// Construct with [`PoolConfig::spawn`]; drive with
+/// [`WorkerPool::evaluate_many`] / [`WorkerPool::image_rows`] (the same
+/// planning and determinism contract as [`super::ShardCoordinator`]) or
+/// [`WorkerPool::run_requests`] for pre-built request sets. Dropping
+/// the pool kills and reaps every worker.
+#[derive(Debug)]
+pub struct WorkerPool {
+    config: PoolConfig,
+    slots: Vec<WorkerSlot>,
+    next_request_id: u64,
+}
+
+impl WorkerPool {
+    /// The number of live worker processes.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The configured worker binary.
+    pub fn worker(&self) -> &Path {
+        &self.config.worker
+    }
+
+    /// OS process IDs of the current workers, in slot order — exposed
+    /// so tests (and operators) can target a specific worker, e.g. to
+    /// exercise kill-mid-stream recovery.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.slots.iter().map(|s| s.child.id()).collect()
+    }
+
+    /// Poisons the pool's cache mirror: every worker is assumed to
+    /// hold the given circuit, so the next matching request ships as a
+    /// cached reference even if the worker has never seen it. A real
+    /// worker answers with a cache miss and the pool falls back to an
+    /// inline resend — this hook exists to let tests pin that
+    /// fallback.
+    #[doc(hidden)]
+    pub fn assume_cached(&mut self, params: &crate::params::CircuitParams, coeffs: &[f64]) {
+        let digest = circuit_digest(params, coeffs);
+        let key = circuit_key(params, coeffs);
+        for slot in &mut self.slots {
+            note_digest(&mut slot.known, digest, key.clone());
+        }
+    }
+
+    /// Pooled [`super::ShardCoordinator::evaluate_many`]: plans `xs`
+    /// across the live workers and merges their runs in index order.
+    /// Byte-identical to the single-process evaluation for every worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] when a request cannot be completed (after
+    /// respawn + retries) or a worker reports an evaluation failure.
+    pub fn evaluate_many(
+        &mut self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        xs: &[f64],
+        stream_length: usize,
+        seed: u64,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
+        let (requests, expected) =
+            batch_requests(system, sng, xs, stream_length, seed, self.slots.len());
+        let merged = self.run_requests(&requests, &expected)?;
+        Ok(merged.into_iter().flatten().collect())
+    }
+
+    /// Pooled [`super::ShardCoordinator::image_rows`]: plans the
+    /// image's rows across the live workers. Returns per-pixel runs in
+    /// row-major order, byte-identical to the in-process row+lane
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::InvalidPlan`] when `pixels` is not a whole number
+    /// of `width`-sized rows; otherwise as
+    /// [`WorkerPool::evaluate_many`].
+    pub fn image_rows(
+        &mut self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        width: usize,
+        pixels: &[f64],
+        stream_length: usize,
+        seed: u64,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
+        let (requests, expected) = image_requests(
+            system,
+            sng,
+            width,
+            pixels,
+            stream_length,
+            seed,
+            self.slots.len(),
+        )?;
+        let merged = self.run_requests(&requests, &expected)?;
+        Ok(merged.into_iter().flatten().collect())
+    }
+
+    /// Runs a set of requests across the pool — request `i` is expected
+    /// to produce `expected[i]` runs — and returns the per-request runs
+    /// in request order. Requests are assigned round-robin (request `i`
+    /// to worker `i % workers`), every worker keeps one request in
+    /// flight, and failed requests are transparently retried on
+    /// respawned workers.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError`] naming the failing request index in its `shard`
+    /// field. After an error the pool has restarted the affected
+    /// workers and remains usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` and `expected` differ in length.
+    pub fn run_requests(
+        &mut self,
+        requests: &[ShardRequest],
+        expected: &[usize],
+    ) -> Result<Vec<Vec<OpticalRun>>, ShardError> {
+        assert_eq!(
+            requests.len(),
+            expected.len(),
+            "one expected count per request"
+        );
+        // Fail oversized shards as plan errors before any work: a
+        // request (or its response) that cannot be framed would
+        // otherwise cost a full evaluation per retry and surface as an
+        // opaque transport error.
+        for (req, &exp) in requests.iter().zip(expected) {
+            super::check_frame_bounds(req, exp)?;
+        }
+        let n = requests.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.slots.len();
+        // queues[w] = this worker's request indices, in dispatch order.
+        let queues: Vec<Vec<usize>> = (0..workers)
+            .map(|w| (w..n).step_by(workers).collect())
+            .collect();
+        let mut cursor = vec![0usize; workers];
+        let mut in_flight: Vec<Option<InFlight>> = (0..workers).map(|_| None).collect();
+        let mut outputs: Vec<Option<Vec<OpticalRun>>> = (0..n).map(|_| None).collect();
+
+        let result = self.drive(
+            requests,
+            expected,
+            &queues,
+            &mut cursor,
+            &mut in_flight,
+            &mut outputs,
+        );
+        if result.is_err() {
+            // Workers with a request still in flight hold unread frames
+            // (or broken pipes); restart them so the pool stays clean
+            // for the next call.
+            for (w, fl) in in_flight.iter_mut().enumerate() {
+                if fl.take().is_some() {
+                    let _ = self.respawn(w);
+                }
+            }
+            result?;
+        }
+        Ok(outputs
+            .into_iter()
+            .map(|o| o.expect("every request settled"))
+            .collect())
+    }
+
+    /// The dispatch/settle loop of [`WorkerPool::run_requests`].
+    fn drive(
+        &mut self,
+        requests: &[ShardRequest],
+        expected: &[usize],
+        queues: &[Vec<usize>],
+        cursor: &mut [usize],
+        in_flight: &mut [Option<InFlight>],
+        outputs: &mut [Option<Vec<OpticalRun>>],
+    ) -> Result<(), ShardError> {
+        let workers = self.slots.len();
+        let mut done = 0usize;
+        // Prime every worker with its first request; all workers then
+        // compute concurrently.
+        for w in 0..workers {
+            self.send_next(w, requests, queues, cursor, in_flight)?;
+        }
+        while done < requests.len() {
+            for w in 0..workers {
+                let Some(fl) = in_flight[w].take() else {
+                    continue;
+                };
+                let runs = self.settle(w, fl, requests, expected, &mut in_flight[w])?;
+                if let Some((req, runs)) = runs {
+                    outputs[req] = Some(runs);
+                    done += 1;
+                    self.send_next(w, requests, queues, cursor, in_flight)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends worker `w` its next queued request, if any, retrying on a
+    /// respawned worker when the send itself fails.
+    fn send_next(
+        &mut self,
+        w: usize,
+        requests: &[ShardRequest],
+        queues: &[Vec<usize>],
+        cursor: &mut [usize],
+        in_flight: &mut [Option<InFlight>],
+    ) -> Result<(), ShardError> {
+        let Some(&req_idx) = queues[w].get(cursor[w]) else {
+            return Ok(());
+        };
+        cursor[w] += 1;
+        let mut attempts = 0usize;
+        loop {
+            let id = self.next_request_id;
+            self.next_request_id += 1;
+            match self.send(w, &requests[req_idx], id, false) {
+                Ok(()) => {
+                    in_flight[w] = Some(InFlight {
+                        req: req_idx,
+                        id,
+                        attempts,
+                        inline_retry_done: false,
+                    });
+                    return Ok(());
+                }
+                Err(failure) => {
+                    attempts += 1;
+                    self.fail_or_respawn(w, req_idx, attempts, failure)?;
+                }
+            }
+        }
+    }
+
+    /// Writes one request frame to worker `w`, as a cached reference
+    /// when the pool's mirror says the worker holds the circuit (unless
+    /// `force_inline`), inline otherwise.
+    fn send(
+        &mut self,
+        w: usize,
+        req: &ShardRequest,
+        id: u64,
+        force_inline: bool,
+    ) -> Result<(), String> {
+        let digest = circuit_digest(&req.params, &req.coeffs);
+        let key = circuit_key(&req.params, &req.coeffs);
+        let slot = &mut self.slots[w];
+        // Cached only on a full-key match: a digest collision with a
+        // previously shipped circuit must fall back to inline, or the
+        // worker would resolve the reference to the wrong system.
+        let cached = !force_inline && slot.known.iter().any(|(d, k)| *d == digest && *k == key);
+        let frame = encode_request_v2(req, id, cached.then_some(digest));
+        write_frame(&mut slot.stdin, &frame)
+            .and_then(|()| slot.stdin.flush())
+            .map_err(|e| format!("writing request: {e}"))?;
+        note_digest(&mut slot.known, digest, key);
+        Ok(())
+    }
+
+    /// Reads and interprets the response for `fl` on worker `w`.
+    /// Returns `Ok(Some(..))` when the request settled with runs,
+    /// `Ok(None)` when it was re-dispatched (cache-miss fallback or
+    /// respawn retry — `slot_in_flight` then holds the new in-flight
+    /// state), and `Err` when the batch fails.
+    fn settle(
+        &mut self,
+        w: usize,
+        fl: InFlight,
+        requests: &[ShardRequest],
+        expected: &[usize],
+        slot_in_flight: &mut Option<InFlight>,
+    ) -> Result<Option<(usize, Vec<OpticalRun>)>, ShardError> {
+        let failure = match self.read_response(w, &fl, expected[fl.req]) {
+            Ok(Settled::Runs(runs)) => return Ok(Some((fl.req, runs))),
+            Ok(Settled::CacheMiss { digest }) if !fl.inline_retry_done => {
+                // The worker is alive and honest: our mirror was stale.
+                // Drop the digest and resend inline on the same attempt.
+                self.slots[w].known.retain(|(d, _)| *d != digest);
+                let id = self.next_request_id;
+                self.next_request_id += 1;
+                match self.send(w, &requests[fl.req], id, true) {
+                    Ok(()) => {
+                        *slot_in_flight = Some(InFlight {
+                            req: fl.req,
+                            id,
+                            attempts: fl.attempts,
+                            inline_retry_done: true,
+                        });
+                        return Ok(None);
+                    }
+                    Err(failure) => failure,
+                }
+            }
+            Ok(Settled::CacheMiss { digest }) => format!(
+                "worker reported a cache miss for digest {digest:#018x} on an inline request"
+            ),
+            Ok(Settled::Remote(message)) => {
+                // The worker evaluated the request and rejected it;
+                // retrying cannot change a deterministic answer.
+                return Err(ShardError::Remote {
+                    shard: fl.req,
+                    detail: message,
+                });
+            }
+            Err(failure) => failure,
+        };
+        // Transport failure: burn one attempt per respawn + resend until
+        // the request is back in flight or out of retries.
+        let mut attempts = fl.attempts;
+        let mut failure = failure;
+        loop {
+            attempts += 1;
+            self.fail_or_respawn(w, fl.req, attempts, failure)?;
+            let id = self.next_request_id;
+            self.next_request_id += 1;
+            // Inline by construction — the respawn cleared the mirror.
+            match self.send(w, &requests[fl.req], id, false) {
+                Ok(()) => {
+                    *slot_in_flight = Some(InFlight {
+                        req: fl.req,
+                        id,
+                        attempts,
+                        inline_retry_done: false,
+                    });
+                    return Ok(None);
+                }
+                Err(f) => failure = f,
+            }
+        }
+    }
+
+    /// Converts a transport failure into the final [`ShardError`] if
+    /// the request is out of retries, or respawns worker `w` so the
+    /// caller can try again. A failed respawn supersedes the original
+    /// failure (as [`ShardError::Spawn`]).
+    fn fail_or_respawn(
+        &mut self,
+        w: usize,
+        req: usize,
+        attempts: usize,
+        detail: String,
+    ) -> Result<(), ShardError> {
+        if attempts > self.config.retries {
+            // Leave a fresh worker behind (best effort) so the pool
+            // stays usable after the error surfaces.
+            let _ = self.respawn(w);
+            return Err(ShardError::Worker { shard: req, detail });
+        }
+        self.respawn(w)
+            .map_err(|detail| ShardError::Spawn { shard: req, detail })
+    }
+
+    /// Kills and replaces worker `w` with a fresh process (empty cache
+    /// mirror).
+    fn respawn(&mut self, w: usize) -> Result<(), String> {
+        let fresh = spawn_slot(&self.config.worker, self.config.worker_threads)?;
+        // Dropping the old slot kills + reaps the old process.
+        self.slots[w] = fresh;
+        Ok(())
+    }
+
+    /// Reads one response frame from worker `w` and checks it against
+    /// the in-flight request.
+    fn read_response(
+        &mut self,
+        w: usize,
+        fl: &InFlight,
+        expected: usize,
+    ) -> Result<Settled, String> {
+        let slot = &mut self.slots[w];
+        let payload = match read_frame(&mut slot.stdout) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                let status = slot
+                    .child
+                    .try_wait()
+                    .map(|s| match s {
+                        Some(status) => status.to_string(),
+                        None => "still running".to_string(),
+                    })
+                    .unwrap_or_else(|e| format!("unknown ({e})"));
+                return Err(format!(
+                    "worker closed its pipe without responding ({status})"
+                ));
+            }
+            Err(e) => return Err(format!("reading response: {e}")),
+        };
+        let response = match decode_response_v2(&payload) {
+            Ok(response) => response,
+            Err(e) => {
+                // A v1-only worker answers v2 frames with a clean v1
+                // error; surface its message instead of "malformed".
+                if let Ok(super::ShardResponse::Error(msg)) = super::decode_response(&payload) {
+                    return Ok(Settled::Remote(format!(
+                        "worker speaks protocol v1 only: {msg}"
+                    )));
+                }
+                return Err(format!("malformed response: {e}"));
+            }
+        };
+        let (request_id, settled) = match response {
+            ShardResponseV2::Runs { request_id, runs } => {
+                if runs.len() != expected {
+                    return Err(format!(
+                        "worker returned {} runs, expected {expected}",
+                        runs.len()
+                    ));
+                }
+                (request_id, Settled::Runs(runs))
+            }
+            ShardResponseV2::Error {
+                request_id,
+                message,
+            } => (request_id, Settled::Remote(message)),
+            ShardResponseV2::CacheMiss { request_id, digest } => {
+                (request_id, Settled::CacheMiss { digest })
+            }
+        };
+        if request_id != fl.id {
+            return Err(format!(
+                "response echoed request id {request_id}, expected {}",
+                fl.id
+            ));
+        }
+        Ok(settled)
+    }
+}
+
+/// What a cleanly-read response settled to.
+enum Settled {
+    Runs(Vec<OpticalRun>),
+    Remote(String),
+    CacheMiss { digest: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_and_builds() {
+        let cfg = PoolConfig::new("worker", 0)
+            .with_worker_threads(0)
+            .with_retries(2);
+        assert_eq!(cfg.workers, 1, "0 workers → 1");
+        assert_eq!(cfg.worker_threads, Some(1), "0 threads → 1");
+        assert_eq!(cfg.retries, 2);
+    }
+
+    #[test]
+    fn spawn_failure_is_a_value() {
+        let err = PoolConfig::new("/nonexistent/worker/binary", 2)
+            .spawn()
+            .unwrap_err();
+        assert!(matches!(err, ShardError::Spawn { shard: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn known_digest_mirror_is_lru_bounded() {
+        // The mirror must track exactly what the worker's LRU does:
+        // move-to-front on reuse, truncate at capacity.
+        let mut known = VecDeque::new();
+        for d in 0..CIRCUIT_CACHE_CAPACITY as u64 + 3 {
+            note_digest(&mut known, d, vec![d as u8]);
+        }
+        assert_eq!(known.len(), CIRCUIT_CACHE_CAPACITY);
+        assert_eq!(known[0].0, CIRCUIT_CACHE_CAPACITY as u64 + 2);
+        // Reusing an old digest moves it to the front without growing —
+        // and a re-ship under the same digest replaces the stored key,
+        // keeping one entry per digest.
+        let (tail, _) = known.back().unwrap().clone();
+        note_digest(&mut known, tail, vec![0xFF]);
+        assert_eq!(known[0], (tail, vec![0xFF]));
+        assert_eq!(known.len(), CIRCUIT_CACHE_CAPACITY);
+        assert_eq!(known.iter().filter(|(d, _)| *d == tail).count(), 1);
+    }
+}

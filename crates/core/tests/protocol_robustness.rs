@@ -1,0 +1,244 @@
+//! Protocol robustness: hostile or corrupted wire input must surface as
+//! **values** — error responses from a still-alive worker where the
+//! stream can be resynchronized, clean `io::Error`s (never panics,
+//! hangs or unbounded allocations) where it cannot. The
+//! coordinator/pool side of the same contract — dead and garbage-
+//! speaking workers becoming [`osc_core::batch::shard::ShardError`]
+//! values after retries — is pinned with real subprocesses in the
+//! `osc-bench` suites.
+
+use osc_core::batch::shard::{
+    decode_request, decode_request_v2, decode_response, decode_response_v2, encode_request,
+    encode_request_v2, encode_response, encode_response_v2, read_frame, serve, write_frame,
+    ShardJob, ShardRequest, ShardResponse, ShardResponseV2, SngKind, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
+};
+use osc_core::params::CircuitParams;
+use osc_core::system::OpticalRun;
+
+fn small_request() -> ShardRequest {
+    ShardRequest {
+        params: CircuitParams::paper_fig5(),
+        coeffs: vec![0.25, 0.625, 0.75],
+        sng: SngKind::Xoshiro,
+        seed: 3,
+        stream_length: 64,
+        job: ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        },
+    }
+}
+
+/// Collects every response frame a worker loop produces for `input`,
+/// plus whether the loop exited cleanly (EOF) or with a transport
+/// error.
+fn serve_raw(input: &[u8]) -> (Vec<Vec<u8>>, std::io::Result<()>) {
+    let mut output = Vec::new();
+    let outcome = serve(input, &mut output);
+    let mut responses = Vec::new();
+    let mut reader = &output[..];
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        responses.push(payload);
+    }
+    (responses, outcome)
+}
+
+#[test]
+fn truncated_frames_error_cleanly_after_answering_what_arrived() {
+    // A complete request followed by a frame cut off mid-payload: the
+    // worker answers the first and reports a transport error for the
+    // torso — no panic, no hang, no half-written response.
+    let mut input = Vec::new();
+    write_frame(&mut input, &encode_request(&small_request())).unwrap();
+    let cut_at = input.len() + 12; // 8-byte prefix + 4 payload bytes
+    write_frame(&mut input, &encode_request(&small_request())).unwrap();
+    let (responses, outcome) = serve_raw(&input[..cut_at]);
+    assert_eq!(responses.len(), 1, "the complete request was answered");
+    assert!(matches!(
+        decode_response(&responses[0]).unwrap(),
+        ShardResponse::Runs(_)
+    ));
+    let err = outcome.unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    // EOF mid-prefix is the same clean error.
+    let (responses, outcome) = serve_raw(&input[..3]);
+    assert!(responses.is_empty());
+    assert_eq!(
+        outcome.unwrap_err().kind(),
+        std::io::ErrorKind::UnexpectedEof
+    );
+}
+
+#[test]
+fn oversized_length_prefixes_are_rejected_before_allocation() {
+    for hostile_len in [MAX_FRAME_BYTES + 1, u64::MAX, 1 << 60] {
+        let mut input = hostile_len.to_le_bytes().to_vec();
+        input.extend_from_slice(b"whatever follows");
+        let err = read_frame(&mut &input[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{hostile_len}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // The worker loop surfaces the same clean error.
+        let (responses, outcome) = serve_raw(&input);
+        assert!(responses.is_empty());
+        assert_eq!(
+            outcome.unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData,
+            "{hostile_len}"
+        );
+    }
+    // Exactly at the cap the prefix itself is fine (the payload is then
+    // simply truncated input → UnexpectedEof, not InvalidData).
+    let input = MAX_FRAME_BYTES.to_le_bytes().to_vec();
+    let err = read_frame(&mut &input[..]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn unknown_tags_are_error_values_and_the_worker_stays_alive() {
+    let good_v1 = encode_request(&small_request());
+    let good_v2 = encode_request_v2(&small_request(), 44, None);
+
+    // v1 job-kind byte is at offset 8; SNG kind at 9.
+    let mut bad_job = good_v1.clone();
+    bad_job[8] = 9;
+    let mut bad_sng = good_v1.clone();
+    bad_sng[9] = 77;
+    // v2 circuit-kind byte is at offset 16, job kind 17, SNG 18.
+    let mut bad_circuit = good_v2.clone();
+    bad_circuit[16] = 5;
+    let mut bad_job_v2 = good_v2.clone();
+    bad_job_v2[17] = 9;
+
+    let mut input = Vec::new();
+    for frame in [
+        &bad_job,
+        &bad_sng,
+        &bad_circuit,
+        &bad_job_v2,
+        &good_v1,
+        &good_v2,
+    ] {
+        write_frame(&mut input, frame).unwrap();
+    }
+    let (responses, outcome) = serve_raw(&input);
+    outcome.unwrap();
+    assert_eq!(responses.len(), 6, "every frame answered, worker alive");
+    for (i, expected) in ["job kind", "SNG kind", "circuit kind", "job kind"]
+        .iter()
+        .enumerate()
+    {
+        match decode_response(&responses[i]) {
+            Ok(ShardResponse::Error(msg)) => {
+                assert!(
+                    msg.contains("unknown"),
+                    "frame {i}: {msg} (want {expected})"
+                )
+            }
+            other => {
+                // v2 frames get v2 error responses.
+                match decode_response_v2(&responses[i]) {
+                    Ok(ShardResponseV2::Error { message, .. }) => {
+                        assert!(message.contains("unknown"), "frame {i}: {message}")
+                    }
+                    _ => panic!("frame {i}: expected an error value, got {other:?}"),
+                }
+            }
+        }
+    }
+    // The trailing good requests still evaluate.
+    assert!(matches!(
+        decode_response(&responses[4]).unwrap(),
+        ShardResponse::Runs(_)
+    ));
+    assert!(matches!(
+        decode_response_v2(&responses[5]).unwrap(),
+        ShardResponseV2::Runs { request_id: 44, .. }
+    ));
+}
+
+#[test]
+fn version_mismatch_is_answered_and_the_worker_stays_alive() {
+    // A frame claiming protocol version 3: the worker answers a clean
+    // error naming the version problem and keeps serving.
+    let mut future = encode_request(&small_request());
+    future[4..8].copy_from_slice(&3u32.to_le_bytes());
+    let mut input = Vec::new();
+    write_frame(&mut input, &future).unwrap();
+    write_frame(&mut input, &encode_request(&small_request())).unwrap();
+    let (responses, outcome) = serve_raw(&input);
+    outcome.unwrap();
+    assert_eq!(responses.len(), 2);
+    match decode_response(&responses[0]).unwrap() {
+        ShardResponse::Error(msg) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("expected a version error, got {other:?}"),
+    }
+    assert!(matches!(
+        decode_response(&responses[1]).unwrap(),
+        ShardResponse::Runs(_)
+    ));
+    // Sanity: the version constants the mismatch is judged against.
+    assert_eq!(PROTOCOL_VERSION, 1);
+    assert_eq!(PROTOCOL_VERSION_V2, 2);
+}
+
+#[test]
+fn response_decoders_reject_unknown_statuses_and_cross_version_frames() {
+    let run = OpticalRun {
+        estimate: 0.5,
+        ideal_estimate: 0.5,
+        exact: 0.5,
+        observed_ber: 0.0,
+        stream_length: 64,
+    };
+    // v1 status byte is at offset 8; v2 status at 16.
+    let mut v1 = encode_response(&ShardResponse::Runs(vec![run]));
+    v1[8] = 9;
+    assert!(decode_response(&v1).unwrap_err().contains("status"));
+    let mut v2 = encode_response_v2(&ShardResponseV2::Runs {
+        request_id: 1,
+        runs: vec![run],
+    });
+    v2[16] = 9;
+    assert!(decode_response_v2(&v2).unwrap_err().contains("status"));
+    // Absurd declared counts are rejected before allocation.
+    let mut huge = encode_response(&ShardResponse::Runs(vec![run]));
+    huge[9..17].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(decode_response(&huge).is_err());
+    let mut huge2 = encode_response_v2(&ShardResponseV2::Runs {
+        request_id: 1,
+        runs: vec![run],
+    });
+    huge2[17..25].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(decode_response_v2(&huge2).is_err());
+}
+
+#[test]
+fn request_decoders_never_panic_on_corrupted_bytes() {
+    // Flip every byte of both request encodings (one at a time) and
+    // decode: any outcome is fine except a panic or a wrong-length
+    // success.
+    let v1 = encode_request(&small_request());
+    for i in 0..v1.len() {
+        let mut mutated = v1.clone();
+        mutated[i] ^= 0xA5;
+        let _ = decode_request(&mutated);
+    }
+    let v2 = encode_request_v2(&small_request(), 1, None);
+    for i in 0..v2.len() {
+        let mut mutated = v2.clone();
+        mutated[i] ^= 0xA5;
+        let _ = decode_request_v2(&mutated);
+    }
+    // And the worker loop answers every mutation with *some* clean
+    // frame (spot-check a few offsets across the payload regions).
+    for &i in &[0usize, 4, 8, 16, 40, v1.len() - 1] {
+        let mut mutated = v1.clone();
+        mutated[i] ^= 0xA5;
+        let mut input = Vec::new();
+        write_frame(&mut input, &mutated).unwrap();
+        let (responses, outcome) = serve_raw(&input);
+        outcome.unwrap();
+        assert_eq!(responses.len(), 1, "offset {i}");
+    }
+}

@@ -11,8 +11,9 @@
 //! `osc-bench` integration suite, which owns the worker binary.
 
 use osc_core::batch::shard::{
-    decode_response, encode_request, read_frame, serve, write_frame, ShardJob, ShardPlan,
-    ShardRequest, ShardResponse, SngKind,
+    circuit_digest, decode_response, decode_response_v2, encode_request, encode_request_v2,
+    read_frame, serve, write_frame, ShardJob, ShardPlan, ShardRequest, ShardResponse,
+    ShardResponseV2, SngKind, CIRCUIT_CACHE_CAPACITY,
 };
 use osc_core::batch::BatchEvaluator;
 use osc_core::params::CircuitParams;
@@ -116,6 +117,156 @@ fn any_partition_merges_to_the_single_process_batch() {
             }
         }
     }
+}
+
+/// Runs a sequence of raw frame payloads through one worker loop and
+/// returns the raw response payloads — the cache persists across the
+/// whole sequence, exactly as it does in a pooled worker process.
+fn serve_frames(payloads: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut input = Vec::new();
+    for payload in payloads {
+        write_frame(&mut input, payload).unwrap();
+    }
+    let mut output = Vec::new();
+    serve(&input[..], &mut output).unwrap();
+    let mut responses = Vec::new();
+    let mut reader = &output[..];
+    while let Some(payload) = read_frame(&mut reader).unwrap() {
+        responses.push(payload);
+    }
+    assert_eq!(responses.len(), payloads.len(), "one response per request");
+    responses
+}
+
+fn v2_runs(payload: &[u8]) -> (u64, Vec<OpticalRun>) {
+    match decode_response_v2(payload).unwrap() {
+        ShardResponseV2::Runs { request_id, runs } => (request_id, runs),
+        other => panic!("expected runs, got {other:?}"),
+    }
+}
+
+#[test]
+fn v2_requests_match_v1_and_the_single_process_reference() {
+    // The same request through the v1 frame, the v2 inline frame and
+    // the v2 cached-reference frame must produce identical runs — and
+    // all of them the single-process reference bytes.
+    let system = clean_system();
+    let xs: Vec<f64> = (0..9).map(|i| i as f64 / 8.0).collect();
+    let reference = reference_runs(&system, SngKind::Xoshiro, &xs, 160, 21);
+    let req = ShardRequest {
+        params: *system.circuit().params(),
+        coeffs: system.polynomial().coeffs().to_vec(),
+        sng: SngKind::Xoshiro,
+        seed: 21,
+        stream_length: 160,
+        job: ShardJob::Batch {
+            first_index: 0,
+            xs: xs.clone(),
+        },
+    };
+    let digest = circuit_digest(&req.params, &req.coeffs);
+    let responses = serve_frames(&[
+        encode_request(&req),                       // v1
+        encode_request_v2(&req, 101, None),         // v2 inline (caches the circuit)
+        encode_request_v2(&req, 102, Some(digest)), // v2 cached reference (hit)
+    ]);
+    let v1 = match decode_response(&responses[0]).unwrap() {
+        ShardResponse::Runs(runs) => runs,
+        ShardResponse::Error(msg) => panic!("v1 worker error: {msg}"),
+    };
+    let (id_inline, inline) = v2_runs(&responses[1]);
+    let (id_cached, cached) = v2_runs(&responses[2]);
+    assert_eq!(id_inline, 101);
+    assert_eq!(id_cached, 102);
+    assert_eq!(v1, reference, "v1 ≡ single-process");
+    assert_eq!(inline, reference, "v2 inline ≡ single-process");
+    assert_eq!(cached, reference, "v2 cache hit ≡ single-process");
+}
+
+#[test]
+fn interleaved_request_ids_echo_in_arrival_order() {
+    // One worker serving several outstanding requests: each response
+    // carries its request's ID, so a pool can match them up even though
+    // the IDs arrive out of numeric order.
+    let system = clean_system();
+    let mk = |id: u64, seed: u64| {
+        let req = ShardRequest {
+            params: *system.circuit().params(),
+            coeffs: system.polynomial().coeffs().to_vec(),
+            sng: SngKind::Counter,
+            seed,
+            stream_length: 96,
+            job: ShardJob::Batch {
+                first_index: 0,
+                xs: vec![0.25, 0.75],
+            },
+        };
+        encode_request_v2(&req, id, None)
+    };
+    let responses = serve_frames(&[mk(7, 1), mk(9, 2), mk(8, 3)]);
+    let ids: Vec<u64> = responses.iter().map(|p| v2_runs(p).0).collect();
+    assert_eq!(ids, vec![7, 9, 8]);
+}
+
+#[test]
+fn cache_misses_are_clean_values_and_lru_evicts_the_oldest() {
+    let system = clean_system();
+    let base = ShardRequest {
+        params: *system.circuit().params(),
+        coeffs: system.polynomial().coeffs().to_vec(),
+        sng: SngKind::Xoshiro,
+        seed: 5,
+        stream_length: 64,
+        job: ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        },
+    };
+    // An unknown digest on a fresh worker is a cache miss, not an error
+    // — and the worker stays alive to serve the inline form next.
+    let bogus = 0x0BAD_D16E_0057u64;
+    let responses = serve_frames(&[
+        encode_request_v2(&base, 1, Some(bogus)),
+        encode_request_v2(&base, 2, None),
+    ]);
+    assert_eq!(
+        decode_response_v2(&responses[0]).unwrap(),
+        ShardResponseV2::CacheMiss {
+            request_id: 1,
+            digest: bogus
+        }
+    );
+    let (_, runs) = v2_runs(&responses[1]);
+    assert_eq!(runs.len(), 1);
+
+    // Fill the cache past capacity with distinct circuits: the first
+    // digest must be evicted (miss), the most recent must still hit.
+    let mut frames = vec![encode_request_v2(&base, 10, None)];
+    let mut variant_digest = 0;
+    for i in 0..CIRCUIT_CACHE_CAPACITY as u64 {
+        let mut variant = base.clone();
+        variant.coeffs[2] = 0.70 + i as f64 / 1000.0;
+        variant_digest = circuit_digest(&variant.params, &variant.coeffs);
+        frames.push(encode_request_v2(&variant, 11 + i, None));
+    }
+    let first_digest = circuit_digest(&base.params, &base.coeffs);
+    frames.push(encode_request_v2(&base, 90, Some(first_digest))); // evicted → miss
+    let mut last = base.clone();
+    last.coeffs[2] = 0.70 + (CIRCUIT_CACHE_CAPACITY as u64 - 1) as f64 / 1000.0;
+    assert_eq!(circuit_digest(&last.params, &last.coeffs), variant_digest);
+    frames.push(encode_request_v2(&last, 91, Some(variant_digest))); // recent → hit
+    let responses = serve_frames(&frames);
+    assert_eq!(
+        decode_response_v2(&responses[responses.len() - 2]).unwrap(),
+        ShardResponseV2::CacheMiss {
+            request_id: 90,
+            digest: first_digest
+        },
+        "the oldest circuit must have been evicted"
+    );
+    let (id, runs) = v2_runs(&responses[responses.len() - 1]);
+    assert_eq!(id, 91);
+    assert_eq!(runs.len(), 1, "the most recent circuit must still hit");
 }
 
 #[test]
