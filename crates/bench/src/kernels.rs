@@ -17,10 +17,13 @@ use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::batch::BatchEvaluator;
 use osc_core::params::CircuitParams;
 use osc_core::system::{EvalScratch, OpticalScSystem};
-use osc_math::rng::Xoshiro256PlusPlus;
+use osc_math::rng::{SplitMix64, Xoshiro256PlusPlus};
 use osc_stochastic::bernstein::BernsteinPoly;
 use osc_stochastic::resc::ReScUnit;
-use osc_stochastic::sng::{SngWordCursor, StochasticNumberGenerator, XoshiroSng};
+use osc_stochastic::simd;
+use osc_stochastic::sng::{
+    ChaoticLaserSng, CounterSng, SngWordCursor, StochasticNumberGenerator, XoshiroSng,
+};
 use osc_units::Nanometers;
 use std::time::Duration;
 
@@ -194,6 +197,79 @@ pub fn run(budget_ms: u64) -> KernelsReport {
                 std::array::from_fn(|l| XoshiroSng::new(500 + 8 * round_o + l as u64));
             let mut acc = 0u64;
             XoshiroSng::drain_lanes(&mut lanes, &[0.37; 8], 16_384, |block, _| {
+                for &w in block {
+                    acc ^= w;
+                }
+            })
+            .unwrap();
+            acc as f64
+        },
+    ));
+
+    // The same 8-lane shape on the SplitMix64-driven chaotic-laser
+    // source: 8 sequential drains against one lane-blocked pass, which
+    // dispatches to the vectorized SplitMix64 engine (AVX-512
+    // `vpmullq` / AVX2 split-multiply) on vector tiers and to the
+    // burst-packed portable walk under forced-scalar dispatch.
+    let mut smx_round_b = 0u64;
+    let mut smx_round_o = 0u64;
+    comparisons.push(compare(
+        &mut harness,
+        "sng_lanes8_splitmix_16384",
+        move || {
+            smx_round_b += 1;
+            let mut acc = 0u64;
+            for l in 0..8u64 {
+                let mut sng = ChaoticLaserSng::seeded(900 + 8 * smx_round_b + l);
+                sng.begin(0.37, 16_384).unwrap().drain(|w, _| acc ^= w);
+            }
+            acc as f64
+        },
+        move || {
+            smx_round_o += 1;
+            let mut lanes: [ChaoticLaserSng; 8] =
+                std::array::from_fn(|l| ChaoticLaserSng::seeded(900 + 8 * smx_round_o + l as u64));
+            let mut acc = 0u64;
+            ChaoticLaserSng::drain_lanes(&mut lanes, &[0.37; 8], 16_384, |block, _| {
+                for &w in block {
+                    acc ^= w;
+                }
+            })
+            .unwrap();
+            acc as f64
+        },
+    ));
+
+    // And on the counter/van-der-Corput source: fresh generators every
+    // call, so all 8 lanes sit on Halton base 2 — the shape the
+    // bit-reversal vector engine covers. Distinct per-lane
+    // probabilities exercise the threshold comparison rather than a
+    // degenerate all-equal compare, and a tiny per-round perturbation
+    // keeps the optimizer from hoisting the pure computation out of
+    // the timing loop.
+    let mut ctr_round_b = 0u64;
+    let mut ctr_round_o = 0u64;
+    comparisons.push(compare(
+        &mut harness,
+        "sng_lanes8_counter_16384",
+        move || {
+            ctr_round_b += 1;
+            let jitter = (ctr_round_b % 13) as f64 * 1e-6;
+            let mut acc = 0u64;
+            for l in 0..8usize {
+                let mut sng = CounterSng::new();
+                let p = 0.07 + 0.12 * l as f64 + jitter;
+                sng.begin(p, 16_384).unwrap().drain(|w, _| acc ^= w);
+            }
+            acc as f64
+        },
+        move || {
+            ctr_round_o += 1;
+            let jitter = (ctr_round_o % 13) as f64 * 1e-6;
+            let mut lanes: [CounterSng; 8] = std::array::from_fn(|_| CounterSng::new());
+            let ps: [f64; 8] = std::array::from_fn(|l| 0.07 + 0.12 * l as f64 + jitter);
+            let mut acc = 0u64;
+            CounterSng::drain_lanes(&mut lanes, &ps, 16_384, |block, _| {
                 for &w in block {
                     acc ^= w;
                 }
@@ -448,8 +524,82 @@ pub fn run(budget_ms: u64) -> KernelsReport {
         },
     ));
 
+    // The count-plane fold isolated: the per-word reduction the 8-lane
+    // order-6 kernel performs — lane-interleaved selector popcounts plus
+    // 16-bit table-index assembly from the 10 source rows an order-6
+    // circuit folds (7 coefficient words + 3 count planes) — on
+    // synthetic buffers shaped like one 2048-bit 8-lane pass (256
+    // words). Baseline = forced-scalar popcount + the portable
+    // bit-transpose; optimized = the runtime-dispatched AVX-512 fold
+    // (`vpopcntq` accumulation + `vpmovm2w` index assembly, falling
+    // back to the same portable code below that tier, where the record
+    // documents parity).
+    let nrows = 10usize;
+    let wl = 256usize;
+    let mut fill = SplitMix64::new(123);
+    let rows: Vec<u64> = (0..nrows * wl).map(|_| fill.next_u64()).collect();
+    let sel: Vec<u64> = (0..wl).map(|_| fill.next_u64()).collect();
+    let rows_b = rows.clone();
+    let sel_b = sel.clone();
+    comparisons.push(compare(
+        &mut harness,
+        "fold_avx512_order6",
+        move || {
+            let mut acc8 = [0u64; 8];
+            simd::popcount_lanes_accumulate_with(simd::SimdTier::Scalar, &sel_b, &mut acc8);
+            let mut fold = acc8.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+            let mut src = [0u64; 10];
+            let mut idxs = [0u16; 64];
+            for w in 0..wl {
+                for (j, s) in src.iter_mut().enumerate() {
+                    *s = rows_b[j * wl + w];
+                }
+                simd::assemble_indices16_scalar(&src, &mut idxs);
+                for &idx in &idxs {
+                    fold = fold.wrapping_add(idx as u64);
+                }
+            }
+            fold as f64
+        },
+        move || {
+            let mut acc8 = [0u64; 8];
+            simd::popcount_lanes_accumulate(&sel, &mut acc8);
+            let mut fold = acc8.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+            let mut src = [0u64; 10];
+            let mut idxs = [0u16; 64];
+            for w in 0..wl {
+                for (j, s) in src.iter_mut().enumerate() {
+                    *s = rows[j * wl + w];
+                }
+                if !simd::assemble_indices16(&src, &mut idxs) {
+                    simd::assemble_indices16_scalar(&src, &mut idxs);
+                }
+                for &idx in &idxs {
+                    fold = fold.wrapping_add(idx as u64);
+                }
+            }
+            fold as f64
+        },
+    ));
+
     harness.finish();
     KernelsReport { comparisons }
+}
+
+/// Workloads whose optimized side pays a fixed per-call process-spawn
+/// cost by design: scale-out records that document what sharding costs
+/// on one core and buys on many, not hot-path kernels. On a single-core
+/// host their ratio sits below 1.0 by construction, so their run
+/// records carry an `"amortized": false` field and [`check_report`]
+/// routes their shortfalls to [`CheckOutcome::advisory`] instead of
+/// failing the gate. (The pooled records amortize the spawn and are
+/// gated normally.)
+pub const SPAWN_OVERHEAD_WORKLOADS: &[&str] = &["gamma_64x64_order6_sharded"];
+
+/// Whether `name`'s optimized side pays an unamortized per-call spawn
+/// cost (see [`SPAWN_OVERHEAD_WORKLOADS`]).
+pub fn is_spawn_overhead(name: &str) -> bool {
+    SPAWN_OVERHEAD_WORKLOADS.contains(&name)
 }
 
 /// Locates the `shard_worker` binary the sharded workload spawns — the
@@ -514,11 +664,21 @@ pub fn render_run(report: &KernelsReport, label: &str, tier: &str) -> String {
         format!("    {{\"label\": \"{label}\", \"tier\": \"{tier}\", \"benchmarks\": [\n");
     for (i, c) in report.comparisons.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"name\": \"{}\", \"baseline_ns\": {:.3}, \"optimized_ns\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "      {{\"name\": \"{}\", \"baseline_ns\": {:.3}, \"optimized_ns\": {:.3}, \"speedup\": {:.3}{}}}{}\n",
             c.name,
             c.baseline_ns,
             c.optimized_ns,
             c.speedup(),
+            // Spawn-overhead workloads are flagged in the record itself,
+            // so a reader of the raw trajectory sees the sub-1.0 ratios
+            // are documented overhead, not regressions. The speedup
+            // parser stops at the comma, so the field is transparent to
+            // every existing consumer.
+            if is_spawn_overhead(&c.name) {
+                ", \"amortized\": false"
+            } else {
+                ""
+            },
             if i + 1 < report.comparisons.len() { "," } else { "" }
         ));
     }
@@ -689,6 +849,12 @@ pub struct CheckOutcome {
     /// Workloads measured below `threshold ×` their recorded speedup —
     /// CI fails if this is non-empty.
     pub regressions: Vec<Regression>,
+    /// Spawn-overhead workloads (see [`SPAWN_OVERHEAD_WORKLOADS`])
+    /// measured below the floor: reported distinctly, never fail the
+    /// gate — their ratio is documented scale-out overhead whose
+    /// single-core value swings with host load, not a kernel
+    /// regression.
+    pub advisory: Vec<Regression>,
     /// Workloads passing the gate, as `(name, measured, recorded)`.
     pub passed: Vec<(String, f64, f64)>,
     /// Workloads measured this run with **no prior trajectory entry**:
@@ -711,7 +877,10 @@ impl CheckOutcome {
 /// Workloads without a prior trajectory entry are collected in
 /// [`CheckOutcome::new_workloads`] — recorded, never gated on their
 /// first run — so adding a benchmark (or measuring a tier for the
-/// first time) can't fail CI by construction.
+/// first time) can't fail CI by construction. Spawn-overhead workloads
+/// below the floor land in [`CheckOutcome::advisory`] instead of
+/// [`CheckOutcome::regressions`], so they are surfaced but never fail
+/// the gate.
 pub fn check_report(
     report: &KernelsReport,
     committed: &str,
@@ -732,12 +901,17 @@ pub fn check_report(
         };
         let floor = recorded_speedup * threshold;
         if measured < floor {
-            outcome.regressions.push(Regression {
+            let shortfall = Regression {
                 name: name.clone(),
                 measured,
                 recorded: *recorded_speedup,
                 floor,
-            });
+            };
+            if is_spawn_overhead(name) {
+                outcome.advisory.push(shortfall);
+            } else {
+                outcome.regressions.push(shortfall);
+            }
         } else {
             outcome
                 .passed
@@ -764,7 +938,7 @@ mod tests {
         // has been built (cargo test builds it for this package's
         // integration tests, but a filtered build may not have).
         let expect_sharded = shard_worker_path().is_some();
-        assert_eq!(r.comparisons.len(), if expect_sharded { 11 } else { 8 });
+        assert_eq!(r.comparisons.len(), if expect_sharded { 14 } else { 11 });
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
@@ -772,9 +946,12 @@ mod tests {
         assert!(json.contains("optical_evaluate_order2_16384"));
         assert!(json.contains("optical_evaluate_order2_16384_fused"));
         assert!(json.contains("sng_lanes8_xoshiro_16384"));
+        assert!(json.contains("sng_lanes8_splitmix_16384"));
+        assert!(json.contains("sng_lanes8_counter_16384"));
         assert!(json.contains("parallel_lanes_order2_16384"));
         assert!(json.contains("gamma_64x64_order6"));
         assert!(json.contains("gamma_64x64_order6_fused"));
+        assert!(json.contains("fold_avx512_order6"));
         for pool_workload in [
             "gamma_64x64_order6_sharded",
             "gamma_64x64_order6_pooled",
@@ -782,6 +959,76 @@ mod tests {
         ] {
             assert_eq!(json.contains(pool_workload), expect_sharded, "{json}");
         }
+        // The spawn-overhead flag rides on exactly the workloads the
+        // constant names.
+        assert_eq!(json.contains("\"amortized\": false"), expect_sharded);
+    }
+
+    #[test]
+    fn spawn_overhead_shortfalls_are_advisory_not_regressions() {
+        // A trajectory recording a spawn-overhead workload and a kernel
+        // workload at 1.0x each.
+        let committed = concat!(
+            "{\n  \"runs\": [\n",
+            "    {\"label\": \"pr5\", \"tier\": \"scalar\", \"benchmarks\": [\n",
+            "      {\"name\": \"gamma_64x64_order6_sharded\", \"baseline_ns\": 100.0, ",
+            "\"optimized_ns\": 100.0, \"speedup\": 1.000, \"amortized\": false},\n",
+            "      {\"name\": \"sng_xoshiro_16384\", \"baseline_ns\": 100.0, ",
+            "\"optimized_ns\": 100.0, \"speedup\": 1.000}\n",
+            "    ]}\n  ]\n}\n"
+        );
+        // The flagged field is transparent to the speedup parser.
+        assert_eq!(
+            reference_run_speedups(committed, "scalar"),
+            vec![
+                ("gamma_64x64_order6_sharded".to_string(), 1.0),
+                ("sng_xoshiro_16384".to_string(), 1.0),
+            ]
+        );
+        // Both workloads measured well below the 0.8 floor: only the
+        // kernel one fails the gate; the spawn-overhead one is surfaced
+        // as advisory.
+        let report = KernelsReport {
+            comparisons: vec![
+                KernelComparison {
+                    name: "gamma_64x64_order6_sharded".into(),
+                    baseline_ns: 100.0,
+                    optimized_ns: 200.0,
+                },
+                KernelComparison {
+                    name: "sng_xoshiro_16384".into(),
+                    baseline_ns: 100.0,
+                    optimized_ns: 200.0,
+                },
+            ],
+        };
+        let outcome = check_report(&report, committed, 0.8, "scalar");
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].name, "sng_xoshiro_16384");
+        assert_eq!(outcome.advisory.len(), 1);
+        assert_eq!(outcome.advisory[0].name, "gamma_64x64_order6_sharded");
+        assert!(!outcome.is_ok());
+        // With the kernel workload healthy, the advisory shortfall alone
+        // does not fail the gate.
+        let report_ok = KernelsReport {
+            comparisons: vec![
+                KernelComparison {
+                    name: "gamma_64x64_order6_sharded".into(),
+                    baseline_ns: 100.0,
+                    optimized_ns: 200.0,
+                },
+                KernelComparison {
+                    name: "sng_xoshiro_16384".into(),
+                    baseline_ns: 100.0,
+                    optimized_ns: 100.0,
+                },
+            ],
+        };
+        let outcome_ok = check_report(&report_ok, committed, 0.8, "scalar");
+        assert!(outcome_ok.is_ok(), "{outcome_ok:?}");
+        assert_eq!(outcome_ok.advisory.len(), 1);
+        assert!(is_spawn_overhead("gamma_64x64_order6_sharded"));
+        assert!(!is_spawn_overhead("gamma_64x64_order6_pooled"));
     }
 
     #[test]

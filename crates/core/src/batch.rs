@@ -23,6 +23,7 @@
 use crate::system::{EvalScratch, OpticalRun, OpticalScSystem};
 use crate::CircuitError;
 use osc_math::rng::Xoshiro256PlusPlus;
+use osc_stochastic::simd;
 use osc_stochastic::sng::StochasticNumberGenerator;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -47,14 +48,30 @@ pub fn mix_seed(seed: u64, index: u64) -> u64 {
 }
 
 /// Decomposes `n` consecutive work items into the lane-block widths the
-/// fused kernel monomorphizes (8, then 4, 2, 1), widest first: each
+/// fused kernel monomorphizes (8, then 4, 2, 1), widest first — except
+/// on the scalar SIMD tier, where every block is a single lane: with no
+/// vector engine behind the `[u64; L]` lock-step walk, wide blocks only
+/// thrash L generator states through one scalar pipe (pr5's
+/// forced-scalar records measured 0.79–0.85× of sequential runs). Each
 /// returned `(start, width)` covers items `start..start + width`.
 ///
 /// This is the shared chunking rule of every lane-blocked caller —
 /// [`BatchEvaluator::evaluate_many`], [`crate::parallel::ParallelOpticalSc`]
 /// and the image pipelines — so their per-item results stay bit-identical
-/// to unblocked evaluation no matter how `n` decomposes.
+/// to unblocked evaluation no matter how `n` decomposes; block shape
+/// (like the dispatch tier itself) is unobservable in results, so
+/// consulting [`simd::active_tier`] here cannot break the determinism
+/// contract.
 pub fn lane_blocks(n: usize) -> Vec<(usize, usize)> {
+    lane_blocks_for_tier(simd::active_tier(), n)
+}
+
+/// [`lane_blocks`] with the dispatch tier made explicit (tests pin both
+/// shapes regardless of the machine they run on).
+pub fn lane_blocks_for_tier(tier: simd::SimdTier, n: usize) -> Vec<(usize, usize)> {
+    if tier == simd::SimdTier::Scalar {
+        return (0..n).map(|i| (i, 1)).collect();
+    }
     let mut out = Vec::with_capacity(n.div_ceil(8) + 2);
     let mut start = 0;
     while start < n {
@@ -505,22 +522,43 @@ mod tests {
 
     #[test]
     fn lane_blocks_cover_every_index_widest_first() {
-        for n in 0..40 {
-            let blocks = lane_blocks(n);
-            let mut next = 0usize;
-            for &(start, width) in &blocks {
-                assert_eq!(start, next, "n={n}: blocks must be contiguous");
-                assert!(matches!(width, 1 | 2 | 4 | 8), "n={n}: width {width}");
-                next = start + width;
-            }
-            assert_eq!(next, n, "n={n}: blocks must cover all items");
-            // Widest-first: widths never increase along the decomposition.
-            for pair in blocks.windows(2) {
-                assert!(pair[0].1 >= pair[1].1, "n={n}: {blocks:?}");
+        use osc_stochastic::simd::SimdTier;
+        for tier in [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512] {
+            for n in 0..40 {
+                let blocks = lane_blocks_for_tier(tier, n);
+                let mut next = 0usize;
+                for &(start, width) in &blocks {
+                    assert_eq!(start, next, "{tier:?} n={n}: blocks must be contiguous");
+                    assert!(
+                        matches!(width, 1 | 2 | 4 | 8),
+                        "{tier:?} n={n}: width {width}"
+                    );
+                    next = start + width;
+                }
+                assert_eq!(next, n, "{tier:?} n={n}: blocks must cover all items");
+                // Widest-first: widths never increase along the decomposition.
+                for pair in blocks.windows(2) {
+                    assert!(pair[0].1 >= pair[1].1, "{tier:?} n={n}: {blocks:?}");
+                }
             }
         }
-        assert_eq!(lane_blocks(7), vec![(0, 4), (4, 2), (6, 1)]);
-        assert_eq!(lane_blocks(16), vec![(0, 8), (8, 8)]);
+        // Vector tiers chunk widest-first; the scalar tier degrades to
+        // single-lane blocks (no engine behind the lock-step walk).
+        assert_eq!(
+            lane_blocks_for_tier(SimdTier::Avx2, 7),
+            vec![(0, 4), (4, 2), (6, 1)]
+        );
+        assert_eq!(
+            lane_blocks_for_tier(SimdTier::Avx512, 16),
+            vec![(0, 8), (8, 8)]
+        );
+        assert_eq!(
+            lane_blocks_for_tier(SimdTier::Scalar, 3),
+            vec![(0, 1), (1, 1), (2, 1)]
+        );
+        // The undecorated entry point follows the active tier.
+        let blocks = lane_blocks(7);
+        assert_eq!(blocks, lane_blocks_for_tier(simd::active_tier(), 7));
     }
 
     #[test]

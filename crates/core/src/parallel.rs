@@ -29,7 +29,10 @@
 //! bank decomposes into blocks of 8/4/2/1
 //! ([`crate::batch::lane_blocks`]), and the blocks fan across a
 //! [`BatchEvaluator`]'s workers, so thread-level and register-level
-//! parallelism compose.
+//! parallelism compose. Block selection is tier-aware: on the scalar
+//! dispatch tier `lane_blocks` hands out single-lane blocks (no vector
+//! engine means lock-step walking only costs), so forcing `OSC_SIMD=scalar`
+//! keeps the bank at sequential-evaluation speed rather than below it.
 //!
 //! Blocking is **observationally free**: every lane draws from its own
 //! [`mix_seed`]-derived generators, and each lane's run is bit-identical

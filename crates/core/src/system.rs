@@ -445,6 +445,24 @@ impl OpticalScSystem {
         rngs: &mut [Xoshiro256PlusPlus; L],
         scratch: &mut EvalScratch,
     ) -> Result<[OpticalRun; L], CircuitError> {
+        // On the scalar dispatch tier the `[u64; L]` lock-step walk has
+        // no vector engine behind it and loses to L standalone passes
+        // (pr5's forced-scalar records measured 0.79–0.85×), so degrade
+        // to sequential per-lane runs — bit-identical by the lane
+        // contract this function documents below.
+        if L > 1 && simd::active_tier() == simd::SimdTier::Scalar {
+            let mut out: [Option<OpticalRun>; L] = [None; L];
+            for l in 0..L {
+                out[l] = Some(self.evaluate_fused(
+                    xs[l],
+                    stream_length,
+                    &mut sngs[l],
+                    &mut rngs[l],
+                    scratch,
+                )?);
+            }
+            return Ok(out.map(|r| r.expect("every lane filled")));
+        }
         let (ones, ideal, flips) = match self.circuit.order() {
             1 => self.lane_kernel::<1, L, S>(xs, stream_length, sngs, rngs, scratch),
             2 => self.lane_kernel::<2, L, S>(xs, stream_length, sngs, rngs, scratch),
@@ -634,19 +652,25 @@ impl OpticalScSystem {
                         src[N + 1 + p] = scratch.planes[p * wl + w * L + l];
                     }
                     let nsrc = N + 1 + nplanes;
-                    for k in 0..8 {
-                        let sh = k * 8;
-                        let (mut lo, mut hi) = (0u64, 0u64);
-                        for (j, &word) in src[..nsrc].iter().enumerate() {
-                            let byte = (word >> sh) & 0xFF;
-                            lo |= spread[j][(byte & 0xF) as usize];
-                            hi |= spread[j][(byte >> 4) as usize];
-                        }
-                        for (b, slot) in idxs[k * 8..k * 8 + 4].iter_mut().enumerate() {
-                            *slot = (lo >> (b * 16)) as u16;
-                        }
-                        for (b, slot) in idxs[k * 8 + 4..k * 8 + 8].iter_mut().enumerate() {
-                            *slot = (hi >> (b * 16)) as u16;
+                    // Vector-first: on the AVX-512 tier the whole 64 ×
+                    // nsrc bit transpose assembles in two ZMM
+                    // accumulators (one mask broadcast + AND/OR per
+                    // source word); otherwise the nibble-spread tables.
+                    if !simd::assemble_indices16(&src[..nsrc], &mut idxs) {
+                        for k in 0..8 {
+                            let sh = k * 8;
+                            let (mut lo, mut hi) = (0u64, 0u64);
+                            for (j, &word) in src[..nsrc].iter().enumerate() {
+                                let byte = (word >> sh) & 0xFF;
+                                lo |= spread[j][(byte & 0xF) as usize];
+                                hi |= spread[j][(byte >> 4) as usize];
+                            }
+                            for (b, slot) in idxs[k * 8..k * 8 + 4].iter_mut().enumerate() {
+                                *slot = (lo >> (b * 16)) as u16;
+                            }
+                            for (b, slot) in idxs[k * 8 + 4..k * 8 + 8].iter_mut().enumerate() {
+                                *slot = (hi >> (b * 16)) as u16;
+                            }
                         }
                     }
                     let mut decided_mask = 0u64;

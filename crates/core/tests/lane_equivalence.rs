@@ -158,31 +158,92 @@ fn lane_blocked_equals_per_lane_on_paired_lengths() {
     }
 }
 
+/// Runs one 8-lane blocked evaluation under a forced dispatch tier.
+fn run_lanes_under_tier<S: StochasticNumberGenerator>(
+    system: &OpticalScSystem,
+    tier: SimdTier,
+    make_sng: impl Fn(usize) -> S,
+    len: usize,
+) -> [osc_core::system::OpticalRun; 8] {
+    simd::set_tier_override(Some(tier));
+    let xs: [f64; 8] = std::array::from_fn(|l| l as f64 / 8.0);
+    let mut sngs: [S; 8] = std::array::from_fn(&make_sng);
+    let mut rngs: [Xoshiro256PlusPlus; 8] =
+        std::array::from_fn(|l| Xoshiro256PlusPlus::new(99 + l as u64));
+    let mut scratch = EvalScratch::new();
+    let runs = system
+        .evaluate_fused_lanes(&xs, len, &mut sngs, &mut rngs, &mut scratch)
+        .unwrap();
+    simd::set_tier_override(None);
+    runs
+}
+
 #[test]
 fn forced_scalar_and_detected_simd_agree_word_for_word() {
     // The same lane-blocked workload through the forced-scalar dispatch
     // and through the machine's detected tier must produce identical
-    // runs. (The CI dispatch matrix pins the same property across
-    // processes via OSC_SIMD; this test pins it in-process via the API
-    // switch. Safe under parallel tests: every tier is bit-identical by
-    // contract, so racing tests only vary which implementation runs.)
-    let system = clean_system();
-    let run_with = |tier: Option<SimdTier>| {
-        simd::set_tier_override(tier);
-        let xs: [f64; 8] = std::array::from_fn(|l| l as f64 / 8.0);
-        let mut sngs: [XoshiroSng; 8] = std::array::from_fn(|l| XoshiroSng::new(77 + l as u64));
-        let mut rngs: [Xoshiro256PlusPlus; 8] =
-            std::array::from_fn(|l| Xoshiro256PlusPlus::new(99 + l as u64));
-        let mut scratch = EvalScratch::new();
-        let runs = system
-            .evaluate_fused_lanes(&xs, 4097, &mut sngs, &mut rngs, &mut scratch)
-            .unwrap();
-        simd::set_tier_override(None);
-        runs
-    };
-    let scalar = run_with(Some(SimdTier::Scalar));
-    let detected = run_with(Some(simd::detected_tier()));
-    assert_eq!(scalar, detected);
+    // runs — for every SNG engine family, clean and noisy, at a length
+    // past the pair cutoff so the paired-generation path is covered too.
+    // (The CI dispatch matrix pins the same property across processes
+    // via OSC_SIMD; this test pins it in-process via the API switch.
+    // Safe under parallel tests: every tier is bit-identical by
+    // contract, so racing tests only vary which implementation runs.
+    // Note the scalar tier also degrades the L = 8 block to sequential
+    // per-lane runs, so this doubles as the degradation-identity check.)
+    for (tag, system) in [("clean", clean_system()), ("noisy", noisy_system())] {
+        for &len in &[257usize, 4097] {
+            for tier in [SimdTier::Avx2, simd::detected_tier()] {
+                let seed = len as u64;
+                assert_eq!(
+                    run_lanes_under_tier(
+                        &system,
+                        SimdTier::Scalar,
+                        |l| XoshiroSng::new(seed + l as u64),
+                        len
+                    ),
+                    run_lanes_under_tier(&system, tier, |l| XoshiroSng::new(seed + l as u64), len),
+                    "{tag} xoshiro, len {len}, {tier:?}"
+                );
+                assert_eq!(
+                    run_lanes_under_tier(
+                        &system,
+                        SimdTier::Scalar,
+                        |l| ChaoticLaserSng::seeded(seed + l as u64),
+                        len
+                    ),
+                    run_lanes_under_tier(
+                        &system,
+                        tier,
+                        |l| ChaoticLaserSng::seeded(seed + l as u64),
+                        len
+                    ),
+                    "{tag} chaotic, len {len}, {tier:?}"
+                );
+                assert_eq!(
+                    run_lanes_under_tier(
+                        &system,
+                        SimdTier::Scalar,
+                        |l| LfsrSng::new(16, 0xACE1 + l as u32).unwrap(),
+                        len
+                    ),
+                    run_lanes_under_tier(
+                        &system,
+                        tier,
+                        |l| LfsrSng::new(16, 0xACE1 + l as u32).unwrap(),
+                        len
+                    ),
+                    "{tag} lfsr, len {len}, {tier:?}"
+                );
+                // Fresh counters: every stream set starts on Halton
+                // base 2, the vectorized bit-reversal engine's shape.
+                assert_eq!(
+                    run_lanes_under_tier(&system, SimdTier::Scalar, |_| CounterSng::new(), len),
+                    run_lanes_under_tier(&system, tier, |_| CounterSng::new(), len),
+                    "{tag} counter, len {len}, {tier:?}"
+                );
+            }
+        }
+    }
     // And the raw dispatch primitives agree on every tier for this
     // machine (clamping makes unsupported requests safe).
     let words: Vec<u64> = (0..64u64 * 8)

@@ -34,6 +34,14 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
+    /// The raw 64-bit state word. Together with [`SplitMix64::new`]
+    /// (which installs a seed as the state verbatim) this round-trips the
+    /// generator, so batch engines can lift lane states into vector
+    /// registers and write them back after a drain.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// The state after exactly `steps` calls to
     /// [`SplitMix64::next_u64`] — the state walks an arithmetic sequence,
     /// so jumping is a single multiply.

@@ -1,15 +1,48 @@
-//! Runtime-dispatched SIMD kernels for the lane-blocked hot paths.
+//! Runtime-dispatched SIMD backend family for the lane-blocked hot
+//! paths: one vector engine per stochastic number generator plus the
+//! shared fold/assembly kernels they feed.
 //!
 //! The lane-blocked evaluation pipeline (see [`crate::resc`] and
 //! `osc-core`'s lane kernel) stores every per-stream word array
 //! *lane-interleaved*: block `w` of lane `l` lives at `w * L + l`, so the
-//! `L` lanes of one 64-cycle block are contiguous in memory. That layout
-//! makes the heavy reduction — per-lane population counts over the folded
-//! multiplexer output — a textbook vertical SIMD loop: a 256-bit register
-//! holds one block across 4 lanes (AVX2), a 512-bit register across 8
-//! (AVX-512), and per-lane accumulators never leave their vector slot.
+//! `L` lanes of one 64-cycle block are contiguous in memory. Stream
+//! *generation* is the transposed problem — `L` independent comparator
+//! chains advancing in lock-step — so the engines here keep chain states
+//! vertical in vector registers, collect one comparator mask per draw,
+//! and hand 64-draw mask blocks to the BMI2 `pext` transpose that
+//! produces the per-lane LSB-first words the scalar drains would have
+//! packed.
 //!
-//! # Dispatch
+//! # Backend family
+//!
+//! | engine | serves | AVX-512 path | AVX2 path | extra gates |
+//! |---|---|---|---|---|
+//! | [`xoshiro_drain_chains`] | `XoshiroSng` | `vprolq` + `vpcmpuq` k-masks | shift-or rotates + sign-bias `vpcmpgtq` | `bmi2` |
+//! | [`splitmix_drain_chains`] | `ChaoticLaserSng` | `vpmullq` mix (needs `avx512dq`) | `vpmuludq` split multiply | `bmi2` |
+//! | [`counter_drain_chains`] | `CounterSng` (base-2 mode) | `vgf2p8affineqb` bit-reverse + `vpcmpuq` | GFNI VEX reverse or shared scalar reverse | — |
+//! | [`popcount_lanes_accumulate`] | count-plane fold | `vpopcntq` | nibble-LUT `vpshufb` + `vpsadbw` | — |
+//! | [`assemble_indices16`] | noisy-tier index assembly | `vpmovm2w` mask broadcast (needs `avx512bw`) | — (scalar fallback) | — |
+//!
+//! Dispatch rules, uniform across the family:
+//!
+//! - An engine runs only when [`active_tier`] admits it **and** every
+//!   extra feature it names is detected at runtime; otherwise the entry
+//!   point returns `false` without touching its outputs and the caller
+//!   runs the portable scalar interleave.
+//! - The chain engines accept `L ∈ {4, 8}`; `L = 8` uses one ZMM per
+//!   state word on the AVX-512 tier and two YMM register groups on AVX2.
+//!   The counter engine exploits that all lanes of one `drain_lanes`
+//!   call walk the *same* counter sequence, so it bit-reverses each index
+//!   once and compares it against every lane's threshold.
+//! - **Bit-identity guarantee:** every tier of every engine produces
+//!   exactly the words of the scalar reference interleave — same draws,
+//!   same comparator semantics (widened 53-bit thresholds with the
+//!   `always` saturation flag), same LSB-first packing, same final
+//!   generator states. The in-module tests and the cross-crate
+//!   `lane_equivalence.rs` matrix pin this word-for-word across tiers,
+//!   so dispatch may change *speed* but never *results*.
+//!
+//! # Dispatch tier
 //!
 //! [`active_tier`] picks the widest implementation the CPU supports,
 //! resolved once per process via `is_x86_feature_detected!`. Two override
@@ -18,14 +51,19 @@
 //! - the `OSC_SIMD` environment variable (`scalar`, `avx2`, `avx512`)
 //!   caps the tier; `OSC_FORCE_SCALAR=1` is shorthand for
 //!   `OSC_SIMD=scalar`. Requests above what the hardware supports clamp
-//!   down, so `OSC_SIMD=avx2` is safe on any machine.
+//!   down, so `OSC_SIMD=avx2` is safe on any machine. Unknown names are
+//!   rejected by [`parse_tier`] and reported on stderr (never silently
+//!   remapped to some other tier).
 //! - [`set_tier_override`], the in-process API switch the equivalence
 //!   tests use to run the same workload through each tier.
 //!
 //! The portable scalar path is **mandatory**: every entry point falls
 //! back to it for lane counts the vector widths don't divide and on
 //! non-x86 targets, and the property tests pin all tiers word-for-word
-//! against it.
+//! against it. Tier selection also feeds *lane-block shaping*:
+//! `osc-core`'s `batch::lane_blocks` degrades to single-lane blocks on
+//! the scalar tier, where the `[u64; L]` lock-step walk has no vector
+//! engine behind it and loses to sequential per-lane runs.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -67,6 +105,39 @@ impl SimdTier {
             SimdTier::Avx2 => 2,
             SimdTier::Avx512 => 3,
         }
+    }
+}
+
+/// A tier name that matched none of the `OSC_SIMD` spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierParseError {
+    requested: String,
+}
+
+impl std::fmt::Display for TierParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown SIMD tier {:?} (valid tiers: scalar, avx2, avx512)",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for TierParseError {}
+
+/// Parses a tier name (`scalar` / `avx2` / `avx512`, case-insensitive,
+/// surrounding whitespace ignored). Unknown names return a
+/// [`TierParseError`] listing the valid spellings — they are never
+/// silently remapped to another tier.
+pub fn parse_tier(name: &str) -> Result<SimdTier, TierParseError> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Ok(SimdTier::Scalar),
+        "avx2" => Ok(SimdTier::Avx2),
+        "avx512" => Ok(SimdTier::Avx512),
+        _ => Err(TierParseError {
+            requested: name.to_string(),
+        }),
     }
 }
 
@@ -131,10 +202,16 @@ fn env_cap() -> Option<SimdTier> {
     let cap = if std::env::var_os("OSC_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
         Some(SimdTier::Scalar)
     } else {
-        match std::env::var("OSC_SIMD").map(|v| v.to_ascii_lowercase()) {
-            Ok(v) if v == "scalar" => Some(SimdTier::Scalar),
-            Ok(v) if v == "avx2" => Some(SimdTier::Avx2),
-            Ok(v) if v == "avx512" => Some(SimdTier::Avx512),
+        match std::env::var("OSC_SIMD") {
+            Ok(v) if !v.trim().is_empty() => match parse_tier(&v) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    // Report once (the result is cached below) and run
+                    // uncapped rather than guessing at a tier.
+                    eprintln!("[simd] ignoring OSC_SIMD: {e}");
+                    None
+                }
+            },
             _ => None,
         }
     };
@@ -509,6 +586,439 @@ unsafe fn xoshiro_chains_avx2(
     }
 }
 
+/// Whether the vectorized SplitMix64 comparator-chain engine
+/// ([`splitmix_drain_chains`]) will run for `lanes` chains under the
+/// current dispatch tier. `ChaoticLaserSng::drain_lanes_two` uses this
+/// to decline pairing when two vectorized passes beat one scalar paired
+/// pass.
+pub(crate) fn splitmix_vector_applicable(lanes: usize) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        matches!(lanes, 4 | 8)
+            && active_tier() >= SimdTier::Avx2
+            && is_x86_feature_detected!("bmi2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = lanes;
+        false
+    }
+}
+
+/// Draws `L` independent SplitMix64 comparator chains in vector
+/// lock-step: chain `l` starts at state `states[l]`, each draw emits bit
+/// `(next_u64() < wide[l]) | always[l]`, and 64 draws per chain pack
+/// into one `emit(&block, nbits)` word per lane (LSB-first, exactly the
+/// scalar drain's bit order). On success the states hold each chain's
+/// post-`len`-draws value and the function returns `true`; it returns
+/// `false` (touching nothing) when no vector path applies — callers
+/// must then run the scalar interleave.
+///
+/// The SplitMix64 output mix is two 64-bit multiplies per draw: the
+/// AVX-512 path uses `vpmullq` (gated on `avx512dq`), the AVX2 path
+/// synthesizes the low-64 product from three `vpmuludq` 32×32 halves.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn splitmix_drain_chains<const L: usize, F>(
+    states: &mut [u64; L],
+    wide: &[u64; L],
+    always: &[bool; L],
+    len: usize,
+    mut emit: F,
+) -> bool
+where
+    F: FnMut(&[u64; L], usize),
+{
+    if !splitmix_vector_applicable(L) {
+        return false;
+    }
+    let tier = active_tier();
+    let mut always_mask = 0u8;
+    for (l, &a) in always.iter().enumerate() {
+        always_mask |= u8::from(a) << l;
+    }
+    let mut adapter = |words: &[u64], nbits: usize| {
+        let mut block = [0u64; L];
+        block.copy_from_slice(&words[..L]);
+        emit(&block, nbits);
+    };
+    // SAFETY: splitmix_vector_applicable checked bmi2 + the tier (which
+    // active_tier clamps to the detected hardware); the avx512 arm
+    // additionally checks avx512dq for vpmullq.
+    unsafe {
+        if L == 8 && tier == SimdTier::Avx512 && is_x86_feature_detected!("avx512dq") {
+            splitmix_chains8_avx512(states.as_mut_slice(), wide, always_mask, len, &mut adapter);
+        } else {
+            splitmix_chains_avx2(states.as_mut_slice(), wide, always_mask, len, &mut adapter);
+        }
+    }
+    true
+}
+
+/// Non-x86 stub: no vector engine; callers use the scalar interleave.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn splitmix_drain_chains<const L: usize, F>(
+    _states: &mut [u64; L],
+    _wide: &[u64; L],
+    _always: &[bool; L],
+    _len: usize,
+    _emit: F,
+) -> bool
+where
+    F: FnMut(&[u64; L], usize),
+{
+    false
+}
+
+const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+const SPLITMIX_MIX1: u64 = 0xBF58_476D_1CE4_E5B9;
+const SPLITMIX_MIX2: u64 = 0x94D0_49BB_1331_11EB;
+
+/// AVX-512 engine: 8 chains, all states in one ZMM, `vpmullq` mix
+/// multiplies, `vpcmpuq` comparator k-masks.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,bmi2")]
+unsafe fn splitmix_chains8_avx512(
+    states: &mut [u64],
+    wide: &[u64],
+    always_mask: u8,
+    len: usize,
+    emit: &mut dyn FnMut(&[u64], usize),
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(states.len(), 8);
+    let mut s = _mm512_loadu_si512(states.as_ptr() as *const __m512i);
+    let widev = _mm512_loadu_si512(wide.as_ptr() as *const __m512i);
+    let gamma = _mm512_set1_epi64(SPLITMIX_GAMMA as i64);
+    let c1 = _mm512_set1_epi64(SPLITMIX_MIX1 as i64);
+    let c2 = _mm512_set1_epi64(SPLITMIX_MIX2 as i64);
+    let mut masks = [0u8; 64];
+    let mut words = [0u64; 8];
+    let mut remaining = len;
+    while remaining > 0 {
+        let nbits = remaining.min(64);
+        for m in masks[..nbits].iter_mut() {
+            s = _mm512_add_epi64(s, gamma);
+            let mut z = _mm512_mullo_epi64(_mm512_xor_si512(s, _mm512_srli_epi64::<30>(s)), c1);
+            z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64::<27>(z)), c2);
+            z = _mm512_xor_si512(z, _mm512_srli_epi64::<31>(z));
+            *m = _mm512_cmplt_epu64_mask(z, widev) | always_mask;
+        }
+        transpose_masks(&mut masks, 8, nbits, &mut words);
+        emit(&words, nbits);
+        remaining -= nbits;
+    }
+    _mm512_storeu_si512(states.as_mut_ptr() as *mut __m512i, s);
+}
+
+/// AVX2 engine: 4 chains per YMM register group; the 64-bit mix
+/// multiplies are synthesized from `vpmuludq` 32×32→64 halves
+/// (`lo·lo + ((lo·hi + hi·lo) << 32)`), the unsigned comparator is the
+/// sign-bias `vpcmpgtq` trick + `vmovmskpd`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,bmi2")]
+unsafe fn splitmix_chains_avx2(
+    states: &mut [u64],
+    wide: &[u64],
+    always_mask: u8,
+    len: usize,
+    emit: &mut dyn FnMut(&[u64], usize),
+) {
+    use std::arch::x86_64::*;
+    let lanes = states.len();
+    debug_assert!(lanes == 4 || lanes == 8);
+    let groups = lanes / 4;
+    let bias = _mm256_set1_epi64x(i64::MIN);
+    let gamma = _mm256_set1_epi64x(SPLITMIX_GAMMA as i64);
+    let c1 = _mm256_set1_epi64x(SPLITMIX_MIX1 as i64);
+    let c2 = _mm256_set1_epi64x(SPLITMIX_MIX2 as i64);
+    let mul64 = |a: __m256i, b: __m256i| {
+        let lo = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), b),
+            _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b)),
+        );
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+    };
+    let mut s = [_mm256_setzero_si256(); 2];
+    let mut widev = [_mm256_setzero_si256(); 2];
+    for g in 0..groups {
+        s[g] = _mm256_loadu_si256(states[g * 4..].as_ptr() as *const __m256i);
+        widev[g] = _mm256_xor_si256(
+            _mm256_loadu_si256(wide[g * 4..].as_ptr() as *const __m256i),
+            bias,
+        );
+    }
+    let mut masks = [0u8; 64];
+    let mut words = [0u64; 8];
+    let mut remaining = len;
+    while remaining > 0 {
+        let nbits = remaining.min(64);
+        for m in masks[..nbits].iter_mut() {
+            let mut bits = 0u32;
+            for g in 0..groups {
+                s[g] = _mm256_add_epi64(s[g], gamma);
+                let mut z = mul64(_mm256_xor_si256(s[g], _mm256_srli_epi64::<30>(s[g])), c1);
+                z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64::<27>(z)), c2);
+                z = _mm256_xor_si256(z, _mm256_srli_epi64::<31>(z));
+                // Unsigned z < wide  ⇔  signed (wide ^ bias) > (z ^ bias).
+                let lt = _mm256_cmpgt_epi64(widev[g], _mm256_xor_si256(z, bias));
+                bits |= (_mm256_movemask_pd(_mm256_castsi256_pd(lt)) as u32) << (g * 4);
+            }
+            *m = bits as u8 | always_mask;
+        }
+        transpose_masks(&mut masks, lanes, nbits, &mut words);
+        emit(&words[..lanes], nbits);
+        remaining -= nbits;
+    }
+    for g in 0..groups {
+        _mm256_storeu_si256(states[g * 4..].as_mut_ptr() as *mut __m256i, s[g]);
+    }
+}
+
+/// Whether the base-2 counter (van der Corput) engine
+/// ([`counter_drain_chains`]) will run for `lanes` chains under the
+/// current dispatch tier.
+pub(crate) fn counter_vector_applicable(lanes: usize) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        matches!(lanes, 4 | 8) && active_tier() >= SimdTier::Avx2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = lanes;
+        false
+    }
+}
+
+/// Draws `L` base-2 van der Corput comparator chains that share one
+/// counter walk: draw `t` (1-based) emits, for lane `l`, the bit
+/// `reverse_bits(t) < wide[l]` (or `1` when `always[l]`, i.e. the u128
+/// threshold saturated past 2^64). 64 draws pack into one
+/// `emit(&block, nbits)` word per lane, LSB-first — exactly the scalar
+/// `counter_bit` interleave. Returns `false` (touching nothing) when no
+/// vector path applies.
+///
+/// Because every lane of one `drain_lanes` call advances the *same*
+/// counter, the engine bit-reverses each index once — GFNI
+/// `vgf2p8affineqb` (bit-reverse within bytes) + `vpshufb` (byte
+/// reversal) where available, portable `u64::reverse_bits` otherwise —
+/// and then runs one vector compare per lane per 64-draw block, whose
+/// mask *is* the lane's output byte: no pext transpose needed.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn counter_drain_chains<const L: usize, F>(
+    wide: &[u64; L],
+    always: &[bool; L],
+    len: usize,
+    mut emit: F,
+) -> bool
+where
+    F: FnMut(&[u64; L], usize),
+{
+    if !counter_vector_applicable(L) {
+        return false;
+    }
+    let tier = active_tier();
+    let gfni = is_x86_feature_detected!("gfni");
+    let avx512bw = is_x86_feature_detected!("avx512bw");
+    let mut revbuf = [0u64; 64];
+    let mut words = [0u64; L];
+    let mut n = 0u64;
+    let mut remaining = len;
+    while remaining > 0 {
+        let nbits = remaining.min(64);
+        // Fill revbuf with reverse_bits(n + 1 ..= n + 64); slots at and
+        // above nbits are never read back (masked out below).
+        // SAFETY: each arm's features were detected above (tier is
+        // clamped to the hardware by active_tier).
+        unsafe {
+            if tier == SimdTier::Avx512 && gfni && avx512bw {
+                reverse_indices_avx512(n, &mut revbuf);
+            } else if gfni {
+                reverse_indices_avx2_gfni(n, &mut revbuf);
+            } else {
+                for (t, r) in revbuf.iter_mut().enumerate() {
+                    *r = (n + 1 + t as u64).reverse_bits();
+                }
+            }
+            if tier == SimdTier::Avx512 {
+                counter_compare_words_avx512(&revbuf, wide, &mut words);
+            } else {
+                counter_compare_words_avx2(&revbuf, wide, &mut words);
+            }
+        }
+        for (w, &a) in words.iter_mut().zip(always.iter()) {
+            if a {
+                *w = u64::MAX;
+            }
+            if nbits < 64 {
+                *w &= (1u64 << nbits) - 1;
+            }
+        }
+        emit(&words, nbits);
+        n += nbits as u64;
+        remaining -= nbits;
+    }
+    true
+}
+
+/// Non-x86 stub: no vector engine; callers use the scalar interleave.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn counter_drain_chains<const L: usize, F>(
+    _wide: &[u64; L],
+    _always: &[bool; L],
+    _len: usize,
+    _emit: F,
+) -> bool
+where
+    F: FnMut(&[u64; L], usize),
+{
+    false
+}
+
+/// GF(2) affine matrix that bit-reverses each byte under
+/// `vgf2p8affineqb` (the identity matrix in this encoding is
+/// `0x0102_0408_1020_4080`).
+#[cfg(target_arch = "x86_64")]
+const GFNI_BIT_REVERSE: i64 = 0x8040_2010_0804_0201u64 as i64;
+
+/// Bit-reverses the 64 counter values `n + 1 ..= n + 64` into `out`,
+/// eight per ZMM: GFNI reverses bits within each byte, `vpshufb`
+/// reverses the bytes of each quadword.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,gfni")]
+unsafe fn reverse_indices_avx512(n: u64, out: &mut [u64; 64]) {
+    use std::arch::x86_64::*;
+    let revmat = _mm512_set1_epi64(GFNI_BIT_REVERSE);
+    let byte_swap = _mm512_broadcast_i32x4(_mm_set_epi8(
+        8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7,
+    ));
+    let step = _mm512_set1_epi64(8);
+    let mut idx = _mm512_add_epi64(
+        _mm512_set1_epi64(n as i64),
+        _mm512_setr_epi64(1, 2, 3, 4, 5, 6, 7, 8),
+    );
+    for c in 0..8 {
+        let br = _mm512_gf2p8affine_epi64_epi8::<0>(idx, revmat);
+        let r = _mm512_shuffle_epi8(br, byte_swap);
+        _mm512_storeu_si512(out[c * 8..].as_mut_ptr() as *mut __m512i, r);
+        idx = _mm512_add_epi64(idx, step);
+    }
+}
+
+/// [`reverse_indices_avx512`] with VEX-encoded 256-bit GFNI, four
+/// counter values per YMM.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,gfni")]
+unsafe fn reverse_indices_avx2_gfni(n: u64, out: &mut [u64; 64]) {
+    use std::arch::x86_64::*;
+    let revmat = _mm256_set1_epi64x(GFNI_BIT_REVERSE);
+    let byte_swap = _mm256_broadcastsi128_si256(_mm_set_epi8(
+        8, 9, 10, 11, 12, 13, 14, 15, 0, 1, 2, 3, 4, 5, 6, 7,
+    ));
+    let step = _mm256_set1_epi64x(4);
+    let mut idx = _mm256_add_epi64(_mm256_set1_epi64x(n as i64), _mm256_setr_epi64x(1, 2, 3, 4));
+    for c in 0..16 {
+        let br = _mm256_gf2p8affine_epi64_epi8::<0>(idx, revmat);
+        let r = _mm256_shuffle_epi8(br, byte_swap);
+        _mm256_storeu_si256(out[c * 4..].as_mut_ptr() as *mut __m256i, r);
+        idx = _mm256_add_epi64(idx, step);
+    }
+}
+
+/// Compares the 64 shared reversed indices against each lane's widened
+/// threshold; each 8-value `vpcmpuq` k-mask is directly 8 output bits of
+/// that lane's word.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn counter_compare_words_avx512(revbuf: &[u64; 64], wide: &[u64], words: &mut [u64]) {
+    use std::arch::x86_64::*;
+    for (l, word) in words.iter_mut().enumerate() {
+        let tv = _mm512_set1_epi64(wide[l] as i64);
+        let mut w = 0u64;
+        for c in 0..8 {
+            let v = _mm512_loadu_si512(revbuf[c * 8..].as_ptr() as *const __m512i);
+            w |= (_mm512_cmplt_epu64_mask(v, tv) as u64) << (c * 8);
+        }
+        *word = w;
+    }
+}
+
+/// AVX2 variant of [`counter_compare_words_avx512`]: sign-bias
+/// `vpcmpgtq` + `vmovmskpd`, 4 output bits per compare.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn counter_compare_words_avx2(revbuf: &[u64; 64], wide: &[u64], words: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let bias = _mm256_set1_epi64x(i64::MIN);
+    for (l, word) in words.iter_mut().enumerate() {
+        let tv = _mm256_xor_si256(_mm256_set1_epi64x(wide[l] as i64), bias);
+        let mut w = 0u64;
+        for c in 0..16 {
+            let v = _mm256_loadu_si256(revbuf[c * 4..].as_ptr() as *const __m256i);
+            let lt = _mm256_cmpgt_epi64(tv, _mm256_xor_si256(v, bias));
+            w |= (_mm256_movemask_pd(_mm256_castsi256_pd(lt)) as u64) << (c * 4);
+        }
+        *word = w;
+    }
+}
+
+/// Assembles the 64 per-cycle decision-table indices of one word × lane
+/// slot: `idxs[t]` bit `j` = bit `t` of `src[j]` — a 64 × `src.len()`
+/// bit transpose with `src.len() ≤ 16`. Returns `false` (touching
+/// nothing) when no vector path applies; callers then run
+/// [`assemble_indices16_scalar`] (or the equivalent nibble-spread
+/// tables).
+///
+/// The AVX-512BW path broadcasts each source word's low/high 32 bits as
+/// a `vpmovm2w` lane mask, ANDs with `1 << j`, and ORs into two ZMM
+/// accumulators holding all 64 `u16` indices.
+pub fn assemble_indices16(src: &[u64], idxs: &mut [u16; 64]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if src.len() <= 16
+            && active_tier() == SimdTier::Avx512
+            && is_x86_feature_detected!("avx512bw")
+        {
+            // SAFETY: avx512bw implies avx512f; both just detected (the
+            // tier is clamped to hardware).
+            unsafe { assemble_indices16_avx512bw(src, idxs) };
+            return true;
+        }
+    }
+    let _ = (src, idxs);
+    false
+}
+
+/// The portable reference for [`assemble_indices16`].
+pub fn assemble_indices16_scalar(src: &[u64], idxs: &mut [u16; 64]) {
+    debug_assert!(src.len() <= 16);
+    for (t, slot) in idxs.iter_mut().enumerate() {
+        let mut idx = 0u16;
+        for (j, &w) in src.iter().enumerate() {
+            idx |= (((w >> t) & 1) as u16) << j;
+        }
+        *slot = idx;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn assemble_indices16_avx512bw(src: &[u64], idxs: &mut [u16; 64]) {
+    use std::arch::x86_64::*;
+    let mut lo = _mm512_setzero_si512();
+    let mut hi = _mm512_setzero_si512();
+    for (j, &w) in src.iter().enumerate() {
+        let bit = _mm512_set1_epi16((1u16 << j) as i16);
+        lo = _mm512_or_si512(
+            lo,
+            _mm512_maskz_mov_epi16((w & 0xFFFF_FFFF) as __mmask32, bit),
+        );
+        hi = _mm512_or_si512(hi, _mm512_maskz_mov_epi16((w >> 32) as __mmask32, bit));
+    }
+    _mm512_storeu_si512(idxs.as_mut_ptr() as *mut __m512i, lo);
+    _mm512_storeu_si512(idxs.as_mut_ptr().add(32) as *mut __m512i, hi);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,5 +1101,210 @@ mod tests {
     fn ragged_word_count_rejected() {
         let mut acc = [0u64; 4];
         popcount_lanes_accumulate(&[0u64; 6], &mut acc);
+    }
+
+    #[test]
+    fn parse_tier_accepts_every_spelling() {
+        assert_eq!(parse_tier("scalar"), Ok(SimdTier::Scalar));
+        assert_eq!(parse_tier("avx2"), Ok(SimdTier::Avx2));
+        assert_eq!(parse_tier("avx512"), Ok(SimdTier::Avx512));
+        // Case and whitespace are forgiven; the tier set is not.
+        assert_eq!(parse_tier(" AVX512 "), Ok(SimdTier::Avx512));
+        assert_eq!(parse_tier("Scalar"), Ok(SimdTier::Scalar));
+    }
+
+    #[test]
+    fn parse_tier_rejects_garbage_with_the_valid_list() {
+        for garbage in ["avx", "sse2", "avx1024", "0", "scalar,avx2", "née"] {
+            let err = parse_tier(garbage).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(&format!("{garbage:?}")), "{msg}");
+            assert!(
+                msg.contains("scalar, avx2, avx512"),
+                "error must list the valid tiers: {msg}"
+            );
+        }
+    }
+
+    /// Scalar reference for the SplitMix engine: the same draws the
+    /// `ChaoticLaserSng` interleave makes.
+    fn splitmix_reference(
+        states: &mut [u64],
+        wide: &[u64],
+        always: &[bool],
+        len: usize,
+    ) -> Vec<(Vec<u64>, usize)> {
+        let mut rngs: Vec<SplitMix64> = states.iter().map(|&s| SplitMix64::new(s)).collect();
+        let mut out = Vec::new();
+        let mut remaining = len;
+        while remaining > 0 {
+            let nbits = remaining.min(64);
+            let mut words = vec![0u64; states.len()];
+            for b in 0..nbits {
+                for (l, w) in words.iter_mut().enumerate() {
+                    let bit = (rngs[l].next_u64() < wide[l]) | always[l];
+                    *w |= u64::from(bit) << b;
+                }
+            }
+            out.push((words, nbits));
+            remaining -= nbits;
+        }
+        for (s, rng) in states.iter_mut().zip(&rngs) {
+            *s = rng.state();
+        }
+        out
+    }
+
+    #[test]
+    fn splitmix_engine_matches_scalar_reference_on_every_tier() {
+        // The engine only runs when a vector tier is active; when another
+        // test has raced the global override down to scalar it declines,
+        // which is itself the correct (and asserted) behaviour.
+        let mut seeder = SplitMix64::new(0x5EED_CAFE);
+        for tier in [SimdTier::Avx2, SimdTier::Avx512] {
+            for lanes in [4usize, 8] {
+                for len in [1usize, 63, 64, 65, 257, 1000] {
+                    let mut states: [u64; 8] = std::array::from_fn(|_| seeder.next_u64());
+                    let mut wide = [0u64; 8];
+                    for w in wide.iter_mut().take(lanes) {
+                        *w = seeder.next_u64();
+                    }
+                    // Exercise the saturation flag on one lane.
+                    let mut always = [false; 8];
+                    always[lanes - 1] = true;
+                    let mut want_states = states;
+                    let want = splitmix_reference(
+                        &mut want_states[..lanes],
+                        &wide[..lanes],
+                        &always[..lanes],
+                        len,
+                    );
+                    let granted = set_tier_override(Some(tier));
+                    let mut got = Vec::new();
+                    let ran = if lanes == 4 {
+                        let mut s4: [u64; 4] = states[..4].try_into().unwrap();
+                        let w4: [u64; 4] = wide[..4].try_into().unwrap();
+                        let a4: [bool; 4] = always[..4].try_into().unwrap();
+                        let ran = splitmix_drain_chains::<4, _>(
+                            &mut s4,
+                            &w4,
+                            &a4,
+                            len,
+                            |block, nbits| got.push((block.to_vec(), nbits)),
+                        );
+                        states[..4].copy_from_slice(&s4);
+                        ran
+                    } else {
+                        splitmix_drain_chains::<8, _>(
+                            &mut states,
+                            &wide,
+                            &always,
+                            len,
+                            |block, nbits| got.push((block.to_vec(), nbits)),
+                        )
+                    };
+                    set_tier_override(None);
+                    if !ran {
+                        assert!(
+                            granted < SimdTier::Avx2 || !splitmix_vector_applicable(lanes),
+                            "engine declined although applicable"
+                        );
+                        continue;
+                    }
+                    assert_eq!(got, want, "tier {tier:?}, lanes {lanes}, len {len}");
+                    assert_eq!(
+                        &states[..lanes],
+                        &want_states[..lanes],
+                        "final states, tier {tier:?}, lanes {lanes}, len {len}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scalar reference for the counter engine: shared counter walk,
+    /// per-lane thresholds, `counter_bit` semantics.
+    fn counter_reference(wide: &[u64], always: &[bool], len: usize) -> Vec<(Vec<u64>, usize)> {
+        let mut out = Vec::new();
+        let mut n = 0u64;
+        let mut remaining = len;
+        while remaining > 0 {
+            let nbits = remaining.min(64);
+            let mut words = vec![0u64; wide.len()];
+            for b in 0..nbits {
+                n += 1;
+                let rev = n.reverse_bits();
+                for (l, w) in words.iter_mut().enumerate() {
+                    let bit = (rev < wide[l]) | always[l];
+                    *w |= u64::from(bit) << b;
+                }
+            }
+            out.push((words, nbits));
+            remaining -= nbits;
+        }
+        out
+    }
+
+    #[test]
+    fn counter_engine_matches_scalar_reference_on_every_tier() {
+        let mut seeder = SplitMix64::new(0xC0_FFEE);
+        for tier in [SimdTier::Avx2, SimdTier::Avx512] {
+            for lanes in [4usize, 8] {
+                for len in [1usize, 63, 64, 65, 257, 1000] {
+                    let mut wide = [0u64; 8];
+                    for w in wide.iter_mut().take(lanes) {
+                        *w = seeder.next_u64();
+                    }
+                    wide[0] = 0; // p = 0: never fires
+                    let mut always = [false; 8];
+                    always[lanes - 1] = true; // saturated threshold
+                    let want = counter_reference(&wide[..lanes], &always[..lanes], len);
+                    let granted = set_tier_override(Some(tier));
+                    let mut got = Vec::new();
+                    let ran = if lanes == 4 {
+                        let w4: [u64; 4] = wide[..4].try_into().unwrap();
+                        let a4: [bool; 4] = always[..4].try_into().unwrap();
+                        counter_drain_chains::<4, _>(&w4, &a4, len, |block, nbits| {
+                            got.push((block.to_vec(), nbits))
+                        })
+                    } else {
+                        let w8: [u64; 8] = wide;
+                        let a8: [bool; 8] = always;
+                        counter_drain_chains::<8, _>(&w8, &a8, len, |block, nbits| {
+                            got.push((block.to_vec(), nbits))
+                        })
+                    };
+                    set_tier_override(None);
+                    if !ran {
+                        assert!(
+                            granted < SimdTier::Avx2 || !counter_vector_applicable(lanes),
+                            "engine declined although applicable"
+                        );
+                        continue;
+                    }
+                    assert_eq!(got, want, "tier {tier:?}, lanes {lanes}, len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_indices16_matches_scalar_when_it_runs() {
+        let mut rng = SplitMix64::new(0x1D_EA5);
+        for nsrc in [1usize, 7, 10, 16] {
+            let src: Vec<u64> = (0..nsrc).map(|_| rng.next_u64()).collect();
+            let mut want = [0u16; 64];
+            assemble_indices16_scalar(&src, &mut want);
+            // Round-trip sanity on the reference itself.
+            for (t, &idx) in want.iter().enumerate() {
+                for (j, &w) in src.iter().enumerate() {
+                    assert_eq!((idx >> j) & 1, ((w >> t) & 1) as u16);
+                }
+            }
+            let mut got = [0xFFFFu16; 64];
+            if assemble_indices16(&src, &mut got) {
+                assert_eq!(got, want, "nsrc {nsrc}");
+            }
+        }
     }
 }

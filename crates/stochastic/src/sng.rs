@@ -155,6 +155,74 @@ where
     }
 }
 
+/// Whether the scalar-tier chunked burst schedule should replace the
+/// bit-granular interleave for an `L`-lane drain: with no vector engine
+/// behind the lanes, interleaving only thrashes `L` live source states
+/// through one scalar pipe (pr5's forced-scalar records measured it at
+/// 0.79–0.85× of sequential draining). Both schedules are bit-identical
+/// by construction, so the dispatch is unobservable.
+#[inline]
+fn scalar_lane_burst<const L: usize>() -> bool {
+    L > 1 && crate::simd::active_tier() == crate::simd::SimdTier::Scalar
+}
+
+/// Scalar-tier companion of [`drain_lanes_with`]: each lane fills a
+/// whole multi-word chunk in one tight run — `run(l, words, last_bits)`
+/// packs `words.len()` words of lane `l`'s stream, with `last_bits`
+/// valid bits in the final word — before the next lane starts, so a
+/// caller-hoisted source state stays in registers for up to
+/// `CHUNK × 64` consecutive draws (per-word lane switching measurably
+/// pays reload/spill tax; per-chunk switching is noise). The buffered
+/// chunk is then emitted in the same word-lockstep block order as
+/// [`drain_lanes_with`]; per lane the draw order is strictly
+/// sequential, so the emitted words and final source states are
+/// bit-identical to the interleave.
+#[inline]
+fn drain_lanes_chunked<const L: usize, R, F>(len: usize, mut run: R, mut emit: F)
+where
+    R: FnMut(usize, &mut [u64], usize),
+    F: FnMut(&[u64; L], usize),
+{
+    // 32 words (2048 bits) per lane per chunk: large enough that the
+    // per-chunk lane switch vanishes, small enough that the buffer
+    // stays comfortably on the stack (2 KiB at L = 8).
+    const CHUNK: usize = 32;
+    let mut buf = [[0u64; CHUNK]; L];
+    let mut remaining = len;
+    while remaining > 0 {
+        let bits = remaining.min(CHUNK * 64);
+        let words = bits.div_ceil(64);
+        let last_bits = bits - (words - 1) * 64;
+        for (l, lane_buf) in buf.iter_mut().enumerate() {
+            run(l, &mut lane_buf[..words], last_bits);
+        }
+        // `w` strides across every lane's buffer at once (a transposed
+        // gather), which no single-slice iterator expresses.
+        #[allow(clippy::needless_range_loop)]
+        for w in 0..words {
+            let block: [u64; L] = std::array::from_fn(|l| buf[l][w]);
+            let nbits = if w + 1 == words { last_bits } else { 64 };
+            emit(&block, nbits);
+        }
+        remaining -= bits;
+    }
+}
+
+/// Fills one lane's chunk for [`drain_lanes_chunked`] from a per-draw
+/// comparator closure: full words through [`pack64`] (constant trip
+/// count, fully unrolled), a ragged last word through [`pack_word`].
+#[inline]
+fn fill_lane_words<B: FnMut() -> bool>(words: &mut [u64], last_bits: usize, mut bit: B) {
+    let n = words.len();
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = if i + 1 == n && last_bits < 64 {
+            pack_word(last_bits, &mut bit)
+        } else {
+            pack64(&mut bit)
+        };
+    }
+}
+
 /// Paired form of [`drain_lanes_with`]: drains **two** consecutive
 /// streams per lane (`2L` interleaved chains — `bit0(l)` for each lane's
 /// first stream, `bit1(l)` for its jumped second chain) in word lockstep.
@@ -515,11 +583,24 @@ impl StochasticNumberGenerator for LfsrSng {
         // independent registers, so hoisting all L into locals gives the
         // interleaved chains directly.
         let mut regs: [Lfsr; L] = std::array::from_fn(|l| lanes[l].lfsr.clone());
-        drain_lanes_with::<L, _, _>(
-            len,
-            |l| u64::from(regs[l].next_state()) < thresholds[l],
-            emit,
-        );
+        if scalar_lane_burst::<L>() {
+            drain_lanes_chunked::<L, _, _>(
+                len,
+                |l, words, last_bits| {
+                    let mut reg = regs[l].clone();
+                    let threshold = thresholds[l];
+                    fill_lane_words(words, last_bits, || u64::from(reg.next_state()) < threshold);
+                    regs[l] = reg;
+                },
+                emit,
+            );
+        } else {
+            drain_lanes_with::<L, _, _>(
+                len,
+                |l| u64::from(regs[l].next_state()) < thresholds[l],
+                emit,
+            );
+        }
         for (lane, reg) in lanes.iter_mut().zip(regs) {
             lane.lfsr = reg;
         }
@@ -725,7 +806,7 @@ impl StochasticNumberGenerator for CounterSng {
         lanes: &mut [Self; L],
         ps: &[f64; L],
         len: usize,
-        emit: F,
+        mut emit: F,
     ) -> Result<(), ScError>
     where
         F: FnMut(&[u64; L], usize),
@@ -735,8 +816,43 @@ impl StochasticNumberGenerator for CounterSng {
             *c = check_unit("probability", p)?;
         }
         let modes: [CounterMode; L] = std::array::from_fn(|l| lanes[l].next_mode(checked[l], len));
+        // All-base-2 lanes (the common case: fresh generators all sit on
+        // Halton base 2) share one counter walk and differ only in their
+        // integer thresholds — exactly the shape of the vectorized
+        // bit-reversal engine. Lower each u128 threshold to the engine's
+        // (wide, always) comparator form; any Halton lane falls through
+        // to the per-bit interleave.
+        let mut wide = [0u64; L];
+        let mut always = [false; L];
+        let all_base2 = modes.iter().enumerate().all(|(l, mode)| match *mode {
+            CounterMode::Base2 { threshold } => {
+                if threshold >= 1u128 << 64 {
+                    always[l] = true;
+                } else {
+                    wide[l] = threshold as u64;
+                }
+                true
+            }
+            CounterMode::Halton { .. } => false,
+        });
+        if all_base2 && crate::simd::counter_drain_chains::<L, _>(&wide, &always, len, &mut emit) {
+            return Ok(());
+        }
         let mut ns = [0u64; L];
-        drain_lanes_with::<L, _, _>(len, |l| counter_bit(&modes[l], &mut ns[l]), emit);
+        if scalar_lane_burst::<L>() {
+            drain_lanes_chunked::<L, _, _>(
+                len,
+                |l, words, last_bits| {
+                    let mode = &modes[l];
+                    let mut n = ns[l];
+                    fill_lane_words(words, last_bits, || counter_bit(mode, &mut n));
+                    ns[l] = n;
+                },
+                emit,
+            );
+        } else {
+            drain_lanes_with::<L, _, _>(len, |l| counter_bit(&modes[l], &mut ns[l]), emit);
+        }
         Ok(())
     }
 
@@ -913,7 +1029,24 @@ impl StochasticNumberGenerator for XoshiroSng {
         // the interleaved comparator chains keep every xoshiro
         // state-update latency hidden behind the other lanes'.
         let mut states: [Xoshiro256PlusPlus; L] = std::array::from_fn(|l| lanes[l].rng.clone());
-        drain_lanes_with::<L, _, _>(len, |l| (states[l].next_u64() < wide[l]) | always[l], emit);
+        if scalar_lane_burst::<L>() {
+            drain_lanes_chunked::<L, _, _>(
+                len,
+                |l, words, last_bits| {
+                    let mut s = states[l].clone();
+                    let (wide_l, always_l) = (wide[l], always[l]);
+                    fill_lane_words(words, last_bits, || (s.next_u64() < wide_l) | always_l);
+                    states[l] = s;
+                },
+                emit,
+            );
+        } else {
+            drain_lanes_with::<L, _, _>(
+                len,
+                |l| (states[l].next_u64() < wide[l]) | always[l],
+                emit,
+            );
+        }
         for (lane, state) in lanes.iter_mut().zip(states) {
             lane.rng = state;
         }
@@ -1102,7 +1235,7 @@ impl StochasticNumberGenerator for ChaoticLaserSng {
         lanes: &mut [Self; L],
         ps: &[f64; L],
         len: usize,
-        emit: F,
+        mut emit: F,
     ) -> Result<(), ScError>
     where
         F: FnMut(&[u64; L], usize),
@@ -1113,8 +1246,36 @@ impl StochasticNumberGenerator for ChaoticLaserSng {
             let p = check_unit("probability", ps[l])?;
             (wide[l], always[l]) = widen_threshold53(Self::comparator_threshold(p));
         }
+        // Vector engine first: the SplitMix64 states of all L lanes fit
+        // one register and each draw is an add + two multiply-mix steps —
+        // bit-identical to the scalar interleave below (same draws, same
+        // packing, same final states).
+        let mut raw: [u64; L] = std::array::from_fn(|l| lanes[l].rng.state());
+        if crate::simd::splitmix_drain_chains::<L, _>(&mut raw, &wide, &always, len, &mut emit) {
+            for (lane, s) in lanes.iter_mut().zip(raw) {
+                lane.rng = SplitMix64::new(s);
+            }
+            return Ok(());
+        }
         let mut states: [SplitMix64; L] = std::array::from_fn(|l| lanes[l].rng);
-        drain_lanes_with::<L, _, _>(len, |l| (states[l].next_u64() < wide[l]) | always[l], emit);
+        if scalar_lane_burst::<L>() {
+            drain_lanes_chunked::<L, _, _>(
+                len,
+                |l, words, last_bits| {
+                    let mut s = states[l];
+                    let (wide_l, always_l) = (wide[l], always[l]);
+                    fill_lane_words(words, last_bits, || (s.next_u64() < wide_l) | always_l);
+                    states[l] = s;
+                },
+                emit,
+            );
+        } else {
+            drain_lanes_with::<L, _, _>(
+                len,
+                |l| (states[l].next_u64() < wide[l]) | always[l],
+                emit,
+            );
+        }
         for (lane, state) in lanes.iter_mut().zip(states) {
             lane.rng = state;
         }
@@ -1131,6 +1292,14 @@ impl StochasticNumberGenerator for ChaoticLaserSng {
     where
         F: FnMut(&[u64; L], &[u64; L], usize),
     {
+        // When the vector engine covers this lane width, two vectorized
+        // single-stream passes beat one scalar 2L-chain pass: decline
+        // pairing (consuming nothing) and let the caller issue two
+        // `drain_lanes` calls — the emitted bits are identical either
+        // way.
+        if crate::simd::splitmix_vector_applicable(L) {
+            return Ok(false);
+        }
         let mut wide0 = [0u64; L];
         let mut always0 = [false; L];
         let mut wide1 = [0u64; L];
@@ -1474,6 +1643,10 @@ mod tests {
             }
             sng
         });
+        // Fresh counters: every lane sits on Halton base 2, the shape the
+        // vectorized bit-reversal engine accepts.
+        assert_drain_lanes_matches_standalone::<4, _>(|_| CounterSng::new());
+        assert_drain_lanes_matches_standalone::<8, _>(|_| CounterSng::new());
     }
 
     /// `expect_streamed: Some(b)` pins the pairing decision itself;
@@ -1541,7 +1714,14 @@ mod tests {
         // concurrently, so only the bit-identity is asserted here.
         assert_drain_lanes_two_matches_sequential::<4, _>(|l| XoshiroSng::new(90 + l as u64), None);
         assert_drain_lanes_two_matches_sequential::<8, _>(|l| XoshiroSng::new(90 + l as u64), None);
+        // Chaotic follows the same rule as xoshiro now that SplitMix64
+        // has a vector engine: decline pairing at covered widths, pair
+        // otherwise — tier-dependent, so only bit-identity is asserted.
         assert_drain_lanes_two_matches_sequential::<8, _>(
+            |l| ChaoticLaserSng::seeded(17 + l as u64),
+            None,
+        );
+        assert_drain_lanes_two_matches_sequential::<2, _>(
             |l| ChaoticLaserSng::seeded(17 + l as u64),
             Some(true),
         );
@@ -1566,23 +1746,57 @@ mod tests {
     fn drain_lanes_identical_across_simd_tiers() {
         // The same lane drain forced through every dispatch tier must be
         // word-for-word identical (unsupported tiers clamp down, so this
-        // holds on any machine). Ragged tail included.
+        // holds on any machine). Ragged tail included; all four SNG
+        // engine families covered.
         use crate::simd::{set_tier_override, SimdTier};
-        let collect = |tier: SimdTier| {
+        fn collect_tier<S: StochasticNumberGenerator>(
+            tier: SimdTier,
+            make: impl Fn(usize) -> S,
+            len: usize,
+        ) -> [BitStream; 8] {
             set_tier_override(Some(tier));
-            let mut lanes: [XoshiroSng; 8] = std::array::from_fn(|l| XoshiroSng::new(3 + l as u64));
+            let mut lanes: [S; 8] = std::array::from_fn(&make);
             let ps: [f64; 8] = std::array::from_fn(|l| l as f64 / 9.0);
-            let out = collect_drain_lanes(&mut lanes, &ps, 1000);
+            let out = collect_drain_lanes(&mut lanes, &ps, len);
             set_tier_override(None);
             out
-        };
-        let scalar = collect(SimdTier::Scalar);
-        let avx2 = collect(SimdTier::Avx2);
-        let avx512 = collect(SimdTier::Avx512);
-        for l in 0..8 {
-            assert_eq!(scalar[l], avx2[l], "lane {l}: scalar vs avx2");
-            assert_eq!(scalar[l], avx512[l], "lane {l}: scalar vs avx512");
         }
+        fn assert_tiers_agree<S: StochasticNumberGenerator>(
+            make: impl Fn(usize) -> S + Copy,
+            tag: &str,
+        ) {
+            // 1000 bits sits inside one scalar-tier chunk; 4097 crosses
+            // two chunk boundaries with a ragged one-bit tail.
+            for len in [1000usize, 4097] {
+                let scalar = collect_tier(SimdTier::Scalar, make, len);
+                let avx2 = collect_tier(SimdTier::Avx2, make, len);
+                let avx512 = collect_tier(SimdTier::Avx512, make, len);
+                for l in 0..8 {
+                    assert_eq!(
+                        scalar[l], avx2[l],
+                        "{tag} lane {l} len {len}: scalar vs avx2"
+                    );
+                    assert_eq!(
+                        scalar[l], avx512[l],
+                        "{tag} lane {l} len {len}: scalar vs avx512"
+                    );
+                }
+            }
+        }
+        assert_tiers_agree(|l| XoshiroSng::new(3 + l as u64), "xoshiro");
+        assert_tiers_agree(|l| ChaoticLaserSng::seeded(3 + l as u64), "chaotic");
+        assert_tiers_agree(|l| LfsrSng::new(16, 0xACE1 + l as u32).unwrap(), "lfsr");
+        assert_tiers_agree(|_| CounterSng::new(), "counter base-2");
+        assert_tiers_agree(
+            |l| {
+                let mut sng = CounterSng::new();
+                for _ in 0..l {
+                    let _ = sng.generate(0.5, 4);
+                }
+                sng
+            },
+            "counter staggered",
+        );
     }
 
     #[test]
