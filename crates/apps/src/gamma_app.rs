@@ -10,7 +10,8 @@ use crate::image::Image;
 use crate::AppError;
 use osc_core::batch::shard::pool::WorkerPool;
 use osc_core::batch::shard::{ShardCoordinator, SngKind};
-use osc_core::batch::{evaluate_lane_block, lane_blocks, mix_seed, BatchEvaluator};
+use osc_core::batch::{evaluate_lane_block_faulted, lane_blocks, mix_seed, BatchEvaluator};
+use osc_core::fault::FaultSpec;
 use osc_core::system::EvalScratch;
 use osc_stochastic::gamma::{fit_gamma_bernstein, gamma_exact, DISPLAY_GAMMA, PAPER_GAMMA_DEGREE};
 use osc_stochastic::sng::XoshiroSng;
@@ -96,12 +97,33 @@ pub fn apply_optical_lanes(
     backend: &OpticalBackend,
     evaluator: &BatchEvaluator,
 ) -> Result<Image, AppError> {
+    apply_optical_lanes_faulted(image, backend, evaluator, None)
+}
+
+/// [`apply_optical_lanes`] under an optional per-stream fault process:
+/// each pixel's spec rebases by global row then column
+/// ([`FaultSpec::rebased`]), mirroring the generator derivation — so
+/// faulty output, like clean output, is identical across thread counts,
+/// lane decompositions, SIMD tiers and (via the sharded/pooled
+/// variants) shard counts.
+///
+/// # Errors
+///
+/// Propagates backend failures (first failing row by index order); an
+/// invalid fault spec fails on the first row evaluated.
+pub fn apply_optical_lanes_faulted(
+    image: &Image,
+    backend: &OpticalBackend,
+    evaluator: &BatchEvaluator,
+    faults: Option<&FaultSpec>,
+) -> Result<Image, AppError> {
     let width = image.width();
     let rows: Vec<usize> = (0..image.height()).collect();
     // Every row decomposes identically; compute the blocks once.
     let blocks = lane_blocks(width);
     let produced = evaluator.par_map_with(&rows, EvalScratch::new, |scratch, _, &y| {
         let row_seed = mix_seed(backend.seed(), y as u64);
+        let row_spec = faults.map(|spec| spec.rebased(y as u64));
         let pixels = &image.pixels()[y * width..(y + 1) * width];
         let mut out_row = Vec::with_capacity(width);
         for &(start, bw) in &blocks {
@@ -111,12 +133,15 @@ pub fn apply_optical_lanes(
             }
             // The shared lane-block evaluator keeps the pixel pipeline's
             // generator derivation identical to the batch convention.
-            let runs = evaluate_lane_block(
+            let runs = evaluate_lane_block_faulted(
                 backend.system(),
                 &xs[..bw],
                 backend.stream_length(),
                 &XoshiroSng::new,
                 |k| mix_seed(row_seed, (start + k) as u64),
+                row_spec
+                    .as_ref()
+                    .map(|spec| move |k: usize| spec.rebased((start + k) as u64)),
                 scratch,
             )?;
             out_row.extend(runs.iter().map(|r| r.estimate.clamp(0.0, 1.0)));
@@ -155,13 +180,31 @@ pub fn apply_optical_sharded(
     backend: &OpticalBackend,
     coordinator: &ShardCoordinator,
 ) -> Result<Image, AppError> {
-    let runs = coordinator.image_rows(
+    apply_optical_sharded_faulted(image, backend, coordinator, None)
+}
+
+/// [`apply_optical_sharded`] under an optional fault process — workers
+/// rebase the spec per pixel by global row then column, so faulty
+/// sharded output is byte-identical to
+/// [`apply_optical_lanes_faulted`]'s for every shard count.
+///
+/// # Errors
+///
+/// As [`apply_optical_sharded`].
+pub fn apply_optical_sharded_faulted(
+    image: &Image,
+    backend: &OpticalBackend,
+    coordinator: &ShardCoordinator,
+    faults: Option<&FaultSpec>,
+) -> Result<Image, AppError> {
+    let runs = coordinator.image_rows_faulted(
         backend.system(),
         SngKind::Xoshiro,
         image.width(),
         image.pixels(),
         backend.stream_length(),
         backend.seed(),
+        faults,
     )?;
     Image::new(
         image.width(),
@@ -187,13 +230,30 @@ pub fn apply_optical_pooled(
     backend: &OpticalBackend,
     pool: &mut WorkerPool,
 ) -> Result<Image, AppError> {
-    let runs = pool.image_rows(
+    apply_optical_pooled_faulted(image, backend, pool, None)
+}
+
+/// [`apply_optical_pooled`] under an optional fault process —
+/// byte-identical to [`apply_optical_lanes_faulted`] and
+/// [`apply_optical_sharded_faulted`] for every worker count.
+///
+/// # Errors
+///
+/// As [`apply_optical_pooled`].
+pub fn apply_optical_pooled_faulted(
+    image: &Image,
+    backend: &OpticalBackend,
+    pool: &mut WorkerPool,
+    faults: Option<&FaultSpec>,
+) -> Result<Image, AppError> {
+    let runs = pool.image_rows_faulted(
         backend.system(),
         SngKind::Xoshiro,
         image.width(),
         image.pixels(),
         backend.stream_length(),
         backend.seed(),
+        faults,
     )?;
     Image::new(
         image.width(),

@@ -3,6 +3,7 @@
 //! ```text
 //! gamma_pool [--workers N] [--requests R] [--spawn-per-request]
 //!            [--out PATH] [--stream BITS] [--size WxH]
+//!            [--fault-flip P] [--fault-shift P] [--fault-seed S]
 //! ```
 //!
 //! Drives the shared [`osc_bench::soak`] schedule — `R` small
@@ -22,14 +23,35 @@
 //! timing lines are the amortization story. `gamma_sharded --requests`
 //! drives the same schedule, so both binaries are interchangeable
 //! entry points for local repros.
+//!
+//! `--fault-flip` / `--fault-shift` / `--fault-seed` inject a seeded
+//! fault process into every request (the CI `fault-soak` leg) — the
+//! fault-universe determinism contract keeps faulty bytes identical
+//! across modes and worker counts too.
 
 use osc_bench::soak::{self, SoakConfig, SoakMode};
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::{locate_worker, ShardCoordinator};
+use osc_core::fault::FaultSpec;
 
 fn fail(msg: &str) -> ! {
     eprintln!("gamma_pool: {msg}");
     std::process::exit(1);
+}
+
+/// Builds the optional fault process from the `--fault-*` flags: both
+/// rates zero means the clean pipeline.
+fn build_fault(flip: f64, shift: f64, seed: u64) -> Option<FaultSpec> {
+    if flip == 0.0 && shift == 0.0 {
+        return None;
+    }
+    let mut spec = FaultSpec::with_seed(seed);
+    spec.flip_probability = flip;
+    spec.shift_probability = shift;
+    if let Err(e) = spec.validate() {
+        fail(&format!("invalid fault flags: {e}"));
+    }
+    Some(spec)
 }
 
 fn main() {
@@ -37,6 +59,9 @@ fn main() {
     let mut cfg = SoakConfig::default();
     let mut spawn_per_request = false;
     let mut out_path: Option<String> = None;
+    let mut fault_flip = 0.0f64;
+    let mut fault_shift = 0.0f64;
+    let mut fault_seed = 0xFA07u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -69,12 +94,29 @@ fn main() {
                 cfg.width = w.parse().unwrap_or_else(|_| fail("--size needs WxH"));
                 cfg.height = h.parse().unwrap_or_else(|_| fail("--size needs WxH"));
             }
+            "--fault-flip" => {
+                fault_flip = value("--fault-flip")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fault-flip needs a probability"))
+            }
+            "--fault-shift" => {
+                fault_shift = value("--fault-shift")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fault-shift needs a probability"))
+            }
+            "--fault-seed" => {
+                fault_seed = value("--fault-seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fault-seed needs an integer"))
+            }
             other => fail(&format!(
                 "unknown argument {other}\nusage: gamma_pool [--workers N] [--requests R] \
-                 [--spawn-per-request] [--out PATH] [--stream BITS] [--size WxH]"
+                 [--spawn-per-request] [--out PATH] [--stream BITS] [--size WxH] \
+                 [--fault-flip P] [--fault-shift P] [--fault-seed S]"
             )),
         }
     }
+    cfg.fault = build_fault(fault_flip, fault_shift, fault_seed);
 
     let worker = || {
         locate_worker("shard_worker").unwrap_or_else(|| {

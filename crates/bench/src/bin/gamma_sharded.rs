@@ -3,6 +3,7 @@
 //! ```text
 //! gamma_sharded [--shards N | --workers N] [--requests R]
 //!               [--out PATH] [--stream BITS] [--size WxH]
+//!               [--fault-flip P] [--fault-shift P] [--fault-seed S]
 //! ```
 //!
 //! Default mode: runs the paper's Section V.C gamma-correction workload
@@ -21,6 +22,12 @@
 //! modes, so the CI soak job and local repros share one entry point.
 //! `--workers` is an alias for `--shards`. Both modes print a one-line
 //! timing summary.
+//!
+//! `--fault-flip` / `--fault-shift` / `--fault-seed` inject a seeded
+//! fault process into every evaluation (both modes) — the
+//! fault-universe determinism contract keeps faulty bytes identical
+//! across shard counts, so the CI `fault-soak` job `cmp`s them exactly
+//! like clean bytes.
 
 use osc_apps::backend::OpticalBackend;
 use osc_apps::gamma_app::{self, paper_gamma_polynomial};
@@ -28,6 +35,7 @@ use osc_apps::image::Image;
 use osc_bench::soak::{self, SoakConfig, SoakMode};
 use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::batch::BatchEvaluator;
+use osc_core::fault::FaultSpec;
 use osc_core::params::CircuitParams;
 use osc_stochastic::gamma::{gamma_exact, DISPLAY_GAMMA};
 use osc_units::Nanometers;
@@ -47,12 +55,30 @@ fn write_bytes(path: &str, bytes: &[u8]) {
     );
 }
 
+/// Builds the optional fault process from the `--fault-*` flags: both
+/// rates zero means the clean pipeline.
+fn build_fault(flip: f64, shift: f64, seed: u64) -> Option<FaultSpec> {
+    if flip == 0.0 && shift == 0.0 {
+        return None;
+    }
+    let mut spec = FaultSpec::with_seed(seed);
+    spec.flip_probability = flip;
+    spec.shift_probability = shift;
+    if let Err(e) = spec.validate() {
+        fail(&format!("invalid fault flags: {e}"));
+    }
+    Some(spec)
+}
+
 fn main() {
     let mut shards = 3usize;
     let mut requests: Option<usize> = None;
     let mut out_path: Option<String> = None;
     let mut stream: Option<usize> = None;
     let mut size: Option<(usize, usize)> = None;
+    let mut fault_flip = 0.0f64;
+    let mut fault_shift = 0.0f64;
+    let mut fault_seed = 0xFA07u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -90,12 +116,29 @@ fn main() {
                     h.parse().unwrap_or_else(|_| fail("--size needs WxH")),
                 ));
             }
+            "--fault-flip" => {
+                fault_flip = value("--fault-flip")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fault-flip needs a probability"))
+            }
+            "--fault-shift" => {
+                fault_shift = value("--fault-shift")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fault-shift needs a probability"))
+            }
+            "--fault-seed" => {
+                fault_seed = value("--fault-seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--fault-seed needs an integer"))
+            }
             other => fail(&format!(
                 "unknown argument {other}\nusage: gamma_sharded [--shards N | --workers N] \
-                 [--requests R] [--out PATH] [--stream BITS] [--size WxH]"
+                 [--requests R] [--out PATH] [--stream BITS] [--size WxH] \
+                 [--fault-flip P] [--fault-shift P] [--fault-seed S]"
             )),
         }
     }
+    let fault = build_fault(fault_flip, fault_shift, fault_seed);
 
     // Soak mode: the shared schedule, a fresh coordinator spawn per
     // request (or the in-process pipeline with 0 workers) — byte-
@@ -111,6 +154,7 @@ fn main() {
             width,
             height,
             stream: stream.unwrap_or(defaults.stream),
+            fault,
         };
         let (report, mode_name) = if shards == 0 {
             let report = soak::run(&cfg, SoakMode::InProcess)
@@ -146,14 +190,19 @@ fn main() {
 
     let started = std::time::Instant::now();
     let produced = if shards == 0 {
-        gamma_app::apply_optical_lanes(&image, &backend, &BatchEvaluator::new())
-            .unwrap_or_else(|e| fail(&format!("in-process pipeline: {e}")))
+        gamma_app::apply_optical_lanes_faulted(
+            &image,
+            &backend,
+            &BatchEvaluator::new(),
+            fault.as_ref(),
+        )
+        .unwrap_or_else(|e| fail(&format!("in-process pipeline: {e}")))
     } else {
         let worker = locate_worker("shard_worker").unwrap_or_else(|| {
             fail("could not locate the shard_worker binary (build it, or set OSC_SHARD_WORKER)")
         });
         let coordinator = ShardCoordinator::new(worker, shards);
-        gamma_app::apply_optical_sharded(&image, &backend, &coordinator)
+        gamma_app::apply_optical_sharded_faulted(&image, &backend, &coordinator, fault.as_ref())
             .unwrap_or_else(|e| fail(&format!("sharded pipeline: {e}")))
     };
     let elapsed = started.elapsed();

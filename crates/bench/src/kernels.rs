@@ -464,6 +464,7 @@ pub fn run(budget_ms: u64) -> KernelsReport {
             width: 4,
             height: 4,
             stream: 1024,
+            fault: None,
         };
         let soak_spawn = ShardCoordinator::new(&worker, 3);
         let mut soak_pool = PoolConfig::new(&worker, 3).spawn().expect("pool spawns");
@@ -521,6 +522,51 @@ pub fn run(budget_ms: u64) -> KernelsReport {
                     .estimate;
             }
             acc
+        },
+    ));
+
+    // Fault-injection overhead pinned: the order-6 gamma kernel at a
+    // 0.01 bit-flip rate (baseline) against the clean kernel
+    // (optimized), single pixel, 16384-bit streams. The ratio is the
+    // *overhead factor* of the fault machinery (geometric gap sampling
+    // + strided XOR splices on the word path), not a speedup — CI gates
+    // it from above (≤ 1.20 at rate 0.01), so a change that makes fault
+    // injection O(bits) instead of O(events) shows up as a gate
+    // failure, and the regression floor below is trivially satisfied.
+    let fault_system = OpticalScSystem::new(
+        CircuitParams::paper_fig7(6, Nanometers::new(0.165)),
+        osc_apps::gamma_app::paper_gamma_polynomial().expect("gamma fit"),
+    )
+    .expect("6th-order circuit builds");
+    let fault_system_c = fault_system.clone();
+    let fault_spec = osc_core::fault::FaultSpec::flips(0.01, 0xFA07);
+    let mut sng_fb = XoshiroSng::new(21);
+    let mut rng_fb = Xoshiro256PlusPlus::new(22);
+    let mut sng_fc = XoshiroSng::new(21);
+    let mut rng_fc = Xoshiro256PlusPlus::new(22);
+    let mut scratch_fb = EvalScratch::new();
+    let mut scratch_fc = EvalScratch::new();
+    comparisons.push(compare(
+        &mut harness,
+        "fault_rate_sweep_order6",
+        move || {
+            fault_system
+                .evaluate_fused_faulted(
+                    0.5,
+                    16_384,
+                    &mut sng_fb,
+                    &mut rng_fb,
+                    Some(&fault_spec),
+                    &mut scratch_fb,
+                )
+                .unwrap()
+                .estimate
+        },
+        move || {
+            fault_system_c
+                .evaluate_fused(0.5, 16_384, &mut sng_fc, &mut rng_fc, &mut scratch_fc)
+                .unwrap()
+                .estimate
         },
     ));
 
@@ -938,7 +984,7 @@ mod tests {
         // has been built (cargo test builds it for this package's
         // integration tests, but a filtered build may not have).
         let expect_sharded = shard_worker_path().is_some();
-        assert_eq!(r.comparisons.len(), if expect_sharded { 14 } else { 11 });
+        assert_eq!(r.comparisons.len(), if expect_sharded { 15 } else { 12 });
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
@@ -951,6 +997,7 @@ mod tests {
         assert!(json.contains("parallel_lanes_order2_16384"));
         assert!(json.contains("gamma_64x64_order6"));
         assert!(json.contains("gamma_64x64_order6_fused"));
+        assert!(json.contains("fault_rate_sweep_order6"));
         assert!(json.contains("fold_avx512_order6"));
         for pool_workload in [
             "gamma_64x64_order6_sharded",

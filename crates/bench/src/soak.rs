@@ -27,13 +27,14 @@ use osc_apps::AppError;
 use osc_core::batch::shard::pool::WorkerPool;
 use osc_core::batch::shard::ShardCoordinator;
 use osc_core::batch::BatchEvaluator;
+use osc_core::fault::FaultSpec;
 use osc_core::params::CircuitParams;
 use osc_units::Nanometers;
 use std::time::{Duration, Instant};
 
-/// The request schedule: how many frames, their size, and the stream
-/// length per pixel evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The request schedule: how many frames, their size, the stream
+/// length per pixel evaluation, and an optional fault process.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SoakConfig {
     /// How many requests to drive.
     pub requests: usize,
@@ -43,16 +44,22 @@ pub struct SoakConfig {
     pub height: usize,
     /// Stream length (bits) per pixel evaluation.
     pub stream: usize,
+    /// Optional fault process applied to every request (the fault-mode
+    /// soak leg); `None` drives the clean pipeline. Faulty output is
+    /// byte-identical across [`SoakMode`]s exactly like clean output.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for SoakConfig {
-    /// A CI-sized schedule: 16 requests of 12×8 pixels at 128 bits.
+    /// A CI-sized schedule: 16 requests of 12×8 pixels at 128 bits,
+    /// fault-free.
     fn default() -> Self {
         SoakConfig {
             requests: 16,
             width: 12,
             height: 8,
             stream: 128,
+            fault: None,
         }
     }
 }
@@ -127,11 +134,21 @@ pub fn run(cfg: &SoakConfig, mut mode: SoakMode<'_>) -> Result<SoakReport, AppEr
             contrast_base.with_seed(request_seed(r))
         };
         let produced = match &mut mode {
-            SoakMode::InProcess => gamma_app::apply_optical_lanes(&image, &backend, &evaluator)?,
-            SoakMode::Pool(pool) => gamma_app::apply_optical_pooled(&image, &backend, pool)?,
-            SoakMode::Spawn(coordinator) => {
-                gamma_app::apply_optical_sharded(&image, &backend, coordinator)?
+            SoakMode::InProcess => gamma_app::apply_optical_lanes_faulted(
+                &image,
+                &backend,
+                &evaluator,
+                cfg.fault.as_ref(),
+            )?,
+            SoakMode::Pool(pool) => {
+                gamma_app::apply_optical_pooled_faulted(&image, &backend, pool, cfg.fault.as_ref())?
             }
+            SoakMode::Spawn(coordinator) => gamma_app::apply_optical_sharded_faulted(
+                &image,
+                &backend,
+                coordinator,
+                cfg.fault.as_ref(),
+            )?,
         };
         for &p in produced.pixels() {
             bytes.extend_from_slice(&p.to_bits().to_le_bytes());
@@ -183,6 +200,7 @@ mod tests {
             width: 5,
             height: 2,
             stream: 64,
+            fault: None,
         };
         let a = run(&cfg, SoakMode::InProcess).unwrap();
         let b = run(&cfg, SoakMode::InProcess).unwrap();

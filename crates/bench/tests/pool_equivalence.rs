@@ -21,6 +21,7 @@ use osc_bench::soak::{self, SoakConfig, SoakMode};
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::{ShardCoordinator, ShardError, SngKind};
 use osc_core::batch::BatchEvaluator;
+use osc_core::fault::FaultSpec;
 use osc_core::params::CircuitParams;
 use osc_core::system::{OpticalRun, OpticalScSystem};
 use osc_stochastic::bernstein::BernsteinPoly;
@@ -145,6 +146,7 @@ fn soak_modes_produce_identical_bytes() {
         width: 9,
         height: 4,
         stream: 64,
+        fault: None,
     };
     let in_process = soak::run(&cfg, SoakMode::InProcess).unwrap();
     let mut pool = PoolConfig::new(WORKER, 3).spawn().unwrap();
@@ -153,6 +155,43 @@ fn soak_modes_produce_identical_bytes() {
     let spawned = soak::run(&cfg, SoakMode::Spawn(&coordinator)).unwrap();
     assert_eq!(pooled.bytes, in_process.bytes, "pool ≡ in-process");
     assert_eq!(spawned.bytes, in_process.bytes, "spawn ≡ in-process");
+}
+
+#[test]
+fn faulted_soak_modes_produce_identical_bytes_across_worker_counts() {
+    // The CI fault-soak contract in miniature: a fault-injected run of
+    // the shared schedule produces the same bytes in-process, pooled
+    // and spawn-per-request, across the worker counts the acceptance
+    // criteria name — and those bytes differ from the clean run (the
+    // faults are real, not silently dropped on the wire).
+    let mut fault = FaultSpec::with_seed(0xFA07);
+    fault.flip_probability = 0.02;
+    fault.shift_probability = 0.001;
+    let cfg = SoakConfig {
+        requests: 4,
+        width: 9,
+        height: 3,
+        stream: 128,
+        fault: Some(fault),
+    };
+    let clean_cfg = SoakConfig { fault: None, ..cfg };
+    let in_process = soak::run(&cfg, SoakMode::InProcess).unwrap();
+    let clean = soak::run(&clean_cfg, SoakMode::InProcess).unwrap();
+    assert_ne!(in_process.bytes, clean.bytes, "faults must perturb output");
+    for workers in [1usize, 2, 3, 7] {
+        let mut pool = PoolConfig::new(WORKER, workers).spawn().unwrap();
+        let pooled = soak::run(&cfg, SoakMode::Pool(&mut pool)).unwrap();
+        assert_eq!(
+            pooled.bytes, in_process.bytes,
+            "faulted pool({workers}) ≡ in-process"
+        );
+        let coordinator = ShardCoordinator::new(WORKER, workers);
+        let spawned = soak::run(&cfg, SoakMode::Spawn(&coordinator)).unwrap();
+        assert_eq!(
+            spawned.bytes, in_process.bytes,
+            "faulted spawn({workers}) ≡ in-process"
+        );
+    }
 }
 
 #[test]

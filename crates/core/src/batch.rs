@@ -20,6 +20,7 @@
 //! dependencies, no pool to shut down, and the same work-stealing shape a
 //! rayon `par_iter` would give for these embarrassingly parallel loads.
 
+use crate::fault::FaultSpec;
 use crate::system::{EvalScratch, OpticalRun, OpticalScSystem};
 use crate::CircuitError;
 use osc_math::rng::Xoshiro256PlusPlus;
@@ -124,64 +125,120 @@ where
     F: Fn(u64) -> S,
     G: Fn(usize) -> u64,
 {
-    match xs.len() {
-        8 => eval_lane_block::<8, S, _, _>(
-            system,
-            xs,
-            stream_length,
-            sng_factory,
-            lane_seed,
-            scratch,
-        ),
-        4 => eval_lane_block::<4, S, _, _>(
-            system,
-            xs,
-            stream_length,
-            sng_factory,
-            lane_seed,
-            scratch,
-        ),
-        2 => eval_lane_block::<2, S, _, _>(
-            system,
-            xs,
-            stream_length,
-            sng_factory,
-            lane_seed,
-            scratch,
-        ),
-        1 => eval_lane_block::<1, S, _, _>(
-            system,
-            xs,
-            stream_length,
-            sng_factory,
-            lane_seed,
-            scratch,
-        ),
-        n => panic!("lane block width {n} is not a lane_blocks width (1, 2, 4 or 8)"),
-    }
+    evaluate_lane_block_faulted(
+        system,
+        xs,
+        stream_length,
+        sng_factory,
+        lane_seed,
+        None::<fn(usize) -> FaultSpec>,
+        scratch,
+    )
 }
 
-/// The monomorphized body of [`evaluate_lane_block`].
-fn eval_lane_block<const L: usize, S, F, G>(
+/// [`evaluate_lane_block`] with optional fault injection: `lane_fault(l)`
+/// supplies lane `l`'s **item-level** [`FaultSpec`] (callers derive it
+/// from the same global index their `lane_seed` derivation uses, e.g.
+/// `spec.rebased(first_index + start + l)` for flat batches and
+/// `spec.rebased(row).rebased(col)` for image pixels), mirroring the SNG
+/// seed contract so faulty results stay invariant under blocking,
+/// threading and sharding.
+///
+/// # Panics
+///
+/// Panics if `xs.len()` is not one of the [`lane_blocks`] widths
+/// (1, 2, 4 or 8).
+///
+/// # Errors
+///
+/// Propagates evaluation failures (e.g. an `xs[l]` outside `[0, 1]`).
+pub fn evaluate_lane_block_faulted<S, F, G, H>(
     system: &OpticalScSystem,
     xs: &[f64],
     stream_length: usize,
     sng_factory: &F,
     lane_seed: G,
+    lane_fault: Option<H>,
     scratch: &mut EvalScratch,
 ) -> Result<Vec<OpticalRun>, CircuitError>
 where
     S: StochasticNumberGenerator,
     F: Fn(u64) -> S,
     G: Fn(usize) -> u64,
+    H: Fn(usize) -> FaultSpec,
+{
+    match xs.len() {
+        8 => eval_lane_block::<8, S, _, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            lane_fault,
+            scratch,
+        ),
+        4 => eval_lane_block::<4, S, _, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            lane_fault,
+            scratch,
+        ),
+        2 => eval_lane_block::<2, S, _, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            lane_fault,
+            scratch,
+        ),
+        1 => eval_lane_block::<1, S, _, _, _>(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            lane_seed,
+            lane_fault,
+            scratch,
+        ),
+        n => panic!("lane block width {n} is not a lane_blocks width (1, 2, 4 or 8)"),
+    }
+}
+
+/// The monomorphized body of [`evaluate_lane_block_faulted`].
+fn eval_lane_block<const L: usize, S, F, G, H>(
+    system: &OpticalScSystem,
+    xs: &[f64],
+    stream_length: usize,
+    sng_factory: &F,
+    lane_seed: G,
+    lane_fault: Option<H>,
+    scratch: &mut EvalScratch,
+) -> Result<Vec<OpticalRun>, CircuitError>
+where
+    S: StochasticNumberGenerator,
+    F: Fn(u64) -> S,
+    G: Fn(usize) -> u64,
+    H: Fn(usize) -> FaultSpec,
 {
     debug_assert_eq!(xs.len(), L);
     let block: [f64; L] = std::array::from_fn(|l| xs[l]);
     let mut sngs: [S; L] = std::array::from_fn(|l| sng_factory(lane_seed(l)));
     let mut rngs: [Xoshiro256PlusPlus; L] =
         std::array::from_fn(|l| Xoshiro256PlusPlus::new(mix_seed(lane_seed(l), NOISE_SEED_SALT)));
+    let faults: Option<[FaultSpec; L]> = lane_fault.map(std::array::from_fn);
     Ok(system
-        .evaluate_fused_lanes(&block, stream_length, &mut sngs, &mut rngs, scratch)?
+        .evaluate_fused_lanes_faulted(
+            &block,
+            stream_length,
+            &mut sngs,
+            &mut rngs,
+            faults.as_ref(),
+            scratch,
+        )?
         .to_vec())
 }
 
@@ -335,6 +392,32 @@ impl BatchEvaluator {
         self.evaluate_range(system, xs, stream_length, sng_factory, seed, 0)
     }
 
+    /// [`BatchEvaluator::evaluate_many`] with an optional batch-level
+    /// [`FaultSpec`]: item `i` perturbs its streams with
+    /// `faults.rebased(i)`, mirroring the `mix_seed(seed, i)` SNG
+    /// derivation, so faulty results are as blocking/thread/shard
+    /// invariant as clean ones. `faults: None` is the clean path.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid spec ([`FaultSpec::validate`]) before any
+    /// evaluation; otherwise propagates the first evaluation failure.
+    pub fn evaluate_many_faulted<S, F>(
+        &self,
+        system: &OpticalScSystem,
+        xs: &[f64],
+        stream_length: usize,
+        sng_factory: F,
+        seed: u64,
+        faults: Option<&FaultSpec>,
+    ) -> Result<Vec<OpticalRun>, CircuitError>
+    where
+        S: StochasticNumberGenerator,
+        F: Fn(u64) -> S + Sync,
+    {
+        self.evaluate_range_faulted(system, xs, stream_length, sng_factory, seed, 0, faults)
+    }
+
     /// [`BatchEvaluator::evaluate_many`] for a contiguous *slice of a
     /// larger batch*: item `i` of `xs` derives its generators from
     /// `mix_seed(seed, first_index + i)`. This is the primitive the
@@ -361,6 +444,46 @@ impl BatchEvaluator {
         S: StochasticNumberGenerator,
         F: Fn(u64) -> S + Sync,
     {
+        self.evaluate_range_faulted(
+            system,
+            xs,
+            stream_length,
+            sng_factory,
+            seed,
+            first_index,
+            None,
+        )
+    }
+
+    /// [`BatchEvaluator::evaluate_range`] with an optional batch-level
+    /// [`FaultSpec`]: item `i` of `xs` perturbs with
+    /// `faults.rebased(first_index + i)` — the global index, so a shard
+    /// evaluating `[a, b)` injects exactly the faults the full batch
+    /// would have at those indices (faulty sharded ≡ faulty unsharded).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid spec ([`FaultSpec::validate`]) before any
+    /// evaluation; otherwise propagates the first evaluation failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_range_faulted<S, F>(
+        &self,
+        system: &OpticalScSystem,
+        xs: &[f64],
+        stream_length: usize,
+        sng_factory: F,
+        seed: u64,
+        first_index: u64,
+        faults: Option<&FaultSpec>,
+    ) -> Result<Vec<OpticalRun>, CircuitError>
+    where
+        S: StochasticNumberGenerator,
+        F: Fn(u64) -> S + Sync,
+    {
+        if let Some(spec) = faults {
+            spec.validate()
+                .map_err(|e| CircuitError::InvalidStructure(format!("invalid fault spec: {e}")))?;
+        }
         let blocks = lane_blocks(xs.len());
         let nested = self.par_map_with(&blocks, EvalScratch::new, |scratch, _, &(start, width)| {
             // Invalid inputs need no special casing: the lane kernel
@@ -368,12 +491,13 @@ impl BatchEvaluator {
             // randomness, so a block with a bad input fails with exactly
             // the error (and at exactly the index) the unblocked path
             // would surface.
-            evaluate_lane_block(
+            evaluate_lane_block_faulted(
                 system,
                 &xs[start..start + width],
                 stream_length,
                 &sng_factory,
                 |l| mix_seed(seed, first_index + (start + l) as u64),
+                faults.map(|spec| move |l: usize| spec.rebased(first_index + (start + l) as u64)),
                 scratch,
             )
         });

@@ -156,6 +156,52 @@
 //!             transparently)
 //! ```
 //!
+//! # Wire protocol v3 (fault injection)
+//!
+//! Version 3 carries an optional [`crate::fault::FaultSpec`] so faulty
+//! evaluation rides the same shard/pool machinery as clean evaluation.
+//! The layout is exactly the v2 request with version word `3` and one
+//! **fault block** inserted between the stream length and the circuit:
+//!
+//! ```text
+//! u32  magic  "OSCR"
+//! u32  version (3)
+//! u64  request id
+//! u8   circuit kind, u8 job kind, u8 SNG kind, u8 reserved — as in v2
+//! u64  batch seed
+//! u64  stream length (bits per evaluation)
+//! u8   fault present  0 = none, 1 = spec follows
+//! if present: f64 flip probability, f64 shift probability,
+//!             u64 flip seed, u64 shift seed,
+//!             u8 stuck-at present (0/1), then u64 mask + u64 value
+//! circuit + job bodies exactly as in version 2
+//! ```
+//!
+//! Version-negotiation rules:
+//!
+//! - [`encode_request_v2`] emits version **2** when the request carries
+//!   no fault spec and version **3** only when one is present, so
+//!   fault-free traffic is byte-identical to what a pre-fault build
+//!   emits and keeps working against old workers unchanged;
+//! - [`decode_request_v2`] accepts versions 2 and 3 (a v2 frame simply
+//!   has no fault block); [`serve`] answers both with **v2 responses**
+//!   — responses are unversioned by faults;
+//! - the decoded [`crate::fault::FaultSpec`] is validated at decode
+//!   time (probabilities finite, in `[0, 1]`): a malformed spec comes
+//!   back as an error *value* with the echoed request ID, never a
+//!   worker panic;
+//! - an old worker that predates v3 fails the v2 sniff on a v3 frame
+//!   and answers a clean v1 "unsupported version" error — a faulty
+//!   request against an old worker fails fast, it never hangs;
+//! - v1 frames cannot carry a fault spec at all ([`encode_request`]
+//!   ignores the field; [`decode_request`] yields `faults: None`).
+//!
+//! The fault determinism contract matches the clean one: workers rebase
+//! the request-level spec per item — [`crate::fault::FaultSpec::rebased`]
+//! with the global index for flat batches, by row then column for image
+//! jobs — so faulty sharded ≡ faulty unsharded ≡ faulty pooled, bit for
+//! bit, for every shard count.
+//!
 //! Errors cross the boundary **as values**: the worker validates the
 //! request, catches panics, and reports failures in an error response —
 //! it never aborts on bad input. The coordinator treats a dead worker, a
@@ -164,7 +210,8 @@
 //! retries each shard once by default), and only then surfaces a
 //! [`ShardError`].
 
-use super::{evaluate_lane_block, lane_blocks, mix_seed, BatchEvaluator};
+use super::{evaluate_lane_block_faulted, lane_blocks, mix_seed, BatchEvaluator};
+use crate::fault::{FaultSpec, StuckAt};
 use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
 use crate::system::{OpticalRun, OpticalScSystem};
 use osc_stochastic::bernstein::BernsteinPoly;
@@ -172,6 +219,7 @@ use osc_stochastic::sng::{ChaoticLaserSng, CounterSng, LfsrSng, XoshiroSng};
 use osc_units::{DbRatio, Milliwatts, Nanometers};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 pub mod pool;
 
@@ -183,6 +231,10 @@ pub const RESPONSE_MAGIC: u32 = 0x4F53_4341;
 pub const PROTOCOL_VERSION: u32 = 1;
 /// Pool protocol version: request IDs + worker-side circuit cache.
 pub const PROTOCOL_VERSION_V2: u32 = 2;
+/// Fault-injection protocol version: the v2 layout plus an optional
+/// [`FaultSpec`] block. Emitted only when a request actually carries a
+/// spec — fault-free traffic stays on v2.
+pub const PROTOCOL_VERSION_V3: u32 = 3;
 /// Upper bound accepted for any frame payload: a corrupted or hostile
 /// length prefix is rejected with a clean protocol error **before** any
 /// allocation is attempted. 256 MiB comfortably covers the largest real
@@ -222,6 +274,16 @@ pub enum ShardError {
         /// What the coordinator observed.
         detail: String,
     },
+    /// A worker failed to answer within the pool's per-request read
+    /// timeout (after exhausting retries) — a stalled worker, as
+    /// opposed to a dead one.
+    Timeout {
+        /// Shard index in the plan.
+        shard: usize,
+        /// What the coordinator observed (includes the configured
+        /// timeout).
+        detail: String,
+    },
     /// A worker answered cleanly with an error report (bad config,
     /// invalid input, caught panic).
     Remote {
@@ -245,6 +307,9 @@ impl std::fmt::Display for ShardError {
             }
             ShardError::Worker { shard, detail } => {
                 write!(f, "shard {shard}: worker failed: {detail}")
+            }
+            ShardError::Timeout { shard, detail } => {
+                write!(f, "shard {shard}: worker timed out: {detail}")
             }
             ShardError::Remote { shard, detail } => {
                 write!(f, "shard {shard}: worker reported: {detail}")
@@ -430,6 +495,9 @@ pub struct ShardRequest {
     pub seed: u64,
     /// Stream length (bits) per evaluation.
     pub stream_length: u64,
+    /// Optional fault process, rebased per item on the worker. Only
+    /// travels on v3 frames; v1 encoding drops it.
+    pub faults: Option<FaultSpec>,
     /// The work itself.
     pub job: ShardJob,
 }
@@ -636,6 +704,10 @@ fn decode_job(c: &mut Cursor<'_>, job_kind: u8) -> Result<ShardJob, String> {
 }
 
 /// Serializes a request into one frame payload (no length prefix).
+///
+/// Version 1 has no fault field: a `faults` spec on the request does
+/// **not** travel on a v1 frame (use [`encode_request_v2`], which
+/// negotiates up to v3 when a spec is present).
 pub fn encode_request(req: &ShardRequest) -> Vec<u8> {
     let mut buf = Vec::with_capacity(256);
     put_u32(&mut buf, REQUEST_MAGIC);
@@ -693,6 +765,7 @@ pub fn decode_request(payload: &[u8]) -> Result<ShardRequest, String> {
         sng,
         seed,
         stream_length,
+        faults: None,
         job,
     })
 }
@@ -827,6 +900,9 @@ pub struct ShardRequestV2 {
     pub seed: u64,
     /// Stream length (bits) per evaluation.
     pub stream_length: u64,
+    /// Optional fault process (v3 frames only), validated at decode and
+    /// rebased per item on the worker.
+    pub faults: Option<FaultSpec>,
     /// The work itself.
     pub job: ShardJob,
 }
@@ -884,7 +960,62 @@ pub fn circuit_digest(params: &CircuitParams, coeffs: &[f64]) -> u64 {
     h
 }
 
-/// Serializes a [`ShardRequest`] as a v2 frame payload. With
+/// Writes the v3 fault block: a presence flag, then the spec fields.
+fn encode_fault_block(buf: &mut Vec<u8>, faults: Option<&FaultSpec>) {
+    match faults {
+        None => buf.push(0),
+        Some(spec) => {
+            buf.push(1);
+            put_f64(buf, spec.flip_probability);
+            put_f64(buf, spec.shift_probability);
+            put_u64(buf, spec.flip_seed);
+            put_u64(buf, spec.shift_seed);
+            match spec.stuck {
+                None => buf.push(0),
+                Some(stuck) => {
+                    buf.push(1);
+                    put_u64(buf, stuck.mask);
+                    put_u64(buf, stuck.value);
+                }
+            }
+        }
+    }
+}
+
+/// Reads the v3 fault block and validates the decoded spec, so a
+/// malformed probability is an error value at the wire boundary.
+fn decode_fault_block(c: &mut Cursor<'_>) -> Result<Option<FaultSpec>, String> {
+    if c.u8()? == 0 {
+        return Ok(None);
+    }
+    let flip_probability = c.f64()?;
+    let shift_probability = c.f64()?;
+    let flip_seed = c.u64()?;
+    let shift_seed = c.u64()?;
+    let stuck = match c.u8()? {
+        0 => None,
+        1 => Some(StuckAt {
+            mask: c.u64()?,
+            value: c.u64()?,
+        }),
+        other => return Err(format!("unknown stuck-at flag {other}")),
+    };
+    let spec = FaultSpec {
+        flip_probability,
+        shift_probability,
+        stuck,
+        flip_seed,
+        shift_seed,
+    };
+    spec.validate()
+        .map_err(|e| format!("invalid fault spec: {e}"))?;
+    Ok(Some(spec))
+}
+
+/// Serializes a [`ShardRequest`] as a v2-family frame payload: version
+/// 2 when the request is fault-free, version 3 (the v2 layout plus the
+/// fault block) when it carries a [`FaultSpec`] — so fault-free traffic
+/// stays byte-identical to pre-fault builds. With
 /// `cached_digest = Some(d)` the circuit travels as a cache reference
 /// `d` instead of inline parameters — the caller asserts a previous
 /// inline request cached it on the receiving worker (a stale assertion
@@ -896,7 +1027,12 @@ pub fn encode_request_v2(
 ) -> Vec<u8> {
     let mut buf = Vec::with_capacity(256);
     put_u32(&mut buf, REQUEST_MAGIC);
-    put_u32(&mut buf, PROTOCOL_VERSION_V2);
+    let version = if req.faults.is_some() {
+        PROTOCOL_VERSION_V3
+    } else {
+        PROTOCOL_VERSION_V2
+    };
+    put_u32(&mut buf, version);
     put_u64(&mut buf, request_id);
     buf.push(u8::from(cached_digest.is_some()));
     buf.push(req.job.kind());
@@ -904,6 +1040,9 @@ pub fn encode_request_v2(
     buf.push(0); // reserved
     put_u64(&mut buf, req.seed);
     put_u64(&mut buf, req.stream_length);
+    if version == PROTOCOL_VERSION_V3 {
+        encode_fault_block(&mut buf, req.faults.as_ref());
+    }
     match cached_digest {
         Some(digest) => put_u64(&mut buf, digest),
         None => {
@@ -918,12 +1057,14 @@ pub fn encode_request_v2(
     buf
 }
 
-/// Parses a v2 request frame payload.
+/// Parses a v2 or v3 request frame payload (a v2 frame simply carries
+/// no fault block, so `faults` comes back `None`).
 ///
 /// # Errors
 ///
 /// A description of the first violation (bad magic, wrong version,
-/// unknown circuit/job/SNG tag, truncation, trailing bytes).
+/// unknown circuit/job/SNG tag, invalid fault spec, truncation,
+/// trailing bytes).
 pub fn decode_request_v2(payload: &[u8]) -> Result<ShardRequestV2, String> {
     let mut c = Cursor::new(payload);
     let magic = c.u32()?;
@@ -931,9 +1072,9 @@ pub fn decode_request_v2(payload: &[u8]) -> Result<ShardRequestV2, String> {
         return Err(format!("bad request magic {magic:#010x}"));
     }
     let version = c.u32()?;
-    if version != PROTOCOL_VERSION_V2 {
+    if version != PROTOCOL_VERSION_V2 && version != PROTOCOL_VERSION_V3 {
         return Err(format!(
-            "not a v2 request (version {version}, expected {PROTOCOL_VERSION_V2})"
+            "not a v2/v3 request (version {version}, expected {PROTOCOL_VERSION_V2} or {PROTOCOL_VERSION_V3})"
         ));
     }
     let request_id = c.u64()?;
@@ -943,6 +1084,11 @@ pub fn decode_request_v2(payload: &[u8]) -> Result<ShardRequestV2, String> {
     let _reserved = c.u8()?;
     let seed = c.u64()?;
     let stream_length = c.u64()?;
+    let faults = if version == PROTOCOL_VERSION_V3 {
+        decode_fault_block(&mut c)?
+    } else {
+        None
+    };
     let circuit = match circuit_kind {
         0 => {
             let params = decode_params(&mut c)?;
@@ -968,6 +1114,7 @@ pub fn decode_request_v2(payload: &[u8]) -> Result<ShardRequestV2, String> {
         sng,
         seed,
         stream_length,
+        faults,
         job,
     })
 }
@@ -1159,6 +1306,7 @@ fn evaluate_job(
     sng: SngKind,
     seed: u64,
     stream_length: u64,
+    faults: Option<&FaultSpec>,
     job: &ShardJob,
 ) -> Result<Vec<OpticalRun>, String> {
     let stream_length =
@@ -1180,7 +1328,15 @@ fn evaluate_job(
     match job {
         ShardJob::Batch { first_index, xs } => dispatch_sng!(sng, factory => {
             evaluator
-                .evaluate_range(system, xs, stream_length, factory, seed, *first_index)
+                .evaluate_range_faulted(
+                    system,
+                    xs,
+                    stream_length,
+                    factory,
+                    seed,
+                    *first_index,
+                    faults,
+                )
                 .map_err(|e| e.to_string())
         }),
         ShardJob::ImageRows {
@@ -1208,6 +1364,7 @@ fn evaluate_job(
                     pixels,
                     stream_length,
                     seed,
+                    faults,
                 )
                 .map_err(|e| e.to_string())
             })
@@ -1218,14 +1375,23 @@ fn evaluate_job(
 /// Evaluates one v1 request to runs, as a value.
 fn handle_request(req: &ShardRequest) -> Result<Vec<OpticalRun>, String> {
     let system = build_system(&req.params, &req.coeffs)?;
-    evaluate_job(&system, req.sng, req.seed, req.stream_length, &req.job)
+    evaluate_job(
+        &system,
+        req.sng,
+        req.seed,
+        req.stream_length,
+        req.faults.as_ref(),
+        &req.job,
+    )
 }
 
 /// The worker half of the image job: evaluates row-major pixels with the
 /// row+lane pipeline's per-pixel universes,
 /// `mix_seed(mix_seed(seed, global row), column)` — identical to the
 /// in-process `apply_optical_lanes` derivation, so shard boundaries are
-/// invisible in the output.
+/// invisible in the output. A fault spec rebases the same way (by
+/// global row, then column), keeping faulty sharded output identical to
+/// faulty in-process output.
 #[allow(clippy::too_many_arguments)]
 fn image_rows_eval<S, F>(
     evaluator: &BatchEvaluator,
@@ -1236,16 +1402,23 @@ fn image_rows_eval<S, F>(
     pixels: &[f64],
     stream_length: usize,
     seed: u64,
+    faults: Option<&FaultSpec>,
 ) -> Result<Vec<OpticalRun>, crate::CircuitError>
 where
     S: osc_stochastic::sng::StochasticNumberGenerator,
     F: Fn(u64) -> S + Sync,
 {
     use crate::system::EvalScratch;
+    if let Some(spec) = faults {
+        spec.validate().map_err(|e| {
+            crate::CircuitError::InvalidStructure(format!("invalid fault spec: {e}"))
+        })?;
+    }
     let rows: Vec<usize> = (0..pixels.len() / width).collect();
     let blocks = lane_blocks(width);
     let produced = evaluator.par_map_with(&rows, EvalScratch::new, |scratch, _, &r| {
         let row_seed = mix_seed(seed, first_row + r as u64);
+        let row_spec = faults.map(|spec| spec.rebased(first_row + r as u64));
         let row_pixels = &pixels[r * width..(r + 1) * width];
         let mut out_row = Vec::with_capacity(width);
         for &(start, bw) in &blocks {
@@ -1253,12 +1426,15 @@ where
             for (slot, &p) in xs.iter_mut().zip(&row_pixels[start..start + bw]) {
                 *slot = p.clamp(0.0, 1.0);
             }
-            let runs = evaluate_lane_block(
+            let runs = evaluate_lane_block_faulted(
                 system,
                 &xs[..bw],
                 stream_length,
                 factory,
                 |k| mix_seed(row_seed, (start + k) as u64),
+                row_spec
+                    .as_ref()
+                    .map(|spec| move |k: usize| spec.rebased((start + k) as u64)),
                 scratch,
             )?;
             out_row.extend(runs);
@@ -1352,7 +1528,14 @@ fn handle_request_v2(req: &ShardRequestV2, cache: &mut CircuitCache) -> ShardRes
             }
         },
     };
-    match evaluate_job(system, req.sng, req.seed, req.stream_length, &req.job) {
+    match evaluate_job(
+        system,
+        req.sng,
+        req.seed,
+        req.stream_length,
+        req.faults.as_ref(),
+        &req.job,
+    ) {
         Ok(runs) => ShardResponseV2::Runs { request_id, runs },
         Err(message) => ShardResponseV2::Error {
             request_id,
@@ -1374,10 +1557,11 @@ fn peek_request_id(payload: &[u8]) -> u64 {
 /// arrived in. Panics inside evaluation are caught and reported as
 /// error responses.
 fn answer_payload(payload: &[u8], cache: &mut CircuitCache) -> Vec<u8> {
-    let is_v2 = payload.len() >= 8
+    let is_v2_family = payload.len() >= 8
         && payload[..4] == REQUEST_MAGIC.to_le_bytes()
-        && payload[4..8] == PROTOCOL_VERSION_V2.to_le_bytes();
-    if is_v2 {
+        && (payload[4..8] == PROTOCOL_VERSION_V2.to_le_bytes()
+            || payload[4..8] == PROTOCOL_VERSION_V3.to_le_bytes());
+    if is_v2_family {
         let response = match decode_request_v2(payload) {
             Err(e) => ShardResponseV2::Error {
                 request_id: peek_request_id(payload),
@@ -1516,13 +1700,16 @@ fn check_frame_bounds(req: &ShardRequest, expected: usize) -> Result<(), ShardEr
     Ok(())
 }
 
-/// Builds the per-shard batch requests for a plan over `xs`.
+/// Builds the per-shard batch requests for a plan over `xs`. The same
+/// request-level fault spec rides every shard — workers rebase it per
+/// global item index, so the split is unobservable.
 fn batch_requests(
     system: &OpticalScSystem,
     sng: SngKind,
     xs: &[f64],
     stream_length: usize,
     seed: u64,
+    faults: Option<&FaultSpec>,
     shards: usize,
 ) -> (Vec<ShardRequest>, Vec<usize>) {
     let plan = ShardPlan::new(xs.len(), shards);
@@ -1535,6 +1722,7 @@ fn batch_requests(
             sng,
             seed,
             stream_length: stream_length as u64,
+            faults: faults.copied(),
             job: ShardJob::Batch {
                 first_index: start as u64,
                 xs: xs[start..start + len].to_vec(),
@@ -1546,6 +1734,7 @@ fn batch_requests(
 }
 
 /// Builds the per-shard image-row requests for a plan over the rows.
+#[allow(clippy::too_many_arguments)]
 fn image_requests(
     system: &OpticalScSystem,
     sng: SngKind,
@@ -1553,6 +1742,7 @@ fn image_requests(
     pixels: &[f64],
     stream_length: usize,
     seed: u64,
+    faults: Option<&FaultSpec>,
     shards: usize,
 ) -> Result<(Vec<ShardRequest>, Vec<usize>), ShardError> {
     if width == 0 || !pixels.len().is_multiple_of(width) {
@@ -1572,6 +1762,7 @@ fn image_requests(
             sng,
             seed,
             stream_length: stream_length as u64,
+            faults: faults.copied(),
             job: ShardJob::ImageRows {
                 width: width as u64,
                 first_row: start as u64,
@@ -1599,6 +1790,7 @@ pub struct ShardCoordinator {
     shards: usize,
     worker_threads: Option<usize>,
     retries: usize,
+    read_timeout: Option<Duration>,
 }
 
 impl ShardCoordinator {
@@ -1610,7 +1802,17 @@ impl ShardCoordinator {
             shards: shards.max(1),
             worker_threads: None,
             retries: 1,
+            read_timeout: None,
         }
+    }
+
+    /// Sets the per-request response deadline of every worker the
+    /// coordinator spawns (see [`pool::PoolConfig::with_read_timeout`]);
+    /// unset keeps the pool default. A stalled worker then surfaces as
+    /// [`ShardError::Timeout`] instead of blocking the batch forever.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
     }
 
     /// Pins every worker's internal thread count by exporting
@@ -1655,8 +1857,30 @@ impl ShardCoordinator {
         stream_length: usize,
         seed: u64,
     ) -> Result<Vec<OpticalRun>, ShardError> {
+        self.evaluate_many_faulted(system, sng, xs, stream_length, seed, None)
+    }
+
+    /// [`ShardCoordinator::evaluate_many`] under an optional fault
+    /// process: every worker rebases `faults` by each item's global
+    /// index ([`FaultSpec::rebased`]), so faulty sharded output is
+    /// byte-identical to faulty single-process output for every shard
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardCoordinator::evaluate_many`]; an invalid spec comes
+    /// back as a remote error value.
+    pub fn evaluate_many_faulted(
+        &self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        xs: &[f64],
+        stream_length: usize,
+        seed: u64,
+        faults: Option<&FaultSpec>,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
         let (requests, expected) =
-            batch_requests(system, sng, xs, stream_length, seed, self.shards);
+            batch_requests(system, sng, xs, stream_length, seed, faults, self.shards);
         let merged = self.run_requests(&requests, &expected)?;
         Ok(merged.into_iter().flatten().collect())
     }
@@ -1680,8 +1904,37 @@ impl ShardCoordinator {
         stream_length: usize,
         seed: u64,
     ) -> Result<Vec<OpticalRun>, ShardError> {
-        let (requests, expected) =
-            image_requests(system, sng, width, pixels, stream_length, seed, self.shards)?;
+        self.image_rows_faulted(system, sng, width, pixels, stream_length, seed, None)
+    }
+
+    /// [`ShardCoordinator::image_rows`] under an optional fault process,
+    /// rebased per pixel by global row then column — byte-identical to
+    /// the faulty in-process row+lane pipeline for every shard count.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardCoordinator::image_rows`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn image_rows_faulted(
+        &self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        width: usize,
+        pixels: &[f64],
+        stream_length: usize,
+        seed: u64,
+        faults: Option<&FaultSpec>,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
+        let (requests, expected) = image_requests(
+            system,
+            sng,
+            width,
+            pixels,
+            stream_length,
+            seed,
+            faults,
+            self.shards,
+        )?;
         let merged = self.run_requests(&requests, &expected)?;
         Ok(merged.into_iter().flatten().collect())
     }
@@ -1702,6 +1955,9 @@ impl ShardCoordinator {
         if let Some(threads) = self.worker_threads {
             config = config.with_worker_threads(threads);
         }
+        if let Some(timeout) = self.read_timeout {
+            config = config.with_read_timeout(timeout);
+        }
         let mut pool = config.spawn()?;
         pool.run_requests(requests, expected)
     }
@@ -1718,6 +1974,7 @@ mod tests {
             sng: SngKind::Xoshiro,
             seed: 42,
             stream_length: 256,
+            faults: None,
             job,
         }
     }
@@ -1874,6 +2131,7 @@ mod tests {
             SngKind::Xoshiro,
             1,
             64,
+            None,
             &ShardJob::Batch {
                 first_index: 0,
                 xs: vec![0.0; too_many_runs],
@@ -1957,6 +2215,94 @@ mod tests {
         assert!(decode_response(&encode_response_v2(&miss))
             .unwrap_err()
             .contains("version"));
+    }
+
+    #[test]
+    fn faulted_requests_negotiate_v3_and_roundtrip() {
+        let mut req = fig5_request(ShardJob::Batch {
+            first_index: 2,
+            xs: vec![0.25, 0.75],
+        });
+        // Fault-free traffic must stay byte-for-byte on version 2.
+        let clean = encode_request_v2(&req, 5, None);
+        assert_eq!(clean[4..8], PROTOCOL_VERSION_V2.to_le_bytes());
+        // A fault spec upgrades the frame to v3 and roundtrips exactly,
+        // including the stuck-at block and both seeds.
+        req.faults = Some(FaultSpec {
+            flip_probability: 0.01,
+            shift_probability: 0.001,
+            stuck: Some(StuckAt {
+                mask: 0x8000_0000_0000_0001,
+                value: 1,
+            }),
+            ..FaultSpec::with_seed(99)
+        });
+        let frame = encode_request_v2(&req, 5, None);
+        assert_eq!(frame[4..8], PROTOCOL_VERSION_V3.to_le_bytes());
+        let decoded = decode_request_v2(&frame).unwrap();
+        assert_eq!(decoded.request_id, 5);
+        assert_eq!(decoded.faults, req.faults);
+        assert_eq!(decoded.job, req.job);
+        // Cached circuit references compose with the fault block.
+        let digest = circuit_digest(&req.params, &req.coeffs);
+        let cached = decode_request_v2(&encode_request_v2(&req, 6, Some(digest))).unwrap();
+        assert_eq!(cached.circuit, CircuitRef::Cached { digest });
+        assert_eq!(cached.faults, req.faults);
+        // Flip-only specs roundtrip without a stuck-at block.
+        req.faults = Some(FaultSpec::flips(0.05, 7));
+        let decoded = decode_request_v2(&encode_request_v2(&req, 7, None)).unwrap();
+        assert_eq!(decoded.faults, req.faults);
+        // Truncation inside the fault block: never a panic, always Err.
+        let frame = encode_request_v2(&req, 7, None);
+        for cut in 0..frame.len() {
+            assert!(decode_request_v2(&frame[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_fault_specs_are_decode_errors_not_panics() {
+        let mut req = fig5_request(ShardJob::Batch {
+            first_index: 0,
+            xs: vec![0.5],
+        });
+        req.faults = Some(FaultSpec::flips(0.5, 1));
+        let good = encode_request_v2(&req, 1, None);
+        // The flip probability sits directly after the 1-byte presence
+        // flag at offset 37 (4 magic + 4 version + 8 id + 4 tag bytes +
+        // 8 seed + 8 stream length + 1 flag).
+        let prob_at = 37;
+        assert_eq!(
+            f64::from_bits(u64::from_le_bytes(
+                good[prob_at..prob_at + 8].try_into().unwrap()
+            )),
+            0.5,
+            "fault-block offset moved; update the test"
+        );
+        for bad_prob in [f64::NAN, f64::INFINITY, -0.25, 1.5] {
+            let mut bad = good.clone();
+            bad[prob_at..prob_at + 8].copy_from_slice(&bad_prob.to_bits().to_le_bytes());
+            let err = decode_request_v2(&bad).unwrap_err();
+            assert!(err.contains("fault"), "{err}");
+        }
+        // The serve loop answers the malformed spec as an error value in
+        // a clean v2 response frame — never a worker death.
+        let mut bad = good.clone();
+        bad[prob_at..prob_at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let mut input = Vec::new();
+        write_frame(&mut input, &bad).unwrap();
+        let mut output = Vec::new();
+        serve(&input[..], &mut output).unwrap();
+        let payload = read_frame(&mut &output[..]).unwrap().unwrap();
+        match decode_response_v2(&payload).unwrap() {
+            ShardResponseV2::Error {
+                request_id,
+                message,
+            } => {
+                assert_eq!(request_id, 1, "request ID echoed on decode failure");
+                assert!(message.contains("fault"), "{message}");
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!   worker's next request is written the moment its previous response
 //!   is read, so all workers compute concurrently and the pipe pair can
 //!   never deadlock on a full buffer);
-//! - the pool speaks **protocol v2**: every request carries an ID the
+//! - the pool speaks the **v2 protocol family** (v3 when a request
+//!   carries a fault spec): every request carries an ID the
 //!   worker echoes (desyncs are detected, not silently misattributed),
 //!   and repeat circuits travel as [`super::CircuitRef::Cached`] digest
 //!   references — the pool mirrors each worker's LRU cache state, and a
@@ -24,7 +25,16 @@
 //!   transparently** and its request retried ([`PoolConfig::with_retries`]
 //!   attempts, default 1) — mid-stream worker death costs a respawn,
 //!   not the stream. After a fatal error the pool restarts the affected
-//!   workers, so it stays usable for the next call.
+//!   workers, so it stays usable for the next call;
+//! - every response read carries a **per-request timeout**
+//!   ([`PoolConfig::with_read_timeout`], default 60 s): each worker's
+//!   stdout is drained by a dedicated reader thread feeding a channel,
+//!   and a worker that stalls without dying is killed, respawned and
+//!   retried exactly like a dead one — exhaustion surfaces as
+//!   [`ShardError::Timeout`], so a hung worker can never hang a client
+//!   stream. Consecutive respawns of the same slot back off
+//!   exponentially (10 ms doubling to a 1 s cap) so a crash-looping
+//!   worker binary cannot spin the coordinator at full speed.
 //!
 //! # Determinism contract
 //!
@@ -39,11 +49,22 @@ use super::{
     image_requests, read_frame, write_frame, ShardError, ShardRequest, ShardResponseV2, SngKind,
     CIRCUIT_CACHE_CAPACITY,
 };
+use crate::fault::FaultSpec;
 use crate::system::{OpticalRun, OpticalScSystem};
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Default per-request response read timeout.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+/// First respawn-backoff delay; doubles per consecutive respawn of the
+/// same slot.
+const RESPAWN_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Ceiling on the respawn-backoff delay.
+const RESPAWN_BACKOFF_CAP: Duration = Duration::from_secs(1);
 
 /// Configuration for a [`WorkerPool`], consumed by [`PoolConfig::spawn`].
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +73,7 @@ pub struct PoolConfig {
     workers: usize,
     worker_threads: Option<usize>,
     retries: usize,
+    read_timeout: Duration,
 }
 
 impl PoolConfig {
@@ -63,7 +85,18 @@ impl PoolConfig {
             workers: workers.max(1),
             worker_threads: None,
             retries: 1,
+            read_timeout: DEFAULT_READ_TIMEOUT,
         }
+    }
+
+    /// Sets the per-request response read timeout (default 60 s). A
+    /// worker that has not answered within this window is treated as
+    /// stalled: killed, respawned and its request retried; exhausting
+    /// retries surfaces [`ShardError::Timeout`]. Size it well above the
+    /// slowest expected single-request evaluation.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
     }
 
     /// Pins every worker's internal thread count by exporting
@@ -109,13 +142,19 @@ impl PoolConfig {
             };
             slots.push(spawned);
         }
+        let streaks = vec![0u32; slots.len()];
         Ok(WorkerPool {
             config: self,
             slots,
+            respawn_streaks: streaks,
             next_request_id: 1,
         })
     }
 }
+
+/// What the reader thread hands back per frame: a payload, a clean EOF
+/// (`None`), or the transport error that ended the stream.
+type ReadEvent = Result<Option<Vec<u8>>, String>;
 
 /// One live worker subprocess plus the pool's mirror of its LRU
 /// circuit-cache contents.
@@ -123,7 +162,12 @@ impl PoolConfig {
 struct WorkerSlot {
     child: Child,
     stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+    /// Frames from the dedicated reader thread draining this worker's
+    /// stdout — the indirection that lets [`WorkerPool::read_response`]
+    /// wait with a timeout instead of blocking forever on a stalled
+    /// worker.
+    frames: mpsc::Receiver<ReadEvent>,
+    reader: Option<std::thread::JoinHandle<()>>,
     /// `(digest, full circuit key)` pairs this worker's cache is
     /// believed to hold, most recently used first, truncated to
     /// [`CIRCUIT_CACHE_CAPACITY`] exactly as the worker truncates. The
@@ -147,9 +191,18 @@ fn note_digest(known: &mut VecDeque<(u64, Vec<u8>)>, digest: u64, key: Vec<u8>) 
 impl Drop for WorkerSlot {
     fn drop(&mut self) {
         // `Child` does not reap on drop: kill + wait, or the worker
-        // lingers as a zombie for the life of this process.
+        // lingers as a zombie for the life of this process. This runs
+        // on every exit path — normal drop, respawn, and unwinding
+        // through a panicking caller — so the pool never leaks child
+        // processes.
         let _ = self.child.kill();
         let _ = self.child.wait();
+        // The kill closed the worker's stdout, so the reader thread
+        // sees EOF (or an error) promptly and exits; join it to avoid
+        // accumulating detached threads across respawns.
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
     }
 }
 
@@ -166,11 +219,33 @@ fn spawn_slot(worker: &Path, threads: Option<usize>) -> Result<WorkerSlot, Strin
         .spawn()
         .map_err(|e| format!("spawning {}: {e}", worker.display()))?;
     let stdin = child.stdin.take().expect("stdin was piped");
-    let stdout = BufReader::new(child.stdout.take().expect("stdout was piped"));
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout was piped"));
+    // The reader thread owns the stdout pipe and forwards every frame;
+    // it ends on EOF, a transport error, or the receiver (the slot)
+    // going away.
+    let (tx, frames) = mpsc::channel();
+    let reader = std::thread::spawn(move || loop {
+        match read_frame(&mut stdout) {
+            Ok(Some(payload)) => {
+                if tx.send(Ok(Some(payload))).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = tx.send(Ok(None));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Err(format!("reading response: {e}")));
+                return;
+            }
+        }
+    });
     Ok(WorkerSlot {
         child,
         stdin,
-        stdout,
+        frames,
+        reader: Some(reader),
         known: VecDeque::new(),
     })
 }
@@ -201,7 +276,27 @@ struct InFlight {
 pub struct WorkerPool {
     config: PoolConfig,
     slots: Vec<WorkerSlot>,
+    /// Consecutive respawns per slot since its last clean response —
+    /// drives the exponential backoff, reset the moment a slot answers.
+    respawn_streaks: Vec<u32>,
     next_request_id: u64,
+}
+
+/// How a request attempt failed at the transport level. Timeouts are
+/// tracked separately so exhausting retries on a stalled (rather than
+/// dead) worker surfaces as [`ShardError::Timeout`].
+enum Failure {
+    Transport(String),
+    Timeout(String),
+}
+
+impl Failure {
+    fn into_shard_error(self, shard: usize) -> ShardError {
+        match self {
+            Failure::Transport(detail) => ShardError::Worker { shard, detail },
+            Failure::Timeout(detail) => ShardError::Timeout { shard, detail },
+        }
+    }
 }
 
 impl WorkerPool {
@@ -254,8 +349,36 @@ impl WorkerPool {
         stream_length: usize,
         seed: u64,
     ) -> Result<Vec<OpticalRun>, ShardError> {
-        let (requests, expected) =
-            batch_requests(system, sng, xs, stream_length, seed, self.slots.len());
+        self.evaluate_many_faulted(system, sng, xs, stream_length, seed, None)
+    }
+
+    /// [`WorkerPool::evaluate_many`] under an optional fault process:
+    /// workers rebase `faults` by each item's global index, so faulty
+    /// pooled output is byte-identical to faulty one-shot sharded and
+    /// faulty single-process output for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkerPool::evaluate_many`]; an invalid spec comes back as
+    /// a remote error value.
+    pub fn evaluate_many_faulted(
+        &mut self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        xs: &[f64],
+        stream_length: usize,
+        seed: u64,
+        faults: Option<&FaultSpec>,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
+        let (requests, expected) = batch_requests(
+            system,
+            sng,
+            xs,
+            stream_length,
+            seed,
+            faults,
+            self.slots.len(),
+        );
         let merged = self.run_requests(&requests, &expected)?;
         Ok(merged.into_iter().flatten().collect())
     }
@@ -279,6 +402,27 @@ impl WorkerPool {
         stream_length: usize,
         seed: u64,
     ) -> Result<Vec<OpticalRun>, ShardError> {
+        self.image_rows_faulted(system, sng, width, pixels, stream_length, seed, None)
+    }
+
+    /// [`WorkerPool::image_rows`] under an optional fault process,
+    /// rebased per pixel by global row then column — byte-identical to
+    /// the faulty in-process row+lane pipeline for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkerPool::image_rows`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn image_rows_faulted(
+        &mut self,
+        system: &OpticalScSystem,
+        sng: SngKind,
+        width: usize,
+        pixels: &[f64],
+        stream_length: usize,
+        seed: u64,
+        faults: Option<&FaultSpec>,
+    ) -> Result<Vec<OpticalRun>, ShardError> {
         let (requests, expected) = image_requests(
             system,
             sng,
@@ -286,6 +430,7 @@ impl WorkerPool {
             pixels,
             stream_length,
             seed,
+            faults,
             self.slots.len(),
         )?;
         let merged = self.run_requests(&requests, &expected)?;
@@ -426,7 +571,7 @@ impl WorkerPool {
                 }
                 Err(failure) => {
                     attempts += 1;
-                    self.fail_or_respawn(w, req_idx, attempts, failure)?;
+                    self.fail_or_respawn(w, req_idx, attempts, Failure::Transport(failure))?;
                 }
             }
         }
@@ -488,12 +633,12 @@ impl WorkerPool {
                         });
                         return Ok(None);
                     }
-                    Err(failure) => failure,
+                    Err(failure) => Failure::Transport(failure),
                 }
             }
-            Ok(Settled::CacheMiss { digest }) => format!(
+            Ok(Settled::CacheMiss { digest }) => Failure::Transport(format!(
                 "worker reported a cache miss for digest {digest:#018x} on an inline request"
-            ),
+            )),
             Ok(Settled::Remote(message)) => {
                 // The worker evaluated the request and rejected it;
                 // retrying cannot change a deterministic answer.
@@ -524,7 +669,7 @@ impl WorkerPool {
                     });
                     return Ok(None);
                 }
-                Err(f) => failure = f,
+                Err(f) => failure = Failure::Transport(f),
             }
         }
     }
@@ -538,39 +683,50 @@ impl WorkerPool {
         w: usize,
         req: usize,
         attempts: usize,
-        detail: String,
+        failure: Failure,
     ) -> Result<(), ShardError> {
         if attempts > self.config.retries {
             // Leave a fresh worker behind (best effort) so the pool
             // stays usable after the error surfaces.
             let _ = self.respawn(w);
-            return Err(ShardError::Worker { shard: req, detail });
+            return Err(failure.into_shard_error(req));
         }
         self.respawn(w)
             .map_err(|detail| ShardError::Spawn { shard: req, detail })
     }
 
     /// Kills and replaces worker `w` with a fresh process (empty cache
-    /// mirror).
+    /// mirror), backing off exponentially (base 10 ms, cap 1 s) on
+    /// consecutive respawns of the same slot so a crash-looping worker
+    /// binary cannot spin the coordinator at full speed.
     fn respawn(&mut self, w: usize) -> Result<(), String> {
+        let streak = self.respawn_streaks[w];
+        if streak > 0 {
+            let backoff = RESPAWN_BACKOFF_BASE
+                .saturating_mul(1u32 << streak.saturating_sub(1).min(16))
+                .min(RESPAWN_BACKOFF_CAP);
+            std::thread::sleep(backoff);
+        }
+        self.respawn_streaks[w] = streak.saturating_add(1);
         let fresh = spawn_slot(&self.config.worker, self.config.worker_threads)?;
         // Dropping the old slot kills + reaps the old process.
         self.slots[w] = fresh;
         Ok(())
     }
 
-    /// Reads one response frame from worker `w` and checks it against
-    /// the in-flight request.
+    /// Reads one response frame from worker `w` (waiting at most the
+    /// configured read timeout) and checks it against the in-flight
+    /// request.
     fn read_response(
         &mut self,
         w: usize,
         fl: &InFlight,
         expected: usize,
-    ) -> Result<Settled, String> {
+    ) -> Result<Settled, Failure> {
         let slot = &mut self.slots[w];
-        let payload = match read_frame(&mut slot.stdout) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => {
+        let payload = match slot.frames.recv_timeout(self.config.read_timeout) {
+            Ok(Ok(Some(payload))) => payload,
+            Ok(Ok(None)) => {
                 let status = slot
                     .child
                     .try_wait()
@@ -579,12 +735,26 @@ impl WorkerPool {
                         None => "still running".to_string(),
                     })
                     .unwrap_or_else(|e| format!("unknown ({e})"));
-                return Err(format!(
+                return Err(Failure::Transport(format!(
                     "worker closed its pipe without responding ({status})"
+                )));
+            }
+            Ok(Err(e)) => return Err(Failure::Transport(e)),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return Err(Failure::Timeout(format!(
+                    "no response within {:?}",
+                    self.config.read_timeout
+                )));
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(Failure::Transport(
+                    "worker reader thread exited without a final event".to_string(),
                 ));
             }
-            Err(e) => return Err(format!("reading response: {e}")),
         };
+        // Any clean frame proves the worker is alive and making
+        // progress; the slot's respawn backoff starts over.
+        self.respawn_streaks[w] = 0;
         let response = match decode_response_v2(&payload) {
             Ok(response) => response,
             Err(e) => {
@@ -595,16 +765,16 @@ impl WorkerPool {
                         "worker speaks protocol v1 only: {msg}"
                     )));
                 }
-                return Err(format!("malformed response: {e}"));
+                return Err(Failure::Transport(format!("malformed response: {e}")));
             }
         };
         let (request_id, settled) = match response {
             ShardResponseV2::Runs { request_id, runs } => {
                 if runs.len() != expected {
-                    return Err(format!(
+                    return Err(Failure::Transport(format!(
                         "worker returned {} runs, expected {expected}",
                         runs.len()
-                    ));
+                    )));
                 }
                 (request_id, Settled::Runs(runs))
             }
@@ -617,10 +787,10 @@ impl WorkerPool {
             }
         };
         if request_id != fl.id {
-            return Err(format!(
+            return Err(Failure::Transport(format!(
                 "response echoed request id {request_id}, expected {}",
                 fl.id
-            ));
+            )));
         }
         Ok(settled)
     }

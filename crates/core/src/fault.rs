@@ -1,0 +1,644 @@
+//! Deterministic fault injection on packed stochastic streams.
+//!
+//! The paper's core robustness claim is graceful degradation under bit
+//! errors: a flipped stream bit perturbs the encoded probability by
+//! `1/stream_length` instead of corrupting a positional weight. This
+//! module makes that claim measurable. A [`FaultSpec`] describes a fault
+//! process — per-stream bit-flip probability, bit-shift (zero-insertion)
+//! probability and an optional stuck-at word mask — and the fused
+//! kernels apply it to every generated stream **at the SNG cursor
+//! boundary**: after a stream's packed `u64` words leave the generator,
+//! before they fold into count planes / the multiplexer decision.
+//!
+//! # Fault universe and determinism
+//!
+//! Faults draw from their own seeded universe, fully independent of the
+//! SNG comparator draws and the receiver-noise draws. The derivation
+//! mirrors the batch determinism contract exactly:
+//!
+//! - a batch item at global index `i` perturbs with
+//!   [`FaultSpec::rebased`]`(i)` (flip and shift seeds both pass through
+//!   [`crate::batch::mix_seed`]);
+//! - an image pixel at `(row, col)` perturbs with
+//!   `spec.rebased(row).rebased(col)`;
+//! - within one evaluation, stream `j` of the generation order (data
+//!   streams `0..n`, then the `n + 1` coefficient streams) seeds its
+//!   flip process from `mix_seed(item_flip_seed, j)` and its shift
+//!   process from `mix_seed(item_shift_seed, j)`.
+//!
+//! Because the universe depends only on `(spec, global index, stream
+//! index, bit position)`, fault-injected evaluation inherits every
+//! equivalence the clean path has: bit-identical across SIMD dispatch
+//! tiers, lane-block widths, thread counts and shard counts — faulty
+//! sharded ≡ faulty unsharded ≡ faulty pooled.
+//!
+//! # Word-parallel application
+//!
+//! Fault positions are sampled by **geometric gap lengths** (the
+//! inverse-CDF of the run length between Bernoulli events), so a stream
+//! at flip rate `p` costs `O(p · stream_length)` work instead of a draw
+//! per bit: flips XOR single bits into the packed words in place, shifts
+//! splice bit-ranges with a funnel copy, and the stuck-at mask is one
+//! AND/OR per word. [`FaultSpec::apply_to_bits`] is the per-bit
+//! reference twin — same draws, same event positions, applied one bit at
+//! a time — and the equivalence tests pin word path ≡ bit path exactly.
+//!
+//! A fault process with rate `0.0` draws nothing and touches nothing, so
+//! a zero-rate [`FaultSpec`] is bit-identical to the clean path by
+//! construction (also pinned by tests).
+
+use crate::batch::mix_seed;
+use osc_math::rng::Xoshiro256PlusPlus;
+
+/// Stuck-at fault on the packed word lattice: bits selected by `mask`
+/// are forced to the corresponding bit of `value` in **every** 64-cycle
+/// word of every stream (bit `b` of a word is cycle `64·w + b`). Models
+/// a periodically stuck channel — e.g. a dead comparator bit-slice —
+/// rather than a random process, so it carries no seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckAt {
+    /// Which bit positions (within each 64-cycle word) are stuck.
+    pub mask: u64,
+    /// The value the stuck positions hold (only bits under `mask` are
+    /// observed).
+    pub value: u64,
+}
+
+/// A deterministic per-stream fault process for packed stochastic
+/// streams. See the [module docs](self) for the universe derivation and
+/// the application order (shift, then flip, then stuck-at).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that any given stream bit is flipped.
+    pub flip_probability: f64,
+    /// Probability that a zero is inserted immediately before any given
+    /// stream bit (the stream shifts right from that point; bits pushed
+    /// past `stream_length` are lost).
+    pub shift_probability: f64,
+    /// Optional stuck-at mask applied after flips.
+    pub stuck: Option<StuckAt>,
+    /// Seed of the flip universe.
+    pub flip_seed: u64,
+    /// Seed of the shift universe.
+    pub shift_seed: u64,
+}
+
+impl FaultSpec {
+    /// The identity fault process: nothing flips, nothing shifts,
+    /// nothing sticks. Bit-identical to not injecting faults at all.
+    pub const CLEAN: FaultSpec = FaultSpec {
+        flip_probability: 0.0,
+        shift_probability: 0.0,
+        stuck: None,
+        flip_seed: 0,
+        shift_seed: 0,
+    };
+
+    /// A flip-only process at rate `p`, with independent flip/shift
+    /// universes derived from one user seed.
+    pub fn flips(p: f64, seed: u64) -> FaultSpec {
+        FaultSpec {
+            flip_probability: p,
+            ..FaultSpec::with_seed(seed)
+        }
+    }
+
+    /// A fault-free spec carrying derived flip/shift seeds — the base
+    /// the rate/mask fields are set on. Flip and shift universes are
+    /// decorrelated from each other by distinct salts.
+    pub fn with_seed(seed: u64) -> FaultSpec {
+        FaultSpec {
+            flip_probability: 0.0,
+            shift_probability: 0.0,
+            stuck: None,
+            flip_seed: mix_seed(seed, 0xF11B),
+            shift_seed: mix_seed(seed, 0x5817),
+        }
+    }
+
+    /// Whether this spec perturbs anything at all. The kernels skip the
+    /// fault pass entirely when it cannot change a bit — which is what
+    /// makes `rate 0.0 ≡ clean` trivially exact.
+    pub fn is_active(&self) -> bool {
+        self.flip_probability > 0.0 || self.shift_probability > 0.0 || self.stuck.is_some()
+    }
+
+    /// Validates the probabilities (finite, within `[0, 1]`). Wire
+    /// decoders call this so a malformed spec surfaces as an error value
+    /// on the worker, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("flip probability", self.flip_probability),
+            ("shift probability", self.shift_probability),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} {p} is not in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives the spec for one work item of a batch: both fault seeds
+    /// pass through [`mix_seed`] with `salt` (the global item index;
+    /// image pixels rebase twice, by row then by column — exactly
+    /// mirroring the SNG seed derivation, which is what makes sharding
+    /// unobservable in faulty results too).
+    pub fn rebased(&self, salt: u64) -> FaultSpec {
+        FaultSpec {
+            flip_seed: mix_seed(self.flip_seed, salt),
+            shift_seed: mix_seed(self.shift_seed, salt),
+            ..*self
+        }
+    }
+
+    /// Applies this item-level spec to stream `j` of one evaluation,
+    /// stored lane-interleaved: word `w` of the target lane lives at
+    /// `words[w * stride + lane]`, covering `stream_length` bits. `tmp`
+    /// is caller-owned scratch (only touched when shifts are active).
+    ///
+    /// Bits at positions `>= stream_length` in the final partial word
+    /// are never set by the fault pass (the generators leave them zero
+    /// and the pass preserves that).
+    pub fn apply_to_words(
+        &self,
+        stream: u64,
+        words: &mut [u64],
+        lane: usize,
+        stride: usize,
+        stream_length: usize,
+        tmp: &mut Vec<u64>,
+    ) {
+        if stream_length == 0 || !self.is_active() {
+            return;
+        }
+        let nwords = stream_length.div_ceil(64);
+        debug_assert!(lane + (nwords - 1) * stride < words.len());
+        if self.shift_probability > 0.0 {
+            // Shifts need contiguous bit-range copies: gather the lane
+            // into scratch, splice, scatter back.
+            tmp.clear();
+            tmp.resize(2 * nwords, 0);
+            let (src, dst) = tmp.split_at_mut(nwords);
+            for (w, s) in src.iter_mut().enumerate() {
+                *s = words[w * stride + lane];
+            }
+            let mut events =
+                FaultEvents::new(mix_seed(self.shift_seed, stream), self.shift_probability);
+            let mut out_off = 0usize; // next output bit to produce
+            let mut prev = 0usize; // next original bit to copy
+            while let Some(e) = events.next_event(stream_length) {
+                let seg = (e - prev).min(stream_length - out_off);
+                copy_bits(src, prev, dst, out_off, seg);
+                out_off += seg;
+                if out_off >= stream_length {
+                    break;
+                }
+                // The inserted zero: dst is pre-zeroed, just advance.
+                out_off += 1;
+                prev = e;
+                if out_off >= stream_length {
+                    break;
+                }
+            }
+            if out_off < stream_length {
+                copy_bits(src, prev, dst, out_off, stream_length - out_off);
+            }
+            for (w, d) in dst.iter().enumerate() {
+                words[w * stride + lane] = *d;
+            }
+        }
+        if self.flip_probability > 0.0 {
+            let mut events =
+                FaultEvents::new(mix_seed(self.flip_seed, stream), self.flip_probability);
+            while let Some(e) = events.next_event(stream_length) {
+                words[(e / 64) * stride + lane] ^= 1u64 << (e % 64);
+            }
+        }
+        if let Some(stuck) = self.stuck {
+            let tail_bits = stream_length % 64;
+            for w in 0..nwords {
+                // Never force bits past stream_length in the final word.
+                let valid = if w + 1 == nwords && tail_bits != 0 {
+                    (1u64 << tail_bits) - 1
+                } else {
+                    u64::MAX
+                };
+                let m = stuck.mask & valid;
+                let slot = &mut words[w * stride + lane];
+                *slot = (*slot & !m) | (stuck.value & m);
+            }
+        }
+    }
+
+    /// Per-bit reference twin of [`FaultSpec::apply_to_words`]: same
+    /// event draws, same application order, applied one `bool` at a
+    /// time. The readable specification of the fault semantics; the
+    /// equivalence tests pin exact word/bit equality.
+    pub fn apply_to_bits(&self, stream: u64, bits: &mut Vec<bool>) {
+        let len = bits.len();
+        if len == 0 || !self.is_active() {
+            return;
+        }
+        if self.shift_probability > 0.0 {
+            let mut events =
+                FaultEvents::new(mix_seed(self.shift_seed, stream), self.shift_probability);
+            let mut next = events.next_event(len);
+            let mut out = Vec::with_capacity(len);
+            for (i, &b) in bits.iter().enumerate() {
+                if out.len() >= len {
+                    break;
+                }
+                if next == Some(i) {
+                    out.push(false);
+                    next = events.next_event(len);
+                    if out.len() >= len {
+                        break;
+                    }
+                }
+                out.push(b);
+            }
+            out.truncate(len);
+            debug_assert_eq!(out.len(), len);
+            *bits = out;
+        }
+        if self.flip_probability > 0.0 {
+            let mut events =
+                FaultEvents::new(mix_seed(self.flip_seed, stream), self.flip_probability);
+            while let Some(e) = events.next_event(len) {
+                bits[e] = !bits[e];
+            }
+        }
+        if let Some(stuck) = self.stuck {
+            for (i, b) in bits.iter_mut().enumerate() {
+                let bit = i % 64;
+                if (stuck.mask >> bit) & 1 == 1 {
+                    *b = (stuck.value >> bit) & 1 == 1;
+                }
+            }
+        }
+    }
+}
+
+/// How one fault process samples event positions.
+#[derive(Debug, Clone, Copy)]
+enum EventMode {
+    /// `p <= 0`: no events, no draws.
+    Never,
+    /// `p >= 1`: every position is an event, no draws.
+    Every,
+    /// `0 < p < 1`: geometric gaps, one uniform draw per event.
+    Geometric {
+        /// `1 / ln(1 - p)` (negative).
+        inv_log_q: f64,
+    },
+}
+
+/// Iterator over the positions of a seeded Bernoulli(`p`) fault process,
+/// sampled as geometric gap lengths: for uniform `u ∈ [0, 1)` the run of
+/// fault-free positions before the next event is
+/// `⌊ln(1 − u) / ln(1 − p)⌋` — the inverse CDF of the geometric
+/// distribution, so the emitted positions are exactly an iid
+/// Bernoulli(`p`) marking of `0..limit` while costing one draw per
+/// *event* instead of one per position.
+#[derive(Debug)]
+pub struct FaultEvents {
+    rng: Xoshiro256PlusPlus,
+    mode: EventMode,
+    pos: usize,
+}
+
+impl FaultEvents {
+    /// A fault process at rate `p` drawing from `seed`'s universe.
+    pub fn new(seed: u64, p: f64) -> FaultEvents {
+        let mode = if p.is_nan() || p <= 0.0 {
+            EventMode::Never
+        } else if p >= 1.0 {
+            EventMode::Every
+        } else {
+            EventMode::Geometric {
+                inv_log_q: 1.0 / (1.0 - p).ln(),
+            }
+        };
+        FaultEvents {
+            rng: Xoshiro256PlusPlus::new(seed),
+            mode,
+            pos: 0,
+        }
+    }
+
+    /// The next event position `< limit`, or `None` once the process has
+    /// moved past the end of the stream.
+    pub fn next_event(&mut self, limit: usize) -> Option<usize> {
+        if self.pos >= limit {
+            return None;
+        }
+        match self.mode {
+            EventMode::Never => {
+                self.pos = limit;
+                None
+            }
+            EventMode::Every => {
+                let e = self.pos;
+                self.pos += 1;
+                Some(e)
+            }
+            EventMode::Geometric { inv_log_q } => {
+                let u = self.rng.next_f64();
+                let gap_f = ((1.0 - u).ln() * inv_log_q).floor();
+                // A non-finite or enormous gap simply means "no event in
+                // any addressable stream": saturate past the limit.
+                let gap = if gap_f.is_finite() && gap_f < usize::MAX as f64 {
+                    gap_f as usize
+                } else {
+                    usize::MAX
+                };
+                let e = self.pos.saturating_add(gap);
+                if e >= limit {
+                    self.pos = limit;
+                    None
+                } else {
+                    self.pos = e + 1;
+                    Some(e)
+                }
+            }
+        }
+    }
+}
+
+/// ORs `len` bits read from `src` starting at bit `src_start` into `dst`
+/// starting at bit `dst_start`. `dst` bits in the target range must be
+/// zero (the shift splice writes each output bit exactly once into a
+/// zeroed buffer). Processes up to one destination word per iteration
+/// with a two-word funnel read.
+fn copy_bits(src: &[u64], src_start: usize, dst: &mut [u64], dst_start: usize, len: usize) {
+    let mut done = 0usize;
+    while done < len {
+        let d = dst_start + done;
+        let n = (64 - (d % 64)).min(len - done);
+        dst[d / 64] |= read_bits(src, src_start + done, n) << (d % 64);
+        done += n;
+    }
+}
+
+/// Reads `n <= 64` bits from `src` starting at bit `start`, zero-padded
+/// past the end of the array, low bit first.
+fn read_bits(src: &[u64], start: usize, n: usize) -> u64 {
+    let w = start / 64;
+    let b = start % 64;
+    let lo = src.get(w).copied().unwrap_or(0) >> b;
+    let hi = if b == 0 {
+        0
+    } else {
+        src.get(w + 1).copied().unwrap_or(0) << (64 - b)
+    };
+    let v = lo | hi;
+    if n >= 64 {
+        v
+    } else {
+        v & ((1u64 << n) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words_to_bits(words: &[u64], lane: usize, stride: usize, len: usize) -> Vec<bool> {
+        (0..len)
+            .map(|i| (words[(i / 64) * stride + lane] >> (i % 64)) & 1 == 1)
+            .collect()
+    }
+
+    fn bits_to_strided(bits: &[bool], lane: usize, stride: usize, lanes: usize) -> Vec<u64> {
+        let nwords = bits.len().div_ceil(64);
+        let mut words = vec![0u64; nwords * stride + lanes - stride.min(lanes)];
+        words.resize(nwords * stride, 0);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[(i / 64) * stride + lane] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+
+    fn random_bits(seed: u64, len: usize) -> Vec<bool> {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        (0..len).map(|_| rng.next_u64() & 1 == 1).collect()
+    }
+
+    fn spec(flip: f64, shift: f64, stuck: Option<StuckAt>, seed: u64) -> FaultSpec {
+        FaultSpec {
+            flip_probability: flip,
+            shift_probability: shift,
+            stuck,
+            ..FaultSpec::with_seed(seed)
+        }
+    }
+
+    #[test]
+    fn word_path_matches_bit_twin_across_rates_and_lengths() {
+        let stucks = [
+            None,
+            Some(StuckAt {
+                mask: 0x8000_0000_0000_0001,
+                value: u64::MAX,
+            }),
+        ];
+        for (case, &(flip, shift)) in [
+            (0.0, 0.0),
+            (0.01, 0.0),
+            (0.0, 0.01),
+            (0.05, 0.03),
+            (0.5, 0.5),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 1.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for &len in &[1usize, 63, 64, 65, 127, 128, 1000, 4096] {
+                for (si, &stuck) in stucks.iter().enumerate() {
+                    for (lane, stride) in [(0usize, 1usize), (3, 8), (1, 2)] {
+                        let sp = spec(flip, shift, stuck, 1000 + case as u64);
+                        let bits = random_bits(42 + len as u64 + si as u64, len);
+                        let mut words = bits_to_strided(&bits, lane, stride, stride);
+                        let mut tmp = Vec::new();
+                        sp.apply_to_words(7, &mut words, lane, stride, len, &mut tmp);
+                        let mut twin = bits.clone();
+                        sp.apply_to_bits(7, &mut twin);
+                        assert_eq!(
+                            words_to_bits(&words, lane, stride, len),
+                            twin,
+                            "flip={flip} shift={shift} len={len} stuck={si} lane={lane}/{stride}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_lanes_do_not_disturb_neighbours() {
+        let len = 300;
+        let stride = 8;
+        let lanes: Vec<Vec<bool>> = (0..stride as u64).map(|l| random_bits(l, len)).collect();
+        let mut words = vec![0u64; len.div_ceil(64) * stride];
+        for (l, bits) in lanes.iter().enumerate() {
+            for (i, &b) in bits.iter().enumerate() {
+                if b {
+                    words[(i / 64) * stride + l] |= 1 << (i % 64);
+                }
+            }
+        }
+        let sp = spec(0.2, 0.1, Some(StuckAt { mask: 4, value: 4 }), 9);
+        sp.apply_to_words(3, &mut words, 5, stride, len, &mut Vec::new());
+        for (l, bits) in lanes.iter().enumerate() {
+            if l == 5 {
+                let mut twin = bits.clone();
+                sp.apply_to_bits(3, &mut twin);
+                assert_eq!(words_to_bits(&words, l, stride, len), twin);
+            } else {
+                assert_eq!(&words_to_bits(&words, l, stride, len), bits, "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_spec_is_inert_and_inactive() {
+        assert!(!FaultSpec::CLEAN.is_active());
+        assert!(!FaultSpec::with_seed(7).is_active());
+        let bits = random_bits(5, 500);
+        let mut words = bits_to_strided(&bits, 0, 1, 1);
+        let before = words.clone();
+        FaultSpec::with_seed(7).apply_to_words(0, &mut words, 0, 1, 500, &mut Vec::new());
+        assert_eq!(words, before);
+        let mut twin = bits.clone();
+        FaultSpec::with_seed(7).apply_to_bits(0, &mut twin);
+        assert_eq!(twin, bits);
+    }
+
+    #[test]
+    fn flip_density_matches_probability_within_binomial_bounds() {
+        // All-zero input: the ones count after flipping IS the flip
+        // count. Seeded, so the outcome is fixed — the assertion is that
+        // the geometric-gap sampler realizes the configured Bernoulli
+        // rate, within 6σ of the binomial for this (n, p).
+        for &p in &[0.01f64, 0.05, 0.2] {
+            let len = 1 << 17;
+            let mut words = vec![0u64; len / 64];
+            let sp = FaultSpec::flips(p, 1234);
+            sp.apply_to_words(0, &mut words, 0, 1, len, &mut Vec::new());
+            let flips: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+            let mean = p * len as f64;
+            let sd = (len as f64 * p * (1.0 - p)).sqrt();
+            let dev = (flips as f64 - mean).abs();
+            assert!(
+                dev < 6.0 * sd,
+                "p={p}: {flips} flips vs mean {mean:.0} (dev {dev:.0} > 6σ={:.0})",
+                6.0 * sd
+            );
+        }
+    }
+
+    #[test]
+    fn shift_inserts_zeros_and_truncates() {
+        // p = 1 inserts a zero before every bit: output is 0 b0 0 b1 …
+        let bits: Vec<bool> = vec![true; 10];
+        let mut shifted = bits.clone();
+        spec(0.0, 1.0, None, 3).apply_to_bits(0, &mut shifted);
+        let expect: Vec<bool> = (0..10).map(|i| i % 2 == 1).collect();
+        assert_eq!(shifted, expect);
+        // And the word path agrees on a longer all-ones stream.
+        let len = 130;
+        let mut words = bits_to_strided(&vec![true; len], 0, 1, 1);
+        spec(0.0, 1.0, None, 3).apply_to_words(0, &mut words, 0, 1, len, &mut Vec::new());
+        let out = words_to_bits(&words, 0, 1, len);
+        assert_eq!(out, (0..len).map(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stuck_at_respects_stream_tail() {
+        let len = 70; // 6 valid bits in the final word
+        let mut words = vec![0u64; 2];
+        let sp = spec(
+            0.0,
+            0.0,
+            Some(StuckAt {
+                mask: u64::MAX,
+                value: u64::MAX,
+            }),
+            0,
+        );
+        sp.apply_to_words(0, &mut words, 0, 1, len, &mut Vec::new());
+        assert_eq!(words[0], u64::MAX);
+        assert_eq!(words[1], (1u64 << 6) - 1, "tail bits must stay clear");
+    }
+
+    #[test]
+    fn rebased_specs_decorrelate_and_validate_rejects_garbage() {
+        let sp = FaultSpec::flips(0.1, 9);
+        assert_ne!(sp.rebased(0).flip_seed, sp.rebased(1).flip_seed);
+        assert_ne!(sp.rebased(0).shift_seed, sp.rebased(0).flip_seed);
+        assert_eq!(sp.rebased(5).flip_probability, 0.1);
+        assert!(sp.validate().is_ok());
+        for bad in [
+            FaultSpec {
+                flip_probability: -0.1,
+                ..sp
+            },
+            FaultSpec {
+                flip_probability: 1.5,
+                ..sp
+            },
+            FaultSpec {
+                flip_probability: f64::NAN,
+                ..sp
+            },
+            FaultSpec {
+                shift_probability: f64::INFINITY,
+                ..sp
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn different_streams_and_salts_draw_different_events() {
+        let sp = FaultSpec::flips(0.05, 77);
+        let len = 4096;
+        let collect = |sp: &FaultSpec, stream: u64| {
+            let mut words = vec![0u64; len / 64];
+            sp.apply_to_words(stream, &mut words, 0, 1, len, &mut Vec::new());
+            words
+        };
+        assert_ne!(collect(&sp, 0), collect(&sp, 1));
+        assert_ne!(collect(&sp.rebased(0), 0), collect(&sp.rebased(1), 0));
+        // Same inputs → identical events (the whole point).
+        assert_eq!(collect(&sp, 3), collect(&sp, 3));
+    }
+
+    #[test]
+    fn copy_bits_handles_unaligned_ranges() {
+        let src = vec![0xDEAD_BEEF_0123_4567u64, 0x89AB_CDEF_FEDC_BA98];
+        for &(s, d, n) in &[
+            (0usize, 0usize, 128usize),
+            (3, 10, 100),
+            (63, 1, 64),
+            (7, 7, 1),
+        ] {
+            let mut dst = vec![0u64; 3];
+            copy_bits(&src, s, &mut dst, d, n);
+            for i in 0..n {
+                let want = (src[(s + i) / 64] >> ((s + i) % 64)) & 1;
+                let got = (dst[(d + i) / 64] >> ((d + i) % 64)) & 1;
+                assert_eq!(got, want, "s={s} d={d} n={n} i={i}");
+            }
+        }
+    }
+}

@@ -63,6 +63,7 @@ pub mod calibration;
 pub mod controller;
 pub mod design;
 pub mod energy;
+pub mod fault;
 pub mod mux;
 pub mod parallel;
 pub mod params;

@@ -62,6 +62,7 @@
 //!   side. Do not use in new code.
 
 use crate::architecture::OpticalScCircuit;
+use crate::fault::FaultSpec;
 use crate::receiver::Derandomizer;
 use crate::{params::CircuitParams, CircuitError};
 use osc_math::rng::Xoshiro256PlusPlus;
@@ -97,6 +98,9 @@ pub struct EvalScratch {
     /// Landing buffer for up to two streams being generated (one pair),
     /// before their words fold into `planes`/`sel`.
     stream_buf: Vec<u64>,
+    /// Gather/splice scratch for the fault-injection pass (only touched
+    /// when a [`FaultSpec`] with active bit-shifts rides the run).
+    fault_tmp: Vec<u64>,
 }
 
 impl EvalScratch {
@@ -112,12 +116,36 @@ impl EvalScratch {
             + self.coeff.capacity()
             + self.sel.capacity()
             + self.stream_buf.capacity()
+            + self.fault_tmp.capacity()
     }
 }
 
 /// Per-lane `(ones, ideal_ones, decision_flips)` counters returned by
 /// the lane kernel.
 type LaneCounts<const L: usize> = ([usize; L], [usize; L], [usize; L]);
+
+/// Fault-injection hook of the lane kernel: perturbs stream `j`'s
+/// freshly drained lane-interleaved words (block `w` of lane `l` at
+/// `d[w * L + l]`) with each lane's fault process, after generation and
+/// **before** the words fold into count planes / the decision. Lane
+/// `l`'s events depend only on `(faults[l], j, bit position)` — never on
+/// `L`, the lane slot or the dispatch tier — which is what keeps faulty
+/// evaluation bit-identical across tiers and lane widths.
+fn apply_stream_faults<const L: usize>(
+    faults: Option<&[FaultSpec; L]>,
+    j: usize,
+    d: &mut [u64],
+    stream_length: usize,
+    tmp: &mut Vec<u64>,
+) {
+    if let Some(specs) = faults {
+        for (l, spec) in specs.iter().enumerate() {
+            if spec.is_active() {
+                spec.apply_to_words(j as u64, d, l, L, stream_length, tmp);
+            }
+        }
+    }
+}
 
 /// Nibble-spread tables for the noisy decision tiers: `SPREAD[pos][v]`
 /// scatters the nibble `v`'s 4 bits into four 16-bit lanes at bit `pos`,
@@ -397,11 +425,36 @@ impl OpticalScSystem {
         rng: &mut Xoshiro256PlusPlus,
         scratch: &mut EvalScratch,
     ) -> Result<OpticalRun, CircuitError> {
-        let [run] = self.evaluate_fused_lanes::<1, S>(
+        self.evaluate_fused_faulted(x, stream_length, sng, rng, None, scratch)
+    }
+
+    /// [`OpticalScSystem::evaluate_fused`] with an optional
+    /// [`FaultSpec`] perturbing every generated stream at the SNG cursor
+    /// boundary (see [`crate::fault`] for the universe derivation).
+    /// `fault` carries the **item-level** spec — callers batching many
+    /// items derive it via [`FaultSpec::rebased`]`(global_index)`.
+    /// Passing `None` (or a spec with [`FaultSpec::is_active`] false) is
+    /// bit-identical to the clean path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors for invalid `x`.
+    pub fn evaluate_fused_faulted<S: StochasticNumberGenerator>(
+        &self,
+        x: f64,
+        stream_length: usize,
+        sng: &mut S,
+        rng: &mut Xoshiro256PlusPlus,
+        fault: Option<&FaultSpec>,
+        scratch: &mut EvalScratch,
+    ) -> Result<OpticalRun, CircuitError> {
+        let faults = fault.map(|f| [*f]);
+        let [run] = self.evaluate_fused_lanes_faulted::<1, S>(
             &[x],
             stream_length,
             std::array::from_mut(sng),
             std::array::from_mut(rng),
+            faults.as_ref(),
             scratch,
         )?;
         Ok(run)
@@ -445,6 +498,30 @@ impl OpticalScSystem {
         rngs: &mut [Xoshiro256PlusPlus; L],
         scratch: &mut EvalScratch,
     ) -> Result<[OpticalRun; L], CircuitError> {
+        self.evaluate_fused_lanes_faulted(xs, stream_length, sngs, rngs, None, scratch)
+    }
+
+    /// [`OpticalScSystem::evaluate_fused_lanes`] with optional per-lane
+    /// [`FaultSpec`]s: lane `l` perturbs its streams with `faults[l]`
+    /// (the item-level spec — each lane's fault universe depends only on
+    /// its spec and the stream index, never on `L` or the lane slot, so
+    /// every lane stays bit-identical to a standalone
+    /// [`OpticalScSystem::evaluate_fused_faulted`] run across every
+    /// dispatch tier and lane width).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream-generation errors when any `xs[l]` is invalid
+    /// (checked before any randomness is consumed).
+    pub fn evaluate_fused_lanes_faulted<const L: usize, S: StochasticNumberGenerator>(
+        &self,
+        xs: &[f64; L],
+        stream_length: usize,
+        sngs: &mut [S; L],
+        rngs: &mut [Xoshiro256PlusPlus; L],
+        faults: Option<&[FaultSpec; L]>,
+        scratch: &mut EvalScratch,
+    ) -> Result<[OpticalRun; L], CircuitError> {
         // On the scalar dispatch tier the `[u64; L]` lock-step walk has
         // no vector engine behind it and loses to L standalone passes
         // (pr5's forced-scalar records measured 0.79–0.85×), so degrade
@@ -453,29 +530,30 @@ impl OpticalScSystem {
         if L > 1 && simd::active_tier() == simd::SimdTier::Scalar {
             let mut out: [Option<OpticalRun>; L] = [None; L];
             for l in 0..L {
-                out[l] = Some(self.evaluate_fused(
+                out[l] = Some(self.evaluate_fused_faulted(
                     xs[l],
                     stream_length,
                     &mut sngs[l],
                     &mut rngs[l],
+                    faults.map(|f| &f[l]),
                     scratch,
                 )?);
             }
             return Ok(out.map(|r| r.expect("every lane filled")));
         }
         let (ones, ideal, flips) = match self.circuit.order() {
-            1 => self.lane_kernel::<1, L, S>(xs, stream_length, sngs, rngs, scratch),
-            2 => self.lane_kernel::<2, L, S>(xs, stream_length, sngs, rngs, scratch),
-            3 => self.lane_kernel::<3, L, S>(xs, stream_length, sngs, rngs, scratch),
-            4 => self.lane_kernel::<4, L, S>(xs, stream_length, sngs, rngs, scratch),
-            5 => self.lane_kernel::<5, L, S>(xs, stream_length, sngs, rngs, scratch),
-            6 => self.lane_kernel::<6, L, S>(xs, stream_length, sngs, rngs, scratch),
-            7 => self.lane_kernel::<7, L, S>(xs, stream_length, sngs, rngs, scratch),
-            8 => self.lane_kernel::<8, L, S>(xs, stream_length, sngs, rngs, scratch),
-            9 => self.lane_kernel::<9, L, S>(xs, stream_length, sngs, rngs, scratch),
-            10 => self.lane_kernel::<10, L, S>(xs, stream_length, sngs, rngs, scratch),
-            11 => self.lane_kernel::<11, L, S>(xs, stream_length, sngs, rngs, scratch),
-            12 => self.lane_kernel::<12, L, S>(xs, stream_length, sngs, rngs, scratch),
+            1 => self.lane_kernel::<1, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            2 => self.lane_kernel::<2, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            3 => self.lane_kernel::<3, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            4 => self.lane_kernel::<4, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            5 => self.lane_kernel::<5, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            6 => self.lane_kernel::<6, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            7 => self.lane_kernel::<7, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            8 => self.lane_kernel::<8, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            9 => self.lane_kernel::<9, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            10 => self.lane_kernel::<10, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            11 => self.lane_kernel::<11, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
+            12 => self.lane_kernel::<12, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
             n => unreachable!("order {n} exceeds MAX_SIM_ORDER"),
         }
         .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
@@ -517,6 +595,7 @@ impl OpticalScSystem {
         stream_length: usize,
         sngs: &mut [S; L],
         rngs: &mut [Xoshiro256PlusPlus; L],
+        faults: Option<&[FaultSpec; L]>,
         scratch: &mut EvalScratch,
     ) -> Result<LaneCounts<L>, osc_stochastic::ScError> {
         let nplanes = planes_for(N);
@@ -584,6 +663,13 @@ impl OpticalScSystem {
                 }
                 if paired {
                     for (jj, d) in [(j, d0), (j + 1, d1)] {
+                        apply_stream_faults::<L>(
+                            faults,
+                            jj,
+                            d,
+                            stream_length,
+                            &mut scratch.fault_tmp,
+                        );
                         if jj < N {
                             fold_data_words(d, &mut scratch.planes, nplanes);
                         } else {
@@ -607,6 +693,7 @@ impl OpticalScSystem {
                         w += 1;
                     })?;
                 }
+                apply_stream_faults::<L>(faults, j, d, stream_length, &mut scratch.fault_tmp);
                 if j < N {
                     fold_data_words(d, &mut scratch.planes, nplanes);
                 } else {

@@ -11,7 +11,7 @@ use osc_core::batch::shard::{
     decode_request, decode_request_v2, decode_response, decode_response_v2, encode_request,
     encode_request_v2, encode_response, encode_response_v2, read_frame, serve, write_frame,
     ShardJob, ShardRequest, ShardResponse, ShardResponseV2, SngKind, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_V2, PROTOCOL_VERSION_V3,
 };
 use osc_core::params::CircuitParams;
 use osc_core::system::OpticalRun;
@@ -23,6 +23,7 @@ fn small_request() -> ShardRequest {
         sng: SngKind::Xoshiro,
         seed: 3,
         stream_length: 64,
+        faults: None,
         job: ShardJob::Batch {
             first_index: 0,
             xs: vec![0.5],
@@ -159,10 +160,12 @@ fn unknown_tags_are_error_values_and_the_worker_stays_alive() {
 
 #[test]
 fn version_mismatch_is_answered_and_the_worker_stays_alive() {
-    // A frame claiming protocol version 3: the worker answers a clean
-    // error naming the version problem and keeps serving.
+    // A frame claiming protocol version 4 — one past every version
+    // this build speaks (v3 is the fault-carrying request format): the
+    // worker answers a clean error naming the version problem and
+    // keeps serving.
     let mut future = encode_request(&small_request());
-    future[4..8].copy_from_slice(&3u32.to_le_bytes());
+    future[4..8].copy_from_slice(&4u32.to_le_bytes());
     let mut input = Vec::new();
     write_frame(&mut input, &future).unwrap();
     write_frame(&mut input, &encode_request(&small_request())).unwrap();
@@ -177,9 +180,11 @@ fn version_mismatch_is_answered_and_the_worker_stays_alive() {
         decode_response(&responses[1]).unwrap(),
         ShardResponse::Runs(_)
     ));
-    // Sanity: the version constants the mismatch is judged against.
+    // Sanity: the version constants the mismatch is judged against —
+    // the forged version above must stay one past the newest.
     assert_eq!(PROTOCOL_VERSION, 1);
     assert_eq!(PROTOCOL_VERSION_V2, 2);
+    assert_eq!(PROTOCOL_VERSION_V3, 3);
 }
 
 #[test]

@@ -106,6 +106,7 @@ fn any_partition_merges_to_the_single_process_batch() {
                         sng: kind,
                         seed,
                         stream_length: stream_length as u64,
+                        faults: None,
                         job: ShardJob::Batch {
                             first_index: start as u64,
                             xs: xs[start..start + len].to_vec(),
@@ -159,6 +160,7 @@ fn v2_requests_match_v1_and_the_single_process_reference() {
         sng: SngKind::Xoshiro,
         seed: 21,
         stream_length: 160,
+        faults: None,
         job: ShardJob::Batch {
             first_index: 0,
             xs: xs.clone(),
@@ -196,6 +198,7 @@ fn interleaved_request_ids_echo_in_arrival_order() {
             sng: SngKind::Counter,
             seed,
             stream_length: 96,
+            faults: None,
             job: ShardJob::Batch {
                 first_index: 0,
                 xs: vec![0.25, 0.75],
@@ -217,6 +220,7 @@ fn cache_misses_are_clean_values_and_lru_evicts_the_oldest() {
         sng: SngKind::Xoshiro,
         seed: 5,
         stream_length: 64,
+        faults: None,
         job: ShardJob::Batch {
             first_index: 0,
             xs: vec![0.5],
@@ -285,6 +289,7 @@ fn image_rows_partition_matches_whole_image_job() {
         sng: SngKind::Xoshiro,
         seed: 99,
         stream_length: 128,
+        faults: None,
         job: ShardJob::ImageRows {
             width: width as u64,
             first_row: first_row as u64,
