@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gamma_pool [--workers N] [--requests R] [--spawn-per-request]
+//!            [--service ADDR] [--connections N] [--open-loop]
 //!            [--out PATH] [--stream BITS] [--size WxH]
 //!            [--fault-flip P] [--fault-shift P] [--fault-seed S]
 //! ```
@@ -16,7 +17,13 @@
 //!   build paid once for the whole stream;
 //! - `--workers 0`: the unsharded in-process row+lane pipeline;
 //! - `--spawn-per-request`: a fresh `N`-shard `ShardCoordinator` run
-//!   per request — the per-request-spawn baseline the pool amortizes.
+//!   per request — the per-request-spawn baseline the pool amortizes;
+//! - `--service ADDR`: the multi-client load generator against a
+//!   running `osc_service` front door at `ADDR` — `--connections N`
+//!   (default 3) concurrent TCP connections share the schedule, and
+//!   `--open-loop` switches each connection from awaiting every
+//!   response (closed-loop) to sending its whole burst up front, so
+//!   the p50/p95/p99 latencies include queueing delay.
 //!
 //! The determinism contract makes the output bytes **identical across
 //! all modes and worker counts**, so CI `cmp`s them directly; the
@@ -29,7 +36,7 @@
 //! fault-universe determinism contract keeps faulty bytes identical
 //! across modes and worker counts too.
 
-use osc_bench::soak::{self, SoakConfig, SoakMode};
+use osc_bench::soak::{self, LoadConfig, SoakConfig, SoakMode};
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::fault::FaultSpec;
@@ -58,6 +65,8 @@ fn main() {
     let mut workers = 3usize;
     let mut cfg = SoakConfig::default();
     let mut spawn_per_request = false;
+    let mut service_addr: Option<String> = None;
+    let mut load = LoadConfig::default();
     let mut out_path: Option<String> = None;
     let mut fault_flip = 0.0f64;
     let mut fault_shift = 0.0f64;
@@ -80,6 +89,13 @@ fn main() {
                     .unwrap_or_else(|_| fail("--requests needs an integer"))
             }
             "--spawn-per-request" => spawn_per_request = true,
+            "--service" => service_addr = Some(value("--service")),
+            "--connections" => {
+                load.connections = value("--connections")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--connections needs an integer"))
+            }
+            "--open-loop" => load.open_loop = true,
             "--out" => out_path = Some(value("--out")),
             "--stream" => {
                 cfg.stream = value("--stream")
@@ -111,7 +127,8 @@ fn main() {
             }
             other => fail(&format!(
                 "unknown argument {other}\nusage: gamma_pool [--workers N] [--requests R] \
-                 [--spawn-per-request] [--out PATH] [--stream BITS] [--size WxH] \
+                 [--spawn-per-request] [--service ADDR] [--connections N] [--open-loop] \
+                 [--out PATH] [--stream BITS] [--size WxH] \
                  [--fault-flip P] [--fault-shift P] [--fault-seed S]"
             )),
         }
@@ -123,7 +140,21 @@ fn main() {
             fail("could not locate the shard_worker binary (build it, or set OSC_SHARD_WORKER)")
         })
     };
-    let (report, mode_name) = if workers == 0 {
+    let (report, mode_name) = if let Some(addr) = service_addr {
+        let addr = addr
+            .parse()
+            .unwrap_or_else(|_| fail("--service needs HOST:PORT"));
+        let report = soak::run_service(&cfg, addr, &load)
+            .unwrap_or_else(|e| fail(&format!("service soak against {addr}: {e}")));
+        let loop_name = if load.open_loop { "open" } else { "closed" };
+        (
+            report,
+            format!(
+                "service({addr}, {} conns, {loop_name}-loop)",
+                load.connections
+            ),
+        )
+    } else if workers == 0 {
         let report = soak::run(&cfg, SoakMode::InProcess)
             .unwrap_or_else(|e| fail(&format!("in-process soak: {e}")));
         (report, "in-process".to_string())

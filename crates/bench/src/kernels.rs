@@ -484,10 +484,43 @@ pub fn run(budget_ms: u64) -> KernelsReport {
                     .len() as f64
             },
         ));
+
+        // The service-soak trajectory workload: the same small-request
+        // schedule, per-request coordinator spawning (baseline) against
+        // the persistent TCP front door driven by the 3-connection
+        // closed-loop load generator (optimized). On top of the pool's
+        // amortization the optimized side pays wire framing and
+        // connection scheduling and *still* wins — that margin is the
+        // serving overhead budget the trajectory pins PR-over-PR.
+        let svc_cfg = soak_cfg;
+        let svc_spawn = ShardCoordinator::new(&worker, 3);
+        let svc_dispatcher = PoolConfig::new(&worker, 3)
+            .spawn_dispatcher()
+            .expect("dispatcher spawns");
+        let service =
+            osc_core::batch::shard::service::Service::bind(("127.0.0.1", 0), svc_dispatcher)
+                .expect("service binds an ephemeral port");
+        let svc_load = crate::soak::LoadConfig::default();
+        comparisons.push(compare(
+            &mut harness,
+            "service_soak",
+            move || {
+                crate::soak::run(&svc_cfg, crate::soak::SoakMode::Spawn(&svc_spawn))
+                    .unwrap()
+                    .bytes
+                    .len() as f64
+            },
+            move || {
+                crate::soak::run_service(&svc_cfg, service.local_addr(), &svc_load)
+                    .unwrap()
+                    .bytes
+                    .len() as f64
+            },
+        ));
     } else {
         eprintln!(
             "[kernels] shard_worker binary not found — skipping gamma_64x64_order6_sharded, \
-             gamma_64x64_order6_pooled and pool_small_requests_1024 \
+             gamma_64x64_order6_pooled, pool_small_requests_1024 and service_soak \
              (build it with `cargo build -p osc-bench --bin shard_worker`)"
         );
     }
@@ -984,7 +1017,7 @@ mod tests {
         // has been built (cargo test builds it for this package's
         // integration tests, but a filtered build may not have).
         let expect_sharded = shard_worker_path().is_some();
-        assert_eq!(r.comparisons.len(), if expect_sharded { 15 } else { 12 });
+        assert_eq!(r.comparisons.len(), if expect_sharded { 16 } else { 12 });
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
@@ -1003,6 +1036,7 @@ mod tests {
             "gamma_64x64_order6_sharded",
             "gamma_64x64_order6_pooled",
             "pool_small_requests_1024",
+            "service_soak",
         ] {
             assert_eq!(json.contains(pool_workload), expect_sharded, "{json}");
         }

@@ -209,6 +209,54 @@
 //! failed shard, retries it on a fresh process ([`ShardCoordinator`]
 //! retries each shard once by default), and only then surfaces a
 //! [`ShardError`].
+//!
+//! # Service framing (TCP front door)
+//!
+//! [`service::Service`] exposes the exact same framed protocol over a
+//! TCP socket, multiplexing many concurrent client connections onto one
+//! [`pool::PoolDispatcher`]. No new wire format is introduced — a
+//! service connection is framed byte-for-byte like a worker pipe — but
+//! the connection lifecycle adds these rules:
+//!
+//! - **Connection lifecycle.** A client connects, writes request frames
+//!   and reads exactly one response frame per request, in request
+//!   order. Requests from one connection may be answered with
+//!   pipelining delays (they share the pool with every other
+//!   connection) but never out of order. The connection ends when the
+//!   client closes it (half-close or full close), when a transport
+//!   error occurs, or when the service drains.
+//! - **Version negotiation per connection.** Each *frame* carries its
+//!   own version word, exactly as on a worker pipe. The service accepts
+//!   v2 and v3 frames (v3 iff a fault block is present) and answers in
+//!   kind. v1 frames — which carry no request ID, so desyncs on a
+//!   shared transport would be silent — are answered with a clean **v1
+//!   error value** naming the requirement, and the connection stays
+//!   open: a client can upgrade mid-connection.
+//! - **Per-connection circuit cache.** Each connection holds its own
+//!   LRU of [`CIRCUIT_CACHE_CAPACITY`] circuits keyed by
+//!   [`circuit_digest`]; [`CircuitRef::Cached`] references resolve
+//!   against it and a miss is answered with
+//!   [`ShardResponseV2::CacheMiss`] (the client resends inline),
+//!   mirroring worker semantics. Connections never share cache state,
+//!   so one client's evictions cannot invalidate another's references.
+//! - **Overload as a value.** The dispatcher bounds its request queue;
+//!   a request past the cap is answered immediately with an error
+//!   response whose message names the overload
+//!   ([`ShardError::Overloaded`] rendered as text) — never a silent
+//!   drop, a hang, or a reset. The connection remains usable; the
+//!   client retries later.
+//! - **Drain semantics.** When the service drains (SIGTERM or
+//!   [`service::Service::drain`]), the listener stops accepting,
+//!   every in-flight request — already submitted, or mid-read on some
+//!   connection — is answered completely, and each connection is closed
+//!   after the response it is currently owed. Idle connections (blocked
+//!   waiting for their next request) have their read half shut so they
+//!   wake to EOF immediately; the drain never waits on a quiet client.
+//!   A subsequent read on a
+//!   drained connection sees EOF; reconnecting fails. Replicas are
+//!   interchangeable by the determinism contract, so a client can
+//!   reconnect to any other instance and replay the failed request
+//!   byte-identically.
 
 use super::{evaluate_lane_block_faulted, lane_blocks, mix_seed, BatchEvaluator};
 use crate::fault::{FaultSpec, StuckAt};
@@ -222,6 +270,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 pub mod pool;
+pub mod service;
 
 /// Request frame magic, `"OSCR"`.
 pub const REQUEST_MAGIC: u32 = 0x4F53_4352;
@@ -254,6 +303,13 @@ pub const LFSR_WIRE_WIDTH: u32 = 16;
 /// Environment variable overriding where [`locate_worker`] looks for
 /// the worker binary.
 pub const WORKER_ENV: &str = "OSC_SHARD_WORKER";
+/// Environment variable (milliseconds) making [`serve`] sleep before
+/// answering each frame — a deterministic way to make a worker *slow*
+/// without making it incorrect. Test hook only
+/// ([`pool::PoolConfig::with_response_delay`] exports it): it exists so
+/// pipelining tests can pin that a slow response on one request ID is
+/// never misattributed as a timeout of a different in-flight request.
+pub const SERVE_DELAY_ENV: &str = "OSC_SERVE_DELAY_MS";
 
 /// Errors surfaced by the sharding layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -297,6 +353,19 @@ pub enum ShardError {
     /// The request itself is unshardable (e.g. pixel count not a
     /// multiple of the image width).
     InvalidPlan(String),
+    /// A [`pool::PoolDispatcher`] rejected the request because its
+    /// bounded queue is full — backpressure as a value, never a silent
+    /// drop. The request was not evaluated; retry later.
+    Overloaded {
+        /// Requests queued when the rejection happened.
+        queued: usize,
+        /// The configured queue cap.
+        cap: usize,
+    },
+    /// A [`pool::PoolDispatcher`] rejected the request because it is
+    /// draining: in-flight and already-queued requests finish, new ones
+    /// are refused.
+    Draining,
 }
 
 impl std::fmt::Display for ShardError {
@@ -316,6 +385,13 @@ impl std::fmt::Display for ShardError {
             }
             ShardError::Protocol(msg) => write!(f, "shard protocol error: {msg}"),
             ShardError::InvalidPlan(msg) => write!(f, "invalid shard plan: {msg}"),
+            ShardError::Overloaded { queued, cap } => write!(
+                f,
+                "service overloaded: {queued} requests queued (cap {cap}) — retry later"
+            ),
+            ShardError::Draining => {
+                write!(f, "service draining: not accepting new requests")
+            }
         }
     }
 }
@@ -482,6 +558,16 @@ pub enum ShardJob {
     },
 }
 
+impl ShardJob {
+    /// How many runs this job produces — one per batch item or pixel.
+    pub fn expected_runs(&self) -> usize {
+        match self {
+            ShardJob::Batch { xs, .. } => xs.len(),
+            ShardJob::ImageRows { pixels, .. } => pixels.len(),
+        }
+    }
+}
+
 /// One framed request: the system to build and the job to run on it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardRequest {
@@ -500,6 +586,75 @@ pub struct ShardRequest {
     pub faults: Option<FaultSpec>,
     /// The work itself.
     pub job: ShardJob,
+}
+
+impl ShardRequest {
+    /// The wire form of one flat batch slice: evaluate `xs` with item
+    /// universes derived from `mix_seed(seed, first_index + i)`. With
+    /// `first_index` 0 this is a whole batch — what a
+    /// [`service::ServiceClient`] ships.
+    pub fn batch(
+        system: &OpticalScSystem,
+        sng: SngKind,
+        first_index: u64,
+        xs: &[f64],
+        stream_length: usize,
+        seed: u64,
+        faults: Option<&FaultSpec>,
+    ) -> ShardRequest {
+        ShardRequest {
+            params: *system.circuit().params(),
+            coeffs: system.polynomial().coeffs().to_vec(),
+            sng,
+            seed,
+            stream_length: stream_length as u64,
+            faults: faults.copied(),
+            job: ShardJob::Batch {
+                first_index,
+                xs: xs.to_vec(),
+            },
+        }
+    }
+
+    /// The wire form of one whole-image evaluation (every row, starting
+    /// at global row 0) through the row+lane pixel derivation — what a
+    /// [`service::ServiceClient`] ships for an image request. Evaluated
+    /// anywhere, the response is byte-identical to the in-process image
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::InvalidPlan`] when `pixels` is not a whole number
+    /// of `width`-sized rows.
+    pub fn whole_image(
+        system: &OpticalScSystem,
+        sng: SngKind,
+        width: usize,
+        pixels: &[f64],
+        stream_length: usize,
+        seed: u64,
+        faults: Option<&FaultSpec>,
+    ) -> Result<ShardRequest, ShardError> {
+        if width == 0 || !pixels.len().is_multiple_of(width) {
+            return Err(ShardError::InvalidPlan(format!(
+                "pixel count {} is not a whole number of width-{width} rows",
+                pixels.len()
+            )));
+        }
+        Ok(ShardRequest {
+            params: *system.circuit().params(),
+            coeffs: system.polynomial().coeffs().to_vec(),
+            sng,
+            seed,
+            stream_length: stream_length as u64,
+            faults: faults.copied(),
+            job: ShardJob::ImageRows {
+                width: width as u64,
+                first_row: 0,
+                pixels: pixels.to_vec(),
+            },
+        })
+    }
 }
 
 /// One framed response.
@@ -1620,8 +1775,18 @@ fn answer_payload(payload: &[u8], cache: &mut CircuitCache) -> Vec<u8> {
 /// only safe answer; the coordinator sees a dead worker and retries on
 /// a fresh process.
 pub fn serve<R: Read, W: Write>(mut input: R, mut output: W) -> std::io::Result<()> {
+    // Test hook: a positive OSC_SERVE_DELAY_MS makes this worker slow
+    // (sleep before each answer) without changing a single output byte.
+    let delay = std::env::var(SERVE_DELAY_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis);
     let mut cache = CircuitCache::new();
     while let Some(payload) = read_frame(&mut input)? {
+        if let Some(delay) = delay {
+            std::thread::sleep(delay);
+        }
         write_frame(&mut output, &answer_payload(&payload, &mut cache))?;
         output.flush()?;
     }

@@ -4,7 +4,13 @@
 //! construction on every call — fine for one big batch, ruinous for the
 //! paper's image workloads, which are streams of *small* evaluations
 //! (the `gamma_64x64_order6_sharded` trajectory entry documents that
-//! overhead). A [`WorkerPool`] is the serving-architecture answer:
+//! overhead). A [`WorkerPool`] is the serving-architecture answer for
+//! one caller; a [`PoolDispatcher`] ([`PoolConfig::spawn_dispatcher`])
+//! is the same pool behind a concurrent, shareable `submit(&self)`
+//! front end with depth>1 pipelining per worker, a bounded fair queue
+//! (overload rejected as [`ShardError::Overloaded`] values) and
+//! graceful drain — the backend of
+//! [`super::service::Service`]. The pool mechanics:
 //!
 //! - N `shard_worker` subprocesses are spawned **once**
 //!   ([`PoolConfig::spawn`]) and kept alive across requests;
@@ -55,11 +61,15 @@ use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Default per-request response read timeout.
 const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(60);
+/// Default per-worker pipeline depth of a [`PoolDispatcher`].
+pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
+/// Default bound on a [`PoolDispatcher`]'s shared request queue.
+pub const DEFAULT_QUEUE_CAP: usize = 64;
 /// First respawn-backoff delay; doubles per consecutive respawn of the
 /// same slot.
 const RESPAWN_BACKOFF_BASE: Duration = Duration::from_millis(10);
@@ -74,6 +84,9 @@ pub struct PoolConfig {
     worker_threads: Option<usize>,
     retries: usize,
     read_timeout: Duration,
+    pipeline_depth: usize,
+    queue_cap: usize,
+    response_delay: Option<Duration>,
 }
 
 impl PoolConfig {
@@ -86,6 +99,9 @@ impl PoolConfig {
             worker_threads: None,
             retries: 1,
             read_timeout: DEFAULT_READ_TIMEOUT,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            response_delay: None,
         }
     }
 
@@ -115,6 +131,39 @@ impl PoolConfig {
         self
     }
 
+    /// Sets how many requests a [`PoolDispatcher`] keeps in flight on
+    /// each worker's pipe (default 2, `0` is treated as `1`). Depth > 1
+    /// hides the write→read turnaround: a worker starts decoding its
+    /// next request while the dispatcher is still reading the previous
+    /// response. Ignored by [`PoolConfig::spawn`] — the batch-oriented
+    /// [`WorkerPool`] stays depth-1 by design (its callers block on the
+    /// whole batch anyway).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Bounds a [`PoolDispatcher`]'s shared request queue (default 64,
+    /// `0` is treated as `1`). A submit past the cap is rejected
+    /// immediately with [`ShardError::Overloaded`] — backpressure as a
+    /// value, never a silent drop or an unbounded memory footprint. The
+    /// cap counts *waiting* requests; up to `workers × depth` more are
+    /// in flight on worker pipes.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Test hook: exports [`super::SERVE_DELAY_ENV`] to every worker so
+    /// each response is delayed by `delay` — a deterministically *slow*
+    /// worker, byte-identical to a fast one. Used to pin pipelining
+    /// timeout-attribution and drain semantics; not for production.
+    #[doc(hidden)]
+    pub fn with_response_delay(mut self, delay: Duration) -> Self {
+        self.response_delay = Some(delay);
+        self
+    }
+
     /// Spawns the workers and returns the live pool.
     ///
     /// # Errors
@@ -122,14 +171,66 @@ impl PoolConfig {
     /// [`ShardError::Spawn`] when any worker process cannot be launched
     /// (the `shard` field names the worker slot).
     pub fn spawn(self) -> Result<WorkerPool, ShardError> {
+        let slots = self.spawn_slots()?;
+        let streaks = vec![0u32; slots.len()];
+        Ok(WorkerPool {
+            config: self,
+            slots,
+            respawn_streaks: streaks,
+            next_request_id: 1,
+        })
+    }
+
+    /// Spawns the workers and returns a concurrent [`PoolDispatcher`]:
+    /// the serving-side pool front end, safe to share across threads,
+    /// with depth-[`PoolConfig::with_pipeline_depth`] pipelining per
+    /// worker and a bounded queue
+    /// ([`PoolConfig::with_queue_cap`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Spawn`] as for [`PoolConfig::spawn`].
+    pub fn spawn_dispatcher(self) -> Result<PoolDispatcher, ShardError> {
+        let slots = self.spawn_slots()?;
+        let shared = Arc::new(DispatcherShared {
+            state: Mutex::new(DispatchState {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            queue_cap: self.queue_cap,
+        });
+        let workers = slots.len();
+        let config = Arc::new(self);
+        let pumps = slots
+            .into_iter()
+            .enumerate()
+            .map(|(w, slot)| {
+                let shared = Arc::clone(&shared);
+                let config = Arc::clone(&config);
+                std::thread::Builder::new()
+                    .name(format!("osc-pool-pump-{w}"))
+                    .spawn(move || pump(slot, &shared, &config))
+                    .expect("spawning a dispatcher pump thread")
+            })
+            .collect();
+        Ok(PoolDispatcher {
+            shared,
+            pumps,
+            workers,
+        })
+    }
+
+    /// Spawns one slot per configured worker, burning retries on
+    /// transient spawn failures (EAGAIN under momentary pid/fd
+    /// pressure), matching the pre-pool coordinator's per-shard
+    /// behavior.
+    fn spawn_slots(&self) -> Result<Vec<WorkerSlot>, ShardError> {
         let mut slots = Vec::with_capacity(self.workers);
         for slot in 0..self.workers {
-            // Transient spawn failures (EAGAIN under momentary pid/fd
-            // pressure) burn retries like any other worker failure,
-            // matching the pre-pool coordinator's per-shard behavior.
             let mut attempt = 0usize;
             let spawned = loop {
-                match spawn_slot(&self.worker, self.worker_threads) {
+                match spawn_slot(self) {
                     Ok(s) => break s,
                     Err(detail) if attempt >= self.retries => {
                         return Err(ShardError::Spawn {
@@ -142,13 +243,7 @@ impl PoolConfig {
             };
             slots.push(spawned);
         }
-        let streaks = vec![0u32; slots.len()];
-        Ok(WorkerPool {
-            config: self,
-            slots,
-            respawn_streaks: streaks,
-            next_request_id: 1,
-        })
+        Ok(slots)
     }
 }
 
@@ -181,8 +276,10 @@ struct WorkerSlot {
 
 /// Records `(digest, key)` as the most recently used entry of a
 /// worker-cache mirror, exactly as the worker's own LRU does (one
-/// entry per digest, move to front, truncate at capacity).
-fn note_digest(known: &mut VecDeque<(u64, Vec<u8>)>, digest: u64, key: Vec<u8>) {
+/// entry per digest, move to front, truncate at capacity). Shared with
+/// [`super::service::ServiceClient`], whose mirror of the service's
+/// per-connection cache follows the same algorithm.
+pub(crate) fn note_digest(known: &mut VecDeque<(u64, Vec<u8>)>, digest: u64, key: Vec<u8>) {
     known.retain(|(d, _)| *d != digest);
     known.push_front((digest, key));
     known.truncate(CIRCUIT_CACHE_CAPACITY);
@@ -206,18 +303,21 @@ impl Drop for WorkerSlot {
     }
 }
 
-fn spawn_slot(worker: &Path, threads: Option<usize>) -> Result<WorkerSlot, String> {
-    let mut command = Command::new(worker);
+fn spawn_slot(config: &PoolConfig) -> Result<WorkerSlot, String> {
+    let mut command = Command::new(&config.worker);
     command
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
-    if let Some(threads) = threads {
+    if let Some(threads) = config.worker_threads {
         command.env(crate::batch::THREADS_ENV, threads.to_string());
+    }
+    if let Some(delay) = config.response_delay {
+        command.env(super::SERVE_DELAY_ENV, delay.as_millis().to_string());
     }
     let mut child = command
         .spawn()
-        .map_err(|e| format!("spawning {}: {e}", worker.display()))?;
+        .map_err(|e| format!("spawning {}: {e}", config.worker.display()))?;
     let stdin = child.stdin.take().expect("stdin was piped");
     let mut stdout = BufReader::new(child.stdout.take().expect("stdout was piped"));
     // The reader thread owns the stdout pipe and forwards every frame;
@@ -587,19 +687,7 @@ impl WorkerPool {
         id: u64,
         force_inline: bool,
     ) -> Result<(), String> {
-        let digest = circuit_digest(&req.params, &req.coeffs);
-        let key = circuit_key(&req.params, &req.coeffs);
-        let slot = &mut self.slots[w];
-        // Cached only on a full-key match: a digest collision with a
-        // previously shipped circuit must fall back to inline, or the
-        // worker would resolve the reference to the wrong system.
-        let cached = !force_inline && slot.known.iter().any(|(d, k)| *d == digest && *k == key);
-        let frame = encode_request_v2(req, id, cached.then_some(digest));
-        write_frame(&mut slot.stdin, &frame)
-            .and_then(|()| slot.stdin.flush())
-            .map_err(|e| format!("writing request: {e}"))?;
-        note_digest(&mut slot.known, digest, key);
-        Ok(())
+        slot_send(&mut self.slots[w], req, id, force_inline)
     }
 
     /// Reads and interprets the response for `fl` on worker `w`.
@@ -708,7 +796,7 @@ impl WorkerPool {
             std::thread::sleep(backoff);
         }
         self.respawn_streaks[w] = streak.saturating_add(1);
-        let fresh = spawn_slot(&self.config.worker, self.config.worker_threads)?;
+        let fresh = spawn_slot(&self.config)?;
         // Dropping the old slot kills + reaps the old process.
         self.slots[w] = fresh;
         Ok(())
@@ -723,77 +811,114 @@ impl WorkerPool {
         fl: &InFlight,
         expected: usize,
     ) -> Result<Settled, Failure> {
-        let slot = &mut self.slots[w];
-        let payload = match slot.frames.recv_timeout(self.config.read_timeout) {
-            Ok(Ok(Some(payload))) => payload,
-            Ok(Ok(None)) => {
-                let status = slot
-                    .child
-                    .try_wait()
-                    .map(|s| match s {
-                        Some(status) => status.to_string(),
-                        None => "still running".to_string(),
-                    })
-                    .unwrap_or_else(|e| format!("unknown ({e})"));
-                return Err(Failure::Transport(format!(
-                    "worker closed its pipe without responding ({status})"
-                )));
-            }
-            Ok(Err(e)) => return Err(Failure::Transport(e)),
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                return Err(Failure::Timeout(format!(
-                    "no response within {:?}",
-                    self.config.read_timeout
-                )));
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Err(Failure::Transport(
-                    "worker reader thread exited without a final event".to_string(),
-                ));
-            }
-        };
-        // Any clean frame proves the worker is alive and making
-        // progress; the slot's respawn backoff starts over.
-        self.respawn_streaks[w] = 0;
-        let response = match decode_response_v2(&payload) {
-            Ok(response) => response,
-            Err(e) => {
-                // A v1-only worker answers v2 frames with a clean v1
-                // error; surface its message instead of "malformed".
-                if let Ok(super::ShardResponse::Error(msg)) = super::decode_response(&payload) {
-                    return Ok(Settled::Remote(format!(
-                        "worker speaks protocol v1 only: {msg}"
-                    )));
-                }
-                return Err(Failure::Transport(format!("malformed response: {e}")));
-            }
-        };
-        let (request_id, settled) = match response {
-            ShardResponseV2::Runs { request_id, runs } => {
-                if runs.len() != expected {
-                    return Err(Failure::Transport(format!(
-                        "worker returned {} runs, expected {expected}",
-                        runs.len()
-                    )));
-                }
-                (request_id, Settled::Runs(runs))
-            }
-            ShardResponseV2::Error {
-                request_id,
-                message,
-            } => (request_id, Settled::Remote(message)),
-            ShardResponseV2::CacheMiss { request_id, digest } => {
-                (request_id, Settled::CacheMiss { digest })
-            }
-        };
-        if request_id != fl.id {
+        slot_read(
+            &mut self.slots[w],
+            fl.id,
+            expected,
+            self.config.read_timeout,
+            &mut self.respawn_streaks[w],
+        )
+    }
+}
+
+/// Writes one request frame to a slot, as a cached reference when the
+/// slot's mirror says the worker holds the circuit (unless
+/// `force_inline`), inline otherwise.
+fn slot_send(
+    slot: &mut WorkerSlot,
+    req: &ShardRequest,
+    id: u64,
+    force_inline: bool,
+) -> Result<(), String> {
+    let digest = circuit_digest(&req.params, &req.coeffs);
+    let key = circuit_key(&req.params, &req.coeffs);
+    // Cached only on a full-key match: a digest collision with a
+    // previously shipped circuit must fall back to inline, or the
+    // worker would resolve the reference to the wrong system.
+    let cached = !force_inline && slot.known.iter().any(|(d, k)| *d == digest && *k == key);
+    let frame = encode_request_v2(req, id, cached.then_some(digest));
+    write_frame(&mut slot.stdin, &frame)
+        .and_then(|()| slot.stdin.flush())
+        .map_err(|e| format!("writing request: {e}"))?;
+    note_digest(&mut slot.known, digest, key);
+    Ok(())
+}
+
+/// Reads one response frame from a slot (waiting at most `timeout`)
+/// and checks it against the oldest in-flight request id. A clean
+/// frame — any clean frame — resets the slot's respawn streak.
+fn slot_read(
+    slot: &mut WorkerSlot,
+    expected_id: u64,
+    expected_runs: usize,
+    timeout: Duration,
+    streak: &mut u32,
+) -> Result<Settled, Failure> {
+    let payload = match slot.frames.recv_timeout(timeout) {
+        Ok(Ok(Some(payload))) => payload,
+        Ok(Ok(None)) => {
+            let status = slot
+                .child
+                .try_wait()
+                .map(|s| match s {
+                    Some(status) => status.to_string(),
+                    None => "still running".to_string(),
+                })
+                .unwrap_or_else(|e| format!("unknown ({e})"));
             return Err(Failure::Transport(format!(
-                "response echoed request id {request_id}, expected {}",
-                fl.id
+                "worker closed its pipe without responding ({status})"
             )));
         }
-        Ok(settled)
+        Ok(Err(e)) => return Err(Failure::Transport(e)),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            return Err(Failure::Timeout(format!("no response within {timeout:?}")));
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            return Err(Failure::Transport(
+                "worker reader thread exited without a final event".to_string(),
+            ));
+        }
+    };
+    // Any clean frame proves the worker is alive and making
+    // progress; the slot's respawn backoff starts over.
+    *streak = 0;
+    let response = match decode_response_v2(&payload) {
+        Ok(response) => response,
+        Err(e) => {
+            // A v1-only worker answers v2 frames with a clean v1
+            // error; surface its message instead of "malformed".
+            if let Ok(super::ShardResponse::Error(msg)) = super::decode_response(&payload) {
+                return Ok(Settled::Remote(format!(
+                    "worker speaks protocol v1 only: {msg}"
+                )));
+            }
+            return Err(Failure::Transport(format!("malformed response: {e}")));
+        }
+    };
+    let (request_id, settled) = match response {
+        ShardResponseV2::Runs { request_id, runs } => {
+            if runs.len() != expected_runs {
+                return Err(Failure::Transport(format!(
+                    "worker returned {} runs, expected {expected_runs}",
+                    runs.len()
+                )));
+            }
+            (request_id, Settled::Runs(runs))
+        }
+        ShardResponseV2::Error {
+            request_id,
+            message,
+        } => (request_id, Settled::Remote(message)),
+        ShardResponseV2::CacheMiss { request_id, digest } => {
+            (request_id, Settled::CacheMiss { digest })
+        }
+    };
+    if request_id != expected_id {
+        return Err(Failure::Transport(format!(
+            "response echoed request id {request_id}, expected {expected_id}"
+        )));
     }
+    Ok(settled)
 }
 
 /// What a cleanly-read response settled to.
@@ -801,6 +926,367 @@ enum Settled {
     Runs(Vec<OpticalRun>),
     Remote(String),
     CacheMiss { digest: u64 },
+}
+
+// ---------------------------------------------------------------------
+// Concurrent dispatcher: the serving-side pool front end
+// ---------------------------------------------------------------------
+
+/// One submitted request awaiting a pump thread (or its response).
+struct DispatchJob {
+    request: ShardRequest,
+    expected: usize,
+    reply: mpsc::Sender<Result<Vec<OpticalRun>, ShardError>>,
+}
+
+/// The dispatcher's shared FIFO plus its lifecycle flag.
+struct DispatchState {
+    queue: VecDeque<DispatchJob>,
+    draining: bool,
+}
+
+struct DispatcherShared {
+    state: Mutex<DispatchState>,
+    /// Signalled when the queue gains work or draining begins.
+    ready: Condvar,
+    queue_cap: usize,
+}
+
+/// A concurrent, shareable front end over a worker pool — the serving
+/// counterpart of the batch-oriented [`WorkerPool`].
+///
+/// Built by [`PoolConfig::spawn_dispatcher`]. Any number of threads
+/// call [`PoolDispatcher::submit`] concurrently (`&self`); requests
+/// enter one shared FIFO (fair: strict arrival order) and each worker
+/// is driven by a dedicated *pump* thread that keeps up to
+/// [`PoolConfig::with_pipeline_depth`] requests in flight on its pipe.
+/// The queue is bounded ([`PoolConfig::with_queue_cap`]): a submit past
+/// the cap returns [`ShardError::Overloaded`] immediately — the
+/// backpressure contract is reject-with-error-value, never a silent
+/// drop or an unbounded queue.
+///
+/// # Pipelining and timeout attribution
+///
+/// With depth > 1 a worker may hold several outstanding requests, but
+/// responses on one pipe arrive strictly in request order, so the pump
+/// always awaits the **oldest** in-flight id, and the read deadline
+/// ([`PoolConfig::with_read_timeout`]) restarts at every response: the
+/// deadline bounds *head-of-line service time*, not time since submit.
+/// A slow response on one request id can therefore never be
+/// misattributed as a timeout of a different in-flight request — each
+/// request gets its own full window once it reaches the head.
+///
+/// # Failure semantics
+///
+/// A transport failure or timeout invalidates the worker's whole
+/// pipeline: the pump kills + respawns the worker (same exponential
+/// backoff as [`WorkerPool`]), charges **one attempt to the
+/// head-of-line request only** — failing it as an error value once it
+/// is out of [`PoolConfig::with_retries`] — and replays the surviving
+/// in-flight requests, in order, on the fresh worker for free. Worker
+/// cache misses are healed in place: the head is resent inline and
+/// rotates to the back of the pipeline (its response now arrives after
+/// the others). Remote errors settle just that request; the worker
+/// stays up.
+///
+/// # Drain
+///
+/// [`PoolDispatcher::drain`] (also the `Drop` path) stops accepting
+/// new submits ([`ShardError::Draining`]), lets every queued and
+/// in-flight request finish, then joins the pumps and reaps the
+/// workers.
+///
+/// Results are byte-identical to every other serving mode for any
+/// worker count, depth, queue cap and respawn history — work-item
+/// universes depend only on `(seed, global index)`.
+pub struct PoolDispatcher {
+    shared: Arc<DispatcherShared>,
+    pumps: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for PoolDispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolDispatcher")
+            .field("workers", &self.workers)
+            .field("queue_cap", &self.shared.queue_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PoolDispatcher {
+    /// The number of worker processes (= pump threads).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Requests currently waiting in the shared queue (excluding those
+    /// already in flight on worker pipes).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("dispatcher lock")
+            .queue
+            .len()
+    }
+
+    /// Evaluates one request through the pool, blocking until its
+    /// response (or rejection) arrives. Safe to call from any number of
+    /// threads concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Overloaded`] when the queue is at cap (the request
+    /// was not evaluated — retry later), [`ShardError::Draining`] when
+    /// the dispatcher is shutting down, [`ShardError::InvalidPlan`]
+    /// when the request or its response cannot be framed, and the usual
+    /// transport/remote errors once dispatched (the `shard` field is
+    /// always 0 — a dispatcher request has no plan index).
+    pub fn submit(&self, request: ShardRequest) -> Result<Vec<OpticalRun>, ShardError> {
+        let expected = request.job.expected_runs();
+        super::check_frame_bounds(&request, expected)?;
+        let (reply, answer) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("dispatcher lock");
+            if state.draining {
+                return Err(ShardError::Draining);
+            }
+            if state.queue.len() >= self.shared.queue_cap {
+                return Err(ShardError::Overloaded {
+                    queued: state.queue.len(),
+                    cap: self.shared.queue_cap,
+                });
+            }
+            state.queue.push_back(DispatchJob {
+                request,
+                expected,
+                reply,
+            });
+        }
+        self.shared.ready.notify_all();
+        answer.recv().unwrap_or_else(|_| {
+            Err(ShardError::Worker {
+                shard: 0,
+                detail: "dispatcher pump exited before answering".to_string(),
+            })
+        })
+    }
+
+    /// Graceful shutdown: already-queued and in-flight requests finish
+    /// (new submits are refused with [`ShardError::Draining`]), then
+    /// the pumps are joined and every worker killed + reaped. Dropping
+    /// the dispatcher drains it the same way.
+    pub fn drain(self) {
+        // Drop runs begin_drain.
+    }
+
+    fn begin_drain(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("dispatcher lock");
+            state.draining = true;
+        }
+        self.shared.ready.notify_all();
+        for pump in self.pumps.drain(..) {
+            let _ = pump.join();
+        }
+    }
+}
+
+impl Drop for PoolDispatcher {
+    fn drop(&mut self) {
+        self.begin_drain();
+    }
+}
+
+/// One request written to a pump's worker, awaiting its response.
+struct Pending {
+    job: DispatchJob,
+    id: u64,
+    attempts: usize,
+    inline_retry_done: bool,
+}
+
+/// The per-worker dispatcher loop: refill the pipeline from the shared
+/// FIFO up to the configured depth, then settle the oldest in-flight
+/// response; exit once draining *and* idle. Owns its [`WorkerSlot`], so
+/// pump exit kills + reaps the worker.
+fn pump(mut slot: WorkerSlot, shared: &DispatcherShared, config: &PoolConfig) {
+    let mut inflight: VecDeque<Pending> = VecDeque::new();
+    let mut streak = 0u32;
+    let mut next_id: u64 = 1;
+    loop {
+        let fresh: Vec<DispatchJob> = {
+            let mut state = shared.state.lock().expect("dispatcher lock");
+            loop {
+                if !state.queue.is_empty() || !inflight.is_empty() {
+                    let take = config
+                        .pipeline_depth
+                        .saturating_sub(inflight.len())
+                        .min(state.queue.len());
+                    break state.queue.drain(..take).collect();
+                }
+                if state.draining {
+                    return;
+                }
+                state = shared.ready.wait(state).expect("dispatcher lock");
+            }
+        };
+        for job in fresh {
+            let id = next_id;
+            next_id += 1;
+            let pending = Pending {
+                job,
+                id,
+                attempts: 0,
+                inline_retry_done: false,
+            };
+            let sent = slot_send(&mut slot, &pending.job.request, id, false);
+            inflight.push_back(pending);
+            if let Err(e) = sent {
+                recover(
+                    &mut slot,
+                    &mut inflight,
+                    &mut streak,
+                    &mut next_id,
+                    config,
+                    Failure::Transport(e),
+                );
+            }
+        }
+        if inflight.is_empty() {
+            continue;
+        }
+        settle_head(&mut slot, &mut inflight, &mut streak, &mut next_id, config);
+    }
+}
+
+/// Settles the oldest in-flight request on this pump's worker: reply on
+/// runs or remote errors, heal cache misses by an inline resend that
+/// rotates the head to the back of the pipeline, and hand transport
+/// failures/timeouts to [`recover`].
+fn settle_head(
+    slot: &mut WorkerSlot,
+    inflight: &mut VecDeque<Pending>,
+    streak: &mut u32,
+    next_id: &mut u64,
+    config: &PoolConfig,
+) {
+    let head = inflight.front().expect("settle_head on a live pipeline");
+    let failure = match slot_read(
+        slot,
+        head.id,
+        head.job.expected,
+        config.read_timeout,
+        streak,
+    ) {
+        Ok(Settled::Runs(runs)) => {
+            let head = inflight.pop_front().expect("head exists");
+            // A gone receiver means the client vanished mid-request;
+            // the work is done and the worker is healthy either way.
+            let _ = head.job.reply.send(Ok(runs));
+            return;
+        }
+        Ok(Settled::Remote(message)) => {
+            // The worker evaluated and rejected; retrying cannot change
+            // a deterministic answer.
+            let head = inflight.pop_front().expect("head exists");
+            let _ = head.job.reply.send(Err(ShardError::Remote {
+                shard: 0,
+                detail: message,
+            }));
+            return;
+        }
+        Ok(Settled::CacheMiss { digest }) if !head.inline_retry_done => {
+            // Stale mirror: drop the digest, resend inline. The answer
+            // now arrives after the rest of the pipeline, so the head
+            // rotates to the back — response order follows send order.
+            slot.known.retain(|(d, _)| *d != digest);
+            let mut head = inflight.pop_front().expect("head exists");
+            head.id = *next_id;
+            *next_id += 1;
+            head.inline_retry_done = true;
+            match slot_send(slot, &head.job.request, head.id, true) {
+                Ok(()) => {
+                    inflight.push_back(head);
+                    return;
+                }
+                Err(e) => {
+                    // Restore pipeline order before recovering: the
+                    // head is still the oldest unanswered request.
+                    inflight.push_front(head);
+                    Failure::Transport(e)
+                }
+            }
+        }
+        Ok(Settled::CacheMiss { digest }) => Failure::Transport(format!(
+            "worker reported a cache miss for digest {digest:#018x} on an inline request"
+        )),
+        Err(failure) => failure,
+    };
+    recover(slot, inflight, streak, next_id, config, failure);
+}
+
+/// Worker-level failure recovery for a pump: kill + respawn the worker
+/// (exponential backoff via the slot's streak), charge one attempt to
+/// the **head-of-line** request — failing it as an error value once out
+/// of retries — and replay every surviving in-flight request, in order
+/// and for free, on the fresh worker. Only the head pays per failure,
+/// so a deep pipeline cannot burn one request's retries on a
+/// neighbor's misfortune.
+fn recover(
+    slot: &mut WorkerSlot,
+    inflight: &mut VecDeque<Pending>,
+    streak: &mut u32,
+    next_id: &mut u64,
+    config: &PoolConfig,
+    mut failure: Failure,
+) {
+    'respawn: loop {
+        if let Some(head) = inflight.front_mut() {
+            head.attempts += 1;
+            if head.attempts > config.retries {
+                let failed = inflight.pop_front().expect("head exists");
+                // `failure` is moved here; every path that loops back
+                // assigns a fresh one first, so the *next* head is
+                // charged with its own failure, never a stale clone.
+                let _ = failed.job.reply.send(Err(failure.into_shard_error(0)));
+            }
+        }
+        if *streak > 0 {
+            let backoff = RESPAWN_BACKOFF_BASE
+                .saturating_mul(1u32 << streak.saturating_sub(1).min(16))
+                .min(RESPAWN_BACKOFF_CAP);
+            std::thread::sleep(backoff);
+        }
+        *streak = streak.saturating_add(1);
+        match spawn_slot(config) {
+            // Dropping the old slot kills + reaps the old process.
+            Ok(fresh) => *slot = fresh,
+            Err(detail) => {
+                if inflight.is_empty() {
+                    // Nothing to answer; the next job retries the spawn
+                    // (and pays for it) when it arrives.
+                    return;
+                }
+                failure = Failure::Transport(format!("respawning worker: {detail}"));
+                continue 'respawn;
+            }
+        }
+        // Replay the surviving pipeline oldest-first on the fresh
+        // worker — inline by construction, its cache mirror is empty.
+        for pending in inflight.iter_mut() {
+            let id = *next_id;
+            *next_id += 1;
+            pending.id = id;
+            pending.inline_retry_done = false;
+            if let Err(e) = slot_send(slot, &pending.job.request, id, false) {
+                failure = Failure::Transport(e);
+                continue 'respawn;
+            }
+        }
+        return;
+    }
 }
 
 #[cfg(test)]
@@ -811,16 +1297,32 @@ mod tests {
     fn config_clamps_and_builds() {
         let cfg = PoolConfig::new("worker", 0)
             .with_worker_threads(0)
-            .with_retries(2);
+            .with_retries(2)
+            .with_pipeline_depth(0)
+            .with_queue_cap(0);
         assert_eq!(cfg.workers, 1, "0 workers → 1");
         assert_eq!(cfg.worker_threads, Some(1), "0 threads → 1");
         assert_eq!(cfg.retries, 2);
+        assert_eq!(cfg.pipeline_depth, 1, "0 depth → 1");
+        assert_eq!(cfg.queue_cap, 1, "0 cap → 1");
+        let defaults = PoolConfig::new("worker", 2);
+        assert_eq!(defaults.pipeline_depth, DEFAULT_PIPELINE_DEPTH);
+        assert_eq!(defaults.queue_cap, DEFAULT_QUEUE_CAP);
+        assert_eq!(defaults.response_delay, None);
     }
 
     #[test]
     fn spawn_failure_is_a_value() {
         let err = PoolConfig::new("/nonexistent/worker/binary", 2)
             .spawn()
+            .unwrap_err();
+        assert!(matches!(err, ShardError::Spawn { shard: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn dispatcher_spawn_failure_is_a_value() {
+        let err = PoolConfig::new("/nonexistent/worker/binary", 2)
+            .spawn_dispatcher()
             .unwrap_err();
         assert!(matches!(err, ShardError::Spawn { shard: 0, .. }), "{err}");
     }

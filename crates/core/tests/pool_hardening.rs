@@ -171,6 +171,83 @@ fn coordinator_error_paths_leave_no_zombies() {
     let _ = std::fs::remove_file(&stub);
 }
 
+#[test]
+fn dispatcher_overload_rejection_is_immediate_and_a_value() {
+    // One stalled worker at depth 1 with a queue cap of 1: the first
+    // submit occupies the worker, the second the queue, and the third
+    // must be rejected *immediately* as [`ShardError::Overloaded`] —
+    // not after a deadline, and never as a hang.
+    let stub = stalling_stub("overload");
+    let system = fig5_system();
+    let request = || {
+        osc_core::batch::shard::ShardRequest::batch(
+            &system,
+            SngKind::Xoshiro,
+            0,
+            &[0.5],
+            64,
+            1,
+            None,
+        )
+    };
+    let dispatcher = PoolConfig::new(&stub, 1)
+        .with_pipeline_depth(1)
+        .with_queue_cap(1)
+        .with_read_timeout(Duration::from_millis(600))
+        .with_retries(0)
+        .spawn_dispatcher()
+        .unwrap();
+    std::thread::scope(|scope| {
+        let first = scope.spawn(|| dispatcher.submit(request()));
+        std::thread::sleep(Duration::from_millis(100));
+        let second = scope.spawn(|| dispatcher.submit(request()));
+        std::thread::sleep(Duration::from_millis(100));
+
+        let started = Instant::now();
+        let rejected = dispatcher.submit(request()).unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(rejected, ShardError::Overloaded { queued: 1, cap: 1 }),
+            "expected an overload value, got {rejected}"
+        );
+        assert!(rejected.to_string().contains("overloaded"), "{rejected}");
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "overload rejection must not wait on a deadline, took {elapsed:?}"
+        );
+
+        // The two admitted requests fail as timeout values against the
+        // stalled worker — admission never silently drops them.
+        for admitted in [first.join().unwrap(), second.join().unwrap()] {
+            let err = admitted.unwrap_err();
+            assert!(matches!(err, ShardError::Timeout { .. }), "{err}");
+        }
+    });
+    drop(dispatcher);
+    let _ = std::fs::remove_file(&stub);
+}
+
+#[test]
+fn dispatcher_drop_reaps_stalled_workers_promptly() {
+    // Dropping an idle dispatcher joins its pump threads and reaps the
+    // workers even though they never answered a byte — no zombies, no
+    // hang until `sleep 3600` expires.
+    let stub = stalling_stub("dispatcher_drop");
+    let dispatcher = PoolConfig::new(&stub, 2).spawn_dispatcher().unwrap();
+    assert_eq!(dispatcher.workers(), 2);
+    assert_eq!(dispatcher.queued(), 0);
+    let before = Instant::now();
+    drop(dispatcher);
+    assert!(
+        before.elapsed() < Duration::from_secs(5),
+        "dispatcher drop must not wait on stalled workers"
+    );
+    for pid in our_children() {
+        assert!(!is_our_zombie(pid), "dispatcher left zombie {pid}");
+    }
+    let _ = std::fs::remove_file(&stub);
+}
+
 /// The pids of this process's current children, zombie or not.
 fn our_children() -> Vec<u32> {
     let me = std::process::id().to_string();
