@@ -4,7 +4,8 @@
 //! gamma_pool [--workers N] [--requests R] [--spawn-per-request]
 //!            [--service ADDR] [--connections N] [--open-loop]
 //!            [--out PATH] [--stream BITS] [--size WxH]
-//!            [--fault-flip P] [--fault-shift P] [--fault-seed S]
+//!            [--backend NAME] [--fault-flip P] [--fault-shift P]
+//!            [--fault-seed S]
 //! ```
 //!
 //! Drives the shared [`osc_bench::soak`] schedule — `R` small
@@ -31,12 +32,18 @@
 //! drives the same schedule, so both binaries are interchangeable
 //! entry points for local repros.
 //!
+//! `--backend NAME` (`mrr-mzi`, the default, or `nanocavity`) selects
+//! the transmission physics behind every request's circuit — the CI
+//! backend-matrix leg runs the same schedule per backend and `cmp`s
+//! bytes across modes exactly like the default leg.
+//!
 //! `--fault-flip` / `--fault-shift` / `--fault-seed` inject a seeded
 //! fault process into every request (the CI `fault-soak` leg) — the
 //! fault-universe determinism contract keeps faulty bytes identical
 //! across modes and worker counts too.
 
 use osc_bench::soak::{self, LoadConfig, SoakConfig, SoakMode};
+use osc_core::backend::BackendKind;
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::fault::FaultSpec;
@@ -110,6 +117,14 @@ fn main() {
                 cfg.width = w.parse().unwrap_or_else(|_| fail("--size needs WxH"));
                 cfg.height = h.parse().unwrap_or_else(|_| fail("--size needs WxH"));
             }
+            "--backend" => {
+                let name = value("--backend");
+                cfg.backend = BackendKind::parse(&name).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown backend {name} (expected mrr-mzi or nanocavity)"
+                    ))
+                })
+            }
             "--fault-flip" => {
                 fault_flip = value("--fault-flip")
                     .parse()
@@ -128,7 +143,7 @@ fn main() {
             other => fail(&format!(
                 "unknown argument {other}\nusage: gamma_pool [--workers N] [--requests R] \
                  [--spawn-per-request] [--service ADDR] [--connections N] [--open-loop] \
-                 [--out PATH] [--stream BITS] [--size WxH] \
+                 [--out PATH] [--stream BITS] [--size WxH] [--backend NAME] \
                  [--fault-flip P] [--fault-shift P] [--fault-seed S]"
             )),
         }

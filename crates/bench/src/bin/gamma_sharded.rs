@@ -155,6 +155,7 @@ fn main() {
             height,
             stream: stream.unwrap_or(defaults.stream),
             fault,
+            ..defaults
         };
         let (report, mode_name) = if shards == 0 {
             let report = soak::run(&cfg, SoakMode::InProcess)

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! osc_service [--port P] [--addr HOST] [--workers N] [--depth D]
-//!             [--queue-cap Q] [--read-timeout-ms MS]
+//!             [--queue-cap Q] [--read-timeout-ms MS] [--backend NAME]
 //! ```
 //!
 //! Binds a [`Service`] on `HOST:P` (`--port 0`, the default, picks an
@@ -17,7 +17,12 @@
 //!
 //! Clients speak the v2/v3 framed wire protocol (see the `shard`
 //! module's *Service framing* doc section); `gamma_pool --service` is
-//! the matching load generator. By the determinism contract any
+//! the matching load generator. The transmission backend travels
+//! per-request in the canonical circuit bytes, so one service instance
+//! serves every backend at once; `--backend NAME` (`mrr-mzi` or
+//! `nanocavity`) merely validates the name and echoes it in the
+//! readiness line, so a deployment's logs state which physics its
+//! clients are expected to drive. By the determinism contract any
 //! replica of this binary answers any request byte-identically, so
 //! instances are interchangeable behind a dumb load balancer.
 //!
@@ -27,6 +32,7 @@
 //! < /dev/null &` with a later `kill -TERM` is the whole CI
 //! lifecycle).
 
+use osc_core::backend::BackendKind;
 use osc_core::batch::shard::locate_worker;
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::service::Service;
@@ -71,6 +77,7 @@ fn main() {
     let mut depth: Option<usize> = None;
     let mut queue_cap: Option<usize> = None;
     let mut read_timeout: Option<u64> = None;
+    let mut backend = BackendKind::MrrMzi;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -110,9 +117,18 @@ fn main() {
                         .unwrap_or_else(|_| fail("--read-timeout-ms needs milliseconds")),
                 )
             }
+            "--backend" => {
+                let name = value("--backend");
+                backend = BackendKind::parse(&name).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown backend {name} (expected mrr-mzi or nanocavity)"
+                    ))
+                })
+            }
             other => fail(&format!(
                 "unknown argument {other}\nusage: osc_service [--port P] [--addr HOST] \
-                 [--workers N] [--depth D] [--queue-cap Q] [--read-timeout-ms MS]"
+                 [--workers N] [--depth D] [--queue-cap Q] [--read-timeout-ms MS] \
+                 [--backend NAME]"
             )),
         }
     }
@@ -145,7 +161,7 @@ fn main() {
     let service = Service::bind((addr.as_str(), port), dispatcher)
         .unwrap_or_else(|e| fail(&format!("binding {addr}:{port}: {e}")));
     println!(
-        "[osc_service] listening on {} ({workers} workers, depth {depth_used}, queue cap {cap_used})",
+        "[osc_service] listening on {} ({workers} workers, depth {depth_used}, queue cap {cap_used}, backend {backend})",
         service.local_addr()
     );
     // The readiness line must land before any client connects — CI

@@ -12,6 +12,7 @@
 //! trajectory instead of a single snapshot (see [`append_run`]).
 
 use crate::microbench::Harness;
+use osc_core::backend::BackendKind;
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::{locate_worker, ShardCoordinator};
 use osc_core::batch::BatchEvaluator;
@@ -143,6 +144,43 @@ pub fn run(budget_ms: u64) -> KernelsReport {
         move || {
             system
                 .evaluate_fused(0.5, 16_384, &mut sng_o, &mut rng_o, &mut scratch_o)
+                .unwrap()
+                .estimate
+        },
+    ));
+
+    // The same acceptance workload on the nanocavity backend: its
+    // per-backend trajectory record, and the proof the kernel tiers
+    // are backend-generic (reference vs. fused on non-default physics).
+    let nano_system = OpticalScSystem::new(
+        CircuitParams::paper_fig5().with_backend(BackendKind::Nanocavity),
+        BernsteinPoly::new(vec![0.25, 0.625, 0.75]).unwrap(),
+    )
+    .expect("nanocavity fig5 circuit builds");
+    let nano_system_b = nano_system.clone();
+    let mut nano_sng_b = XoshiroSng::new(11);
+    let mut nano_rng_b = Xoshiro256PlusPlus::new(12);
+    let mut nano_sng_o = XoshiroSng::new(11);
+    let mut nano_rng_o = Xoshiro256PlusPlus::new(12);
+    let mut nano_scratch = EvalScratch::new();
+    comparisons.push(compare(
+        &mut harness,
+        "nanocavity_evaluate_order2_16384",
+        move || {
+            nano_system_b
+                .evaluate_reference(0.5, 16_384, &mut nano_sng_b, &mut nano_rng_b)
+                .unwrap()
+                .estimate
+        },
+        move || {
+            nano_system
+                .evaluate_fused(
+                    0.5,
+                    16_384,
+                    &mut nano_sng_o,
+                    &mut nano_rng_o,
+                    &mut nano_scratch,
+                )
                 .unwrap()
                 .estimate
         },
@@ -464,7 +502,7 @@ pub fn run(budget_ms: u64) -> KernelsReport {
             width: 4,
             height: 4,
             stream: 1024,
-            fault: None,
+            ..Default::default()
         };
         let soak_spawn = ShardCoordinator::new(&worker, 3);
         let mut soak_pool = PoolConfig::new(&worker, 3).spawn().expect("pool spawns");
@@ -1017,7 +1055,7 @@ mod tests {
         // has been built (cargo test builds it for this package's
         // integration tests, but a filtered build may not have).
         let expect_sharded = shard_worker_path().is_some();
-        assert_eq!(r.comparisons.len(), if expect_sharded { 16 } else { 12 });
+        assert_eq!(r.comparisons.len(), if expect_sharded { 17 } else { 13 });
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }

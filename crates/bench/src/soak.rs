@@ -24,6 +24,7 @@ use osc_apps::contrast::smoothstep_poly;
 use osc_apps::gamma_app::{self, paper_gamma_polynomial};
 use osc_apps::image::Image;
 use osc_apps::AppError;
+use osc_core::backend::BackendKind;
 use osc_core::batch::shard::pool::WorkerPool;
 use osc_core::batch::shard::service::ServiceClient;
 use osc_core::batch::shard::{ShardCoordinator, ShardRequest, SngKind};
@@ -51,6 +52,10 @@ pub struct SoakConfig {
     /// soak leg); `None` drives the clean pipeline. Faulty output is
     /// byte-identical across [`SoakMode`]s exactly like clean output.
     pub fault: Option<FaultSpec>,
+    /// Which transmission physics realizes every request's circuit.
+    /// Output for any backend is byte-identical across [`SoakMode`]s;
+    /// the CI backend-matrix leg pins that per backend.
+    pub backend: BackendKind,
 }
 
 impl Default for SoakConfig {
@@ -63,6 +68,7 @@ impl Default for SoakConfig {
             height: 8,
             stream: 128,
             fault: None,
+            backend: BackendKind::MrrMzi,
         }
     }
 }
@@ -144,13 +150,13 @@ fn request_seed(r: usize) -> u64 {
 /// odd).
 fn schedule_bases(cfg: &SoakConfig) -> Result<(OpticalBackend, OpticalBackend), AppError> {
     let gamma_base = OpticalBackend::new(
-        CircuitParams::paper_fig7(6, Nanometers::new(0.165)),
+        CircuitParams::paper_fig7(6, Nanometers::new(0.165)).with_backend(cfg.backend),
         paper_gamma_polynomial()?,
         cfg.stream,
         0,
     )?;
     let contrast_base = OpticalBackend::new(
-        CircuitParams::paper_fig7(3, Nanometers::new(0.2)),
+        CircuitParams::paper_fig7(3, Nanometers::new(0.2)).with_backend(cfg.backend),
         smoothstep_poly(),
         cfg.stream,
         0,
@@ -393,11 +399,12 @@ pub fn summary_line(
 ) -> String {
     let (p50, p95, p99) = report.percentiles_ms();
     format!(
-        "[{binary}] soak: {} requests ({}x{}, stream {}) via {mode_name}: total {:.3} s, {:.2} ms/request, p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms",
+        "[{binary}] soak: {} requests ({}x{}, stream {}, backend {}) via {mode_name}: total {:.3} s, {:.2} ms/request, p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms",
         report.requests,
         cfg.width,
         cfg.height,
         cfg.stream,
+        cfg.backend,
         report.elapsed.as_secs_f64(),
         report.ms_per_request()
     )
@@ -423,7 +430,7 @@ mod tests {
             width: 5,
             height: 2,
             stream: 64,
-            fault: None,
+            ..Default::default()
         };
         let a = run(&cfg, SoakMode::InProcess).unwrap();
         let b = run(&cfg, SoakMode::InProcess).unwrap();

@@ -18,6 +18,7 @@ use osc_apps::gamma_app::{
 };
 use osc_apps::image::Image;
 use osc_bench::soak::{self, SoakConfig, SoakMode};
+use osc_core::backend::BackendKind;
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::{ShardCoordinator, ShardError, SngKind};
 use osc_core::batch::BatchEvaluator;
@@ -146,7 +147,7 @@ fn soak_modes_produce_identical_bytes() {
         width: 9,
         height: 4,
         stream: 64,
-        fault: None,
+        ..Default::default()
     };
     let in_process = soak::run(&cfg, SoakMode::InProcess).unwrap();
     let mut pool = PoolConfig::new(WORKER, 3).spawn().unwrap();
@@ -173,6 +174,7 @@ fn faulted_soak_modes_produce_identical_bytes_across_worker_counts() {
         height: 3,
         stream: 128,
         fault: Some(fault),
+        ..Default::default()
     };
     let clean_cfg = SoakConfig { fault: None, ..cfg };
     let in_process = soak::run(&cfg, SoakMode::InProcess).unwrap();
@@ -233,7 +235,7 @@ fn forced_cache_miss_falls_back_to_inline_transparently() {
     let xs = [0.1, 0.5, 0.9];
     let reference = reference_runs(&system, SngKind::Xoshiro, &xs, 96, 11);
     let mut pool = PoolConfig::new(WORKER, 1).spawn().unwrap();
-    pool.assume_cached(system.circuit().params(), system.polynomial().coeffs());
+    pool.assume_cached(system.params(), system.polynomial().coeffs());
     let pooled = pool
         .evaluate_many(&system, SngKind::Xoshiro, &xs, 96, 11)
         .unwrap();
@@ -244,6 +246,95 @@ fn forced_cache_miss_falls_back_to_inline_transparently() {
         .evaluate_many(&system, SngKind::Xoshiro, &xs, 96, 11)
         .unwrap();
     assert_eq!(again, reference);
+}
+
+#[test]
+fn nanocavity_soak_modes_produce_identical_bytes() {
+    // The backend-matrix contract in miniature: the nanocavity physics
+    // rides the identical schedule through in-process, pooled and
+    // spawn-per-request serving and must produce one set of bytes. At
+    // the schedule's order-6 gamma circuit the nanocavity decisions are
+    // genuinely noisy (folded probabilities inside (0, 1)), so this
+    // also drags the uniform-draw kernel tier across the process
+    // boundary for the non-default backend.
+    let cfg = SoakConfig {
+        requests: 4,
+        width: 5,
+        height: 3,
+        stream: 64,
+        backend: BackendKind::Nanocavity,
+        ..Default::default()
+    };
+    let in_process = soak::run(&cfg, SoakMode::InProcess).unwrap();
+    let mut pool = PoolConfig::new(WORKER, 2).spawn().unwrap();
+    let pooled = soak::run(&cfg, SoakMode::Pool(&mut pool)).unwrap();
+    let coordinator = ShardCoordinator::new(WORKER, 2);
+    let spawned = soak::run(&cfg, SoakMode::Spawn(&coordinator)).unwrap();
+    assert_eq!(
+        pooled.bytes, in_process.bytes,
+        "nanocavity pool ≡ in-process"
+    );
+    assert_eq!(
+        spawned.bytes, in_process.bytes,
+        "nanocavity spawn ≡ in-process"
+    );
+    // And the physics is real: the two backends put different optical
+    // power on the detector at the same operating point. (Their folded
+    // flip probabilities are all within ~4e-6 of 0 or 1 here, so a
+    // schedule this small sees no actual flips on either physics —
+    // bytes alone cannot distinguish the backends.)
+    use osc_core::backend::ScBackend;
+    let params = CircuitParams::paper_fig7(6, Nanometers::new(0.165));
+    let poly = paper_gamma_polynomial().unwrap();
+    let nano_gamma = OpticalBackend::new(
+        params.with_backend(BackendKind::Nanocavity),
+        poly.clone(),
+        64,
+        0,
+    )
+    .unwrap();
+    let mrr_gamma = OpticalBackend::new(params, poly, 64, 0).unwrap();
+    let nano_power = nano_gamma
+        .system()
+        .backend()
+        .received_power(3, 0b1)
+        .unwrap();
+    let mrr_power = mrr_gamma.system().backend().received_power(3, 0b1).unwrap();
+    assert_ne!(nano_power.as_mw().to_bits(), mrr_power.as_mw().to_bits());
+}
+
+#[test]
+fn capacity_one_cache_thrash_is_byte_identical() {
+    // The soak schedule alternates two circuits (gamma and contrast),
+    // so a worker whose circuit cache holds only ONE system evicts on
+    // every request: each circuit reference the pool ships as cached
+    // would be stale if the capacity knob were not mirrored
+    // dispatcher-side. The run must still match the in-process bytes —
+    // eviction costs rebuilds, never correctness — and the default-
+    // capacity pool must agree too.
+    let cfg = SoakConfig {
+        requests: 6,
+        width: 4,
+        height: 3,
+        stream: 64,
+        ..Default::default()
+    };
+    let in_process = soak::run(&cfg, SoakMode::InProcess).unwrap();
+    let mut thrashing_pool = PoolConfig::new(WORKER, 2)
+        .with_circuit_cache_capacity(1)
+        .spawn()
+        .unwrap();
+    let thrashed = soak::run(&cfg, SoakMode::Pool(&mut thrashing_pool)).unwrap();
+    assert_eq!(
+        thrashed.bytes, in_process.bytes,
+        "capacity-1 thrash ≡ in-process"
+    );
+    let mut roomy_pool = PoolConfig::new(WORKER, 2)
+        .with_circuit_cache_capacity(4)
+        .spawn()
+        .unwrap();
+    let roomy = soak::run(&cfg, SoakMode::Pool(&mut roomy_pool)).unwrap();
+    assert_eq!(roomy.bytes, in_process.bytes, "capacity-4 ≡ in-process");
 }
 
 #[test]

@@ -11,6 +11,7 @@
 //! lives in `osc-core/tests/pool_hardening.rs`.
 
 use osc_bench::soak::{self, LoadConfig, SoakConfig, SoakMode};
+use osc_core::backend::BackendKind;
 use osc_core::batch::shard::pool::PoolConfig;
 use osc_core::batch::shard::service::{Service, ServiceClient};
 use osc_core::batch::shard::{ShardError, ShardRequest, SngKind};
@@ -74,7 +75,7 @@ fn service_soak_matches_in_process_bytes() {
         width: 6,
         height: 4,
         stream: 64,
-        fault: None,
+        ..Default::default()
     };
     let reference = soak::run(&cfg, SoakMode::InProcess).unwrap();
     let service = serve(PoolConfig::new(WORKER, 2));
@@ -114,6 +115,26 @@ fn service_soak_matches_in_process_bytes() {
 }
 
 #[test]
+fn nanocavity_service_soak_matches_in_process_bytes() {
+    // Cross-service determinism for the non-default backend: the
+    // backend tag rides the TCP framing per request, so one service
+    // instance answers the nanocavity schedule byte-identically to the
+    // in-process pipeline.
+    let cfg = SoakConfig {
+        requests: 6,
+        width: 4,
+        height: 3,
+        stream: 64,
+        backend: BackendKind::Nanocavity,
+        ..Default::default()
+    };
+    let reference = soak::run(&cfg, SoakMode::InProcess).unwrap();
+    let service = serve(PoolConfig::new(WORKER, 2));
+    let report = soak::run_service(&cfg, service.local_addr(), &LoadConfig::default()).unwrap();
+    assert_eq!(report.bytes, reference.bytes);
+}
+
+#[test]
 fn faulty_service_soak_matches_in_process_bytes() {
     let mut fault = FaultSpec::with_seed(0xFA07);
     fault.flip_probability = 0.05;
@@ -125,6 +146,7 @@ fn faulty_service_soak_matches_in_process_bytes() {
         height: 3,
         stream: 64,
         fault: Some(fault),
+        ..Default::default()
     };
     let reference = soak::run(&cfg, SoakMode::InProcess).unwrap();
     let service = serve(PoolConfig::new(WORKER, 2));
@@ -141,7 +163,7 @@ fn two_service_instances_are_byte_identical() {
         width: 4,
         height: 4,
         stream: 64,
-        fault: None,
+        ..Default::default()
     };
     let replica_a = serve(PoolConfig::new(WORKER, 1));
     let replica_b = serve(PoolConfig::new(WORKER, 3).with_pipeline_depth(3));

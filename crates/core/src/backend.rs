@@ -1,0 +1,369 @@
+//! The physics surface behind [`crate::system::OpticalScSystem`].
+//!
+//! The system owns everything *architectural*: the folded decision
+//! tables, [`crate::system::EvalScratch`], and every `evaluate*` kernel
+//! entry point. What it does **not** own is the transmission physics —
+//! which optical power reaches the photodetector for a given
+//! `(ones-count, coefficient-word)` operating point, and how noisy the
+//! receiver observation is. That surface is the [`ScBackend`] trait, so
+//! the fused, lane-blocked, faulted, batched, sharded, pooled and
+//! service paths are backend-generic by construction: a new gate
+//! substrate plugs in underneath the whole perf stack without touching
+//! a single kernel.
+//!
+//! Two backends ship:
+//!
+//! - [`MrrMziBackend`] — the paper's MRR/MZI architecture
+//!   ([`OpticalScCircuit`], Eqs. (5)–(7)). This is the default and is
+//!   **byte-identical** to the pre-trait system: it performs the exact
+//!   same [`OpticalScCircuit::received_power`] evaluations, in the same
+//!   order, with the same canonical data patterns.
+//! - [`crate::nanocavity::NanocavityBackend`] — the simplified
+//!   photonic-crystal nanocavity substrate of the authors' follow-up
+//!   work (PAPERS.md: arXiv 2102.02064).
+//!
+//! Backend selection rides in [`CircuitParams::backend`], so it flows
+//! through the shard wire protocol, the worker circuit cache and every
+//! app entry point exactly like any other circuit parameter (see the
+//! `batch::shard` module docs for the wire encoding of the tag).
+
+use crate::architecture::{OpticalScCircuit, PowerBands};
+use crate::params::CircuitParams;
+use crate::CircuitError;
+use osc_units::Milliwatts;
+
+/// Which transmission physics realizes the circuit — the value of
+/// [`CircuitParams::backend`].
+///
+/// The discriminant doubles as the wire tag in the canonical circuit
+/// bytes ([`BackendKind::tag`]): the default [`BackendKind::MrrMzi`] is
+/// tag 0, which keeps default-backend traffic byte-identical to every
+/// pre-backend protocol revision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The paper's MRR/MZI architecture (the default).
+    #[default]
+    MrrMzi,
+    /// The photonic-crystal nanocavity substrate
+    /// ([`crate::nanocavity`]).
+    Nanocavity,
+}
+
+impl BackendKind {
+    /// The stable wire tag of this backend in the canonical circuit
+    /// bytes. Tag 0 is the default backend by construction — the
+    /// backward-compatibility rule the shard protocol relies on.
+    pub const fn tag(self) -> u32 {
+        match self {
+            BackendKind::MrrMzi => 0,
+            BackendKind::Nanocavity => 1,
+        }
+    }
+
+    /// The backend for a wire tag, `None` for unknown tags (a newer
+    /// peer's backend this build cannot evaluate — decoding must fail
+    /// loudly rather than guess).
+    pub const fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            0 => Some(BackendKind::MrrMzi),
+            1 => Some(BackendKind::Nanocavity),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI/display name (`mrr-mzi`, `nanocavity`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            BackendKind::MrrMzi => "mrr-mzi",
+            BackendKind::Nanocavity => "nanocavity",
+        }
+    }
+
+    /// Parses a CLI name, accepting the canonical names plus common
+    /// separators (`mrr_mzi`, `mrrmzi`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "mrr-mzi" | "mrr_mzi" | "mrrmzi" => Some(BackendKind::MrrMzi),
+            "nanocavity" | "nano" => Some(BackendKind::Nanocavity),
+            _ => None,
+        }
+    }
+
+    /// All shipped backends, in tag order — the iteration surface for
+    /// matrix tests and CLI help text.
+    pub const ALL: [BackendKind; 2] = [BackendKind::MrrMzi, BackendKind::Nanocavity];
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The transmission-physics contract a backend supplies to the system.
+///
+/// The operating points are the canonical `(count, z_word)` pairs the
+/// system's decision tables are indexed by: `count` ones among the `n`
+/// data streams (the adder only sees the count) and the `n+1`
+/// coefficient bits packed LSB-first into `z_word`. A backend answers
+/// with its physics' received power at that point; the system folds the
+/// receiver noise analytically on top.
+///
+/// # Determinism
+///
+/// Implementations must be pure functions of `(self, count, z_word)` —
+/// the whole cross-tier / cross-shard / cross-service determinism
+/// contract rests on every replica computing identical tables.
+pub trait ScBackend {
+    /// Which physics this backend realizes.
+    fn kind(&self) -> BackendKind;
+
+    /// Optical power at the photodetector when `count` of the `n` data
+    /// bits are 1 and the coefficient bits are `z_word` (LSB-first,
+    /// `n + 1` significant bits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model failures (not reachable for in-range
+    /// operating points of the shipped backends).
+    fn received_power(&self, count: usize, z_word: u32) -> Result<Milliwatts, CircuitError>;
+
+    /// Input-referred standard deviation of the receiver's power
+    /// observation, in the same units as
+    /// [`ScBackend::received_power`].
+    fn noise_sigma(&self) -> Milliwatts;
+
+    /// Min/max received power over the transmit-0 / transmit-1
+    /// populations — the separation that makes optical de-randomizing
+    /// possible, and the source of the decision threshold.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScBackend::received_power`].
+    fn power_bands(&self) -> Result<PowerBands, CircuitError> {
+        let n = self.order();
+        let mut bands = PowerBands {
+            zero_min: Milliwatts::new(f64::INFINITY),
+            zero_max: Milliwatts::new(f64::NEG_INFINITY),
+            one_min: Milliwatts::new(f64::INFINITY),
+            one_max: Milliwatts::new(f64::NEG_INFINITY),
+        };
+        for count in 0..=n {
+            for zw in 0..(1u32 << (n + 1)) {
+                let received = self.received_power(count, zw)?;
+                if zw >> count & 1 == 1 {
+                    bands.one_min = bands.one_min.min(received);
+                    bands.one_max = bands.one_max.max(received);
+                } else {
+                    bands.zero_min = bands.zero_min.min(received);
+                    bands.zero_max = bands.zero_max.max(received);
+                }
+            }
+        }
+        Ok(bands)
+    }
+
+    /// The circuit order `n` this backend was built for.
+    fn order(&self) -> usize;
+}
+
+/// The paper's MRR/MZI transmission physics behind the [`ScBackend`]
+/// surface: an [`OpticalScCircuit`] evaluated at the canonical
+/// per-count data patterns. Byte-identical to the pre-trait system —
+/// same evaluations, same order, same floats.
+#[derive(Debug, Clone)]
+pub struct MrrMziBackend {
+    circuit: OpticalScCircuit,
+    sigma: Milliwatts,
+}
+
+impl MrrMziBackend {
+    /// Builds the circuit (and its detector) from `params`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit construction failures.
+    pub fn new(params: CircuitParams) -> Result<Self, CircuitError> {
+        let circuit = OpticalScCircuit::new(params)?;
+        let sigma = circuit.detector().power_noise();
+        Ok(MrrMziBackend { circuit, sigma })
+    }
+
+    /// The underlying assembled circuit.
+    pub fn circuit(&self) -> &OpticalScCircuit {
+        &self.circuit
+    }
+}
+
+impl ScBackend for MrrMziBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::MrrMzi
+    }
+
+    fn received_power(&self, count: usize, z_word: u32) -> Result<Milliwatts, CircuitError> {
+        // The canonical data pattern for a count: the first `count` bits
+        // set. Received power depends on the data word only through its
+        // ones count (the pinned `control_depends_only_on_count`
+        // invariant), so this one pattern represents them all — and it
+        // is the exact pattern the pre-trait table construction used,
+        // which keeps the tables byte-identical.
+        let n = self.circuit.order();
+        let x_bits: Vec<bool> = (0..n).map(|i| i < count).collect();
+        let z_bits: Vec<bool> = (0..=n).map(|b| z_word >> b & 1 == 1).collect();
+        self.circuit.received_power(&x_bits, &z_bits)
+    }
+
+    fn noise_sigma(&self) -> Milliwatts {
+        self.sigma
+    }
+
+    fn power_bands(&self) -> Result<PowerBands, CircuitError> {
+        // Delegate to the circuit's own band scan — the identical loop,
+        // kept as the single source of truth for the MRR/MZI bands.
+        self.circuit.power_bands()
+    }
+
+    fn order(&self) -> usize {
+        self.circuit.order()
+    }
+}
+
+/// The concrete backend dispatcher the system stores: enum (not `dyn`)
+/// so [`crate::system::OpticalScSystem`] stays `Clone + Debug` and the
+/// table-construction calls are static. The MRR/MZI payload is boxed —
+/// it embeds the full circuit model — so the enum stays small in the
+/// system struct; the backend is only consulted while building the
+/// decision tables, never on the per-word hot path.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// [`MrrMziBackend`].
+    MrrMzi(Box<MrrMziBackend>),
+    /// [`crate::nanocavity::NanocavityBackend`].
+    Nanocavity(crate::nanocavity::NanocavityBackend),
+}
+
+impl Backend {
+    /// Builds the backend [`CircuitParams::backend`] selects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the selected backend's construction failures.
+    pub fn new(params: &CircuitParams) -> Result<Self, CircuitError> {
+        match params.backend {
+            BackendKind::MrrMzi => Ok(Backend::MrrMzi(Box::new(MrrMziBackend::new(*params)?))),
+            BackendKind::Nanocavity => Ok(Backend::Nanocavity(
+                crate::nanocavity::NanocavityBackend::new(*params)?,
+            )),
+        }
+    }
+}
+
+impl ScBackend for Backend {
+    fn kind(&self) -> BackendKind {
+        match self {
+            Backend::MrrMzi(b) => b.kind(),
+            Backend::Nanocavity(b) => b.kind(),
+        }
+    }
+
+    fn received_power(&self, count: usize, z_word: u32) -> Result<Milliwatts, CircuitError> {
+        match self {
+            Backend::MrrMzi(b) => b.received_power(count, z_word),
+            Backend::Nanocavity(b) => b.received_power(count, z_word),
+        }
+    }
+
+    fn noise_sigma(&self) -> Milliwatts {
+        match self {
+            Backend::MrrMzi(b) => b.noise_sigma(),
+            Backend::Nanocavity(b) => b.noise_sigma(),
+        }
+    }
+
+    fn power_bands(&self) -> Result<PowerBands, CircuitError> {
+        match self {
+            Backend::MrrMzi(b) => b.power_bands(),
+            Backend::Nanocavity(b) => b.power_bands(),
+        }
+    }
+
+    fn order(&self) -> usize {
+        match self {
+            Backend::MrrMzi(b) => b.order(),
+            Backend::Nanocavity(b) => b.order(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip_and_default_is_tag_zero() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        // The backward-compat rule: the default backend is tag 0, so
+        // default-parameter traffic encodes exactly as before the tag
+        // existed.
+        assert_eq!(BackendKind::default().tag(), 0);
+        assert_eq!(BackendKind::from_tag(7), None);
+        assert_eq!(BackendKind::parse("unobtainium"), None);
+    }
+
+    #[test]
+    fn mrr_mzi_backend_reproduces_the_circuit_tables() {
+        let params = CircuitParams::paper_fig5();
+        let circuit = OpticalScCircuit::new(params).unwrap();
+        let backend = MrrMziBackend::new(params).unwrap();
+        let n = circuit.order();
+        for count in 0..=n {
+            let x_bits: Vec<bool> = (0..n).map(|i| i < count).collect();
+            for zw in 0..(1u32 << (n + 1)) {
+                let z_bits: Vec<bool> = (0..=n).map(|b| zw >> b & 1 == 1).collect();
+                let direct = circuit.received_power(&x_bits, &z_bits).unwrap();
+                let via_trait = backend.received_power(count, zw).unwrap();
+                assert_eq!(direct.as_mw().to_bits(), via_trait.as_mw().to_bits());
+            }
+        }
+        let a = circuit.power_bands().unwrap();
+        let b = backend.power_bands().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            backend.noise_sigma().as_mw().to_bits(),
+            circuit.detector().power_noise().as_mw().to_bits()
+        );
+    }
+
+    #[test]
+    fn default_band_scan_matches_the_circuit_scan_for_mrr_mzi() {
+        // The trait's default power_bands walks (count, zw) pairs in the
+        // same order with the same classification as
+        // OpticalScCircuit::power_bands — pin the equivalence so a
+        // backend relying on the default gets the canonical scan.
+        struct Shim(MrrMziBackend);
+        impl ScBackend for Shim {
+            fn kind(&self) -> BackendKind {
+                self.0.kind()
+            }
+            fn received_power(&self, c: usize, z: u32) -> Result<Milliwatts, CircuitError> {
+                self.0.received_power(c, z)
+            }
+            fn noise_sigma(&self) -> Milliwatts {
+                self.0.noise_sigma()
+            }
+            fn order(&self) -> usize {
+                self.0.order()
+            }
+        }
+        let params = CircuitParams::paper_fig5();
+        let backend = MrrMziBackend::new(params).unwrap();
+        let direct = backend.power_bands().unwrap();
+        let via_default = Shim(MrrMziBackend::new(params).unwrap())
+            .power_bands()
+            .unwrap();
+        assert_eq!(direct, via_default);
+    }
+}

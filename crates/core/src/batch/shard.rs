@@ -85,7 +85,10 @@
 //! u16  reserved (0)
 //! u64  batch seed
 //! u64  stream length (bits per evaluation)
-//! CircuitParams      order as u64, then 19 f64s in declaration order
+//! CircuitParams      one u64: order in the low 32 bits, backend tag
+//!                    in the high 32 bits ([`crate::backend::BackendKind::tag`];
+//!                    0 = MRR/MZI, 1 = nanocavity); then 19 f64s in
+//!                    declaration order
 //!                    (spacing, λ_last, λ_ref, MZI IL dB, MZI ER dB,
 //!                    modulator r1/r2/a/FSR/Δλ, filter r1/r2/a/FSR/OTE,
 //!                    pump mW, probe mW, responsivity, noise current)
@@ -105,6 +108,23 @@
 //!        observed_ber (4 × f64) and stream_length (u64), in item order
 //! error: u64 message length, then that many UTF-8 bytes
 //! ```
+//!
+//! ## Backend tag and backward compatibility
+//!
+//! The transmission backend rides in the **high 32 bits of the order
+//! word** of the `CircuitParams` block — the same packing in every
+//! protocol version. The rule that keeps this compatible both ways:
+//! the default backend ([`crate::backend::BackendKind::MrrMzi`]) is
+//! tag **0**, so default-backend traffic is byte-identical to frames
+//! produced before the tag existed — digests, cache keys and recorded
+//! fixtures all survive unchanged. A peer too old to know the tag
+//! decodes a non-default frame as an absurd order (≥ 2³²) and fails
+//! its order validation loudly; a peer receiving an unknown tag
+//! rejects the frame with a clean `unknown backend tag` error. Either
+//! way a mismatch is an error response, never silently-wrong physics.
+//! The tag is part of the canonical circuit bytes, so
+//! [`circuit_digest`] and the full cache key separate backends that
+//! share every numeric parameter.
 //!
 //! # Wire protocol v2 (request IDs + circuit cache)
 //!
@@ -259,6 +279,7 @@
 //!   byte-identically.
 
 use super::{evaluate_lane_block_faulted, lane_blocks, mix_seed, BatchEvaluator};
+use crate::backend::BackendKind;
 use crate::fault::{FaultSpec, StuckAt};
 use crate::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
 use crate::system::{OpticalRun, OpticalScSystem};
@@ -310,6 +331,12 @@ pub const WORKER_ENV: &str = "OSC_SHARD_WORKER";
 /// pipelining tests can pin that a slow response on one request ID is
 /// never misattributed as a timeout of a different in-flight request.
 pub const SERVE_DELAY_ENV: &str = "OSC_SERVE_DELAY_MS";
+/// Environment variable overriding the [`serve`] loop's circuit-cache
+/// capacity (positive integer; anything else falls back to
+/// [`CIRCUIT_CACHE_CAPACITY`]). Exported by
+/// [`pool::PoolConfig::with_circuit_cache_capacity`] so design sweeps
+/// with a working set beyond 8 circuits keep their whole sweep warm.
+pub const CIRCUIT_CACHE_ENV: &str = "OSC_CIRCUIT_CACHE";
 
 /// Errors surfaced by the sharding layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -603,7 +630,7 @@ impl ShardRequest {
         faults: Option<&FaultSpec>,
     ) -> ShardRequest {
         ShardRequest {
-            params: *system.circuit().params(),
+            params: *system.params(),
             coeffs: system.polynomial().coeffs().to_vec(),
             sng,
             seed,
@@ -642,7 +669,7 @@ impl ShardRequest {
             )));
         }
         Ok(ShardRequest {
-            params: *system.circuit().params(),
+            params: *system.params(),
             coeffs: system.polynomial().coeffs().to_vec(),
             sng,
             seed,
@@ -741,7 +768,12 @@ impl<'a> Cursor<'a> {
 }
 
 fn encode_params(buf: &mut Vec<u8>, p: &CircuitParams) {
-    put_u64(buf, p.order as u64);
+    // Backend tag rides in the high 32 bits of the order word. The
+    // default backend is tag 0 by construction, so default-backend
+    // frames are byte-identical to every pre-tag protocol revision;
+    // a non-default tag makes an old peer's order check fail loudly
+    // instead of silently computing the wrong physics.
+    put_u64(buf, p.order as u64 | (p.backend.tag() as u64) << 32);
     for v in [
         p.wl_spacing.as_nm(),
         p.lambda_last.as_nm(),
@@ -768,7 +800,11 @@ fn encode_params(buf: &mut Vec<u8>, p: &CircuitParams) {
 }
 
 fn decode_params(c: &mut Cursor<'_>) -> Result<CircuitParams, String> {
-    let order = usize::try_from(c.u64()?).map_err(|_| "order overflows usize".to_string())?;
+    let word = c.u64()?;
+    let order =
+        usize::try_from(word & 0xFFFF_FFFF).map_err(|_| "order overflows usize".to_string())?;
+    let backend = BackendKind::from_tag((word >> 32) as u32)
+        .ok_or_else(|| format!("unknown backend tag {}", word >> 32))?;
     let mut f = [0f64; 19];
     for slot in &mut f {
         *slot = c.f64()?;
@@ -798,6 +834,7 @@ fn decode_params(c: &mut Cursor<'_>) -> Result<CircuitParams, String> {
         probe_power: Milliwatts::new(f[16]),
         responsivity_a_per_w: f[17],
         noise_current_a: f[18],
+        backend,
     })
 }
 
@@ -1603,17 +1640,24 @@ where
     Ok(out)
 }
 
-/// The worker-side circuit cache: the last [`CIRCUIT_CACHE_CAPACITY`]
-/// built systems, most recently used first, keyed by digest and (for
-/// inline insertions) the full canonical key.
+/// The worker-side circuit cache: the most recently used built systems
+/// (capacity [`CIRCUIT_CACHE_CAPACITY`] unless overridden via
+/// [`CIRCUIT_CACHE_ENV`]), keyed by digest and (for inline insertions)
+/// the full canonical key.
 struct CircuitCache {
     entries: Vec<(u64, Vec<u8>, OpticalScSystem)>,
+    capacity: usize,
 }
 
 impl CircuitCache {
-    fn new() -> Self {
+    /// A cache holding at most `capacity` systems (at least 1 — a
+    /// zero-capacity cache would make every v2 cached reference a
+    /// permanent miss loop).
+    fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         CircuitCache {
-            entries: Vec::with_capacity(CIRCUIT_CACHE_CAPACITY),
+            entries: Vec::with_capacity(capacity),
+            capacity,
         }
     }
 
@@ -1653,7 +1697,7 @@ impl CircuitCache {
                 let system = build_system(params, coeffs)?;
                 self.entries.retain(|(d, _, _)| *d != digest);
                 self.entries.insert(0, (digest, key, system));
-                self.entries.truncate(CIRCUIT_CACHE_CAPACITY);
+                self.entries.truncate(self.capacity);
             }
         }
         Ok(&self.entries[0].2)
@@ -1782,7 +1826,12 @@ pub fn serve<R: Read, W: Write>(mut input: R, mut output: W) -> std::io::Result<
         .and_then(|v| v.parse::<u64>().ok())
         .filter(|&ms| ms > 0)
         .map(Duration::from_millis);
-    let mut cache = CircuitCache::new();
+    let capacity = std::env::var(CIRCUIT_CACHE_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(CIRCUIT_CACHE_CAPACITY);
+    let mut cache = CircuitCache::with_capacity(capacity);
     while let Some(payload) = read_frame(&mut input)? {
         if let Some(delay) = delay {
             std::thread::sleep(delay);
@@ -1882,7 +1931,7 @@ fn batch_requests(
         .ranges()
         .iter()
         .map(|&(start, len)| ShardRequest {
-            params: *system.circuit().params(),
+            params: *system.params(),
             coeffs: system.polynomial().coeffs().to_vec(),
             sng,
             seed,
@@ -1922,7 +1971,7 @@ fn image_requests(
         .ranges()
         .iter()
         .map(|&(start, len)| ShardRequest {
-            params: *system.circuit().params(),
+            params: *system.params(),
             coeffs: system.polynomial().coeffs().to_vec(),
             sng,
             seed,
@@ -2480,6 +2529,93 @@ mod tests {
         let mut other = params;
         other.order = 3;
         assert_ne!(d, circuit_digest(&other, &coeffs));
+    }
+
+    #[test]
+    fn backend_tag_separates_digests_and_cache_entries() {
+        use crate::backend::BackendKind;
+        let mrr = CircuitParams::paper_fig5();
+        let nano = mrr.with_backend(BackendKind::Nanocavity);
+        let coeffs = [0.25, 0.625, 0.75];
+        // Identical numeric params + coefficients, different physics:
+        // the canonical bytes and the digest must differ.
+        assert_ne!(circuit_key(&mrr, &coeffs), circuit_key(&nano, &coeffs));
+        assert_ne!(
+            circuit_digest(&mrr, &coeffs),
+            circuit_digest(&nano, &coeffs)
+        );
+        // Backward-compat rule: the default backend's tag bits are all
+        // zero, so the order word encodes exactly as before the tag.
+        let key = circuit_key(&mrr, &coeffs);
+        assert_eq!(&key[..8], &(mrr.order as u64).to_le_bytes());
+        // The worker-side cache therefore holds both as distinct
+        // entries, each resolving to its own physics — the regression
+        // this pins: without the tag these two would collide and the
+        // second request would silently reuse the first's tables.
+        let mut cache = CircuitCache::with_capacity(4);
+        cache.resolve_inline(&mrr, &coeffs).unwrap();
+        cache.resolve_inline(&nano, &coeffs).unwrap();
+        assert_eq!(cache.entries.len(), 2);
+        let mrr_hit = cache.get(circuit_digest(&mrr, &coeffs)).unwrap();
+        assert_eq!(mrr_hit.backend_kind(), BackendKind::MrrMzi);
+        let nano_hit = cache.get(circuit_digest(&nano, &coeffs)).unwrap();
+        assert_eq!(nano_hit.backend_kind(), BackendKind::Nanocavity);
+    }
+
+    #[test]
+    fn backend_tag_round_trips_and_unknown_tags_are_rejected() {
+        use crate::backend::BackendKind;
+        let req = ShardRequest {
+            params: CircuitParams::paper_fig5().with_backend(BackendKind::Nanocavity),
+            coeffs: vec![0.25, 0.625, 0.75],
+            sng: SngKind::Xoshiro,
+            stream_length: 64,
+            seed: 7,
+            job: ShardJob::Batch {
+                first_index: 0,
+                xs: vec![0.5],
+            },
+            faults: None,
+        };
+        let decoded = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(decoded.params.backend, BackendKind::Nanocavity);
+        let v2 = decode_request_v2(&encode_request_v2(&req, 3, None)).unwrap();
+        match v2.circuit {
+            CircuitRef::Inline { params, .. } => {
+                assert_eq!(params.backend, BackendKind::Nanocavity);
+            }
+            other => panic!("expected an inline circuit, got {other:?}"),
+        }
+        // An unknown tag fails decoding loudly instead of guessing.
+        let mut frame = encode_request(&req);
+        let order_word_at = 28; // magic + version + kind/sng/reserved + seed + stream
+        frame[order_word_at + 4..order_word_at + 8].copy_from_slice(&0xBEEFu32.to_le_bytes());
+        assert!(decode_request(&frame)
+            .unwrap_err()
+            .contains("unknown backend tag"));
+    }
+
+    #[test]
+    fn circuit_cache_capacity_bounds_evictions() {
+        let coeffs = [0.25, 0.625, 0.75];
+        let a = CircuitParams::paper_fig5();
+        let b = a.with_probe_power(Milliwatts::new(2.0));
+        let c = a.with_probe_power(Milliwatts::new(3.0));
+        let mut cache = CircuitCache::with_capacity(2);
+        cache.resolve_inline(&a, &coeffs).unwrap();
+        cache.resolve_inline(&b, &coeffs).unwrap();
+        // Refresh `a`, then insert a third circuit: the LRU entry (`b`)
+        // is the one evicted, and the cache never exceeds its capacity.
+        assert!(cache.get(circuit_digest(&a, &coeffs)).is_some());
+        cache.resolve_inline(&c, &coeffs).unwrap();
+        assert_eq!(cache.entries.len(), 2);
+        assert!(cache.get(circuit_digest(&b, &coeffs)).is_none());
+        assert!(cache.get(circuit_digest(&a, &coeffs)).is_some());
+        assert!(cache.get(circuit_digest(&c, &coeffs)).is_some());
+        // Capacity 0 is clamped to 1 rather than caching nothing.
+        let mut tiny = CircuitCache::with_capacity(0);
+        tiny.resolve_inline(&a, &coeffs).unwrap();
+        assert_eq!(tiny.entries.len(), 1);
     }
 
     #[test]

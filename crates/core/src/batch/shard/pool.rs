@@ -87,6 +87,7 @@ pub struct PoolConfig {
     pipeline_depth: usize,
     queue_cap: usize,
     response_delay: Option<Duration>,
+    circuit_cache_capacity: Option<usize>,
 }
 
 impl PoolConfig {
@@ -102,6 +103,7 @@ impl PoolConfig {
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             queue_cap: DEFAULT_QUEUE_CAP,
             response_delay: None,
+            circuit_cache_capacity: None,
         }
     }
 
@@ -152,6 +154,24 @@ impl PoolConfig {
     pub fn with_queue_cap(mut self, cap: usize) -> Self {
         self.queue_cap = cap.max(1);
         self
+    }
+
+    /// Sets every worker's circuit-cache capacity (default
+    /// [`CIRCUIT_CACHE_CAPACITY`], `0` is treated as `1`) by exporting
+    /// [`super::CIRCUIT_CACHE_ENV`] into its environment. The
+    /// dispatcher's per-worker known-digest mirror is sized to match,
+    /// so a cached reference is only ever sent for a circuit the worker
+    /// can still hold — size it to the sweep's working set to keep
+    /// every circuit warm.
+    pub fn with_circuit_cache_capacity(mut self, capacity: usize) -> Self {
+        self.circuit_cache_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The effective worker-side circuit-cache capacity.
+    fn cache_capacity(&self) -> usize {
+        self.circuit_cache_capacity
+            .unwrap_or(CIRCUIT_CACHE_CAPACITY)
     }
 
     /// Test hook: exports [`super::SERVE_DELAY_ENV`] to every worker so
@@ -272,17 +292,26 @@ struct WorkerSlot {
     /// one-circuit-per-digest invariant. Advisory only: drift is
     /// healed by the cache-miss fallback.
     known: VecDeque<(u64, Vec<u8>)>,
+    /// Capacity of the worker cache this mirror shadows.
+    cache_capacity: usize,
 }
 
 /// Records `(digest, key)` as the most recently used entry of a
 /// worker-cache mirror, exactly as the worker's own LRU does (one
-/// entry per digest, move to front, truncate at capacity). Shared with
+/// entry per digest, move to front, truncate at `capacity` — the
+/// mirror must be sized exactly like the cache it shadows, or it
+/// would promise circuits the worker has already evicted). Shared with
 /// [`super::service::ServiceClient`], whose mirror of the service's
 /// per-connection cache follows the same algorithm.
-pub(crate) fn note_digest(known: &mut VecDeque<(u64, Vec<u8>)>, digest: u64, key: Vec<u8>) {
+pub(crate) fn note_digest(
+    known: &mut VecDeque<(u64, Vec<u8>)>,
+    digest: u64,
+    key: Vec<u8>,
+    capacity: usize,
+) {
     known.retain(|(d, _)| *d != digest);
     known.push_front((digest, key));
-    known.truncate(CIRCUIT_CACHE_CAPACITY);
+    known.truncate(capacity);
 }
 
 impl Drop for WorkerSlot {
@@ -314,6 +343,9 @@ fn spawn_slot(config: &PoolConfig) -> Result<WorkerSlot, String> {
     }
     if let Some(delay) = config.response_delay {
         command.env(super::SERVE_DELAY_ENV, delay.as_millis().to_string());
+    }
+    if let Some(capacity) = config.circuit_cache_capacity {
+        command.env(super::CIRCUIT_CACHE_ENV, capacity.to_string());
     }
     let mut child = command
         .spawn()
@@ -347,6 +379,7 @@ fn spawn_slot(config: &PoolConfig) -> Result<WorkerSlot, String> {
         frames,
         reader: Some(reader),
         known: VecDeque::new(),
+        cache_capacity: config.cache_capacity(),
     })
 }
 
@@ -428,7 +461,7 @@ impl WorkerPool {
         let digest = circuit_digest(params, coeffs);
         let key = circuit_key(params, coeffs);
         for slot in &mut self.slots {
-            note_digest(&mut slot.known, digest, key.clone());
+            note_digest(&mut slot.known, digest, key.clone(), slot.cache_capacity);
         }
     }
 
@@ -840,7 +873,7 @@ fn slot_send(
     write_frame(&mut slot.stdin, &frame)
         .and_then(|()| slot.stdin.flush())
         .map_err(|e| format!("writing request: {e}"))?;
-    note_digest(&mut slot.known, digest, key);
+    note_digest(&mut slot.known, digest, key, slot.cache_capacity);
     Ok(())
 }
 
@@ -1333,7 +1366,7 @@ mod tests {
         // move-to-front on reuse, truncate at capacity.
         let mut known = VecDeque::new();
         for d in 0..CIRCUIT_CACHE_CAPACITY as u64 + 3 {
-            note_digest(&mut known, d, vec![d as u8]);
+            note_digest(&mut known, d, vec![d as u8], CIRCUIT_CACHE_CAPACITY);
         }
         assert_eq!(known.len(), CIRCUIT_CACHE_CAPACITY);
         assert_eq!(known[0].0, CIRCUIT_CACHE_CAPACITY as u64 + 2);
@@ -1341,9 +1374,17 @@ mod tests {
         // and a re-ship under the same digest replaces the stored key,
         // keeping one entry per digest.
         let (tail, _) = known.back().unwrap().clone();
-        note_digest(&mut known, tail, vec![0xFF]);
+        note_digest(&mut known, tail, vec![0xFF], CIRCUIT_CACHE_CAPACITY);
         assert_eq!(known[0], (tail, vec![0xFF]));
         assert_eq!(known.len(), CIRCUIT_CACHE_CAPACITY);
         assert_eq!(known.iter().filter(|(d, _)| *d == tail).count(), 1);
+        // A non-default capacity bounds the mirror the same way.
+        let mut small = VecDeque::new();
+        for d in 0..5u64 {
+            note_digest(&mut small, d, vec![d as u8], 2);
+        }
+        assert_eq!(small.len(), 2);
+        assert_eq!(small[0].0, 4);
+        assert_eq!(small[1].0, 3);
     }
 }

@@ -488,7 +488,7 @@ impl ServiceClient {
                 shard: 0,
                 detail: format!("writing service request: {e}"),
             })?;
-        note_digest(&mut self.known, digest, key);
+        note_digest(&mut self.known, digest, key, CIRCUIT_CACHE_CAPACITY);
         Ok((id, cached))
     }
 

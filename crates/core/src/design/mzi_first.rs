@@ -112,6 +112,7 @@ impl MziFirstDesign {
             probe_power: Milliwatts::new(1.0), // provisional
             responsivity_a_per_w: crate::params::receiver_defaults::RESPONSIVITY_A_PER_W,
             noise_current_a: crate::params::receiver_defaults::NOISE_CURRENT_A,
+            backend: crate::backend::BackendKind::MrrMzi,
         };
         params.validate()?;
         let snr = SnrModel::new(&params)?;

@@ -57,6 +57,7 @@
 
 pub mod adder;
 pub mod architecture;
+pub mod backend;
 pub mod batch;
 pub mod budget;
 pub mod calibration;
@@ -65,6 +66,7 @@ pub mod design;
 pub mod energy;
 pub mod fault;
 pub mod mux;
+pub mod nanocavity;
 pub mod parallel;
 pub mod params;
 pub mod receiver;
@@ -76,6 +78,7 @@ pub mod transmission;
 /// Convenience re-exports of the most used types.
 pub mod prelude {
     pub use crate::architecture::OpticalScCircuit;
+    pub use crate::backend::{BackendKind, ScBackend};
     pub use crate::batch::BatchEvaluator;
     pub use crate::design::{mrr_first::MrrFirstDesign, mzi_first::MziFirstDesign};
     pub use crate::energy::EnergyModel;

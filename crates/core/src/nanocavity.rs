@@ -1,0 +1,216 @@
+//! A photonic-crystal nanocavity transmission backend — the authors'
+//! follow-up substrate (PAPERS.md: "Optical Stochastic Computing
+//! Architectures Using Photonic Crystal Nanocavities", arXiv
+//! 2102.02064) reduced to the surface the SC pipeline needs.
+//!
+//! # Model
+//!
+//! The MRR/MZI architecture routes one probe through a mux tree; the
+//! nanocavity architecture instead gives every coefficient stream its
+//! own wavelength channel and does the selection spectrally:
+//!
+//! - The probe budget `probe_power` is split evenly across the `n + 1`
+//!   coefficient channels, spaced `wl_spacing` apart.
+//! - Channel `i` passes through a nanocavity **switch** driven by
+//!   coefficient bit `z_i`: on-resonance when `z_i = 1` (transmission
+//!   [`GATE_ON_TRANSMISSION`]), detuned by [`GATE_OFF_DETUNING`]
+//!   linewidths when `z_i = 0` (the same Lorentzian line, so the off
+//!   state leaks `T_on / (1 + Δ²)` rather than an idealized zero).
+//! - A count-tuned nanocavity **filter** replaces the mux tree: the
+//!   ones-count of the data streams shifts the filter resonance onto
+//!   channel `count`, so channel `i` reaches the detector weighted by
+//!   the Lorentzian `1 / (1 + ((i − count) · S)²)` with
+//!   `S = wl_spacing / linewidth =` [`SELECT_STEP_LINEWIDTHS`].
+//!
+//! Received power is the sum over channels — the selected coefficient
+//! plus spectral crosstalk from its neighbors. With the shipped
+//! constants the worst-case total crosstalk at `MAX_SIM_ORDER` stays
+//! below a quarter of an on-channel "one", so the transmit-0 /
+//! transmit-1 power bands separate for every supported order and the
+//! usual analytic receiver folding applies unchanged.
+//!
+//! The model is a pure function of `(params, count, z_word)` built from
+//! `const` physics — the cross-tier/cross-shard/cross-service
+//! determinism contract holds exactly as for MRR/MZI.
+
+use crate::backend::{BackendKind, ScBackend};
+use crate::params::CircuitParams;
+use crate::CircuitError;
+use osc_units::Milliwatts;
+
+/// On-resonance switch transmission: a fraction of the channel power
+/// survives the cavity insertion loss when the coefficient bit is 1.
+pub const GATE_ON_TRANSMISSION: f64 = 0.94;
+
+/// Off-state detuning of a switch, in cavity half-linewidths. The off
+/// state transmits `GATE_ON_TRANSMISSION / (1 + Δ²)` — about 2.5% of
+/// the on state at Δ = 6.
+pub const GATE_OFF_DETUNING: f64 = 6.0;
+
+/// Channel spacing of the count-tuned selection filter, in filter
+/// half-linewidths. A neighbor channel is suppressed by
+/// `1 / (1 + S²)` ≈ 17× at S = 4; the full crosstalk sum at
+/// `MAX_SIM_ORDER` is ≈ 0.23 of the selected channel.
+pub const SELECT_STEP_LINEWIDTHS: f64 = 4.0;
+
+/// Lorentzian line: transmission at `detuning` half-linewidths off
+/// resonance, normalized to 1 on resonance.
+fn lorentzian(detuning: f64) -> f64 {
+    1.0 / (1.0 + detuning * detuning)
+}
+
+/// The photonic-crystal nanocavity physics behind the
+/// [`ScBackend`] surface.
+#[derive(Debug, Clone)]
+pub struct NanocavityBackend {
+    order: usize,
+    /// Per-channel probe power: `probe_power / (n + 1)`.
+    channel_power: Milliwatts,
+    /// Input-referred receiver noise, from the shared photodetector
+    /// model — the receiver is backend-independent.
+    sigma: Milliwatts,
+}
+
+impl NanocavityBackend {
+    /// Builds the backend for `params` (order, probe budget and
+    /// receiver figures are read; the MRR/MZI device templates are
+    /// ignored).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation and detector-model failures.
+    pub fn new(params: CircuitParams) -> Result<Self, CircuitError> {
+        params.validate()?;
+        let sigma = params.detector()?.power_noise();
+        let channel_power = Milliwatts::new(params.probe_power.as_mw() / (params.order + 1) as f64);
+        Ok(NanocavityBackend {
+            order: params.order,
+            channel_power,
+            sigma,
+        })
+    }
+
+    /// Transmission of switch `i` for its coefficient bit.
+    fn gate(z_bit: bool) -> f64 {
+        if z_bit {
+            GATE_ON_TRANSMISSION
+        } else {
+            GATE_ON_TRANSMISSION * lorentzian(GATE_OFF_DETUNING)
+        }
+    }
+
+    /// Selection-filter weight of channel `i` when the resonance sits
+    /// on channel `count`.
+    fn select(i: usize, count: usize) -> f64 {
+        let steps = i as f64 - count as f64;
+        lorentzian(steps * SELECT_STEP_LINEWIDTHS)
+    }
+}
+
+impl ScBackend for NanocavityBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Nanocavity
+    }
+
+    fn received_power(&self, count: usize, z_word: u32) -> Result<Milliwatts, CircuitError> {
+        if count > self.order {
+            return Err(CircuitError::ArityMismatch {
+                what: "ones count",
+                expected: self.order,
+                got: count,
+            });
+        }
+        let mut transmitted = 0.0f64;
+        // Fixed LSB-first channel order: the sum must associate the
+        // same way on every replica for bit-identical tables.
+        for i in 0..=self.order {
+            let z_bit = z_word >> i & 1 == 1;
+            transmitted += Self::gate(z_bit) * Self::select(i, count);
+        }
+        Ok(Milliwatts::new(self.channel_power.as_mw() * transmitted))
+    }
+
+    fn noise_sigma(&self) -> Milliwatts {
+        self.sigma
+    }
+
+    fn order(&self) -> usize {
+        self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::OpticalScSystem;
+
+    fn backend(order: usize) -> NanocavityBackend {
+        let mut params = CircuitParams::paper_fig5();
+        params.order = order;
+        params.backend = BackendKind::Nanocavity;
+        NanocavityBackend::new(params).unwrap()
+    }
+
+    #[test]
+    fn bands_separate_for_every_supported_order() {
+        for order in 1..=OpticalScSystem::MAX_SIM_ORDER {
+            let bands = backend(order).power_bands().unwrap();
+            assert!(
+                bands.separated(),
+                "order {order}: nanocavity bands overlap ({bands:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn selected_channel_dominates_crosstalk() {
+        let b = backend(12);
+        // All-zeros vs. only-the-selected-bit: flipping the selected
+        // coefficient must move the power by more than the whole
+        // spread the other 12 bits can cause.
+        for count in 0..=12usize {
+            let off = b.received_power(count, 0).unwrap();
+            let on = b.received_power(count, 1 << count).unwrap();
+            let all_on = b.received_power(count, (1 << 13) - 1).unwrap();
+            let swing = on.as_mw() - off.as_mw();
+            let crosstalk_spread = all_on.as_mw() - on.as_mw();
+            assert!(
+                swing > crosstalk_spread,
+                "count {count}: selected-bit swing {swing} <= crosstalk spread {crosstalk_spread}"
+            );
+        }
+    }
+
+    #[test]
+    fn depends_only_on_count_and_z_word() {
+        // Purity / determinism: two constructions from the same params
+        // agree bit for bit.
+        let a = backend(6);
+        let b = backend(6);
+        for count in 0..=6usize {
+            for zw in 0..(1u32 << 7) {
+                assert_eq!(
+                    a.received_power(count, zw).unwrap().as_mw().to_bits(),
+                    b.received_power(count, zw).unwrap().as_mw().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_count_is_rejected() {
+        let b = backend(3);
+        assert!(b.received_power(4, 0).is_err());
+    }
+
+    #[test]
+    fn end_to_end_system_builds_and_separates() {
+        let mut params = CircuitParams::paper_fig5();
+        params.backend = BackendKind::Nanocavity;
+        let poly = osc_stochastic::bernstein::BernsteinPoly::new(vec![0.2, 0.8, 0.4]).unwrap();
+        let system = OpticalScSystem::new(params, poly).unwrap();
+        // The folded tables must classify every operating point — a
+        // separated-band backend yields deterministic decisions.
+        assert!(system.has_deterministic_decisions());
+    }
+}

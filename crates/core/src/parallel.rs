@@ -195,7 +195,7 @@ impl ParallelOpticalSc {
         self.lanes
             .iter()
             .map(|l| {
-                let p = l.circuit().params();
+                let p = l.params();
                 p.pump_power + p.probe_power * (p.order + 1) as f64
             })
             .sum()

@@ -7,6 +7,7 @@
 //! constants. Each `paper_*` constructor assembles the exact configuration
 //! of one of the paper's experiments.
 
+use crate::backend::BackendKind;
 use crate::CircuitError;
 use osc_photonics::add_drop_filter::AddDropFilter;
 use osc_photonics::detector::Photodetector;
@@ -237,6 +238,9 @@ pub struct CircuitParams {
     pub responsivity_a_per_w: f64,
     /// Detector internal noise current, A.
     pub noise_current_a: f64,
+    /// Which transmission physics realizes the circuit (defaults to
+    /// the paper's MRR/MZI architecture).
+    pub backend: BackendKind,
 }
 
 impl CircuitParams {
@@ -265,6 +269,7 @@ impl CircuitParams {
             probe_power: Milliwatts::new(1.0),
             responsivity_a_per_w: receiver_defaults::RESPONSIVITY_A_PER_W,
             noise_current_a: receiver_defaults::NOISE_CURRENT_A,
+            backend: BackendKind::MrrMzi,
         }
     }
 
@@ -384,6 +389,12 @@ impl CircuitParams {
     /// Returns a copy with a different pump power (for sweeps).
     pub fn with_pump_power(mut self, power: Milliwatts) -> Self {
         self.pump_power = power;
+        self
+    }
+
+    /// Returns a copy realized by a different transmission physics.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }

@@ -61,7 +61,7 @@
 //!   parallel seed implementation, kept only as the benchmarks' "before"
 //!   side. Do not use in new code.
 
-use crate::architecture::OpticalScCircuit;
+use crate::backend::{Backend, BackendKind, ScBackend};
 use crate::fault::FaultSpec;
 use crate::receiver::Derandomizer;
 use crate::{params::CircuitParams, CircuitError};
@@ -203,10 +203,15 @@ impl OpticalRun {
     }
 }
 
-/// The complete optical SC computer: circuit + programmed polynomial.
+/// The complete optical SC computer: transmission backend + programmed
+/// polynomial. The system owns the folded decision tables and every
+/// `evaluate*` kernel; the [`Backend`] supplies only the per-(count,
+/// z-word) transmission physics, so every kernel tier and serving mode
+/// is backend-generic by construction.
 #[derive(Debug, Clone)]
 pub struct OpticalScSystem {
-    circuit: OpticalScCircuit,
+    params: CircuitParams,
+    backend: Backend,
     poly: BernsteinPoly,
     resc: ReScUnit,
     derandomizer: Derandomizer,
@@ -275,23 +280,21 @@ impl OpticalScSystem {
                 params.order
             )));
         }
-        let circuit = OpticalScCircuit::new(params)?;
-        let bands = circuit.power_bands()?;
+        let backend = Backend::new(&params)?;
+        let bands = backend.power_bands()?;
         let derandomizer = Derandomizer::from_bands(&bands);
         let n = params.order;
         // Precompute power for each (count, z-word): the adder only sees
         // the count, so 2^n data words collapse to n+1 rows.
         let mut power_table = Vec::with_capacity(n + 1);
         for count in 0..=n {
-            let x_bits: Vec<bool> = (0..n).map(|i| i < count).collect();
             let mut row = Vec::with_capacity(1 << (n + 1));
             for zw in 0..(1u32 << (n + 1)) {
-                let z_bits: Vec<bool> = (0..=n).map(|b| zw >> b & 1 == 1).collect();
-                row.push(circuit.received_power(&x_bits, &z_bits)?);
+                row.push(backend.received_power(count, zw)?);
             }
             power_table.push(row);
         }
-        let sigma = circuit.detector().power_noise();
+        let sigma = backend.noise_sigma();
         let threshold = derandomizer.threshold();
         let one_probability: Vec<f64> = power_table
             .iter()
@@ -342,7 +345,8 @@ impl OpticalScSystem {
                 (p >= 1.0) == ((zw >> count) & 1 == 1)
             });
         Ok(OpticalScSystem {
-            circuit,
+            params,
+            backend,
             resc: ReScUnit::new(poly.clone()),
             poly,
             derandomizer,
@@ -354,9 +358,19 @@ impl OpticalScSystem {
         })
     }
 
-    /// The underlying circuit.
-    pub fn circuit(&self) -> &OpticalScCircuit {
-        &self.circuit
+    /// The parameter set the system was built from.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// The transmission backend realizing the circuit.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Which transmission physics realizes the circuit.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// The programmed polynomial.
@@ -541,7 +555,7 @@ impl OpticalScSystem {
             }
             return Ok(out.map(|r| r.expect("every lane filled")));
         }
-        let (ones, ideal, flips) = match self.circuit.order() {
+        let (ones, ideal, flips) = match self.params.order {
             1 => self.lane_kernel::<1, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
             2 => self.lane_kernel::<2, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
             3 => self.lane_kernel::<3, L, S>(xs, stream_length, sngs, rngs, faults, scratch),
@@ -851,7 +865,7 @@ impl OpticalScSystem {
         stream_length: usize,
         rng: &mut Xoshiro256PlusPlus,
     ) -> (usize, usize, usize) {
-        match self.circuit.order() {
+        match self.params.order {
             1 => self.word_kernel::<1>(data, coeffs, stream_length, rng),
             2 => self.word_kernel::<2>(data, coeffs, stream_length, rng),
             3 => self.word_kernel::<3>(data, coeffs, stream_length, rng),
@@ -1052,7 +1066,7 @@ impl OpticalScSystem {
             .resc
             .generate_streams(x, stream_length, sng)
             .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
-        let sigma = self.circuit.detector().power_noise();
+        let sigma = self.backend.noise_sigma();
         let mut ones = 0usize;
         let mut ideal_ones = 0usize;
         let mut decision_flips = 0usize;
@@ -1103,7 +1117,7 @@ impl OpticalScSystem {
             .resc
             .generate_streams_bitwise(x, stream_length, sng)
             .map_err(|e| CircuitError::InvalidStructure(e.to_string()))?;
-        let sigma = self.circuit.detector().power_noise();
+        let sigma = self.backend.noise_sigma();
         let mut ones = 0usize;
         let mut ideal_ones = 0usize;
         let mut decision_flips = 0usize;
@@ -1131,7 +1145,7 @@ impl OpticalScSystem {
     /// cost a single uniform draw.
     #[inline]
     fn decide_cycle(&self, count: usize, zw: usize, rng: &mut Xoshiro256PlusPlus) -> bool {
-        let p1 = self.one_probability[(count << (self.circuit.order() + 1)) | zw];
+        let p1 = self.one_probability[(count << (self.params.order + 1)) | zw];
         if p1 >= 1.0 {
             true
         } else if p1 <= 0.0 {
@@ -1171,7 +1185,7 @@ impl OpticalScSystem {
         coeffs: &[BitStream],
         rng: &mut Xoshiro256PlusPlus,
     ) -> Result<BitStream, CircuitError> {
-        let n = self.circuit.order();
+        let n = self.params.order;
         if data.len() != n || coeffs.len() != n + 1 {
             return Err(CircuitError::InvalidStructure(format!(
                 "expected {n} data and {} coefficient streams, got {} and {}",

@@ -297,7 +297,7 @@ fn in_memory_sharded_faults_are_identical_across_shard_counts() {
             let mut merged = Vec::with_capacity(n);
             for &(start, len) in plan.ranges() {
                 let req = ShardRequest {
-                    params: *system.circuit().params(),
+                    params: *system.params(),
                     coeffs: system.polynomial().coeffs().to_vec(),
                     sng: SngKind::Xoshiro,
                     seed: 7,
@@ -326,7 +326,7 @@ fn in_memory_sharded_image_faults_are_identical_across_shard_counts() {
         .collect();
     let system = clean_system();
     let make_req = |first_row: usize, rows: &[f64]| ShardRequest {
-        params: *system.circuit().params(),
+        params: *system.params(),
         coeffs: system.polynomial().coeffs().to_vec(),
         sng: SngKind::Xoshiro,
         seed: 5,

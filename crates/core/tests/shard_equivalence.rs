@@ -101,7 +101,7 @@ fn any_partition_merges_to_the_single_process_batch() {
                 let mut merged = Vec::with_capacity(n);
                 for &(start, len) in plan.ranges() {
                     let req = ShardRequest {
-                        params: *system.circuit().params(),
+                        params: *system.params(),
                         coeffs: system.polynomial().coeffs().to_vec(),
                         sng: kind,
                         seed,
@@ -155,7 +155,7 @@ fn v2_requests_match_v1_and_the_single_process_reference() {
     let xs: Vec<f64> = (0..9).map(|i| i as f64 / 8.0).collect();
     let reference = reference_runs(&system, SngKind::Xoshiro, &xs, 160, 21);
     let req = ShardRequest {
-        params: *system.circuit().params(),
+        params: *system.params(),
         coeffs: system.polynomial().coeffs().to_vec(),
         sng: SngKind::Xoshiro,
         seed: 21,
@@ -193,7 +193,7 @@ fn interleaved_request_ids_echo_in_arrival_order() {
     let system = clean_system();
     let mk = |id: u64, seed: u64| {
         let req = ShardRequest {
-            params: *system.circuit().params(),
+            params: *system.params(),
             coeffs: system.polynomial().coeffs().to_vec(),
             sng: SngKind::Counter,
             seed,
@@ -215,7 +215,7 @@ fn interleaved_request_ids_echo_in_arrival_order() {
 fn cache_misses_are_clean_values_and_lru_evicts_the_oldest() {
     let system = clean_system();
     let base = ShardRequest {
-        params: *system.circuit().params(),
+        params: *system.params(),
         coeffs: system.polynomial().coeffs().to_vec(),
         sng: SngKind::Xoshiro,
         seed: 5,
@@ -284,7 +284,7 @@ fn image_rows_partition_matches_whole_image_job() {
         .collect();
     let system = clean_system();
     let base_req = |first_row: usize, rows: &[f64]| ShardRequest {
-        params: *system.circuit().params(),
+        params: *system.params(),
         coeffs: system.polynomial().coeffs().to_vec(),
         sng: SngKind::Xoshiro,
         seed: 99,
