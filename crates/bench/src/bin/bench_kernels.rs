@@ -11,9 +11,11 @@
 //! pre-trajectory single-run file is migrated to the first record), so
 //! the file carries the PR-over-PR perf history.
 //!
-//! `--check PATH` compares this run's speedups against the most recent
-//! run recorded in PATH and exits non-zero if any workload regresses
-//! below 80% of the recorded speedup — the CI regression gate. Workloads
+//! `--check PATH` compares this run's speedups against the committed
+//! trajectory in PATH (per workload, the lower median of the last
+//! three same-tier records — robust to a single outlier record) and
+//! exits non-zero if any workload regresses below 80% of that
+//! reference — the CI regression gate. Workloads
 //! with **no prior trajectory entry** (fresh benchmarks landing in the
 //! same PR) are recorded but not gated on their first run, so adding a
 //! benchmark can never fail the gate by construction; the failure

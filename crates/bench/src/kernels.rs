@@ -555,10 +555,54 @@ pub fn run(budget_ms: u64) -> KernelsReport {
                     .len() as f64
             },
         ));
+
+        // The design-sweep trajectory workload: 1024 **distinct**
+        // circuits (orders 1–2 × both backends × a 16×16 IL/ER grid,
+        // every candidate its own parameter set) — the many-distinct-
+        // circuits stress profile the soak schedule's two-circuit
+        // repeat cannot produce. Baseline: spawn-per-request, a fresh
+        // single-shard coordinator call per candidate (1024 process
+        // spawns + circuit builds per pass). Optimized: one persistent
+        // 3-worker pool whose circuit cache is sized to the whole
+        // working set, all candidates streaming through one pipelined
+        // run_requests call — the first pass ships each circuit inline
+        // once, later passes hit the warm digest cache. Both sides
+        // produce bit-identical frontiers; the ratio is the warm-cache
+        // amortization the digest-keyed CircuitCache was built for.
+        let grid_sweep = std::sync::Arc::new(crate::sweep::DesignSweep::new(
+            crate::sweep::order_grid_axes(),
+        ));
+        let grid_sweep2 = grid_sweep.clone();
+        let sweep_spawn = ShardCoordinator::new(&worker, 1);
+        let mut sweep_pool = PoolConfig::new(&worker, 3)
+            .with_circuit_cache_capacity(grid_sweep.designs().len())
+            .spawn()
+            .expect("pool spawns");
+        comparisons.push(compare(
+            &mut harness,
+            "design_sweep_order_grid",
+            move || {
+                grid_sweep
+                    .evaluate(crate::sweep::SweepMode::Spawn(&sweep_spawn))
+                    .unwrap()
+                    .iter()
+                    .map(|p| p.mean_abs_error)
+                    .sum()
+            },
+            move || {
+                grid_sweep2
+                    .evaluate(crate::sweep::SweepMode::Pool(&mut sweep_pool))
+                    .unwrap()
+                    .iter()
+                    .map(|p| p.mean_abs_error)
+                    .sum()
+            },
+        ));
     } else {
         eprintln!(
             "[kernels] shard_worker binary not found — skipping gamma_64x64_order6_sharded, \
-             gamma_64x64_order6_pooled, pool_small_requests_1024 and service_soak \
+             gamma_64x64_order6_pooled, pool_small_requests_1024, service_soak and \
+             design_sweep_order_grid \
              (build it with `cargo build -p osc-bench --bin shard_worker`)"
         );
     }
@@ -884,22 +928,60 @@ fn record_tier(record: &str) -> Option<&str> {
 /// The `(name, speedup)` pairs the regression gate compares a fresh
 /// run against, given the SIMD tier it was measured under. Kernel
 /// speedups are tier-relative (a vectorized workload's ratio collapses
-/// under forced-scalar dispatch by design, not by regression), so the
-/// reference is the trajectory's most recent run **recorded under the
-/// same tier**; when no tier-matching record exists the most recent
-/// *untagged* (pre-tier-schema) record is used, preserving the old
-/// behavior for old files; otherwise nothing is gated (first run on a
-/// new tier — recorded, not judged).
+/// under forced-scalar dispatch by design, not by regression), so only
+/// records **tagged with the same tier** are consulted; when none
+/// exist the most recent *untagged* (pre-tier-schema) record is used,
+/// preserving the old behavior for old files; otherwise nothing is
+/// gated (first run on a new tier — recorded, not judged).
+///
+/// The workload set and its order come from the most recent same-tier
+/// record, but each workload's reference speedup is the **lower median
+/// across the last (up to) three same-tier records**. A single record
+/// is not a robust floor for workloads whose baseline is dominated by
+/// process-spawn cost (`pool_small_requests_1024`, `service_soak`,
+/// `design_sweep_order_grid` all divide by a spawn-per-request
+/// baseline): one run recorded on a slow-spawn day inflates the ratio
+/// and would ratchet the floor above what the workload ever measures
+/// again. The median damps any single outlier record — high or low —
+/// while a real regression still trips the gate, since one bad fresh
+/// measurement can never drag the committed median down with it.
 pub fn reference_run_speedups(text: &str, tier: &str) -> Vec<(String, f64)> {
     let Some(records) = extract_run_records(text) else {
         return Vec::new();
     };
-    let reference = records
+    let window: Vec<Vec<(String, f64)>> = {
+        let same_tier: Vec<_> = records
+            .iter()
+            .rev()
+            .filter(|r| record_tier(r) == Some(tier))
+            .take(3)
+            .map(|r| record_speedups(r))
+            .collect();
+        if same_tier.is_empty() {
+            records
+                .iter()
+                .rev()
+                .find(|r| record_tier(r).is_none())
+                .map(|r| vec![record_speedups(r)])
+                .unwrap_or_default()
+        } else {
+            same_tier
+        }
+    };
+    let Some(latest) = window.first() else {
+        return Vec::new();
+    };
+    latest
         .iter()
-        .rev()
-        .find(|r| record_tier(r) == Some(tier))
-        .or_else(|| records.iter().rev().find(|r| record_tier(r).is_none()));
-    reference.map(|r| record_speedups(r)).unwrap_or_default()
+        .map(|(name, _)| {
+            let mut samples: Vec<f64> = window
+                .iter()
+                .filter_map(|rec| rec.iter().find(|(n, _)| n == name).map(|&(_, s)| s))
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            (name.clone(), samples[(samples.len() - 1) / 2])
+        })
+        .collect()
 }
 
 /// The `(name, speedup)` pairs of the trajectory's most recent run (or
@@ -946,7 +1028,9 @@ pub struct Regression {
     pub name: String,
     /// Fresh measurement.
     pub measured: f64,
-    /// Speedup recorded in the committed trajectory's last run.
+    /// Reference speedup from the committed trajectory (the lower
+    /// median of the last same-tier records — see
+    /// [`reference_run_speedups`]).
     pub recorded: f64,
     /// `recorded × threshold` — the floor the measurement missed.
     pub floor: f64,
@@ -1055,7 +1139,7 @@ mod tests {
         // has been built (cargo test builds it for this package's
         // integration tests, but a filtered build may not have).
         let expect_sharded = shard_worker_path().is_some();
-        assert_eq!(r.comparisons.len(), if expect_sharded { 17 } else { 13 });
+        assert_eq!(r.comparisons.len(), if expect_sharded { 18 } else { 13 });
         for c in &r.comparisons {
             assert!(c.baseline_ns > 0.0 && c.optimized_ns > 0.0, "{c:?}");
         }
@@ -1075,6 +1159,7 @@ mod tests {
             "gamma_64x64_order6_pooled",
             "pool_small_requests_1024",
             "service_soak",
+            "design_sweep_order_grid",
         ] {
             assert_eq!(json.contains(pool_workload), expect_sharded, "{json}");
         }
@@ -1330,6 +1415,80 @@ mod tests {
         assert!(outcome.is_ok());
         assert!(outcome.passed.is_empty());
         assert_eq!(outcome.new_workloads.len(), 2);
+    }
+
+    #[test]
+    fn reference_is_the_lower_median_of_the_last_three_same_tier_records() {
+        // Four scalar records for alpha: 4.0 (ancient, outside the
+        // window), then 3.0, 9.0 (an outlier — e.g. a spawn-baseline
+        // workload measured on a slow-spawn day), 3.1. The reference
+        // must be the median of the last three (3.1), not the outlier
+        // and not the stale 4.0.
+        let rec = |speedup: f64| {
+            let report = KernelsReport {
+                comparisons: vec![KernelComparison {
+                    name: "alpha".into(),
+                    baseline_ns: 100.0 * speedup,
+                    optimized_ns: 100.0,
+                }],
+            };
+            render_run(&report, "pr", "scalar")
+        };
+        let mut committed = append_run(None, &rec(4.0));
+        for s in [3.0, 9.0, 3.1] {
+            committed = append_run(Some(&committed), &rec(s));
+        }
+        assert_eq!(
+            reference_run_speedups(&committed, "scalar"),
+            vec![("alpha".to_string(), 3.1)]
+        );
+
+        // A fresh in-family measurement (2.9x) passes the damped floor
+        // (3.1 × 0.8 = 2.48) where the single-record gate would have
+        // demanded 9.0 × 0.8 = 7.2 forever...
+        let fresh = KernelsReport {
+            comparisons: vec![KernelComparison {
+                name: "alpha".into(),
+                baseline_ns: 290.0,
+                optimized_ns: 100.0,
+            }],
+        };
+        assert!(check_report(&fresh, &committed, 0.8, "scalar").is_ok());
+        // ...while a real regression still trips it.
+        let regressed = KernelsReport {
+            comparisons: vec![KernelComparison {
+                name: "alpha".into(),
+                baseline_ns: 150.0,
+                optimized_ns: 100.0,
+            }],
+        };
+        let outcome = check_report(&regressed, &committed, 0.8, "scalar");
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!((outcome.regressions[0].recorded - 3.1).abs() < 1e-9);
+
+        // An even window takes the lower middle — conservative for a
+        // two-record trajectory where one of the two may be the outlier.
+        let two = append_run(Some(&append_run(None, &rec(18.0))), &rec(27.0));
+        assert_eq!(
+            reference_run_speedups(&two, "scalar"),
+            vec![("alpha".to_string(), 18.0)]
+        );
+
+        // Workloads absent from the most recent record are not gated,
+        // even when older window records still carry them.
+        let mut dropped = append_run(None, &rec(3.0));
+        let beta_only = KernelsReport {
+            comparisons: vec![KernelComparison {
+                name: "beta".into(),
+                baseline_ns: 200.0,
+                optimized_ns: 100.0,
+            }],
+        };
+        dropped = append_run(Some(&dropped), &render_run(&beta_only, "pr", "scalar"));
+        assert_eq!(
+            reference_run_speedups(&dropped, "scalar"),
+            vec![("beta".to_string(), 2.0)]
+        );
     }
 
     #[test]

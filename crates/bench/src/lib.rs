@@ -31,6 +31,7 @@ pub mod gamma;
 pub mod kernels;
 pub mod microbench;
 pub mod soak;
+pub mod sweep;
 
 /// Renders a labelled `paper vs measured` comparison line.
 pub fn compare_line(label: &str, paper: f64, measured: f64, unit: &str) -> String {

@@ -143,6 +143,19 @@
 //! inline under that digest — a collision costs rebuilds, never
 //! correctness.
 //!
+//! **Sizing the cache for many-distinct-circuits workloads.** The
+//! default capacity (8) suits serving profiles that hammer a handful of
+//! circuits (the soak schedule's two-circuit repeat profile). A design
+//! sweep ([`crate::design::sweep`]) is the opposite shape: thousands of
+//! *distinct* circuits, each revisited once per probe input — a
+//! round-robin pool with an undersized LRU evicts every entry before
+//! its next hit and rebuilds on all of them. Size the capacity to the
+//! sweep's working set (`designs().len()`) via
+//! [`pool::PoolConfig::with_circuit_cache_capacity`] or the
+//! `OSC_CIRCUIT_CACHE` env; by contract an undersized cache only costs
+//! rebuild time, never bytes, so this is purely a throughput knob (the
+//! `design_sweep_order_grid` bench record tracks it).
+//!
 //! Version-2 request payload ([`encode_request_v2`] / [`decode_request_v2`]):
 //!
 //! ```text
@@ -517,6 +530,33 @@ macro_rules! dispatch_sng {
             }
         }
     };
+}
+
+/// Evaluates one flat batch **in this process** through the same
+/// [`SngKind`] dispatch point the shard workers use — the in-process
+/// serving tier of a design sweep or any other caller that holds an
+/// [`SngKind`] value rather than a concrete generator type.
+///
+/// Item `i` derives its universe from [`super::mix_seed`]`(seed, i)`,
+/// exactly as a [`ShardRequest::batch`] with `first_index` 0 does, so
+/// the result is byte-identical to shipping the same request through a
+/// [`ShardCoordinator`], [`pool::WorkerPool`] or
+/// [`service::ServiceClient`].
+///
+/// # Errors
+///
+/// Propagates evaluation failures (e.g. inputs outside `[0, 1]`).
+pub fn evaluate_batch_in_process(
+    evaluator: &BatchEvaluator,
+    system: &OpticalScSystem,
+    sng: SngKind,
+    xs: &[f64],
+    stream_length: usize,
+    seed: u64,
+) -> Result<Vec<OpticalRun>, crate::CircuitError> {
+    dispatch_sng!(sng, factory => {
+        evaluator.evaluate_range_faulted(system, xs, stream_length, factory, seed, 0, None)
+    })
 }
 
 /// A contiguous, balanced decomposition of `items` work items into at

@@ -161,8 +161,11 @@ impl PoolConfig {
     /// [`super::CIRCUIT_CACHE_ENV`] into its environment. The
     /// dispatcher's per-worker known-digest mirror is sized to match,
     /// so a cached reference is only ever sent for a circuit the worker
-    /// can still hold — size it to the sweep's working set to keep
-    /// every circuit warm.
+    /// can still hold. Design sweeps ([`crate::design::sweep`]) are the
+    /// canonical caller: size the capacity to the sweep's working set
+    /// (`sweep.designs().len()`) so every distinct circuit stays warm
+    /// across probe revisits — an undersized cache costs rebuilds,
+    /// never bytes.
     pub fn with_circuit_cache_capacity(mut self, capacity: usize) -> Self {
         self.circuit_cache_capacity = Some(capacity.max(1));
         self

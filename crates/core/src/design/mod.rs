@@ -11,8 +11,12 @@
 //!   derive the wavelength plan and the minimum probe power.
 //!
 //! [`space`] sweeps either method across parameter grids (the machinery
-//! behind Fig. 6) and extracts Pareto fronts.
+//! behind Fig. 6) and extracts Pareto fronts. [`sweep`] scales that up:
+//! a pool-servable design-space search over order × SNG × stream ×
+//! backend × device grid, with an accuracy × energy × area Pareto
+//! frontier that is bit-identical across every serving tier.
 
 pub mod mrr_first;
 pub mod mzi_first;
 pub mod space;
+pub mod sweep;

@@ -32,11 +32,19 @@ pub fn fig6a_grid(il_db: &[f64], er_db: &[f64], target_ber: f64, threads: usize)
         .iter()
         .flat_map(|&il| er_db.iter().map(move |&er| (il, er)))
         .collect();
-    let chunk = cells.len().div_ceil(threads.max(1));
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    // Clamp the worker count to the cell count before chunking — the
+    // same degenerate-split rule as `batch::lane_blocks` — so asking
+    // for more threads than cells spawns exactly one thread per cell
+    // instead of a ragged oversplit, and every chunk is non-empty.
+    let threads = threads.clamp(1, cells.len());
+    let chunk = cells.len().div_ceil(threads);
     let mut out: Vec<GridCell> = Vec::with_capacity(cells.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = cells
-            .chunks(chunk.max(1))
+            .chunks(chunk)
             .map(|chunk_cells| {
                 scope.spawn(move || {
                     chunk_cells
@@ -214,6 +222,33 @@ mod tests {
         let a = fig6a_grid(&il, &er, 1e-6, 1);
         let b = fig6a_grid(&il, &er, 1e-6, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ragged_grid_stays_row_major_when_threads_exceed_cells() {
+        // A 3×2 grid asked to split across far more threads than its 6
+        // cells must still come back in row-major order (IL outer, ER
+        // inner), identical to the single-threaded sweep.
+        let il = vec![3.5, 5.0, 7.0];
+        let er = vec![5.5, 7.0];
+        let reference = fig6a_grid(&il, &er, 1e-6, 1);
+        for threads in [5, 6, 7, 64] {
+            let grid = fig6a_grid(&il, &er, 1e-6, threads);
+            assert_eq!(grid, reference, "threads={threads}");
+        }
+        let pairs: Vec<(f64, f64)> = reference.iter().map(|c| (c.il_db, c.er_db)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (3.5, 5.5),
+                (3.5, 7.0),
+                (5.0, 5.5),
+                (5.0, 7.0),
+                (7.0, 5.5),
+                (7.0, 7.0),
+            ]
+        );
+        assert!(fig6a_grid(&[], &er, 1e-6, 4).is_empty());
     }
 
     #[test]

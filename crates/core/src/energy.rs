@@ -103,17 +103,33 @@ impl EnergyModel {
         let params = CircuitParams::paper_fig7(self.order, spacing);
         let snr = SnrModel::new(&params)?;
         let probe_power = snr.min_probe_power_for_ber(self.assumptions.target_ber)?;
+        Ok(self.breakdown_for(spacing, params.pump_power, probe_power))
+    }
+
+    /// Energy breakdown for an **already-solved** design point: pure
+    /// arithmetic over the design's own pump and probe powers, so a
+    /// feasible solve always joins to an energy figure. Unlike
+    /// [`Self::breakdown`], this does not rebuild the Fig. 7 parameter
+    /// set or re-solve the probe sizing — it is the energy join a
+    /// design sweep applies to each [`crate::design::mzi_first`] /
+    /// [`crate::design::mrr_first`] solution.
+    pub fn breakdown_for(
+        &self,
+        wl_spacing: Nanometers,
+        pump_power: Milliwatts,
+        probe_power: Milliwatts,
+    ) -> EnergyBreakdown {
         let eta = self.assumptions.lasing_efficiency;
-        let pump_energy = params.pump_power.over(self.assumptions.pump_pulse) / eta;
+        let pump_energy = pump_power.over(self.assumptions.pump_pulse) / eta;
         let probe_energy =
             (probe_power * (self.order + 1) as f64).over(self.assumptions.bit_period) / eta;
-        Ok(EnergyBreakdown {
-            wl_spacing: spacing,
-            pump_power: params.pump_power,
+        EnergyBreakdown {
+            wl_spacing,
+            pump_power,
             probe_power,
             pump_energy,
             probe_energy,
-        })
+        }
     }
 
     /// Sweeps the wavelength spacing (Fig. 7(a)); infeasible points are

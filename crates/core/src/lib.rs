@@ -34,8 +34,9 @@
 //!   generic circuit;
 //! - [`receiver`] — threshold de-randomizer and decision optimization;
 //! - [`system`] — end-to-end stochastic execution with receiver noise;
-//! - [`design`] — the MRR-first and MZI-first design methods plus
-//!   design-space sweeps;
+//! - [`design`] — the MRR-first and MZI-first design methods, Fig. 6
+//!   parameter-space maps, and [`design::sweep`] — the pool-scale
+//!   design-space search with a deterministic Pareto frontier;
 //! - [`energy`] — pulsed-pump laser energy per computed bit (Fig. 7);
 //! - [`calibration`] — fits the unpublished device parameters against the
 //!   paper's reported operating points;

@@ -195,12 +195,18 @@ impl SnrModel {
     ///
     /// # Errors
     ///
-    /// [`CircuitError::Infeasible`] when the margin is non-positive.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `target_ber` is outside `(0, 0.5)`.
+    /// [`CircuitError::Infeasible`] when the margin is non-positive, and
+    /// [`CircuitError::InvalidStructure`] when `target_ber` lies outside
+    /// `(0, 0.5)` — no finite SNR reaches BER 0, and 0.5 means the
+    /// levels are indistinguishable. Design sweeps carry the BER target
+    /// as data, so an absurd target must come back as a value, never a
+    /// panic.
     pub fn min_probe_power_for_ber(&self, target_ber: f64) -> Result<Milliwatts, CircuitError> {
+        if !(target_ber > 0.0 && target_ber < 0.5) {
+            return Err(CircuitError::InvalidStructure(format!(
+                "target BER must lie in (0, 0.5), got {target_ber}"
+            )));
+        }
         self.min_probe_power_for_snr(snr_for_ber(target_ber))
     }
 }

@@ -1,0 +1,123 @@
+//! Determinism and error-value robustness of the design-support
+//! modules a sweep leans on: `calibration` (the Nelder–Mead device
+//! fit) and `reconfig` (the shared-plan multi-order circuit). Repeated
+//! solves must be bit-identical — these run host-side inside every
+//! sweep, so any drift would break the cross-mode frontier byte
+//! contract — and infeasible inputs must come back as `Err` values,
+//! never panics.
+
+use osc_core::calibration::{self, Fig5Targets};
+use osc_core::energy::EnergyAssumptions;
+use osc_core::params::{CircuitParams, FilterTemplate, ModulatorTemplate};
+use osc_core::reconfig::ReconfigurableCircuit;
+use osc_core::CircuitError;
+use osc_units::Nanometers;
+
+#[test]
+fn calibration_fit_is_bit_identical_across_repeated_solves() {
+    let run = || {
+        calibration::fit(
+            ModulatorTemplate::calibrated(),
+            FilterTemplate::calibrated(),
+            &Fig5Targets::paper(),
+        )
+        .expect("calibrated start converges")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+    assert_eq!(a.modulator.r1.to_bits(), b.modulator.r1.to_bits());
+    assert_eq!(a.modulator.r2.to_bits(), b.modulator.r2.to_bits());
+    assert_eq!(
+        a.modulator.delta_lambda.as_nm().to_bits(),
+        b.modulator.delta_lambda.as_nm().to_bits()
+    );
+    assert_eq!(a.filter.r1.to_bits(), b.filter.r1.to_bits());
+    assert_eq!(a.filter.a.to_bits(), b.filter.a.to_bits());
+    assert_eq!(
+        a.predictions.received_case_a_mw.to_bits(),
+        b.predictions.received_case_a_mw.to_bits()
+    );
+}
+
+#[test]
+fn calibration_fit_from_a_nonphysical_box_errors_instead_of_panicking() {
+    // Every coupling coefficient the optimizer can reach from this
+    // start sits outside the physical box (r < 0.5), so the objective
+    // is +inf everywhere and the fit must come back as a clean
+    // Infeasible value.
+    let mut bad_mod = ModulatorTemplate::calibrated();
+    bad_mod.r1 = 0.05;
+    bad_mod.r2 = 0.05;
+    let mut bad_filt = FilterTemplate::calibrated();
+    bad_filt.r1 = 0.05;
+    bad_filt.r2 = 0.05;
+    bad_filt.a = 0.05;
+    let result = calibration::fit(bad_mod, bad_filt, &Fig5Targets::paper());
+    assert!(
+        matches!(result, Err(CircuitError::Infeasible(_))),
+        "{result:?}"
+    );
+}
+
+#[test]
+fn calibration_predict_propagates_construction_failures_as_values() {
+    // A degenerate wavelength plan (zero spacing collapses all
+    // channels) must surface as an Err from predict, not a panic.
+    let mut params = CircuitParams::paper_fig5();
+    params.wl_spacing = Nanometers::new(0.0);
+    params.lambda_last = params.lambda_ref;
+    assert!(calibration::predict(&params).is_err());
+}
+
+#[test]
+fn reconfig_provision_is_deterministic_across_repeated_solves() {
+    // provision() runs a grid + golden-section search over the energy
+    // model; repeated solves must land on the bit-same shared spacing,
+    // and the derived per-order parameter sets must agree exactly.
+    let a = ReconfigurableCircuit::provision(4, EnergyAssumptions::default()).unwrap();
+    let b = ReconfigurableCircuit::provision(4, EnergyAssumptions::default()).unwrap();
+    assert_eq!(
+        a.shared_spacing().as_nm().to_bits(),
+        b.shared_spacing().as_nm().to_bits()
+    );
+    for order in 1..=4 {
+        let pa = a.params_for_order(order).unwrap();
+        let pb = b.params_for_order(order).unwrap();
+        assert_eq!(pa, pb, "order {order}");
+    }
+}
+
+#[test]
+fn reconfig_rejects_infeasible_inputs_as_values() {
+    // Order 0 cannot be provisioned.
+    assert!(matches!(
+        ReconfigurableCircuit::provision(0, EnergyAssumptions::default()),
+        Err(CircuitError::InvalidStructure(_))
+    ));
+
+    // Orders outside the provisioned range are clean errors.
+    let circuit = ReconfigurableCircuit::provision(3, EnergyAssumptions::default()).unwrap();
+    assert!(matches!(
+        circuit.params_for_order(0),
+        Err(CircuitError::InvalidStructure(_))
+    ));
+    assert!(matches!(
+        circuit.params_for_order(4),
+        Err(CircuitError::InvalidStructure(_))
+    ));
+
+    // BER 0 is unreachable by any finite SNR: every candidate spacing
+    // errors inside the energy model, so the provision itself must come
+    // back as an error value — historically this panicked inside the
+    // detector's inverse-BER assert.
+    let impossible = EnergyAssumptions {
+        target_ber: 0.0,
+        ..EnergyAssumptions::default()
+    };
+    let result = ReconfigurableCircuit::provision(2, impossible);
+    assert!(
+        matches!(result, Err(CircuitError::Infeasible(_))),
+        "{result:?}"
+    );
+}
